@@ -1,0 +1,143 @@
+//! Fixed-tree collective baselines.
+//!
+//! Classical MPI-style implementations pin each collective to one
+//! communication tree chosen ahead of time. In pipelined (steady-state)
+//! operation their throughput is `1 / max port busy time per operation`,
+//! computed here exactly. The steady-state LP dominates these because it
+//! may split traffic across *many* trees/paths simultaneously.
+
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+
+/// Pipelined throughput of a **flat-tree scatter**: the source sends each
+/// target's message along the cheapest route, one message per target per
+/// operation. Returns `None` if some target is unreachable.
+pub fn flat_tree_scatter_rate(g: &Platform, source: NodeId, targets: &[NodeId]) -> Option<Ratio> {
+    let pred = g.shortest_path_tree(source);
+    let mut send_busy = vec![Ratio::zero(); g.num_nodes()];
+    let mut recv_busy = vec![Ratio::zero(); g.num_nodes()];
+    for &t in targets {
+        // Walk the route backwards from t to the source.
+        let mut cur = t;
+        while cur != source {
+            let e = pred[cur.index()]?;
+            let er = g.edge(e);
+            send_busy[er.src.index()] += er.c;
+            recv_busy[er.dst.index()] += er.c;
+            cur = er.src;
+        }
+    }
+    let max_busy = send_busy
+        .iter()
+        .chain(recv_busy.iter())
+        .cloned()
+        .fold(Ratio::zero(), Ratio::max);
+    if max_busy.is_zero() {
+        return None;
+    }
+    Some(max_busy.recip())
+}
+
+/// Pipelined throughput of a **BFS-tree broadcast**: every node forwards
+/// the message to its BFS children; one copy per child per operation.
+/// Returns `None` if some node is unreachable.
+pub fn bfs_tree_broadcast_rate(g: &Platform, source: NodeId) -> Option<Ratio> {
+    let depths = g.bfs_depths(source);
+    if depths.iter().any(|d| d.is_none()) {
+        return None;
+    }
+    let mut send_busy = vec![Ratio::zero(); g.num_nodes()];
+    let mut recv_busy = vec![Ratio::zero(); g.num_nodes()];
+    for i in g.node_ids() {
+        if i == source {
+            continue;
+        }
+        let di = depths[i.index()].unwrap();
+        let e = g
+            .in_edges(i)
+            .find(|e| depths[e.src.index()] == Some(di - 1))
+            .expect("BFS-reachable node has a parent");
+        send_busy[e.src.index()] += e.c;
+        recv_busy[i.index()] += e.c;
+    }
+    let max_busy = send_busy
+        .iter()
+        .chain(recv_busy.iter())
+        .cloned()
+        .fold(Ratio::zero(), Ratio::max);
+    if max_busy.is_zero() {
+        // Single-node platform: infinite rate is meaningless; call it None.
+        return None;
+    }
+    Some(max_busy.recip())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{broadcast, scatter};
+    use ss_platform::{topo, Weight};
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    #[test]
+    fn flat_scatter_on_star() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_edge(s, a, ri(1)).unwrap();
+        g.add_edge(s, b, ri(2)).unwrap();
+        // Source port busy 1 + 2 = 3 per op.
+        assert_eq!(flat_tree_scatter_rate(&g, s, &[a, b]).unwrap(), Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn lp_dominates_flat_scatter() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(800 + seed);
+            let (g, root) = topo::random_connected(&mut rng, 6, 0.35, &topo::ParamRange::default());
+            let targets = topo::pick_targets(&mut rng, &g, root, 3);
+            let flat = flat_tree_scatter_rate(&g, root, &targets).unwrap();
+            let lp = scatter::solve(&g, root, &targets).unwrap().throughput;
+            assert!(lp >= flat, "seed {seed}: LP {lp} < flat {flat}");
+        }
+    }
+
+    #[test]
+    fn bfs_broadcast_on_chain() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        g.add_edge(a, b, ri(1)).unwrap();
+        g.add_edge(b, c, ri(3)).unwrap();
+        assert_eq!(bfs_tree_broadcast_rate(&g, a).unwrap(), Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn lp_dominates_bfs_broadcast() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let (g, root) = topo::random_connected(&mut rng, 5, 0.4, &topo::ParamRange::default());
+            let tree = bfs_tree_broadcast_rate(&g, root).unwrap();
+            let lp = broadcast::solve(&g, root).unwrap().throughput;
+            assert!(lp >= tree, "seed {seed}: LP {lp} < tree {tree}");
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_yield_none() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let island = g.add_node("x", Weight::from_int(1));
+        assert!(flat_tree_scatter_rate(&g, s, &[island]).is_none());
+        assert!(bfs_tree_broadcast_rate(&g, s).is_none());
+    }
+}

@@ -1,0 +1,431 @@
+//! Demand-driven greedy master–slave execution on tree platforms.
+//!
+//! The classical online protocol (paper ref \[11\]): every non-master node
+//! requests one task from its parent whenever it holds none (requests are
+//! control messages, modeled as instantaneous); a parent with a task on
+//! hand and a free send port serves one pending request at a time. Task
+//! files are *atomic*: shipping one over edge `e` occupies the parent's
+//! send port and the child's receive port for `c_e` time units; computing
+//! one on `P_i` takes `w_i`. Computation fully overlaps communication
+//! (§2 model).
+//!
+//! The service order is the policy knob ref \[11\] studies: FIFO and
+//! round-robin are what naive masters do; *bandwidth-centric* (serve the
+//! child with the cheapest link first, regardless of its speed) is the
+//! provably optimal priority for single-level trees — the reproduction
+//! compares all of them against the steady-state LP bound.
+
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+use ss_sim::EventQueue;
+
+/// Order in which a parent serves pending child requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceOrder {
+    /// First request first.
+    Fifo,
+    /// Cycle through children.
+    RoundRobin,
+    /// Child with the smallest edge cost `c` first (paper ref \[11\]).
+    BandwidthCentric,
+    /// Child with the smallest compute weight `w` first.
+    FastestWorker,
+}
+
+/// Result of a greedy run.
+#[derive(Clone, Debug)]
+pub struct GreedyOutcome {
+    /// Completion time of each task, sorted ascending.
+    pub completions: Vec<Ratio>,
+    /// Time the last task finished (makespan).
+    pub makespan: Ratio,
+}
+
+impl GreedyOutcome {
+    /// Tasks finished by time `t`.
+    pub fn completed_by(&self, t: &Ratio) -> usize {
+        self.completions.partition_point(|c| c <= t)
+    }
+
+    /// Average throughput over the whole run.
+    pub fn throughput(&self) -> Ratio {
+        if self.makespan.is_zero() {
+            return Ratio::zero();
+        }
+        &Ratio::from(self.completions.len()) / &self.makespan
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    ComputeDone(usize),
+    TransferDone { parent: usize, child: usize },
+}
+
+struct NodeState {
+    parent: Option<usize>,
+    children: Vec<usize>,
+    edge_cost: Ratio, // cost of the parent -> this link (zero for master)
+    w: Option<Ratio>,
+    holding: u64,
+    computing: bool,
+    receiving: bool,
+    requested: bool,
+    sending: bool,
+    pending: Vec<usize>, // child indices in request order
+    rr_cursor: usize,
+}
+
+/// Simulate greedy demand-driven execution of `n` tasks on a tree rooted
+/// at `master`.
+///
+/// The platform must be a tree when restricted to the edges used: every
+/// non-master node needs exactly one parent — the unique in-edge from the
+/// node closer to the master. Returns an error if the platform is not
+/// tree-shaped from the master.
+pub fn simulate_tree_greedy(
+    g: &Platform,
+    master: NodeId,
+    n: u64,
+    order: ServiceOrder,
+) -> Result<GreedyOutcome, String> {
+    let p = g.num_nodes();
+    // Build the tree: BFS from master over directed edges.
+    let depths = g.bfs_depths(master);
+    let mut nodes: Vec<NodeState> = (0..p)
+        .map(|i| NodeState {
+            parent: None,
+            children: Vec::new(),
+            edge_cost: Ratio::zero(),
+            w: g.node(NodeId(i)).w.as_ratio().cloned(),
+            holding: 0,
+            computing: false,
+            receiving: false,
+            requested: false,
+            sending: false,
+            pending: Vec::new(),
+            rr_cursor: 0,
+        })
+        .collect();
+    for i in 0..p {
+        if i == master.index() {
+            continue;
+        }
+        let Some(di) = depths[i] else {
+            return Err(format!("node {} unreachable from master", g.node(NodeId(i)).name));
+        };
+        // Parent = the in-neighbor one BFS level up (unique on a tree).
+        let mut parents = g.in_edges(NodeId(i)).filter(|e| depths[e.src.index()] == Some(di - 1));
+        let pe = parents.next().ok_or_else(|| "no parent edge".to_string())?;
+        if parents.next().is_some() {
+            return Err("platform is not a tree from the master".into());
+        }
+        nodes[i].parent = Some(pe.src.index());
+        nodes[i].edge_cost = pe.c.clone();
+        nodes[pe.src.index()].children.push(i);
+    }
+
+    let mut pool = n; // undelivered tasks at the master
+    let mut remaining = n; // tasks not yet computed anywhere
+    let mut completions: Vec<Ratio> = Vec::with_capacity(n as usize);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+
+    // The master "holds" the pool; children request at t = 0.
+    fn request(nodes: &mut [NodeState], child: usize) {
+        let Some(parent) = nodes[child].parent else { return };
+        if nodes[child].requested || nodes[child].receiving {
+            return;
+        }
+        nodes[child].requested = true;
+        nodes[parent].pending.push(child);
+    }
+
+    fn pick(nodes: &NodeState, order: ServiceOrder, states: &[NodeState]) -> Option<usize> {
+        if nodes.pending.is_empty() {
+            return None;
+        }
+        let idx = match order {
+            ServiceOrder::Fifo => 0,
+            ServiceOrder::RoundRobin => {
+                // Serve the pending child that comes next in child order.
+                let start = nodes.rr_cursor % nodes.children.len().max(1);
+                let mut best = 0;
+                let mut best_key = usize::MAX;
+                for (qi, &c) in nodes.pending.iter().enumerate() {
+                    let pos = nodes.children.iter().position(|&x| x == c).unwrap_or(0);
+                    let key = (pos + nodes.children.len() - start) % nodes.children.len().max(1);
+                    if key < best_key {
+                        best_key = key;
+                        best = qi;
+                    }
+                }
+                best
+            }
+            ServiceOrder::BandwidthCentric => {
+                let mut best = 0;
+                for (qi, &c) in nodes.pending.iter().enumerate() {
+                    if states[c].edge_cost < states[nodes.pending[best]].edge_cost
+                        || (states[c].edge_cost == states[nodes.pending[best]].edge_cost
+                            && c < nodes.pending[best])
+                    {
+                        best = qi;
+                    }
+                }
+                best
+            }
+            ServiceOrder::FastestWorker => {
+                let key = |c: usize| {
+                    states[c]
+                        .w
+                        .clone()
+                        .unwrap_or_else(|| Ratio::from_int(i64::MAX))
+                };
+                let mut best = 0;
+                for (qi, &c) in nodes.pending.iter().enumerate() {
+                    if key(c) < key(nodes.pending[best])
+                        || (key(c) == key(nodes.pending[best]) && c < nodes.pending[best])
+                    {
+                        best = qi;
+                    }
+                }
+                best
+            }
+        };
+        Some(idx)
+    }
+
+    // Try to start activities at `now` for node i; may cascade.
+    fn activate(
+        i: usize,
+        now: &Ratio,
+        nodes: &mut [NodeState],
+        queue: &mut EventQueue<Event>,
+        pool: &mut u64,
+        master: usize,
+        order: ServiceOrder,
+    ) {
+        // Start computing if idle and holding a task.
+        let can_compute = nodes[i].w.is_some() && !nodes[i].computing;
+        if can_compute {
+            let has_task = if i == master { *pool > 0 } else { nodes[i].holding > 0 };
+            if has_task {
+                if i == master {
+                    *pool -= 1;
+                } else {
+                    nodes[i].holding -= 1;
+                }
+                nodes[i].computing = true;
+                let w = nodes[i].w.clone().unwrap();
+                queue.push(now + &w, Event::ComputeDone(i));
+            }
+        }
+        // Serve one pending child if the send port is free and a task is
+        // available to forward.
+        if !nodes[i].sending {
+            let has_task = if i == master { *pool > 0 } else { nodes[i].holding > 0 };
+            if has_task {
+                // Split borrow: pick needs &nodes[i] and &nodes[..].
+                let choice = {
+                    let states: &[NodeState] = nodes;
+                    pick(&states[i], order, states)
+                };
+                if let Some(qi) = choice {
+                    let child = nodes[i].pending.remove(qi);
+                    if i == master {
+                        *pool -= 1;
+                    } else {
+                        nodes[i].holding -= 1;
+                    }
+                    nodes[i].sending = true;
+                    nodes[i].rr_cursor += 1;
+                    nodes[child].receiving = true;
+                    nodes[child].requested = false;
+                    let c = nodes[child].edge_cost.clone();
+                    queue.push(now + &c, Event::TransferDone { parent: i, child });
+                }
+            }
+        }
+        // Request upstream if dry: interior nodes also pull for their
+        // subtree (demand: own compute + pending child requests).
+        if i != master {
+            let demand = 1 + nodes[i].pending.len() as u64;
+            let have = nodes[i].holding + nodes[i].receiving as u64;
+            if have < demand {
+                request(nodes, i);
+            }
+        }
+    }
+
+    // Kick-off: leaves request; propagate by activating everything once.
+    for i in 0..p {
+        if i != master.index() {
+            request(&mut nodes, i);
+        }
+    }
+    let t0 = Ratio::zero();
+    // Activate deepest-first so requests propagate to the master in one pass.
+    let mut by_depth: Vec<usize> = (0..p).collect();
+    by_depth.sort_by_key(|&i| std::cmp::Reverse(depths[i].unwrap_or(0)));
+    for &i in &by_depth {
+        activate(i, &t0, &mut nodes, &mut queue, &mut pool, master.index(), order);
+    }
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Event::ComputeDone(i) => {
+                nodes[i].computing = false;
+                completions.push(now.clone());
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+                activate(i, &now, &mut nodes, &mut queue, &mut pool, master.index(), order);
+            }
+            Event::TransferDone { parent, child } => {
+                nodes[parent].sending = false;
+                nodes[child].receiving = false;
+                nodes[child].holding += 1;
+                activate(child, &now, &mut nodes, &mut queue, &mut pool, master.index(), order);
+                activate(parent, &now, &mut nodes, &mut queue, &mut pool, master.index(), order);
+            }
+        }
+    }
+
+    completions.sort();
+    let makespan = completions.last().cloned().unwrap_or_else(Ratio::zero);
+    Ok(GreedyOutcome { completions, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::master_slave;
+    use ss_platform::{topo, Weight};
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    /// Solo master: n tasks take n * w.
+    #[test]
+    fn master_alone() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(3));
+        let out = simulate_tree_greedy(&g, m, 5, ServiceOrder::Fifo).unwrap();
+        assert_eq!(out.makespan, ri(15));
+        assert_eq!(out.completions.len(), 5);
+    }
+
+    /// One worker: pipeline of send(c=1) + compute(w=2); master w=2.
+    #[test]
+    fn master_and_worker_pipeline() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(2));
+        let w = g.add_node("w", Weight::from_int(2));
+        g.add_edge(m, w, ri(1)).unwrap();
+        let out = simulate_tree_greedy(&g, m, 10, ServiceOrder::Fifo).unwrap();
+        assert_eq!(out.completions.len(), 10);
+        // Steady-state LP rate is 1 task/unit; greedy should be close for
+        // 10 tasks but cannot beat the bound.
+        let sol = master_slave::solve(&g, m).unwrap();
+        let bound = &Ratio::from(10u64) / &sol.ntask;
+        assert!(out.makespan >= bound);
+    }
+
+    /// Greedy never exceeds the LP bound on random trees, for any policy.
+    #[test]
+    fn lp_bound_dominates_greedy() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(600 + seed);
+            let (g, m) = topo::random_tree(&mut rng, 6, &topo::ParamRange::default());
+            let sol = master_slave::solve(&g, m).unwrap();
+            for order in [
+                ServiceOrder::Fifo,
+                ServiceOrder::RoundRobin,
+                ServiceOrder::BandwidthCentric,
+                ServiceOrder::FastestWorker,
+            ] {
+                let n = 60u64;
+                let out = simulate_tree_greedy(&g, m, n, order).unwrap();
+                assert_eq!(out.completions.len(), n as usize);
+                // Makespan can never beat n / ntask.
+                let lb = &Ratio::from(n) / &sol.ntask;
+                assert!(
+                    out.makespan >= lb,
+                    "seed {seed} {order:?}: makespan {} < bound {}",
+                    out.makespan,
+                    lb
+                );
+            }
+        }
+    }
+
+    /// The bandwidth-centric order serves cheap links first; on a star
+    /// with one cheap-fast and one expensive-slow child it beats FIFO-ish
+    /// worst cases and never loses to serving the slow child first.
+    #[test]
+    fn bandwidth_centric_sensible() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(100));
+        let fast = g.add_node("fast", Weight::from_int(1));
+        let slow = g.add_node("slow", Weight::from_int(1));
+        g.add_edge(m, fast, ri(1)).unwrap();
+        g.add_edge(m, slow, ri(5)).unwrap();
+        let bc = simulate_tree_greedy(&g, m, 40, ServiceOrder::BandwidthCentric).unwrap();
+        let fifo = simulate_tree_greedy(&g, m, 40, ServiceOrder::Fifo).unwrap();
+        assert!(bc.makespan <= fifo.makespan);
+    }
+
+    /// Two-level tree: interior nodes forward to their subtrees.
+    #[test]
+    fn two_level_tree_forwards() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(10));
+        let mid = g.add_node("mid", Weight::from_int(10));
+        let leaf = g.add_node("leaf", Weight::from_int(1));
+        g.add_edge(m, mid, ri(1)).unwrap();
+        g.add_edge(mid, leaf, ri(1)).unwrap();
+        let out = simulate_tree_greedy(&g, m, 20, ServiceOrder::Fifo).unwrap();
+        assert_eq!(out.completions.len(), 20);
+        // The fast leaf must have done most of the work: makespan well
+        // under solo-master time (200) and under mid-only time.
+        assert!(out.makespan < ri(60), "makespan {}", out.makespan);
+    }
+
+    /// Non-tree platforms are rejected.
+    #[test]
+    fn non_tree_rejected() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(1));
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_edge(m, a, ri(1)).unwrap();
+        g.add_edge(m, b, ri(1)).unwrap();
+        g.add_edge(a, b, ri(1)).unwrap(); // second parent for b at same depth? no—b depth 1 via m; a->b is depth-1 to depth-1: not a parent edge
+        // b has exactly one parent (m) at depth 0; a->b is a lateral edge and
+        // is ignored by the tree builder, so this IS accepted. Make a true
+        // multi-parent case instead:
+        let c = g.add_node("c", Weight::from_int(1));
+        g.add_edge(a, c, ri(1)).unwrap();
+        g.add_edge(b, c, ri(1)).unwrap(); // c has two depth-1 parents
+        let err = simulate_tree_greedy(&g, m, 5, ServiceOrder::Fifo);
+        assert!(err.is_err());
+    }
+
+    /// completed_by is monotone and consistent with throughput.
+    #[test]
+    fn outcome_accessors() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(1));
+        let w = g.add_node("w", Weight::from_int(1));
+        g.add_edge(m, w, ri(1)).unwrap();
+        let out = simulate_tree_greedy(&g, m, 8, ServiceOrder::Fifo).unwrap();
+        let half = out.completed_by(&(&out.makespan / &ri(2)));
+        let all = out.completed_by(&out.makespan);
+        assert!(half <= all);
+        assert_eq!(all, 8);
+        assert!(out.throughput().is_positive());
+    }
+}

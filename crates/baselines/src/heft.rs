@@ -1,0 +1,207 @@
+//! Batch list scheduling (HEFT-style) for independent identical tasks.
+//!
+//! The makespan-oriented strawman of §1: given `n` identical tasks at the
+//! master, repeatedly assign the next task to the resource that would
+//! *complete it earliest*, accounting for one-port contention. Tasks ship
+//! along the cheapest route (store-and-forward, each hop reserving the
+//! sender's send port and the receiver's receive port). This is exactly
+//! what a practitioner's greedy ECT scheduler does, and it is myopic: it
+//! optimizes each task's finish time instead of the platform's sustained
+//! rate, so on heterogeneous platforms its asymptotic throughput generally
+//! falls short of `ntask(G)` — while for *small* `n` it avoids the
+//! steady-state warm-up and can win. The `why` experiment plots both
+//! regimes.
+
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+use ss_sim::Port;
+
+/// Result of a HEFT batch run.
+#[derive(Clone, Debug)]
+pub struct HeftOutcome {
+    /// Completion time of every task, sorted.
+    pub completions: Vec<Ratio>,
+    /// Batch makespan.
+    pub makespan: Ratio,
+    /// Tasks assigned to each node.
+    pub assigned: Vec<u64>,
+}
+
+impl HeftOutcome {
+    /// Tasks finished by time `t`.
+    pub fn completed_by(&self, t: &Ratio) -> usize {
+        self.completions.partition_point(|c| c <= t)
+    }
+
+    /// Average throughput over the batch.
+    pub fn throughput(&self) -> Ratio {
+        if self.makespan.is_zero() {
+            return Ratio::zero();
+        }
+        &Ratio::from(self.completions.len()) / &self.makespan
+    }
+}
+
+/// Schedule `n` identical unit tasks from `master` by earliest completion
+/// time with cheapest-route store-and-forward shipping.
+pub fn heft_batch(g: &Platform, master: NodeId, n: u64) -> HeftOutcome {
+    let p = g.num_nodes();
+    // Static cheapest routes from the master.
+    let pred = g.shortest_path_tree(master);
+    let routes: Vec<Option<Vec<ss_platform::EdgeId>>> = (0..p)
+        .map(|i| {
+            if i == master.index() {
+                return Some(Vec::new());
+            }
+            let mut path = Vec::new();
+            let mut cur = NodeId(i);
+            while cur != master {
+                let e = pred[cur.index()]?;
+                path.push(e);
+                cur = g.edge(e).src;
+            }
+            path.reverse();
+            Some(path)
+        })
+        .collect();
+
+    let mut send_ports: Vec<Port> = (0..p).map(|_| Port::new()).collect();
+    let mut recv_ports: Vec<Port> = (0..p).map(|_| Port::new()).collect();
+    let mut cpu_free: Vec<Ratio> = vec![Ratio::zero(); p];
+    let mut assigned = vec![0u64; p];
+    let mut completions = Vec::with_capacity(n as usize);
+
+    for _ in 0..n {
+        // Candidate finish time on every node, without committing.
+        let mut best: Option<(usize, Ratio)> = None;
+        for i in 0..p {
+            let Some(w) = g.node(NodeId(i)).w.as_ratio() else { continue };
+            let Some(route) = &routes[i] else { continue };
+            // Estimate arrival against current port frontiers (each hop
+            // uses a distinct port pair, so no self-contention on a path).
+            let mut arrive = Ratio::zero();
+            for e in route {
+                let er = g.edge(*e);
+                let start = arrive
+                    .max(send_ports[er.src.index()].free_at().clone())
+                    .max(recv_ports[er.dst.index()].free_at().clone());
+                arrive = &start + er.c;
+            }
+            let start_c = arrive.max(cpu_free[i].clone());
+            let finish = &start_c + w;
+            match &best {
+                None => best = Some((i, finish)),
+                Some((_, bf)) if finish < *bf => best = Some((i, finish)),
+                _ => {}
+            }
+        }
+        let (node, _) = best.expect("at least the master can compute, or the platform is all routers");
+        // Commit: actually reserve the ports along the route.
+        let route = routes[node].as_ref().unwrap();
+        let mut arrive = Ratio::zero();
+        for e in route {
+            let er = g.edge(*e);
+            let earliest = arrive
+                .clone()
+                .max(send_ports[er.src.index()].free_at().clone())
+                .max(recv_ports[er.dst.index()].free_at().clone());
+            let (_, end) = send_ports[er.src.index()].reserve(&earliest, er.c);
+            recv_ports[er.dst.index()].reserve(&earliest, er.c);
+            arrive = end;
+        }
+        let w = g.node(NodeId(node)).w.as_ratio().unwrap();
+        let start_c = arrive.max(cpu_free[node].clone());
+        let finish = &start_c + w;
+        cpu_free[node] = finish.clone();
+        assigned[node] += 1;
+        completions.push(finish);
+    }
+
+    completions.sort();
+    let makespan = completions.last().cloned().unwrap_or_else(Ratio::zero);
+    HeftOutcome { completions, makespan, assigned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::master_slave;
+    use ss_platform::{topo, Weight};
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    #[test]
+    fn solo_master() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(2));
+        let out = heft_batch(&g, m, 4);
+        assert_eq!(out.makespan, ri(8));
+        assert_eq!(out.assigned[0], 4);
+    }
+
+    #[test]
+    fn offloads_to_fast_worker() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(10));
+        let w = g.add_node("w", Weight::from_int(1));
+        g.add_edge(m, w, ri(1)).unwrap();
+        let out = heft_batch(&g, m, 20);
+        assert!(out.assigned[w.index()] > out.assigned[m.index()]);
+        // Worker's pipeline: arrival k at time >= k (port), finish >= k+1.
+        assert!(out.makespan >= ri(20 / 2)); // loose sanity
+    }
+
+    #[test]
+    fn makespan_respects_lp_bound() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(700 + seed);
+            let (g, m) = topo::random_tree(&mut rng, 6, &topo::ParamRange::default());
+            let sol = master_slave::solve(&g, m).unwrap();
+            let n = 50u64;
+            let out = heft_batch(&g, m, n);
+            assert_eq!(out.completions.len(), n as usize);
+            let lb = &Ratio::from(n) / &sol.ntask;
+            assert!(
+                out.makespan >= lb,
+                "seed {seed}: makespan {} < LP bound {}",
+                out.makespan,
+                lb
+            );
+        }
+    }
+
+    #[test]
+    fn relays_through_routers() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(50));
+        let r = g.add_node("r", Weight::Infinite);
+        let w = g.add_node("w", Weight::from_int(1));
+        g.add_edge(m, r, ri(1)).unwrap();
+        g.add_edge(r, w, ri(1)).unwrap();
+        let out = heft_batch(&g, m, 10);
+        // The router cannot compute; the worker must get work through it.
+        assert_eq!(out.assigned[r.index()], 0);
+        assert!(out.assigned[w.index()] > 0);
+    }
+
+    #[test]
+    fn completed_by_is_monotone() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(1));
+        let w = g.add_node("w", Weight::from_int(2));
+        g.add_edge(m, w, ri(1)).unwrap();
+        let out = heft_batch(&g, m, 12);
+        let mut prev = 0;
+        for k in 1..=4 {
+            let t = &out.makespan * &Ratio::new(k, 4);
+            let done = out.completed_by(&t);
+            assert!(done >= prev);
+            prev = done;
+        }
+        assert_eq!(prev, 12);
+    }
+}

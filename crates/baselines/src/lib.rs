@@ -1,0 +1,33 @@
+//! # ss-baselines — what steady-state scheduling is measured against
+//!
+//! The paper's "why" (§1): makespan minimization is NP-hard and the
+//! heuristics people actually run — greedy demand-driven masters, list
+//! scheduling, fixed communication trees — leave throughput on the table
+//! that the steady-state LP recovers. This crate implements those
+//! competitors faithfully so the comparison is honest:
+//!
+//! * [`greedy`] — event-driven *demand-driven* master–slave execution on
+//!   tree platforms (the setting of paper ref \[11\]): children request a
+//!   task whenever they run dry, parents serve requests one at a time
+//!   through their single send port, under FIFO, round-robin,
+//!   fastest-worker-first, or bandwidth-centric service orders. The
+//!   bandwidth-centric rule (serve the child with the fastest *link*
+//!   first) is ref \[11\]'s provably-good tree heuristic.
+//! * [`heft`] — batch list scheduling for `n` independent identical tasks:
+//!   each task goes to the resource with the earliest completion time,
+//!   accounting for one-port contention along its (fixed, cheapest) route.
+//!   Makespan-oriented: asymptotically it cannot beat `ntask(G)` and
+//!   usually undershoots it on heterogeneous platforms.
+//! * [`collectives`] — fixed-tree scatter/broadcast rates (flat trees,
+//!   BFS trees): the classical MPI-style implementations whose pipelined
+//!   throughput the steady-state LP dominates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod greedy;
+pub mod heft;
+
+pub use greedy::{simulate_tree_greedy, GreedyOutcome, ServiceOrder};
+pub use heft::{heft_batch, HeftOutcome};

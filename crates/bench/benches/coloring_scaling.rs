@@ -1,0 +1,31 @@
+//! §4.1 weighted bipartite edge-coloring decomposition scaling, plus the
+//! §5.1.1 greedy shared-port alternative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ss_num::BigInt;
+use ss_platform::topo;
+use ss_schedule::coloring::{decompose, greedy_shared_port_schedule};
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_coloring");
+    group.sample_size(20);
+    for p in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(p as u64);
+        let (g, _) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let busy: Vec<BigInt> = (0..g.num_edges())
+            .map(|_| BigInt::from(rng.gen_range(0..100u32)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bipartite", p), &(&g, &busy), |b, (g, busy)| {
+            b.iter(|| decompose(g, busy))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_shared", p), &(&g, &busy), |b, (g, busy)| {
+            b.iter(|| greedy_shared_port_schedule(g, busy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! One bench per steady-state formulation: end-to-end build + exact solve
+//! on fixed reference platforms (the per-experiment cost the `repro`
+//! harness pays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ss_core::multicast::EdgeCoupling;
+use ss_core::{all_to_all, broadcast, dag, master_slave, multicast, reduce, scatter};
+use ss_num::Ratio;
+use ss_platform::{paper, topo};
+
+fn bench_formulations(c: &mut Criterion) {
+    let (fig1, m1) = paper::fig1();
+    let (fig2, src2, targets2) = paper::fig2_multicast();
+    let mut rng = StdRng::seed_from_u64(9);
+    let (g5, r5) = topo::random_connected(&mut rng, 5, 0.4, &topo::ParamRange::default());
+
+    let mut group = c.benchmark_group("formulations");
+    group.sample_size(10);
+    group.bench_function("ssms_fig1", |b| b.iter(|| master_slave::solve(&fig1, m1).unwrap()));
+    group.bench_function("scatter_fig2_targets", |b| {
+        b.iter(|| scatter::solve(&fig2, src2, &targets2).unwrap())
+    });
+    group.bench_function("multicast_max_fig2", |b| {
+        b.iter(|| multicast::solve(&fig2, src2, &targets2, EdgeCoupling::Max).unwrap())
+    });
+    group.bench_function("broadcast_p5", |b| b.iter(|| broadcast::solve(&g5, r5).unwrap()));
+    group.bench_function("reduce_p5", |b| b.iter(|| reduce::solve(&g5, r5).unwrap()));
+    group.bench_function("all_to_all_p5", |b| b.iter(|| all_to_all::solve(&g5).unwrap()));
+    group.bench_function("dag_diamond_p5", |b| {
+        let mut tg = dag::TaskGraph::diamond();
+        let input = dag::TaskId(0);
+        tg.pin_task(input, r5);
+        let _ = Ratio::one();
+        b.iter(|| dag::solve(&g5, &tg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulations);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Simulator kernels: periodic execution and the exact-time event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_core::master_slave;
+use ss_num::Ratio;
+use ss_platform::paper;
+use ss_schedule::reconstruct_master_slave;
+use ss_sim::{simulate_master_slave, EventQueue};
+
+fn bench_periodic(c: &mut Criterion) {
+    let (g, m) = paper::fig1();
+    let sol = master_slave::solve(&g, m).unwrap();
+    let sched = reconstruct_master_slave(&g, &sol);
+    let mut group = c.benchmark_group("periodic_executor");
+    for periods in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(periods), &periods, |b, &periods| {
+            b.iter(|| simulate_master_slave(&g, m, &sched, periods))
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000i64 {
+                q.push(Ratio::new((i * 7919) % 10_000, 17), i);
+            }
+            let mut acc = 0i64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_periodic, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! §4.2 DAG collections and the §1 "why" comparison.
+
+use crate::table::{banner, print_table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ss_baselines::{heft_batch, simulate_tree_greedy, ServiceOrder};
+use ss_core::{dag as dagm, master_slave};
+use ss_num::{BigInt, Ratio};
+use ss_platform::topo;
+use ss_schedule::reconstruct_master_slave;
+use ss_sim::simulate_master_slave;
+
+/// §4.2: throughput of DAG collections (mixed data/task parallelism).
+pub fn dag() {
+    banner("dag", "§4.2 — collections of identical DAGs");
+    let shapes: Vec<(&str, dagm::TaskGraph)> = vec![
+        ("chain-3", dagm::TaskGraph::chain(3)),
+        ("diamond", dagm::TaskGraph::diamond()),
+        ("fork-join-4", dagm::TaskGraph::fork_join(4)),
+    ];
+    let mut rows = Vec::new();
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let (g, master) = topo::random_connected(&mut rng, 5, 0.35, &topo::ParamRange::default());
+        for (name, mut tg) in shapes.iter().map(|(n, t)| (*n, t.clone())) {
+            // Pin the first task's data source to the master (inputs live
+            // there), matching the master-slave story.
+            let input = dagm::TaskId(0);
+            tg.pin_task(input, master);
+            let sol = dagm::solve(&g, &tg).expect("DAG LP solves");
+            sol.check(&g, &tg).expect("invariants");
+            // Upper bound: total compute rate / total work per instance.
+            let total_work: Ratio = (0..tg.num_tasks())
+                .map(|t| tg.task_work(dagm::TaskId(t)).clone())
+                .sum();
+            let ub = &g.total_compute_rate() / &total_work;
+            rows.push(vec![
+                seed.to_string(),
+                name.to_string(),
+                sol.throughput.to_string(),
+                ub.to_string(),
+                format!("{:.3}", (&sol.throughput / &ub).to_f64()),
+            ]);
+            assert!(sol.throughput <= ub);
+        }
+    }
+    print_table(&["seed", "DAG", "rho (LP)", "compute bound", "rho/bound"], &rows);
+    println!("shape: rho never exceeds the aggregate-compute bound; communication-heavy DAGs sit further below it.");
+}
+
+/// Divisible-load scheduling (paper ref \[8\], §6): single-round DLT on a
+/// star vs the steady-state fluid rate.
+pub fn divisible() {
+    banner("divisible", "ref [8] — divisible load: single-round DLT vs steady-state rate");
+    let mut rng = StdRng::seed_from_u64(88);
+    let params = topo::ParamRange { w_range: (1, 6), c_range: (1, 4), max_denominator: 1 };
+    let (g, m) = topo::star(&mut rng, 7, &params);
+    let plan = ss_core::divisible::single_round_bandwidth_order(&g, m).expect("DLT plan");
+    plan.check(&g, m).expect("valid plan");
+    let rate = ss_core::divisible::steady_state_rate(&g, m).expect("SSMS rate");
+    println!(
+        "star with {} workers; single-round unit makespan = {} (~{:.4}); steady-state rate = {} (fluid unit time {:.4})",
+        g.num_nodes() - 1,
+        plan.unit_makespan,
+        plan.unit_makespan.to_f64(),
+        rate,
+        rate.recip().to_f64()
+    );
+    let mut rows = Vec::new();
+    for (i, share) in &plan.shares {
+        rows.push(vec![
+            g.node(*i).name.to_string(),
+            g.cost_between(m, *i).unwrap().to_string(),
+            g.node(*i).w.to_string(),
+            share.to_string(),
+        ]);
+    }
+    rows.push(vec!["master".into(), "-".into(), g.node(m).w.to_string(), plan.master_share.to_string()]);
+    print_table(&["node", "c", "w", "load share"], &rows);
+    let overhead = &plan.unit_makespan * &rate;
+    println!(
+        "single-round time / steady-state fluid bound = {} (~{:.3}) — the single round leaves late\n\
+         workers idle while early chunks ship; multi-round steady-state pipelines it away (§5.2, ref [8]).",
+        overhead,
+        overhead.to_f64()
+    );
+}
+
+/// Steady-state completion time for n tasks: simulate periods until the
+/// cumulative count reaches n (whole periods; conservative for small n).
+fn steady_time_for_n(
+    g: &ss_platform::Platform,
+    m: ss_platform::NodeId,
+    sched: &ss_schedule::PeriodicSchedule,
+    n: u64,
+) -> Ratio {
+    let per_u = sched.work_per_period().to_u64().unwrap_or(1).max(1);
+    let max_periods = (n / per_u + g.num_nodes() as u64 + 4) as usize;
+    let run = simulate_master_slave(g, m, sched, max_periods);
+    let mut acc = BigInt::zero();
+    for (i, done) in run.per_period.iter().enumerate() {
+        acc += done;
+        if acc >= BigInt::from(n) {
+            return Ratio::from(&sched.period * &BigInt::from(i as u64 + 1));
+        }
+    }
+    Ratio::from(&sched.period * &BigInt::from(max_periods as u64))
+}
+
+/// The "dual-rail" platform: a master feeding three workers through two
+/// parallel relay rails. The cheapest route for every worker goes through
+/// rail A, so single-route heuristics (HEFT's shortest-path tree, any
+/// tree-based protocol) funnel all traffic through it and saturate at 1
+/// task/unit — while the LP also uses rail B and sustains 3/2.
+fn dual_rail() -> (ss_platform::Platform, ss_platform::NodeId) {
+    use ss_platform::{Platform, Weight};
+    let mut g = Platform::new();
+    // A pure distributor master keeps the LP denominators (and hence the
+    // period) small, which keeps the whole-period time accounting fair at
+    // small n.
+    let m = g.add_node("m", Weight::Infinite);
+    let ra = g.add_node("railA", Weight::Infinite);
+    let rb = g.add_node("railB", Weight::Infinite);
+    g.add_edge(m, ra, Ratio::new(1, 2)).unwrap();
+    g.add_edge(m, rb, Ratio::one()).unwrap();
+    for i in 0..3 {
+        let w = g.add_node(format!("w{i}"), Weight::from_int(1));
+        g.add_edge(ra, w, Ratio::one()).unwrap();
+        g.add_edge(rb, w, Ratio::one()).unwrap();
+    }
+    (g, m)
+}
+
+/// §1: why steady state — two comparisons, normalized to the LP lower
+/// bound `n / ntask` (lower is better, 1.0 is unbeatable).
+///
+/// (a) A heterogeneous star: naive online policies (FIFO) plateau above
+///     the bound; the informed bandwidth-centric order approaches it — as
+///     paper ref \[11\] proves for trees. On trees, steady state's edge is
+///     provability, not a large constant.
+/// (b) A general multipath graph: every single-route heuristic (HEFT's
+///     shortest-path tree) structurally caps below the LP rate; only the
+///     steady-state schedule, which routes across both rails, converges
+///     to 1 — the regime the paper's "why" is really about.
+pub fn why() {
+    banner("why", "§1 — makespan/online heuristics vs steady-state");
+
+    // ---- (a) heterogeneous star (tree: all baselines apply) ----
+    let mut rng = StdRng::seed_from_u64(2004);
+    let params = topo::ParamRange { w_range: (1, 8), c_range: (1, 4), max_denominator: 1 };
+    let (g, m) = topo::star(&mut rng, 6, &params);
+    let sol = master_slave::solve(&g, m).expect("solves");
+    let sched = reconstruct_master_slave(&g, &sol);
+    println!(
+        "(a) heterogeneous star: p = {}, ntask = {} (~{:.4}), T = {}",
+        g.num_nodes(),
+        sol.ntask,
+        sol.ntask.to_f64(),
+        sched.period
+    );
+    let mut rows = Vec::new();
+    for n in [20u64, 100, 500, 2000] {
+        let lb = &Ratio::from(n) / &sol.ntask;
+        let norm = |t: &Ratio| format!("{:.3}", (t / &lb).to_f64());
+        let t_ss = steady_time_for_n(&g, m, &sched, n);
+        let t_heft = heft_batch(&g, m, n).makespan;
+        let t_fifo = simulate_tree_greedy(&g, m, n, ServiceOrder::Fifo).unwrap().makespan;
+        let t_bw = simulate_tree_greedy(&g, m, n, ServiceOrder::BandwidthCentric)
+            .unwrap()
+            .makespan;
+        rows.push(vec![n.to_string(), norm(&t_ss), norm(&t_heft), norm(&t_fifo), norm(&t_bw)]);
+    }
+    print_table(&["n", "steady-state", "HEFT", "greedy FIFO", "greedy BW-centric"], &rows);
+    println!(
+        "shape: FIFO wastes the master's port on slow links and plateaus above 1; bandwidth-centric\n\
+         approaches 1 (ref [11] proves it optimal on trees); steady-state converges to 1 by construction."
+    );
+
+    // ---- (b) dual-rail multipath platform (general graph) ----
+    let (g2, m2) = dual_rail();
+    let sol2 = master_slave::solve(&g2, m2).expect("solves");
+    let sched2 = reconstruct_master_slave(&g2, &sol2);
+    println!(
+        "\n(b) dual-rail multipath platform: ntask = {} (~{:.4}) — single-route heuristics cap at ~1 task/unit",
+        sol2.ntask,
+        sol2.ntask.to_f64()
+    );
+    let mut rows = Vec::new();
+    for n in [20u64, 100, 500, 2000] {
+        let lb = &Ratio::from(n) / &sol2.ntask;
+        let norm = |t: &Ratio| format!("{:.3}", (t / &lb).to_f64());
+        let t_ss = steady_time_for_n(&g2, m2, &sched2, n);
+        let t_heft = heft_batch(&g2, m2, n).makespan;
+        rows.push(vec![n.to_string(), norm(&t_ss), norm(&t_heft)]);
+    }
+    print_table(&["n", "steady-state", "HEFT (single-route)"], &rows);
+    println!(
+        "shape: steady-state -> 1; HEFT plateaus near ntask/1 = {:.2} because its shortest-path tree\n\
+         cannot split traffic across rails — the multipath/contention regime where only the LP view wins.",
+        sol2.ntask.to_f64()
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerate the paper's figures and experiments.
+//!
+//! ```sh
+//! cargo run --release -p ss-bench --bin repro -- list
+//! cargo run --release -p ss-bench --bin repro -- fig1 fig3
+//! cargo run --release -p ss-bench --bin repro -- all
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = ss_bench::registry();
+
+    if args.is_empty() || args.iter().any(|a| a == "list" || a == "--help" || a == "-h") {
+        println!("usage: repro <experiment-id>... | all | list\n\navailable experiments:");
+        for (id, _) in &registry {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let run_all = args.iter().any(|a| a == "all");
+    let mut ran = 0;
+    for (id, f) in &registry {
+        if run_all || args.iter().any(|a| a == id) {
+            f();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no matching experiment; try `repro list`");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,100 @@
+//! §3.2 / §4.2 / §4.3 collective-operation experiments.
+
+use crate::table::{banner, print_table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ss_baselines::collectives::{bfs_tree_broadcast_rate, flat_tree_scatter_rate};
+use ss_core::multicast::EdgeCoupling;
+use ss_core::{all_to_all, broadcast as bc, multicast, reduce, scatter as sc};
+use ss_num::Ratio;
+use ss_platform::topo;
+use ss_schedule::reconstruct_collective;
+use ss_sim::simulate_collective;
+
+/// §3.2: pipelined scatter — LP optimum vs the fixed flat tree, with
+/// reconstruction and execution.
+pub fn scatter() {
+    banner("scatter", "§3.2 — pipelined scatter: steady-state LP vs flat tree");
+    let mut rows = Vec::new();
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let p = 6 + (seed as usize % 3) * 2;
+        let (g, src) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let targets = topo::pick_targets(&mut rng, &g, src, 3);
+        let sol = sc::solve(&g, src, &targets).expect("SSPS solves");
+        let flat = flat_tree_scatter_rate(&g, src, &targets).expect("reachable");
+        let sched = reconstruct_collective(&g, &sol).expect("reconstructs");
+        sched.check(&g).expect("valid");
+        let run = simulate_collective(&g, src, &targets, &sol.flows, &sched, 30);
+        let gain = &sol.throughput / &flat;
+        rows.push(vec![
+            seed.to_string(),
+            p.to_string(),
+            sol.throughput.to_string(),
+            flat.to_string(),
+            format!("{:.3}", gain.to_f64()),
+            (run.per_period.last().unwrap() == &run.plan_per_period).to_string(),
+        ]);
+    }
+    print_table(&["seed", "p", "LP TP", "flat tree", "gain", "sim==LP"], &rows);
+    println!("shape: the LP (multi-path, contention-aware) never loses to the fixed tree; gains grow with heterogeneity.");
+}
+
+/// §4.3: broadcast — the max-LP bound is achievable (ref \[5\]); fixed BFS
+/// trees and per-copy scatters undershoot it.
+pub fn broadcast() {
+    banner("broadcast", "§4.3 — pipelined broadcast: max-LP vs BFS tree vs per-copy scatter");
+    let mut rows = Vec::new();
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(8000 + seed);
+        let (g, src) = topo::random_connected(&mut rng, 6, 0.35, &topo::ParamRange::default());
+        let targets: Vec<_> = g.node_ids().filter(|&n| n != src).collect();
+        let lp = bc::solve(&g, src).expect("broadcast LP");
+        let tree = bfs_tree_broadcast_rate(&g, src).expect("reachable");
+        let per_copy = multicast::solve(&g, src, &targets, EdgeCoupling::Sum)
+            .expect("sum LP")
+            .throughput;
+        rows.push(vec![
+            seed.to_string(),
+            lp.throughput.to_string(),
+            tree.to_string(),
+            per_copy.to_string(),
+            format!("{:.3}", (&lp.throughput / &tree).to_f64()),
+        ]);
+        assert!(lp.throughput >= tree);
+        assert!(lp.throughput >= per_copy);
+    }
+    print_table(&["seed", "LP (max)", "BFS tree", "per-copy (sum)", "LP/tree"], &rows);
+    println!("shape: max-LP >= both baselines everywhere; recipients re-serving copies is where the gain comes from.");
+}
+
+/// §4.2: reduce (reverse-broadcast duality) and personalized all-to-all.
+pub fn reduce_a2a() {
+    banner("reduce-a2a", "§4.2 — reduce duality and personalized all-to-all");
+    let mut rows = Vec::new();
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(9000 + seed);
+        let (g, root) = topo::random_connected(&mut rng, 5, 0.4, &topo::ParamRange::default());
+        let red = reduce::solve(&g, root).expect("reduce");
+        let bc_rev = bc::solve(&g.reversed(), root).expect("broadcast on G^T");
+        let a2a = all_to_all::solve(&g).expect("all-to-all");
+        let scatter_all: Vec<_> = g.node_ids().filter(|&n| n != root).collect();
+        let scat = sc::solve(&g, root, &scatter_all).expect("scatter");
+        rows.push(vec![
+            seed.to_string(),
+            red.throughput.to_string(),
+            bc_rev.throughput.to_string(),
+            (red.throughput == bc_rev.throughput).to_string(),
+            scat.throughput.to_string(),
+            a2a.throughput.to_string(),
+        ]);
+        assert_eq!(red.throughput, bc_rev.throughput);
+        assert!(a2a.throughput <= scat.throughput);
+    }
+    print_table(
+        &["seed", "reduce TP", "bcast(G^T) TP", "dual ==", "scatter TP", "a2a TP"],
+        &rows,
+    );
+    println!("shape: reduce == broadcast on the transposed graph, exactly; all-to-all <= scatter (it carries p(p-1) streams).");
+    let _ = Ratio::one(); // keep Ratio in scope for future extensions
+}

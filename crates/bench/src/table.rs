@@ -1,0 +1,32 @@
+//! Minimal aligned-table printing for experiment output.
+
+/// Print an aligned table with a header row and a separator.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("| {} |", line.join(" | "));
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Section banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== [{id}] {title}");
+}

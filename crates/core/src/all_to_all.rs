@@ -1,0 +1,266 @@
+//! Personalized all-to-all (§4.2).
+//!
+//! Every node `s` holds a distinct message for every other node `t`; all
+//! `p(p-1)` streams run at a common rate `TP`. Message types are ordered
+//! pairs `(s, t)`; flows obey net-conservation with emission `+TP` at `s`
+//! and absorption `-TP` at `t`. Distinct messages add on links (sum
+//! coupling), and the usual one-port constraints apply.
+
+use crate::error::CoreError;
+use crate::master_slave::PortModel;
+use ss_lp::{Cmp, LinExpr, Problem, Sense, Var};
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+
+/// Exact solution of the personalized all-to-all LP.
+#[derive(Clone, Debug)]
+pub struct AllToAllSolution {
+    /// Common per-pair delivered rate.
+    pub throughput: Ratio,
+    /// `flows[pair][e]` with `pair` indexing [`AllToAllSolution::pairs`].
+    pub flows: Vec<Vec<Ratio>>,
+    /// `(source, target)` order of the flow index.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Busy-time fraction per edge.
+    pub edge_time: Vec<Ratio>,
+}
+
+impl AllToAllSolution {
+    /// Verify conservation/emission/absorption and port capacities exactly.
+    pub fn check(&self, g: &Platform, model: &PortModel) -> Result<(), String> {
+        for (pi, &(s, t)) in self.pairs.iter().enumerate() {
+            for i in g.node_ids() {
+                let inflow: Ratio = g.in_edges(i).map(|e| self.flows[pi][e.id.index()].clone()).sum();
+                let outflow: Ratio = g.out_edges(i).map(|e| self.flows[pi][e.id.index()].clone()).sum();
+                let net = &outflow - &inflow;
+                let want = if i == s {
+                    self.throughput.clone()
+                } else if i == t {
+                    -self.throughput.clone()
+                } else {
+                    Ratio::zero()
+                };
+                if net != want {
+                    return Err(format!(
+                        "pair ({},{}) net flow at {} is {}, want {}",
+                        g.node(s).name,
+                        g.node(t).name,
+                        g.node(i).name,
+                        net,
+                        want
+                    ));
+                }
+            }
+        }
+        for e in g.edges() {
+            let total: Ratio = self.flows.iter().map(|f| &f[e.id.index()] * e.c).sum();
+            if total != self.edge_time[e.id.index()] {
+                return Err(format!("edge {} time mismatch", e.id.index()));
+            }
+        }
+        for i in g.node_ids() {
+            let out: Ratio = g.out_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
+            let inn: Ratio = g.in_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
+            let ok = match model {
+                PortModel::FullOverlapOnePort => out <= Ratio::one() && inn <= Ratio::one(),
+                PortModel::SendOrReceive => &out + &inn <= Ratio::one(),
+                PortModel::Multiport { send_cards, recv_cards } => {
+                    let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
+                    let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
+                    out <= Ratio::from_int(ks) && inn <= Ratio::from_int(kr)
+                }
+            };
+            if !ok {
+                return Err(format!("port violated at {}", g.node(i).name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solve the personalized all-to-all LP (one-port full-overlap model).
+pub fn solve(g: &Platform) -> Result<AllToAllSolution, CoreError> {
+    solve_with_model(g, &PortModel::FullOverlapOnePort)
+}
+
+/// Solve with an explicit port model.
+pub fn solve_with_model(g: &Platform, model: &PortModel) -> Result<AllToAllSolution, CoreError> {
+    let p_nodes = g.num_nodes();
+    if p_nodes < 2 {
+        return Err(CoreError::Invalid("all-to-all needs at least two nodes".into()));
+    }
+    let mut p = Problem::new(Sense::Maximize);
+    let tp = p.add_var("TP");
+    p.set_objective_coeff(tp, Ratio::one());
+
+    let pairs: Vec<(NodeId, NodeId)> = g
+        .node_ids()
+        .flat_map(|s| g.node_ids().filter(move |&t| t != s).map(move |t| (s, t)))
+        .collect();
+    let flow: Vec<Vec<Var>> = pairs
+        .iter()
+        .map(|&(s, t)| {
+            g.edges()
+                .map(|e| p.add_var(format!("f_{}_{}_{}", s.index(), t.index(), e.id.index())))
+                .collect()
+        })
+        .collect();
+
+    // Net conservation with emission/absorption.
+    for (pi, &(s, t)) in pairs.iter().enumerate() {
+        for i in g.node_ids() {
+            let mut expr = LinExpr::new();
+            for e in g.out_edges(i) {
+                expr.add(flow[pi][e.id.index()], Ratio::one());
+            }
+            for e in g.in_edges(i) {
+                expr.add(flow[pi][e.id.index()], Ratio::from_int(-1));
+            }
+            if i == s {
+                expr.add(tp, Ratio::from_int(-1));
+            } else if i == t {
+                expr.add(tp, Ratio::one());
+            }
+            if !expr.terms().is_empty() {
+                p.add_expr_constraint(
+                    format!("net_{}_{}_{}", s.index(), t.index(), i.index()),
+                    expr,
+                    Cmp::Eq,
+                    Ratio::zero(),
+                );
+            }
+        }
+    }
+
+    // Port constraints over summed busy time.
+    for i in g.node_ids() {
+        let mut out = LinExpr::new();
+        for e in g.out_edges(i) {
+            for f in &flow {
+                out.add(f[e.id.index()], e.c.clone());
+            }
+        }
+        let mut inn = LinExpr::new();
+        for e in g.in_edges(i) {
+            for f in &flow {
+                inn.add(f[e.id.index()], e.c.clone());
+            }
+        }
+        match model {
+            PortModel::FullOverlapOnePort => {
+                if !out.terms().is_empty() {
+                    p.add_expr_constraint(format!("outport_{}", i.index()), out, Cmp::Le, Ratio::one());
+                }
+                if !inn.terms().is_empty() {
+                    p.add_expr_constraint(format!("inport_{}", i.index()), inn, Cmp::Le, Ratio::one());
+                }
+            }
+            PortModel::SendOrReceive => {
+                for (v, c) in inn.terms() {
+                    out.add(*v, c.clone());
+                }
+                if !out.terms().is_empty() {
+                    p.add_expr_constraint(format!("port_{}", i.index()), out, Cmp::Le, Ratio::one());
+                }
+            }
+            PortModel::Multiport { send_cards, recv_cards } => {
+                let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
+                let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
+                if !out.terms().is_empty() {
+                    p.add_expr_constraint(format!("outport_{}", i.index()), out, Cmp::Le, Ratio::from_int(ks));
+                }
+                if !inn.terms().is_empty() {
+                    p.add_expr_constraint(format!("inport_{}", i.index()), inn, Cmp::Le, Ratio::from_int(kr));
+                }
+            }
+        }
+    }
+
+    let sol = p.solve_exact()?;
+    let flows: Vec<Vec<Ratio>> = flow
+        .iter()
+        .map(|fp| fp.iter().map(|&v| sol.value(v).clone()).collect())
+        .collect();
+    let edge_time: Vec<Ratio> = g
+        .edges()
+        .map(|e| {
+            let total: Ratio = flows.iter().map(|f| f[e.id.index()].clone()).sum();
+            &total * e.c
+        })
+        .collect();
+    Ok(AllToAllSolution { throughput: sol.objective().clone(), flows, pairs, edge_time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_platform::Weight;
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    /// Two nodes with a duplex link: each direction carries one stream.
+    #[test]
+    fn two_nodes() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_duplex_edge(a, b, ri(1)).unwrap();
+        let sol = solve(&g).unwrap();
+        assert_eq!(sol.throughput, ri(1));
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// Ring of three: each node emits two streams and receives two; ports
+    /// bound TP by 1/2 when each stream takes its one-hop route... the LP
+    /// may route two-hop as well; assert the exact optimum.
+    #[test]
+    fn triangle_ring() {
+        let mut g = Platform::new();
+        let ids: Vec<_> = (0..3).map(|i| g.add_node(format!("P{i}"), Weight::from_int(1))).collect();
+        for i in 0..3 {
+            g.add_duplex_edge(ids[i], ids[(i + 1) % 3], ri(1)).unwrap();
+        }
+        let sol = solve(&g).unwrap();
+        // Each node's out-port serves its 2 own streams (1 hop each) at
+        // minimum cost: busy 2*TP; relayed traffic only adds. TP <= 1/2 and
+        // the one-hop routing achieves it.
+        assert_eq!(sol.throughput, Ratio::new(1, 2));
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// Star through a router: the router's ports carry everything.
+    #[test]
+    fn router_star_bottleneck() {
+        let mut g = Platform::new();
+        let r = g.add_node("r", Weight::Infinite);
+        let ids: Vec<_> = (0..3).map(|i| g.add_node(format!("P{i}"), Weight::from_int(1))).collect();
+        for &n in &ids {
+            g.add_duplex_edge(r, n, ri(1)).unwrap();
+        }
+        let sol = solve(&g).unwrap();
+        // All 6 pair-streams transit the router (and the router itself has
+        // no messages): its in-port carries 6 TP <= 1 => TP <= 1/6...
+        // but pairs not involving the router: all 6 pairs among P0..P2
+        // cross r. Also r as source/target: r holds messages too (it is a
+        // node). Pairs = 4*3 = 12. Streams through r's out-port: all pairs
+        // with target != r and source != target... Let the LP decide; just
+        // verify exact invariants and positivity.
+        assert!(sol.throughput.is_positive());
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// Send-or-receive halves (or worse) the full-overlap throughput.
+    #[test]
+    fn send_or_receive_dominated() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_duplex_edge(a, b, ri(1)).unwrap();
+        let full = solve(&g).unwrap();
+        let half = solve_with_model(&g, &PortModel::SendOrReceive).unwrap();
+        assert!(half.throughput <= full.throughput);
+        assert_eq!(half.throughput, Ratio::new(1, 2));
+    }
+}

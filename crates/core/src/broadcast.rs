@@ -1,0 +1,108 @@
+//! Pipelined broadcast (§4.3).
+//!
+//! Broadcast = multicast whose target set is *every* other node. Contrary
+//! to general multicast, the max-coupled LP bound **is achievable** for
+//! broadcast (paper ref \[5\]): intuitively, since every intermediate node
+//! participates in the result, it never matters which copies travel which
+//! path — "in the end, everybody has the full information". We therefore
+//! expose the max-coupled LP as *the* broadcast throughput.
+
+use crate::error::CoreError;
+use crate::master_slave::PortModel;
+use crate::multicast::{self, EdgeCoupling};
+use crate::scatter::CollectiveSolution;
+use ss_platform::{NodeId, Platform};
+
+/// Optimal steady-state broadcast throughput bound (max-coupled LP over all
+/// non-source nodes), achievable per paper ref \[5\].
+pub fn solve(g: &Platform, source: NodeId) -> Result<CollectiveSolution, CoreError> {
+    let targets: Vec<NodeId> = g.node_ids().filter(|&n| n != source).collect();
+    multicast::solve(g, source, &targets, EdgeCoupling::Max)
+}
+
+/// Broadcast with an explicit port model.
+pub fn solve_with_model(
+    g: &Platform,
+    source: NodeId,
+    model: &PortModel,
+) -> Result<CollectiveSolution, CoreError> {
+    let targets: Vec<NodeId> = g.node_ids().filter(|&n| n != source).collect();
+    multicast::solve_with_model(g, source, &targets, EdgeCoupling::Max, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_num::Ratio;
+    use ss_platform::{topo, Weight};
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    /// Chain broadcast pipelines at the speed of the slowest link.
+    #[test]
+    fn chain_pipelines() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        g.add_edge(a, b, ri(1)).unwrap();
+        g.add_edge(b, c, ri(2)).unwrap();
+        let sol = solve(&g, a).unwrap();
+        // b relays everything to c over the c=2 link: TP = 1/2.
+        assert_eq!(sol.throughput, Ratio::new(1, 2));
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// Star broadcast: the source out-port sends one distinct copy per
+    /// child — no sharing possible, TP = 1 / (number of children).
+    #[test]
+    fn star_pays_per_child() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        for i in 0..3 {
+            let w = g.add_node(format!("w{i}"), Weight::from_int(1));
+            g.add_edge(s, w, ri(1)).unwrap();
+        }
+        let sol = solve(&g, s).unwrap();
+        assert_eq!(sol.throughput, Ratio::new(1, 3));
+    }
+
+    /// Adding worker-to-worker links lets recipients re-serve the message,
+    /// beating the star bound — the classic steady-state broadcast gain.
+    #[test]
+    fn peer_links_increase_throughput() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let w0 = g.add_node("w0", Weight::from_int(1));
+        let w1 = g.add_node("w1", Weight::from_int(1));
+        let w2 = g.add_node("w2", Weight::from_int(1));
+        for &w in &[w0, w1, w2] {
+            g.add_edge(s, w, ri(1)).unwrap();
+        }
+        // Ring among the workers.
+        g.add_edge(w0, w1, ri(1)).unwrap();
+        g.add_edge(w1, w2, ri(1)).unwrap();
+        g.add_edge(w2, w0, ri(1)).unwrap();
+        let sol = solve(&g, s).unwrap();
+        assert!(sol.throughput > Ratio::new(1, 3), "got {}", sol.throughput);
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// Broadcast bound dominates the multicast max bound restricted to a
+    /// subset (more targets can only constrain further).
+    #[test]
+    fn broadcast_vs_subset_multicast() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(21 + seed);
+            let (g, root) = topo::random_connected(&mut rng, 5, 0.4, &topo::ParamRange::default());
+            let all = solve(&g, root).unwrap();
+            let some_targets = topo::pick_targets(&mut rng, &g, root, 2);
+            let sub = multicast::solve(&g, root, &some_targets, EdgeCoupling::Max).unwrap();
+            assert!(all.throughput <= sub.throughput);
+        }
+    }
+}

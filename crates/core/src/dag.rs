@@ -1,0 +1,498 @@
+//! Collections of identical task graphs (§4.2's mixed data/task
+//! parallelism extension; paper refs \[4, 6\]).
+//!
+//! A large number of *independent instances* of the same DAG must be
+//! executed: no dependences across instances, the usual precedence edges
+//! within one. Steady state assigns each task type a consumption rate per
+//! processor and each dependency a data flow per link:
+//!
+//! ```text
+//! maximize ρ
+//! s.t.  Σ_i cons(t,i) = ρ                                   (∀ task types t)
+//!       Σ_t cons(t,i) · work(t) · w_i ≤ 1                   (compute, ∀i)
+//!       cons(t,i) + Σ_j flow(d,j,i) = cons(t',i) + Σ_j flow(d,i,j)
+//!                                                  (∀ deps d = t→t', ∀i)
+//!       Σ_j Σ_d flow(d,i,j) · data(d) · c_ij ≤ 1            (out-port, ∀i)
+//!       Σ_j Σ_d flow(d,j,i) · data(d) · c_ji ≤ 1            (in-port, ∀i)
+//! ```
+//!
+//! For DAGs whose instances decompose along polynomially many simple paths
+//! (trees, forks, joins, diamonds — everything the paper's extension
+//! covers) the LP value is the optimal steady-state throughput; for
+//! arbitrary DAGs it remains an upper bound, and the paper's conclusion
+//! conjectures that computing the true optimum is NP-hard (the open
+//! problem stated in §6). Tasks may optionally be *pinned* to a processor,
+//! which is how "input data lives at the master" is expressed.
+
+use crate::error::CoreError;
+use ss_lp::{Cmp, LinExpr, Problem, Sense, Var};
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+
+/// Index of a task type in a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TaskId(pub usize);
+
+/// A dependency edge between task types, carrying `data` units.
+#[derive(Clone, Debug)]
+pub struct Dep {
+    /// Producer task.
+    pub src: TaskId,
+    /// Consumer task.
+    pub dst: TaskId,
+    /// Data units shipped per instance (0 = pure precedence).
+    pub data: Ratio,
+}
+
+/// An application DAG whose instances are executed in bulk.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    names: Vec<String>,
+    work: Vec<Ratio>,
+    pin: Vec<Option<NodeId>>,
+    deps: Vec<Dep>,
+}
+
+impl TaskGraph {
+    /// Empty task graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// Add a task type with `work` computation units per instance.
+    pub fn add_task(&mut self, name: impl Into<String>, work: Ratio) -> TaskId {
+        assert!(!work.is_negative(), "negative work");
+        self.names.push(name.into());
+        self.work.push(work);
+        self.pin.push(None);
+        TaskId(self.names.len() - 1)
+    }
+
+    /// Restrict a task type to one processor (e.g. the input task to the
+    /// data repository).
+    pub fn pin_task(&mut self, t: TaskId, node: NodeId) {
+        self.pin[t.0] = Some(node);
+    }
+
+    /// Add a dependency `src -> dst` shipping `data` units per instance.
+    pub fn add_dep(&mut self, src: TaskId, dst: TaskId, data: Ratio) {
+        assert!(!data.is_negative(), "negative data");
+        assert!(src != dst, "self-dependency");
+        self.deps.push(Dep { src, dst, data });
+    }
+
+    /// Number of task types.
+    pub fn num_tasks(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn num_deps(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Task name.
+    pub fn task_name(&self, t: TaskId) -> &str {
+        &self.names[t.0]
+    }
+
+    /// Work of a task type.
+    pub fn task_work(&self, t: TaskId) -> &Ratio {
+        &self.work[t.0]
+    }
+
+    /// The dependency list.
+    pub fn deps(&self) -> &[Dep] {
+        &self.deps
+    }
+
+    /// `true` iff the dependency relation is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.names.len();
+        let mut indeg = vec![0usize; n];
+        for d in &self.deps {
+            indeg[d.dst.0] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for d in &self.deps {
+                if d.src.0 == u {
+                    indeg[d.dst.0] -= 1;
+                    if indeg[d.dst.0] == 0 {
+                        stack.push(d.dst.0);
+                    }
+                }
+            }
+        }
+        seen == n
+    }
+
+    // ---------------- prebuilt shapes used by the experiments -------------
+
+    /// Linear chain `t0 -> t1 -> ... -> t_{n-1}`, unit work and data.
+    pub fn chain(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_task(format!("t{i}"), Ratio::one())).collect();
+        for w in ids.windows(2) {
+            g.add_dep(w[0], w[1], Ratio::one());
+        }
+        g
+    }
+
+    /// Fork-join: `src -> w_0..w_{k-1} -> sink`, unit work and data.
+    pub fn fork_join(width: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let src = g.add_task("src", Ratio::one());
+        let sink = g.add_task("sink", Ratio::one());
+        for i in 0..width {
+            let w = g.add_task(format!("w{i}"), Ratio::one());
+            g.add_dep(src, w, Ratio::one());
+            g.add_dep(w, sink, Ratio::one());
+        }
+        g
+    }
+
+    /// Diamond: `a -> {b, c} -> d`.
+    pub fn diamond() -> TaskGraph {
+        TaskGraph::fork_join(2)
+    }
+}
+
+/// Exact solution of the DAG-collection LP.
+#[derive(Clone, Debug)]
+pub struct DagSolution {
+    /// Instances completed per time unit.
+    pub throughput: Ratio,
+    /// `cons[t][i]`: instances of task `t` executed on node `i` per unit.
+    pub cons: Vec<Vec<Ratio>>,
+    /// `flows[d][e]`: instances of dep `d` shipped over edge `e` per unit.
+    pub flows: Vec<Vec<Ratio>>,
+}
+
+impl DagSolution {
+    /// Verify rates, compute loads, port loads and conservation exactly.
+    #[allow(clippy::needless_range_loop)] // `t` indexes `cons` and the task graph in parallel
+    pub fn check(&self, g: &Platform, dag: &TaskGraph) -> Result<(), String> {
+        for t in 0..dag.num_tasks() {
+            let total: Ratio = self.cons[t].iter().sum();
+            if total != self.throughput {
+                return Err(format!("task {} rate {} != ρ {}", dag.task_name(TaskId(t)), total, self.throughput));
+            }
+        }
+        for i in g.node_ids() {
+            let mut load = Ratio::zero();
+            for t in 0..dag.num_tasks() {
+                if self.cons[t][i.index()].is_zero() {
+                    continue;
+                }
+                let w = g.node(i).w.as_ratio().ok_or_else(|| {
+                    format!("forwarding node {} executes tasks", g.node(i).name)
+                })?;
+                load += &self.cons[t][i.index()] * dag.task_work(TaskId(t)) * w;
+            }
+            if load > Ratio::one() {
+                return Err(format!("compute overload at {}: {}", g.node(i).name, load));
+            }
+            let out: Ratio = g
+                .out_edges(i)
+                .map(|e| -> Ratio {
+                    dag.deps()
+                        .iter()
+                        .enumerate()
+                        .map(|(di, d)| &self.flows[di][e.id.index()] * &d.data * e.c)
+                        .sum()
+                })
+                .sum();
+            if out > Ratio::one() {
+                return Err(format!("out-port overload at {}: {}", g.node(i).name, out));
+            }
+            let inn: Ratio = g
+                .in_edges(i)
+                .map(|e| -> Ratio {
+                    dag.deps()
+                        .iter()
+                        .enumerate()
+                        .map(|(di, d)| &self.flows[di][e.id.index()] * &d.data * e.c)
+                        .sum()
+                })
+                .sum();
+            if inn > Ratio::one() {
+                return Err(format!("in-port overload at {}: {}", g.node(i).name, inn));
+            }
+        }
+        for (di, d) in dag.deps().iter().enumerate() {
+            for i in g.node_ids() {
+                let produced = &self.cons[d.src.0][i.index()];
+                let consumed = &self.cons[d.dst.0][i.index()];
+                let inflow: Ratio = g.in_edges(i).map(|e| self.flows[di][e.id.index()].clone()).sum();
+                let outflow: Ratio = g.out_edges(i).map(|e| self.flows[di][e.id.index()].clone()).sum();
+                if (produced + &inflow) != (consumed + &outflow) {
+                    return Err(format!(
+                        "dep {} unbalanced at {}: {} + {} != {} + {}",
+                        di, g.node(i).name, produced, inflow, consumed, outflow
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solve the DAG-collection steady-state LP exactly.
+pub fn solve(g: &Platform, dag: &TaskGraph) -> Result<DagSolution, CoreError> {
+    if dag.num_tasks() == 0 {
+        return Err(CoreError::Invalid("empty task graph".into()));
+    }
+    if !dag.is_acyclic() {
+        return Err(CoreError::Invalid("task graph has a cycle".into()));
+    }
+    for t in 0..dag.num_tasks() {
+        if let Some(pin) = dag.pin[t] {
+            if pin.index() >= g.num_nodes() {
+                return Err(CoreError::Invalid("pin target out of range".into()));
+            }
+            if dag.work[t].is_positive() && !g.node(pin).w.is_finite() {
+                return Err(CoreError::Invalid(format!(
+                    "task {} pinned to forwarding-only node",
+                    dag.names[t]
+                )));
+            }
+        }
+    }
+
+    let mut p = Problem::new(Sense::Maximize);
+    let rho = p.add_var("rho");
+    p.set_objective_coeff(rho, Ratio::one());
+
+    // cons[t][i]; zero-work tasks may run on forwarders, positive-work may
+    // not; pins clamp everything else to zero.
+    let cons: Vec<Vec<Option<Var>>> = (0..dag.num_tasks())
+        .map(|t| {
+            g.nodes()
+                .map(|n| {
+                    let allowed = match dag.pin[t] {
+                        Some(pin) => pin == n.id,
+                        None => true,
+                    } && (n.w.is_finite() || dag.work[t].is_zero());
+                    allowed.then(|| p.add_var(format!("cons_{}_{}", dag.names[t], n.name)))
+                })
+                .collect()
+        })
+        .collect();
+    let flows: Vec<Vec<Var>> = (0..dag.num_deps())
+        .map(|d| {
+            g.edges()
+                .map(|e| p.add_var(format!("flow_{}_{}", d, e.id.index())))
+                .collect()
+        })
+        .collect();
+
+    // Rate coupling: every task type completes at rate rho.
+    for (t, cons_t) in cons.iter().enumerate() {
+        let mut expr = LinExpr::new();
+        for v in cons_t.iter().flatten() {
+            expr.add(*v, Ratio::one());
+        }
+        expr.add(rho, Ratio::from_int(-1));
+        p.add_expr_constraint(format!("rate_{}", dag.names[t]), expr, Cmp::Eq, Ratio::zero());
+    }
+
+    // Compute capacity.
+    for i in g.node_ids() {
+        let Some(w) = g.node(i).w.as_ratio().cloned() else { continue };
+        let mut expr = LinExpr::new();
+        for (t, cons_t) in cons.iter().enumerate() {
+            if let Some(v) = cons_t[i.index()] {
+                let coef = &dag.work[t] * &w;
+                if !coef.is_zero() {
+                    expr.add(v, coef);
+                }
+            }
+        }
+        if !expr.terms().is_empty() {
+            p.add_expr_constraint(format!("compute_{}", g.node(i).name), expr, Cmp::Le, Ratio::one());
+        }
+    }
+
+    // Ports.
+    for i in g.node_ids() {
+        let mut out = LinExpr::new();
+        for e in g.out_edges(i) {
+            for (di, d) in dag.deps().iter().enumerate() {
+                let coef = &d.data * e.c;
+                if !coef.is_zero() {
+                    out.add(flows[di][e.id.index()], coef);
+                }
+            }
+        }
+        if !out.terms().is_empty() {
+            p.add_expr_constraint(format!("outport_{}", g.node(i).name), out, Cmp::Le, Ratio::one());
+        }
+        let mut inn = LinExpr::new();
+        for e in g.in_edges(i) {
+            for (di, d) in dag.deps().iter().enumerate() {
+                let coef = &d.data * e.c;
+                if !coef.is_zero() {
+                    inn.add(flows[di][e.id.index()], coef);
+                }
+            }
+        }
+        if !inn.terms().is_empty() {
+            p.add_expr_constraint(format!("inport_{}", g.node(i).name), inn, Cmp::Le, Ratio::one());
+        }
+    }
+
+    // Per-dependency conservation.
+    for (di, d) in dag.deps().iter().enumerate() {
+        for i in g.node_ids() {
+            let mut expr = LinExpr::new();
+            if let Some(v) = cons[d.src.0][i.index()] {
+                expr.add(v, Ratio::one());
+            }
+            for e in g.in_edges(i) {
+                expr.add(flows[di][e.id.index()], Ratio::one());
+            }
+            if let Some(v) = cons[d.dst.0][i.index()] {
+                expr.add(v, Ratio::from_int(-1));
+            }
+            for e in g.out_edges(i) {
+                expr.add(flows[di][e.id.index()], Ratio::from_int(-1));
+            }
+            if !expr.terms().is_empty() {
+                p.add_expr_constraint(
+                    format!("dep{}_{}", di, g.node(i).name),
+                    expr,
+                    Cmp::Eq,
+                    Ratio::zero(),
+                );
+            }
+        }
+    }
+
+    let sol = p.solve_exact()?;
+    Ok(DagSolution {
+        throughput: sol.objective().clone(),
+        cons: cons
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|v| v.map(|v| sol.value(v).clone()).unwrap_or_else(Ratio::zero))
+                    .collect()
+            })
+            .collect(),
+        flows: flows
+            .iter()
+            .map(|row| row.iter().map(|&v| sol.value(v).clone()).collect())
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master_slave;
+    use ss_platform::{topo, Weight};
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    #[test]
+    fn shapes_are_acyclic() {
+        assert!(TaskGraph::chain(5).is_acyclic());
+        assert!(TaskGraph::fork_join(4).is_acyclic());
+        assert!(TaskGraph::diamond().is_acyclic());
+        let mut cyc = TaskGraph::new();
+        let a = cyc.add_task("a", Ratio::one());
+        let b = cyc.add_task("b", Ratio::one());
+        cyc.add_dep(a, b, Ratio::one());
+        cyc.add_dep(b, a, Ratio::one());
+        assert!(!cyc.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut cyc = TaskGraph::new();
+        let a = cyc.add_task("a", Ratio::one());
+        let b = cyc.add_task("b", Ratio::one());
+        cyc.add_dep(a, b, Ratio::one());
+        cyc.add_dep(b, a, Ratio::one());
+        let mut g = Platform::new();
+        g.add_node("m", Weight::from_int(1));
+        assert!(matches!(solve(&g, &cyc), Err(CoreError::Invalid(_))));
+    }
+
+    /// Single unit task = master–slave with the input pinned to the master:
+    /// the DAG LP must reproduce the SSMS throughput exactly.
+    #[test]
+    fn reduces_to_master_slave() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, master) = topo::random_tree(&mut rng, 5, &topo::ParamRange::default());
+
+        let mut dag = TaskGraph::new();
+        let input = dag.add_task("input", Ratio::zero());
+        let compute = dag.add_task("compute", Ratio::one());
+        dag.pin_task(input, master);
+        dag.add_dep(input, compute, Ratio::one());
+
+        let dsol = solve(&g, &dag).unwrap();
+        dsol.check(&g, &dag).unwrap();
+        let msol = master_slave::solve(&g, master).unwrap();
+        assert_eq!(dsol.throughput, msol.ntask);
+    }
+
+    /// Chain DAG on a single node: rate = 1 / total work.
+    #[test]
+    fn chain_on_one_node() {
+        let mut g = Platform::new();
+        g.add_node("m", Weight::from_int(2));
+        let dag = TaskGraph::chain(3); // 3 unit-work tasks, w = 2
+        let sol = solve(&g, &dag).unwrap();
+        assert_eq!(sol.throughput, Ratio::new(1, 6));
+        sol.check(&g, &dag).unwrap();
+    }
+
+    /// Fork-join across two workers: the communication-free split doubles
+    /// the middle stage.
+    #[test]
+    fn fork_join_two_workers() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_duplex_edge(a, b, Ratio::new(1, 10)).unwrap(); // fast link
+        let dag = TaskGraph::fork_join(2); // src + sink + 2 workers, all unit
+        let sol = solve(&g, &dag).unwrap();
+        sol.check(&g, &dag).unwrap();
+        // Total work 4 over total speed 2 => upper bound 1/2; comms are
+        // nearly free so the bound is approached. Exact optimum here: 1/2.
+        assert_eq!(sol.throughput, Ratio::new(1, 2));
+    }
+
+    /// Pinning forces data movement: input pinned at a node with a slow
+    /// link halves throughput vs unpinned.
+    #[test]
+    fn pinning_costs_bandwidth() {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(1000));
+        let w = g.add_node("w", Weight::from_int(1));
+        g.add_duplex_edge(m, w, ri(2)).unwrap();
+        let mut dag = TaskGraph::new();
+        let input = dag.add_task("input", Ratio::zero());
+        let t = dag.add_task("t", Ratio::one());
+        dag.add_dep(input, t, Ratio::one());
+        // Unpinned: input is free to originate at w — no comm needed.
+        let free = solve(&g, &dag).unwrap();
+        assert!(free.throughput >= Ratio::one());
+        // Pinned at m: every instance ships over the c=2 link: rate <= 1/2
+        // (plus m's own negligible compute).
+        dag.pin_task(input, m);
+        let pinned = solve(&g, &dag).unwrap();
+        assert!(pinned.throughput < free.throughput);
+        assert!(pinned.throughput >= Ratio::new(1, 2));
+        pinned.check(&g, &dag).unwrap();
+    }
+}

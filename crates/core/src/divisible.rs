@@ -1,0 +1,275 @@
+//! Divisible-load scheduling (paper ref \[8\]; listed among the steady-state
+//! successes in §6).
+//!
+//! A *divisible* load of `W` work units sits at the master: it can be cut
+//! into arbitrary rational chunks, shipped (one-port, `c_i` per unit) and
+//! processed (`w_i` per unit). Two classical strategies:
+//!
+//! * **Single-round DLT** on a star: the master sends each worker one
+//!   chunk, in sequence, sized so everyone finishes simultaneously. With a
+//!   fixed participation order the chunk sizes have a rational closed
+//!   form; the classical theorem says the optimal order serves workers by
+//!   **increasing link cost `c_i`** (bandwidth-centric — compute speeds
+//!   don't enter the ordering). Both the closed form and the theorem are
+//!   reproduced here (the theorem by brute-force checking on small
+//!   stars in the tests).
+//! * **Steady-state (multi-round)**: process the load at the SSMS LP rate
+//!   `ntask(G)`. For large `W` this dominates any single-round scheme —
+//!   it pipelines communication and computation instead of leaving late
+//!   workers idle during early sends — which is how ref \[8\] uses the
+//!   steady-state machinery of this paper.
+
+use crate::error::CoreError;
+use crate::master_slave;
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+
+/// A single-round divisible-load plan on a star.
+#[derive(Clone, Debug)]
+pub struct SingleRoundPlan {
+    /// Participating workers in service order, with their load fractions.
+    pub shares: Vec<(NodeId, Ratio)>,
+    /// The master's own fraction (0 if it cannot compute).
+    pub master_share: Ratio,
+    /// Makespan for a unit load (`W = 1`); scale linearly for other `W`.
+    pub unit_makespan: Ratio,
+}
+
+impl SingleRoundPlan {
+    /// Makespan for load `w`.
+    pub fn makespan(&self, w: &Ratio) -> Ratio {
+        &self.unit_makespan * w
+    }
+
+    /// Exact feasibility/consistency check: shares sum to 1, every
+    /// participant finishes exactly at the makespan, sends are sequential.
+    pub fn check(&self, g: &Platform, master: NodeId) -> Result<(), String> {
+        let total: Ratio = self
+            .shares
+            .iter()
+            .map(|(_, s)| s.clone())
+            .chain([self.master_share.clone()])
+            .sum();
+        if total != Ratio::one() {
+            return Err(format!("shares sum to {total}, not 1"));
+        }
+        if !self.master_share.is_zero() {
+            let wm = g
+                .node(master)
+                .w
+                .as_ratio()
+                .ok_or("master share positive but master cannot compute")?;
+            if (&self.master_share * wm) != self.unit_makespan {
+                return Err("master does not finish at the makespan".into());
+            }
+        }
+        let mut clock = Ratio::zero(); // master send-port frontier
+        for (i, share) in &self.shares {
+            if !share.is_positive() {
+                return Err("non-positive share".into());
+            }
+            let c = g
+                .cost_between(master, *i)
+                .ok_or_else(|| format!("no edge master -> {}", g.node(*i).name))?;
+            let w = g.node(*i).w.as_ratio().ok_or("worker cannot compute")?;
+            clock += &(share * c);
+            let finish = &clock + &(share * w);
+            if finish != self.unit_makespan {
+                return Err(format!(
+                    "worker {} finishes at {} != makespan {}",
+                    g.node(*i).name,
+                    finish,
+                    self.unit_makespan
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Closed-form single-round plan for a given participation `order`
+/// (workers must be out-neighbors of the master).
+///
+/// Solves the simultaneous-finish equations
+/// `T = Σ_{j ≤ i} β_j c_j + β_i w_i` (and `T = β_m w_m` for a computing
+/// master) exactly: every `β_i` is proportional to the makespan, so one
+/// normalization pass suffices. Workers whose coefficient would be
+/// non-positive are excluded (they cannot help in one round).
+pub fn single_round(g: &Platform, master: NodeId, order: &[NodeId]) -> Result<SingleRoundPlan, CoreError> {
+    // beta_i = a_i * t, with t = T (unit load) unknown.
+    let master_a = g
+        .node(master)
+        .w
+        .as_ratio()
+        .map(|w| w.recip())
+        .unwrap_or_else(Ratio::zero);
+    let mut a: Vec<(NodeId, Ratio)> = Vec::with_capacity(order.len());
+    let mut prefix = Ratio::zero(); // sum of a_j c_j over served workers
+    for &i in order {
+        if i == master {
+            return Err(CoreError::Invalid("master cannot appear in the worker order".into()));
+        }
+        let c = g
+            .cost_between(master, i)
+            .ok_or_else(|| CoreError::Invalid(format!("no edge to worker {}", g.node(i).name)))?
+            .clone();
+        let w = g
+            .node(i)
+            .w
+            .as_ratio()
+            .ok_or_else(|| CoreError::Invalid("worker cannot compute".into()))?
+            .clone();
+        let coef = &(&Ratio::one() - &prefix) / &(&w + &c);
+        if !coef.is_positive() {
+            continue; // saturated: later workers get nothing useful
+        }
+        prefix += &coef * &c;
+        a.push((i, coef));
+    }
+    let denom: Ratio = a.iter().map(|(_, ai)| ai.clone()).sum::<Ratio>() + master_a.clone();
+    if !denom.is_positive() {
+        return Err(CoreError::Invalid("nobody can compute".into()));
+    }
+    let t = denom.recip(); // unit makespan
+    Ok(SingleRoundPlan {
+        shares: a.into_iter().map(|(i, ai)| (i, &ai * &t)).collect(),
+        master_share: &master_a * &t,
+        unit_makespan: t,
+    })
+}
+
+/// Single-round plan with the classical optimal order: workers sorted by
+/// increasing link cost `c` (ties by id).
+pub fn single_round_bandwidth_order(g: &Platform, master: NodeId) -> Result<SingleRoundPlan, CoreError> {
+    let mut workers: Vec<NodeId> = g
+        .out_edges(master)
+        .filter(|e| g.node(e.dst).w.is_finite())
+        .map(|e| e.dst)
+        .collect();
+    workers.sort_by(|&x, &y| {
+        g.cost_between(master, x)
+            .unwrap()
+            .cmp(g.cost_between(master, y).unwrap())
+            .then(x.cmp(&y))
+    });
+    single_round(g, master, &workers)
+}
+
+/// The steady-state (multi-round) processing rate: SSMS on the same
+/// platform. `W / rate` lower-bounds any schedule's time, and the §4/§5.2
+/// machinery approaches it for large `W`.
+pub fn steady_state_rate(g: &Platform, master: NodeId) -> Result<Ratio, CoreError> {
+    Ok(master_slave::solve(g, master)?.ntask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_platform::{topo, Weight};
+
+    fn star(ws: &[(i64, i64)], wm: i64) -> (Platform, NodeId, Vec<NodeId>) {
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(wm));
+        let workers: Vec<NodeId> = ws
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, w))| {
+                let n = g.add_node(format!("w{i}"), Weight::from_int(w));
+                g.add_edge(m, n, Ratio::from_int(c)).unwrap();
+                n
+            })
+            .collect();
+        (g, m, workers)
+    }
+
+    #[test]
+    fn two_workers_closed_form() {
+        // Master w=1; workers (c=1, w=1) and (c=1, w=1).
+        let (g, m, ws) = star(&[(1, 1), (1, 1)], 1);
+        let plan = single_round(&g, m, &ws).unwrap();
+        plan.check(&g, m).unwrap();
+        // By symmetry of the equations: beta_1(w+c) = t, beta_2 = ... check
+        // the simultaneous-finish property via check(); makespan must beat
+        // master-alone (t=1) and lose to the fluid bound 1/3.
+        assert!(plan.unit_makespan < Ratio::one());
+        assert!(plan.unit_makespan > Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn bandwidth_order_is_optimal_small_stars() {
+        // Brute-force all participation orders; increasing-c must win.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        fn permutations(v: &[NodeId]) -> Vec<Vec<NodeId>> {
+            if v.len() <= 1 {
+                return vec![v.to_vec()];
+            }
+            let mut out = Vec::new();
+            for (i, &x) in v.iter().enumerate() {
+                let rest: Vec<NodeId> = v
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &y)| y)
+                    .collect();
+                for mut p in permutations(&rest) {
+                    p.insert(0, x);
+                    out.push(p);
+                }
+            }
+            out
+        }
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let params = topo::ParamRange { w_range: (1, 6), c_range: (1, 5), max_denominator: 1 };
+            let (g, m) = topo::star(&mut rng, 5, &params);
+            let workers: Vec<NodeId> = g.out_edges(m).map(|e| e.dst).collect();
+            let best_bw = single_round_bandwidth_order(&g, m).unwrap();
+            best_bw.check(&g, m).unwrap();
+            for order in permutations(&workers) {
+                let plan = single_round(&g, m, &order).unwrap();
+                plan.check(&g, m).unwrap();
+                assert!(
+                    best_bw.unit_makespan <= plan.unit_makespan,
+                    "seed {seed}: bandwidth order beaten by {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_workers_excluded() {
+        // Second worker's link is so slow the first saturates the port
+        // budget: coefficient goes non-positive and it is skipped... with
+        // c large but finite everyone still gets a sliver; instead check
+        // shares are decreasing along the order for identical workers.
+        let (g, m, ws) = star(&[(1, 2), (1, 2), (1, 2)], 1000);
+        let plan = single_round(&g, m, &ws).unwrap();
+        plan.check(&g, m).unwrap();
+        for pair in plan.shares.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "later identical workers get less");
+        }
+    }
+
+    #[test]
+    fn steady_state_dominates_single_round_for_large_loads() {
+        let (g, m, _) = star(&[(1, 2), (2, 1), (1, 3)], 4);
+        let plan = single_round_bandwidth_order(&g, m).unwrap();
+        let rate = steady_state_rate(&g, m).unwrap();
+        // Fluid steady-state bound: time >= W / rate; single round: W * t.
+        // For any W, W*t >= W/rate must hold (the LP bound is universal)...
+        let fluid_unit_time = rate.recip();
+        assert!(plan.unit_makespan >= fluid_unit_time);
+        // ...and it is strict here: single-round leaves resources idle.
+        assert!(plan.unit_makespan > fluid_unit_time);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let (g, m, ws) = star(&[(1, 1)], 1);
+        assert!(single_round(&g, m, &[m]).is_err());
+        let mut with_m = ws.clone();
+        with_m.push(m);
+        assert!(single_round(&g, m, &with_m).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Error type shared by the formulation solvers.
+
+use ss_lp::SolveError;
+use std::fmt;
+
+/// Errors from building or solving a steady-state formulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// The LP solver failed (infeasible steady state should never happen
+    /// for well-formed platforms — rate 0 is always feasible — so this
+    /// signals a modelling bug; unbounded likewise).
+    Solver(SolveError),
+    /// A problem-specific precondition was violated (e.g. the scatter
+    /// source listed among its own targets).
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Solver(e) => write!(f, "LP solver error: {e}"),
+            CoreError::Invalid(msg) => write!(f, "invalid formulation input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<SolveError> for CoreError {
+    fn from(e: SolveError) -> CoreError {
+        CoreError::Solver(e)
+    }
+}

@@ -1,0 +1,50 @@
+//! # ss-core — steady-state scheduling formulations
+//!
+//! The primary contribution of Beaumont, Legrand, Marchal & Robert,
+//! *"Steady-State Scheduling on Heterogeneous Clusters: Why and How?"*
+//! (LIP RR-2004-11 / IPDPS 2004): instead of minimizing makespan (NP-hard),
+//! characterize the *activity* of every resource per time unit — which
+//! rational fraction of time each processor computes, and which fraction
+//! each link spends carrying each kind of message — as a linear program
+//! whose conservation laws capture steady-state operation. The LP optimum
+//! is an upper bound on any periodic schedule's throughput, and (for the
+//! problems below except multicast) the bound is achieved by an explicitly
+//! reconstructible periodic schedule (`ss-schedule`).
+//!
+//! Formulations implemented here:
+//!
+//! | module | problem | paper |
+//! |---|---|---|
+//! | [`master_slave`] | SSMS: independent equal-size tasks from a master | §3.1 |
+//! | [`scatter`] | SSPS: pipelined scatter (distinct messages per target) | §3.2 |
+//! | [`multicast`] | pipelined multicast, sum-coupled (achievable) and max-coupled (optimistic bound) | §3.3, §4.3 |
+//! | [`broadcast`] | pipelined broadcast (max-coupled bound, achievable per paper ref \[5\]) | §4.3 |
+//! | [`reduce`] | pipelined reduce = broadcast on the transposed graph | §4.2 |
+//! | [`all_to_all`] | personalized all-to-all (gossip) | §4.2 |
+//! | [`dag`] | collections of identical DAGs (mixed data/task parallelism) | §4.2 |
+//! | [`model_variants`] | send-OR-receive ports, bounded multiport with dedicated NICs | §5.1 |
+//!
+//! All solvers run the exact rational simplex of `ss-lp`; every returned
+//! number is an exact rational, ready for §4.1 period extraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod all_to_all;
+pub mod broadcast;
+pub mod dag;
+pub mod divisible;
+pub mod master_slave;
+pub mod model_variants;
+pub mod multicast;
+pub mod multicast_trees;
+pub mod reduce;
+pub mod scatter;
+
+mod collective;
+mod error;
+
+pub use error::CoreError;
+pub use master_slave::{MasterSlaveSolution, PortModel};
+pub use multicast::EdgeCoupling;
+pub use scatter::CollectiveSolution;

@@ -1,0 +1,103 @@
+//! Communication-model variants (§5.1) as first-class experiments.
+//!
+//! The LPs themselves are parameterized by
+//! [`PortModel`]; this module packages the
+//! §5.1 comparisons:
+//!
+//! * **Send-OR-receive** (§5.1.1): the LP is an easy edit (sum of send and
+//!   receive fractions ≤ 1 per node), but the paper's point is that the
+//!   *reconstruction* breaks — extracting simultaneous communications
+//!   becomes edge coloring of an arbitrary graph (NP-hard), handled by the
+//!   greedy approximation in `ss-schedule`.
+//! * **Bounded multiport** (§5.1.2): each node has `k` dedicated send and
+//!   receive NICs; with per-direction dedicated cards the schedule is still
+//!   reconstructible (each card is a bipartite-graph node).
+
+use crate::error::CoreError;
+use crate::master_slave::{self, MasterSlaveSolution, PortModel};
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+
+/// SSMS throughput under all three §5.1 models with uniform card count
+/// `k` for the multiport row. Returns `(model name, ntask)` rows.
+pub fn compare_port_models(
+    g: &Platform,
+    master: NodeId,
+    multiport_k: u32,
+) -> Result<Vec<(String, Ratio)>, CoreError> {
+    let mut rows = Vec::new();
+    let full = master_slave::solve_with_model(g, master, &PortModel::FullOverlapOnePort)?;
+    rows.push(("full-overlap 1-port".to_string(), full.ntask));
+    let half = master_slave::solve_with_model(g, master, &PortModel::SendOrReceive)?;
+    rows.push(("send-OR-receive".to_string(), half.ntask));
+    let model = PortModel::Multiport {
+        send_cards: vec![multiport_k; g.num_nodes()],
+        recv_cards: vec![multiport_k; g.num_nodes()],
+    };
+    let multi = master_slave::solve_with_model(g, master, &model)?;
+    rows.push((format!("multiport k={multiport_k}"), multi.ntask));
+    Ok(rows)
+}
+
+/// SSMS under send-OR-receive (§5.1.1).
+pub fn solve_send_or_receive(g: &Platform, master: NodeId) -> Result<MasterSlaveSolution, CoreError> {
+    master_slave::solve_with_model(g, master, &PortModel::SendOrReceive)
+}
+
+/// SSMS under uniform `k`-port with dedicated per-direction NICs (§5.1.2).
+pub fn solve_multiport(g: &Platform, master: NodeId, k: u32) -> Result<MasterSlaveSolution, CoreError> {
+    let model = PortModel::Multiport {
+        send_cards: vec![k; g.num_nodes()],
+        recv_cards: vec![k; g.num_nodes()],
+    };
+    master_slave::solve_with_model(g, master, &model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_platform::topo;
+
+    /// The three models nest: send-or-receive ≤ one-port ≤ k-port, and
+    /// k-port is monotone in k.
+    #[test]
+    fn models_nest() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(55 + seed);
+            let (g, m) = topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default());
+            let half = solve_send_or_receive(&g, m).unwrap().ntask;
+            let one = master_slave::solve(&g, m).unwrap().ntask;
+            let two = solve_multiport(&g, m, 2).unwrap().ntask;
+            let four = solve_multiport(&g, m, 4).unwrap().ntask;
+            assert!(half <= one, "seed {seed}: {half} > {one}");
+            assert!(one <= two);
+            assert!(two <= four);
+        }
+    }
+
+    /// With enough NICs the platform becomes compute-bound: ntask hits the
+    /// aggregate compute rate on a star with fast links.
+    #[test]
+    fn many_nics_reach_compute_bound() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let params = topo::ParamRange { w_range: (2, 4), c_range: (1, 1), max_denominator: 1 };
+        let (g, m) = topo::star(&mut rng, 5, &params);
+        let many = solve_multiport(&g, m, 16).unwrap().ntask;
+        assert_eq!(many, g.total_compute_rate());
+    }
+
+    #[test]
+    fn comparison_table_rows() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let (g, m) = topo::star(&mut rng, 4, &topo::ParamRange::default());
+        let rows = compare_port_models(&g, m, 2).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[1].1 <= rows[0].1 && rows[0].1 <= rows[2].1);
+    }
+}

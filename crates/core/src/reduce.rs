@@ -1,0 +1,93 @@
+//! Pipelined reduce (§4.2: "the approach for scatters also works for
+//! personalized all-to-all and reduce operations").
+//!
+//! The paper cites ref \[12\] for the reduce LP without restating it. We use
+//! the classic **reverse-broadcast duality**: running a broadcast schedule
+//! backwards — reversing every transfer and swapping send/receive roles —
+//! yields a reduce schedule of identical throughput, because
+//!
+//! * reversing an edge swaps the one-port *send* constraint of its source
+//!   with the one-port *receive* constraint of its destination (the §2
+//!   model is symmetric in this exchange), and
+//! * a broadcast tree delivering the value to every node, read backwards,
+//!   is a combining tree collecting one partial result from every node
+//!   (the associative reduction applied at each merge point).
+//!
+//! So: reduce throughput on `G` with sink `r` = broadcast throughput on the
+//! transposed graph `Gᵀ` with source `r`. The returned solution maps the
+//! transposed flows back onto the **original** edge ids.
+
+use crate::broadcast;
+use crate::error::CoreError;
+use crate::multicast::EdgeCoupling;
+use crate::scatter::CollectiveSolution;
+use ss_platform::{NodeId, Platform};
+
+/// Optimal steady-state reduce throughput to `sink`, with flows expressed
+/// on the original platform's edges.
+pub fn solve(g: &Platform, sink: NodeId) -> Result<CollectiveSolution, CoreError> {
+    let rev = g.reversed();
+    let sol = broadcast::solve(&rev, sink)?;
+    // Edge i of `rev` is edge i of `g` reversed (construction order is
+    // preserved by `Platform::reversed`), so flows map index-wise.
+    Ok(CollectiveSolution {
+        throughput: sol.throughput,
+        flows: sol.flows,
+        edge_time: sol.edge_time,
+        source: sink,
+        targets: sol.targets,
+        coupling: EdgeCoupling::Max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_num::Ratio;
+    use ss_platform::{topo, Weight};
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    /// Reduce on a chain = broadcast on the reversed chain.
+    #[test]
+    fn chain_reduce_matches_reversed_broadcast() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        g.add_edge(b, a, ri(1)).unwrap(); // edges point toward the sink a
+        g.add_edge(c, b, ri(2)).unwrap();
+        let red = solve(&g, a).unwrap();
+        assert_eq!(red.throughput, Ratio::new(1, 2));
+    }
+
+    /// Duality sanity on random symmetric platforms: reduce-to-r equals
+    /// broadcast-from-r (duplex links make G self-transpose up to ids).
+    #[test]
+    fn symmetric_platform_self_duality() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(33 + seed);
+            let (g, root) = topo::random_connected(&mut rng, 5, 0.4, &topo::ParamRange::default());
+            let red = solve(&g, root).unwrap();
+            let bc = broadcast::solve(&g, root).unwrap();
+            assert_eq!(red.throughput, bc.throughput);
+        }
+    }
+
+    /// Star reduce: the sink's in-port serializes one partial per child.
+    #[test]
+    fn star_reduce_inport_bound() {
+        let mut g = Platform::new();
+        let sink = g.add_node("sink", Weight::from_int(1));
+        for i in 0..4 {
+            let w = g.add_node(format!("w{i}"), Weight::from_int(1));
+            g.add_edge(w, sink, ri(1)).unwrap();
+        }
+        let red = solve(&g, sink).unwrap();
+        assert_eq!(red.throughput, Ratio::new(1, 4));
+    }
+}

@@ -1,0 +1,267 @@
+//! SSPS — steady-state pipelined scatter (§3.2).
+//!
+//! `P_source` repeatedly sends *distinct* messages, one per target in
+//! `P_target`. `send(i,j,k)` is the rate of messages whose final destination
+//! is `P_k` crossing edge `(i,j)`; `TP` is the common delivered rate.
+//!
+//! ```text
+//! maximize TP
+//! s.t.   s_ij = Σ_k send(i,j,k) · c_ij           (distinct messages add)
+//!        Σ_j s_ij ≤ 1, Σ_j s_ji ≤ 1              (one-port)
+//!        Σ_j send(j,i,k) = Σ_j send(i,j,k)       (∀ i ∉ {source, k})
+//!        Σ_j send(j,k,k) = TP                    (∀ targets k)
+//! ```
+//!
+//! The LP optimum is achievable by a periodic schedule (paper ref \[12\]),
+//! reconstructed with the same §4.1 machinery as master–slave.
+
+use crate::collective::solve_collective;
+use crate::error::CoreError;
+use crate::master_slave::PortModel;
+use crate::multicast::EdgeCoupling;
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+
+/// Exact solution of a pipelined collective LP (scatter / multicast /
+/// broadcast / reduce share this shape).
+#[derive(Clone, Debug)]
+pub struct CollectiveSolution {
+    /// Delivered messages per time unit, per target.
+    pub throughput: Ratio,
+    /// `flows[k][e]`: rate of messages for target `k` on edge `e`.
+    pub flows: Vec<Vec<Ratio>>,
+    /// Fraction of time each edge is busy (`Σ_k` or `max_k` of
+    /// `flow · c`, depending on coupling).
+    pub edge_time: Vec<Ratio>,
+    /// Message source.
+    pub source: NodeId,
+    /// Targets, in flow-index order.
+    pub targets: Vec<NodeId>,
+    /// How per-type flows couple into edge time.
+    pub coupling: EdgeCoupling,
+}
+
+impl CollectiveSolution {
+    /// Verify ports, conservation, delivery, and the coupling definition
+    /// exactly. Returns the first violation found.
+    pub fn check(&self, g: &Platform, model: &PortModel) -> Result<(), String> {
+        // Edge-time consistency with the coupling rule.
+        for e in g.edges() {
+            let times: Vec<Ratio> = self.flows.iter().map(|fk| &fk[e.id.index()] * e.c).collect();
+            let expect: Ratio = match self.coupling {
+                EdgeCoupling::Sum => times.iter().sum(),
+                EdgeCoupling::Max => times.iter().cloned().fold(Ratio::zero(), Ratio::max),
+            };
+            let have = &self.edge_time[e.id.index()];
+            let ok = match self.coupling {
+                EdgeCoupling::Sum => *have == expect,
+                // Max is linearized as >=; the LP may leave slack on edges
+                // whose ports are not saturated.
+                EdgeCoupling::Max => *have >= expect,
+            };
+            if !ok {
+                return Err(format!(
+                    "edge {} time {} inconsistent with coupling (expected {} {})",
+                    e.id.index(),
+                    have,
+                    match self.coupling {
+                        EdgeCoupling::Sum => "==",
+                        EdgeCoupling::Max => ">=",
+                    },
+                    expect
+                ));
+            }
+            if have > &Ratio::one() {
+                return Err(format!("edge {} busy more than full time: {}", e.id.index(), have));
+            }
+        }
+        // Port constraints.
+        for i in g.node_ids() {
+            let out: Ratio = g.out_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
+            let inn: Ratio = g.in_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
+            let ok = match model {
+                PortModel::FullOverlapOnePort => out <= Ratio::one() && inn <= Ratio::one(),
+                PortModel::SendOrReceive => &out + &inn <= Ratio::one(),
+                PortModel::Multiport { send_cards, recv_cards } => {
+                    let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
+                    let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
+                    out <= Ratio::from_int(ks) && inn <= Ratio::from_int(kr)
+                }
+            };
+            if !ok {
+                return Err(format!("port constraint violated at {}", g.node(i).name));
+            }
+        }
+        // Conservation + delivery per type.
+        for (k, &tk) in self.targets.iter().enumerate() {
+            for i in g.node_ids() {
+                if i == self.source || i == tk {
+                    continue;
+                }
+                let inflow: Ratio = g.in_edges(i).map(|e| self.flows[k][e.id.index()].clone()).sum();
+                let outflow: Ratio = g.out_edges(i).map(|e| self.flows[k][e.id.index()].clone()).sum();
+                if inflow != outflow {
+                    return Err(format!(
+                        "type {} not conserved at {}: in {} out {}",
+                        g.node(tk).name,
+                        g.node(i).name,
+                        inflow,
+                        outflow
+                    ));
+                }
+            }
+            let delivered: Ratio = g.in_edges(tk).map(|e| self.flows[k][e.id.index()].clone()).sum();
+            if delivered != self.throughput {
+                return Err(format!(
+                    "target {} receives {} instead of TP {}",
+                    g.node(tk).name,
+                    delivered,
+                    self.throughput
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate rate of messages (all types) crossing edge `e` per time
+    /// unit — the quantity drawn in Figure 3(c).
+    pub fn total_edge_rate(&self, e: ss_platform::EdgeId) -> Ratio {
+        self.flows.iter().map(|fk| fk[e.index()].clone()).sum()
+    }
+}
+
+/// Solve the pipelined-scatter LP exactly (one-port full-overlap model).
+pub fn solve(g: &Platform, source: NodeId, targets: &[NodeId]) -> Result<CollectiveSolution, CoreError> {
+    solve_collective(g, source, targets, EdgeCoupling::Sum, &PortModel::FullOverlapOnePort)
+}
+
+/// Solve under an explicit port model (§5.1 variants).
+pub fn solve_with_model(
+    g: &Platform,
+    source: NodeId,
+    targets: &[NodeId],
+    model: &PortModel,
+) -> Result<CollectiveSolution, CoreError> {
+    solve_collective(g, source, targets, EdgeCoupling::Sum, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_platform::{topo, Weight};
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    /// Two targets behind one shared out-port: TP limited by the port.
+    #[test]
+    fn shared_outport_splits_throughput() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_edge(s, a, ri(1)).unwrap();
+        g.add_edge(s, b, ri(1)).unwrap();
+        let sol = solve(&g, s, &[a, b]).unwrap();
+        // Port time: TP*1 + TP*1 <= 1 => TP = 1/2.
+        assert_eq!(sol.throughput, Ratio::new(1, 2));
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// A chain relay: s -> r -> t. Both links at c=1; r's ports pipeline.
+    #[test]
+    fn chain_relay() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let r = g.add_node("r", Weight::Infinite);
+        let t = g.add_node("t", Weight::from_int(1));
+        g.add_edge(s, r, ri(1)).unwrap();
+        g.add_edge(r, t, ri(1)).unwrap();
+        let sol = solve(&g, s, &[t]).unwrap();
+        assert_eq!(sol.throughput, ri(1));
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// Disjoint paths to two targets: no sharing, TP = min path capacity.
+    #[test]
+    fn disjoint_paths() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_edge(s, a, Ratio::new(1, 2)).unwrap(); // 2 msgs/unit capacity
+        g.add_edge(s, b, Ratio::new(1, 2)).unwrap();
+        let sol = solve(&g, s, &[a, b]).unwrap();
+        // Out-port: TP/2 + TP/2 <= 1 => TP <= 1. In-ports allow 2.
+        assert_eq!(sol.throughput, ri(1));
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// Unreachable target makes the LP throughput zero (not infeasible).
+    #[test]
+    fn unreachable_target_zero() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let a = g.add_node("a", Weight::from_int(1));
+        let island = g.add_node("x", Weight::from_int(1));
+        g.add_edge(s, a, ri(1)).unwrap();
+        let sol = solve(&g, s, &[a, island]).unwrap();
+        assert_eq!(sol.throughput, Ratio::zero());
+    }
+
+    /// Input validation.
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let a = g.add_node("a", Weight::from_int(1));
+        g.add_edge(s, a, ri(1)).unwrap();
+        assert!(matches!(solve(&g, s, &[]), Err(CoreError::Invalid(_))));
+        assert!(matches!(solve(&g, s, &[s]), Err(CoreError::Invalid(_))));
+        assert!(matches!(solve(&g, s, &[a, a]), Err(CoreError::Invalid(_))));
+    }
+
+    /// Multi-path routing beats single-path: two parallel relays double TP
+    /// when the direct port allows it.
+    #[test]
+    fn multipath_aggregation() {
+        let mut g = Platform::new();
+        let s = g.add_node("s", Weight::from_int(1));
+        let r1 = g.add_node("r1", Weight::Infinite);
+        let r2 = g.add_node("r2", Weight::Infinite);
+        let t = g.add_node("t", Weight::from_int(1));
+        // Each relay path carries 1 msg/unit; s out-port is the limit but
+        // receiving at t from two relays in parallel is allowed (one port
+        // each... no: t has ONE in-port). So TP <= 1 regardless; check the
+        // LP respects t's in-port rather than double-counting relays.
+        g.add_edge(s, r1, Ratio::new(1, 2)).unwrap();
+        g.add_edge(s, r2, Ratio::new(1, 2)).unwrap();
+        g.add_edge(r1, t, Ratio::new(1, 2)).unwrap();
+        g.add_edge(r2, t, Ratio::new(1, 2)).unwrap();
+        let sol = solve(&g, s, &[t]).unwrap();
+        // t's in-port: TP * 1/2 <= 1 => TP <= 2; s out-port likewise 2.
+        assert_eq!(sol.throughput, ri(2));
+        sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+    }
+
+    /// Random platforms: solver succeeds, invariants hold, and scatter TP
+    /// is no larger than the single-target bound for the worst target.
+    #[test]
+    fn random_platforms() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let (g, root) = topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default());
+            let targets = topo::pick_targets(&mut rng, &g, root, 3);
+            let sol = solve(&g, root, &targets).unwrap();
+            sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
+            assert!(sol.throughput.is_positive());
+            for &t in &targets {
+                let single = solve(&g, root, &[t]).unwrap();
+                assert!(sol.throughput <= single.throughput);
+            }
+        }
+    }
+}

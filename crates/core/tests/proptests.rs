@@ -1,0 +1,143 @@
+//! Property-based tests for the steady-state formulations: structural
+//! monotonicity and scaling laws that must hold for *any* platform.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ss_core::master_slave::{self, PortModel};
+use ss_core::{broadcast, multicast, scatter};
+use ss_core::multicast::EdgeCoupling;
+use ss_num::Ratio;
+use ss_platform::{topo, NodeId, Platform, Weight};
+
+fn random_platform(seed: u64, p: usize) -> (Platform, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default())
+}
+
+/// Scale every node weight and edge cost by `k`.
+fn scaled(g: &Platform, k: &Ratio) -> Platform {
+    let mut out = Platform::new();
+    for n in g.nodes() {
+        let w = match n.w.as_ratio() {
+            Some(w) => Weight::finite(w * k),
+            None => Weight::Infinite,
+        };
+        out.add_node(n.name.to_string(), w);
+    }
+    for e in g.edges() {
+        out.add_edge(e.src, e.dst, e.c * k).unwrap();
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scaling law: making everything k times slower divides ntask by k
+    /// exactly (the LP is homogeneous of degree -1 in the platform).
+    #[test]
+    fn ssms_scaling_law(seed in 0u64..300, num in 1i64..5, den in 1i64..5) {
+        let (g, m) = random_platform(seed, 5);
+        let k = Ratio::new(num, den);
+        let g2 = scaled(&g, &k);
+        let base = master_slave::solve(&g, m).unwrap().ntask;
+        let scaled_ntask = master_slave::solve(&g2, m).unwrap().ntask;
+        prop_assert_eq!(scaled_ntask, &base / &k);
+    }
+
+    /// Monotonicity: adding an edge can only help (the old solution stays
+    /// feasible with the new variable at zero).
+    #[test]
+    fn ssms_edge_monotonicity(seed in 0u64..300) {
+        let (g, m) = random_platform(seed, 5);
+        let before = master_slave::solve(&g, m).unwrap().ntask;
+        // Add a missing edge, if any pair is unconnected.
+        let mut g2 = g.clone();
+        let mut added = false;
+        'outer: for a in g.node_ids() {
+            for b in g.node_ids() {
+                if a != b && b != m && g.edge_between(a, b).is_none() {
+                    g2.add_edge(a, b, Ratio::one()).unwrap();
+                    added = true;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assume!(added);
+        let after = master_slave::solve(&g2, m).unwrap().ntask;
+        prop_assert!(after >= before, "{after} < {before}");
+    }
+
+    /// Speeding up one node never hurts, and slowing it never helps.
+    #[test]
+    fn ssms_node_speed_monotonicity(seed in 0u64..300, node in 0usize..5) {
+        let (g, m) = random_platform(seed, 5);
+        let target = NodeId(node % g.num_nodes());
+        let before = master_slave::solve(&g, m).unwrap().ntask;
+        let mut faster = Platform::new();
+        for n in g.nodes() {
+            let w = match n.w.as_ratio() {
+                Some(w) if n.id == target => Weight::finite(w * &Ratio::new(1, 2)),
+                Some(w) => Weight::finite(w.clone()),
+                None => Weight::Infinite,
+            };
+            faster.add_node(n.name.to_string(), w);
+        }
+        for e in g.edges() {
+            faster.add_edge(e.src, e.dst, e.c.clone()).unwrap();
+        }
+        let after = master_slave::solve(&faster, m).unwrap().ntask;
+        prop_assert!(after >= before);
+    }
+
+    /// More targets can only lower collective throughput (both couplings).
+    #[test]
+    fn collective_target_monotonicity(seed in 0u64..200) {
+        let (g, s) = random_platform(seed, 6);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let t3 = topo::pick_targets(&mut rng, &g, s, 3);
+        let t2 = t3[..2].to_vec();
+        for coupling in [EdgeCoupling::Sum, EdgeCoupling::Max] {
+            let small = multicast::solve(&g, s, &t3, coupling).unwrap().throughput;
+            let large = multicast::solve(&g, s, &t2, coupling).unwrap().throughput;
+            prop_assert!(small <= large, "{coupling:?}");
+        }
+    }
+
+    /// Model nesting holds on every platform: send-or-receive <= one-port
+    /// <= 2-port, for master-slave and broadcast alike.
+    #[test]
+    fn port_models_nest(seed in 0u64..200) {
+        let (g, m) = random_platform(seed, 5);
+        let half = master_slave::solve_with_model(&g, m, &PortModel::SendOrReceive).unwrap().ntask;
+        let one = master_slave::solve(&g, m).unwrap().ntask;
+        let two = master_slave::solve_with_model(
+            &g,
+            m,
+            &PortModel::Multiport { send_cards: vec![2; g.num_nodes()], recv_cards: vec![2; g.num_nodes()] },
+        )
+        .unwrap()
+        .ntask;
+        prop_assert!(half <= one && one <= two);
+
+        let b_half = broadcast::solve_with_model(&g, m, &PortModel::SendOrReceive).unwrap().throughput;
+        let b_one = broadcast::solve(&g, m).unwrap().throughput;
+        prop_assert!(b_half <= b_one);
+    }
+
+    /// Scatter throughput equals the min over targets of ... no: it is at
+    /// most the single-target throughput for EVERY target (the shared
+    /// port/link capacity argument).
+    #[test]
+    fn scatter_dominated_by_each_target(seed in 0u64..150) {
+        let (g, s) = random_platform(seed, 5);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let targets = topo::pick_targets(&mut rng, &g, s, 3);
+        let joint = scatter::solve(&g, s, &targets).unwrap().throughput;
+        for &t in &targets {
+            let single = scatter::solve(&g, s, &[t]).unwrap().throughput;
+            prop_assert!(joint <= single);
+        }
+    }
+}

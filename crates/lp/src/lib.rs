@@ -1,0 +1,47 @@
+//! # ss-lp — an exact linear-programming solver
+//!
+//! A self-contained two-phase primal simplex implementation, generic over the
+//! scalar type:
+//!
+//! * [`Ratio`](ss_num::Ratio) — **exact** arbitrary-precision rational
+//!   arithmetic with Bland's anti-cycling rule. Termination and correctness
+//!   are guaranteed; the answer has *denominators*, which the steady-state
+//!   schedule reconstruction of Beaumont et al. (§4.1) consumes directly
+//!   (period = lcm of denominators).
+//! * `f64` — fast floating-point solving with Dantzig pricing and an epsilon
+//!   ratio test, used for large scaling sweeps where exactness is not
+//!   required.
+//!
+//! The dense-tableau representation is a deliberate choice: steady-state LPs
+//! derived from platform graphs have at most a few thousand nonzeros, and a
+//! dense kernel with exact rationals beats a sparse one at that scale while
+//! being far easier to audit.
+//!
+//! ```
+//! use ss_lp::{Problem, Sense, Cmp};
+//! use ss_num::Ratio;
+//!
+//! // maximize x + 2y  s.t.  x + y <= 4, y <= 3, x,y >= 0.
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var("x");
+//! let y = p.add_var("y");
+//! p.set_objective_coeff(x, Ratio::one());
+//! p.set_objective_coeff(y, Ratio::from_int(2));
+//! p.add_constraint("cap", [(x, Ratio::one()), (y, Ratio::one())], Cmp::Le, Ratio::from_int(4));
+//! p.add_constraint("ylim", [(y, Ratio::one())], Cmp::Le, Ratio::from_int(3));
+//! let sol = p.solve_exact().unwrap();
+//! assert_eq!(sol.objective(), &Ratio::from_int(7)); // x=1, y=3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod scalar;
+mod simplex;
+mod solution;
+
+pub use problem::{Cmp, LinExpr, Problem, Sense, Var};
+pub use scalar::Scalar;
+pub use simplex::SimplexOptions;
+pub use solution::{Solution, SolveError, Status};

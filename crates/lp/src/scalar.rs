@@ -1,0 +1,177 @@
+//! The [`Scalar`] abstraction: one simplex kernel, two arithmetics.
+
+use ss_num::Ratio;
+
+/// Number types the simplex kernel can run on.
+///
+/// Implemented for [`Ratio`] (exact, used for reconstruction-grade solves)
+/// and `f64` (fast, used for scaling benchmarks). The `is_*` predicates
+/// absorb the difference between exact comparison and epsilon comparison so
+/// the pivoting code reads identically for both.
+pub trait Scalar: Clone + std::fmt::Debug + PartialOrd {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Subtraction.
+    fn sub(&self, other: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Division (caller guarantees a nonzero divisor).
+    fn div(&self, other: &Self) -> Self;
+    /// Negation.
+    fn neg(&self) -> Self;
+    /// Is this (numerically) zero?
+    fn is_zero(&self) -> bool;
+    /// Is this (numerically) strictly positive?
+    fn is_positive(&self) -> bool;
+    /// Is this (numerically) strictly negative?
+    fn is_negative(&self) -> bool;
+    /// Import exact problem data.
+    fn from_ratio(r: &Ratio) -> Self;
+    /// Export for reporting.
+    fn to_f64(&self) -> f64;
+    /// `true` if this scalar type is exact (drives pivoting-rule selection).
+    const EXACT: bool;
+}
+
+impl Scalar for Ratio {
+    #[inline]
+    fn zero() -> Self {
+        Ratio::zero()
+    }
+    #[inline]
+    fn one() -> Self {
+        Ratio::one()
+    }
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    #[inline]
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    #[inline]
+    fn neg(&self) -> Self {
+        -self
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        Ratio::is_zero(self)
+    }
+    #[inline]
+    fn is_positive(&self) -> bool {
+        Ratio::is_positive(self)
+    }
+    #[inline]
+    fn is_negative(&self) -> bool {
+        Ratio::is_negative(self)
+    }
+    #[inline]
+    fn from_ratio(r: &Ratio) -> Self {
+        r.clone()
+    }
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        Ratio::to_f64(self)
+    }
+    const EXACT: bool = true;
+}
+
+/// Comparison tolerance for the `f64` kernel. Problem data in these LPs is
+/// O(1), so an absolute epsilon is appropriate.
+pub(crate) const F64_EPS: f64 = 1e-9;
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    #[inline]
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    #[inline]
+    fn neg(&self) -> Self {
+        -self
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.abs() <= F64_EPS
+    }
+    #[inline]
+    fn is_positive(&self) -> bool {
+        *self > F64_EPS
+    }
+    #[inline]
+    fn is_negative(&self) -> bool {
+        *self < -F64_EPS
+    }
+    #[inline]
+    fn from_ratio(r: &Ratio) -> Self {
+        r.to_f64()
+    }
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    const EXACT: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn ratio_scalar_ops() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(1, 3);
+        assert_eq!(Scalar::add(&a, &b), Ratio::new(5, 6));
+        assert_eq!(Scalar::sub(&a, &b), Ratio::new(1, 6));
+        assert_eq!(Scalar::mul(&a, &b), Ratio::new(1, 6));
+        assert_eq!(Scalar::div(&a, &b), Ratio::new(3, 2));
+        assert!(Scalar::is_zero(&Ratio::zero()));
+        assert!(Scalar::is_positive(&a));
+        assert!(Scalar::is_negative(&Scalar::neg(&a)));
+        assert!(Ratio::EXACT);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn f64_scalar_epsilon() {
+        assert!(Scalar::is_zero(&0.0f64));
+        assert!(Scalar::is_zero(&1e-12f64));
+        assert!(!Scalar::is_zero(&1e-6f64));
+        assert!(Scalar::is_positive(&1e-6f64));
+        assert!(!Scalar::is_positive(&1e-12f64));
+        assert!(!f64::EXACT);
+    }
+}

@@ -1,0 +1,405 @@
+//! Dense two-phase primal simplex, generic over [`Scalar`].
+//!
+//! Pivoting: Bland's rule when the scalar is exact (guaranteed termination —
+//! important because steady-state LPs are heavily degenerate: many activity
+//! variables sit at 0 or at the one-port bound), Dantzig pricing with a
+//! Bland fallback for `f64`.
+
+use crate::problem::{Cmp, Problem};
+use crate::scalar::Scalar;
+use crate::solution::{Solution, SolveError};
+
+/// Tuning knobs for the simplex kernel.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct SimplexOptions {
+    /// Hard cap on total pivots across both phases (0 = automatic:
+    /// `200 * (rows + cols) + 10_000`).
+    pub max_iterations: usize,
+    /// Force Bland's rule even for inexact scalars.
+    pub force_bland: bool,
+}
+
+
+struct Tableau<S> {
+    /// `rows x (ncols + 1)`; the last column is the rhs.
+    a: Vec<Vec<S>>,
+    ncols: usize,
+    basis: Vec<usize>,
+}
+
+impl<S: Scalar> Tableau<S> {
+    #[inline]
+    fn rhs(&self, i: usize) -> &S {
+        &self.a[i][self.ncols]
+    }
+
+    /// Pivot on (row, col): normalize the pivot row, eliminate the column
+    /// from every other row and from `cost`.
+    fn pivot(&mut self, row: usize, col: usize, cost: &mut [S]) {
+        let pivot_val = self.a[row][col].clone();
+        debug_assert!(!pivot_val.is_zero());
+        let prow = &mut self.a[row];
+        for x in prow.iter_mut() {
+            if !x.is_zero() {
+                *x = x.div(&pivot_val);
+            }
+        }
+        let prow = std::mem::take(&mut self.a[row]);
+        for (i, arow) in self.a.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = arow[col].clone();
+            if factor.is_zero() {
+                continue;
+            }
+            for (x, p) in arow.iter_mut().zip(prow.iter()) {
+                if !p.is_zero() {
+                    *x = x.sub(&factor.mul(p));
+                }
+            }
+            // Clamp the pivot column explicitly (kills f64 residue).
+            arow[col] = S::zero();
+        }
+        let factor = cost[col].clone();
+        if !factor.is_zero() {
+            for (x, p) in cost.iter_mut().zip(prow.iter()) {
+                if !p.is_zero() {
+                    *x = x.sub(&factor.mul(p));
+                }
+            }
+            cost[col] = S::zero();
+        }
+        self.a[row] = prow;
+        self.basis[row] = col;
+    }
+
+    /// Bland's rule: smallest-index column with positive reduced cost.
+    fn entering_bland(&self, cost: &[S], active: &[bool]) -> Option<usize> {
+        (0..self.ncols).find(|&j| active[j] && cost[j].is_positive())
+    }
+
+    /// Dantzig's rule: most positive reduced cost.
+    fn entering_dantzig(&self, cost: &[S], active: &[bool]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for j in 0..self.ncols {
+            if !active[j] || !cost[j].is_positive() {
+                continue;
+            }
+            match best {
+                None => best = Some(j),
+                Some(b) if cost[j] > cost[b] => best = Some(j),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Ratio test with Bland tie-breaking (smallest basic variable index).
+    fn leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, S)> = None;
+        for i in 0..self.a.len() {
+            let aij = &self.a[i][col];
+            if !aij.is_positive() {
+                continue;
+            }
+            let ratio = self.rhs(i).div(aij);
+            match &best {
+                None => best = Some((i, ratio)),
+                Some((bi, br)) => {
+                    if ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi]) {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// Price out the basic variables from a freshly built cost row, returning the
+/// objective value of the current basic solution.
+#[allow(clippy::needless_range_loop)] // the rhs column (j == ncols) is special-cased
+fn price_out<S: Scalar>(t: &Tableau<S>, cost: &mut [S], costs_full: &[S]) -> S {
+    let mut obj = S::zero();
+    for (i, &b) in t.basis.iter().enumerate() {
+        let cb = &costs_full[b];
+        if cb.is_zero() {
+            continue;
+        }
+        for j in 0..=t.ncols {
+            let aij = &t.a[i][j];
+            if aij.is_zero() {
+                continue;
+            }
+            if j == t.ncols {
+                obj = obj.add(&cb.mul(aij));
+            } else {
+                cost[j] = cost[j].sub(&cb.mul(aij));
+            }
+        }
+    }
+    obj
+}
+
+/// Run pivots until optimality/unboundedness/limit. Returns iterations used.
+fn optimize<S: Scalar>(
+    t: &mut Tableau<S>,
+    cost: &mut [S],
+    active: &[bool],
+    opts: &SimplexOptions,
+    budget: &mut usize,
+) -> Result<usize, SolveError> {
+    let use_bland = S::EXACT || opts.force_bland;
+    let mut iters = 0usize;
+    // For f64, switch to Bland after a stall threshold to escape cycling.
+    let dantzig_cap = if use_bland { 0 } else { budget.saturating_div(2) };
+    loop {
+        let entering = if use_bland || iters >= dantzig_cap {
+            t.entering_bland(cost, active)
+        } else {
+            t.entering_dantzig(cost, active)
+        };
+        let Some(col) = entering else {
+            return Ok(iters);
+        };
+        let Some(row) = t.leaving(col) else {
+            return Err(SolveError::Unbounded);
+        };
+        t.pivot(row, col, cost);
+        iters += 1;
+        if iters >= *budget {
+            return Err(SolveError::IterationLimit);
+        }
+    }
+}
+
+/// Solve `problem` with scalar type `S`.
+pub(crate) fn solve<S: Scalar>(problem: &Problem, opts: &SimplexOptions) -> Result<Solution<S>, SolveError> {
+    let nstruct = problem.num_vars();
+
+    // Lower upper bounds into explicit rows.
+    struct RawRow<S> {
+        coeffs: Vec<(usize, S)>,
+        cmp: Cmp,
+        rhs: S,
+    }
+    let mut raw: Vec<RawRow<S>> = Vec::with_capacity(problem.rows.len());
+    for row in &problem.rows {
+        raw.push(RawRow {
+            coeffs: row
+                .expr
+                .terms()
+                .iter()
+                .map(|(v, c)| (v.index(), S::from_ratio(c)))
+                .collect(),
+            cmp: row.cmp,
+            rhs: S::from_ratio(&row.rhs),
+        });
+    }
+    for (j, ub) in problem.upper_bounds().iter().enumerate() {
+        if let Some(ub) = ub {
+            raw.push(RawRow {
+                coeffs: vec![(j, S::one())],
+                cmp: Cmp::Le,
+                rhs: S::from_ratio(ub),
+            });
+        }
+    }
+
+    let m = raw.len();
+    // Count extra columns; remember which rows were sign-normalized (their
+    // duals flip back at extraction).
+    let mut nslack = 0usize;
+    let mut nart = 0usize;
+    let mut flipped = vec![false; m];
+    for (i, r) in raw.iter_mut().enumerate() {
+        if r.rhs.is_negative() {
+            // Normalize to rhs >= 0.
+            for (_, c) in r.coeffs.iter_mut() {
+                *c = c.neg();
+            }
+            r.rhs = r.rhs.neg();
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+            flipped[i] = true;
+        }
+        match r.cmp {
+            Cmp::Le => nslack += 1,
+            Cmp::Ge => {
+                nslack += 1;
+                nart += 1;
+            }
+            Cmp::Eq => nart += 1,
+        }
+    }
+
+    let ncols = nstruct + nslack + nart;
+    let mut t = Tableau {
+        a: vec![vec![S::zero(); ncols + 1]; m],
+        ncols,
+        basis: vec![usize::MAX; m],
+    };
+
+    let mut next_slack = nstruct;
+    let mut next_art = nstruct + nslack;
+    let art_start = nstruct + nslack;
+    // Dual witness per raw row: a column whose tableau coefficients are
+    // `+e_i` with zero phase-2 cost (the slack of a ≤ row, the artificial
+    // of a ≥ or = row), so its final reduced cost is exactly `-y_i`.
+    let mut witness: Vec<usize> = Vec::with_capacity(m);
+    for (i, r) in raw.iter().enumerate() {
+        for (j, c) in &r.coeffs {
+            t.a[i][*j] = t.a[i][*j].add(c);
+        }
+        t.a[i][ncols] = r.rhs.clone();
+        match r.cmp {
+            Cmp::Le => {
+                t.a[i][next_slack] = S::one();
+                t.basis[i] = next_slack;
+                witness.push(next_slack);
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                t.a[i][next_slack] = S::one().neg();
+                next_slack += 1;
+                t.a[i][next_art] = S::one();
+                t.basis[i] = next_art;
+                witness.push(next_art);
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                t.a[i][next_art] = S::one();
+                t.basis[i] = next_art;
+                witness.push(next_art);
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut budget = if opts.max_iterations == 0 {
+        200 * (m + ncols) + 10_000
+    } else {
+        opts.max_iterations
+    };
+    let mut total_iters = 0usize;
+    let mut phase1_iters = 0usize;
+
+    // Phase 1: drive artificials to zero (maximize -sum of artificials).
+    if nart > 0 {
+        let mut costs_full = vec![S::zero(); ncols + 1];
+        for c in costs_full.iter_mut().take(ncols).skip(art_start) {
+            *c = S::one().neg();
+        }
+        let mut cost: Vec<S> = costs_full[..ncols].to_vec();
+        cost.push(S::zero());
+        let obj0 = price_out(&t, &mut cost, &costs_full);
+        let active = vec![true; ncols];
+        let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
+        phase1_iters = it;
+        total_iters += it;
+        budget = budget.saturating_sub(it);
+        if budget == 0 {
+            return Err(SolveError::IterationLimit);
+        }
+        // Phase-1 objective value = obj0 + (accumulated in cost rhs).
+        // Recompute directly: sum of artificial basic values.
+        let mut art_sum = S::zero();
+        for (i, &b) in t.basis.iter().enumerate() {
+            if b >= art_start {
+                art_sum = art_sum.add(t.rhs(i));
+            }
+        }
+        let _ = obj0;
+        if !art_sum.is_zero() {
+            return Err(SolveError::Infeasible);
+        }
+        // Pivot lingering zero-level artificials out of the basis.
+        let mut drop_rows: Vec<usize> = Vec::new();
+        for i in 0..m {
+            if t.basis[i] < art_start {
+                continue;
+            }
+            let col = (0..art_start).find(|&j| !t.a[i][j].is_zero());
+            match col {
+                Some(j) => {
+                    let mut dummy_cost = vec![S::zero(); ncols + 1];
+                    t.pivot(i, j, &mut dummy_cost);
+                }
+                // Entire row zero over real columns: redundant constraint.
+                None => drop_rows.push(i),
+            }
+        }
+        for &i in drop_rows.iter().rev() {
+            t.a.remove(i);
+            t.basis.remove(i);
+        }
+    }
+
+    // Phase 2: original objective over structural + slack columns only.
+    let negate = matches!(problem.sense(), crate::problem::Sense::Minimize);
+    let mut costs_full = vec![S::zero(); ncols + 1];
+    for (j, c) in problem.objective_terms() {
+        let c = S::from_ratio(c);
+        costs_full[j] = if negate { c.neg() } else { c };
+    }
+    let mut cost: Vec<S> = costs_full[..ncols].to_vec();
+    cost.push(S::zero());
+    let _ = price_out(&t, &mut cost, &costs_full);
+    let mut active = vec![true; ncols];
+    for a in active.iter_mut().take(ncols).skip(art_start) {
+        *a = false; // artificials may never re-enter
+    }
+    let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
+    total_iters += it;
+
+    // Extract the structural solution.
+    let mut values = vec![S::zero(); nstruct];
+    for (i, &b) in t.basis.iter().enumerate() {
+        if b < nstruct {
+            values[b] = t.rhs(i).clone();
+        }
+    }
+    // Recompute the objective from the point (exact, sign-safe).
+    let mut objective = S::zero();
+    for (j, c) in problem.objective_terms() {
+        objective = objective.add(&S::from_ratio(c).mul(&values[j]));
+    }
+
+    // Duals: each row's witness column has coefficients `+e_i` and zero
+    // phase-2 cost, so its final reduced cost is `-y_i` (for the
+    // normalized maximize system). Undo the row flips and the minimize
+    // negation to express duals against the problem as stated.
+    let num_explicit = problem.rows.len();
+    let mut row_duals = Vec::with_capacity(num_explicit);
+    let mut bound_duals = vec![None; nstruct];
+    for (k, &wcol) in witness.iter().enumerate() {
+        let mut y = cost[wcol].neg();
+        if flipped[k] {
+            y = y.neg();
+        }
+        if negate {
+            y = y.neg();
+        }
+        if k < num_explicit {
+            row_duals.push(y);
+        } else {
+            // Upper-bound rows were appended in variable order.
+            let var = raw[k].coeffs[0].0;
+            bound_duals[var] = Some(y);
+        }
+    }
+
+    Ok(Solution::new(
+        values,
+        objective,
+        total_iters,
+        phase1_iters,
+        row_duals,
+        bound_duals,
+    ))
+}

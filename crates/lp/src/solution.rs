@@ -1,0 +1,110 @@
+//! Solve results and errors.
+
+use crate::problem::Var;
+use crate::scalar::Scalar;
+use std::fmt;
+
+/// Why a solve did not produce an optimal solution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraint set is empty (phase 1 could not zero the artificials).
+    Infeasible,
+    /// The objective is unbounded in the direction of optimization.
+    Unbounded,
+    /// The pivot budget was exhausted (only plausible for `f64` cycling).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SolveError::Infeasible => "linear program is infeasible",
+            SolveError::Unbounded => "linear program is unbounded",
+            SolveError::IterationLimit => "simplex iteration limit exceeded",
+        })
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Legacy alias kept for API clarity in match statements.
+pub type Status = SolveError;
+
+/// An optimal solution to a [`Problem`](crate::Problem).
+#[derive(Clone, Debug)]
+pub struct Solution<S> {
+    values: Vec<S>,
+    objective: S,
+    iterations: usize,
+    phase1_iterations: usize,
+    row_duals: Vec<S>,
+    bound_duals: Vec<Option<S>>,
+}
+
+impl<S: Scalar> Solution<S> {
+    pub(crate) fn new(
+        values: Vec<S>,
+        objective: S,
+        iterations: usize,
+        phase1_iterations: usize,
+        row_duals: Vec<S>,
+        bound_duals: Vec<Option<S>>,
+    ) -> Self {
+        Solution { values, objective, iterations, phase1_iterations, row_duals, bound_duals }
+    }
+
+    /// Dual value (Lagrange multiplier) of the `i`-th explicit constraint,
+    /// in [`Problem::add_constraint`](crate::Problem::add_constraint)
+    /// order. Together with [`Solution::bound_dual`] these certify
+    /// optimality: the dual objective `Σ y_i b_i + Σ μ_v ub_v` equals the
+    /// primal objective exactly (strong duality), which
+    /// [`Problem::verify_optimality`](crate::Problem::verify_optimality)
+    /// checks.
+    #[inline]
+    pub fn row_dual(&self, i: usize) -> &S {
+        &self.row_duals[i]
+    }
+
+    /// All explicit-row duals.
+    #[inline]
+    pub fn row_duals(&self) -> &[S] {
+        &self.row_duals
+    }
+
+    /// Dual of a variable's upper bound (`None` if the variable has no
+    /// upper bound).
+    #[inline]
+    pub fn bound_dual(&self, var: Var) -> Option<&S> {
+        self.bound_duals[var.index()].as_ref()
+    }
+
+    /// Value of a variable at the optimum.
+    #[inline]
+    pub fn value(&self, var: Var) -> &S {
+        &self.values[var.index()]
+    }
+
+    /// All variable values, indexed by [`Var::index`].
+    #[inline]
+    pub fn values(&self) -> &[S] {
+        &self.values
+    }
+
+    /// Optimal objective value.
+    #[inline]
+    pub fn objective(&self) -> &S {
+        &self.objective
+    }
+
+    /// Total simplex pivots used (both phases).
+    #[inline]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Pivots used by phase 1 alone.
+    #[inline]
+    pub fn phase1_iterations(&self) -> usize {
+        self.phase1_iterations
+    }
+}

@@ -1,0 +1,193 @@
+//! Exact LP-duality certificates: every optimum the solver reports must
+//! come with duals that prove it (feasibility + sign conditions + strong
+//! duality), with no tolerance anywhere.
+
+use proptest::prelude::*;
+use ss_lp::{Cmp, Problem, Sense};
+use ss_num::Ratio;
+
+fn ri(n: i64) -> Ratio {
+    Ratio::from_int(n)
+}
+
+#[test]
+fn textbook_certificate() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var("x");
+    let y = p.add_var("y");
+    p.set_objective_coeff(x, ri(3));
+    p.set_objective_coeff(y, ri(5));
+    p.add_constraint("c1", [(x, ri(1))], Cmp::Le, ri(4));
+    p.add_constraint("c2", [(y, ri(2))], Cmp::Le, ri(12));
+    p.add_constraint("c3", [(x, ri(3)), (y, ri(2))], Cmp::Le, ri(18));
+    let s = p.solve_exact().unwrap();
+    p.verify_optimality(&s).unwrap();
+    // Known duals for this classic: y = (0, 3/2, 1).
+    assert_eq!(s.row_dual(0), &ri(0));
+    assert_eq!(s.row_dual(1), &Ratio::new(3, 2));
+    assert_eq!(s.row_dual(2), &ri(1));
+}
+
+#[test]
+fn minimize_certificate() {
+    let mut p = Problem::new(Sense::Minimize);
+    let x = p.add_var("x");
+    let y = p.add_var("y");
+    p.set_objective_coeff(x, ri(2));
+    p.set_objective_coeff(y, ri(3));
+    p.add_constraint("c1", [(x, ri(1)), (y, ri(1))], Cmp::Ge, ri(4));
+    p.add_constraint("c2", [(x, ri(1))], Cmp::Ge, ri(1));
+    let s = p.solve_exact().unwrap();
+    p.verify_optimality(&s).unwrap();
+}
+
+#[test]
+fn equality_and_bounds_certificate() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var_bounded("x", Ratio::new(3, 2));
+    let y = p.add_var("y");
+    p.set_objective_coeff(x, ri(1));
+    p.set_objective_coeff(y, ri(2));
+    p.add_constraint("sum", [(x, ri(1)), (y, ri(1))], Cmp::Eq, ri(2));
+    let s = p.solve_exact().unwrap();
+    p.verify_optimality(&s).unwrap();
+    // Optimum: y as large as possible => x = 0, y = 2, obj 4.
+    assert_eq!(s.objective(), &ri(4));
+}
+
+#[test]
+fn negative_rhs_certificate() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var_bounded("x", ri(5));
+    p.set_objective_coeff(x, ri(1));
+    // -x <= -2, i.e. x >= 2 written with a negative rhs.
+    p.add_constraint("lo", [(x, ri(-1))], Cmp::Le, ri(-2));
+    let s = p.solve_exact().unwrap();
+    p.verify_optimality(&s).unwrap();
+    assert_eq!(s.objective(), &ri(5));
+}
+
+#[test]
+fn steady_state_lp_certificates() {
+    // The real workloads: SSMS and scatter LPs on paper + random platforms.
+    use ss_platform::{paper, topo};
+    let (g, m) = paper::fig1();
+    let (prob, _) = ss_core_build_ssms(&g, m);
+    let s = prob.solve_exact().unwrap();
+    prob.verify_optimality(&s).unwrap();
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    for seed in 0..3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, m) = topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default());
+        let (prob, _) = ss_core_build_ssms(&g, m);
+        let s = prob.solve_exact().unwrap();
+        prob.verify_optimality(&s).unwrap();
+    }
+}
+
+// ss-lp cannot depend on ss-core (dependency direction), so rebuild the
+// SSMS LP inline: maximize sum alpha_i/w_i under one-port + conservation.
+fn ss_core_build_ssms(
+    g: &ss_platform::Platform,
+    master: ss_platform::NodeId,
+) -> (Problem, ()) {
+    use ss_lp::LinExpr;
+    let mut p = Problem::new(Sense::Maximize);
+    let alpha: Vec<_> = g
+        .nodes()
+        .map(|n| n.w.is_finite().then(|| p.add_var_bounded(format!("a{}", n.id.index()), Ratio::one())))
+        .collect();
+    let s: Vec<_> = g
+        .edges()
+        .map(|e| {
+            if e.dst == master {
+                p.add_var_bounded(format!("s{}", e.id.index()), Ratio::zero())
+            } else {
+                p.add_var_bounded(format!("s{}", e.id.index()), Ratio::one())
+            }
+        })
+        .collect();
+    for i in g.node_ids() {
+        if let (Some(v), Some(w)) = (alpha[i.index()], g.node(i).w.as_ratio()) {
+            p.set_objective_coeff(v, w.recip());
+        }
+        let out: Vec<_> = g.out_edges(i).map(|e| (s[e.id.index()], Ratio::one())).collect();
+        if !out.is_empty() {
+            p.add_constraint(format!("out{}", i.index()), out, Cmp::Le, Ratio::one());
+        }
+        let inn: Vec<_> = g.in_edges(i).map(|e| (s[e.id.index()], Ratio::one())).collect();
+        if !inn.is_empty() {
+            p.add_constraint(format!("in{}", i.index()), inn, Cmp::Le, Ratio::one());
+        }
+        if i != master {
+            let mut expr = LinExpr::new();
+            for e in g.in_edges(i) {
+                expr.add(s[e.id.index()], e.c.recip());
+            }
+            if let (Some(v), Some(w)) = (alpha[i.index()], g.node(i).w.as_ratio()) {
+                expr.add(v, -w.recip());
+            }
+            for e in g.out_edges(i) {
+                expr.add(s[e.id.index()], -e.c.recip());
+            }
+            p.add_expr_constraint(format!("cons{}", i.index()), expr, Cmp::Eq, Ratio::zero());
+        }
+    }
+    (p, ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every random bounded LP's optimum is certified by its own duals.
+    #[test]
+    fn random_lps_certified(
+        nv in 1usize..5,
+        nc in 1usize..5,
+        coeffs in prop::collection::vec(0i64..6, 60),
+        rhss in prop::collection::vec(1i64..20, 8),
+        objs in prop::collection::vec(0i64..5, 8),
+    ) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..nv).map(|i| p.add_var_bounded(format!("x{i}"), ri(10))).collect();
+        for (i, &o) in objs.iter().enumerate().take(nv) {
+            p.set_objective_coeff(vars[i], ri(o));
+        }
+        for ci in 0..nc {
+            let terms: Vec<_> = (0..nv)
+                .map(|vi| (vars[vi], ri(coeffs[ci * nv + vi])))
+                .filter(|(_, c)| !c.is_zero())
+                .collect();
+            p.add_constraint(format!("c{ci}"), terms, Cmp::Le, ri(rhss[ci]));
+        }
+        let s = p.solve_exact().unwrap();
+        prop_assert!(p.verify_optimality(&s).is_ok(), "{:?}", p.verify_optimality(&s));
+    }
+
+    /// Mixed constraint senses with feasible interiors also certify.
+    #[test]
+    fn random_mixed_lps_certified(
+        nv in 1usize..4,
+        lo in prop::collection::vec(0i64..3, 6),
+        hi in prop::collection::vec(5i64..15, 6),
+        objs in prop::collection::vec(-3i64..5, 6),
+    ) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..nv).map(|i| p.add_var_bounded(format!("x{i}"), ri(20))).collect();
+        for (i, &o) in objs.iter().enumerate().take(nv) {
+            p.set_objective_coeff(vars[i], ri(o));
+        }
+        for (i, &v) in vars.iter().enumerate() {
+            p.add_constraint(format!("lo{i}"), [(v, ri(1))], Cmp::Ge, ri(lo[i]));
+            p.add_constraint(format!("hi{i}"), [(v, ri(1))], Cmp::Le, ri(hi[i]));
+        }
+        // A coupling equality: x0 + ... + x_{nv-1} == mid-range sum.
+        let target: i64 = (0..nv).map(|i| (lo[i] + hi[i]) / 2).sum();
+        let terms: Vec<_> = vars.iter().take(nv).map(|&v| (v, ri(1))).collect();
+        p.add_constraint("couple", terms, Cmp::Eq, ri(target));
+        let s = p.solve_exact().unwrap();
+        prop_assert!(p.verify_optimality(&s).is_ok(), "{:?}", p.verify_optimality(&s));
+    }
+}

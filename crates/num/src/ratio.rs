@@ -1,0 +1,700 @@
+//! Exact rational numbers with [`BigInt`] numerator and denominator.
+
+use crate::bigint::{BigInt, Sign};
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+/// An exact rational number.
+///
+/// Invariants: the denominator is strictly positive and
+/// `gcd(|numerator|, denominator) == 1`; zero is represented as `0/1`.
+///
+/// ```
+/// use ss_num::Ratio;
+/// let half = Ratio::new(1, 2);
+/// let third = Ratio::new(1, 3);
+/// assert_eq!(&half - &third, Ratio::new(1, 6));
+/// assert_eq!((&half * &third).to_string(), "1/6");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigInt, // > 0
+}
+
+impl Ratio {
+    /// Zero (`0/1`).
+    #[inline]
+    pub fn zero() -> Ratio {
+        Ratio { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// One (`1/1`).
+    #[inline]
+    pub fn one() -> Ratio {
+        Ratio { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Build `n/d` from machine integers.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[inline]
+    pub fn new(n: i64, d: i64) -> Ratio {
+        Ratio::from_bigints(BigInt::from(n), BigInt::from(d))
+    }
+
+    /// Build `n/d` from big integers, normalizing sign and reducing.
+    ///
+    /// # Panics
+    /// Panics if `d` is zero.
+    pub fn from_bigints(n: BigInt, d: BigInt) -> Ratio {
+        assert!(!d.is_zero(), "Ratio with zero denominator");
+        if n.is_zero() {
+            return Ratio::zero();
+        }
+        let (mut n, mut d) = if d.is_negative() { (-n, -d) } else { (n, d) };
+        let g = n.gcd(&d);
+        if !g.is_one() {
+            n = &n / &g;
+            d = &d / &g;
+        }
+        Ratio { num: n, den: d }
+    }
+
+    /// Build from an integer.
+    #[inline]
+    pub fn from_int(n: i64) -> Ratio {
+        Ratio { num: BigInt::from(n), den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying, coprime with the denominator).
+    #[inline]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always strictly positive).
+    #[inline]
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// `true` iff this is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff this is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// `true` iff strictly negative.
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff strictly positive.
+    #[inline]
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// `true` iff the value is an integer (denominator 1).
+    #[inline]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign as a [`Sign`].
+    #[inline]
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        if self.num.is_negative() {
+            Ratio { num: -self.den.clone(), den: -self.num.clone() }
+        } else {
+            Ratio { num: self.den.clone(), den: self.num.clone() }
+        }
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Convert to `f64` (nearest representable; may lose precision).
+    pub fn to_f64(&self) -> f64 {
+        // Scale so numerator/denominator both fit comfortably in f64 range.
+        let nb = self.num.bits() as i64;
+        let db = self.den.bits() as i64;
+        if nb < 900 && db < 900 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        // Shift both down by the same power of two to avoid inf/inf.
+        let shift = (nb.max(db) - 512).max(0) as u32;
+        let two = BigInt::from(2).pow(shift);
+        let n = &self.num / &two;
+        let d = &self.den / &two;
+        n.to_f64() / d.to_f64()
+    }
+
+    /// Exact power with integer exponent (negative exponents invert).
+    ///
+    /// # Panics
+    /// Panics on `0.pow(negative)`.
+    pub fn pow(&self, exp: i32) -> Ratio {
+        if exp >= 0 {
+            Ratio {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            }
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// Minimum of two rationals by value.
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals by value.
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Least common multiple of the denominators of a sequence of rationals.
+    ///
+    /// This is the period-extraction primitive of §4.1: given the rational
+    /// activity variables of the steady-state LP solution, the schedule
+    /// period is `lcm` of their denominators, making every per-period
+    /// quantity an exact integer. Returns `1` for an empty sequence.
+    pub fn lcm_of_denominators<'a, I: IntoIterator<Item = &'a Ratio>>(iter: I) -> BigInt {
+        let mut acc = BigInt::one();
+        for r in iter {
+            acc = acc.lcm(&r.den);
+        }
+        acc
+    }
+
+    /// Approximate a float by a rational with denominator at most `max_den`
+    /// (continued-fraction / Stern-Brocot expansion).
+    ///
+    /// Used to import measured (floating-point) platform parameters into the
+    /// exact pipeline. Panics if `x` is not finite.
+    pub fn approximate_f64(x: f64, max_den: u64) -> Ratio {
+        assert!(x.is_finite(), "cannot approximate a non-finite float");
+        assert!(max_den >= 1);
+        let neg = x < 0.0;
+        let mut x = x.abs();
+        // Continued fraction convergents p/q.
+        let (mut p0, mut q0, mut p1, mut q1) = (0u128, 1u128, 1u128, 0u128);
+        for _ in 0..64 {
+            let a = x.floor();
+            if a >= u64::MAX as f64 {
+                break;
+            }
+            let a_u = a as u128;
+            let p2 = a_u.saturating_mul(p1).saturating_add(p0);
+            let q2 = a_u.saturating_mul(q1).saturating_add(q0);
+            if q2 > max_den as u128 {
+                break;
+            }
+            p0 = p1;
+            q0 = q1;
+            p1 = p2;
+            q1 = q2;
+            let frac = x - a;
+            if frac < 1e-12 {
+                break;
+            }
+            x = 1.0 / frac;
+        }
+        if q1 == 0 {
+            // x larger than u64 range: fall back to the floor.
+            return Ratio::from_bigints(BigInt::from(x as u128), BigInt::one());
+        }
+        let r = Ratio::from_bigints(BigInt::from(p1), BigInt::from(q1));
+        if neg {
+            -r
+        } else {
+            r
+        }
+    }
+}
+
+impl Default for Ratio {
+    #[inline]
+    fn default() -> Ratio {
+        Ratio::zero()
+    }
+}
+
+impl From<i64> for Ratio {
+    #[inline]
+    fn from(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+}
+
+impl From<u64> for Ratio {
+    #[inline]
+    fn from(n: u64) -> Ratio {
+        Ratio { num: BigInt::from(n), den: BigInt::one() }
+    }
+}
+
+impl From<i32> for Ratio {
+    #[inline]
+    fn from(n: i32) -> Ratio {
+        Ratio::from_int(n as i64)
+    }
+}
+
+impl From<u32> for Ratio {
+    #[inline]
+    fn from(n: u32) -> Ratio {
+        Ratio { num: BigInt::from(n), den: BigInt::one() }
+    }
+}
+
+impl From<usize> for Ratio {
+    #[inline]
+    fn from(n: usize) -> Ratio {
+        Ratio { num: BigInt::from(n), den: BigInt::one() }
+    }
+}
+
+impl From<BigInt> for Ratio {
+    #[inline]
+    fn from(n: BigInt) -> Ratio {
+        Ratio { num: n, den: BigInt::one() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic.
+// ---------------------------------------------------------------------------
+
+impl Add for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &Ratio) -> Ratio {
+        // n1/d1 + n2/d2 with a gcd(d1,d2) shortcut to limit growth.
+        let g = self.den.gcd(&rhs.den);
+        let d1g = &self.den / &g;
+        let d2g = &rhs.den / &g;
+        let num = &self.num * &d2g + &rhs.num * &d1g;
+        let den = &self.den * &d2g;
+        Ratio::from_bigints(num, den)
+    }
+}
+
+impl Sub for &Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: &Ratio) -> Ratio {
+        let g = self.den.gcd(&rhs.den);
+        let d1g = &self.den / &g;
+        let d2g = &rhs.den / &g;
+        let num = &self.num * &d2g - &rhs.num * &d1g;
+        let den = &self.den * &d2g;
+        Ratio::from_bigints(num, den)
+    }
+}
+
+impl Mul for &Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: &Ratio) -> Ratio {
+        if self.is_zero() || rhs.is_zero() {
+            return Ratio::zero();
+        }
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = self.num.gcd(&rhs.den);
+        let g2 = rhs.num.gcd(&self.den);
+        let num = (&self.num / &g1) * (&rhs.num / &g2);
+        let den = (&self.den / &g2) * (&rhs.den / &g1);
+        // num/den is already reduced; fix the sign convention directly.
+        if den.is_negative() {
+            Ratio { num: -num, den: -den }
+        } else {
+            Ratio { num, den }
+        }
+    }
+}
+
+impl Div for &Ratio {
+    type Output = Ratio;
+    #[inline]
+    fn div(self, rhs: &Ratio) -> Ratio {
+        assert!(!rhs.is_zero(), "division by zero Ratio");
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &Ratio {
+    type Output = Ratio;
+    #[inline]
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num.clone(), den: self.den.clone() }
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    #[inline]
+    fn neg(mut self) -> Ratio {
+        self.num = -self.num;
+        self
+    }
+}
+
+macro_rules! forward_owned_binop_ratio {
+    ($($op:ident :: $f:ident),*) => {$(
+        impl $op for Ratio {
+            type Output = Ratio;
+            #[inline]
+            fn $f(self, rhs: Ratio) -> Ratio { (&self).$f(&rhs) }
+        }
+        impl $op<&Ratio> for Ratio {
+            type Output = Ratio;
+            #[inline]
+            fn $f(self, rhs: &Ratio) -> Ratio { (&self).$f(rhs) }
+        }
+        impl $op<Ratio> for &Ratio {
+            type Output = Ratio;
+            #[inline]
+            fn $f(self, rhs: Ratio) -> Ratio { self.$f(&rhs) }
+        }
+    )*};
+}
+forward_owned_binop_ratio!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl AddAssign<&Ratio> for Ratio {
+    #[inline]
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign for Ratio {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl SubAssign<&Ratio> for Ratio {
+    #[inline]
+    fn sub_assign(&mut self, rhs: &Ratio) {
+        *self = &*self - rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = &*self - &rhs;
+    }
+}
+
+impl MulAssign<&Ratio> for Ratio {
+    #[inline]
+    fn mul_assign(&mut self, rhs: &Ratio) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl DivAssign<&Ratio> for Ratio {
+    #[inline]
+    fn div_assign(&mut self, rhs: &Ratio) {
+        *self = &*self / rhs;
+    }
+}
+
+impl DivAssign for Ratio {
+    #[inline]
+    fn div_assign(&mut self, rhs: Ratio) {
+        *self = &*self / &rhs;
+    }
+}
+
+impl std::iter::Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |a, b| a + b)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |a, b| &a + b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordering.
+// ---------------------------------------------------------------------------
+
+impl PartialOrd for Ratio {
+    #[inline]
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // Fast path on signs.
+        match (self.sign(), other.sign()) {
+            (a, b) if a != b => return a.cmp(&b),
+            (Sign::Zero, Sign::Zero) => return Ordering::Equal,
+            _ => {}
+        }
+        // Cross-multiply: n1*d2 <=> n2*d1 (denominators positive).
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting and parsing.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+/// Error returned when parsing a [`Ratio`] from a malformed string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRatioError;
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid rational literal (expected `n`, `n/d`, or a decimal)")
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    /// Accepts `"3"`, `"-3/4"`, and decimal notation `"1.25"`.
+    fn from_str(s: &str) -> Result<Ratio, ParseRatioError> {
+        if let Some((n, d)) = s.split_once('/') {
+            let n: BigInt = n.trim().parse().map_err(|_| ParseRatioError)?;
+            let d: BigInt = d.trim().parse().map_err(|_| ParseRatioError)?;
+            if d.is_zero() {
+                return Err(ParseRatioError);
+            }
+            return Ok(Ratio::from_bigints(n, d));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let neg = int_part.trim_start().starts_with('-');
+            let i: BigInt = if int_part.is_empty() || int_part == "-" {
+                BigInt::zero()
+            } else {
+                int_part.parse().map_err(|_| ParseRatioError)?
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseRatioError);
+            }
+            let f: BigInt = frac_part.parse().map_err(|_| ParseRatioError)?;
+            let scale = BigInt::from(10).pow(frac_part.len() as u32);
+            let frac = Ratio::from_bigints(f, scale);
+            let int = Ratio::from(i);
+            return Ok(if neg { int - frac } else { int + frac });
+        }
+        let n: BigInt = s.trim().parse().map_err(|_| ParseRatioError)?;
+        Ok(Ratio::from(n))
+    }
+}
+
+/// Convenience constructor: `rat(3, 4)` is `3/4`.
+#[inline]
+pub fn rat(n: i64, d: i64) -> Ratio {
+    Ratio::new(n, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, 5), Ratio::zero());
+        assert!(Ratio::new(0, -7).denom().is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Ratio::new(1, 2) + Ratio::new(1, 3), Ratio::new(5, 6));
+        assert_eq!(Ratio::new(1, 2) - Ratio::new(1, 3), Ratio::new(1, 6));
+        assert_eq!(Ratio::new(2, 3) * Ratio::new(3, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(1, 2) / Ratio::new(1, 4), Ratio::new(2, 1));
+        assert_eq!(-Ratio::new(1, 2), Ratio::new(-1, 2));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = Ratio::new(1, 2);
+        x += Ratio::new(1, 6);
+        assert_eq!(x, Ratio::new(2, 3));
+        x *= Ratio::new(3, 2);
+        assert_eq!(x, Ratio::one());
+        x -= Ratio::new(1, 4);
+        assert_eq!(x, Ratio::new(3, 4));
+        x /= Ratio::new(3, 1);
+        assert_eq!(x, Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::new(-1, 3));
+        assert!(Ratio::new(-1, 2) < Ratio::zero());
+        assert!(Ratio::new(7, 3) > Ratio::new(2, 1));
+        assert_eq!(Ratio::new(2, 6).cmp(&Ratio::new(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Ratio::new(7, 2).floor(), BigInt::from(3));
+        assert_eq!(Ratio::new(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(Ratio::new(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(Ratio::new(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(Ratio::from(5i64).floor(), BigInt::from(5));
+        assert_eq!(Ratio::from(5i64).ceil(), BigInt::from(5));
+    }
+
+    #[test]
+    fn recip_pow() {
+        assert_eq!(Ratio::new(3, 4).recip(), Ratio::new(4, 3));
+        assert_eq!(Ratio::new(-3, 4).recip(), Ratio::new(-4, 3));
+        assert_eq!(Ratio::new(2, 3).pow(3), Ratio::new(8, 27));
+        assert_eq!(Ratio::new(2, 3).pow(-2), Ratio::new(9, 4));
+        assert_eq!(Ratio::new(5, 7).pow(0), Ratio::one());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "5", "-5", "1/3", "-7/11", "123456789123456789/2"] {
+            let r: Ratio = s.parse().unwrap();
+            assert_eq!(r.to_string(), s);
+        }
+        assert_eq!("1.25".parse::<Ratio>().unwrap(), Ratio::new(5, 4));
+        assert_eq!("-0.5".parse::<Ratio>().unwrap(), Ratio::new(-1, 2));
+        assert_eq!("2/4".parse::<Ratio>().unwrap().to_string(), "1/2");
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("a/b".parse::<Ratio>().is_err());
+        assert!("1.".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(Ratio::new(1, 2).to_f64(), 0.5);
+        assert_eq!(Ratio::new(-3, 4).to_f64(), -0.75);
+        let tiny = Ratio::from_bigints(BigInt::one(), BigInt::from(2).pow(1200));
+        assert!(tiny.to_f64() >= 0.0);
+        let big = Ratio::from_bigints(BigInt::from(2).pow(1200), BigInt::from(2).pow(1199));
+        assert!((big.to_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lcm_of_denominators() {
+        let rs = [Ratio::new(1, 4), Ratio::new(5, 6), Ratio::new(3, 1)];
+        assert_eq!(Ratio::lcm_of_denominators(rs.iter()), BigInt::from(12));
+        let empty: [Ratio; 0] = [];
+        assert_eq!(Ratio::lcm_of_denominators(empty.iter()), BigInt::one());
+    }
+
+    #[test]
+    fn approximate_f64() {
+        assert_eq!(Ratio::approximate_f64(0.5, 100), Ratio::new(1, 2));
+        assert_eq!(Ratio::approximate_f64(-0.25, 100), Ratio::new(-1, 4));
+        assert_eq!(Ratio::approximate_f64(3.0, 100), Ratio::from_int(3));
+        let pi = Ratio::approximate_f64(std::f64::consts::PI, 200);
+        // Best rational approximation to pi with denominator <= 200 is 355/113.
+        assert_eq!(pi, Ratio::new(355, 113));
+        let x = 0.123456789;
+        let r = Ratio::approximate_f64(x, 1_000_000_000);
+        assert!((r.to_f64() - x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_sum() {
+        assert_eq!(Ratio::new(1, 2).min(Ratio::new(1, 3)), Ratio::new(1, 3));
+        assert_eq!(Ratio::new(1, 2).max(Ratio::new(1, 3)), Ratio::new(1, 2));
+        let s: Ratio = [Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(1, 6)].into_iter().sum();
+        assert_eq!(s, Ratio::one());
+        let s2: Ratio = [Ratio::new(1, 2), Ratio::new(1, 2)].iter().sum();
+        assert_eq!(s2, Ratio::one());
+    }
+}

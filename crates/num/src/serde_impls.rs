@@ -1,0 +1,55 @@
+//! Serde support: [`BigInt`] and [`Ratio`] serialize as decimal / `n/d`
+//! strings, which keeps arbitrary precision intact across JSON round-trips.
+
+use crate::{BigInt, Ratio};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for BigInt {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for BigInt {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<BigInt, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(|_| D::Error::custom("invalid BigInt string"))
+    }
+}
+
+impl Serialize for Ratio {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Ratio {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Ratio, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(|_| D::Error::custom("invalid Ratio string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigint_json_roundtrip() {
+        let x: BigInt = "123456789123456789123456789".parse().unwrap();
+        let json = serde_json::to_string(&x).unwrap();
+        assert_eq!(json, "\"123456789123456789123456789\"");
+        let back: BigInt = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn ratio_json_roundtrip() {
+        let x = Ratio::new(-7, 12);
+        let json = serde_json::to_string(&x).unwrap();
+        assert_eq!(json, "\"-7/12\"");
+        let back: Ratio = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, x);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests: ring/field laws for `BigInt` and `Ratio`, checked
+//! against `i128` reference arithmetic where a reference exists.
+
+use proptest::prelude::*;
+use ss_num::{BigInt, Ratio};
+
+fn big(x: i128) -> BigInt {
+    BigInt::from(x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn bigint_add_matches_i128(a in -(1i128 << 100)..(1i128 << 100), b in -(1i128 << 100)..(1i128 << 100)) {
+        prop_assert_eq!(big(a) + big(b), big(a + b));
+    }
+
+    #[test]
+    fn bigint_sub_matches_i128(a in -(1i128 << 100)..(1i128 << 100), b in -(1i128 << 100)..(1i128 << 100)) {
+        prop_assert_eq!(big(a) - big(b), big(a - b));
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in -(1i128 << 60)..(1i128 << 60), b in -(1i128 << 60)..(1i128 << 60)) {
+        prop_assert_eq!(big(a) * big(b), big(a * b));
+    }
+
+    #[test]
+    fn bigint_divrem_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+        prop_assume!(b != 0);
+        prop_assume!(!(a == i128::MIN && b == -1));
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert_eq!(q, big(a / b));
+        prop_assert_eq!(r, big(a % b));
+    }
+
+    #[test]
+    fn bigint_divrem_identity_large(a_s in "[1-9][0-9]{40,80}", b_s in "[1-9][0-9]{10,35}") {
+        let a: BigInt = a_s.parse().unwrap();
+        let b: BigInt = b_s.parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + &r, a);
+        prop_assert!(r.abs() < b.abs());
+        prop_assert!(!r.is_negative());
+    }
+
+    #[test]
+    fn bigint_mul_commutes_associates(a_s in "[0-9]{1,40}", b_s in "[0-9]{1,40}", c_s in "[0-9]{1,40}") {
+        let a: BigInt = a_s.parse().unwrap();
+        let b: BigInt = b_s.parse().unwrap();
+        let c: BigInt = c_s.parse().unwrap();
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a_s in "-?[1-9][0-9]{0,60}") {
+        let a: BigInt = a_s.parse().unwrap();
+        prop_assert_eq!(a.to_string(), a_s);
+    }
+
+    #[test]
+    fn bigint_gcd_properties(a in any::<i64>(), b in any::<i64>()) {
+        let g = big(a as i128).gcd(&big(b as i128));
+        if a != 0 || b != 0 {
+            prop_assert!(g.is_positive());
+            prop_assert!((big(a as i128) % &g).is_zero());
+            prop_assert!((big(b as i128) % &g).is_zero());
+        } else {
+            prop_assert!(g.is_zero());
+        }
+    }
+
+    #[test]
+    fn ratio_field_laws(
+        an in -1000i64..1000, ad in 1i64..1000,
+        bn in -1000i64..1000, bd in 1i64..1000,
+        cn in -1000i64..1000, cd in 1i64..1000,
+    ) {
+        let a = Ratio::new(an, ad);
+        let b = Ratio::new(bn, bd);
+        let c = Ratio::new(cn, cd);
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a + Ratio::zero(), a.clone());
+        prop_assert_eq!(&a * Ratio::one(), a.clone());
+        prop_assert_eq!(&a - &a, Ratio::zero());
+        if !b.is_zero() {
+            prop_assert_eq!((&a / &b) * &b, a.clone());
+        }
+    }
+
+    #[test]
+    fn ratio_is_canonical(an in -10_000i64..10_000, ad in 1i64..10_000) {
+        let a = Ratio::new(an, ad);
+        prop_assert!(a.denom().is_positive());
+        prop_assert!(a.numer().gcd(a.denom()).is_one() || a.is_zero());
+    }
+
+    #[test]
+    fn ratio_ordering_matches_f64(an in -1000i64..1000, ad in 1i64..1000, bn in -1000i64..1000, bd in 1i64..1000) {
+        let a = Ratio::new(an, ad);
+        let b = Ratio::new(bn, bd);
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn ratio_floor_ceil_bracket(an in -10_000i64..10_000, ad in 1i64..100) {
+        let a = Ratio::new(an, ad);
+        let fl = Ratio::from(a.floor());
+        let ce = Ratio::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Ratio::one());
+        if a.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+
+    #[test]
+    fn ratio_parse_display_roundtrip(an in -100_000i64..100_000, ad in 1i64..100_000) {
+        let a = Ratio::new(an, ad);
+        let s = a.to_string();
+        let back: Ratio = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn ratio_approximate_recovers_exact(n in -1000i64..1000, d in 1i64..1000) {
+        let x = n as f64 / d as f64;
+        let r = Ratio::approximate_f64(x, 1_000_000);
+        // Small rationals are recovered exactly by continued fractions.
+        prop_assert_eq!(r, Ratio::new(n, d));
+    }
+
+    #[test]
+    fn lcm_of_denominators_clears(vals in prop::collection::vec((-50i64..50, 1i64..50), 1..8)) {
+        let rs: Vec<Ratio> = vals.iter().map(|&(n, d)| Ratio::new(n, d)).collect();
+        let l = Ratio::lcm_of_denominators(rs.iter());
+        let lr = Ratio::from(l);
+        for r in &rs {
+            prop_assert!((r * &lr).is_integer());
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The platform graph data structure.
+
+use ss_num::Ratio;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a node (processor) in a [`Platform`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of a directed edge (communication link) in a [`Platform`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+impl NodeId {
+    /// Dense 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl EdgeId {
+    /// Dense 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Computation weight of a node: time-steps per computational unit.
+///
+/// `Infinite` encodes the paper's `w_i = +∞`: a node with no computing power
+/// that can still forward data (a router). `w_i = 0` is rejected at
+/// construction time, exactly as the paper disallows it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Weight {
+    /// Finite positive weight (slower = larger).
+    Finite(Ratio),
+    /// No compute capability; forwarding only.
+    Infinite,
+}
+
+impl Weight {
+    /// A finite weight; panics unless `w > 0`.
+    pub fn finite(w: Ratio) -> Weight {
+        assert!(w.is_positive(), "node weight must be > 0 (w = 0 would mean infinite speed)");
+        Weight::Finite(w)
+    }
+
+    /// Convenience integer constructor.
+    pub fn from_int(w: i64) -> Weight {
+        Weight::finite(Ratio::from_int(w))
+    }
+
+    /// `true` for finite weights.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Weight::Finite(_))
+    }
+
+    /// The weight as a rational, if finite.
+    #[inline]
+    pub fn as_ratio(&self) -> Option<&Ratio> {
+        match self {
+            Weight::Finite(w) => Some(w),
+            Weight::Infinite => None,
+        }
+    }
+
+    /// Compute *speed* in task-units per time-unit: `1 / w_i`, with 0 for
+    /// `+∞` (a forwarder computes nothing).
+    pub fn speed(&self) -> Ratio {
+        match self {
+            Weight::Finite(w) => w.recip(),
+            Weight::Infinite => Ratio::zero(),
+        }
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Weight::Finite(w) => write!(f, "{w}"),
+            Weight::Infinite => f.write_str("inf"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub name: String,
+    pub w: Weight,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Edge {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub c: Ratio,
+}
+
+/// Read-only view of a node.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeRef<'a> {
+    /// Node id.
+    pub id: NodeId,
+    /// Human-readable name (e.g. `"P3"`).
+    pub name: &'a str,
+    /// Computation weight.
+    pub w: &'a Weight,
+}
+
+/// Read-only view of an edge.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRef<'a> {
+    /// Edge id.
+    pub id: EdgeId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Communication cost per data unit.
+    pub c: &'a Ratio,
+}
+
+/// Errors from platform construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlatformError {
+    /// Edge endpoints must differ.
+    SelfLoop,
+    /// At most one edge per ordered pair.
+    DuplicateEdge,
+    /// Communication cost must be strictly positive.
+    NonPositiveCost,
+    /// Node index out of range.
+    InvalidNode,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlatformError::SelfLoop => "self-loop edges are not allowed",
+            PlatformError::DuplicateEdge => "duplicate directed edge",
+            PlatformError::NonPositiveCost => "edge cost must be > 0",
+            PlatformError::InvalidNode => "node id out of range",
+        })
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// The platform graph `G = (V, E, w, c)` of §2.
+#[derive(Clone, Debug, Default)]
+pub struct Platform {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl Platform {
+    /// Empty platform.
+    pub fn new() -> Platform {
+        Platform::default()
+    }
+
+    /// Add a processor node; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, w: Weight) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { name: name.into(), w });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Add a directed communication link `src -> dst` with unit cost `c`.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, c: Ratio) -> Result<EdgeId, PlatformError> {
+        if src.0 >= self.nodes.len() || dst.0 >= self.nodes.len() {
+            return Err(PlatformError::InvalidNode);
+        }
+        if src == dst {
+            return Err(PlatformError::SelfLoop);
+        }
+        if !c.is_positive() {
+            return Err(PlatformError::NonPositiveCost);
+        }
+        if self.edge_between(src, dst).is_some() {
+            return Err(PlatformError::DuplicateEdge);
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { src, dst, c });
+        self.out_adj[src.0].push(id);
+        self.in_adj[dst.0].push(id);
+        Ok(id)
+    }
+
+    /// Add both `a -> b` and `b -> a` with the same cost (a full-duplex
+    /// link, the common case for the generators).
+    pub fn add_duplex_edge(&mut self, a: NodeId, b: NodeId, c: Ratio) -> Result<(EdgeId, EdgeId), PlatformError> {
+        let e1 = self.add_edge(a, b, c.clone())?;
+        let e2 = self.add_edge(b, a, c)?;
+        Ok((e1, e2))
+    }
+
+    /// Number of processors `p = |V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterate over node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterate over edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Read-only view of a node.
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        let n = &self.nodes[id.0];
+        NodeRef { id, name: &n.name, w: &n.w }
+    }
+
+    /// Read-only view of an edge.
+    pub fn edge(&self, id: EdgeId) -> EdgeRef<'_> {
+        let e = &self.edges[id.0];
+        EdgeRef { id, src: e.src, dst: e.dst, c: &e.c }
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeRef<'_>> {
+        self.node_ids().map(move |id| self.node(id))
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_>> {
+        self.edge_ids().map(move |id| self.edge(id))
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = EdgeRef<'_>> {
+        self.out_adj[id.0].iter().map(move |&e| self.edge(e))
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = EdgeRef<'_>> {
+        self.in_adj[id.0].iter().map(move |&e| self.edge(e))
+    }
+
+    /// The edge `src -> dst`, if present.
+    pub fn edge_between(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.out_adj[src.0]
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.0].dst == dst)
+    }
+
+    /// Communication cost of `src -> dst`, if the edge exists.
+    pub fn cost_between(&self, src: NodeId, dst: NodeId) -> Option<&Ratio> {
+        self.edge_between(src, dst).map(|e| &self.edges[e.0].c)
+    }
+
+    /// `true` iff every node is reachable from `root` along directed edges.
+    pub fn is_reachable_from(&self, root: NodeId) -> bool {
+        self.bfs_depths(root).iter().all(|d| d.is_some())
+    }
+
+    /// BFS hop distance from `root` (None = unreachable).
+    ///
+    /// The maximum finite depth bounds the number of warm-up periods needed
+    /// to enter steady state (§4.2: "no more than the depth of the platform
+    /// graph").
+    pub fn bfs_depths(&self, root: NodeId) -> Vec<Option<usize>> {
+        let mut depth = vec![None; self.nodes.len()];
+        depth[root.0] = Some(0);
+        let mut q = VecDeque::from([root]);
+        while let Some(u) = q.pop_front() {
+            let du = depth[u.0].unwrap();
+            for e in &self.out_adj[u.0] {
+                let v = self.edges[e.0].dst;
+                if depth[v.0].is_none() {
+                    depth[v.0] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        depth
+    }
+
+    /// Depth of the graph rooted at `root`: the maximum BFS distance over
+    /// reachable nodes.
+    pub fn depth_from(&self, root: NodeId) -> usize {
+        self.bfs_depths(root).iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// The transposed platform (every edge reversed, weights kept).
+    ///
+    /// Reduce is broadcast on the transposed graph (the §4.2 duality), so
+    /// this is a first-class operation.
+    pub fn reversed(&self) -> Platform {
+        let mut g = Platform::new();
+        for n in &self.nodes {
+            g.add_node(n.name.clone(), n.w.clone());
+        }
+        for e in &self.edges {
+            g.add_edge(e.dst, e.src, e.c.clone()).expect("reversal preserves validity");
+        }
+        g
+    }
+
+    /// Cheapest-path communication cost from `src` to every node (Dijkstra
+    /// over `c`), used by the makespan baselines for routing decisions.
+    pub fn shortest_path_costs(&self, src: NodeId) -> Vec<Option<Ratio>> {
+        let mut dist: Vec<Option<Ratio>> = vec![None; self.nodes.len()];
+        let mut done = vec![false; self.nodes.len()];
+        dist[src.0] = Some(Ratio::zero());
+        loop {
+            // Linear scan extract-min: platforms are small and Ratio is not
+            // cheaply orderable in a binary heap without boxing.
+            let mut u: Option<usize> = None;
+            for i in 0..self.nodes.len() {
+                if done[i] || dist[i].is_none() {
+                    continue;
+                }
+                match u {
+                    None => u = Some(i),
+                    Some(b) if dist[i].as_ref().unwrap() < dist[b].as_ref().unwrap() => u = Some(i),
+                    _ => {}
+                }
+            }
+            let Some(u) = u else { break };
+            done[u] = true;
+            let du = dist[u].clone().unwrap();
+            for e in &self.out_adj[u] {
+                let edge = &self.edges[e.0];
+                let nd = &du + &edge.c;
+                let entry = &mut dist[edge.dst.0];
+                if entry.is_none() || entry.as_ref().unwrap() > &nd {
+                    *entry = Some(nd);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Next-hop predecessor map for cheapest paths from `src` (parallel to
+    /// [`Platform::shortest_path_costs`]); `pred[v]` is the edge arriving at
+    /// `v` on a cheapest path.
+    pub fn shortest_path_tree(&self, src: NodeId) -> Vec<Option<EdgeId>> {
+        let dist = self.shortest_path_costs(src);
+        let mut pred: Vec<Option<EdgeId>> = vec![None; self.nodes.len()];
+        for (v, dv) in dist.iter().enumerate() {
+            let Some(dv) = dv else { continue };
+            if v == src.0 {
+                continue;
+            }
+            for e in &self.in_adj[v] {
+                let edge = &self.edges[e.0];
+                if let Some(du) = &dist[edge.src.0] {
+                    if &(du + &edge.c) == dv {
+                        pred[v] = Some(*e);
+                        break;
+                    }
+                }
+            }
+        }
+        pred
+    }
+
+    /// Aggregate compute rate `sum_i 1/w_i` (tasks per time unit if
+    /// communications were free) — a trivial upper bound on ntask(G).
+    pub fn total_compute_rate(&self) -> Ratio {
+        self.nodes.iter().map(|n| n.w.speed()).sum()
+    }
+
+    /// Find a node id by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Graphviz DOT rendering (debugging / documentation aid).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph platform {\n");
+        for n in self.nodes() {
+            let _ = writeln!(s, "  {} [label=\"{} (w={})\"];", n.id.0, n.name, n.w);
+        }
+        for e in self.edges() {
+            let _ = writeln!(s, "  {} -> {} [label=\"{}\"];", e.src.0, e.dst.0, e.c);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(2));
+        let b = g.add_node("b", Weight::from_int(3));
+        let c = g.add_node("c", Weight::Infinite);
+        let e1 = g.add_edge(a, b, ri(1)).unwrap();
+        let e2 = g.add_edge(b, c, Ratio::new(1, 2)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge(e1).src, a);
+        assert_eq!(g.edge(e2).dst, c);
+        assert_eq!(g.edge_between(a, b), Some(e1));
+        assert_eq!(g.edge_between(b, a), None);
+        assert_eq!(g.cost_between(b, c), Some(&Ratio::new(1, 2)));
+        assert_eq!(g.out_edges(a).count(), 1);
+        assert_eq!(g.in_edges(c).count(), 1);
+        assert_eq!(g.find_node("b"), Some(b));
+        assert_eq!(g.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn construction_errors() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        assert_eq!(g.add_edge(a, a, ri(1)).unwrap_err(), PlatformError::SelfLoop);
+        assert_eq!(g.add_edge(a, b, ri(0)).unwrap_err(), PlatformError::NonPositiveCost);
+        assert_eq!(g.add_edge(a, b, ri(-1)).unwrap_err(), PlatformError::NonPositiveCost);
+        g.add_edge(a, b, ri(1)).unwrap();
+        assert_eq!(g.add_edge(a, b, ri(2)).unwrap_err(), PlatformError::DuplicateEdge);
+        assert_eq!(
+            g.add_edge(a, NodeId(99), ri(1)).unwrap_err(),
+            PlatformError::InvalidNode
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "node weight must be > 0")]
+    fn zero_weight_rejected() {
+        let _ = Weight::finite(Ratio::zero());
+    }
+
+    #[test]
+    fn weight_speed() {
+        assert_eq!(Weight::from_int(2).speed(), Ratio::new(1, 2));
+        assert_eq!(Weight::Infinite.speed(), Ratio::zero());
+        assert!(Weight::Infinite.as_ratio().is_none());
+        assert_eq!(Weight::Infinite.to_string(), "inf");
+    }
+
+    #[test]
+    fn reachability_and_depth() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        g.add_edge(a, b, ri(1)).unwrap();
+        g.add_edge(b, c, ri(1)).unwrap();
+        assert!(g.is_reachable_from(a));
+        assert!(!g.is_reachable_from(c));
+        assert_eq!(g.depth_from(a), 2);
+        assert_eq!(g.bfs_depths(a), vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(g.bfs_depths(c), vec![None, None, Some(0)]);
+    }
+
+    #[test]
+    fn reversal() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::Infinite);
+        g.add_edge(a, b, Ratio::new(3, 2)).unwrap();
+        let r = g.reversed();
+        assert_eq!(r.num_edges(), 1);
+        assert!(r.edge_between(b, a).is_some());
+        assert_eq!(r.cost_between(b, a), Some(&Ratio::new(3, 2)));
+        assert!(!r.node(b).w.is_finite());
+    }
+
+    #[test]
+    fn dijkstra_costs_and_tree() {
+        // a -> b (1), b -> c (1), a -> c (3): cheapest a->c is via b (2).
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        g.add_edge(a, b, ri(1)).unwrap();
+        g.add_edge(b, c, ri(1)).unwrap();
+        g.add_edge(a, c, ri(3)).unwrap();
+        let d = g.shortest_path_costs(a);
+        assert_eq!(d[c.0], Some(ri(2)));
+        let pred = g.shortest_path_tree(a);
+        let into_c = pred[c.0].unwrap();
+        assert_eq!(g.edge(into_c).src, b);
+        // Unreachable nodes have no predecessor and no distance.
+        let d_from_c = g.shortest_path_costs(c);
+        assert_eq!(d_from_c[a.0], None);
+    }
+
+    #[test]
+    fn total_compute_rate_sums_speeds() {
+        let mut g = Platform::new();
+        g.add_node("a", Weight::from_int(2));
+        g.add_node("b", Weight::from_int(4));
+        g.add_node("r", Weight::Infinite);
+        assert_eq!(g.total_compute_rate(), Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn duplex_edges() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_duplex_edge(a, b, ri(2)).unwrap();
+        assert!(g.edge_between(a, b).is_some());
+        assert!(g.edge_between(b, a).is_some());
+    }
+
+    #[test]
+    fn dot_output_contains_nodes() {
+        let mut g = Platform::new();
+        let a = g.add_node("P0", Weight::from_int(1));
+        let b = g.add_node("P1", Weight::Infinite);
+        g.add_edge(a, b, ri(1)).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("P0"));
+        assert!(dot.contains("w=inf"));
+        assert!(dot.contains("0 -> 1"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # ss-platform — heterogeneous platform graphs
+//!
+//! The architectural model of Beaumont et al. §2: a node-weighted,
+//! edge-weighted directed graph `G = (V, E, w, c)`.
+//!
+//! * Node `P_i` has weight `w_i`: the time to process one computational
+//!   unit (`w_i ∈ ℚ⁺`, or `+∞` for pure forwarders — routers that relay
+//!   data but cannot compute). `w_i = 0` is disallowed (it would mean
+//!   infinite speed).
+//! * Edge `e_ij : P_i → P_j` has weight `c_ij ∈ ℚ⁺`: the time to ship one
+//!   data unit from `P_i` to `P_j`. Links are oriented; a full-duplex link
+//!   is two edges.
+//!
+//! Operation mode (*full overlap, single-port*): a node can simultaneously
+//! receive from at most one neighbor, send to at most one neighbor, and
+//! compute — three activities that overlap freely, but each port carries at
+//! most one transfer at a time. The model semantics live in the LP
+//! formulations (`ss-core`) and the simulator (`ss-sim`); this crate owns
+//! the graph, its generators, and the two platforms drawn in the paper
+//! ([`paper::fig1`], [`paper::fig2_multicast`]).
+//!
+//! ```
+//! use ss_platform::{Platform, Weight};
+//! use ss_num::Ratio;
+//!
+//! let mut g = Platform::new();
+//! let master = g.add_node("master", Weight::finite(Ratio::from_int(2)));
+//! let worker = g.add_node("worker", Weight::finite(Ratio::from_int(1)));
+//! g.add_edge(master, worker, Ratio::new(1, 2)).unwrap();
+//! assert_eq!(g.num_nodes(), 2);
+//! assert!(g.is_reachable_from(master));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+pub mod paper;
+mod spec;
+pub mod topo;
+
+pub use graph::{EdgeId, EdgeRef, NodeId, NodeRef, Platform, PlatformError, Weight};
+pub use spec::PlatformSpec;

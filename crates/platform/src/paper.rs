@@ -1,0 +1,145 @@
+//! The two platforms drawn in the paper.
+//!
+//! The paper's Figure 1 labels its nodes/edges symbolically (`w_i`, `c_ij`);
+//! [`fig1`] instantiates documented canonical values so the worked example
+//! is concrete and reproducible. Figure 2's numeric labels *are* given
+//! (all edges cost 1 except `(P3, P4)` which costs 2); the edge set is
+//! reconstructed from the multicast routes enumerated in §4.3.
+
+use crate::graph::{NodeId, Platform, Weight};
+use ss_num::Ratio;
+
+/// The Figure 1 example platform: 6 processors, 7 full-duplex links.
+///
+/// Topology (paper Figure 1): edges `P1-P2`, `P1-P3`, `P2-P4`, `P2-P5`,
+/// `P3-P6`, `P4-P5`, `P5-P6`. The paper leaves `w_i`/`c_ij` symbolic; we fix
+///
+/// * weights `w = \[3, 2, 3, 5, 4, 2\]` for `P1..P6`,
+/// * costs `c12 = 1, c13 = 2, c24 = 1, c25 = 3, c36 = 1, c45 = 2, c56 = 1`,
+///
+/// chosen to be genuinely heterogeneous while keeping LP denominators small.
+/// Returns the platform and the conventional master node `P1`.
+pub fn fig1() -> (Platform, NodeId) {
+    let mut g = Platform::new();
+    let w = [3i64, 2, 3, 5, 4, 2];
+    let ids: Vec<NodeId> = (1..=6)
+        .map(|i| g.add_node(format!("P{i}"), Weight::from_int(w[i - 1])))
+        .collect();
+    let links = [
+        (1, 2, 1i64),
+        (1, 3, 2),
+        (2, 4, 1),
+        (2, 5, 3),
+        (3, 6, 1),
+        (4, 5, 2),
+        (5, 6, 1),
+    ];
+    for (a, b, c) in links {
+        g.add_duplex_edge(ids[a - 1], ids[b - 1], Ratio::from_int(c))
+            .expect("fig1 edges are valid");
+    }
+    (g, ids[0])
+}
+
+/// The Figure 2 multicast platform: source `P0`, targets `{P5, P6}`.
+///
+/// Directed edges, reconstructed from the routes of §4.3:
+///
+/// * label-a route to `P5`: `P0 → P1 → P5`
+/// * label-b route to `P5`: `P0 → P2 → P3 → P4 → P5`
+/// * route `r1` to `P6`: `P0 → P1 → P3 → P4 → P6`
+/// * route `r2` to `P6`: `P0 → P2 → P6`
+///
+/// giving edge set `{(0,1), (0,2), (1,5), (1,3), (2,3), (2,6), (3,4),
+/// (4,5), (4,6)}` with `c = 1` everywhere except `c(P3,P4) = 2` — the one
+/// "slow" edge whose capacity the two label-routes jointly exceed, which is
+/// precisely the paper's counterexample to the achievability of the
+/// max-LP multicast bound.
+///
+/// Node weights are irrelevant to pipelined multicast throughput; all are 1.
+/// Returns `(platform, source, [target0, target1])`.
+pub fn fig2_multicast() -> (Platform, NodeId, Vec<NodeId>) {
+    let mut g = Platform::new();
+    let ids: Vec<NodeId> = (0..=6)
+        .map(|i| g.add_node(format!("P{i}"), Weight::from_int(1)))
+        .collect();
+    let one = Ratio::one;
+    let edges = [
+        (0, 1, one()),
+        (0, 2, one()),
+        (1, 5, one()),
+        (1, 3, one()),
+        (2, 3, one()),
+        (2, 6, one()),
+        (3, 4, Ratio::from_int(2)),
+        (4, 5, one()),
+        (4, 6, one()),
+    ];
+    for (a, b, c) in edges {
+        g.add_edge(ids[a], ids[b], c).expect("fig2 edges are valid");
+    }
+    (g, ids[0], vec![ids[5], ids[6]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        let (g, master) = fig1();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 14); // 7 duplex links
+        assert_eq!(g.node(master).name, "P1");
+        assert!(g.is_reachable_from(master));
+        // Symmetric costs.
+        for e in g.edges() {
+            assert_eq!(g.cost_between(e.dst, e.src), Some(e.c));
+        }
+    }
+
+    #[test]
+    fn fig2_shape() {
+        let (g, src, targets) = fig2_multicast();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.node(src).name, "P0");
+        assert_eq!(targets.len(), 2);
+        // Every target reachable from the source.
+        let depths = g.bfs_depths(src);
+        for &t in &targets {
+            assert!(depths[t.index()].is_some());
+        }
+        // The slow edge is (P3, P4) with c = 2; all others are 1.
+        let p3 = g.find_node("P3").unwrap();
+        let p4 = g.find_node("P4").unwrap();
+        assert_eq!(g.cost_between(p3, p4), Some(&Ratio::from_int(2)));
+        let slow = g.edge_between(p3, p4).unwrap();
+        for e in g.edges() {
+            if e.id != slow {
+                assert_eq!(e.c, &Ratio::one());
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_routes_exist() {
+        let (g, _, _) = fig2_multicast();
+        let n = |s: &str| g.find_node(s).unwrap();
+        for route in [
+            vec!["P0", "P1", "P5"],
+            vec!["P0", "P2", "P3", "P4", "P5"],
+            vec!["P0", "P1", "P3", "P4", "P6"],
+            vec!["P0", "P2", "P6"],
+        ] {
+            for hop in route.windows(2) {
+                assert!(
+                    g.edge_between(n(hop[0]), n(hop[1])).is_some(),
+                    "missing edge {} -> {}",
+                    hop[0],
+                    hop[1]
+                );
+            }
+        }
+    }
+}

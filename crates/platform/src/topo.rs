@@ -1,0 +1,304 @@
+//! Synthetic platform generators.
+//!
+//! The paper's experiments live on "clusters and grids": heterogeneous
+//! processors behind heterogeneous links, possibly with routing-only nodes.
+//! These generators produce the platform families used by the reproduction
+//! experiments; all of them are deterministic given the `rng` seed.
+//!
+//! Weights and costs are sampled as exact rationals `n/d` with `n` in the
+//! configured range and `d` in `1..=max_denominator`. Keeping denominators
+//! small keeps the steady-state LP periods (lcm of denominators) small,
+//! which matters for exact solving; heterogeneity comes from the numerator
+//! spread.
+
+use crate::graph::{NodeId, Platform, Weight};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ss_num::Ratio;
+
+/// Sampling ranges for node weights and edge costs.
+#[derive(Clone, Debug)]
+pub struct ParamRange {
+    /// Numerator range for node weights `w_i` (inclusive).
+    pub w_range: (i64, i64),
+    /// Numerator range for edge costs `c_ij` (inclusive).
+    pub c_range: (i64, i64),
+    /// Maximum denominator (1 = integer parameters).
+    pub max_denominator: i64,
+}
+
+impl Default for ParamRange {
+    fn default() -> Self {
+        ParamRange { w_range: (1, 10), c_range: (1, 5), max_denominator: 1 }
+    }
+}
+
+impl ParamRange {
+    fn sample_w<R: Rng>(&self, rng: &mut R) -> Ratio {
+        let n = rng.gen_range(self.w_range.0..=self.w_range.1);
+        let d = rng.gen_range(1..=self.max_denominator);
+        Ratio::new(n, d)
+    }
+
+    fn sample_c<R: Rng>(&self, rng: &mut R) -> Ratio {
+        let n = rng.gen_range(self.c_range.0..=self.c_range.1);
+        let d = rng.gen_range(1..=self.max_denominator);
+        Ratio::new(n, d)
+    }
+}
+
+/// Star: one master `P0` connected by duplex links to `p - 1` workers.
+///
+/// The canonical single-level master–slave platform (paper ref \[2, 3\]).
+pub fn star<R: Rng>(rng: &mut R, p: usize, params: &ParamRange) -> (Platform, NodeId) {
+    assert!(p >= 2, "star needs at least a master and one worker");
+    let mut g = Platform::new();
+    let master = g.add_node("P0", Weight::finite(params.sample_w(rng)));
+    for i in 1..p {
+        let w = g.add_node(format!("P{i}"), Weight::finite(params.sample_w(rng)));
+        g.add_duplex_edge(master, w, params.sample_c(rng)).unwrap();
+    }
+    (g, master)
+}
+
+/// Chain: `P0 - P1 - ... - P_{p-1}` with duplex links (a deep platform —
+/// worst case for the initialization-phase depth bound of §4.2).
+pub fn chain<R: Rng>(rng: &mut R, p: usize, params: &ParamRange) -> (Platform, NodeId) {
+    assert!(p >= 2);
+    let mut g = Platform::new();
+    let ids: Vec<NodeId> = (0..p)
+        .map(|i| g.add_node(format!("P{i}"), Weight::finite(params.sample_w(rng))))
+        .collect();
+    for i in 1..p {
+        g.add_duplex_edge(ids[i - 1], ids[i], params.sample_c(rng)).unwrap();
+    }
+    (g, ids[0])
+}
+
+/// Random tree rooted at `P0`: each node `i >= 1` attaches to a uniformly
+/// random earlier node. Duplex links.
+pub fn random_tree<R: Rng>(rng: &mut R, p: usize, params: &ParamRange) -> (Platform, NodeId) {
+    assert!(p >= 2);
+    let mut g = Platform::new();
+    let root = g.add_node("P0", Weight::finite(params.sample_w(rng)));
+    let mut ids = vec![root];
+    for i in 1..p {
+        let parent = ids[rng.gen_range(0..ids.len())];
+        let n = g.add_node(format!("P{i}"), Weight::finite(params.sample_w(rng)));
+        g.add_duplex_edge(parent, n, params.sample_c(rng)).unwrap();
+        ids.push(n);
+    }
+    (g, root)
+}
+
+/// Random connected platform: a random spanning tree plus each remaining
+/// (unordered) pair linked with probability `extra_edge_prob`. Duplex links,
+/// so the digraph is strongly connected.
+pub fn random_connected<R: Rng>(
+    rng: &mut R,
+    p: usize,
+    extra_edge_prob: f64,
+    params: &ParamRange,
+) -> (Platform, NodeId) {
+    let (mut g, root) = random_tree(rng, p, params);
+    let ids: Vec<NodeId> = g.node_ids().collect();
+    for i in 0..p {
+        for j in (i + 1)..p {
+            if g.edge_between(ids[i], ids[j]).is_some() {
+                continue;
+            }
+            if rng.gen_bool(extra_edge_prob) {
+                g.add_duplex_edge(ids[i], ids[j], params.sample_c(rng)).unwrap();
+            }
+        }
+    }
+    (g, root)
+}
+
+/// 2-D grid (torus-free) of `rows x cols` processors with duplex links —
+/// the "grid" in "clusters and grids".
+pub fn grid2d<R: Rng>(rng: &mut R, rows: usize, cols: usize, params: &ParamRange) -> (Platform, NodeId) {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let mut g = Platform::new();
+    let mut ids = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            ids.push(g.add_node(format!("P{r}_{c}"), Weight::finite(params.sample_w(rng))));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let here = ids[r * cols + c];
+            if c + 1 < cols {
+                g.add_duplex_edge(here, ids[r * cols + c + 1], params.sample_c(rng)).unwrap();
+            }
+            if r + 1 < rows {
+                g.add_duplex_edge(here, ids[(r + 1) * cols + c], params.sample_c(rng)).unwrap();
+            }
+        }
+    }
+    (g, ids[0])
+}
+
+/// Two-level "cluster of clusters": a master, per-cluster routers with no
+/// compute power (`w = +∞`, the paper's forwarding-only nodes), and workers
+/// behind each router. Inter-cluster links are `wan_factor` times slower
+/// than intra-cluster links.
+pub fn two_level_clusters<R: Rng>(
+    rng: &mut R,
+    clusters: usize,
+    workers_per_cluster: usize,
+    wan_factor: i64,
+    params: &ParamRange,
+) -> (Platform, NodeId) {
+    assert!(clusters >= 1 && workers_per_cluster >= 1 && wan_factor >= 1);
+    let mut g = Platform::new();
+    let master = g.add_node("master", Weight::finite(params.sample_w(rng)));
+    for c in 0..clusters {
+        let router = g.add_node(format!("router{c}"), Weight::Infinite);
+        let wan_cost = params.sample_c(rng) * Ratio::from_int(wan_factor);
+        g.add_duplex_edge(master, router, wan_cost).unwrap();
+        for k in 0..workers_per_cluster {
+            let w = g.add_node(format!("w{c}_{k}"), Weight::finite(params.sample_w(rng)));
+            g.add_duplex_edge(router, w, params.sample_c(rng)).unwrap();
+        }
+    }
+    (g, master)
+}
+
+/// Complete graph on `p` heterogeneous processors (what ping-based mapping
+/// tools report for a WAN — §5.3's "complete graph where contention is not
+/// taken into account").
+pub fn clique<R: Rng>(rng: &mut R, p: usize, params: &ParamRange) -> (Platform, NodeId) {
+    assert!(p >= 2);
+    let mut g = Platform::new();
+    let ids: Vec<NodeId> = (0..p)
+        .map(|i| g.add_node(format!("P{i}"), Weight::finite(params.sample_w(rng))))
+        .collect();
+    for i in 0..p {
+        for j in (i + 1)..p {
+            g.add_duplex_edge(ids[i], ids[j], params.sample_c(rng)).unwrap();
+        }
+    }
+    (g, ids[0])
+}
+
+/// Pick `k` distinct non-source nodes to serve as collective targets
+/// (scatter/multicast destinations), deterministically from `rng`.
+pub fn pick_targets<R: Rng>(rng: &mut R, g: &Platform, source: NodeId, k: usize) -> Vec<NodeId> {
+    let mut candidates: Vec<NodeId> = g.node_ids().filter(|&n| n != source).collect();
+    candidates.shuffle(rng);
+    candidates.truncate(k);
+    candidates.sort();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn star_shape() {
+        let (g, m) = star(&mut rng(1), 5, &ParamRange::default());
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.out_edges(m).count(), 4);
+        assert!(g.is_reachable_from(m));
+    }
+
+    #[test]
+    fn chain_depth() {
+        let (g, root) = chain(&mut rng(2), 6, &ParamRange::default());
+        assert_eq!(g.depth_from(root), 5);
+    }
+
+    #[test]
+    fn tree_is_connected_acyclic() {
+        let (g, root) = random_tree(&mut rng(3), 12, &ParamRange::default());
+        assert_eq!(g.num_edges(), 22); // (p-1) duplex links
+        assert!(g.is_reachable_from(root));
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let (g, root) = random_connected(&mut rng(seed), 10, 0.3, &ParamRange::default());
+            assert!(g.is_reachable_from(root));
+            assert!(g.num_edges() >= 18);
+            // Strong connectivity: reachable from everywhere (duplex links).
+            for n in g.node_ids() {
+                assert!(g.is_reachable_from(n));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let (g, origin) = grid2d(&mut rng(4), 3, 4, &ParamRange::default());
+        assert_eq!(g.num_nodes(), 12);
+        // Internal duplex links: 3*3 horizontal + 2*4 vertical = 17 pairs.
+        assert_eq!(g.num_edges(), 34);
+        assert!(g.is_reachable_from(origin));
+    }
+
+    #[test]
+    fn clusters_have_infinite_routers() {
+        let (g, m) = two_level_clusters(&mut rng(5), 3, 4, 10, &ParamRange::default());
+        assert_eq!(g.num_nodes(), 1 + 3 + 12);
+        assert!(g.is_reachable_from(m));
+        let routers: Vec<_> = g.nodes().filter(|n| !n.w.is_finite()).collect();
+        assert_eq!(routers.len(), 3);
+        // Routers relay but do not compute.
+        for r in routers {
+            assert_eq!(r.w.speed(), Ratio::zero());
+        }
+    }
+
+    #[test]
+    fn clique_shape() {
+        let (g, _) = clique(&mut rng(6), 5, &ParamRange::default());
+        assert_eq!(g.num_edges(), 5 * 4);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let p1 = random_connected(&mut rng(42), 8, 0.25, &ParamRange::default());
+        let p2 = random_connected(&mut rng(42), 8, 0.25, &ParamRange::default());
+        assert_eq!(p1.0.num_edges(), p2.0.num_edges());
+        for (a, b) in p1.0.edges().zip(p2.0.edges()) {
+            assert_eq!((a.src, a.dst, a.c), (b.src, b.dst, b.c));
+        }
+    }
+
+    #[test]
+    fn fractional_parameters() {
+        let params = ParamRange { w_range: (1, 6), c_range: (1, 4), max_denominator: 3 };
+        let (g, _) = star(&mut rng(7), 6, &params);
+        // At least constructible and positive.
+        for n in g.nodes() {
+            if let Some(w) = n.w.as_ratio() {
+                assert!(w.is_positive());
+            }
+        }
+        for e in g.edges() {
+            assert!(e.c.is_positive());
+        }
+    }
+
+    #[test]
+    fn pick_targets_distinct_and_excludes_source() {
+        let (g, m) = clique(&mut rng(8), 6, &ParamRange::default());
+        let t = pick_targets(&mut rng(9), &g, m, 3);
+        assert_eq!(t.len(), 3);
+        assert!(!t.contains(&m));
+        let mut u = t.clone();
+        u.dedup();
+        assert_eq!(u, t);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for platform graphs: generator guarantees and
+//! serialization faithfulness.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ss_num::Ratio;
+use ss_platform::{topo, PlatformSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generator yields a platform reachable from its root, with
+    /// strictly positive parameters.
+    #[test]
+    fn generators_produce_valid_platforms(seed in 0u64..10_000, p in 2usize..12) {
+        let params = topo::ParamRange { w_range: (1, 9), c_range: (1, 6), max_denominator: 2 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graphs = vec![
+            topo::star(&mut rng, p.max(2), &params),
+            topo::chain(&mut rng, p.max(2), &params),
+            topo::random_tree(&mut rng, p.max(2), &params),
+            topo::random_connected(&mut rng, p.max(2), 0.3, &params),
+        ];
+        for (g, root) in graphs {
+            prop_assert!(g.is_reachable_from(root));
+            for e in g.edges() {
+                prop_assert!(e.c.is_positive());
+            }
+            for n in g.nodes() {
+                if let Some(w) = n.w.as_ratio() {
+                    prop_assert!(w.is_positive());
+                }
+            }
+        }
+    }
+
+    /// JSON round-trip is the identity on generated platforms.
+    #[test]
+    fn spec_json_roundtrip(seed in 0u64..10_000, p in 2usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = topo::ParamRange { w_range: (1, 9), c_range: (1, 6), max_denominator: 3 };
+        let (g, _) = topo::random_connected(&mut rng, p, 0.25, &params);
+        let json = PlatformSpec::from_platform(&g).to_json();
+        let g2 = PlatformSpec::from_json(&json).unwrap().to_platform().unwrap();
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for (a, b) in g.edges().zip(g2.edges()) {
+            prop_assert_eq!((a.src, a.dst, a.c), (b.src, b.dst, b.c));
+        }
+        for (a, b) in g.nodes().zip(g2.nodes()) {
+            prop_assert_eq!(a.w, b.w);
+            prop_assert_eq!(a.name, b.name);
+        }
+    }
+
+    /// Reversal is an involution and preserves Dijkstra distances along
+    /// reversed pairs.
+    #[test]
+    fn reversal_involution(seed in 0u64..10_000, p in 2usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, root) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let back = g.reversed().reversed();
+        prop_assert_eq!(g.num_edges(), back.num_edges());
+        for (a, b) in g.edges().zip(back.edges()) {
+            prop_assert_eq!((a.src, a.dst, a.c), (b.src, b.dst, b.c));
+        }
+        // d_G(root, v) == d_{G^T}(v, root): check one arbitrary v.
+        let d = g.shortest_path_costs(root);
+        let rev = g.reversed();
+        for v in g.node_ids() {
+            let dr = rev.shortest_path_costs(v);
+            prop_assert_eq!(d[v.index()].clone(), dr[root.index()].clone());
+        }
+        let _ = Ratio::one();
+    }
+}

@@ -1,0 +1,490 @@
+//! Weighted bipartite edge-coloring decomposition (§4.1).
+//!
+//! Input: for each platform edge, an integer busy time within one period.
+//! Build the bipartite graph with a *send port* and a *receive port* per
+//! node and one weighted edge per communicating pair. Only matchings —
+//! sets of transfers pairwise disjoint in both senders and receivers — may
+//! run simultaneously under the one-port model, so the schedule inside a
+//! period is a sequence of (matching, duration) rounds whose per-edge
+//! durations sum to exactly the busy times.
+//!
+//! Implementation: Birkhoff–von Neumann style. Pad the weight matrix with
+//! dummy (idle) weight until every send and receive port has load exactly
+//! `Δ` (the maximum original load). A nonnegative integer matrix with all
+//! row and column sums equal has a perfect matching on its positive
+//! entries (Hall's theorem / König), so we repeatedly extract one
+//! (Kuhn's augmenting-path matching), peel off `μ` = the minimum matched
+//! component weight, and stop when `Δ` is exhausted. Each round zeroes at
+//! least one real-or-dummy component, so the number of matchings is at
+//! most `|E| + 2|V|` — the same polynomial-compactness guarantee the paper
+//! gets from Schrijver's algorithm, with a much smaller implementation.
+//! Rounds whose matched components are all dummy are dropped (idle time).
+
+use ss_num::BigInt;
+use ss_platform::{EdgeId, Platform};
+
+/// One communication round: all `transfers` run simultaneously (they are
+/// pairwise sender- and receiver-disjoint) for `duration` time units.
+#[derive(Clone, Debug)]
+pub struct CommRound {
+    /// Length of the round, in the integer time grid of the period.
+    pub duration: BigInt,
+    /// Platform edges active during the round.
+    pub transfers: Vec<EdgeId>,
+}
+
+/// A full one-period orchestration.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Rounds in playback order (idle-only rounds omitted).
+    pub rounds: Vec<CommRound>,
+    /// Maximum port load `Δ` — the total busy span of the decomposition,
+    /// including idle padding. Always `<=` the period when the busy times
+    /// come from a feasible LP solution.
+    pub makespan: BigInt,
+}
+
+impl Decomposition {
+    /// Number of matchings (the §4.1 compactness measure).
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Check the decomposition against the busy times it was built from:
+    /// every round is a genuine matching and per-edge durations sum to the
+    /// requested busy time. Returns the first violation.
+    pub fn check(&self, g: &Platform, edge_busy: &[BigInt]) -> Result<(), String> {
+        let mut acc = vec![BigInt::zero(); g.num_edges()];
+        for (ri, round) in self.rounds.iter().enumerate() {
+            if !round.duration.is_positive() {
+                return Err(format!("round {ri} has non-positive duration"));
+            }
+            let mut send_used = vec![false; g.num_nodes()];
+            let mut recv_used = vec![false; g.num_nodes()];
+            for &e in &round.transfers {
+                let er = g.edge(e);
+                if std::mem::replace(&mut send_used[er.src.index()], true) {
+                    return Err(format!("round {ri}: sender {} used twice", er.src.index()));
+                }
+                if std::mem::replace(&mut recv_used[er.dst.index()], true) {
+                    return Err(format!("round {ri}: receiver {} used twice", er.dst.index()));
+                }
+                acc[e.index()] += &round.duration;
+            }
+        }
+        for e in g.edge_ids() {
+            if acc[e.index()] != edge_busy[e.index()] {
+                return Err(format!(
+                    "edge {} scheduled {} != busy {}",
+                    e.index(),
+                    acc[e.index()],
+                    edge_busy[e.index()]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-pair weight cell: real communication time and dummy idle padding.
+#[derive(Clone, Default)]
+struct Cell {
+    real: BigInt,
+    dummy: BigInt,
+    edge: Option<EdgeId>,
+}
+
+impl Cell {
+    fn positive(&self) -> bool {
+        self.real.is_positive() || self.dummy.is_positive()
+    }
+}
+
+/// Decompose integer per-edge busy times into communication rounds.
+///
+/// `edge_busy[e]` is the number of time units edge `e` is busy within one
+/// period (from `PeriodicSchedule`); entries may be zero. Panics if any
+/// entry is negative.
+pub fn decompose(g: &Platform, edge_busy: &[BigInt]) -> Decomposition {
+    assert_eq!(edge_busy.len(), g.num_edges());
+    assert!(edge_busy.iter().all(|b| !b.is_negative()), "negative busy time");
+
+    let p = g.num_nodes();
+    let mut cells: Vec<Vec<Cell>> = vec![vec![Cell::default(); p]; p];
+    let mut send_load = vec![BigInt::zero(); p];
+    let mut recv_load = vec![BigInt::zero(); p];
+    for e in g.edges() {
+        let b = &edge_busy[e.id.index()];
+        if !b.is_positive() {
+            continue;
+        }
+        let (s, r) = (e.src.index(), e.dst.index());
+        cells[s][r].real = b.clone();
+        cells[s][r].edge = Some(e.id);
+        send_load[s] += b;
+        recv_load[r] += b;
+    }
+    let delta = send_load
+        .iter()
+        .chain(recv_load.iter())
+        .cloned()
+        .max()
+        .unwrap_or_else(BigInt::zero);
+    if !delta.is_positive() {
+        return Decomposition { rounds: Vec::new(), makespan: BigInt::zero() };
+    }
+
+    // Pad to uniform load Δ: greedily pair under-loaded send ports with
+    // under-loaded receive ports (self-pairs allowed — dummy idle time).
+    {
+        let mut r = 0usize;
+        for s in 0..p {
+            let mut need = &delta - &send_load[s];
+            while need.is_positive() {
+                while r < p && recv_load[r] >= delta {
+                    r += 1;
+                }
+                debug_assert!(r < p, "total deficits must balance");
+                let take = need.clone().min(&delta - &recv_load[r]);
+                cells[s][r].dummy += &take;
+                recv_load[r] += &take;
+                need -= &take;
+            }
+        }
+    }
+
+    let mut rounds = Vec::new();
+    let mut remaining = delta.clone();
+    // match_of[r] = matched sender for receiver r (rebuilt each round).
+    while remaining.is_positive() {
+        let matching = perfect_matching(&cells, p);
+        // μ = min matched component weight, preferring to consume the
+        // larger component of each pair first.
+        let mut mu = remaining.clone();
+        for (s, &r) in matching.iter().enumerate() {
+            let c = &cells[s][r];
+            let avail = if c.real >= c.dummy { c.real.clone() } else { c.dummy.clone() };
+            mu = mu.min(avail);
+        }
+        debug_assert!(mu.is_positive());
+        let mut transfers = Vec::new();
+        for (s, &r) in matching.iter().enumerate() {
+            let c = &mut cells[s][r];
+            if c.real >= c.dummy {
+                c.real -= &mu;
+                transfers.push(c.edge.expect("real weight implies a platform edge"));
+            } else {
+                c.dummy -= &mu;
+            }
+        }
+        if !transfers.is_empty() {
+            transfers.sort();
+            rounds.push(CommRound { duration: mu.clone(), transfers });
+        }
+        remaining -= &mu;
+    }
+
+    Decomposition { rounds, makespan: delta }
+}
+
+/// Kuhn's augmenting-path perfect matching over the positive cells of a
+/// square matrix with equal row/column sums. Returns `match_of_sender`,
+/// i.e. `result[s] = r`.
+fn perfect_matching(cells: &[Vec<Cell>], p: usize) -> Vec<usize> {
+    let mut recv_of: Vec<Option<usize>> = vec![None; p]; // receiver -> sender
+    for s in 0..p {
+        let mut visited = vec![false; p];
+        let ok = try_augment(cells, p, s, &mut visited, &mut recv_of);
+        assert!(ok, "perfect matching must exist in a doubly balanced positive matrix");
+    }
+    let mut send_to = vec![usize::MAX; p];
+    for (r, s) in recv_of.iter().enumerate() {
+        send_to[s.expect("perfect matching covers all receivers")] = r;
+    }
+    send_to
+}
+
+fn try_augment(
+    cells: &[Vec<Cell>],
+    p: usize,
+    s: usize,
+    visited: &mut [bool],
+    recv_of: &mut [Option<usize>],
+) -> bool {
+    for r in 0..p {
+        if visited[r] || !cells[s][r].positive() {
+            continue;
+        }
+        visited[r] = true;
+        match recv_of[r] {
+            None => {
+                recv_of[r] = Some(s);
+                return true;
+            }
+            Some(other) => {
+                if try_augment(cells, p, other, visited, recv_of) {
+                    recv_of[r] = Some(s);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Greedy orchestration for the **send-OR-receive** model (§5.1.1).
+///
+/// With a shared half-duplex port per node, transfers sharing *any*
+/// endpoint conflict, so extracting simultaneous communications is edge
+/// coloring of an arbitrary multigraph — NP-hard. This greedy
+/// longest-first interval placement is the polynomial approximation the
+/// paper points to: each transfer is placed at the earliest time at which
+/// both endpoints are idle. The result is a feasible orchestration whose
+/// makespan is at most twice the trivial lower bound `Δ` (the max summed
+/// port load) — the `sendrecv` experiment measures the actual ratio.
+///
+/// Returns `(makespan, per-edge start time)`.
+pub fn greedy_shared_port_schedule(g: &Platform, edge_busy: &[BigInt]) -> (BigInt, Vec<BigInt>) {
+    assert_eq!(edge_busy.len(), g.num_edges());
+    // Longest transfers first.
+    let mut order: Vec<usize> = (0..edge_busy.len())
+        .filter(|&e| edge_busy[e].is_positive())
+        .collect();
+    order.sort_by(|&a, &b| edge_busy[b].cmp(&edge_busy[a]).then(a.cmp(&b)));
+
+    // Per-node sorted busy intervals [start, end).
+    let mut busy: Vec<Vec<(BigInt, BigInt)>> = vec![Vec::new(); g.num_nodes()];
+    let mut starts = vec![BigInt::zero(); g.num_edges()];
+    let mut makespan = BigInt::zero();
+
+    for e in order {
+        let er = g.edge(ss_platform::EdgeId(e));
+        let dur = &edge_busy[e];
+        // Candidate starts: 0 and the ends of existing intervals at either
+        // endpoint; take the earliest that fits both.
+        let mut candidates: Vec<BigInt> = vec![BigInt::zero()];
+        for (_, end) in busy[er.src.index()].iter().chain(busy[er.dst.index()].iter()) {
+            candidates.push(end.clone());
+        }
+        candidates.sort();
+        let fits = |node: usize, start: &BigInt, end: &BigInt| {
+            busy[node]
+                .iter()
+                .all(|(s, t)| end <= s || start >= t)
+        };
+        let start = candidates
+            .into_iter()
+            .find(|s| {
+                let end = s + dur;
+                fits(er.src.index(), s, &end) && fits(er.dst.index(), s, &end)
+            })
+            .expect("start after all intervals always fits");
+        let end = &start + dur;
+        busy[er.src.index()].push((start.clone(), end.clone()));
+        busy[er.dst.index()].push((start.clone(), end.clone()));
+        busy[er.src.index()].sort();
+        busy[er.dst.index()].sort();
+        if end > makespan {
+            makespan = end.clone();
+        }
+        starts[e] = start;
+    }
+    (makespan, starts)
+}
+
+/// Lower bound on any shared-port orchestration: the maximum, over nodes,
+/// of the node's total (send + receive) busy time.
+pub fn shared_port_load_bound(g: &Platform, edge_busy: &[BigInt]) -> BigInt {
+    let mut load = vec![BigInt::zero(); g.num_nodes()];
+    for e in g.edges() {
+        load[e.src.index()] += &edge_busy[e.id.index()];
+        load[e.dst.index()] += &edge_busy[e.id.index()];
+    }
+    load.into_iter().max().unwrap_or_else(BigInt::zero)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_num::Ratio;
+    use ss_platform::{topo, Weight};
+
+    fn big(n: i64) -> BigInt {
+        BigInt::from(n)
+    }
+
+    fn line_platform(n: usize) -> Platform {
+        let mut g = Platform::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(format!("P{i}"), Weight::from_int(1))).collect();
+        for w in ids.windows(2) {
+            g.add_duplex_edge(w[0], w[1], Ratio::one()).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn empty_traffic() {
+        let g = line_platform(3);
+        let d = decompose(&g, &vec![BigInt::zero(); g.num_edges()]);
+        assert_eq!(d.num_rounds(), 0);
+        assert!(d.makespan.is_zero());
+        d.check(&g, &vec![BigInt::zero(); g.num_edges()]).unwrap();
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = line_platform(2);
+        let mut busy = vec![BigInt::zero(); g.num_edges()];
+        busy[0] = big(5);
+        let d = decompose(&g, &busy);
+        assert_eq!(d.num_rounds(), 1);
+        assert_eq!(d.makespan, big(5));
+        d.check(&g, &busy).unwrap();
+    }
+
+    /// A relay chain P0->P1->P2 where P1 sends and receives: both busy
+    /// times can overlap (different ports), so the makespan is the max,
+    /// not the sum.
+    #[test]
+    fn relay_overlaps() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        let e1 = g.add_edge(a, b, Ratio::one()).unwrap();
+        let e2 = g.add_edge(b, c, Ratio::one()).unwrap();
+        let mut busy = vec![BigInt::zero(); g.num_edges()];
+        busy[e1.index()] = big(4);
+        busy[e2.index()] = big(4);
+        let d = decompose(&g, &busy);
+        d.check(&g, &busy).unwrap();
+        assert_eq!(d.makespan, big(4));
+        // Both transfers share every round (they are port-disjoint).
+        for round in &d.rounds {
+            assert_eq!(round.transfers.len(), 2);
+        }
+    }
+
+    /// Two senders into one receiver must serialize: makespan = sum.
+    #[test]
+    fn shared_receiver_serializes() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let t = g.add_node("t", Weight::from_int(1));
+        let e1 = g.add_edge(a, t, Ratio::one()).unwrap();
+        let e2 = g.add_edge(b, t, Ratio::one()).unwrap();
+        let mut busy = vec![BigInt::zero(); g.num_edges()];
+        busy[e1.index()] = big(3);
+        busy[e2.index()] = big(2);
+        let d = decompose(&g, &busy);
+        d.check(&g, &busy).unwrap();
+        assert_eq!(d.makespan, big(5));
+    }
+
+    /// Matching-count bound |E| + 2|V| and exactness on random loads.
+    #[test]
+    fn random_loads_bound_and_exact() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, _) = topo::random_connected(&mut rng, 8, 0.3, &topo::ParamRange::default());
+            let busy: Vec<BigInt> = (0..g.num_edges())
+                .map(|_| big(rng.gen_range(0..20)))
+                .collect();
+            let d = decompose(&g, &busy);
+            d.check(&g, &busy).unwrap();
+            assert!(
+                d.num_rounds() <= g.num_edges() + 2 * g.num_nodes(),
+                "seed {seed}: {} rounds for |E|={} |V|={}",
+                d.num_rounds(),
+                g.num_edges(),
+                g.num_nodes()
+            );
+            // Makespan equals the true max port load.
+            let mut send = vec![BigInt::zero(); g.num_nodes()];
+            let mut recv = vec![BigInt::zero(); g.num_nodes()];
+            for e in g.edges() {
+                send[e.src.index()] += &busy[e.id.index()];
+                recv[e.dst.index()] += &busy[e.id.index()];
+            }
+            let delta = send.iter().chain(recv.iter()).cloned().max().unwrap();
+            assert_eq!(d.makespan, delta);
+        }
+    }
+
+    /// Shared-port greedy: feasibility and the 2Δ bound.
+    #[test]
+    fn shared_port_greedy_feasible_and_bounded() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(300 + seed);
+            let (g, _) = topo::random_connected(&mut rng, 7, 0.3, &topo::ParamRange::default());
+            let busy: Vec<BigInt> = (0..g.num_edges()).map(|_| big(rng.gen_range(0..15))).collect();
+            let (makespan, starts) = greedy_shared_port_schedule(&g, &busy);
+            let bound = shared_port_load_bound(&g, &busy);
+            assert!(makespan >= bound, "seed {seed}");
+            assert!(makespan <= &big(2) * &bound, "seed {seed}: {makespan} > 2*{bound}");
+            // Feasibility: per node, intervals must not overlap.
+            for i in g.node_ids() {
+                let mut ivs: Vec<(BigInt, BigInt)> = g
+                    .edges()
+                    .filter(|e| (e.src == i || e.dst == i) && busy[e.id.index()].is_positive())
+                    .map(|e| {
+                        let s = starts[e.id.index()].clone();
+                        let t = &s + &busy[e.id.index()];
+                        (s, t)
+                    })
+                    .collect();
+                ivs.sort();
+                for w in ivs.windows(2) {
+                    assert!(w[0].1 <= w[1].0, "seed {seed}: overlap at node {}", i.index());
+                }
+            }
+        }
+    }
+
+    /// Disjoint pairs run in parallel even with shared ports.
+    #[test]
+    fn shared_port_parallel_when_disjoint() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        let d = g.add_node("d", Weight::from_int(1));
+        g.add_edge(a, b, Ratio::one()).unwrap();
+        g.add_edge(c, d, Ratio::one()).unwrap();
+        let busy = vec![big(5), big(5)];
+        let (makespan, _) = greedy_shared_port_schedule(&g, &busy);
+        assert_eq!(makespan, big(5));
+    }
+
+    /// A relay chain under shared ports serializes (the §5.1.1 cost).
+    #[test]
+    fn shared_port_relay_serializes() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        g.add_edge(a, b, Ratio::one()).unwrap();
+        g.add_edge(b, c, Ratio::one()).unwrap();
+        let busy = vec![big(4), big(4)];
+        let (makespan, _) = greedy_shared_port_schedule(&g, &busy);
+        // b is in both transfers: they cannot overlap.
+        assert_eq!(makespan, big(8));
+    }
+
+    /// Full bipartite traffic (clique) still decomposes exactly.
+    #[test]
+    fn clique_traffic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let (g, _) = topo::clique(&mut rng, 5, &topo::ParamRange::default());
+        let busy: Vec<BigInt> = (0..g.num_edges()).map(|_| big(rng.gen_range(1..10))).collect();
+        let d = decompose(&g, &busy);
+        d.check(&g, &busy).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! Fixed-length periods (§5.4).
+//!
+//! The exact period `T` from §4.1 is the lcm of LP denominators and can be
+//! huge. When a deployment wants a *fixed* period `T_fix`, the activity
+//! variables must be rounded to an integer number of tasks per period —
+//! and rounding per-edge rates independently would break conservation. We
+//! round **per path**: decompose the optimal flow into source→sink paths
+//! ([`crate::flowpaths`]), then route `⌊rate · T_fix⌋` tasks down each
+//! path every period. Conservation holds by construction, port loads only
+//! shrink, and the throughput loss is at most `(#paths) / T_fix` — so the
+//! achieved throughput tends to the optimum as `T_fix` grows, which is the
+//! §5.4 claim the `fixed-period` experiment plots.
+
+use crate::flowpaths::{decompose_flow, FlowPath};
+use ss_core::MasterSlaveSolution;
+use ss_num::{BigInt, Ratio};
+use ss_platform::{NodeId, Platform};
+
+/// A rounded plan for one fixed-length period.
+#[derive(Clone, Debug)]
+pub struct FixedPeriodPlan {
+    /// The imposed period length.
+    pub period: BigInt,
+    /// Routed paths with integer per-period task counts.
+    pub paths: Vec<(FlowPath, BigInt)>,
+    /// Achieved steady-state throughput (tasks per time unit).
+    pub achieved: Ratio,
+    /// The LP optimum, for comparison.
+    pub optimum: Ratio,
+}
+
+impl FixedPeriodPlan {
+    /// Relative loss `1 - achieved / optimum` (0 when the optimum is 0).
+    pub fn relative_loss(&self) -> Ratio {
+        if self.optimum.is_zero() {
+            return Ratio::zero();
+        }
+        &Ratio::one() - &(&self.achieved / &self.optimum)
+    }
+
+    /// Verify port feasibility of the rounded plan: per-node send/receive
+    /// busy time within one period must fit in the period.
+    pub fn check(&self, g: &Platform) -> Result<(), String> {
+        let period = Ratio::from(self.period.clone());
+        let mut edge_msgs = vec![BigInt::zero(); g.num_edges()];
+        for (path, count) in &self.paths {
+            for &e in &path.edges {
+                edge_msgs[e.index()] += count;
+            }
+        }
+        for i in g.node_ids() {
+            let send: Ratio = g
+                .out_edges(i)
+                .map(|e| &Ratio::from(edge_msgs[e.id.index()].clone()) * e.c)
+                .sum();
+            let recv: Ratio = g
+                .in_edges(i)
+                .map(|e| &Ratio::from(edge_msgs[e.id.index()].clone()) * e.c)
+                .sum();
+            if send > period || recv > period {
+                return Err(format!("port overload at {} in fixed period", g.node(i).name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Round a master–slave LP solution to a fixed period.
+pub fn master_slave_fixed_period(
+    g: &Platform,
+    master: NodeId,
+    sol: &MasterSlaveSolution,
+    period: BigInt,
+) -> Result<FixedPeriodPlan, String> {
+    if !period.is_positive() {
+        return Err("period must be positive".into());
+    }
+    let absorb: Vec<Ratio> = g.node_ids().map(|i| sol.compute_rate(g, i)).collect();
+    let paths = decompose_flow(g, master, &sol.edge_task_rate, &absorb)?;
+    let period_r = Ratio::from(period.clone());
+    let mut routed = Vec::with_capacity(paths.len());
+    let mut per_period_tasks = BigInt::zero();
+    for p in paths {
+        let count = (&p.rate * &period_r).floor();
+        per_period_tasks += &count;
+        routed.push((p, count));
+    }
+    let achieved = &Ratio::from(per_period_tasks) / &period_r;
+    Ok(FixedPeriodPlan { period, paths: routed, achieved, optimum: sol.ntask.clone() })
+}
+
+/// Sweep achieved throughput over a list of period lengths.
+pub fn sweep(
+    g: &Platform,
+    master: NodeId,
+    sol: &MasterSlaveSolution,
+    periods: &[i64],
+) -> Result<Vec<(i64, Ratio)>, String> {
+    periods
+        .iter()
+        .map(|&t| {
+            let plan = master_slave_fixed_period(g, master, sol, BigInt::from(t))?;
+            Ok((t, plan.achieved))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::master_slave;
+    use ss_platform::{paper, topo};
+
+    #[test]
+    fn rounding_never_exceeds_optimum() {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        for t in [1i64, 2, 5, 10, 100, 1000] {
+            let plan = master_slave_fixed_period(&g, m, &sol, BigInt::from(t)).unwrap();
+            assert!(plan.achieved <= plan.optimum, "T={t}");
+            plan.check(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn loss_shrinks_with_period() {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sweep = sweep(&g, m, &sol, &[1, 10, 100, 1000, 10000]).unwrap();
+        // Monotone non-decreasing achieved throughput is not guaranteed in
+        // general for floor rounding, but the loss bound #paths/T is:
+        let n_paths = master_slave_fixed_period(&g, m, &sol, BigInt::from(1))
+            .unwrap()
+            .paths
+            .len() as i64;
+        for (t, achieved) in &sweep {
+            let bound = &sol.ntask - &Ratio::new(n_paths, *t);
+            assert!(achieved >= &bound.max(Ratio::zero()), "T={t}");
+        }
+        // And at T = 10000 the loss is tiny.
+        let last = &sweep.last().unwrap().1;
+        assert!(&sol.ntask - last <= Ratio::new(n_paths, 10000));
+    }
+
+    #[test]
+    fn exact_period_gives_exact_throughput() {
+        // If T_fix is a multiple of the natural period, no loss at all.
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let natural = crate::period::reconstruct_master_slave(&g, &sol).period;
+        let plan = master_slave_fixed_period(&g, m, &sol, natural).unwrap();
+        assert_eq!(plan.achieved, sol.ntask);
+        assert!(plan.relative_loss().is_zero());
+    }
+
+    #[test]
+    fn random_platforms_feasible() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(seed + 40);
+            let (g, m) = topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default());
+            let sol = master_slave::solve(&g, m).unwrap();
+            for t in [3i64, 17, 64] {
+                let plan = master_slave_fixed_period(&g, m, &sol, BigInt::from(t)).unwrap();
+                plan.check(&g).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Path decomposition of conserved steady-state flows.
+//!
+//! The LP returns *per-edge* rates; several consumers (fixed-period
+//! rounding §5.4, simulator routing, the dynamic load-balancer of §5.5)
+//! want *per-path* rates: "route `r` tasks per time unit along
+//! `m → a → b`". Any flow satisfying the conservation law decomposes into
+//! at most `|E| + |V|` source-to-sink paths plus cycles; cycles are pure
+//! waste (they consume port time and deliver nothing), so they are
+//! cancelled and reported rather than returned as routes.
+
+use ss_num::Ratio;
+use ss_platform::{EdgeId, NodeId, Platform};
+
+/// One routed stream: follow `edges` from the source, delivering `rate`
+/// units per time unit at the final node. An empty edge list is the
+/// source's own consumption.
+#[derive(Clone, Debug)]
+pub struct FlowPath {
+    /// Edge ids, in hop order from the source.
+    pub edges: Vec<EdgeId>,
+    /// Stream rate.
+    pub rate: Ratio,
+}
+
+impl FlowPath {
+    /// Final node of the path, given the platform and source.
+    pub fn sink(&self, g: &Platform, source: NodeId) -> NodeId {
+        self.edges.last().map(|&e| g.edge(e).dst).unwrap_or(source)
+    }
+}
+
+/// Longest hop count among a set of paths — the exact pipeline-fill bound
+/// for the §4.2 warm-up. The paper states "no more than the depth of the
+/// platform graph", which holds when the LP routes along depth-monotone
+/// paths; an arbitrary LP optimum may route longer (never more than
+/// `|V| - 1` hops), and this function measures the realized bound.
+pub fn max_hops(paths: &[FlowPath]) -> usize {
+    paths.iter().map(|p| p.edges.len()).max().unwrap_or(0)
+}
+
+/// Warm-up bound for a master–slave solution: the longest routed path.
+pub fn master_slave_warmup(
+    g: &Platform,
+    master: NodeId,
+    sol: &ss_core::MasterSlaveSolution,
+) -> Result<usize, String> {
+    let absorb: Vec<Ratio> = g.node_ids().map(|i| sol.compute_rate(g, i)).collect();
+    let paths = decompose_flow(g, master, &sol.edge_task_rate, &absorb)?;
+    Ok(max_hops(&paths))
+}
+
+/// Warm-up bound for a sum-coupled collective solution: the longest routed
+/// path over all commodities.
+pub fn collective_warmup(
+    g: &Platform,
+    sol: &ss_core::CollectiveSolution,
+) -> Result<usize, String> {
+    let mut worst = 0;
+    for (k, fk) in sol.flows.iter().enumerate() {
+        let mut absorb = vec![Ratio::zero(); g.num_nodes()];
+        absorb[sol.targets[k].index()] = sol.throughput.clone();
+        let paths = decompose_flow(g, sol.source, fk, &absorb)?;
+        worst = worst.max(max_hops(&paths));
+    }
+    Ok(worst)
+}
+
+/// Decompose a conserved flow into paths.
+///
+/// * `edge_flow[e]` — rate on each directed edge (≥ 0);
+/// * `absorption[i]` — rate consumed at node `i` (tasks computed, messages
+///   delivered). `absorption[source]` is allowed and becomes the trivial
+///   empty path.
+///
+/// Returns an error if the flow does not satisfy conservation
+/// (`in = absorbed + out` at every non-source node).
+pub fn decompose_flow(
+    g: &Platform,
+    source: NodeId,
+    edge_flow: &[Ratio],
+    absorption: &[Ratio],
+) -> Result<Vec<FlowPath>, String> {
+    assert_eq!(edge_flow.len(), g.num_edges());
+    assert_eq!(absorption.len(), g.num_nodes());
+    for (e, f) in edge_flow.iter().enumerate() {
+        if f.is_negative() {
+            return Err(format!("negative flow on edge {e}"));
+        }
+    }
+    // Conservation check.
+    for i in g.node_ids() {
+        if i == source {
+            continue;
+        }
+        let inn: Ratio = g.in_edges(i).map(|e| edge_flow[e.id.index()].clone()).sum();
+        let out: Ratio = g.out_edges(i).map(|e| edge_flow[e.id.index()].clone()).sum();
+        if inn != &absorption[i.index()] + &out {
+            return Err(format!(
+                "flow not conserved at {}: in {} != absorbed {} + out {}",
+                g.node(i).name,
+                inn,
+                absorption[i.index()],
+                out
+            ));
+        }
+    }
+
+    let mut flow = edge_flow.to_vec();
+    let mut absorb = absorption.to_vec();
+    let mut paths = Vec::new();
+
+    if absorb[source.index()].is_positive() {
+        paths.push(FlowPath { edges: Vec::new(), rate: absorb[source.index()].clone() });
+        absorb[source.index()] = Ratio::zero();
+    }
+
+    // Extract source→sink paths while the source still emits.
+    'outer: loop {
+        let emits = g.out_edges(source).any(|e| flow[e.id.index()].is_positive());
+        if !emits {
+            break;
+        }
+        // Walk greedily along positive-flow edges, cancelling any cycle we
+        // close, until we reach a node with positive absorption.
+        let mut path_edges: Vec<EdgeId> = Vec::new();
+        let mut on_path = vec![false; g.num_nodes()];
+        on_path[source.index()] = true;
+        let mut u = source;
+        loop {
+            if u != source && absorb[u.index()].is_positive() {
+                // Deliverable: peel min(absorption, path bottleneck).
+                let bottleneck = path_edges
+                    .iter()
+                    .map(|&e| flow[e.index()].clone())
+                    .fold(absorb[u.index()].clone(), Ratio::min);
+                debug_assert!(bottleneck.is_positive());
+                for &e in &path_edges {
+                    flow[e.index()] -= &bottleneck;
+                }
+                absorb[u.index()] -= &bottleneck;
+                paths.push(FlowPath { edges: path_edges, rate: bottleneck });
+                continue 'outer;
+            }
+            let next = g.out_edges(u).find(|e| flow[e.id.index()].is_positive());
+            let Some(e) = next else {
+                // Dead end with no absorption: conservation guarantees this
+                // cannot happen for a checked flow.
+                return Err(format!("flow dead-ends at {}", g.node(u).name));
+            };
+            let v = e.dst;
+            if on_path[v.index()] {
+                // Cycle closed: cancel its minimum flow and restart.
+                let pos = path_edges
+                    .iter()
+                    .position(|&pe| g.edge(pe).src == v)
+                    .unwrap_or(path_edges.len());
+                let cycle: Vec<EdgeId> = path_edges[pos..].iter().copied().chain([e.id]).collect();
+                let min = cycle
+                    .iter()
+                    .map(|&ce| flow[ce.index()].clone())
+                    .min()
+                    .expect("cycle is nonempty");
+                for &ce in &cycle {
+                    flow[ce.index()] -= &min;
+                }
+                continue 'outer;
+            }
+            on_path[v.index()] = true;
+            path_edges.push(e.id);
+            u = v;
+        }
+    }
+
+    // Leftover circulation not reachable from the source: cancel silently
+    // (it was already excluded from absorption by conservation).
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::master_slave;
+    use ss_platform::{topo, Weight};
+
+    fn r(n: i64, d: i64) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    #[test]
+    fn single_edge_path() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_edge(a, b, Ratio::one()).unwrap();
+        let paths = decompose_flow(&g, a, &[r(1, 2)], &[Ratio::zero(), r(1, 2)]).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].rate, r(1, 2));
+        assert_eq!(paths[0].sink(&g, a), b);
+    }
+
+    #[test]
+    fn source_self_consumption_is_trivial_path() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_edge(a, b, Ratio::one()).unwrap();
+        let paths = decompose_flow(&g, a, &[r(1, 3)], &[r(1, 2), r(1, 3)]).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].edges.is_empty());
+        assert_eq!(paths[0].rate, r(1, 2));
+    }
+
+    #[test]
+    fn split_paths() {
+        // a -> b -> d and a -> c -> d with different rates, d absorbs all.
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        let d = g.add_node("d", Weight::from_int(1));
+        let e_ab = g.add_edge(a, b, Ratio::one()).unwrap();
+        let e_ac = g.add_edge(a, c, Ratio::one()).unwrap();
+        let e_bd = g.add_edge(b, d, Ratio::one()).unwrap();
+        let e_cd = g.add_edge(c, d, Ratio::one()).unwrap();
+        let mut flow = vec![Ratio::zero(); 4];
+        flow[e_ab.index()] = r(1, 2);
+        flow[e_bd.index()] = r(1, 2);
+        flow[e_ac.index()] = r(1, 3);
+        flow[e_cd.index()] = r(1, 3);
+        let mut absorb = vec![Ratio::zero(); 4];
+        absorb[d.index()] = r(5, 6);
+        let paths = decompose_flow(&g, a, &flow, &absorb).unwrap();
+        assert_eq!(paths.len(), 2);
+        let total: Ratio = paths.iter().map(|p| p.rate.clone()).sum();
+        assert_eq!(total, r(5, 6));
+    }
+
+    #[test]
+    fn intermediate_absorption() {
+        // a -> b -> c; b absorbs half, c absorbs the rest.
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let c = g.add_node("c", Weight::from_int(1));
+        g.add_edge(a, b, Ratio::one()).unwrap();
+        g.add_edge(b, c, Ratio::one()).unwrap();
+        let paths = decompose_flow(
+            &g,
+            a,
+            &[Ratio::one(), r(1, 2)],
+            &[Ratio::zero(), r(1, 2), r(1, 2)],
+        )
+        .unwrap();
+        assert_eq!(paths.len(), 2);
+        let rates: Ratio = paths.iter().map(|p| p.rate.clone()).sum();
+        assert_eq!(rates, Ratio::one());
+    }
+
+    #[test]
+    fn conservation_violation_detected() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_edge(a, b, Ratio::one()).unwrap();
+        let err = decompose_flow(&g, a, &[r(1, 2)], &[Ratio::zero(), r(1, 3)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn cycle_flow_cancelled() {
+        // a -> b -> a circulation on top of a -> b delivery.
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        let e_ab = g.add_edge(a, b, Ratio::one()).unwrap();
+        let e_ba = g.add_edge(b, a, Ratio::one()).unwrap();
+        let mut flow = vec![Ratio::zero(); 2];
+        flow[e_ab.index()] = Ratio::one(); // 1/2 delivered + 1/2 circulating
+        flow[e_ba.index()] = r(1, 2);
+        let mut absorb = vec![Ratio::zero(); 2];
+        absorb[b.index()] = r(1, 2);
+        // Conservation at b: in 1 = absorbed 1/2 + out 1/2. At a: source.
+        let paths = decompose_flow(&g, a, &flow, &absorb).unwrap();
+        let delivered: Ratio = paths.iter().map(|p| p.rate.clone()).sum();
+        assert_eq!(delivered, r(1, 2));
+        // No path uses the back edge.
+        assert!(paths.iter().all(|p| !p.edges.contains(&e_ba)));
+    }
+
+    #[test]
+    fn master_slave_solutions_decompose() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed * 13);
+            let (g, m) = topo::random_connected(&mut rng, 7, 0.3, &topo::ParamRange::default());
+            let sol = master_slave::solve(&g, m).unwrap();
+            let absorb: Vec<Ratio> = g.node_ids().map(|i| sol.compute_rate(&g, i)).collect();
+            let paths = decompose_flow(&g, m, &sol.edge_task_rate, &absorb).unwrap();
+            let total: Ratio = paths.iter().map(|p| p.rate.clone()).sum();
+            assert_eq!(total, sol.ntask, "seed {seed}");
+            // Path count stays polynomial.
+            assert!(paths.len() <= g.num_edges() + g.num_nodes());
+        }
+    }
+}

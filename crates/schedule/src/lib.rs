@@ -1,0 +1,38 @@
+//! # ss-schedule — from LP activities to periodic schedules (§4)
+//!
+//! The linear programs of `ss-core` output rational *activity variables*:
+//! which fraction of each time unit every processor computes and every link
+//! carries traffic. This crate turns those fractions into an explicit,
+//! compact, provably valid periodic schedule:
+//!
+//! 1. **Period extraction** ([`period`]): `T` = lcm of the denominators, so
+//!    every per-period quantity (messages per edge, tasks per node) is an
+//!    exact integer. `log T` is polynomial in the input size even though
+//!    `T` itself may not be — which is precisely why the schedule needs a
+//!    compact description rather than a time-step listing (§4.1).
+//! 2. **Orchestration** ([`coloring`]): the busy times become a weighted
+//!    bipartite graph on send/receive ports; a weighted edge-coloring
+//!    decomposition produces at most `|E| + 2|V|` *matchings* (the paper
+//!    cites Schrijver's `O(|E|²)` algorithm with a `|E|` bound), each a set
+//!    of pairwise port-disjoint transfers with a duration. Played in
+//!    sequence they realize every busy time within one period without ever
+//!    violating the one-port constraints.
+//! 3. **Asymptotic wrappers**: start-up costs via √n period grouping
+//!    ([`startup`], §5.2), fixed-length periods via per-path rounding
+//!    ([`fixed_period`], §5.4), and warm-up/clean-up accounting
+//!    ([`phases`], §4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod fixed_period;
+pub mod flowpaths;
+pub mod period;
+pub mod phases;
+pub mod startup;
+
+pub use coloring::{decompose, CommRound, Decomposition};
+pub use period::{
+    reconstruct_collective, reconstruct_master_slave, reconstruct_tree_packing, PeriodicSchedule,
+};

@@ -1,0 +1,301 @@
+//! Period extraction and the compact periodic-schedule description (§4.1).
+//!
+//! From the rational LP activities, take `T` = lcm of all denominators
+//! (activity fractions, per-edge message rates, per-node task rates). Then
+//! within one period of length `T`:
+//!
+//! * edge `e` is busy an integer `s_e · T` time units, carrying the integer
+//!   number `s_e · T / c_e` of unit messages;
+//! * node `i` computes an integer `(α_i / w_i) · T` tasks;
+//! * the busy times decompose into port-disjoint communication rounds
+//!   ([`crate::coloring`]), giving a description whose size is polynomial
+//!   in the platform even when `T` is exponential.
+
+use crate::coloring::{decompose, Decomposition};
+use ss_core::{CollectiveSolution, MasterSlaveSolution};
+use ss_core::multicast::EdgeCoupling;
+use ss_num::{BigInt, Ratio};
+use ss_platform::Platform;
+
+/// A compact, validated periodic schedule.
+#[derive(Clone, Debug)]
+pub struct PeriodicSchedule {
+    /// Period length `T` (integer time units).
+    pub period: BigInt,
+    /// Busy time per directed edge within one period (`s_e · T`).
+    pub edge_busy: Vec<BigInt>,
+    /// Unit messages per directed edge within one period (`s_e · T / c_e`).
+    pub edge_messages: Vec<BigInt>,
+    /// Work completed per node within one period, in problem units
+    /// (tasks for SSMS; for collectives this is zero — targets consume
+    /// messages, not compute time).
+    pub node_work: Vec<BigInt>,
+    /// The §4.1 orchestration: communication rounds.
+    pub decomposition: Decomposition,
+    /// Steady-state throughput (tasks or messages per time unit) — the LP
+    /// objective, restated for convenience.
+    pub throughput: Ratio,
+}
+
+impl PeriodicSchedule {
+    /// Work or deliveries per period: `throughput · T` (always integer).
+    pub fn work_per_period(&self) -> BigInt {
+        let r = &self.throughput * &Ratio::from(self.period.clone());
+        debug_assert!(r.is_integer());
+        r.numer().clone()
+    }
+
+    /// Validate the schedule against its platform: integerness, one-port
+    /// round structure, busy-time fit within the period.
+    pub fn check(&self, g: &Platform) -> Result<(), String> {
+        if !self.period.is_positive() {
+            return Err("period must be positive".into());
+        }
+        self.decomposition.check(g, &self.edge_busy)?;
+        if self.decomposition.makespan > self.period {
+            return Err(format!(
+                "decomposition makespan {} exceeds period {}",
+                self.decomposition.makespan, self.period
+            ));
+        }
+        for e in g.edges() {
+            let t = &Ratio::from(self.edge_messages[e.id.index()].clone()) * e.c;
+            if t != Ratio::from(self.edge_busy[e.id.index()].clone()) {
+                return Err(format!("edge {} busy/message mismatch", e.id.index()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convert a rational fraction-of-time activity into integer busy units and
+/// message counts for period `t`.
+fn scale(r: &Ratio, t: &BigInt) -> BigInt {
+    let x = r * &Ratio::from(t.clone());
+    assert!(x.is_integer(), "period does not clear denominator of {r}");
+    x.numer().clone()
+}
+
+/// Reconstruct the periodic schedule for a master–slave solution (§3.1 →
+/// §4.1).
+///
+/// The period is the lcm of the denominators of every edge busy fraction,
+/// per-edge task rate, and per-node consumption rate, so all per-period
+/// counts are integers.
+pub fn reconstruct_master_slave(g: &Platform, sol: &MasterSlaveSolution) -> PeriodicSchedule {
+    let mut denoms: Vec<Ratio> = Vec::new();
+    denoms.extend(sol.edge_time.iter().cloned());
+    denoms.extend(sol.edge_task_rate.iter().cloned());
+    let consumption: Vec<Ratio> = g.node_ids().map(|i| sol.compute_rate(g, i)).collect();
+    denoms.extend(consumption.iter().cloned());
+    denoms.push(sol.ntask.clone());
+    let period = Ratio::lcm_of_denominators(denoms.iter());
+
+    let edge_busy: Vec<BigInt> = sol.edge_time.iter().map(|s| scale(s, &period)).collect();
+    let edge_messages: Vec<BigInt> = sol.edge_task_rate.iter().map(|f| scale(f, &period)).collect();
+    let node_work: Vec<BigInt> = consumption.iter().map(|c| scale(c, &period)).collect();
+    let decomposition = decompose(g, &edge_busy);
+
+    PeriodicSchedule {
+        period,
+        edge_busy,
+        edge_messages,
+        node_work,
+        decomposition,
+        throughput: sol.ntask.clone(),
+    }
+}
+
+/// Reconstruct the periodic schedule for a sum-coupled collective solution
+/// (scatter §3.2; also the achievable multicast lower bound).
+///
+/// Max-coupled solutions are rejected: §4.3 shows their bound need not be
+/// reconstructible (that impossibility is demonstrated by experiment
+/// `fig3`, not silently papered over here).
+pub fn reconstruct_collective(g: &Platform, sol: &CollectiveSolution) -> Result<PeriodicSchedule, String> {
+    if sol.coupling == EdgeCoupling::Max {
+        return Err(
+            "max-coupled multicast bounds are not reconstructible in general (§4.3); \
+             use the sum-coupled solution"
+                .into(),
+        );
+    }
+    let mut denoms: Vec<Ratio> = vec![sol.throughput.clone()];
+    denoms.extend(sol.edge_time.iter().cloned());
+    for fk in &sol.flows {
+        denoms.extend(fk.iter().cloned());
+    }
+    let period = Ratio::lcm_of_denominators(denoms.iter());
+
+    let edge_busy: Vec<BigInt> = sol.edge_time.iter().map(|s| scale(s, &period)).collect();
+    let edge_messages: Vec<BigInt> = g
+        .edges()
+        .map(|e| {
+            let total: Ratio = sol.flows.iter().map(|fk| fk[e.id.index()].clone()).sum();
+            scale(&total, &period)
+        })
+        .collect();
+    let decomposition = decompose(g, &edge_busy);
+
+    Ok(PeriodicSchedule {
+        period,
+        edge_busy,
+        edge_messages,
+        node_work: vec![BigInt::zero(); g.num_nodes()],
+        decomposition,
+        throughput: sol.throughput.clone(),
+    })
+}
+
+/// Reconstruct the periodic schedule for a multicast **tree packing**
+/// (the achievable §4.3 heuristic): each tree's instance stream is a
+/// commodity whose transfers share edges within a tree but add across
+/// trees, so the per-edge busy times are directly schedulable with the
+/// same §4.1 machinery.
+pub fn reconstruct_tree_packing(
+    g: &Platform,
+    pack: &ss_core::multicast_trees::TreePacking,
+) -> PeriodicSchedule {
+    let mut denoms: Vec<Ratio> = vec![pack.rate.clone()];
+    denoms.extend(pack.edge_time.iter().cloned());
+    denoms.extend(pack.trees.iter().map(|(_, x)| x.clone()));
+    let period = Ratio::lcm_of_denominators(denoms.iter());
+
+    let edge_busy: Vec<BigInt> = pack.edge_time.iter().map(|s| scale(s, &period)).collect();
+    let edge_messages: Vec<BigInt> = g
+        .edges()
+        .map(|e| {
+            let rate: Ratio = pack
+                .trees
+                .iter()
+                .filter(|(t, _)| t.edges.contains(&e.id))
+                .map(|(_, x)| x.clone())
+                .sum();
+            scale(&rate, &period)
+        })
+        .collect();
+    let decomposition = decompose(g, &edge_busy);
+
+    PeriodicSchedule {
+        period,
+        edge_busy,
+        edge_messages,
+        node_work: vec![BigInt::zero(); g.num_nodes()],
+        decomposition,
+        throughput: pack.rate.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{master_slave, multicast, scatter};
+    use ss_platform::{paper, topo, Weight};
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    #[test]
+    fn fig1_reconstruction_is_valid() {
+        let (g, master) = paper::fig1();
+        let sol = master_slave::solve(&g, master).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        sched.check(&g).unwrap();
+        // Work per period is a positive integer.
+        assert!(sched.work_per_period().is_positive());
+        // Matching-count compactness (§4.1).
+        assert!(sched.decomposition.num_rounds() <= g.num_edges() + 2 * g.num_nodes());
+    }
+
+    #[test]
+    fn conservation_in_integer_counts() {
+        let (g, master) = paper::fig1();
+        let sol = master_slave::solve(&g, master).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        // Per period: tasks into node == tasks computed + tasks out.
+        for i in g.node_ids() {
+            if i == master {
+                continue;
+            }
+            let inn: BigInt = g.in_edges(i).map(|e| sched.edge_messages[e.id.index()].clone()).sum();
+            let out: BigInt = g.out_edges(i).map(|e| sched.edge_messages[e.id.index()].clone()).sum();
+            let work = sched.node_work[i.index()].clone();
+            assert_eq!(inn, work + out, "node {}", g.node(i).name);
+        }
+        // Total work per period equals throughput * T.
+        let total: BigInt = sched.node_work.iter().cloned().sum();
+        assert_eq!(total, sched.work_per_period());
+    }
+
+    #[test]
+    fn simple_platform_period_small() {
+        // m(w=2) -> w(w=2), c=1: ntask = 1, rates are halves => T = 2.
+        let mut g = Platform::new();
+        let m = g.add_node("m", Weight::from_int(2));
+        let w = g.add_node("w", Weight::from_int(2));
+        g.add_edge(m, w, ri(1)).unwrap();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        sched.check(&g).unwrap();
+        assert_eq!(sched.period, BigInt::from(2));
+        assert_eq!(sched.node_work, vec![BigInt::from(1), BigInt::from(1)]);
+        assert_eq!(sched.edge_messages[0], BigInt::from(1));
+    }
+
+    #[test]
+    fn scatter_reconstruction_valid() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(71 + seed);
+            let (g, root) = topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default());
+            let targets = topo::pick_targets(&mut rng, &g, root, 2);
+            let sol = scatter::solve(&g, root, &targets).unwrap();
+            let sched = reconstruct_collective(&g, &sol).unwrap();
+            sched.check(&g).unwrap();
+            assert_eq!(
+                Ratio::from(sched.work_per_period()),
+                &sol.throughput * &Ratio::from(sched.period.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn tree_packing_reconstruction_fig2() {
+        let (g, src, targets) = paper::fig2_multicast();
+        let pack = ss_core::multicast_trees::solve_tree_packing(&g, src, &targets).unwrap();
+        let sched = reconstruct_tree_packing(&g, &pack);
+        sched.check(&g).unwrap();
+        assert_eq!(sched.throughput, Ratio::new(3, 4));
+        // 3/4 instances per time unit, whatever period the packing's
+        // denominators induce.
+        assert_eq!(
+            Ratio::from(sched.work_per_period()),
+            &Ratio::new(3, 4) * &Ratio::from(sched.period.clone())
+        );
+    }
+
+    #[test]
+    fn max_coupling_rejected() {
+        let (g, src, targets) = paper::fig2_multicast();
+        let hi = multicast::solve(&g, src, &targets, EdgeCoupling::Max).unwrap();
+        assert!(reconstruct_collective(&g, &hi).is_err());
+    }
+
+    #[test]
+    fn random_master_slave_always_valid() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, m) = topo::random_connected(&mut rng, 7, 0.25, &topo::ParamRange::default());
+            let sol = master_slave::solve(&g, m).unwrap();
+            let sched = reconstruct_master_slave(&g, &sol);
+            sched.check(&g).unwrap();
+            // Decomposition busy span fits in the period: the LP one-port
+            // constraints guarantee max port load <= T.
+            assert!(sched.decomposition.makespan <= sched.period);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Warm-up / clean-up accounting and the asymptotic-optimality bounds
+//! (§4.2).
+//!
+//! A periodic schedule needs a bounded number of warm-up periods — no more
+//! than the depth of the platform graph rooted at the source — before every
+//! node has the input buffered one period ahead; symmetrically for
+//! clean-up. Consequently the number of tasks processed within `K` time
+//! units is `K · ntask(G) − O(1)`, the constant depending only on the
+//! platform (not on `K`): the strong §4.2 optimality statement that the
+//! `asymptotic` experiment verifies against the simulator.
+
+use crate::period::PeriodicSchedule;
+use ss_num::{BigInt, Ratio};
+use ss_platform::{NodeId, Platform};
+
+/// Asymptotic accounting for a reconstructed schedule.
+#[derive(Clone, Debug)]
+pub struct PhaseBounds {
+    /// Warm-up periods before steady state (platform depth from source).
+    pub warmup_periods: usize,
+    /// Tasks per period in steady state.
+    pub work_per_period: BigInt,
+    /// Period length.
+    pub period: BigInt,
+}
+
+impl PhaseBounds {
+    /// Compute the bounds for a schedule rooted at `source`.
+    pub fn new(g: &Platform, source: NodeId, sched: &PeriodicSchedule) -> PhaseBounds {
+        PhaseBounds {
+            warmup_periods: g.depth_from(source),
+            work_per_period: sched.work_per_period(),
+            period: sched.period.clone(),
+        }
+    }
+
+    /// Upper bound on completions within `K` time units: `K · ntask`
+    /// (no schedule can beat the LP rate).
+    pub fn upper_bound(&self, k: &Ratio) -> Ratio {
+        if self.period.is_zero() {
+            return Ratio::zero();
+        }
+        k * &(&Ratio::from(self.work_per_period.clone()) / &Ratio::from(self.period.clone()))
+    }
+
+    /// Guaranteed completions within `K` time units for the reconstructed
+    /// schedule: full periods fitting in `K` minus the warm-up periods,
+    /// each delivering `work_per_period`.
+    pub fn lower_bound(&self, k: &Ratio) -> Ratio {
+        let periods = (k / &Ratio::from(self.period.clone())).floor();
+        let effective = &periods - &BigInt::from(self.warmup_periods as u64);
+        if effective.is_negative() {
+            return Ratio::zero();
+        }
+        Ratio::from(&effective * &self.work_per_period)
+    }
+
+    /// The §4.2 constant: the gap `upper − lower` is bounded by
+    /// `(warmup + 1) · work_per_period`, independent of `K`.
+    pub fn gap_constant(&self) -> Ratio {
+        Ratio::from(&BigInt::from(self.warmup_periods as u64 + 1) * &self.work_per_period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::period::reconstruct_master_slave;
+    use ss_core::master_slave;
+    use ss_platform::{paper, topo};
+
+    #[test]
+    fn gap_is_constant_in_k() {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let bounds = PhaseBounds::new(&g, m, &sched);
+        let c = bounds.gap_constant();
+        for k in [10i64, 100, 1_000, 100_000] {
+            let kr = Ratio::from_int(k);
+            let up = bounds.upper_bound(&kr);
+            let lo = bounds.lower_bound(&kr);
+            assert!(lo <= up);
+            assert!(&up - &lo <= c, "K={k}: gap {} > {}", &up - &lo, c);
+        }
+    }
+
+    #[test]
+    fn ratio_tends_to_one() {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let bounds = PhaseBounds::new(&g, m, &sched);
+        let k = Ratio::from_int(1_000_000);
+        let ratio = &bounds.lower_bound(&k) / &bounds.upper_bound(&k);
+        assert!(ratio > Ratio::new(999, 1000));
+    }
+
+    #[test]
+    fn warmup_is_platform_depth() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, root) = topo::chain(&mut rng, 5, &topo::ParamRange::default());
+        let sol = master_slave::solve(&g, root).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let bounds = PhaseBounds::new(&g, root, &sched);
+        assert_eq!(bounds.warmup_periods, 4);
+    }
+}

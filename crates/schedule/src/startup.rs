@@ -1,0 +1,194 @@
+//! Start-up (latency) costs and √n period grouping (§5.2).
+//!
+//! With affine communication costs — sending `n_ij` tasks from `P_i` to
+//! `P_j` takes `C_ij + n_ij · c_ij` — the LP's linear world breaks. The
+//! paper's recipe:
+//!
+//! 1. `T_opt(n) ≥ n / ntask(G)`: latencies only slow the platform down, so
+//!    the latency-free LP bound still lower-bounds the optimal time.
+//! 2. Group `m` consecutive periods into one super-period: the messages of
+//!    `m` periods are sent in the same communication rounds, so each round
+//!    pays its start-up once per super-period instead of once per period.
+//!    Per super-period overhead ≤ `Σ_rounds max_{e ∈ round} C_e ≤ C·|E|`.
+//! 3. Choose `m = ⌈√(n / ntask)⌉`: overhead per task `~ C|E|/(mT)` and
+//!    wasted warm-up/cool-down `~ m` periods both vanish relative to
+//!    `n/ntask`, giving `T(n)/T_opt(n) → 1` at rate `O(1/√n)`.
+
+use crate::period::PeriodicSchedule;
+use ss_num::{BigInt, Ratio};
+use ss_platform::Platform;
+
+/// A super-period schedule: `m` base periods grouped, plus the start-up
+/// overhead its communication rounds pay.
+#[derive(Clone, Debug)]
+pub struct GroupedSchedule {
+    /// Grouping factor `m`.
+    pub m: BigInt,
+    /// Length of one super-period *including* start-up overhead.
+    pub super_period: Ratio,
+    /// Tasks completed per super-period (`m · T · ntask`).
+    pub tasks_per_super_period: BigInt,
+    /// Effective steady-state throughput with latencies amortized.
+    pub effective_throughput: Ratio,
+    /// Total start-up overhead paid per super-period.
+    pub overhead: Ratio,
+}
+
+/// Per-super-period start-up overhead of a schedule's round structure:
+/// each round's parallel transfers pay their start-ups concurrently, so a
+/// round costs `max_{e ∈ round} C_e` extra.
+pub fn round_overhead(sched: &PeriodicSchedule, startup: &[Ratio]) -> Ratio {
+    sched
+        .decomposition
+        .rounds
+        .iter()
+        .map(|round| {
+            round
+                .transfers
+                .iter()
+                .map(|e| startup[e.index()].clone())
+                .fold(Ratio::zero(), Ratio::max)
+        })
+        .sum()
+}
+
+/// Build the grouped schedule for factor `m ≥ 1`.
+pub fn group(sched: &PeriodicSchedule, startup: &[Ratio], m: BigInt) -> GroupedSchedule {
+    assert!(m.is_positive(), "grouping factor must be >= 1");
+    let overhead = round_overhead(sched, startup);
+    let m_r = Ratio::from(m.clone());
+    let base = Ratio::from(sched.period.clone());
+    let super_period = &(&m_r * &base) + &overhead;
+    let tasks = &(&m_r * &base) * &sched.throughput;
+    debug_assert!(tasks.is_integer());
+    GroupedSchedule {
+        m,
+        effective_throughput: &tasks / &super_period,
+        super_period,
+        tasks_per_super_period: tasks.numer().clone(),
+        overhead,
+    }
+}
+
+/// The paper's grouping factor `m = ⌈√(n / ntask)⌉` for `n` total tasks.
+pub fn optimal_m(n: u64, ntask: &Ratio) -> BigInt {
+    assert!(ntask.is_positive());
+    let ratio = &Ratio::from(n) / ntask;
+    // Integer square root of ⌈ratio⌉, rounded up.
+    let ceil = ratio.ceil();
+    let mut lo = BigInt::one();
+    let mut hi = ceil.clone().max(BigInt::one());
+    // Find smallest m with m^2 >= ceil.
+    while lo < hi {
+        let two = BigInt::from(2);
+        let mid = &(&lo + &hi) / &two;
+        if (&mid * &mid) >= ceil {
+            hi = mid;
+        } else {
+            lo = &mid + &BigInt::one();
+        }
+    }
+    lo
+}
+
+/// Analytic upper bound on the total time to process `n` tasks with
+/// grouping `m`: warm-up/cool-down (`(A1 + A2) · m` base periods, bounded
+/// here by `2 · depth · m · T`) plus `⌈n / tasks-per-super-period⌉`
+/// super-periods.
+pub fn total_time_bound(
+    g: &Platform,
+    sched: &PeriodicSchedule,
+    startup: &[Ratio],
+    master: ss_platform::NodeId,
+    n: u64,
+) -> Ratio {
+    let m = optimal_m(n, &sched.throughput);
+    let grouped = group(sched, startup, m.clone());
+    let depth = Ratio::from(g.depth_from(master) as u64);
+    let warmcool = &(&Ratio::from(2u64) * &depth)
+        * &(&Ratio::from(m) * &Ratio::from(sched.period.clone()));
+    let supers = (&Ratio::from(n) / &Ratio::from(grouped.tasks_per_super_period.clone())).ceil();
+    &warmcool + &(&Ratio::from(supers) * &grouped.super_period)
+}
+
+/// The latency-free lower bound `n / ntask` on any schedule's time.
+pub fn lower_bound(n: u64, ntask: &Ratio) -> Ratio {
+    &Ratio::from(n) / ntask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::period::reconstruct_master_slave;
+    use ss_core::master_slave;
+    use ss_platform::paper;
+
+    fn setup() -> (Platform, ss_platform::NodeId, PeriodicSchedule, Vec<Ratio>) {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let startup = vec![Ratio::from_int(2); g.num_edges()];
+        (g, m, sched, startup)
+    }
+
+    #[test]
+    fn grouping_amortizes_overhead() {
+        let (_, _, sched, startup) = setup();
+        let g1 = group(&sched, &startup, BigInt::one());
+        let g10 = group(&sched, &startup, BigInt::from(10));
+        let g100 = group(&sched, &startup, BigInt::from(100));
+        assert!(g1.effective_throughput < g10.effective_throughput);
+        assert!(g10.effective_throughput < g100.effective_throughput);
+        assert!(g100.effective_throughput < sched.throughput);
+        // Overhead independent of m.
+        assert_eq!(g1.overhead, g100.overhead);
+    }
+
+    #[test]
+    fn effective_throughput_tends_to_optimum() {
+        let (_, _, sched, startup) = setup();
+        let big = group(&sched, &startup, BigInt::from(1_000_000));
+        let loss = &Ratio::one() - &(&big.effective_throughput / &sched.throughput);
+        assert!(loss < Ratio::new(1, 1000));
+    }
+
+    #[test]
+    fn optimal_m_is_sqrt() {
+        let ntask = Ratio::one();
+        assert_eq!(optimal_m(100, &ntask), BigInt::from(10));
+        assert_eq!(optimal_m(101, &ntask), BigInt::from(11));
+        assert_eq!(optimal_m(1, &ntask), BigInt::from(1));
+        let ntask4 = Ratio::from_int(4);
+        assert_eq!(optimal_m(100, &ntask4), BigInt::from(5));
+    }
+
+    #[test]
+    fn asymptotic_ratio_tends_to_one() {
+        // Convergence rate is 1 + (A1 + A2 + C|E|/T)·sqrt(ntask/n); on fig1
+        // the platform constant is ≈ 360, so percent-level optimality needs
+        // n ≈ 10^9 — exact rationals make that free to evaluate.
+        let (g, m, sched, startup) = setup();
+        let mut prev = Ratio::from_int(i64::MAX);
+        for &n in &[10_000u64, 1_000_000, 100_000_000, 10_000_000_000] {
+            let t = total_time_bound(&g, &sched, &startup, m, n);
+            let lb = lower_bound(n, &sched.throughput);
+            let ratio = &t / &lb;
+            assert!(ratio >= Ratio::one());
+            assert!(ratio < prev, "ratio should shrink with n");
+            prev = ratio;
+        }
+        // At n = 10^10 the bound is within 1% of optimal.
+        let t = total_time_bound(&g, &sched, &startup, m, 10_000_000_000);
+        let lb = lower_bound(10_000_000_000, &sched.throughput);
+        assert!(&t / &lb < Ratio::new(101, 100));
+    }
+
+    #[test]
+    fn zero_startup_costs_nothing() {
+        let (g, _, sched, _) = setup();
+        let zero = vec![Ratio::zero(); g.num_edges()];
+        let g1 = group(&sched, &zero, BigInt::one());
+        assert_eq!(g1.effective_throughput, sched.throughput);
+        assert!(g1.overhead.is_zero());
+    }
+}

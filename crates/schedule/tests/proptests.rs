@@ -1,0 +1,98 @@
+//! Property-based tests for the reconstruction machinery: the §4.1
+//! decomposition is exact on arbitrary loads, flow-path decomposition
+//! conserves rates, and fixed-period rounding never overshoots.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ss_core::master_slave;
+use ss_num::{BigInt, Ratio};
+use ss_platform::topo;
+use ss_schedule::coloring::{
+    decompose, greedy_shared_port_schedule, shared_port_load_bound,
+};
+use ss_schedule::{fixed_period, flowpaths, reconstruct_master_slave};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bipartite decomposition is exact for arbitrary non-negative
+    /// integer loads on arbitrary random platforms, and stays compact.
+    #[test]
+    fn coloring_exact_on_arbitrary_loads(
+        seed in 0u64..1000,
+        p in 3usize..10,
+        weights in prop::collection::vec(0u32..60, 120),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let busy: Vec<BigInt> = (0..g.num_edges())
+            .map(|e| BigInt::from(weights[e % weights.len()]))
+            .collect();
+        let d = decompose(&g, &busy);
+        prop_assert!(d.check(&g, &busy).is_ok());
+        prop_assert!(d.num_rounds() <= g.num_edges() + 2 * g.num_nodes());
+        // Makespan equals the maximum port load exactly.
+        let mut send = vec![BigInt::zero(); g.num_nodes()];
+        let mut recv = vec![BigInt::zero(); g.num_nodes()];
+        for e in g.edges() {
+            send[e.src.index()] += &busy[e.id.index()];
+            recv[e.dst.index()] += &busy[e.id.index()];
+        }
+        let delta = send.iter().chain(recv.iter()).cloned().max().unwrap();
+        prop_assert_eq!(d.makespan, delta);
+    }
+
+    /// Greedy shared-port orchestration is feasible and within 2x of the
+    /// load bound (the §5.1.1 approximation guarantee).
+    #[test]
+    fn shared_port_within_two_of_bound(
+        seed in 0u64..1000,
+        p in 3usize..9,
+        weights in prop::collection::vec(0u32..40, 120),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let busy: Vec<BigInt> = (0..g.num_edges())
+            .map(|e| BigInt::from(weights[e % weights.len()]))
+            .collect();
+        let (makespan, _) = greedy_shared_port_schedule(&g, &busy);
+        let bound = shared_port_load_bound(&g, &busy);
+        prop_assert!(makespan >= bound);
+        prop_assert!(makespan <= &BigInt::from(2u32) * &bound);
+    }
+
+    /// Master–slave flow decomposition conserves the throughput exactly
+    /// and the reconstruction meets its own invariants, for random trees
+    /// and random connected platforms alike.
+    #[test]
+    fn flows_and_reconstruction_consistent(seed in 0u64..400, tree in any::<bool>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, m) = if tree {
+            topo::random_tree(&mut rng, 6, &topo::ParamRange::default())
+        } else {
+            topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default())
+        };
+        let sol = master_slave::solve(&g, m).unwrap();
+        let absorb: Vec<Ratio> = g.node_ids().map(|i| sol.compute_rate(&g, i)).collect();
+        let paths = flowpaths::decompose_flow(&g, m, &sol.edge_task_rate, &absorb).unwrap();
+        let total: Ratio = paths.iter().map(|p| p.rate.clone()).sum();
+        prop_assert_eq!(total, sol.ntask.clone());
+        let sched = reconstruct_master_slave(&g, &sol);
+        prop_assert!(sched.check(&g).is_ok());
+    }
+
+    /// Fixed-period rounding: achieved throughput is within #paths/T of
+    /// the optimum and never exceeds it.
+    #[test]
+    fn fixed_period_bounds(seed in 0u64..400, t in 1i64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, m) = topo::random_connected(&mut rng, 5, 0.3, &topo::ParamRange::default());
+        let sol = master_slave::solve(&g, m).unwrap();
+        let plan = fixed_period::master_slave_fixed_period(&g, m, &sol, BigInt::from(t)).unwrap();
+        prop_assert!(plan.check(&g).is_ok());
+        prop_assert!(plan.achieved <= sol.ntask);
+        let loss_bound = Ratio::new(plan.paths.len() as i64, t);
+        prop_assert!(&sol.ntask - &plan.achieved <= loss_bound);
+    }
+}

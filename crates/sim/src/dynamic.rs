@@ -1,0 +1,256 @@
+//! Dynamic platforms and adaptive steady-state scheduling (§5.5).
+//!
+//! Steady-state scheduling is naturally adaptive: work is organized in
+//! periods, so between phases the activity variables can be recomputed
+//! from observed resource performance ("use the past to predict the
+//! future", monitored NWS-style). This module simulates three policies on
+//! a platform whose parameters drift piecewise-constantly:
+//!
+//! * **Static** — solve the LP once on the initial parameters and replay
+//!   that plan forever. When a resource slows down, the plan's period
+//!   stretches (its transfers and computations take longer); when
+//!   resources speed up, the plan cannot exploit it (it ships a fixed
+//!   number of tasks per period).
+//! * **Adaptive** — at each phase boundary, re-solve the LP using the
+//!   *previous* phase's observed parameters. Pays one phase of mismatch
+//!   after every change.
+//! * **Omniscient** — re-solve with the current phase's true parameters:
+//!   the unbeatable reference.
+//!
+//! Throughput of a plan under possibly different actual parameters is
+//! computed exactly: the §4.1 round structure stretches round-by-round
+//! (each round lasts as long as its slowest stretched transfer) and
+//! computation stretches per node; the realized period is the max of the
+//! communication span and the compute spans, and the plan still completes
+//! its fixed task count per period.
+
+use ss_core::master_slave;
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform, Weight};
+use ss_schedule::{reconstruct_master_slave, PeriodicSchedule};
+
+/// Multiplicative drift applied to a platform: per-node compute slowdown
+/// and per-edge cost slowdown (1 = nominal, 2 = twice as slow, 1/2 = twice
+/// as fast).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamScale {
+    /// Factor on each node's `w_i`.
+    pub w_mult: Vec<Ratio>,
+    /// Factor on each edge's `c_ij`.
+    pub c_mult: Vec<Ratio>,
+}
+
+impl ParamScale {
+    /// The identity drift (all ones).
+    pub fn nominal(g: &Platform) -> ParamScale {
+        ParamScale {
+            w_mult: vec![Ratio::one(); g.num_nodes()],
+            c_mult: vec![Ratio::one(); g.num_edges()],
+        }
+    }
+
+    /// Scale a single node's compute weight.
+    pub fn with_node(mut self, i: NodeId, factor: Ratio) -> ParamScale {
+        assert!(factor.is_positive());
+        self.w_mult[i.index()] = factor;
+        self
+    }
+
+    /// Scale a single edge's cost.
+    pub fn with_edge(mut self, e: ss_platform::EdgeId, factor: Ratio) -> ParamScale {
+        assert!(factor.is_positive());
+        self.c_mult[e.index()] = factor;
+        self
+    }
+
+    /// The platform with this drift applied.
+    pub fn apply(&self, g: &Platform) -> Platform {
+        let mut out = Platform::new();
+        for n in g.nodes() {
+            let w = match n.w.as_ratio() {
+                Some(w) => Weight::finite(w * &self.w_mult[n.id.index()]),
+                None => Weight::Infinite,
+            };
+            out.add_node(n.name.to_string(), w);
+        }
+        for e in g.edges() {
+            out.add_edge(e.src, e.dst, e.c * &self.c_mult[e.id.index()])
+                .expect("scaling preserves validity");
+        }
+        out
+    }
+}
+
+/// Exact throughput of a fixed plan (solved on `planned` parameters)
+/// executed while the platform actually runs at `actual` parameters.
+pub fn realized_throughput(
+    g_nominal: &Platform,
+    sched: &PeriodicSchedule,
+    planned: &ParamScale,
+    actual: &ParamScale,
+) -> Ratio {
+    // Stretch each communication round: a transfer on edge e that was
+    // allotted mu time now needs mu * (actual_c / planned_c).
+    let mut comm_span = Ratio::zero();
+    for round in &sched.decomposition.rounds {
+        let mu = Ratio::from(round.duration.clone());
+        let stretch = round
+            .transfers
+            .iter()
+            .map(|e| &actual.c_mult[e.index()] / &planned.c_mult[e.index()])
+            .fold(Ratio::one(), Ratio::max);
+        comm_span += &mu * &stretch;
+    }
+    // Stretch each node's computation.
+    let mut compute_span = Ratio::zero();
+    for i in g_nominal.node_ids() {
+        if !sched.node_work[i.index()].is_positive() {
+            continue;
+        }
+        let Some(w) = g_nominal.node(i).w.as_ratio() else { continue };
+        let actual_w = w * &actual.w_mult[i.index()];
+        let span = &Ratio::from(sched.node_work[i.index()].clone()) * &actual_w;
+        compute_span = compute_span.max(span);
+    }
+    let realized_period = comm_span.max(compute_span).max(Ratio::from(sched.period.clone()));
+    &Ratio::from(sched.work_per_period()) / &realized_period
+}
+
+/// Per-phase throughput of the three policies.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// Tasks per time unit the static plan achieves this phase.
+    pub static_thr: Ratio,
+    /// Tasks per time unit the lagged adaptive plan achieves this phase.
+    pub adaptive_thr: Ratio,
+    /// Tasks per time unit with perfect knowledge (LP on true parameters).
+    pub omniscient_thr: Ratio,
+}
+
+/// Run the three policies across a sequence of drift phases.
+///
+/// `phases[t]` is the true parameter scale during phase `t`; all phases
+/// have equal length, so aggregate throughput is the mean.
+pub fn simulate_policies(
+    g: &Platform,
+    master: NodeId,
+    phases: &[ParamScale],
+) -> Result<Vec<PhaseReport>, ss_core::CoreError> {
+    assert!(!phases.is_empty());
+    let nominal = ParamScale::nominal(g);
+
+    // Static plan from the nominal platform.
+    let static_sol = master_slave::solve(g, master)?;
+    let static_sched = reconstruct_master_slave(g, &static_sol);
+
+    let mut reports = Vec::with_capacity(phases.len());
+    let mut prev_scale = nominal.clone();
+    for actual in phases {
+        // Static: nominal plan under actual parameters.
+        let static_thr = realized_throughput(g, &static_sched, &nominal, actual);
+
+        // Adaptive: plan on the previous phase's parameters.
+        let adaptive_platform = prev_scale.apply(g);
+        let adaptive_sol = master_slave::solve(&adaptive_platform, master)?;
+        let adaptive_sched = reconstruct_master_slave(&adaptive_platform, &adaptive_sol);
+        // Its plan was built against prev_scale; it executes under actual.
+        let adaptive_thr = realized_throughput(g, &adaptive_sched, &prev_scale, actual);
+
+        // Omniscient: plan on the true parameters.
+        let omni_platform = actual.apply(g);
+        let omni_sol = master_slave::solve(&omni_platform, master)?;
+        let omniscient_thr = omni_sol.ntask.clone();
+
+        reports.push(PhaseReport { static_thr, adaptive_thr, omniscient_thr });
+        prev_scale = actual.clone();
+    }
+    Ok(reports)
+}
+
+/// Mean throughput across phases (phases have equal duration).
+pub fn mean_throughput(reports: &[PhaseReport], pick: impl Fn(&PhaseReport) -> &Ratio) -> Ratio {
+    let total: Ratio = reports.iter().map(|r| pick(r).clone()).sum();
+    &total / &Ratio::from(reports.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_platform::paper;
+
+    /// Stretch accounting: a plan realized on its own parameters achieves
+    /// exactly the LP throughput.
+    #[test]
+    fn no_drift_no_loss() {
+        let (g, m) = paper::fig1();
+        let nominal = ParamScale::nominal(&g);
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let thr = realized_throughput(&g, &sched, &nominal, &nominal);
+        assert_eq!(thr, sol.ntask);
+    }
+
+    /// Slowing a used edge reduces realized throughput; speeding it up
+    /// cannot raise it above the plan rate.
+    #[test]
+    fn drift_direction() {
+        let (g, m) = paper::fig1();
+        let nominal = ParamScale::nominal(&g);
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        // Find a used edge.
+        let used = g
+            .edge_ids()
+            .find(|e| sched.edge_busy[e.index()].is_positive())
+            .expect("some edge is used");
+        let slow = ParamScale::nominal(&g).with_edge(used, Ratio::from_int(4));
+        let thr_slow = realized_throughput(&g, &sched, &nominal, &slow);
+        assert!(thr_slow < sol.ntask);
+        let fast = ParamScale::nominal(&g).with_edge(used, Ratio::new(1, 4));
+        let thr_fast = realized_throughput(&g, &sched, &nominal, &fast);
+        assert_eq!(thr_fast, sol.ntask, "plan cannot exceed its own rate");
+    }
+
+    /// Omniscient ≥ adaptive and omniscient ≥ static in every phase; after
+    /// a change has persisted for a phase, adaptive catches back up to
+    /// omniscient.
+    #[test]
+    fn policy_ordering_and_catchup() {
+        let (g, m) = paper::fig1();
+        let slow_node = ss_platform::NodeId(1);
+        let drift = ParamScale::nominal(&g).with_node(slow_node, Ratio::from_int(5));
+        let phases = vec![
+            ParamScale::nominal(&g),
+            drift.clone(),
+            drift.clone(), // persists: adaptive has caught up here
+            ParamScale::nominal(&g),
+            ParamScale::nominal(&g),
+        ];
+        let reports = simulate_policies(&g, m, &phases).unwrap();
+        for (t, r) in reports.iter().enumerate() {
+            assert!(r.adaptive_thr <= r.omniscient_thr, "phase {t}");
+            assert!(r.static_thr <= r.omniscient_thr, "phase {t}");
+        }
+        // Phase 2: drift persisted, adaptive == omniscient.
+        assert_eq!(reports[2].adaptive_thr, reports[2].omniscient_thr);
+        // Phase 4: nominal persisted, adaptive == omniscient == static plan rate.
+        assert_eq!(reports[4].adaptive_thr, reports[4].omniscient_thr);
+        // Under persistent drift the static plan is strictly worse.
+        assert!(reports[2].static_thr < reports[2].omniscient_thr);
+    }
+
+    /// Aggregate: adaptive beats static when drift persists.
+    #[test]
+    fn adaptive_beats_static_over_long_drift() {
+        let (g, m) = paper::fig1();
+        let drift = ParamScale::nominal(&g).with_node(ss_platform::NodeId(1), Ratio::from_int(10));
+        let mut phases = vec![ParamScale::nominal(&g)];
+        phases.extend(std::iter::repeat_n(drift, 6));
+        let reports = simulate_policies(&g, m, &phases).unwrap();
+        let adaptive = mean_throughput(&reports, |r| &r.adaptive_thr);
+        let stat = mean_throughput(&reports, |r| &r.static_thr);
+        let omni = mean_throughput(&reports, |r| &r.omniscient_thr);
+        assert!(adaptive > stat);
+        assert!(adaptive <= omni);
+    }
+}

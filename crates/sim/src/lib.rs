@@ -1,0 +1,36 @@
+//! # ss-sim — simulation of the §2 platform model
+//!
+//! Executable semantics for the full-overlap one-port model, used to
+//! *machine-check* that reconstructed schedules deliver what the LP
+//! promises and to run the online/dynamic experiments:
+//!
+//! * [`periodic`] — executes a reconstructed [`PeriodicSchedule`]
+//!   (store-and-forward at period granularity, exactly the §4.2 warm-up
+//!   construction): every quantity is an exact integer per period; the
+//!   executor reports per-period completions, verifies the pipeline fills
+//!   within the platform depth, and confirms the steady-state rate equals
+//!   the LP bound. Combined with the exact matching checks in
+//!   `ss-schedule`, a passing run is a proof-by-execution of model
+//!   compliance.
+//! * [`events`] — a small exact-time discrete-event kernel (rational
+//!   timestamps, deterministic tie-breaking) for the online baselines in
+//!   `ss-baselines`, which schedule *atomic* task files with optional
+//!   per-message start-up costs.
+//! * [`dynamic`] — the §5.5 experiments: piecewise-constant parameter
+//!   drift, a static schedule vs a "use the past to predict the future"
+//!   adaptive re-solver vs an omniscient re-solver.
+//!
+//! [`PeriodicSchedule`]: ss_schedule::PeriodicSchedule
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod events;
+pub mod periodic;
+pub mod rounds;
+
+pub use events::{EventQueue, Port};
+pub use periodic::{
+    simulate_collective, simulate_master_slave, simulate_tree_packing, PeriodicRun,
+};

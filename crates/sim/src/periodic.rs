@@ -1,0 +1,481 @@
+//! Period-granular execution of reconstructed schedules.
+//!
+//! The §4.2 construction is store-and-forward at the period level: data
+//! received during period `p` becomes usable in period `p + 1`; inside a
+//! period, the communication rounds of the §4.1 decomposition orchestrate
+//! the transfers (their port-disjointness is checked exactly by
+//! `ss-schedule`), and computation overlaps freely. The executor therefore
+//! tracks one integer buffer per node (or per commodity) and plays whole
+//! periods: sends draw on the start-of-period buffer, arrivals land in the
+//! next period's buffer, computation consumes what the sends left behind.
+//!
+//! Warm-up needs no special-casing: with empty buffers the first periods
+//! simply ship less than the plan, and the pipeline fills within
+//! `depth(G)` periods — the executor measures exactly when.
+
+use ss_num::{BigInt, Ratio};
+use ss_platform::{NodeId, Platform};
+use ss_schedule::PeriodicSchedule;
+
+/// Result of executing a periodic schedule for a number of periods.
+#[derive(Clone, Debug)]
+pub struct PeriodicRun {
+    /// Work completed in each simulated period (tasks for master–slave,
+    /// delivered messages for collectives).
+    pub per_period: Vec<BigInt>,
+    /// First period index (0-based) whose completion count reached the
+    /// steady-state plan, if any.
+    pub steady_after: Option<usize>,
+    /// The steady-state plan per period.
+    pub plan_per_period: BigInt,
+    /// Period length (time units).
+    pub period: BigInt,
+}
+
+impl PeriodicRun {
+    /// Total completions across all simulated periods.
+    pub fn total(&self) -> BigInt {
+        self.per_period.iter().cloned().sum()
+    }
+
+    /// Completions within `k` *time units* (whole periods only — a
+    /// conservative accounting matching the §4.2 lower bound).
+    pub fn completed_within(&self, k: &Ratio) -> BigInt {
+        if !self.period.is_positive() {
+            return BigInt::zero();
+        }
+        let full = (k / &Ratio::from(self.period.clone())).floor();
+        let full = full.to_u64().unwrap_or(u64::MAX).min(self.per_period.len() as u64);
+        self.per_period[..full as usize].iter().cloned().sum()
+    }
+
+    /// The deficit `K·ntask − completed(K)` for `K` = all simulated time.
+    /// §4.2 says this is bounded by a platform constant independent of `K`.
+    pub fn deficit(&self, throughput: &Ratio) -> Ratio {
+        let k = Ratio::from(&self.period * &BigInt::from(self.per_period.len() as u64));
+        &(&k * throughput) - &Ratio::from(self.total())
+    }
+}
+
+/// Execute a master–slave periodic schedule for `periods` periods.
+///
+/// The master draws on an unbounded task pool; every other node forwards
+/// and computes according to the per-period plan, limited by its buffer.
+/// Sends are prioritized over computation (filling the pipeline first),
+/// which is what makes the warm-up last exactly the platform depth.
+pub fn simulate_master_slave(
+    g: &Platform,
+    master: NodeId,
+    sched: &PeriodicSchedule,
+    periods: usize,
+) -> PeriodicRun {
+    let n = g.num_nodes();
+    let mut buffer = vec![BigInt::zero(); n];
+    let mut per_period = Vec::with_capacity(periods);
+    let plan = sched.work_per_period();
+    let mut steady_after = None;
+
+    for p in 0..periods {
+        let mut arrivals = vec![BigInt::zero(); n];
+        let mut avail = buffer.clone();
+        // Sends first, in deterministic edge order.
+        for e in g.edges() {
+            let want = &sched.edge_messages[e.id.index()];
+            if !want.is_positive() {
+                continue;
+            }
+            let sent = if e.src == master {
+                want.clone()
+            } else {
+                want.clone().min(avail[e.src.index()].clone())
+            };
+            if e.src != master {
+                avail[e.src.index()] -= &sent;
+            }
+            arrivals[e.dst.index()] += &sent;
+        }
+        // Then computation from the leftovers.
+        let mut done = BigInt::zero();
+        for i in g.node_ids() {
+            let want = &sched.node_work[i.index()];
+            if !want.is_positive() {
+                continue;
+            }
+            let did = if i == master {
+                want.clone()
+            } else {
+                want.clone().min(avail[i.index()].clone())
+            };
+            if i != master {
+                avail[i.index()] -= &did;
+            }
+            done += &did;
+        }
+        if steady_after.is_none() && done == plan {
+            steady_after = Some(p);
+        }
+        per_period.push(done);
+        for i in 0..n {
+            buffer[i] = &avail[i] + &arrivals[i];
+        }
+    }
+
+    PeriodicRun {
+        per_period,
+        steady_after,
+        plan_per_period: plan,
+        period: sched.period.clone(),
+    }
+}
+
+/// Execute a (sum-coupled) collective periodic schedule for `periods`
+/// periods, tracking one commodity per target. Completions are messages
+/// delivered at their targets (all targets summed; divide by the target
+/// count for the per-target rate).
+pub fn simulate_collective(
+    g: &Platform,
+    source: NodeId,
+    targets: &[NodeId],
+    flows: &[Vec<Ratio>],
+    sched: &PeriodicSchedule,
+    periods: usize,
+) -> PeriodicRun {
+    let n = g.num_nodes();
+    let k = targets.len();
+    // Integer per-period plan per commodity and edge.
+    let period_r = Ratio::from(sched.period.clone());
+    let plan: Vec<Vec<BigInt>> = flows
+        .iter()
+        .map(|fk| {
+            fk.iter()
+                .map(|r| {
+                    let x = r * &period_r;
+                    assert!(x.is_integer(), "period must clear flow denominators");
+                    x.numer().clone()
+                })
+                .collect()
+        })
+        .collect();
+    let plan_total: BigInt = targets
+        .iter()
+        .enumerate()
+        .map(|(ki, &t)| -> BigInt {
+            g.in_edges(t).map(|e| plan[ki][e.id.index()].clone()).sum()
+        })
+        .sum();
+
+    let mut buffer = vec![vec![BigInt::zero(); n]; k];
+    let mut per_period = Vec::with_capacity(periods);
+    let mut steady_after = None;
+
+    for p in 0..periods {
+        let mut delivered = BigInt::zero();
+        let mut arrivals = vec![vec![BigInt::zero(); n]; k];
+        let mut avail = buffer.clone();
+        for e in g.edges() {
+            for ki in 0..k {
+                let want = &plan[ki][e.id.index()];
+                if !want.is_positive() {
+                    continue;
+                }
+                let sent = if e.src == source {
+                    want.clone()
+                } else {
+                    want.clone().min(avail[ki][e.src.index()].clone())
+                };
+                if e.src != source {
+                    avail[ki][e.src.index()] -= &sent;
+                }
+                if e.dst == targets[ki] {
+                    delivered += &sent;
+                } else {
+                    arrivals[ki][e.dst.index()] += &sent;
+                }
+            }
+        }
+        if steady_after.is_none() && delivered == plan_total {
+            steady_after = Some(p);
+        }
+        per_period.push(delivered);
+        for ki in 0..k {
+            for i in 0..n {
+                buffer[ki][i] = &avail[ki][i] + &arrivals[ki][i];
+            }
+        }
+    }
+
+    PeriodicRun {
+        per_period,
+        steady_after,
+        plan_per_period: plan_total,
+        period: sched.period.clone(),
+    }
+}
+
+/// Execute a multicast tree-packing schedule for `periods` periods.
+///
+/// Each tree is a commodity: the source injects `x_t · T` instances per
+/// period into tree `t`; an interior node forwards an instance to *all*
+/// its tree children (one stored copy fans out), and every arrival at a
+/// target counts as a delivery. Completions per period are summed over
+/// targets, so the steady plan is `rate · T · #targets`.
+pub fn simulate_tree_packing(
+    g: &Platform,
+    source: NodeId,
+    targets: &[NodeId],
+    pack: &ss_core::multicast_trees::TreePacking,
+    sched: &PeriodicSchedule,
+    periods: usize,
+) -> PeriodicRun {
+    let n = g.num_nodes();
+    let k = pack.trees.len();
+    let period_r = Ratio::from(sched.period.clone());
+    // Integer instances per period per tree.
+    let plan: Vec<BigInt> = pack
+        .trees
+        .iter()
+        .map(|(_, x)| {
+            let v = x * &period_r;
+            assert!(v.is_integer(), "period must clear tree-rate denominators");
+            v.numer().clone()
+        })
+        .collect();
+    let plan_total: BigInt = {
+        let per_target: BigInt = plan.iter().cloned().sum();
+        &per_target * &BigInt::from(targets.len() as u64)
+    };
+    let is_target = {
+        let mut v = vec![false; n];
+        for &t in targets {
+            v[t.index()] = true;
+        }
+        v
+    };
+
+    let mut buffer = vec![vec![BigInt::zero(); n]; k];
+    let mut per_period = Vec::with_capacity(periods);
+    let mut steady_after = None;
+
+    for p in 0..periods {
+        let mut delivered = BigInt::zero();
+        let mut arrivals = vec![vec![BigInt::zero(); n]; k];
+        for (ti, (tree, _)) in pack.trees.iter().enumerate() {
+            // Each node forwards up to its buffered instances down every
+            // tree child; the source injects the plan.
+            for i in g.node_ids() {
+                let have = if i == source {
+                    plan[ti].clone()
+                } else {
+                    buffer[ti][i.index()].clone()
+                };
+                if !have.is_positive() {
+                    continue;
+                }
+                let children: Vec<NodeId> = tree
+                    .edges
+                    .iter()
+                    .map(|&e| g.edge(e))
+                    .filter(|er| er.src == i)
+                    .map(|er| er.dst)
+                    .collect();
+                for ch in children {
+                    if is_target[ch.index()] {
+                        delivered += &have;
+                    }
+                    // Interior nodes (and targets that also relay) buffer a
+                    // copy for next period's forwarding.
+                    let relays_further = tree
+                        .edges
+                        .iter()
+                        .any(|&e| g.edge(e).src == ch);
+                    if relays_further {
+                        arrivals[ti][ch.index()] += &have;
+                    }
+                }
+                if i != source {
+                    buffer[ti][i.index()] = BigInt::zero();
+                }
+            }
+        }
+        if steady_after.is_none() && delivered == plan_total {
+            steady_after = Some(p);
+        }
+        per_period.push(delivered);
+        for ti in 0..k {
+            for i in 0..n {
+                buffer[ti][i] = &buffer[ti][i] + &arrivals[ti][i];
+            }
+        }
+    }
+
+    PeriodicRun {
+        per_period,
+        steady_after,
+        plan_per_period: plan_total,
+        period: sched.period.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{master_slave, scatter};
+    use ss_platform::{paper, topo};
+    use ss_schedule::{reconstruct_collective, reconstruct_master_slave};
+
+    #[test]
+    fn fig1_reaches_steady_state_within_warmup_bound() {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let run = simulate_master_slave(&g, m, &sched, 20);
+        // The exact pipeline-fill bound is the longest routed flow path
+        // (the paper's depth bound assumes depth-monotone routing, which
+        // an arbitrary LP optimum need not produce).
+        let warmup = ss_schedule::flowpaths::master_slave_warmup(&g, m, &sol).unwrap();
+        let steady = run.steady_after.expect("must reach steady state");
+        assert!(steady <= warmup, "steady after {steady} > warmup bound {warmup}");
+        assert!(warmup < g.num_nodes());
+        // Once steady, every period delivers the plan.
+        for p in steady..20 {
+            assert_eq!(run.per_period[p], run.plan_per_period, "period {p}");
+        }
+    }
+
+    #[test]
+    fn simulated_rate_equals_lp_bound() {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let run = simulate_master_slave(&g, m, &sched, 50);
+        // Steady-state per-period completions == T * ntask exactly.
+        let plan = &Ratio::from(sched.period.clone()) * &sol.ntask;
+        assert_eq!(Ratio::from(run.plan_per_period.clone()), plan);
+        assert_eq!(run.per_period.last().unwrap(), &run.plan_per_period);
+    }
+
+    #[test]
+    fn deficit_bounded_by_platform_constant() {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let warmup = ss_schedule::flowpaths::master_slave_warmup(&g, m, &sol).unwrap() as u64;
+        // The §4.2 constant: at most (warmup+1) periods' worth of work.
+        let constant = Ratio::from(&BigInt::from(warmup + 1) * &sched.work_per_period());
+        for periods in [10usize, 50, 200] {
+            let run = simulate_master_slave(&g, m, &sched, periods);
+            let deficit = run.deficit(&sol.ntask);
+            assert!(!deficit.is_negative());
+            assert!(
+                deficit <= constant,
+                "periods={periods}: deficit {deficit} > constant {constant}"
+            );
+        }
+    }
+
+    #[test]
+    fn completed_within_partial_horizons() {
+        let (g, m) = paper::fig1();
+        let sol = master_slave::solve(&g, m).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let run = simulate_master_slave(&g, m, &sched, 10);
+        let t = Ratio::from(sched.period.clone());
+        assert_eq!(run.completed_within(&Ratio::zero()), BigInt::zero());
+        let one = run.completed_within(&t);
+        let two = run.completed_within(&(&t * &Ratio::from_int(2)));
+        assert!(two >= one);
+        let all = run.completed_within(&(&t * &Ratio::from_int(10)));
+        assert_eq!(all, run.total());
+    }
+
+    #[test]
+    fn random_platforms_meet_bound() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let (g, m) = topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default());
+            let sol = master_slave::solve(&g, m).unwrap();
+            let sched = reconstruct_master_slave(&g, &sol);
+            let run = simulate_master_slave(&g, m, &sched, 30);
+            let steady = run.steady_after.expect("steady state");
+            let warmup = ss_schedule::flowpaths::master_slave_warmup(&g, m, &sol).unwrap();
+            assert!(steady <= warmup, "seed {seed}: steady {steady} > warmup {warmup}");
+            assert_eq!(run.per_period.last().unwrap(), &run.plan_per_period);
+        }
+    }
+
+    #[test]
+    fn scatter_delivery_reaches_plan() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let (g, root) = topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default());
+            let targets = topo::pick_targets(&mut rng, &g, root, 2);
+            let sol = scatter::solve(&g, root, &targets).unwrap();
+            let sched = reconstruct_collective(&g, &sol).unwrap();
+            let run = simulate_collective(&g, root, &targets, &sol.flows, &sched, 25);
+            let steady = run.steady_after.expect("steady state");
+            let warmup = ss_schedule::flowpaths::collective_warmup(&g, &sol).unwrap();
+            assert!(steady <= warmup, "seed {seed}: steady {steady} > warmup {warmup}");
+            // Per-period plan = TP * T * #targets.
+            let plan = &(&sol.throughput * &Ratio::from(sched.period.clone()))
+                * &Ratio::from(targets.len());
+            assert_eq!(Ratio::from(run.plan_per_period.clone()), plan);
+        }
+    }
+
+    #[test]
+    fn tree_packing_execution_fig2() {
+        use ss_core::multicast_trees;
+        let (g, src, targets) = paper::fig2_multicast();
+        let pack = multicast_trees::solve_tree_packing(&g, src, &targets).unwrap();
+        let sched = ss_schedule::reconstruct_tree_packing(&g, &pack);
+        let run = simulate_tree_packing(&g, src, &targets, &pack, &sched, 15);
+        // rate 3/4 with 2 targets: plan = (3/4)·T·2 deliveries per period.
+        assert_eq!(
+            Ratio::from(run.plan_per_period.clone()),
+            &(&Ratio::new(3, 4) * &Ratio::from(sched.period.clone())) * &Ratio::from_int(2)
+        );
+        let steady = run.steady_after.expect("steady state");
+        assert!(steady <= 3, "steady after {steady}");
+        assert_eq!(run.per_period.last().unwrap(), &run.plan_per_period);
+    }
+
+    #[test]
+    fn tree_packing_execution_random() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use ss_core::multicast_trees;
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(60 + seed);
+            let (g, root) = topo::random_connected(&mut rng, 6, 0.35, &topo::ParamRange::default());
+            let targets = topo::pick_targets(&mut rng, &g, root, 2);
+            let pack = multicast_trees::solve_tree_packing(&g, root, &targets).unwrap();
+            let sched = ss_schedule::reconstruct_tree_packing(&g, &pack);
+            sched.check(&g).unwrap();
+            let run = simulate_tree_packing(&g, root, &targets, &pack, &sched, 20);
+            assert_eq!(
+                run.per_period.last().unwrap(),
+                &run.plan_per_period,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_warmup_is_linear_in_depth() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, root) = topo::chain(&mut rng, 6, &topo::ParamRange::default());
+        let sol = master_slave::solve(&g, root).unwrap();
+        let sched = reconstruct_master_slave(&g, &sol);
+        let run = simulate_master_slave(&g, root, &sched, 20);
+        let steady = run.steady_after.unwrap();
+        assert!(steady <= 5);
+        // Not instantaneous either — the pipeline genuinely has to fill.
+        assert!(steady >= 1);
+    }
+}

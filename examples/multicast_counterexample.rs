@@ -1,0 +1,98 @@
+//! The §4.3 multicast counterexample (Figures 2 and 3), end to end.
+//!
+//! The max-coupled LP says the Figure 2 platform multicasts one message
+//! per time unit to {P5, P6}. The paper shows no schedule achieves it:
+//! the two route families both need the slow edge (P3, P4). This example
+//! recomputes the bound, prints the per-edge flows of Figure 3(a–c),
+//! exhibits the conflict of Figure 3(d), and contrasts with the
+//! achievable sum-coupled throughput.
+//!
+//! ```sh
+//! cargo run --release --example multicast_counterexample
+//! ```
+
+use steadystate::core::multicast;
+use steadystate::num::Ratio;
+use steadystate::platform::paper;
+
+fn main() {
+    let (g, source, targets) = paper::fig2_multicast();
+    println!("Figure 2 platform: source P0, targets P5 and P6");
+    println!("{}", g.to_dot());
+
+    let (lo, hi) = multicast::bounds(&g, source, &targets).expect("LPs solve");
+
+    println!("max-coupled LP bound (optimistic): TP = {}", hi.throughput);
+    assert_eq!(hi.throughput, Ratio::one(), "the paper's bound is exactly 1");
+
+    // Figure 3(a)/(b): per-edge flows for each target.
+    for (k, &t) in targets.iter().enumerate() {
+        println!("\nFlows of messages targeting {} (Fig. 3{})", g.node(t).name, ['a', 'b'][k]);
+        for e in g.edges() {
+            let f = &hi.flows[k][e.id.index()];
+            if !f.is_zero() {
+                println!("  {} → {}: {}", g.node(e.src).name, g.node(e.dst).name, f);
+            }
+        }
+    }
+
+    // Figure 3(c): aggregate transfers.
+    println!("\nTotal messages per edge (Fig. 3c)");
+    for e in g.edges() {
+        let total = hi.total_edge_rate(e.id);
+        if !total.is_zero() {
+            println!("  {} → {}: {}", g.node(e.src).name, g.node(e.dst).name, total);
+        }
+    }
+
+    // Figure 3(d): the conflict. Under max coupling the slow edge (P3,P4)
+    // is billed max(f5, f6) * c = 1/2 * 2 = 1 (feasible). But P0's two
+    // out-edges are saturated, so each carries only half the instances of
+    // each stream — hence the P5-messages crossing P3->P4 (label b, routed
+    // via P2) and the P6-messages crossing it (label a, routed via P1) are
+    // DIFFERENT multicast instances. No transmission can serve both: a
+    // real schedule pays (f5 + f6) * c = 2 > 1 time units per time unit.
+    let p3 = g.find_node("P3").unwrap();
+    let p4 = g.find_node("P4").unwrap();
+    let slow = g.edge_between(p3, p4).unwrap();
+    let c = g.edge(slow).c.clone();
+    let f5 = &hi.flows[0][slow.index()];
+    let f6 = &hi.flows[1][slow.index()];
+    let billed = &f5.clone().max(f6.clone()) * &c;
+    let real = &(f5 + f6) * &c;
+    println!("\nEdge P3→P4 (c = {c}):");
+    println!("  max-LP bills     max({f5}, {f6}) · {c} = {billed}  (≤ 1, looks fine)");
+    println!("  a real schedule needs ({f5} + {f6}) · {c} = {real}  (> 1: impossible!)");
+    assert!(real > Ratio::one());
+
+    println!("\nachievable sum-coupled LP (treat the multicast as a scatter): TP = {}", lo.throughput);
+    assert!(lo.throughput < hi.throughput);
+
+    // Between the two: fractional tree packing (achievable, reconstructible).
+    let pack = steadystate::core::multicast_trees::solve_tree_packing(&g, source, &targets)
+        .expect("packing solves");
+    println!("fractional tree packing over {} trees: TP = {} — achieved:", pack.trees.len(), pack.rate);
+    for (t, x) in &pack.trees {
+        let edges: Vec<String> = t
+            .edges
+            .iter()
+            .map(|&e| {
+                let er = g.edge(e);
+                format!("{}→{}", g.node(er.src).name, g.node(er.dst).name)
+            })
+            .collect();
+        println!("  rate {x}: [{}]", edges.join(", "));
+    }
+    let sched = steadystate::schedule::reconstruct_tree_packing(&g, &pack);
+    let run = steadystate::sim::simulate_tree_packing(&g, source, &targets, &pack, &sched, 20);
+    println!(
+        "  reconstructed (T = {}) and simulated: plan met = {}",
+        sched.period,
+        run.per_period.last().unwrap() == &run.plan_per_period
+    );
+    println!(
+        "\ngap: {} (achieved) <= true multicast optimum <= {} (unachievable bound) — and §4.3\n\
+         proves pinning down the optimum is NP-hard.",
+        pack.rate, hi.throughput
+    );
+}

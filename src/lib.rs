@@ -1,0 +1,57 @@
+//! # steadystate — steady-state scheduling on heterogeneous clusters
+//!
+//! A complete Rust implementation of the framework of Beaumont, Legrand,
+//! Marchal & Robert, *"Steady-State Scheduling on Heterogeneous Clusters:
+//! Why and How?"* (LIP RR-2004-11 / IPDPS 2004): instead of minimizing
+//! makespan (NP-hard), maximize *sustained throughput* by solving a linear
+//! program over per-resource activity fractions, then reconstruct an
+//! explicitly periodic schedule that achieves the LP bound.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`num`] — exact big-integer / rational arithmetic,
+//! * [`lp`] — the exact rational simplex solver,
+//! * [`platform`] — heterogeneous platform graphs and generators,
+//! * [`core`] — the steady-state LP formulations (master–slave, scatter,
+//!   multicast, broadcast, reduce, all-to-all, DAG collections, §5.1
+//!   model variants),
+//! * [`schedule`] — period extraction, the §4.1 weighted bipartite
+//!   edge-coloring orchestration, start-up grouping, fixed periods,
+//! * [`sim`] — executable semantics (periodic executor, event kernel,
+//!   §5.5 dynamic adaptation),
+//! * [`baselines`] — greedy/HEFT/fixed-tree competitors.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use steadystate::platform::paper;
+//! use steadystate::core::master_slave;
+//! use steadystate::schedule::reconstruct_master_slave;
+//! use steadystate::sim::simulate_master_slave;
+//!
+//! // The platform of the paper's Figure 1, master P1.
+//! let (g, master) = paper::fig1();
+//!
+//! // §3.1: optimal steady-state throughput via the SSMS linear program.
+//! let sol = master_slave::solve(&g, master).unwrap();
+//! println!("ntask(G) = {} tasks per time unit", sol.ntask);
+//!
+//! // §4.1: reconstruct an explicit periodic schedule...
+//! let sched = reconstruct_master_slave(&g, &sol);
+//! assert!(sched.check(&g).is_ok());
+//!
+//! // ...and machine-check that executing it really delivers the bound.
+//! let run = simulate_master_slave(&g, master, &sched, 20);
+//! assert_eq!(run.per_period.last().unwrap(), &run.plan_per_period);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ss_baselines as baselines;
+pub use ss_core as core;
+pub use ss_lp as lp;
+pub use ss_num as num;
+pub use ss_platform as platform;
+pub use ss_schedule as schedule;
+pub use ss_sim as sim;
