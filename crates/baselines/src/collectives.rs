@@ -91,7 +91,10 @@ mod tests {
         g.add_edge(s, a, ri(1)).unwrap();
         g.add_edge(s, b, ri(2)).unwrap();
         // Source port busy 1 + 2 = 3 per op.
-        assert_eq!(flat_tree_scatter_rate(&g, s, &[a, b]).unwrap(), Ratio::new(1, 3));
+        assert_eq!(
+            flat_tree_scatter_rate(&g, s, &[a, b]).unwrap(),
+            Ratio::new(1, 3)
+        );
     }
 
     #[test]

@@ -112,10 +112,15 @@ pub fn simulate_tree_greedy(
             continue;
         }
         let Some(di) = depths[i] else {
-            return Err(format!("node {} unreachable from master", g.node(NodeId(i)).name));
+            return Err(format!(
+                "node {} unreachable from master",
+                g.node(NodeId(i)).name
+            ));
         };
         // Parent = the in-neighbor one BFS level up (unique on a tree).
-        let mut parents = g.in_edges(NodeId(i)).filter(|e| depths[e.src.index()] == Some(di - 1));
+        let mut parents = g
+            .in_edges(NodeId(i))
+            .filter(|e| depths[e.src.index()] == Some(di - 1));
         let pe = parents.next().ok_or_else(|| "no parent edge".to_string())?;
         if parents.next().is_some() {
             return Err("platform is not a tree from the master".into());
@@ -132,7 +137,9 @@ pub fn simulate_tree_greedy(
 
     // The master "holds" the pool; children request at t = 0.
     fn request(nodes: &mut [NodeState], child: usize) {
-        let Some(parent) = nodes[child].parent else { return };
+        let Some(parent) = nodes[child].parent else {
+            return;
+        };
         if nodes[child].requested || nodes[child].receiving {
             return;
         }
@@ -207,7 +214,11 @@ pub fn simulate_tree_greedy(
         // Start computing if idle and holding a task.
         let can_compute = nodes[i].w.is_some() && !nodes[i].computing;
         if can_compute {
-            let has_task = if i == master { *pool > 0 } else { nodes[i].holding > 0 };
+            let has_task = if i == master {
+                *pool > 0
+            } else {
+                nodes[i].holding > 0
+            };
             if has_task {
                 if i == master {
                     *pool -= 1;
@@ -222,7 +233,11 @@ pub fn simulate_tree_greedy(
         // Serve one pending child if the send port is free and a task is
         // available to forward.
         if !nodes[i].sending {
-            let has_task = if i == master { *pool > 0 } else { nodes[i].holding > 0 };
+            let has_task = if i == master {
+                *pool > 0
+            } else {
+                nodes[i].holding > 0
+            };
             if has_task {
                 // Split borrow: pick needs &nodes[i] and &nodes[..].
                 let choice = {
@@ -267,7 +282,15 @@ pub fn simulate_tree_greedy(
     let mut by_depth: Vec<usize> = (0..p).collect();
     by_depth.sort_by_key(|&i| std::cmp::Reverse(depths[i].unwrap_or(0)));
     for &i in &by_depth {
-        activate(i, &t0, &mut nodes, &mut queue, &mut pool, master.index(), order);
+        activate(
+            i,
+            &t0,
+            &mut nodes,
+            &mut queue,
+            &mut pool,
+            master.index(),
+            order,
+        );
     }
 
     while let Some((now, ev)) = queue.pop() {
@@ -279,21 +302,48 @@ pub fn simulate_tree_greedy(
                 if remaining == 0 {
                     break;
                 }
-                activate(i, &now, &mut nodes, &mut queue, &mut pool, master.index(), order);
+                activate(
+                    i,
+                    &now,
+                    &mut nodes,
+                    &mut queue,
+                    &mut pool,
+                    master.index(),
+                    order,
+                );
             }
             Event::TransferDone { parent, child } => {
                 nodes[parent].sending = false;
                 nodes[child].receiving = false;
                 nodes[child].holding += 1;
-                activate(child, &now, &mut nodes, &mut queue, &mut pool, master.index(), order);
-                activate(parent, &now, &mut nodes, &mut queue, &mut pool, master.index(), order);
+                activate(
+                    child,
+                    &now,
+                    &mut nodes,
+                    &mut queue,
+                    &mut pool,
+                    master.index(),
+                    order,
+                );
+                activate(
+                    parent,
+                    &now,
+                    &mut nodes,
+                    &mut queue,
+                    &mut pool,
+                    master.index(),
+                    order,
+                );
             }
         }
     }
 
     completions.sort();
     let makespan = completions.last().cloned().unwrap_or_else(Ratio::zero);
-    Ok(GreedyOutcome { completions, makespan })
+    Ok(GreedyOutcome {
+        completions,
+        makespan,
+    })
 }
 
 #[cfg(test)]
@@ -404,9 +454,9 @@ mod tests {
         g.add_edge(m, a, ri(1)).unwrap();
         g.add_edge(m, b, ri(1)).unwrap();
         g.add_edge(a, b, ri(1)).unwrap(); // second parent for b at same depth? no—b depth 1 via m; a->b is depth-1 to depth-1: not a parent edge
-        // b has exactly one parent (m) at depth 0; a->b is a lateral edge and
-        // is ignored by the tree builder, so this IS accepted. Make a true
-        // multi-parent case instead:
+                                          // b has exactly one parent (m) at depth 0; a->b is a lateral edge and
+                                          // is ignored by the tree builder, so this IS accepted. Make a true
+                                          // multi-parent case instead:
         let c = g.add_node("c", Weight::from_int(1));
         g.add_edge(a, c, ri(1)).unwrap();
         g.add_edge(b, c, ri(1)).unwrap(); // c has two depth-1 parents

@@ -75,7 +75,9 @@ pub fn heft_batch(g: &Platform, master: NodeId, n: u64) -> HeftOutcome {
         // Candidate finish time on every node, without committing.
         let mut best: Option<(usize, Ratio)> = None;
         for i in 0..p {
-            let Some(w) = g.node(NodeId(i)).w.as_ratio() else { continue };
+            let Some(w) = g.node(NodeId(i)).w.as_ratio() else {
+                continue;
+            };
             let Some(route) = &routes[i] else { continue };
             // Estimate arrival against current port frontiers (each hop
             // uses a distinct port pair, so no self-contention on a path).
@@ -95,7 +97,8 @@ pub fn heft_batch(g: &Platform, master: NodeId, n: u64) -> HeftOutcome {
                 _ => {}
             }
         }
-        let (node, _) = best.expect("at least the master can compute, or the platform is all routers");
+        let (node, _) =
+            best.expect("at least the master can compute, or the platform is all routers");
         // Commit: actually reserve the ports along the route.
         let route = routes[node].as_ref().unwrap();
         let mut arrive = Ratio::zero();
@@ -119,7 +122,11 @@ pub fn heft_batch(g: &Platform, master: NodeId, n: u64) -> HeftOutcome {
 
     completions.sort();
     let makespan = completions.last().cloned().unwrap_or_else(Ratio::zero);
-    HeftOutcome { completions, makespan, assigned }
+    HeftOutcome {
+        completions,
+        makespan,
+        assigned,
+    }
 }
 
 #[cfg(test)]

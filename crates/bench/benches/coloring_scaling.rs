@@ -17,12 +17,16 @@ fn bench_coloring(c: &mut Criterion) {
         let busy: Vec<BigInt> = (0..g.num_edges())
             .map(|_| BigInt::from(rng.gen_range(0..100u32)))
             .collect();
-        group.bench_with_input(BenchmarkId::new("bipartite", p), &(&g, &busy), |b, (g, busy)| {
-            b.iter(|| decompose(g, busy))
-        });
-        group.bench_with_input(BenchmarkId::new("greedy_shared", p), &(&g, &busy), |b, (g, busy)| {
-            b.iter(|| greedy_shared_port_schedule(g, busy))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bipartite", p),
+            &(&g, &busy),
+            |b, (g, busy)| b.iter(|| decompose(g, busy)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_shared", p),
+            &(&g, &busy),
+            |b, (g, busy)| b.iter(|| greedy_shared_port_schedule(g, busy)),
+        );
     }
     group.finish();
 }

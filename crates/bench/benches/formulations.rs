@@ -1,8 +1,12 @@
-//! One bench per steady-state formulation: end-to-end build + exact solve
-//! on fixed reference platforms (the per-experiment cost the `repro`
-//! harness pays).
+//! One bench per steady-state formulation: end-to-end build + solve on
+//! fixed reference platforms (the per-experiment cost the `repro` harness
+//! pays), with an **exact-vs-f64 backend pairing per formulation** so the
+//! speedup of the fast path is a recorded, regenerable number.
+//!
+//! Results are written to `BENCH_lp_backends.json` at the workspace root
+//! (mean/min/max nanoseconds per solve, per backend).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ss_core::multicast::EdgeCoupling;
@@ -18,16 +22,22 @@ fn bench_formulations(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("formulations");
     group.sample_size(10);
-    group.bench_function("ssms_fig1", |b| b.iter(|| master_slave::solve(&fig1, m1).unwrap()));
+    group.bench_function("ssms_fig1", |b| {
+        b.iter(|| master_slave::solve(&fig1, m1).unwrap())
+    });
     group.bench_function("scatter_fig2_targets", |b| {
         b.iter(|| scatter::solve(&fig2, src2, &targets2).unwrap())
     });
     group.bench_function("multicast_max_fig2", |b| {
         b.iter(|| multicast::solve(&fig2, src2, &targets2, EdgeCoupling::Max).unwrap())
     });
-    group.bench_function("broadcast_p5", |b| b.iter(|| broadcast::solve(&g5, r5).unwrap()));
+    group.bench_function("broadcast_p5", |b| {
+        b.iter(|| broadcast::solve(&g5, r5).unwrap())
+    });
     group.bench_function("reduce_p5", |b| b.iter(|| reduce::solve(&g5, r5).unwrap()));
-    group.bench_function("all_to_all_p5", |b| b.iter(|| all_to_all::solve(&g5).unwrap()));
+    group.bench_function("all_to_all_p5", |b| {
+        b.iter(|| all_to_all::solve(&g5).unwrap())
+    });
     group.bench_function("dag_diamond_p5", |b| {
         let mut tg = dag::TaskGraph::diamond();
         let input = dag::TaskId(0);
@@ -38,5 +48,92 @@ fn bench_formulations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_formulations);
-criterion_main!(benches);
+/// Exact vs f64 on an identical formulation instance, for all eight
+/// formulations, on a common 8-node random platform (fig2 for multicast so
+/// the max coupling has structure to share).
+fn bench_backends(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (g, root) = topo::random_connected(&mut rng, 8, 0.3, &topo::ParamRange::default());
+    let targets = topo::pick_targets(&mut rng, &g, root, 3);
+    let (fig2, src2, targets2) = paper::fig2_multicast();
+    let mut tg = dag::TaskGraph::diamond();
+    tg.pin_task(dag::TaskId(0), root);
+
+    let mut group = c.benchmark_group("lp_backends");
+    group.sample_size(10);
+
+    group.bench_function("master_slave/exact", |b| {
+        b.iter(|| master_slave::solve(&g, root).unwrap())
+    });
+    group.bench_function("master_slave/f64", |b| {
+        b.iter(|| master_slave::solve_approx(&g, root).unwrap())
+    });
+
+    group.bench_function("scatter/exact", |b| {
+        b.iter(|| scatter::solve(&g, root, &targets).unwrap())
+    });
+    group.bench_function("scatter/f64", |b| {
+        b.iter(|| scatter::solve_approx(&g, root, &targets).unwrap())
+    });
+
+    group.bench_function("multicast_sum/exact", |b| {
+        b.iter(|| multicast::solve(&fig2, src2, &targets2, EdgeCoupling::Sum).unwrap())
+    });
+    group.bench_function("multicast_sum/f64", |b| {
+        b.iter(|| multicast::solve_approx(&fig2, src2, &targets2, EdgeCoupling::Sum).unwrap())
+    });
+
+    group.bench_function("multicast_max/exact", |b| {
+        b.iter(|| multicast::solve(&fig2, src2, &targets2, EdgeCoupling::Max).unwrap())
+    });
+    group.bench_function("multicast_max/f64", |b| {
+        b.iter(|| multicast::solve_approx(&fig2, src2, &targets2, EdgeCoupling::Max).unwrap())
+    });
+
+    group.bench_function("broadcast/exact", |b| {
+        b.iter(|| broadcast::solve(&g, root).unwrap())
+    });
+    group.bench_function("broadcast/f64", |b| {
+        b.iter(|| broadcast::solve_approx(&g, root).unwrap())
+    });
+
+    group.bench_function("reduce/exact", |b| {
+        b.iter(|| reduce::solve(&g, root).unwrap())
+    });
+    group.bench_function("reduce/f64", |b| {
+        b.iter(|| reduce::solve_approx(&g, root).unwrap())
+    });
+
+    // All-to-all carries p(p-1) flow copies; a 6-node platform keeps the
+    // exact side of the pairing affordable while preserving the contrast.
+    let mut rng6 = StdRng::seed_from_u64(42);
+    let (g6, _) = topo::random_connected(&mut rng6, 6, 0.3, &topo::ParamRange::default());
+    group.bench_function("all_to_all/exact", |b| {
+        b.iter(|| all_to_all::solve(&g6).unwrap())
+    });
+    group.bench_function("all_to_all/f64", |b| {
+        b.iter(|| all_to_all::solve_approx(&g6).unwrap())
+    });
+
+    group.bench_function("dag/exact", |b| b.iter(|| dag::solve(&g, &tg).unwrap()));
+    group.bench_function("dag/f64", |b| {
+        b.iter(|| dag::solve_approx(&g, &tg).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulations, bench_backends);
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    c.final_summary();
+    // Record the backend pairing next to the repo's other experiment
+    // artifacts (workspace root, two levels up from crates/bench).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp_backends.json");
+    match c.write_json_summary(out) {
+        Ok(()) => println!("\nrecorded backend results to BENCH_lp_backends.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_lp_backends.json: {e}"),
+    }
+}

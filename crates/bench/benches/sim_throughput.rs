@@ -13,9 +13,11 @@ fn bench_periodic(c: &mut Criterion) {
     let sched = reconstruct_master_slave(&g, &sol);
     let mut group = c.benchmark_group("periodic_executor");
     for periods in [10usize, 100, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(periods), &periods, |b, &periods| {
-            b.iter(|| simulate_master_slave(&g, m, &sched, periods))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(periods),
+            &periods,
+            |b, &periods| b.iter(|| simulate_master_slave(&g, m, &sched, periods)),
+        );
     }
     group.finish();
 }

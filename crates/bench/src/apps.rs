@@ -44,16 +44,26 @@ pub fn dag() {
             assert!(sol.throughput <= ub);
         }
     }
-    print_table(&["seed", "DAG", "rho (LP)", "compute bound", "rho/bound"], &rows);
+    print_table(
+        &["seed", "DAG", "rho (LP)", "compute bound", "rho/bound"],
+        &rows,
+    );
     println!("shape: rho never exceeds the aggregate-compute bound; communication-heavy DAGs sit further below it.");
 }
 
 /// Divisible-load scheduling (paper ref \[8\], §6): single-round DLT on a
 /// star vs the steady-state fluid rate.
 pub fn divisible() {
-    banner("divisible", "ref [8] — divisible load: single-round DLT vs steady-state rate");
+    banner(
+        "divisible",
+        "ref [8] — divisible load: single-round DLT vs steady-state rate",
+    );
     let mut rng = StdRng::seed_from_u64(88);
-    let params = topo::ParamRange { w_range: (1, 6), c_range: (1, 4), max_denominator: 1 };
+    let params = topo::ParamRange {
+        w_range: (1, 6),
+        c_range: (1, 4),
+        max_denominator: 1,
+    };
     let (g, m) = topo::star(&mut rng, 7, &params);
     let plan = ss_core::divisible::single_round_bandwidth_order(&g, m).expect("DLT plan");
     plan.check(&g, m).expect("valid plan");
@@ -75,7 +85,12 @@ pub fn divisible() {
             share.to_string(),
         ]);
     }
-    rows.push(vec!["master".into(), "-".into(), g.node(m).w.to_string(), plan.master_share.to_string()]);
+    rows.push(vec![
+        "master".into(),
+        "-".into(),
+        g.node(m).w.to_string(),
+        plan.master_share.to_string(),
+    ]);
     print_table(&["node", "c", "w", "load share"], &rows);
     let overhead = &plan.unit_makespan * &rate;
     println!(
@@ -147,7 +162,11 @@ pub fn why() {
 
     // ---- (a) heterogeneous star (tree: all baselines apply) ----
     let mut rng = StdRng::seed_from_u64(2004);
-    let params = topo::ParamRange { w_range: (1, 8), c_range: (1, 4), max_denominator: 1 };
+    let params = topo::ParamRange {
+        w_range: (1, 8),
+        c_range: (1, 4),
+        max_denominator: 1,
+    };
     let (g, m) = topo::star(&mut rng, 6, &params);
     let sol = master_slave::solve(&g, m).expect("solves");
     let sched = reconstruct_master_slave(&g, &sol);
@@ -164,13 +183,30 @@ pub fn why() {
         let norm = |t: &Ratio| format!("{:.3}", (t / &lb).to_f64());
         let t_ss = steady_time_for_n(&g, m, &sched, n);
         let t_heft = heft_batch(&g, m, n).makespan;
-        let t_fifo = simulate_tree_greedy(&g, m, n, ServiceOrder::Fifo).unwrap().makespan;
+        let t_fifo = simulate_tree_greedy(&g, m, n, ServiceOrder::Fifo)
+            .unwrap()
+            .makespan;
         let t_bw = simulate_tree_greedy(&g, m, n, ServiceOrder::BandwidthCentric)
             .unwrap()
             .makespan;
-        rows.push(vec![n.to_string(), norm(&t_ss), norm(&t_heft), norm(&t_fifo), norm(&t_bw)]);
+        rows.push(vec![
+            n.to_string(),
+            norm(&t_ss),
+            norm(&t_heft),
+            norm(&t_fifo),
+            norm(&t_bw),
+        ]);
     }
-    print_table(&["n", "steady-state", "HEFT", "greedy FIFO", "greedy BW-centric"], &rows);
+    print_table(
+        &[
+            "n",
+            "steady-state",
+            "HEFT",
+            "greedy FIFO",
+            "greedy BW-centric",
+        ],
+        &rows,
+    );
     println!(
         "shape: FIFO wastes the master's port on slow links and plateaus above 1; bandwidth-centric\n\
          approaches 1 (ref [11] proves it optimal on trees); steady-state converges to 1 by construction."

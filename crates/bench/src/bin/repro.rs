@@ -10,7 +10,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = ss_bench::registry();
 
-    if args.is_empty() || args.iter().any(|a| a == "list" || a == "--help" || a == "-h") {
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "list" || a == "--help" || a == "-h")
+    {
         println!("usage: repro <experiment-id>... | all | list\n\navailable experiments:");
         for (id, _) in &registry {
             println!("  {id}");

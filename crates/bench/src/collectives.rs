@@ -14,7 +14,10 @@ use ss_sim::simulate_collective;
 /// §3.2: pipelined scatter — LP optimum vs the fixed flat tree, with
 /// reconstruction and execution.
 pub fn scatter() {
-    banner("scatter", "§3.2 — pipelined scatter: steady-state LP vs flat tree");
+    banner(
+        "scatter",
+        "§3.2 — pipelined scatter: steady-state LP vs flat tree",
+    );
     let mut rows = Vec::new();
     for seed in 0..6u64 {
         let mut rng = StdRng::seed_from_u64(7000 + seed);
@@ -36,14 +39,20 @@ pub fn scatter() {
             (run.per_period.last().unwrap() == &run.plan_per_period).to_string(),
         ]);
     }
-    print_table(&["seed", "p", "LP TP", "flat tree", "gain", "sim==LP"], &rows);
+    print_table(
+        &["seed", "p", "LP TP", "flat tree", "gain", "sim==LP"],
+        &rows,
+    );
     println!("shape: the LP (multi-path, contention-aware) never loses to the fixed tree; gains grow with heterogeneity.");
 }
 
 /// §4.3: broadcast — the max-LP bound is achievable (ref \[5\]); fixed BFS
 /// trees and per-copy scatters undershoot it.
 pub fn broadcast() {
-    banner("broadcast", "§4.3 — pipelined broadcast: max-LP vs BFS tree vs per-copy scatter");
+    banner(
+        "broadcast",
+        "§4.3 — pipelined broadcast: max-LP vs BFS tree vs per-copy scatter",
+    );
     let mut rows = Vec::new();
     for seed in 0..6u64 {
         let mut rng = StdRng::seed_from_u64(8000 + seed);
@@ -64,13 +73,19 @@ pub fn broadcast() {
         assert!(lp.throughput >= tree);
         assert!(lp.throughput >= per_copy);
     }
-    print_table(&["seed", "LP (max)", "BFS tree", "per-copy (sum)", "LP/tree"], &rows);
+    print_table(
+        &["seed", "LP (max)", "BFS tree", "per-copy (sum)", "LP/tree"],
+        &rows,
+    );
     println!("shape: max-LP >= both baselines everywhere; recipients re-serving copies is where the gain comes from.");
 }
 
 /// §4.2: reduce (reverse-broadcast duality) and personalized all-to-all.
 pub fn reduce_a2a() {
-    banner("reduce-a2a", "§4.2 — reduce duality and personalized all-to-all");
+    banner(
+        "reduce-a2a",
+        "§4.2 — reduce duality and personalized all-to-all",
+    );
     let mut rows = Vec::new();
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(9000 + seed);
@@ -92,7 +107,14 @@ pub fn reduce_a2a() {
         assert!(a2a.throughput <= scat.throughput);
     }
     print_table(
-        &["seed", "reduce TP", "bcast(G^T) TP", "dual ==", "scatter TP", "a2a TP"],
+        &[
+            "seed",
+            "reduce TP",
+            "bcast(G^T) TP",
+            "dual ==",
+            "scatter TP",
+            "a2a TP",
+        ],
         &rows,
     );
     println!("shape: reduce == broadcast on the transposed graph, exactly; all-to-all <= scatter (it carries p(p-1) streams).");

@@ -14,9 +14,14 @@ pub fn fig1() {
     banner("fig1", "Figure 1 platform — SSMS steady-state master-slave");
     let (g, master) = paper::fig1();
     let sol = master_slave::solve(&g, master).expect("SSMS solves");
-    sol.check(&g, &PortModel::FullOverlapOnePort).expect("LP invariants");
+    sol.check(&g, &PortModel::FullOverlapOnePort)
+        .expect("LP invariants");
     println!("platform: p = {}, |E| = {}", g.num_nodes(), g.num_edges());
-    println!("ntask(G) = {} tasks/time-unit (~{:.4})", sol.ntask, sol.ntask.to_f64());
+    println!(
+        "ntask(G) = {} tasks/time-unit (~{:.4})",
+        sol.ntask,
+        sol.ntask.to_f64()
+    );
 
     let rows: Vec<Vec<String>> = g
         .nodes()
@@ -56,12 +61,22 @@ pub fn fig2() {
     println!(
         "source {}, targets {:?}",
         g.node(src).name,
-        targets.iter().map(|&t| g.node(t).name.to_string()).collect::<Vec<_>>()
+        targets
+            .iter()
+            .map(|&t| g.node(t).name.to_string())
+            .collect::<Vec<_>>()
     );
-    println!("max-LP multicast throughput bound TP = {} (paper: 1)", hi.throughput);
+    println!(
+        "max-LP multicast throughput bound TP = {} (paper: 1)",
+        hi.throughput
+    );
     assert_eq!(hi.throughput, Ratio::one());
     for (k, &t) in targets.iter().enumerate() {
-        println!("flows targeting {} (paper Fig. 3{}):", g.node(t).name, ['a', 'b'][k]);
+        println!(
+            "flows targeting {} (paper Fig. 3{}):",
+            g.node(t).name,
+            ['a', 'b'][k]
+        );
         let rows: Vec<Vec<String>> = g
             .edges()
             .filter(|e| !hi.flows[k][e.id.index()].is_zero())
@@ -79,7 +94,10 @@ pub fn fig2() {
 /// Figure 3(c–d) + §4.3: the reconstruction conflict and the achievable
 /// sum-LP alternative.
 pub fn fig3() {
-    banner("fig3", "Figure 3 — why the max-LP multicast bound is unachievable");
+    banner(
+        "fig3",
+        "Figure 3 — why the max-LP multicast bound is unachievable",
+    );
     let (g, src, targets) = paper::fig2_multicast();
     let (lo, hi) = multicast::bounds(&g, src, &targets).expect("LPs solve");
 
@@ -99,7 +117,10 @@ pub fn fig3() {
             ]
         })
         .collect();
-    print_table(&["edge", "msgs/unit", "billed (max)", "if unshared (sum)"], &rows);
+    print_table(
+        &["edge", "msgs/unit", "billed (max)", "if unshared (sum)"],
+        &rows,
+    );
 
     // The paper's Fig. 3(d) label argument. Sharing on an edge is only
     // possible when the two flows carry the SAME multicast instances: on
@@ -126,10 +147,16 @@ pub fn fig3() {
     assert!(real > Ratio::one());
     // Source-port saturation that forces the disjointness:
     let p0 = g.find_node("P0").unwrap();
-    let out_time: Ratio = g.out_edges(p0).map(|e| hi.edge_time[e.id.index()].clone()).sum();
+    let out_time: Ratio = g
+        .out_edges(p0)
+        .map(|e| hi.edge_time[e.id.index()].clone())
+        .sum();
     println!("(P0's out-port busy time under the bound: {out_time} — fully saturated, no slack to re-route)");
 
-    println!("\nachievable sum-LP multicast: TP = {} — reconstructed and simulated:", lo.throughput);
+    println!(
+        "\nachievable sum-LP multicast: TP = {} — reconstructed and simulated:",
+        lo.throughput
+    );
     let sched = reconstruct_collective(&g, &lo).expect("sum-coupled reconstructs");
     sched.check(&g).expect("valid");
     let run = simulate_collective(&g, src, &targets, &lo.flows, &sched, 20);
@@ -163,5 +190,8 @@ pub fn fig3() {
 
     // Contrast: the pure-scatter reading of the same flows.
     let sc = scatter::solve(&g, src, &targets).expect("scatter solves");
-    println!("(scatter on the same platform: TP = {} — identical to the sum-LP)", sc.throughput);
+    println!(
+        "(scatter on the same platform: TP = {} — identical to the sum-LP)",
+        sc.throughput
+    );
 }

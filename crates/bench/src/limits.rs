@@ -15,7 +15,10 @@ use ss_sim::dynamic::{mean_throughput, simulate_policies, ParamScale};
 /// orchestration vs its load lower bound (bipartite coloring no longer
 /// applies; the problem is NP-hard).
 pub fn sendrecv() {
-    banner("sendrecv", "§5.1.1 — send-OR-receive: LP loss and greedy orchestration quality");
+    banner(
+        "sendrecv",
+        "§5.1.1 — send-OR-receive: LP loss and greedy orchestration quality",
+    );
     let mut rows = Vec::new();
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(300 + seed);
@@ -29,7 +32,10 @@ pub fn sendrecv() {
         let quality = if bound.is_zero() {
             "1.000".to_string()
         } else {
-            format!("{:.3}", (&Ratio::from(makespan.clone()) / &Ratio::from(bound.clone())).to_f64())
+            format!(
+                "{:.3}",
+                (&Ratio::from(makespan.clone()) / &Ratio::from(bound.clone())).to_f64()
+            )
         };
         rows.push(vec![
             seed.to_string(),
@@ -43,7 +49,15 @@ pub fn sendrecv() {
         assert!(half.ntask <= full.ntask);
     }
     print_table(
-        &["seed", "1-port ntask", "send-or-recv", "ratio", "greedy span", "load bound", "span/bound"],
+        &[
+            "seed",
+            "1-port ntask",
+            "send-or-recv",
+            "ratio",
+            "greedy span",
+            "load bound",
+            "span/bound",
+        ],
         &rows,
     );
     println!(
@@ -54,7 +68,10 @@ pub fn sendrecv() {
 
 /// §5.1.2: dedicated NICs — throughput vs card count.
 pub fn multiport() {
-    banner("multiport", "§5.1.2 — bounded multiport with dedicated NICs");
+    banner(
+        "multiport",
+        "§5.1.2 — bounded multiport with dedicated NICs",
+    );
     let mut rng = StdRng::seed_from_u64(77);
     let (g, m) = topo::star(&mut rng, 7, &topo::ParamRange::default());
     let compute_bound = g.total_compute_rate();
@@ -75,7 +92,10 @@ pub fn multiport() {
 /// §5.2: start-up costs — grouping m periods amortizes latencies; the
 /// paper's m = ceil(sqrt(n/ntask)) drives T(n)/T_opt to 1.
 pub fn startup() {
-    banner("startup", "§5.2 — start-up costs and sqrt(n) period grouping (Fig. 1 platform)");
+    banner(
+        "startup",
+        "§5.2 — start-up costs and sqrt(n) period grouping (Fig. 1 platform)",
+    );
     let (g, m) = paper::fig1();
     let sol = master_slave::solve(&g, m).expect("solves");
     let sched = reconstruct_master_slave(&g, &sol);
@@ -118,11 +138,17 @@ pub fn startup() {
 
 /// §5.4: fixed-length periods — per-path floor rounding; loss <= #paths/T.
 pub fn fixed_period() {
-    banner("fixed-period", "§5.4 — fixed-length periods (Fig. 1 platform)");
+    banner(
+        "fixed-period",
+        "§5.4 — fixed-length periods (Fig. 1 platform)",
+    );
     let (g, m) = paper::fig1();
     let sol = master_slave::solve(&g, m).expect("solves");
     let natural = reconstruct_master_slave(&g, &sol).period.clone();
-    println!("LP optimum ntask = {}, natural period T = {}", sol.ntask, natural);
+    println!(
+        "LP optimum ntask = {}, natural period T = {}",
+        sol.ntask, natural
+    );
     let mut rows = Vec::new();
     for t in [2i64, 5, 10, 30, 60, 300, 3000] {
         let plan = fp::master_slave_fixed_period(&g, m, &sol, BigInt::from(t)).expect("plan");
@@ -140,7 +166,10 @@ pub fn fixed_period() {
 
 /// §5.5: dynamic platforms — static vs lagged-adaptive vs omniscient.
 pub fn dynamic() {
-    banner("dynamic", "§5.5 — adaptive re-solving under parameter drift (Fig. 1 platform)");
+    banner(
+        "dynamic",
+        "§5.5 — adaptive re-solving under parameter drift (Fig. 1 platform)",
+    );
     let (g, m) = paper::fig1();
     let p2 = g.find_node("P2").unwrap();
     let e13 = g

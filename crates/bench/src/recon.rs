@@ -32,12 +32,16 @@ pub fn ssms_recon() {
             sched.period.to_string(),
             sched.decomposition.num_rounds().to_string(),
             (g.num_edges() + 2 * g.num_nodes()).to_string(),
-            run.steady_after.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            run.steady_after
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
             meets.to_string(),
         ]);
     }
     print_table(
-        &["p", "|E|", "ntask", "T", "rounds", "bound", "warmup", "sim==LP"],
+        &[
+            "p", "|E|", "ntask", "T", "rounds", "bound", "warmup", "sim==LP",
+        ],
         &rows,
     );
     println!("shape: rounds always within the bound; simulated steady rate always equals the LP optimum.");
@@ -46,7 +50,10 @@ pub fn ssms_recon() {
 /// §4.2: tasks completed in K time units vs the bound K·ntask — the gap
 /// is a platform constant, so the ratio tends to 1.
 pub fn asymptotic() {
-    banner("asymptotic", "§4.2 — completions within K vs the K·ntask bound (Fig. 1 platform)");
+    banner(
+        "asymptotic",
+        "§4.2 — completions within K vs the K·ntask bound (Fig. 1 platform)",
+    );
     let (g, m) = ss_platform::paper::fig1();
     let sol = master_slave::solve(&g, m).expect("solves");
     let sched = reconstruct_master_slave(&g, &sol);
@@ -77,5 +84,7 @@ pub fn asymptotic() {
         ]);
     }
     print_table(&["K", "done(K)", "K*ntask", "gap", "ratio"], &rows);
-    println!("shape: gap constant (= {constant} here), ratio -> 1 as K grows — the strong §4.2 result.");
+    println!(
+        "shape: gap constant (= {constant} here), ratio -> 1 as K grows — the strong §4.2 result."
+    );
 }

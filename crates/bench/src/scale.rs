@@ -1,64 +1,133 @@
 //! Polynomial-cost claims: LP solve scaling (§3) and edge-coloring
 //! scaling (§4.1). Rough wall-clock numbers here; precise statistics in
 //! the Criterion benches.
+//!
+//! Both sweeps run on the **f64 backend** (Dantzig pricing) so they reach
+//! platform sizes where exact rationals are needlessly expensive, and
+//! cross-check the f64 objective against the exact, duality-certified
+//! backend on every platform small enough to afford it.
 
 use crate::table::{banner, print_table};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use ss_core::master_slave::{self, PortModel};
+use rand::SeedableRng;
+use ss_core::engine;
+use ss_core::master_slave::MasterSlave;
 use ss_num::BigInt;
 use ss_platform::topo;
+use ss_platform::NodeId;
 use ss_schedule::coloring::decompose;
 use std::time::Instant;
 
-/// §3: LP build + solve time vs platform size, exact vs f64 kernels.
+/// Platforms up to this node count also run the exact backend for the
+/// cross-check; larger ones trust the (already-anchored) fast path.
+const CROSS_CHECK_MAX_NODES: usize = 24;
+
+/// Objective agreement tolerance between the two backends (absolute; the
+/// steady-state objectives are O(1)-scaled).
+pub const BACKEND_TOLERANCE: f64 = 1e-6;
+
+/// §3: LP build + solve time vs platform size, f64 backend with exact
+/// cross-check.
 pub fn lp_scale() {
-    banner("lp-scale", "§3 — SSMS LP solve time vs platform size (exact vs f64)");
+    banner(
+        "lp-scale",
+        "§3 — SSMS LP solve time vs platform size (f64 backend, exact cross-check)",
+    );
     let mut rows = Vec::new();
-    for p in [4usize, 6, 8, 12, 16, 24] {
+    for p in [4usize, 6, 8, 12, 16, 24, 32, 48] {
         let mut rng = StdRng::seed_from_u64(p as u64);
         let (g, m) = topo::random_connected(&mut rng, p, 0.25, &topo::ParamRange::default());
-        let (prob, _) = master_slave::build(&g, m, &PortModel::FullOverlapOnePort);
+        let f = MasterSlave::new(m);
 
         let t0 = Instant::now();
-        let exact = prob.solve_exact().expect("exact solve");
-        let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-        let t0 = Instant::now();
-        let f = prob.solve_f64().expect("f64 solve");
+        let approx = engine::solve_approx(&f, &g).expect("f64 solve");
         let f64_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let agree = (exact.objective().to_f64() - f.objective()).abs() < 1e-6;
+        let (exact_ms, agree) = if p <= CROSS_CHECK_MAX_NODES {
+            let t0 = Instant::now();
+            let exact = engine::solve(&f, &g).expect("exact solve");
+            let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let abs_error = (exact.ntask.to_f64() - approx.objective_f64()).abs();
+            assert!(
+                abs_error <= BACKEND_TOLERANCE,
+                "p={p}: backend disagreement |Δ| = {abs_error:.3e}"
+            );
+            (format!("{exact_ms:.2}"), format!("|Δ|={abs_error:.1e}"))
+        } else {
+            ("-".into(), "skipped".into())
+        };
+
         rows.push(vec![
             p.to_string(),
             g.num_edges().to_string(),
-            prob.num_vars().to_string(),
-            prob.num_constraints().to_string(),
-            format!("{:.2}", exact_ms),
-            format!("{:.2}", f64_ms),
-            exact.iterations().to_string(),
-            agree.to_string(),
+            approx.num_vars().to_string(),
+            approx.num_constraints().to_string(),
+            format!("{f64_ms:.2}"),
+            exact_ms,
+            approx.iterations().to_string(),
+            agree,
         ]);
     }
     print_table(
-        &["p", "|E|", "vars", "rows", "exact ms", "f64 ms", "pivots", "agree"],
+        &[
+            "p", "|E|", "vars", "rows", "f64 ms", "exact ms", "pivots", "agree",
+        ],
         &rows,
     );
-    println!("shape: polynomial growth in |V|+|E| (the §3 claim); the exact kernel pays a constant factor for bignum pivots.");
+    println!(
+        "shape: polynomial growth in |V|+|E| (the §3 claim); the f64 kernel runs the sweep, \
+         the exact kernel certifies it up to p = {CROSS_CHECK_MAX_NODES}."
+    );
 }
 
 /// §4.1: weighted edge-coloring decomposition — number of matchings
 /// (≤ |E| + 2|V|; the paper cites a ≤ |E| bound for Schrijver's algorithm)
 /// and wall-clock time vs |E|.
+///
+/// Busy times come from f64 SSMS solves (scaled to integers) for several
+/// concurrent applications with distinct masters — a multi-tenant
+/// steady-state load. A single LP solution is a sparse simplex vertex;
+/// superposing a few makes the coloring instance realistically dense, and
+/// the whole LP side of the sweep rides the fast backend.
 pub fn coloring_scale() {
-    banner("coloring-scale", "§4.1 — edge-coloring decomposition scaling");
+    banner(
+        "coloring-scale",
+        "§4.1 — edge-coloring decomposition scaling (f64-derived busy times)",
+    );
     let mut rows = Vec::new();
+    // Busy-time resolution: f64 edge activities in [0, 1] scale to [0, RES].
+    const RES: f64 = 10_000.0;
+    // Concurrent steady-state applications sharing the platform.
+    const APPS: usize = 4;
     for p in [4usize, 8, 12, 16, 24, 32] {
         let mut rng = StdRng::seed_from_u64(4000 + p as u64);
-        let (g, _) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
-        let busy: Vec<BigInt> = (0..g.num_edges())
-            .map(|_| BigInt::from(rng.gen_range(0..100u32)))
-            .collect();
+        let (g, m) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let mut busy = vec![BigInt::zero(); g.num_edges()];
+        for app in 0..APPS.min(p) {
+            let master = if app == 0 {
+                m
+            } else {
+                NodeId((app * p) / APPS)
+            };
+            let f = MasterSlave::new(master);
+            let (vars, approx) =
+                engine::solve_backend_with_vars::<f64, _>(&f, &g).expect("f64 solve");
+            if p <= CROSS_CHECK_MAX_NODES {
+                let exact = engine::solve(&f, &g).expect("exact solve");
+                let abs_error = (exact.ntask.to_f64() - approx.objective_f64()).abs();
+                assert!(
+                    abs_error <= BACKEND_TOLERANCE,
+                    "p={p}: backend disagreement |Δ| = {abs_error:.3e}"
+                );
+            }
+            // Each application contributes its share of a fair time-split
+            // of the edge busy fractions (the typed s handles, no layout
+            // assumptions).
+            for (b, &sv) in busy.iter_mut().zip(&vars.s) {
+                let s = *approx.value(sv);
+                *b += &BigInt::from((s.clamp(0.0, 1.0) * RES / APPS as f64).round() as u32);
+            }
+        }
         let t0 = Instant::now();
         let d = decompose(&g, &busy);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -68,9 +137,29 @@ pub fn coloring_scale() {
             g.num_edges().to_string(),
             d.num_rounds().to_string(),
             (g.num_edges() + 2 * g.num_nodes()).to_string(),
-            format!("{:.2}", ms),
+            format!("{ms:.2}"),
         ]);
     }
     print_table(&["p", "|E|", "matchings", "bound", "ms"], &rows);
     println!("shape: matchings stay well under the bound; cost grows polynomially (the §4.1 O(|E|^2) regime).");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sweep reads per-edge busy fractions through the typed `SsmsVars`
+    /// handles; pin that `s` is one handle per edge in edge order.
+    #[test]
+    fn ssms_vars_expose_one_s_per_edge() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, m) = topo::random_connected(&mut rng, 6, 0.3, &topo::ParamRange::default());
+        let f = MasterSlave::new(m);
+        let (vars, acts) = engine::solve_backend_with_vars::<f64, _>(&f, &g).unwrap();
+        assert_eq!(vars.s.len(), g.num_edges());
+        for &sv in &vars.s {
+            let v = *acts.value(sv);
+            assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+    }
 }

@@ -6,9 +6,10 @@
 //! and absorption `-TP` at `t`. Distinct messages add on links (sum
 //! coupling), and the usual one-port constraints apply.
 
+use crate::engine::{self, Activities, Formulation};
 use crate::error::CoreError;
 use crate::master_slave::PortModel;
-use ss_lp::{Cmp, LinExpr, Problem, Sense, Var};
+use ss_lp::{Cmp, Problem, Sense, Var};
 use ss_num::Ratio;
 use ss_platform::{NodeId, Platform};
 
@@ -30,8 +31,14 @@ impl AllToAllSolution {
     pub fn check(&self, g: &Platform, model: &PortModel) -> Result<(), String> {
         for (pi, &(s, t)) in self.pairs.iter().enumerate() {
             for i in g.node_ids() {
-                let inflow: Ratio = g.in_edges(i).map(|e| self.flows[pi][e.id.index()].clone()).sum();
-                let outflow: Ratio = g.out_edges(i).map(|e| self.flows[pi][e.id.index()].clone()).sum();
+                let inflow: Ratio = g
+                    .in_edges(i)
+                    .map(|e| self.flows[pi][e.id.index()].clone())
+                    .sum();
+                let outflow: Ratio = g
+                    .out_edges(i)
+                    .map(|e| self.flows[pi][e.id.index()].clone())
+                    .sum();
                 let net = &outflow - &inflow;
                 let want = if i == s {
                     self.throughput.clone()
@@ -57,24 +64,151 @@ impl AllToAllSolution {
             if total != self.edge_time[e.id.index()] {
                 return Err(format!("edge {} time mismatch", e.id.index()));
             }
-        }
-        for i in g.node_ids() {
-            let out: Ratio = g.out_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
-            let inn: Ratio = g.in_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
-            let ok = match model {
-                PortModel::FullOverlapOnePort => out <= Ratio::one() && inn <= Ratio::one(),
-                PortModel::SendOrReceive => &out + &inn <= Ratio::one(),
-                PortModel::Multiport { send_cards, recv_cards } => {
-                    let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                    let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                    out <= Ratio::from_int(ks) && inn <= Ratio::from_int(kr)
-                }
-            };
-            if !ok {
-                return Err(format!("port violated at {}", g.node(i).name));
+            if total > Ratio::one() {
+                return Err(format!(
+                    "edge {} busy more than full time: {}",
+                    e.id.index(),
+                    total
+                ));
             }
         }
+        engine::check_port_capacities(g, &self.edge_time, model)?;
         Ok(())
+    }
+}
+
+/// Personalized all-to-all as an engine [`Formulation`].
+#[derive(Clone, Debug)]
+pub struct AllToAll {
+    /// Communication model (§2 default, §5.1 variants).
+    pub model: PortModel,
+}
+
+impl AllToAll {
+    /// All-to-all under the full-overlap one-port model.
+    pub fn new() -> AllToAll {
+        AllToAll {
+            model: PortModel::FullOverlapOnePort,
+        }
+    }
+}
+
+impl Default for AllToAll {
+    fn default() -> AllToAll {
+        AllToAll::new()
+    }
+}
+
+/// LP variable handles for [`AllToAll`].
+pub struct AllToAllVars {
+    pairs: Vec<(NodeId, NodeId)>,
+    flow: Vec<Vec<Var>>,
+    tp: Var,
+}
+
+impl Formulation for AllToAll {
+    type Vars = AllToAllVars;
+    type Solution = AllToAllSolution;
+
+    fn name(&self) -> &'static str {
+        "all-to-all"
+    }
+
+    fn build(&self, g: &Platform) -> Result<(Problem, AllToAllVars), CoreError> {
+        if g.num_nodes() < 2 {
+            return Err(CoreError::Invalid(
+                "all-to-all needs at least two nodes".into(),
+            ));
+        }
+        let mut p = Problem::new(Sense::Maximize);
+        let tp = p.add_var("TP");
+        p.set_objective_coeff(tp, Ratio::one());
+
+        let pairs: Vec<(NodeId, NodeId)> = g
+            .node_ids()
+            .flat_map(|s| g.node_ids().filter(move |&t| t != s).map(move |t| (s, t)))
+            .collect();
+        let flow: Vec<Vec<Var>> = pairs
+            .iter()
+            .map(|&(s, t)| {
+                g.edges()
+                    .map(|e| p.add_var(format!("f_{}_{}_{}", s.index(), t.index(), e.id.index())))
+                    .collect()
+            })
+            .collect();
+
+        // Net conservation with emission (+TP at s) and absorption (-TP at t).
+        for (pi, &(s, t)) in pairs.iter().enumerate() {
+            for i in g.node_ids() {
+                let mut expr = engine::flow_balance_expr(
+                    g,
+                    i,
+                    &flow[pi],
+                    |_| Ratio::from_int(-1),
+                    |_| Ratio::from_int(-1),
+                );
+                if i == s {
+                    expr.add(tp, Ratio::from_int(-1));
+                } else if i == t {
+                    expr.add(tp, Ratio::one());
+                }
+                if !expr.terms().is_empty() {
+                    p.add_expr_constraint(
+                        format!("net_{}_{}_{}", s.index(), t.index(), i.index()),
+                        expr,
+                        Cmp::Eq,
+                        Ratio::zero(),
+                    );
+                }
+            }
+        }
+
+        // Port constraints over summed busy time (shared builder).
+        engine::add_port_rows(
+            &mut p,
+            g,
+            |e| {
+                flow.iter()
+                    .map(|f| (f[e.id.index()], e.c.clone()))
+                    .collect()
+            },
+            &self.model,
+        );
+        if matches!(self.model, PortModel::Multiport { .. }) {
+            engine::add_edge_caps(&mut p, g, |e| {
+                flow.iter()
+                    .map(|f| (f[e.id.index()], e.c.clone()))
+                    .collect()
+            });
+        }
+
+        Ok((p, AllToAllVars { pairs, flow, tp }))
+    }
+
+    fn extract(
+        &self,
+        g: &Platform,
+        vars: &AllToAllVars,
+        acts: &Activities<Ratio>,
+    ) -> Result<AllToAllSolution, CoreError> {
+        let flows: Vec<Vec<Ratio>> = vars
+            .flow
+            .iter()
+            .map(|fp| fp.iter().map(|&v| acts.value(v).clone()).collect())
+            .collect();
+        let edge_time: Vec<Ratio> = g
+            .edges()
+            .map(|e| {
+                let total: Ratio = flows.iter().map(|f| f[e.id.index()].clone()).sum();
+                &total * e.c
+            })
+            .collect();
+        Ok(AllToAllSolution {
+            throughput: acts.value(vars.tp).clone(),
+            flows,
+            pairs: vars.pairs.clone(),
+            edge_time,
+        })
     }
 }
 
@@ -85,110 +219,18 @@ pub fn solve(g: &Platform) -> Result<AllToAllSolution, CoreError> {
 
 /// Solve with an explicit port model.
 pub fn solve_with_model(g: &Platform, model: &PortModel) -> Result<AllToAllSolution, CoreError> {
-    let p_nodes = g.num_nodes();
-    if p_nodes < 2 {
-        return Err(CoreError::Invalid("all-to-all needs at least two nodes".into()));
-    }
-    let mut p = Problem::new(Sense::Maximize);
-    let tp = p.add_var("TP");
-    p.set_objective_coeff(tp, Ratio::one());
+    engine::solve(
+        &AllToAll {
+            model: model.clone(),
+        },
+        g,
+    )
+}
 
-    let pairs: Vec<(NodeId, NodeId)> = g
-        .node_ids()
-        .flat_map(|s| g.node_ids().filter(move |&t| t != s).map(move |t| (s, t)))
-        .collect();
-    let flow: Vec<Vec<Var>> = pairs
-        .iter()
-        .map(|&(s, t)| {
-            g.edges()
-                .map(|e| p.add_var(format!("f_{}_{}_{}", s.index(), t.index(), e.id.index())))
-                .collect()
-        })
-        .collect();
-
-    // Net conservation with emission/absorption.
-    for (pi, &(s, t)) in pairs.iter().enumerate() {
-        for i in g.node_ids() {
-            let mut expr = LinExpr::new();
-            for e in g.out_edges(i) {
-                expr.add(flow[pi][e.id.index()], Ratio::one());
-            }
-            for e in g.in_edges(i) {
-                expr.add(flow[pi][e.id.index()], Ratio::from_int(-1));
-            }
-            if i == s {
-                expr.add(tp, Ratio::from_int(-1));
-            } else if i == t {
-                expr.add(tp, Ratio::one());
-            }
-            if !expr.terms().is_empty() {
-                p.add_expr_constraint(
-                    format!("net_{}_{}_{}", s.index(), t.index(), i.index()),
-                    expr,
-                    Cmp::Eq,
-                    Ratio::zero(),
-                );
-            }
-        }
-    }
-
-    // Port constraints over summed busy time.
-    for i in g.node_ids() {
-        let mut out = LinExpr::new();
-        for e in g.out_edges(i) {
-            for f in &flow {
-                out.add(f[e.id.index()], e.c.clone());
-            }
-        }
-        let mut inn = LinExpr::new();
-        for e in g.in_edges(i) {
-            for f in &flow {
-                inn.add(f[e.id.index()], e.c.clone());
-            }
-        }
-        match model {
-            PortModel::FullOverlapOnePort => {
-                if !out.terms().is_empty() {
-                    p.add_expr_constraint(format!("outport_{}", i.index()), out, Cmp::Le, Ratio::one());
-                }
-                if !inn.terms().is_empty() {
-                    p.add_expr_constraint(format!("inport_{}", i.index()), inn, Cmp::Le, Ratio::one());
-                }
-            }
-            PortModel::SendOrReceive => {
-                for (v, c) in inn.terms() {
-                    out.add(*v, c.clone());
-                }
-                if !out.terms().is_empty() {
-                    p.add_expr_constraint(format!("port_{}", i.index()), out, Cmp::Le, Ratio::one());
-                }
-            }
-            PortModel::Multiport { send_cards, recv_cards } => {
-                let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                if !out.terms().is_empty() {
-                    p.add_expr_constraint(format!("outport_{}", i.index()), out, Cmp::Le, Ratio::from_int(ks));
-                }
-                if !inn.terms().is_empty() {
-                    p.add_expr_constraint(format!("inport_{}", i.index()), inn, Cmp::Le, Ratio::from_int(kr));
-                }
-            }
-        }
-    }
-
-    let sol = p.solve_exact()?;
-    let flows: Vec<Vec<Ratio>> = flow
-        .iter()
-        .map(|fp| fp.iter().map(|&v| sol.value(v).clone()).collect())
-        .collect();
-    let edge_time: Vec<Ratio> = g
-        .edges()
-        .map(|e| {
-            let total: Ratio = flows.iter().map(|f| f[e.id.index()].clone()).sum();
-            &total * e.c
-        })
-        .collect();
-    Ok(AllToAllSolution { throughput: sol.objective().clone(), flows, pairs, edge_time })
+/// Solve with the fast `f64` backend (no certificate); the objective
+/// approximates the common per-pair rate `TP`.
+pub fn solve_approx(g: &Platform) -> Result<Activities<f64>, CoreError> {
+    engine::solve_approx(&AllToAll::new(), g)
 }
 
 #[cfg(test)]
@@ -218,7 +260,9 @@ mod tests {
     #[test]
     fn triangle_ring() {
         let mut g = Platform::new();
-        let ids: Vec<_> = (0..3).map(|i| g.add_node(format!("P{i}"), Weight::from_int(1))).collect();
+        let ids: Vec<_> = (0..3)
+            .map(|i| g.add_node(format!("P{i}"), Weight::from_int(1)))
+            .collect();
         for i in 0..3 {
             g.add_duplex_edge(ids[i], ids[(i + 1) % 3], ri(1)).unwrap();
         }
@@ -235,7 +279,9 @@ mod tests {
     fn router_star_bottleneck() {
         let mut g = Platform::new();
         let r = g.add_node("r", Weight::Infinite);
-        let ids: Vec<_> = (0..3).map(|i| g.add_node(format!("P{i}"), Weight::from_int(1))).collect();
+        let ids: Vec<_> = (0..3)
+            .map(|i| g.add_node(format!("P{i}"), Weight::from_int(1)))
+            .collect();
         for &n in &ids {
             g.add_duplex_edge(r, n, ri(1)).unwrap();
         }
@@ -262,5 +308,26 @@ mod tests {
         let half = solve_with_model(&g, &PortModel::SendOrReceive).unwrap();
         assert!(half.throughput <= full.throughput);
         assert_eq!(half.throughput, Ratio::new(1, 2));
+    }
+
+    /// Extra NICs don't let a single link exceed full busy time: on a
+    /// 2-node duplex platform with k = 2 cards, each direction's one edge
+    /// caps the stream at rate 1 (not 2).
+    #[test]
+    fn multiport_respects_per_edge_capacity() {
+        let mut g = Platform::new();
+        let a = g.add_node("a", Weight::from_int(1));
+        let b = g.add_node("b", Weight::from_int(1));
+        g.add_duplex_edge(a, b, ri(1)).unwrap();
+        let model = PortModel::Multiport {
+            send_cards: vec![2, 2],
+            recv_cards: vec![2, 2],
+        };
+        let sol = solve_with_model(&g, &model).unwrap();
+        assert_eq!(sol.throughput, ri(1));
+        for t in &sol.edge_time {
+            assert!(t <= &Ratio::one());
+        }
+        sol.check(&g, &model).unwrap();
     }
 }

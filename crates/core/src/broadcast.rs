@@ -7,6 +7,7 @@
 //! path — "in the end, everybody has the full information". We therefore
 //! expose the max-coupled LP as *the* broadcast throughput.
 
+use crate::engine::Activities;
 use crate::error::CoreError;
 use crate::master_slave::PortModel;
 use crate::multicast::{self, EdgeCoupling};
@@ -18,6 +19,12 @@ use ss_platform::{NodeId, Platform};
 pub fn solve(g: &Platform, source: NodeId) -> Result<CollectiveSolution, CoreError> {
     let targets: Vec<NodeId> = g.node_ids().filter(|&n| n != source).collect();
     multicast::solve(g, source, &targets, EdgeCoupling::Max)
+}
+
+/// Broadcast bound with the fast `f64` backend (no certificate).
+pub fn solve_approx(g: &Platform, source: NodeId) -> Result<Activities<f64>, CoreError> {
+    let targets: Vec<NodeId> = g.node_ids().filter(|&n| n != source).collect();
+    multicast::solve_approx(g, source, &targets, EdgeCoupling::Max)
 }
 
 /// Broadcast with an explicit port model.

@@ -14,14 +14,30 @@
 //!   carry the *same* data, so one transmission can serve every type
 //!   simultaneously: `s_ij = max_k send(i,j,k) · c_ij`, linearized as
 //!   `s_ij ≥ send(i,j,k) · c_ij` for each `k`.
+//!
+//! The [`Collective`] descriptor implements the engine's
+//! [`Formulation`], so either coupling solves through
+//! either backend ([`crate::engine::solve`] / [`crate::engine::solve_approx`]).
 
+use crate::engine::{self, Activities, Formulation};
 use crate::error::CoreError;
-use crate::master_slave::{add_port_constraints, PortModel};
+use crate::master_slave::PortModel;
 use crate::multicast::EdgeCoupling;
 use crate::scatter::CollectiveSolution;
 use ss_lp::{Cmp, LinExpr, Problem, Sense, Var};
 use ss_num::Ratio;
 use ss_platform::{NodeId, Platform};
+
+/// A pipelined collective as an engine formulation. Scatter, multicast
+/// (both couplings), broadcast, and reduce (on the transposed platform)
+/// are all instances of this descriptor.
+#[derive(Clone, Debug)]
+pub(crate) struct Collective {
+    pub source: NodeId,
+    pub targets: Vec<NodeId>,
+    pub coupling: EdgeCoupling,
+    pub model: PortModel,
+}
 
 pub(crate) struct FlowVars {
     /// `flow[k][e]`: rate of type-`k` messages on edge `e`.
@@ -31,6 +47,56 @@ pub(crate) struct FlowVars {
     pub edge_time: Option<Vec<Var>>,
     /// Throughput variable.
     pub tp: Var,
+}
+
+impl Formulation for Collective {
+    type Vars = FlowVars;
+    type Solution = CollectiveSolution;
+
+    fn name(&self) -> &'static str {
+        match self.coupling {
+            EdgeCoupling::Sum => "collective-sum",
+            EdgeCoupling::Max => "collective-max",
+        }
+    }
+
+    fn build(&self, g: &Platform) -> Result<(Problem, FlowVars), CoreError> {
+        build_flow_lp(g, self.source, &self.targets, self.coupling, &self.model)
+    }
+
+    fn extract(
+        &self,
+        g: &Platform,
+        vars: &FlowVars,
+        acts: &Activities<Ratio>,
+    ) -> Result<CollectiveSolution, CoreError> {
+        let flows: Vec<Vec<Ratio>> = vars
+            .flow
+            .iter()
+            .map(|fk| fk.iter().map(|&v| acts.value(v).clone()).collect())
+            .collect();
+        let edge_time: Vec<Ratio> = match (&vars.edge_time, self.coupling) {
+            (Some(s), _) => s.iter().map(|&v| acts.value(v).clone()).collect(),
+            (None, EdgeCoupling::Sum) => g
+                .edges()
+                .map(|e| {
+                    let total: Ratio = flows.iter().map(|fk| fk[e.id.index()].clone()).sum();
+                    &total * e.c
+                })
+                .collect(),
+            (None, EdgeCoupling::Max) => {
+                unreachable!("max coupling always materializes edge times")
+            }
+        };
+        Ok(CollectiveSolution {
+            throughput: acts.value(vars.tp).clone(),
+            flows,
+            edge_time,
+            source: self.source,
+            targets: self.targets.clone(),
+            coupling: self.coupling,
+        })
+    }
 }
 
 pub(crate) fn build_flow_lp(
@@ -44,7 +110,9 @@ pub(crate) fn build_flow_lp(
         return Err(CoreError::Invalid("no targets".into()));
     }
     if targets.contains(&source) {
-        return Err(CoreError::Invalid("source cannot be one of its own targets".into()));
+        return Err(CoreError::Invalid(
+            "source cannot be one of its own targets".into(),
+        ));
     }
     let mut seen = vec![false; g.num_nodes()];
     for &t in targets {
@@ -83,58 +151,28 @@ pub(crate) fn build_flow_lp(
                 .collect::<Vec<_>>()
         })
         .collect();
-    let _ = &flow; // keep binding order obvious
 
-    // Edge-time handling per coupling.
+    // Edge-time handling per coupling, through the shared port builder:
+    // Sum couples flows into ports directly; Max materializes per-edge
+    // bound variables first.
     let edge_time = match coupling {
         EdgeCoupling::Sum => {
-            // Port constraints directly on sums of flow * c.
-            match model {
-                PortModel::FullOverlapOnePort => {
-                    for i in g.node_ids() {
-                        let name = &g.node(i).name;
-                        let mut out = LinExpr::new();
-                        for e in g.out_edges(i) {
-                            for fk in &flow {
-                                out.add(fk[e.id.index()], e.c.clone());
-                            }
-                        }
-                        if !out.terms().is_empty() {
-                            p.add_expr_constraint(format!("outport_{name}"), out, Cmp::Le, Ratio::one());
-                        }
-                        let mut inn = LinExpr::new();
-                        for e in g.in_edges(i) {
-                            for fk in &flow {
-                                inn.add(fk[e.id.index()], e.c.clone());
-                            }
-                        }
-                        if !inn.terms().is_empty() {
-                            p.add_expr_constraint(format!("inport_{name}"), inn, Cmp::Le, Ratio::one());
-                        }
-                    }
-                }
-                _ => {
-                    // Materialize s_e so the generic port builder applies.
-                    let s: Vec<Var> = g
-                        .edges()
-                        .map(|e| p.add_var_bounded(format!("s_{}", e.id.index()), Ratio::one()))
-                        .collect();
-                    for e in g.edges() {
-                        let mut expr = LinExpr::new();
-                        expr.add(s[e.id.index()], Ratio::from_int(-1));
-                        for fk in &flow {
-                            expr.add(fk[e.id.index()], e.c.clone());
-                        }
-                        p.add_expr_constraint(
-                            format!("def_s_{}", e.id.index()),
-                            expr,
-                            Cmp::Eq,
-                            Ratio::zero(),
-                        );
-                    }
-                    add_port_constraints(&mut p, g, &s, model);
-                    return finish(p, g, source, targets, flow, Some(s), tp);
-                }
+            engine::add_port_rows(
+                &mut p,
+                g,
+                |e| {
+                    flow.iter()
+                        .map(|fk| (fk[e.id.index()], e.c.clone()))
+                        .collect()
+                },
+                model,
+            );
+            if matches!(model, PortModel::Multiport { .. }) {
+                engine::add_edge_caps(&mut p, g, |e| {
+                    flow.iter()
+                        .map(|fk| (fk[e.id.index()], e.c.clone()))
+                        .collect()
+                });
             }
             None
         }
@@ -148,29 +186,20 @@ pub(crate) fn build_flow_lp(
                 for (k, fk) in flow.iter().enumerate() {
                     p.add_constraint(
                         format!("max_s_{}_{}", e.id.index(), k),
-                        [(s[e.id.index()], Ratio::from_int(-1)), (fk[e.id.index()], e.c.clone())],
+                        [
+                            (s[e.id.index()], Ratio::from_int(-1)),
+                            (fk[e.id.index()], e.c.clone()),
+                        ],
                         Cmp::Le,
                         Ratio::zero(),
                     );
                 }
             }
-            add_port_constraints(&mut p, g, &s, model);
+            engine::add_port_rows(&mut p, g, |e| vec![(s[e.id.index()], Ratio::one())], model);
             Some(s)
         }
     };
 
-    finish(p, g, source, targets, flow, edge_time, tp)
-}
-
-fn finish(
-    mut p: Problem,
-    g: &Platform,
-    source: NodeId,
-    targets: &[NodeId],
-    flow: Vec<Vec<Var>>,
-    edge_time: Option<Vec<Var>>,
-    tp: Var,
-) -> Result<(Problem, FlowVars), CoreError> {
     // Conservation: for each type k, at every node except the source and
     // the type's own target, inflow == outflow.
     for (k, &tk) in targets.iter().enumerate() {
@@ -178,13 +207,8 @@ fn finish(
             if i == source || i == tk {
                 continue;
             }
-            let mut expr = LinExpr::new();
-            for e in g.in_edges(i) {
-                expr.add(flow[k][e.id.index()], Ratio::one());
-            }
-            for e in g.out_edges(i) {
-                expr.add(flow[k][e.id.index()], Ratio::from_int(-1));
-            }
+            let expr =
+                engine::flow_balance_expr(g, i, &flow[k], |_| Ratio::one(), |_| Ratio::one());
             if !expr.terms().is_empty() {
                 p.add_expr_constraint(
                     format!("conserve_{}_{}", g.node(tk).name, g.node(i).name),
@@ -207,10 +231,18 @@ fn finish(
             Ratio::zero(),
         );
     }
-    Ok((p, FlowVars { flow, edge_time, tp }))
+    Ok((
+        p,
+        FlowVars {
+            flow,
+            edge_time,
+            tp,
+        },
+    ))
 }
 
-/// Solve the collective LP and package an exact [`CollectiveSolution`].
+/// Solve the collective LP exactly (duality-certified) and package a
+/// [`CollectiveSolution`].
 pub(crate) fn solve_collective(
     g: &Platform,
     source: NodeId,
@@ -218,32 +250,28 @@ pub(crate) fn solve_collective(
     coupling: EdgeCoupling,
     model: &PortModel,
 ) -> Result<CollectiveSolution, CoreError> {
-    let (p, vars) = build_flow_lp(g, source, targets, coupling, model)?;
-    let sol = p.solve_exact()?;
-    p.verify_optimality(&sol)
-        .map_err(|e| CoreError::Invalid(format!("optimality certificate failed: {e}")))?;
-    let flows: Vec<Vec<Ratio>> = vars
-        .flow
-        .iter()
-        .map(|fk| fk.iter().map(|&v| sol.value(v).clone()).collect())
-        .collect();
-    let edge_time: Vec<Ratio> = match (&vars.edge_time, coupling) {
-        (Some(s), _) => s.iter().map(|&v| sol.value(v).clone()).collect(),
-        (None, EdgeCoupling::Sum) => g
-            .edges()
-            .map(|e| {
-                let total: Ratio = flows.iter().map(|fk| fk[e.id.index()].clone()).sum();
-                &total * e.c
-            })
-            .collect(),
-        (None, EdgeCoupling::Max) => unreachable!("max coupling always materializes edge times"),
-    };
-    Ok(CollectiveSolution {
-        throughput: sol.value(vars.tp).clone(),
-        flows,
-        edge_time,
+    let f = Collective {
         source,
         targets: targets.to_vec(),
         coupling,
-    })
+        model: model.clone(),
+    };
+    engine::solve(&f, g)
+}
+
+/// Solve the collective LP with the fast `f64` backend.
+pub(crate) fn solve_collective_approx(
+    g: &Platform,
+    source: NodeId,
+    targets: &[NodeId],
+    coupling: EdgeCoupling,
+    model: &PortModel,
+) -> Result<Activities<f64>, CoreError> {
+    let f = Collective {
+        source,
+        targets: targets.to_vec(),
+        coupling,
+        model: model.clone(),
+    };
+    engine::solve_approx(&f, g)
 }

@@ -24,6 +24,7 @@
 //! problem stated in §6). Tasks may optionally be *pinned* to a processor,
 //! which is how "input data lives at the master" is expressed.
 
+use crate::engine::{self, Activities, Formulation};
 use crate::error::CoreError;
 use ss_lp::{Cmp, LinExpr, Problem, Sense, Var};
 use ss_num::Ratio;
@@ -134,7 +135,9 @@ impl TaskGraph {
     /// Linear chain `t0 -> t1 -> ... -> t_{n-1}`, unit work and data.
     pub fn chain(n: usize) -> TaskGraph {
         let mut g = TaskGraph::new();
-        let ids: Vec<_> = (0..n).map(|i| g.add_task(format!("t{i}"), Ratio::one())).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_task(format!("t{i}"), Ratio::one()))
+            .collect();
         for w in ids.windows(2) {
             g.add_dep(w[0], w[1], Ratio::one());
         }
@@ -178,7 +181,12 @@ impl DagSolution {
         for t in 0..dag.num_tasks() {
             let total: Ratio = self.cons[t].iter().sum();
             if total != self.throughput {
-                return Err(format!("task {} rate {} != ρ {}", dag.task_name(TaskId(t)), total, self.throughput));
+                return Err(format!(
+                    "task {} rate {} != ρ {}",
+                    dag.task_name(TaskId(t)),
+                    total,
+                    self.throughput
+                ));
             }
         }
         for i in g.node_ids() {
@@ -187,9 +195,10 @@ impl DagSolution {
                 if self.cons[t][i.index()].is_zero() {
                     continue;
                 }
-                let w = g.node(i).w.as_ratio().ok_or_else(|| {
-                    format!("forwarding node {} executes tasks", g.node(i).name)
-                })?;
+                let w =
+                    g.node(i).w.as_ratio().ok_or_else(|| {
+                        format!("forwarding node {} executes tasks", g.node(i).name)
+                    })?;
                 load += &self.cons[t][i.index()] * dag.task_work(TaskId(t)) * w;
             }
             if load > Ratio::one() {
@@ -226,12 +235,23 @@ impl DagSolution {
             for i in g.node_ids() {
                 let produced = &self.cons[d.src.0][i.index()];
                 let consumed = &self.cons[d.dst.0][i.index()];
-                let inflow: Ratio = g.in_edges(i).map(|e| self.flows[di][e.id.index()].clone()).sum();
-                let outflow: Ratio = g.out_edges(i).map(|e| self.flows[di][e.id.index()].clone()).sum();
+                let inflow: Ratio = g
+                    .in_edges(i)
+                    .map(|e| self.flows[di][e.id.index()].clone())
+                    .sum();
+                let outflow: Ratio = g
+                    .out_edges(i)
+                    .map(|e| self.flows[di][e.id.index()].clone())
+                    .sum();
                 if (produced + &inflow) != (consumed + &outflow) {
                     return Err(format!(
                         "dep {} unbalanced at {}: {} + {} != {} + {}",
-                        di, g.node(i).name, produced, inflow, consumed, outflow
+                        di,
+                        g.node(i).name,
+                        produced,
+                        inflow,
+                        consumed,
+                        outflow
                     ));
                 }
             }
@@ -240,153 +260,192 @@ impl DagSolution {
     }
 }
 
-/// Solve the DAG-collection steady-state LP exactly.
-pub fn solve(g: &Platform, dag: &TaskGraph) -> Result<DagSolution, CoreError> {
-    if dag.num_tasks() == 0 {
-        return Err(CoreError::Invalid("empty task graph".into()));
+/// A DAG collection as an engine [`Formulation`] (borrowing its task
+/// graph).
+#[derive(Clone, Debug)]
+pub struct DagCollection<'a> {
+    /// The application DAG executed in bulk.
+    pub dag: &'a TaskGraph,
+}
+
+/// LP variable handles for [`DagCollection`].
+pub struct DagVars {
+    cons: Vec<Vec<Option<Var>>>,
+    flows: Vec<Vec<Var>>,
+}
+
+impl Formulation for DagCollection<'_> {
+    type Vars = DagVars;
+    type Solution = DagSolution;
+
+    fn name(&self) -> &'static str {
+        "dag-collection"
     }
-    if !dag.is_acyclic() {
-        return Err(CoreError::Invalid("task graph has a cycle".into()));
-    }
-    for t in 0..dag.num_tasks() {
-        if let Some(pin) = dag.pin[t] {
-            if pin.index() >= g.num_nodes() {
-                return Err(CoreError::Invalid("pin target out of range".into()));
-            }
-            if dag.work[t].is_positive() && !g.node(pin).w.is_finite() {
-                return Err(CoreError::Invalid(format!(
-                    "task {} pinned to forwarding-only node",
-                    dag.names[t]
-                )));
+
+    fn build(&self, g: &Platform) -> Result<(Problem, DagVars), CoreError> {
+        let dag = self.dag;
+        if dag.num_tasks() == 0 {
+            return Err(CoreError::Invalid("empty task graph".into()));
+        }
+        if !dag.is_acyclic() {
+            return Err(CoreError::Invalid("task graph has a cycle".into()));
+        }
+        for t in 0..dag.num_tasks() {
+            if let Some(pin) = dag.pin[t] {
+                if pin.index() >= g.num_nodes() {
+                    return Err(CoreError::Invalid("pin target out of range".into()));
+                }
+                if dag.work[t].is_positive() && !g.node(pin).w.is_finite() {
+                    return Err(CoreError::Invalid(format!(
+                        "task {} pinned to forwarding-only node",
+                        dag.names[t]
+                    )));
+                }
             }
         }
-    }
 
-    let mut p = Problem::new(Sense::Maximize);
-    let rho = p.add_var("rho");
-    p.set_objective_coeff(rho, Ratio::one());
+        let mut p = Problem::new(Sense::Maximize);
+        let rho = p.add_var("rho");
+        p.set_objective_coeff(rho, Ratio::one());
 
-    // cons[t][i]; zero-work tasks may run on forwarders, positive-work may
-    // not; pins clamp everything else to zero.
-    let cons: Vec<Vec<Option<Var>>> = (0..dag.num_tasks())
-        .map(|t| {
-            g.nodes()
-                .map(|n| {
-                    let allowed = match dag.pin[t] {
-                        Some(pin) => pin == n.id,
-                        None => true,
-                    } && (n.w.is_finite() || dag.work[t].is_zero());
-                    allowed.then(|| p.add_var(format!("cons_{}_{}", dag.names[t], n.name)))
-                })
-                .collect()
-        })
-        .collect();
-    let flows: Vec<Vec<Var>> = (0..dag.num_deps())
-        .map(|d| {
-            g.edges()
-                .map(|e| p.add_var(format!("flow_{}_{}", d, e.id.index())))
-                .collect()
-        })
-        .collect();
+        // cons[t][i]; zero-work tasks may run on forwarders, positive-work
+        // may not; pins clamp everything else to zero.
+        let cons: Vec<Vec<Option<Var>>> = (0..dag.num_tasks())
+            .map(|t| {
+                g.nodes()
+                    .map(|n| {
+                        let allowed = match dag.pin[t] {
+                            Some(pin) => pin == n.id,
+                            None => true,
+                        } && (n.w.is_finite() || dag.work[t].is_zero());
+                        allowed.then(|| p.add_var(format!("cons_{}_{}", dag.names[t], n.name)))
+                    })
+                    .collect()
+            })
+            .collect();
+        let flows: Vec<Vec<Var>> = (0..dag.num_deps())
+            .map(|d| {
+                g.edges()
+                    .map(|e| p.add_var(format!("flow_{}_{}", d, e.id.index())))
+                    .collect()
+            })
+            .collect();
 
-    // Rate coupling: every task type completes at rate rho.
-    for (t, cons_t) in cons.iter().enumerate() {
-        let mut expr = LinExpr::new();
-        for v in cons_t.iter().flatten() {
-            expr.add(*v, Ratio::one());
-        }
-        expr.add(rho, Ratio::from_int(-1));
-        p.add_expr_constraint(format!("rate_{}", dag.names[t]), expr, Cmp::Eq, Ratio::zero());
-    }
-
-    // Compute capacity.
-    for i in g.node_ids() {
-        let Some(w) = g.node(i).w.as_ratio().cloned() else { continue };
-        let mut expr = LinExpr::new();
+        // Rate coupling: every task type completes at rate rho.
         for (t, cons_t) in cons.iter().enumerate() {
-            if let Some(v) = cons_t[i.index()] {
-                let coef = &dag.work[t] * &w;
-                if !coef.is_zero() {
-                    expr.add(v, coef);
-                }
-            }
-        }
-        if !expr.terms().is_empty() {
-            p.add_expr_constraint(format!("compute_{}", g.node(i).name), expr, Cmp::Le, Ratio::one());
-        }
-    }
-
-    // Ports.
-    for i in g.node_ids() {
-        let mut out = LinExpr::new();
-        for e in g.out_edges(i) {
-            for (di, d) in dag.deps().iter().enumerate() {
-                let coef = &d.data * e.c;
-                if !coef.is_zero() {
-                    out.add(flows[di][e.id.index()], coef);
-                }
-            }
-        }
-        if !out.terms().is_empty() {
-            p.add_expr_constraint(format!("outport_{}", g.node(i).name), out, Cmp::Le, Ratio::one());
-        }
-        let mut inn = LinExpr::new();
-        for e in g.in_edges(i) {
-            for (di, d) in dag.deps().iter().enumerate() {
-                let coef = &d.data * e.c;
-                if !coef.is_zero() {
-                    inn.add(flows[di][e.id.index()], coef);
-                }
-            }
-        }
-        if !inn.terms().is_empty() {
-            p.add_expr_constraint(format!("inport_{}", g.node(i).name), inn, Cmp::Le, Ratio::one());
-        }
-    }
-
-    // Per-dependency conservation.
-    for (di, d) in dag.deps().iter().enumerate() {
-        for i in g.node_ids() {
             let mut expr = LinExpr::new();
-            if let Some(v) = cons[d.src.0][i.index()] {
-                expr.add(v, Ratio::one());
+            for v in cons_t.iter().flatten() {
+                expr.add(*v, Ratio::one());
             }
-            for e in g.in_edges(i) {
-                expr.add(flows[di][e.id.index()], Ratio::one());
-            }
-            if let Some(v) = cons[d.dst.0][i.index()] {
-                expr.add(v, Ratio::from_int(-1));
-            }
-            for e in g.out_edges(i) {
-                expr.add(flows[di][e.id.index()], Ratio::from_int(-1));
+            expr.add(rho, Ratio::from_int(-1));
+            p.add_expr_constraint(
+                format!("rate_{}", dag.names[t]),
+                expr,
+                Cmp::Eq,
+                Ratio::zero(),
+            );
+        }
+
+        // Compute capacity.
+        for i in g.node_ids() {
+            let Some(w) = g.node(i).w.as_ratio().cloned() else {
+                continue;
+            };
+            let mut expr = LinExpr::new();
+            for (t, cons_t) in cons.iter().enumerate() {
+                if let Some(v) = cons_t[i.index()] {
+                    let coef = &dag.work[t] * &w;
+                    if !coef.is_zero() {
+                        expr.add(v, coef);
+                    }
+                }
             }
             if !expr.terms().is_empty() {
                 p.add_expr_constraint(
-                    format!("dep{}_{}", di, g.node(i).name),
+                    format!("compute_{}", g.node(i).name),
                     expr,
-                    Cmp::Eq,
-                    Ratio::zero(),
+                    Cmp::Le,
+                    Ratio::one(),
                 );
             }
         }
+
+        // Ports (shared builder): edge e is busy Σ_d flow_d(e)·data_d·c_e.
+        engine::add_port_rows(
+            &mut p,
+            g,
+            |e| {
+                dag.deps()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| !d.data.is_zero())
+                    .map(|(di, d)| (flows[di][e.id.index()], &d.data * e.c))
+                    .collect()
+            },
+            &crate::master_slave::PortModel::FullOverlapOnePort,
+        );
+
+        // Per-dependency conservation:
+        //   produced_i + inflow_i == consumed_i + outflow_i.
+        for (di, d) in dag.deps().iter().enumerate() {
+            for i in g.node_ids() {
+                let mut expr =
+                    engine::flow_balance_expr(g, i, &flows[di], |_| Ratio::one(), |_| Ratio::one());
+                if let Some(v) = cons[d.src.0][i.index()] {
+                    expr.add(v, Ratio::one());
+                }
+                if let Some(v) = cons[d.dst.0][i.index()] {
+                    expr.add(v, Ratio::from_int(-1));
+                }
+                if !expr.terms().is_empty() {
+                    p.add_expr_constraint(
+                        format!("dep{}_{}", di, g.node(i).name),
+                        expr,
+                        Cmp::Eq,
+                        Ratio::zero(),
+                    );
+                }
+            }
+        }
+
+        Ok((p, DagVars { cons, flows }))
     }
 
-    let sol = p.solve_exact()?;
-    Ok(DagSolution {
-        throughput: sol.objective().clone(),
-        cons: cons
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|v| v.map(|v| sol.value(v).clone()).unwrap_or_else(Ratio::zero))
-                    .collect()
-            })
-            .collect(),
-        flows: flows
-            .iter()
-            .map(|row| row.iter().map(|&v| sol.value(v).clone()).collect())
-            .collect(),
-    })
+    fn extract(
+        &self,
+        _g: &Platform,
+        vars: &DagVars,
+        acts: &Activities<Ratio>,
+    ) -> Result<DagSolution, CoreError> {
+        Ok(DagSolution {
+            throughput: acts.objective().clone(),
+            cons: vars
+                .cons
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|v| v.map(|v| acts.value(v).clone()).unwrap_or_else(Ratio::zero))
+                        .collect()
+                })
+                .collect(),
+            flows: vars
+                .flows
+                .iter()
+                .map(|row| row.iter().map(|&v| acts.value(v).clone()).collect())
+                .collect(),
+        })
+    }
+}
+
+/// Solve the DAG-collection steady-state LP exactly.
+pub fn solve(g: &Platform, dag: &TaskGraph) -> Result<DagSolution, CoreError> {
+    engine::solve(&DagCollection { dag }, g)
+}
+
+/// Solve with the fast `f64` backend (no certificate); the objective
+/// approximates the instance rate `ρ`.
+pub fn solve_approx(g: &Platform, dag: &TaskGraph) -> Result<Activities<f64>, CoreError> {
+    engine::solve_approx(&DagCollection { dag }, g)
 }
 
 #[cfg(test)]

@@ -95,7 +95,11 @@ impl SingleRoundPlan {
 /// master) exactly: every `β_i` is proportional to the makespan, so one
 /// normalization pass suffices. Workers whose coefficient would be
 /// non-positive are excluded (they cannot help in one round).
-pub fn single_round(g: &Platform, master: NodeId, order: &[NodeId]) -> Result<SingleRoundPlan, CoreError> {
+pub fn single_round(
+    g: &Platform,
+    master: NodeId,
+    order: &[NodeId],
+) -> Result<SingleRoundPlan, CoreError> {
     // beta_i = a_i * t, with t = T (unit load) unknown.
     let master_a = g
         .node(master)
@@ -107,7 +111,9 @@ pub fn single_round(g: &Platform, master: NodeId, order: &[NodeId]) -> Result<Si
     let mut prefix = Ratio::zero(); // sum of a_j c_j over served workers
     for &i in order {
         if i == master {
-            return Err(CoreError::Invalid("master cannot appear in the worker order".into()));
+            return Err(CoreError::Invalid(
+                "master cannot appear in the worker order".into(),
+            ));
         }
         let c = g
             .cost_between(master, i)
@@ -140,7 +146,10 @@ pub fn single_round(g: &Platform, master: NodeId, order: &[NodeId]) -> Result<Si
 
 /// Single-round plan with the classical optimal order: workers sorted by
 /// increasing link cost `c` (ties by id).
-pub fn single_round_bandwidth_order(g: &Platform, master: NodeId) -> Result<SingleRoundPlan, CoreError> {
+pub fn single_round_bandwidth_order(
+    g: &Platform,
+    master: NodeId,
+) -> Result<SingleRoundPlan, CoreError> {
     let mut workers: Vec<NodeId> = g
         .out_edges(master)
         .filter(|e| g.node(e.dst).w.is_finite())
@@ -221,7 +230,11 @@ mod tests {
         }
         for seed in 0..5u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let params = topo::ParamRange { w_range: (1, 6), c_range: (1, 5), max_denominator: 1 };
+            let params = topo::ParamRange {
+                w_range: (1, 6),
+                c_range: (1, 5),
+                max_denominator: 1,
+            };
             let (g, m) = topo::star(&mut rng, 5, &params);
             let workers: Vec<NodeId> = g.out_edges(m).map(|e| e.dst).collect();
             let best_bw = single_round_bandwidth_order(&g, m).unwrap();

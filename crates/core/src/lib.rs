@@ -24,8 +24,43 @@
 //! | [`dag`] | collections of identical DAGs (mixed data/task parallelism) | §4.2 |
 //! | [`model_variants`] | send-OR-receive ports, bounded multiport with dedicated NICs | §5.1 |
 //!
-//! All solvers run the exact rational simplex of `ss-lp`; every returned
-//! number is an exact rational, ready for §4.1 period extraction.
+//! # The solver engine: one pipeline, two backends
+//!
+//! Every formulation is a descriptor implementing
+//! [`engine::Formulation`] — it knows how to **build** its LP from a
+//! [`Platform`](ss_platform::Platform) and how to **extract** its typed
+//! solution from solved activities. The engine owns the solve step once,
+//! generically over the [`Scalar`](ss_lp::Scalar) backend:
+//!
+//! * [`engine::solve`] — exact [`Ratio`](ss_num::Ratio) arithmetic with
+//!   Bland's anti-cycling rule, plus an LP-duality optimality certificate.
+//!   Every returned number is an exact rational, ready for §4.1 period
+//!   extraction in `ss-schedule`. Each module's `solve()` /
+//!   `solve_with_model()` wrappers take this path.
+//! * [`engine::solve_approx`] — fast `f64` arithmetic with Dantzig
+//!   pricing, returning raw [`engine::Activities`]`<f64>`. Each module's
+//!   `solve_approx()` wrapper takes this path; the `ss-bench` scaling
+//!   sweeps run on it, cross-checked against the exact backend via
+//!   [`engine::cross_check`].
+//!
+//! ```
+//! use ss_core::engine::{self, Formulation};
+//! use ss_core::master_slave::MasterSlave;
+//!
+//! let (g, master) = ss_platform::paper::fig1();
+//! let f = MasterSlave::new(master);
+//! // Exact: certified rational optimum.
+//! let exact = engine::solve(&f, &g).unwrap();
+//! // Fast: f64 approximation of the same LP.
+//! let approx = engine::solve_approx(&f, &g).unwrap();
+//! assert!((exact.ntask.to_f64() - approx.objective_f64()).abs() < 1e-9);
+//! ```
+//!
+//! The engine also centralizes the port-capacity rows for the §2 model and
+//! its §5.1 variants ([`engine::add_port_rows`]), their solution-side
+//! verifier ([`engine::check_port_capacities`]), and the flow-balance
+//! expression builder ([`engine::flow_balance_expr`]) that every
+//! conservation law in this crate is phrased with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +69,7 @@ pub mod all_to_all;
 pub mod broadcast;
 pub mod dag;
 pub mod divisible;
+pub mod engine;
 pub mod master_slave;
 pub mod model_variants;
 pub mod multicast;
@@ -44,7 +80,8 @@ pub mod scatter;
 mod collective;
 mod error;
 
+pub use engine::{Activities, Formulation};
 pub use error::CoreError;
-pub use master_slave::{MasterSlaveSolution, PortModel};
+pub use master_slave::{MasterSlave, MasterSlaveSolution, PortModel};
 pub use multicast::EdgeCoupling;
 pub use scatter::CollectiveSolution;

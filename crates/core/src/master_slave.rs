@@ -18,8 +18,9 @@
 //! upper bound on the steady-state throughput of *any* schedule, and it is
 //! achieved by the periodic schedule reconstructed in `ss-schedule`.
 
+use crate::engine::{self, Activities, Formulation};
 use crate::error::CoreError;
-use ss_lp::{Cmp, LinExpr, Problem, Sense, Var};
+use ss_lp::{Cmp, Problem, Sense, Var};
 use ss_num::Ratio;
 use ss_platform::{NodeId, Platform};
 
@@ -80,49 +81,28 @@ impl MasterSlaveSolution {
     /// machine check that the LP translation is faithful to §3.1.
     pub fn check(&self, g: &Platform, model: &PortModel) -> Result<(), String> {
         let m = self.master;
+        engine::check_port_capacities(g, &self.edge_time, model)?;
         for i in g.node_ids() {
-            let out_time: Ratio = g.out_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
-            let in_time: Ratio = g.in_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
-            match model {
-                PortModel::FullOverlapOnePort => {
-                    if out_time > Ratio::one() {
-                        return Err(format!("out-port of {} exceeds 1: {}", g.node(i).name, out_time));
-                    }
-                    if in_time > Ratio::one() {
-                        return Err(format!("in-port of {} exceeds 1: {}", g.node(i).name, in_time));
-                    }
-                }
-                PortModel::SendOrReceive => {
-                    if &out_time + &in_time > Ratio::one() {
-                        return Err(format!(
-                            "half-duplex port of {} exceeds 1: {}",
-                            g.node(i).name,
-                            &out_time + &in_time
-                        ));
-                    }
-                }
-                PortModel::Multiport { send_cards, recv_cards } => {
-                    let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                    let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                    if out_time > Ratio::from_int(ks) {
-                        return Err(format!("send cards of {} exceeded", g.node(i).name));
-                    }
-                    if in_time > Ratio::from_int(kr) {
-                        return Err(format!("recv cards of {} exceeded", g.node(i).name));
-                    }
-                }
-            }
             if !self.alpha[i.index()].is_zero() && self.alpha[i.index()] > Ratio::one() {
                 return Err(format!("alpha of {} exceeds 1", g.node(i).name));
             }
             if i != m {
-                let recv_rate: Ratio = g.in_edges(i).map(|e| self.edge_task_rate[e.id.index()].clone()).sum();
-                let send_rate: Ratio = g.out_edges(i).map(|e| self.edge_task_rate[e.id.index()].clone()).sum();
+                let recv_rate: Ratio = g
+                    .in_edges(i)
+                    .map(|e| self.edge_task_rate[e.id.index()].clone())
+                    .sum();
+                let send_rate: Ratio = g
+                    .out_edges(i)
+                    .map(|e| self.edge_task_rate[e.id.index()].clone())
+                    .sum();
                 let consumed = self.compute_rate(g, i);
                 if recv_rate != &consumed + &send_rate {
                     return Err(format!(
                         "conservation violated at {}: in {} != consumed {} + out {}",
-                        g.node(i).name, recv_rate, consumed, send_rate
+                        g.node(i).name,
+                        recv_rate,
+                        consumed,
+                        send_rate
                     ));
                 }
             }
@@ -147,6 +127,69 @@ pub struct SsmsVars {
     pub alpha: Vec<Option<Var>>,
     /// `s_ij` per edge.
     pub s: Vec<Var>,
+}
+
+/// The SSMS problem as an engine [`Formulation`]: solve it exactly with
+/// [`engine::solve`] or approximately with [`engine::solve_approx`].
+#[derive(Clone, Debug)]
+pub struct MasterSlave {
+    /// The node holding the task pool.
+    pub master: NodeId,
+    /// Communication model (§2 default, §5.1 variants).
+    pub model: PortModel,
+}
+
+impl MasterSlave {
+    /// SSMS under the paper's default full-overlap one-port model.
+    pub fn new(master: NodeId) -> MasterSlave {
+        MasterSlave {
+            master,
+            model: PortModel::FullOverlapOnePort,
+        }
+    }
+
+    /// SSMS under an explicit port model.
+    pub fn with_model(master: NodeId, model: PortModel) -> MasterSlave {
+        MasterSlave { master, model }
+    }
+}
+
+impl Formulation for MasterSlave {
+    type Vars = SsmsVars;
+    type Solution = MasterSlaveSolution;
+
+    fn name(&self) -> &'static str {
+        "ssms"
+    }
+
+    fn build(&self, g: &Platform) -> Result<(Problem, SsmsVars), CoreError> {
+        if self.master.index() >= g.num_nodes() {
+            return Err(CoreError::Invalid("master id out of range".into()));
+        }
+        Ok(build(g, self.master, &self.model))
+    }
+
+    fn extract(
+        &self,
+        g: &Platform,
+        vars: &SsmsVars,
+        acts: &Activities<Ratio>,
+    ) -> Result<MasterSlaveSolution, CoreError> {
+        let alpha = vars
+            .alpha
+            .iter()
+            .map(|v| v.map(|v| acts.value(v).clone()).unwrap_or_else(Ratio::zero))
+            .collect();
+        let edge_time: Vec<Ratio> = vars.s.iter().map(|&v| acts.value(v).clone()).collect();
+        let edge_task_rate = g.edges().map(|e| &edge_time[e.id.index()] / e.c).collect();
+        Ok(MasterSlaveSolution {
+            ntask: acts.objective().clone(),
+            alpha,
+            edge_time,
+            edge_task_rate,
+            master: self.master,
+        })
+    }
 }
 
 /// Build the SSMS LP for `master` on `g` under `model`.
@@ -181,8 +224,8 @@ pub fn build(g: &Platform, master: NodeId, model: &PortModel) -> (Problem, SsmsV
         }
     }
 
-    // Port constraints.
-    add_port_constraints(&mut p, g, &s, model);
+    // Port constraints (shared builder; each edge is busy exactly s_e).
+    engine::add_port_rows(&mut p, g, |e| vec![(s[e.id.index()], Ratio::one())], model);
 
     // Conservation at every non-master node:
     //   sum_in s_ji / c_ji - alpha_i / w_i - sum_out s_ij / c_ij = 0.
@@ -190,74 +233,24 @@ pub fn build(g: &Platform, master: NodeId, model: &PortModel) -> (Problem, SsmsV
         if i == master {
             continue;
         }
-        let mut expr = LinExpr::new();
-        for e in g.in_edges(i) {
-            expr.add(s[e.id.index()], e.c.recip());
-        }
+        let mut expr = engine::flow_balance_expr(g, i, &s, |e| e.c.recip(), |e| e.c.recip());
         if let (Some(v), Some(w)) = (alpha[i.index()], g.node(i).w.as_ratio()) {
             expr.add(v, -w.recip());
         }
-        for e in g.out_edges(i) {
-            expr.add(s[e.id.index()], -e.c.recip());
-        }
-        p.add_expr_constraint(format!("conserve_{}", g.node(i).name), expr, Cmp::Eq, Ratio::zero());
+        p.add_expr_constraint(
+            format!("conserve_{}", g.node(i).name),
+            expr,
+            Cmp::Eq,
+            Ratio::zero(),
+        );
     }
 
     (p, SsmsVars { alpha, s })
 }
 
-/// One-port / half-duplex / multiport rows, shared with other formulations.
-pub(crate) fn add_port_constraints(p: &mut Problem, g: &Platform, s: &[Var], model: &PortModel) {
-    match model {
-        PortModel::FullOverlapOnePort => {
-            for i in g.node_ids() {
-                let name = &g.node(i).name;
-                let out: Vec<_> = g.out_edges(i).map(|e| (s[e.id.index()], Ratio::one())).collect();
-                if !out.is_empty() {
-                    p.add_constraint(format!("outport_{name}"), out, Cmp::Le, Ratio::one());
-                }
-                let inn: Vec<_> = g.in_edges(i).map(|e| (s[e.id.index()], Ratio::one())).collect();
-                if !inn.is_empty() {
-                    p.add_constraint(format!("inport_{name}"), inn, Cmp::Le, Ratio::one());
-                }
-            }
-        }
-        PortModel::SendOrReceive => {
-            for i in g.node_ids() {
-                let name = &g.node(i).name;
-                let mut expr = LinExpr::new();
-                for e in g.out_edges(i) {
-                    expr.add(s[e.id.index()], Ratio::one());
-                }
-                for e in g.in_edges(i) {
-                    expr.add(s[e.id.index()], Ratio::one());
-                }
-                if !expr.terms().is_empty() {
-                    p.add_expr_constraint(format!("port_{name}"), expr, Cmp::Le, Ratio::one());
-                }
-            }
-        }
-        PortModel::Multiport { send_cards, recv_cards } => {
-            for i in g.node_ids() {
-                let name = &g.node(i).name;
-                let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                let out: Vec<_> = g.out_edges(i).map(|e| (s[e.id.index()], Ratio::one())).collect();
-                if !out.is_empty() {
-                    p.add_constraint(format!("outcards_{name}"), out, Cmp::Le, Ratio::from_int(ks));
-                }
-                let inn: Vec<_> = g.in_edges(i).map(|e| (s[e.id.index()], Ratio::one())).collect();
-                if !inn.is_empty() {
-                    p.add_constraint(format!("incards_{name}"), inn, Cmp::Le, Ratio::from_int(kr));
-                }
-            }
-        }
-    }
-}
-
 /// Solve SSMS exactly under the full-overlap one-port model.
 pub fn solve(g: &Platform, master: NodeId) -> Result<MasterSlaveSolution, CoreError> {
-    solve_with_model(g, master, &PortModel::FullOverlapOnePort)
+    engine::solve(&MasterSlave::new(master), g)
 }
 
 /// Solve SSMS exactly under an explicit port model.
@@ -266,32 +259,23 @@ pub fn solve_with_model(
     master: NodeId,
     model: &PortModel,
 ) -> Result<MasterSlaveSolution, CoreError> {
-    if master.index() >= g.num_nodes() {
-        return Err(CoreError::Invalid("master id out of range".into()));
-    }
-    let (p, vars) = build(g, master, model);
-    let sol = p.solve_exact()?;
-    // Ship every throughput with an exact duality certificate: if this
-    // fails, the simplex (not the model) is broken — fail loudly.
-    p.verify_optimality(&sol)
-        .map_err(|e| CoreError::Invalid(format!("optimality certificate failed: {e}")))?;
-    let alpha = vars
-        .alpha
-        .iter()
-        .map(|v| v.map(|v| sol.value(v).clone()).unwrap_or_else(Ratio::zero))
-        .collect();
-    let edge_time: Vec<Ratio> = vars.s.iter().map(|&v| sol.value(v).clone()).collect();
-    let edge_task_rate = g
-        .edges()
-        .map(|e| &edge_time[e.id.index()] / e.c)
-        .collect();
-    Ok(MasterSlaveSolution {
-        ntask: sol.objective().clone(),
-        alpha,
-        edge_time,
-        edge_task_rate,
-        master,
-    })
+    engine::solve(&MasterSlave::with_model(master, model.clone()), g)
+}
+
+/// Solve SSMS with the fast `f64` backend (Dantzig pricing; no
+/// certificate). The objective approximates `ntask(G)` — used by the
+/// large-platform sweeps, cross-checked against [`solve`] in the benches.
+pub fn solve_approx(g: &Platform, master: NodeId) -> Result<Activities<f64>, CoreError> {
+    engine::solve_approx(&MasterSlave::new(master), g)
+}
+
+/// [`solve_approx`] under an explicit port model.
+pub fn solve_approx_with_model(
+    g: &Platform,
+    master: NodeId,
+    model: &PortModel,
+) -> Result<Activities<f64>, CoreError> {
+    engine::solve_approx(&MasterSlave::with_model(master, model.clone()), g)
 }
 
 #[cfg(test)]
@@ -377,7 +361,10 @@ mod tests {
         // workers could eat 4. Master adds 1/1000.
         assert_eq!(sol.ntask, &ri(1) + &Ratio::new(1, 1000));
         sol.check(&g, &PortModel::FullOverlapOnePort).unwrap();
-        let out_total: Ratio = g.out_edges(m).map(|e| sol.edge_time[e.id.index()].clone()).sum();
+        let out_total: Ratio = g
+            .out_edges(m)
+            .map(|e| sol.edge_time[e.id.index()].clone())
+            .sum();
         assert_eq!(out_total, Ratio::one());
     }
 

@@ -18,6 +18,23 @@ use crate::master_slave::{self, MasterSlaveSolution, PortModel};
 use ss_num::Ratio;
 use ss_platform::{NodeId, Platform};
 
+fn three_models(g: &Platform, multiport_k: u32) -> [(String, PortModel); 3] {
+    [
+        (
+            "full-overlap 1-port".to_string(),
+            PortModel::FullOverlapOnePort,
+        ),
+        ("send-OR-receive".to_string(), PortModel::SendOrReceive),
+        (
+            format!("multiport k={multiport_k}"),
+            PortModel::Multiport {
+                send_cards: vec![multiport_k; g.num_nodes()],
+                recv_cards: vec![multiport_k; g.num_nodes()],
+            },
+        ),
+    ]
+}
+
 /// SSMS throughput under all three §5.1 models with uniform card count
 /// `k` for the multiport row. Returns `(model name, ntask)` rows.
 pub fn compare_port_models(
@@ -25,27 +42,45 @@ pub fn compare_port_models(
     master: NodeId,
     multiport_k: u32,
 ) -> Result<Vec<(String, Ratio)>, CoreError> {
-    let mut rows = Vec::new();
-    let full = master_slave::solve_with_model(g, master, &PortModel::FullOverlapOnePort)?;
-    rows.push(("full-overlap 1-port".to_string(), full.ntask));
-    let half = master_slave::solve_with_model(g, master, &PortModel::SendOrReceive)?;
-    rows.push(("send-OR-receive".to_string(), half.ntask));
-    let model = PortModel::Multiport {
-        send_cards: vec![multiport_k; g.num_nodes()],
-        recv_cards: vec![multiport_k; g.num_nodes()],
-    };
-    let multi = master_slave::solve_with_model(g, master, &model)?;
-    rows.push((format!("multiport k={multiport_k}"), multi.ntask));
-    Ok(rows)
+    three_models(g, multiport_k)
+        .into_iter()
+        .map(|(name, model)| {
+            master_slave::solve_with_model(g, master, &model).map(|sol| (name, sol.ntask))
+        })
+        .collect()
+}
+
+/// [`compare_port_models`] on the fast `f64` backend — the same three-row
+/// table at sweep speed, for large platforms where exact rationals are
+/// unnecessarily expensive.
+pub fn compare_port_models_approx(
+    g: &Platform,
+    master: NodeId,
+    multiport_k: u32,
+) -> Result<Vec<(String, f64)>, CoreError> {
+    three_models(g, multiport_k)
+        .into_iter()
+        .map(|(name, model)| {
+            master_slave::solve_approx_with_model(g, master, &model)
+                .map(|acts| (name, acts.objective_f64()))
+        })
+        .collect()
 }
 
 /// SSMS under send-OR-receive (§5.1.1).
-pub fn solve_send_or_receive(g: &Platform, master: NodeId) -> Result<MasterSlaveSolution, CoreError> {
+pub fn solve_send_or_receive(
+    g: &Platform,
+    master: NodeId,
+) -> Result<MasterSlaveSolution, CoreError> {
     master_slave::solve_with_model(g, master, &PortModel::SendOrReceive)
 }
 
 /// SSMS under uniform `k`-port with dedicated per-direction NICs (§5.1.2).
-pub fn solve_multiport(g: &Platform, master: NodeId, k: u32) -> Result<MasterSlaveSolution, CoreError> {
+pub fn solve_multiport(
+    g: &Platform,
+    master: NodeId,
+    k: u32,
+) -> Result<MasterSlaveSolution, CoreError> {
     let model = PortModel::Multiport {
         send_cards: vec![k; g.num_nodes()],
         recv_cards: vec![k; g.num_nodes()],
@@ -84,7 +119,11 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(9);
-        let params = topo::ParamRange { w_range: (2, 4), c_range: (1, 1), max_denominator: 1 };
+        let params = topo::ParamRange {
+            w_range: (2, 4),
+            c_range: (1, 1),
+            max_denominator: 1,
+        };
         let (g, m) = topo::star(&mut rng, 5, &params);
         let many = solve_multiport(&g, m, 16).unwrap().ntask;
         assert_eq!(many, g.total_compute_rate());

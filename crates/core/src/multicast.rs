@@ -16,7 +16,8 @@
 //!
 //! The true optimum lies between the two; on Figure 2 the gap is real.
 
-use crate::collective::solve_collective;
+use crate::collective::{solve_collective, solve_collective_approx};
+use crate::engine::Activities;
 use crate::error::CoreError;
 use crate::master_slave::PortModel;
 use crate::scatter::CollectiveSolution;
@@ -53,6 +54,17 @@ pub fn solve_with_model(
     model: &PortModel,
 ) -> Result<CollectiveSolution, CoreError> {
     solve_collective(g, source, targets, coupling, model)
+}
+
+/// Solve with the fast `f64` backend (no certificate); the objective
+/// approximates `TP` under the chosen coupling.
+pub fn solve_approx(
+    g: &Platform,
+    source: NodeId,
+    targets: &[NodeId],
+    coupling: EdgeCoupling,
+) -> Result<Activities<f64>, CoreError> {
+    solve_collective_approx(g, source, targets, coupling, &PortModel::FullOverlapOnePort)
 }
 
 /// Both bounds at once: `(sum_lp, max_lp)` with

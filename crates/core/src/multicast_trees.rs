@@ -53,7 +53,11 @@ impl MulticastTree {
         }
         for &n in &nodes {
             if n != source && in_deg[n.index()] != 1 {
-                return Err(format!("node {} has in-degree {}", g.node(n).name, in_deg[n.index()]));
+                return Err(format!(
+                    "node {} has in-degree {}",
+                    g.node(n).name,
+                    in_deg[n.index()]
+                ));
             }
         }
         // Connectivity from the source over tree edges.
@@ -137,8 +141,14 @@ impl TreePacking {
             }
         }
         for i in g.node_ids() {
-            let send: Ratio = g.out_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
-            let recv: Ratio = g.in_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
+            let send: Ratio = g
+                .out_edges(i)
+                .map(|e| self.edge_time[e.id.index()].clone())
+                .sum();
+            let recv: Ratio = g
+                .in_edges(i)
+                .map(|e| self.edge_time[e.id.index()].clone())
+                .sum();
             if send > Ratio::one() || recv > Ratio::one() {
                 return Err(format!("port overload at {}", g.node(i).name));
             }
@@ -181,7 +191,9 @@ fn restricted_tree(
             cur = g.edge(e).src;
         }
     }
-    Some(MulticastTree { edges: edges.into_iter().collect() })
+    Some(MulticastTree {
+        edges: edges.into_iter().collect(),
+    })
 }
 
 /// Enumerate structurally diverse candidate trees: the plain BFS tree,
@@ -226,7 +238,9 @@ pub fn solve_tree_packing(
         return Err(CoreError::Invalid("no tree reaches all targets".into()));
     }
     let mut p = Problem::new(Sense::Maximize);
-    let xs: Vec<_> = (0..candidates.len()).map(|i| p.add_var(format!("x{i}"))).collect();
+    let xs: Vec<_> = (0..candidates.len())
+        .map(|i| p.add_var(format!("x{i}")))
+        .collect();
     for &x in &xs {
         p.set_objective_coeff(x, Ratio::one());
     }
@@ -268,7 +282,11 @@ pub fn solve_tree_packing(
                 .sum()
         })
         .collect();
-    Ok(TreePacking { rate: sol.objective().clone(), trees, edge_time })
+    Ok(TreePacking {
+        rate: sol.objective().clone(),
+        trees,
+        edge_time,
+    })
 }
 
 #[cfg(test)]
@@ -284,7 +302,12 @@ mod tests {
         let (g, src, targets) = paper::fig2_multicast();
         let pack = solve_tree_packing(&g, src, &targets).unwrap();
         pack.check(&g, src, &targets).unwrap();
-        assert_eq!(pack.rate, Ratio::new(3, 4), "expected 3/4, got {}", pack.rate);
+        assert_eq!(
+            pack.rate,
+            Ratio::new(3, 4),
+            "expected 3/4, got {}",
+            pack.rate
+        );
         let (lo, hi) = multicast::bounds(&g, src, &targets).unwrap();
         assert!(pack.rate > lo.throughput);
         assert!(pack.rate < hi.throughput);

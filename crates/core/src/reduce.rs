@@ -18,6 +18,7 @@
 //! transposed flows back onto the **original** edge ids.
 
 use crate::broadcast;
+use crate::engine::Activities;
 use crate::error::CoreError;
 use crate::multicast::EdgeCoupling;
 use crate::scatter::CollectiveSolution;
@@ -38,6 +39,12 @@ pub fn solve(g: &Platform, sink: NodeId) -> Result<CollectiveSolution, CoreError
         targets: sol.targets,
         coupling: EdgeCoupling::Max,
     })
+}
+
+/// Reduce throughput with the fast `f64` backend (broadcast LP on the
+/// transposed platform; no certificate).
+pub fn solve_approx(g: &Platform, sink: NodeId) -> Result<Activities<f64>, CoreError> {
+    broadcast::solve_approx(&g.reversed(), sink)
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@
 //! The LP optimum is achievable by a periodic schedule (paper ref \[12\]),
 //! reconstructed with the same §4.1 machinery as master–slave.
 
-use crate::collective::solve_collective;
+use crate::collective::{solve_collective, solve_collective_approx};
+use crate::engine::{self, Activities};
 use crate::error::CoreError;
 use crate::master_slave::PortModel;
 use crate::multicast::EdgeCoupling;
@@ -47,7 +48,11 @@ impl CollectiveSolution {
     pub fn check(&self, g: &Platform, model: &PortModel) -> Result<(), String> {
         // Edge-time consistency with the coupling rule.
         for e in g.edges() {
-            let times: Vec<Ratio> = self.flows.iter().map(|fk| &fk[e.id.index()] * e.c).collect();
+            let times: Vec<Ratio> = self
+                .flows
+                .iter()
+                .map(|fk| &fk[e.id.index()] * e.c)
+                .collect();
             let expect: Ratio = match self.coupling {
                 EdgeCoupling::Sum => times.iter().sum(),
                 EdgeCoupling::Max => times.iter().cloned().fold(Ratio::zero(), Ratio::max),
@@ -72,34 +77,29 @@ impl CollectiveSolution {
                 ));
             }
             if have > &Ratio::one() {
-                return Err(format!("edge {} busy more than full time: {}", e.id.index(), have));
+                return Err(format!(
+                    "edge {} busy more than full time: {}",
+                    e.id.index(),
+                    have
+                ));
             }
         }
-        // Port constraints.
-        for i in g.node_ids() {
-            let out: Ratio = g.out_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
-            let inn: Ratio = g.in_edges(i).map(|e| self.edge_time[e.id.index()].clone()).sum();
-            let ok = match model {
-                PortModel::FullOverlapOnePort => out <= Ratio::one() && inn <= Ratio::one(),
-                PortModel::SendOrReceive => &out + &inn <= Ratio::one(),
-                PortModel::Multiport { send_cards, recv_cards } => {
-                    let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                    let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                    out <= Ratio::from_int(ks) && inn <= Ratio::from_int(kr)
-                }
-            };
-            if !ok {
-                return Err(format!("port constraint violated at {}", g.node(i).name));
-            }
-        }
+        // Port constraints (shared verifier).
+        engine::check_port_capacities(g, &self.edge_time, model)?;
         // Conservation + delivery per type.
         for (k, &tk) in self.targets.iter().enumerate() {
             for i in g.node_ids() {
                 if i == self.source || i == tk {
                     continue;
                 }
-                let inflow: Ratio = g.in_edges(i).map(|e| self.flows[k][e.id.index()].clone()).sum();
-                let outflow: Ratio = g.out_edges(i).map(|e| self.flows[k][e.id.index()].clone()).sum();
+                let inflow: Ratio = g
+                    .in_edges(i)
+                    .map(|e| self.flows[k][e.id.index()].clone())
+                    .sum();
+                let outflow: Ratio = g
+                    .out_edges(i)
+                    .map(|e| self.flows[k][e.id.index()].clone())
+                    .sum();
                 if inflow != outflow {
                     return Err(format!(
                         "type {} not conserved at {}: in {} out {}",
@@ -110,7 +110,10 @@ impl CollectiveSolution {
                     ));
                 }
             }
-            let delivered: Ratio = g.in_edges(tk).map(|e| self.flows[k][e.id.index()].clone()).sum();
+            let delivered: Ratio = g
+                .in_edges(tk)
+                .map(|e| self.flows[k][e.id.index()].clone())
+                .sum();
             if delivered != self.throughput {
                 return Err(format!(
                     "target {} receives {} instead of TP {}",
@@ -131,8 +134,18 @@ impl CollectiveSolution {
 }
 
 /// Solve the pipelined-scatter LP exactly (one-port full-overlap model).
-pub fn solve(g: &Platform, source: NodeId, targets: &[NodeId]) -> Result<CollectiveSolution, CoreError> {
-    solve_collective(g, source, targets, EdgeCoupling::Sum, &PortModel::FullOverlapOnePort)
+pub fn solve(
+    g: &Platform,
+    source: NodeId,
+    targets: &[NodeId],
+) -> Result<CollectiveSolution, CoreError> {
+    solve_collective(
+        g,
+        source,
+        targets,
+        EdgeCoupling::Sum,
+        &PortModel::FullOverlapOnePort,
+    )
 }
 
 /// Solve under an explicit port model (§5.1 variants).
@@ -143,6 +156,22 @@ pub fn solve_with_model(
     model: &PortModel,
 ) -> Result<CollectiveSolution, CoreError> {
     solve_collective(g, source, targets, EdgeCoupling::Sum, model)
+}
+
+/// Solve the scatter LP with the fast `f64` backend (no certificate); the
+/// objective approximates the delivered throughput `TP`.
+pub fn solve_approx(
+    g: &Platform,
+    source: NodeId,
+    targets: &[NodeId],
+) -> Result<Activities<f64>, CoreError> {
+    solve_collective_approx(
+        g,
+        source,
+        targets,
+        EdgeCoupling::Sum,
+        &PortModel::FullOverlapOnePort,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,102 @@
+//! Property tests for the engine's backend contract: on any strongly
+//! connected platform, the fast `f64` backend's objective agrees with the
+//! exact, duality-certified backend within `1e-6` — for master–slave and
+//! scatter (the two reconstruction-grade formulations the sweeps lean on),
+//! plus spot coverage of the remaining formulations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ss_core::engine;
+use ss_core::master_slave::MasterSlave;
+use ss_core::multicast::EdgeCoupling;
+use ss_core::{all_to_all, broadcast, dag, multicast, reduce, scatter};
+use ss_num::Ratio;
+use ss_platform::{topo, NodeId, Platform};
+
+const TOL: f64 = 1e-6;
+
+/// `random_connected` builds a spanning tree plus duplex extras, so the
+/// digraph is strongly connected for every seed.
+fn random_platform(seed: u64, p: usize, extra: f64) -> (Platform, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    topo::random_connected(&mut rng, p, extra, &topo::ParamRange::default())
+}
+
+fn assert_close(name: &str, exact: &Ratio, approx: f64) -> Result<(), TestCaseError> {
+    let e = exact.to_f64();
+    prop_assert!(
+        (e - approx).abs() <= TOL,
+        "{name}: exact {e} vs f64 {approx} (|Δ| = {:.3e})",
+        (e - approx).abs()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Master–slave: solve_approx() tracks solve() on random strongly
+    /// connected platforms of varying size and density.
+    #[test]
+    fn master_slave_backends_agree(seed in 0u64..10_000, p in 3usize..9, dense in 0u8..2) {
+        let (g, m) = random_platform(seed, p, if dense == 0 { 0.2 } else { 0.5 });
+        let exact = ss_core::master_slave::solve(&g, m).unwrap();
+        let approx = ss_core::master_slave::solve_approx(&g, m).unwrap();
+        assert_close("ssms", &exact.ntask, approx.objective_f64())?;
+    }
+
+    /// Scatter: same contract, multi-target flows.
+    #[test]
+    fn scatter_backends_agree(seed in 0u64..10_000, p in 4usize..8, k in 1usize..4) {
+        let (g, src) = random_platform(seed, p, 0.3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca77e2);
+        let targets = topo::pick_targets(&mut rng, &g, src, k.min(p - 1));
+        let exact = scatter::solve(&g, src, &targets).unwrap();
+        let approx = scatter::solve_approx(&g, src, &targets).unwrap();
+        assert_close("scatter", &exact.throughput, approx.objective_f64())?;
+    }
+
+    /// The engine's cross_check accepts every platform the individual
+    /// backends agree on (no false positives in the sweep guard).
+    #[test]
+    fn cross_check_accepts_agreeing_platforms(seed in 0u64..10_000, p in 3usize..8) {
+        let (g, m) = random_platform(seed, p, 0.3);
+        let cc = engine::cross_check(&MasterSlave::new(m), &g, TOL, |s| s.ntask.clone()).unwrap();
+        prop_assert!(cc.abs_error <= TOL);
+    }
+}
+
+proptest! {
+    // Each case solves eight formulations exactly (all-to-all alone carries
+    // p(p-1) flow copies), so a lean case count keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Spot coverage: the remaining formulations hold the same contract.
+    #[test]
+    fn other_formulations_backends_agree(seed in 0u64..2_000) {
+        let (g, root) = random_platform(seed, 5, 0.35);
+
+        let bc = broadcast::solve(&g, root).unwrap();
+        assert_close("broadcast", &bc.throughput, broadcast::solve_approx(&g, root).unwrap().objective_f64())?;
+
+        let rd = reduce::solve(&g, root).unwrap();
+        assert_close("reduce", &rd.throughput, reduce::solve_approx(&g, root).unwrap().objective_f64())?;
+
+        let a2a = all_to_all::solve(&g).unwrap();
+        assert_close("all-to-all", &a2a.throughput, all_to_all::solve_approx(&g).unwrap().objective_f64())?;
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6c);
+        let targets = topo::pick_targets(&mut rng, &g, root, 2);
+        for coupling in [EdgeCoupling::Sum, EdgeCoupling::Max] {
+            let mc = multicast::solve(&g, root, &targets, coupling).unwrap();
+            let ap = multicast::solve_approx(&g, root, &targets, coupling).unwrap();
+            assert_close("multicast", &mc.throughput, ap.objective_f64())?;
+        }
+
+        let mut tg = dag::TaskGraph::diamond();
+        tg.pin_task(dag::TaskId(0), root);
+        let d = dag::solve(&g, &tg).unwrap();
+        assert_close("dag", &d.throughput, dag::solve_approx(&g, &tg).unwrap().objective_f64())?;
+    }
+}

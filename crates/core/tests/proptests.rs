@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ss_core::master_slave::{self, PortModel};
-use ss_core::{broadcast, multicast, scatter};
 use ss_core::multicast::EdgeCoupling;
+use ss_core::{broadcast, multicast, scatter};
 use ss_num::Ratio;
 use ss_platform::{topo, NodeId, Platform, Weight};
 

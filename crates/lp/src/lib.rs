@@ -44,4 +44,4 @@ mod solution;
 pub use problem::{Cmp, LinExpr, Problem, Sense, Var};
 pub use scalar::Scalar;
 pub use simplex::SimplexOptions;
-pub use solution::{Solution, SolveError, Status};
+pub use solution::{PivotRule, Solution, SolveError, Status};

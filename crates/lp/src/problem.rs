@@ -169,7 +169,10 @@ impl Problem {
 
     /// Set (or replace) the upper bound of a variable.
     pub fn set_upper_bound(&mut self, var: Var, ub: Ratio) {
-        assert!(!ub.is_negative(), "upper bound below the implicit lower bound 0");
+        assert!(
+            !ub.is_negative(),
+            "upper bound below the implicit lower bound 0"
+        );
         self.upper_bounds[var.0] = Some(ub);
     }
 
@@ -202,28 +205,53 @@ impl Problem {
     ///
     /// Accepts anything iterable as `(Var, Ratio)` pairs — including a
     /// [`LinExpr`] by way of its terms:
-    pub fn add_constraint<I>(&mut self, name: impl Into<String>, expr: I, cmp: Cmp, rhs: Ratio) -> usize
+    pub fn add_constraint<I>(
+        &mut self,
+        name: impl Into<String>,
+        expr: I,
+        cmp: Cmp,
+        rhs: Ratio,
+    ) -> usize
     where
         I: IntoIterator<Item = (Var, Ratio)>,
     {
         let mut e: LinExpr = expr.into_iter().collect();
         e.compact();
-        self.rows.push(ConstraintRow { name: name.into(), expr: e, cmp, rhs });
+        self.rows.push(ConstraintRow {
+            name: name.into(),
+            expr: e,
+            cmp,
+            rhs,
+        });
         self.rows.len() - 1
     }
 
     /// Add a constraint from a prepared [`LinExpr`].
-    pub fn add_expr_constraint(&mut self, name: impl Into<String>, expr: LinExpr, cmp: Cmp, rhs: Ratio) -> usize {
+    pub fn add_expr_constraint(
+        &mut self,
+        name: impl Into<String>,
+        expr: LinExpr,
+        cmp: Cmp,
+        rhs: Ratio,
+    ) -> usize {
         let mut e = expr;
         e.compact();
-        self.rows.push(ConstraintRow { name: name.into(), expr: e, cmp, rhs });
+        self.rows.push(ConstraintRow {
+            name: name.into(),
+            expr: e,
+            cmp,
+            rhs,
+        });
         self.rows.len() - 1
     }
 
     /// Iterate over `(index, objective coefficient)` of nonzero objective
     /// terms.
     pub(crate) fn objective_terms(&self) -> impl Iterator<Item = (usize, &Ratio)> {
-        self.objective.iter().enumerate().filter(|(_, c)| !c.is_zero())
+        self.objective
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
     }
 
     pub(crate) fn upper_bounds(&self) -> &[Option<Ratio>] {
@@ -242,18 +270,17 @@ impl Problem {
     }
 
     /// Solve with explicit options (iteration limits, pivoting rule).
-    pub fn solve_with<S: crate::Scalar>(&self, opts: &SimplexOptions) -> Result<Solution<S>, SolveError> {
+    pub fn solve_with<S: crate::Scalar>(
+        &self,
+        opts: &SimplexOptions,
+    ) -> Result<Solution<S>, SolveError> {
         simplex::solve::<S>(self, opts)
     }
 
     /// Evaluate the objective at a candidate point (for cross-checks).
     pub fn eval_objective(&self, point: &[Ratio]) -> Ratio {
         assert_eq!(point.len(), self.num_vars());
-        self.objective
-            .iter()
-            .zip(point)
-            .map(|(c, x)| c * x)
-            .sum()
+        self.objective.iter().zip(point).map(|(c, x)| c * x).sum()
     }
 
     /// Export in CPLEX LP text format, for cross-checking against external
@@ -268,12 +295,17 @@ impl Problem {
         let mut s = String::new();
         let sanitize = |name: &str| -> String {
             name.chars()
-                .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
                 .collect()
         };
-        let term = |c: &Ratio, v: usize| -> String {
-            format!("{} {}", c, sanitize(&self.var_names[v]))
-        };
+        let term =
+            |c: &Ratio, v: usize| -> String { format!("{} {}", c, sanitize(&self.var_names[v])) };
         let _ = writeln!(
             s,
             "{}",
@@ -289,7 +321,15 @@ impl Problem {
             .filter(|(_, c)| !c.is_zero())
             .map(|(v, c)| term(c, v))
             .collect();
-        let _ = writeln!(s, " obj: {}", if obj.is_empty() { "0".into() } else { obj.join(" + ") });
+        let _ = writeln!(
+            s,
+            " obj: {}",
+            if obj.is_empty() {
+                "0".into()
+            } else {
+                obj.join(" + ")
+            }
+        );
         let _ = writeln!(s, "Subject To");
         for row in &self.rows {
             // Scale the row to integers for solver-agnostic exactness.
@@ -356,7 +396,10 @@ impl Problem {
                 (Cmp::Ge, true) | (Cmp::Le, false) => !y.is_positive(),
             };
             if !ok {
-                return Err(format!("dual sign violated on row `{}`: y = {}", row.name, y));
+                return Err(format!(
+                    "dual sign violated on row `{}`: y = {}",
+                    row.name, y
+                ));
             }
         }
         // Dual feasibility per variable, and collect the dual objective.
@@ -371,10 +414,7 @@ impl Problem {
             }
         }
         for (j, c) in self.objective.iter().enumerate() {
-            let mu = sol
-                .bound_dual(Var(j))
-                .cloned()
-                .unwrap_or_else(Ratio::zero);
+            let mu = sol.bound_dual(Var(j)).cloned().unwrap_or_else(Ratio::zero);
             if maximize && mu.is_negative() {
                 return Err(format!("bound dual of {} negative", self.var_names[j]));
             }

@@ -7,11 +7,10 @@
 
 use crate::problem::{Cmp, Problem};
 use crate::scalar::Scalar;
-use crate::solution::{Solution, SolveError};
+use crate::solution::{PivotRule, Solution, SolveError};
 
 /// Tuning knobs for the simplex kernel.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SimplexOptions {
     /// Hard cap on total pivots across both phases (0 = automatic:
     /// `200 * (rows + cols) + 10_000`).
@@ -19,7 +18,6 @@ pub struct SimplexOptions {
     /// Force Bland's rule even for inexact scalars.
     pub force_bland: bool,
 }
-
 
 struct Tableau<S> {
     /// `rows x (ncols + 1)`; the last column is the rhs.
@@ -154,7 +152,11 @@ fn optimize<S: Scalar>(
     let use_bland = S::EXACT || opts.force_bland;
     let mut iters = 0usize;
     // For f64, switch to Bland after a stall threshold to escape cycling.
-    let dantzig_cap = if use_bland { 0 } else { budget.saturating_div(2) };
+    let dantzig_cap = if use_bland {
+        0
+    } else {
+        budget.saturating_div(2)
+    };
     loop {
         let entering = if use_bland || iters >= dantzig_cap {
             t.entering_bland(cost, active)
@@ -176,7 +178,10 @@ fn optimize<S: Scalar>(
 }
 
 /// Solve `problem` with scalar type `S`.
-pub(crate) fn solve<S: Scalar>(problem: &Problem, opts: &SimplexOptions) -> Result<Solution<S>, SolveError> {
+pub(crate) fn solve<S: Scalar>(
+    problem: &Problem,
+    opts: &SimplexOptions,
+) -> Result<Solution<S>, SolveError> {
     let nstruct = problem.num_vars();
 
     // Lower upper bounds into explicit rows.
@@ -394,11 +399,17 @@ pub(crate) fn solve<S: Scalar>(problem: &Problem, opts: &SimplexOptions) -> Resu
         }
     }
 
+    let pivot_rule = if S::EXACT || opts.force_bland {
+        PivotRule::Bland
+    } else {
+        PivotRule::Dantzig
+    };
     Ok(Solution::new(
         values,
         objective,
         total_iters,
         phase1_iters,
+        pivot_rule,
         row_duals,
         bound_duals,
     ))

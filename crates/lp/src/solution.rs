@@ -30,6 +30,21 @@ impl std::error::Error for SolveError {}
 /// Legacy alias kept for API clarity in match statements.
 pub type Status = SolveError;
 
+/// Which entering-variable rule the kernel ran with.
+///
+/// Selection is driven by [`Scalar::EXACT`]: exact scalars take Bland's
+/// rule (anti-cycling, guaranteed termination on the degenerate
+/// steady-state LPs), `f64` takes Dantzig pricing (with a Bland fallback
+/// after a stall threshold). Recorded on the solution so the guarantee is
+/// testable and cannot silently regress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PivotRule {
+    /// Smallest-index positive reduced cost; anti-cycling.
+    Bland,
+    /// Most-positive reduced cost; fast in practice, may cycle.
+    Dantzig,
+}
+
 /// An optimal solution to a [`Problem`](crate::Problem).
 #[derive(Clone, Debug)]
 pub struct Solution<S> {
@@ -37,6 +52,7 @@ pub struct Solution<S> {
     objective: S,
     iterations: usize,
     phase1_iterations: usize,
+    pivot_rule: PivotRule,
     row_duals: Vec<S>,
     bound_duals: Vec<Option<S>>,
 }
@@ -47,10 +63,19 @@ impl<S: Scalar> Solution<S> {
         objective: S,
         iterations: usize,
         phase1_iterations: usize,
+        pivot_rule: PivotRule,
         row_duals: Vec<S>,
         bound_duals: Vec<Option<S>>,
     ) -> Self {
-        Solution { values, objective, iterations, phase1_iterations, row_duals, bound_duals }
+        Solution {
+            values,
+            objective,
+            iterations,
+            phase1_iterations,
+            pivot_rule,
+            row_duals,
+            bound_duals,
+        }
     }
 
     /// Dual value (Lagrange multiplier) of the `i`-th explicit constraint,
@@ -106,5 +131,11 @@ impl<S: Scalar> Solution<S> {
     #[inline]
     pub fn phase1_iterations(&self) -> usize {
         self.phase1_iterations
+    }
+
+    /// The entering-variable rule the kernel selected (see [`PivotRule`]).
+    #[inline]
+    pub fn pivot_rule(&self) -> PivotRule {
+        self.pivot_rule
     }
 }

@@ -89,15 +89,15 @@ fn steady_state_lp_certificates() {
 
 // ss-lp cannot depend on ss-core (dependency direction), so rebuild the
 // SSMS LP inline: maximize sum alpha_i/w_i under one-port + conservation.
-fn ss_core_build_ssms(
-    g: &ss_platform::Platform,
-    master: ss_platform::NodeId,
-) -> (Problem, ()) {
+fn ss_core_build_ssms(g: &ss_platform::Platform, master: ss_platform::NodeId) -> (Problem, ()) {
     use ss_lp::LinExpr;
     let mut p = Problem::new(Sense::Maximize);
     let alpha: Vec<_> = g
         .nodes()
-        .map(|n| n.w.is_finite().then(|| p.add_var_bounded(format!("a{}", n.id.index()), Ratio::one())))
+        .map(|n| {
+            n.w.is_finite()
+                .then(|| p.add_var_bounded(format!("a{}", n.id.index()), Ratio::one()))
+        })
         .collect();
     let s: Vec<_> = g
         .edges()
@@ -113,11 +113,17 @@ fn ss_core_build_ssms(
         if let (Some(v), Some(w)) = (alpha[i.index()], g.node(i).w.as_ratio()) {
             p.set_objective_coeff(v, w.recip());
         }
-        let out: Vec<_> = g.out_edges(i).map(|e| (s[e.id.index()], Ratio::one())).collect();
+        let out: Vec<_> = g
+            .out_edges(i)
+            .map(|e| (s[e.id.index()], Ratio::one()))
+            .collect();
         if !out.is_empty() {
             p.add_constraint(format!("out{}", i.index()), out, Cmp::Le, Ratio::one());
         }
-        let inn: Vec<_> = g.in_edges(i).map(|e| (s[e.id.index()], Ratio::one())).collect();
+        let inn: Vec<_> = g
+            .in_edges(i)
+            .map(|e| (s[e.id.index()], Ratio::one()))
+            .collect();
         if !inn.is_empty() {
             p.add_constraint(format!("in{}", i.index()), inn, Cmp::Le, Ratio::one());
         }

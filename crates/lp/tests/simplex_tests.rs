@@ -3,7 +3,7 @@
 //! exact-vs-f64 cross-check on random LPs.
 
 use proptest::prelude::*;
-use ss_lp::{Cmp, Problem, Sense, SolveError};
+use ss_lp::{Cmp, PivotRule, Problem, Sense, SimplexOptions, SolveError};
 use ss_num::Ratio;
 
 fn r(n: i64, d: i64) -> Ratio {
@@ -187,7 +187,12 @@ fn degenerate_lp_exact() {
         p.set_objective_coeff(v, ri(1));
     }
     for (i, pair) in [(x, y), (y, z), (x, z)].iter().enumerate() {
-        p.add_constraint(format!("c{i}"), [(pair.0, ri(1)), (pair.1, ri(1))], Cmp::Le, ri(2));
+        p.add_constraint(
+            format!("c{i}"),
+            [(pair.0, ri(1)), (pair.1, ri(1))],
+            Cmp::Le,
+            ri(2),
+        );
     }
     p.add_constraint("all", [(x, ri(1)), (y, ri(1)), (z, ri(1))], Cmp::Le, ri(3));
     let s = p.solve_exact().unwrap();
@@ -205,6 +210,79 @@ fn redundant_equality_rows_dropped() {
     p.add_constraint("e2", [(x, ri(1)), (y, ri(1))], Cmp::Eq, ri(2));
     let s = p.solve_exact().unwrap();
     assert_eq!(s.objective(), &ri(2));
+}
+
+/// The anti-cycling contract: `Scalar::EXACT` drives pivot selection —
+/// exact scalars must run Bland's rule (termination guarantee on the
+/// degenerate steady-state LPs), `f64` must run Dantzig pricing, and
+/// `force_bland` overrides. Asserted here so the guarantee cannot silently
+/// regress behind a refactor of the kernel.
+#[test]
+fn exact_scalar_selects_bland_f64_selects_dantzig() {
+    let build = || {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective_coeff(x, ri(3));
+        p.set_objective_coeff(y, ri(5));
+        p.add_constraint("c1", [(x, ri(1))], Cmp::Le, ri(4));
+        p.add_constraint("c2", [(y, ri(2))], Cmp::Le, ri(12));
+        p.add_constraint("c3", [(x, ri(3)), (y, ri(2))], Cmp::Le, ri(18));
+        p
+    };
+    let p = build();
+
+    let exact = p.solve_exact().unwrap();
+    assert_eq!(exact.pivot_rule(), PivotRule::Bland);
+
+    let fast = p.solve_f64().unwrap();
+    assert_eq!(fast.pivot_rule(), PivotRule::Dantzig);
+
+    // force_bland overrides Dantzig for f64 — and both rules agree on the
+    // optimum.
+    let opts = SimplexOptions {
+        force_bland: true,
+        ..SimplexOptions::default()
+    };
+    let forced = p.solve_with::<f64>(&opts).unwrap();
+    assert_eq!(forced.pivot_rule(), PivotRule::Bland);
+    assert!((forced.objective() - fast.objective()).abs() < 1e-9);
+    assert_eq!(exact.objective(), &ri(36));
+}
+
+/// Beale's cycling instance again, but from the f64 side with Bland
+/// forced: the exact-style rule must terminate there too.
+#[test]
+fn forced_bland_terminates_on_beale_f64() {
+    let mut p = Problem::new(Sense::Minimize);
+    let x4 = p.add_var("x4");
+    let x5 = p.add_var("x5");
+    let x6 = p.add_var("x6");
+    let x7 = p.add_var("x7");
+    p.set_objective_coeff(x4, r(-3, 4));
+    p.set_objective_coeff(x5, ri(150));
+    p.set_objective_coeff(x6, r(-1, 50));
+    p.set_objective_coeff(x7, ri(6));
+    p.add_constraint(
+        "r1",
+        [(x4, r(1, 4)), (x5, ri(-60)), (x6, r(-1, 25)), (x7, ri(9))],
+        Cmp::Le,
+        ri(0),
+    );
+    p.add_constraint(
+        "r2",
+        [(x4, r(1, 2)), (x5, ri(-90)), (x6, r(-1, 50)), (x7, ri(3))],
+        Cmp::Le,
+        ri(0),
+    );
+    p.add_constraint("r3", [(x6, ri(1))], Cmp::Le, ri(1));
+    let opts = SimplexOptions {
+        force_bland: true,
+        ..SimplexOptions::default()
+    };
+    let s = p.solve_with::<f64>(&opts).unwrap();
+    assert_eq!(s.pivot_rule(), PivotRule::Bland);
+    assert!((s.objective() - (-0.05)).abs() < 1e-9);
 }
 
 #[test]
@@ -249,7 +327,9 @@ fn random_lp(
     objs: &[i64],
 ) -> (Problem, Vec<ss_lp::Var>) {
     let mut p = Problem::new(Sense::Maximize);
-    let vars: Vec<_> = (0..nv).map(|i| p.add_var_bounded(format!("x{i}"), ri(10))).collect();
+    let vars: Vec<_> = (0..nv)
+        .map(|i| p.add_var_bounded(format!("x{i}"), ri(10)))
+        .collect();
     for (i, &o) in objs.iter().enumerate().take(nv) {
         p.set_objective_coeff(vars[i], ri(o));
     }

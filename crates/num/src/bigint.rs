@@ -209,9 +209,7 @@ fn div_rem_mag_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
         let mut qhat = top / vtop as u128;
         let mut rhat = top % vtop as u128;
-        while qhat >= 1u128 << 64
-            || qhat * vsec as u128 > ((rhat << 64) | un[j + n - 2] as u128)
-        {
+        while qhat >= 1u128 << 64 || qhat * vsec as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
             qhat -= 1;
             rhat += vtop as u128;
             if rhat >= 1u128 << 64 {
@@ -279,13 +277,19 @@ impl BigInt {
     /// The integer zero.
     #[inline]
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer one.
     #[inline]
     pub fn one() -> BigInt {
-        BigInt { sign: Sign::Plus, mag: vec![1] }
+        BigInt {
+            sign: Sign::Plus,
+            mag: vec![1],
+        }
     }
 
     fn from_mag(sign: Sign, mut mag: Vec<u64>) -> BigInt {
@@ -331,7 +335,10 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         match self.sign {
-            Sign::Minus => BigInt { sign: Sign::Plus, mag: self.mag.clone() },
+            Sign::Minus => BigInt {
+                sign: Sign::Plus,
+                mag: self.mag.clone(),
+            },
             _ => self.clone(),
         }
     }
@@ -537,7 +544,10 @@ impl Ord for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.negate(), mag: self.mag.clone() }
+        BigInt {
+            sign: self.sign.negate(),
+            mag: self.mag.clone(),
+        }
     }
 }
 
@@ -558,12 +568,8 @@ impl Add for &BigInt {
             (a, b) if a == b => BigInt::from_mag(a, add_mag(&self.mag, &rhs.mag)),
             _ => match cmp_mag(&self.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_mag(self.sign, sub_mag(&self.mag, &rhs.mag))
-                }
-                Ordering::Less => {
-                    BigInt::from_mag(rhs.sign, sub_mag(&rhs.mag, &self.mag))
-                }
+                Ordering::Greater => BigInt::from_mag(self.sign, sub_mag(&self.mag, &rhs.mag)),
+                Ordering::Less => BigInt::from_mag(rhs.sign, sub_mag(&rhs.mag, &self.mag)),
             },
         }
     }
@@ -577,7 +583,12 @@ impl Sub for &BigInt {
         // Cheap: negate is a sign flip on a borrowed clone only when needed.
         match rhs.sign {
             Sign::Zero => self.clone(),
-            _ => self + &BigInt { sign: rhs.sign.negate(), mag: rhs.mag.clone() },
+            _ => {
+                self + &BigInt {
+                    sign: rhs.sign.negate(),
+                    mag: rhs.mag.clone(),
+                }
+            }
         }
     }
 }
@@ -736,7 +747,10 @@ impl FromStr for BigInt {
         if mag.is_empty() {
             Ok(BigInt::zero())
         } else {
-            Ok(BigInt { sign: if neg { Sign::Minus } else { Sign::Plus }, mag })
+            Ok(BigInt {
+                sign: if neg { Sign::Minus } else { Sign::Plus },
+                mag,
+            })
         }
     }
 }
@@ -779,7 +793,10 @@ mod tests {
             BigInt::from(u128::MAX).to_string(),
             "340282366920938463463374607431768211455"
         );
-        assert_eq!(BigInt::from(i128::MIN).to_string(), "-170141183460469231731687303715884105728");
+        assert_eq!(
+            BigInt::from(i128::MIN).to_string(),
+            "-170141183460469231731687303715884105728"
+        );
     }
 
     #[test]
@@ -893,7 +910,10 @@ mod tests {
     fn pow() {
         assert_eq!(BigInt::from(2).pow(0), BigInt::one());
         assert_eq!(BigInt::from(2).pow(64).to_string(), "18446744073709551616");
-        assert_eq!(BigInt::from(10).pow(30).to_string(), format!("1{}", "0".repeat(30)));
+        assert_eq!(
+            BigInt::from(10).pow(30).to_string(),
+            format!("1{}", "0".repeat(30))
+        );
         assert_eq!(BigInt::from(-3).pow(3), BigInt::from(-27));
     }
 

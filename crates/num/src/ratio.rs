@@ -28,13 +28,19 @@ impl Ratio {
     /// Zero (`0/1`).
     #[inline]
     pub fn zero() -> Ratio {
-        Ratio { num: BigInt::zero(), den: BigInt::one() }
+        Ratio {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// One (`1/1`).
     #[inline]
     pub fn one() -> Ratio {
-        Ratio { num: BigInt::one(), den: BigInt::one() }
+        Ratio {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Build `n/d` from machine integers.
@@ -67,7 +73,10 @@ impl Ratio {
     /// Build from an integer.
     #[inline]
     pub fn from_int(n: i64) -> Ratio {
-        Ratio { num: BigInt::from(n), den: BigInt::one() }
+        Ratio {
+            num: BigInt::from(n),
+            den: BigInt::one(),
+        }
     }
 
     /// Numerator (sign-carrying, coprime with the denominator).
@@ -120,7 +129,10 @@ impl Ratio {
 
     /// Absolute value.
     pub fn abs(&self) -> Ratio {
-        Ratio { num: self.num.abs(), den: self.den.clone() }
+        Ratio {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -130,9 +142,15 @@ impl Ratio {
     pub fn recip(&self) -> Ratio {
         assert!(!self.is_zero(), "reciprocal of zero");
         if self.num.is_negative() {
-            Ratio { num: -self.den.clone(), den: -self.num.clone() }
+            Ratio {
+                num: -self.den.clone(),
+                den: -self.num.clone(),
+            }
         } else {
-            Ratio { num: self.den.clone(), den: self.num.clone() }
+            Ratio {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
         }
     }
 
@@ -282,7 +300,10 @@ impl From<i64> for Ratio {
 impl From<u64> for Ratio {
     #[inline]
     fn from(n: u64) -> Ratio {
-        Ratio { num: BigInt::from(n), den: BigInt::one() }
+        Ratio {
+            num: BigInt::from(n),
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -296,21 +317,30 @@ impl From<i32> for Ratio {
 impl From<u32> for Ratio {
     #[inline]
     fn from(n: u32) -> Ratio {
-        Ratio { num: BigInt::from(n), den: BigInt::one() }
+        Ratio {
+            num: BigInt::from(n),
+            den: BigInt::one(),
+        }
     }
 }
 
 impl From<usize> for Ratio {
     #[inline]
     fn from(n: usize) -> Ratio {
-        Ratio { num: BigInt::from(n), den: BigInt::one() }
+        Ratio {
+            num: BigInt::from(n),
+            den: BigInt::one(),
+        }
     }
 }
 
 impl From<BigInt> for Ratio {
     #[inline]
     fn from(n: BigInt) -> Ratio {
-        Ratio { num: n, den: BigInt::one() }
+        Ratio {
+            num: n,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -356,7 +386,10 @@ impl Mul for &Ratio {
         let den = (&self.den / &g2) * (&rhs.den / &g1);
         // num/den is already reduced; fix the sign convention directly.
         if den.is_negative() {
-            Ratio { num: -num, den: -den }
+            Ratio {
+                num: -num,
+                den: -den,
+            }
         } else {
             Ratio { num, den }
         }
@@ -376,7 +409,10 @@ impl Neg for &Ratio {
     type Output = Ratio;
     #[inline]
     fn neg(self) -> Ratio {
-        Ratio { num: -self.num.clone(), den: self.den.clone() }
+        Ratio {
+            num: -self.num.clone(),
+            den: self.den.clone(),
+        }
     }
 }
 
@@ -692,7 +728,9 @@ mod tests {
     fn min_max_sum() {
         assert_eq!(Ratio::new(1, 2).min(Ratio::new(1, 3)), Ratio::new(1, 3));
         assert_eq!(Ratio::new(1, 2).max(Ratio::new(1, 3)), Ratio::new(1, 2));
-        let s: Ratio = [Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(1, 6)].into_iter().sum();
+        let s: Ratio = [Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(1, 6)]
+            .into_iter()
+            .sum();
         assert_eq!(s, Ratio::one());
         let s2: Ratio = [Ratio::new(1, 2), Ratio::new(1, 2)].iter().sum();
         assert_eq!(s2, Ratio::one());

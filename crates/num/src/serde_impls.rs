@@ -14,7 +14,8 @@ impl Serialize for BigInt {
 impl<'de> Deserialize<'de> for BigInt {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<BigInt, D::Error> {
         let s = String::deserialize(deserializer)?;
-        s.parse().map_err(|_| D::Error::custom("invalid BigInt string"))
+        s.parse()
+            .map_err(|_| D::Error::custom("invalid BigInt string"))
     }
 }
 
@@ -27,7 +28,8 @@ impl Serialize for Ratio {
 impl<'de> Deserialize<'de> for Ratio {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Ratio, D::Error> {
         let s = String::deserialize(deserializer)?;
-        s.parse().map_err(|_| D::Error::custom("invalid Ratio string"))
+        s.parse()
+            .map_err(|_| D::Error::custom("invalid Ratio string"))
     }
 }
 

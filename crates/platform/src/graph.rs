@@ -44,7 +44,10 @@ pub enum Weight {
 impl Weight {
     /// A finite weight; panics unless `w > 0`.
     pub fn finite(w: Ratio) -> Weight {
-        assert!(w.is_positive(), "node weight must be > 0 (w = 0 would mean infinite speed)");
+        assert!(
+            w.is_positive(),
+            "node weight must be > 0 (w = 0 would mean infinite speed)"
+        );
         Weight::Finite(w)
     }
 
@@ -168,14 +171,22 @@ impl Platform {
     /// Add a processor node; returns its id.
     pub fn add_node(&mut self, name: impl Into<String>, w: Weight) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { name: name.into(), w });
+        self.nodes.push(Node {
+            name: name.into(),
+            w,
+        });
         self.out_adj.push(Vec::new());
         self.in_adj.push(Vec::new());
         id
     }
 
     /// Add a directed communication link `src -> dst` with unit cost `c`.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, c: Ratio) -> Result<EdgeId, PlatformError> {
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        c: Ratio,
+    ) -> Result<EdgeId, PlatformError> {
         if src.0 >= self.nodes.len() || dst.0 >= self.nodes.len() {
             return Err(PlatformError::InvalidNode);
         }
@@ -197,7 +208,12 @@ impl Platform {
 
     /// Add both `a -> b` and `b -> a` with the same cost (a full-duplex
     /// link, the common case for the generators).
-    pub fn add_duplex_edge(&mut self, a: NodeId, b: NodeId, c: Ratio) -> Result<(EdgeId, EdgeId), PlatformError> {
+    pub fn add_duplex_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        c: Ratio,
+    ) -> Result<(EdgeId, EdgeId), PlatformError> {
         let e1 = self.add_edge(a, b, c.clone())?;
         let e2 = self.add_edge(b, a, c)?;
         Ok((e1, e2))
@@ -228,13 +244,22 @@ impl Platform {
     /// Read-only view of a node.
     pub fn node(&self, id: NodeId) -> NodeRef<'_> {
         let n = &self.nodes[id.0];
-        NodeRef { id, name: &n.name, w: &n.w }
+        NodeRef {
+            id,
+            name: &n.name,
+            w: &n.w,
+        }
     }
 
     /// Read-only view of an edge.
     pub fn edge(&self, id: EdgeId) -> EdgeRef<'_> {
         let e = &self.edges[id.0];
-        EdgeRef { id, src: e.src, dst: e.dst, c: &e.c }
+        EdgeRef {
+            id,
+            src: e.src,
+            dst: e.dst,
+            c: &e.c,
+        }
     }
 
     /// Iterate over all nodes.
@@ -300,7 +325,12 @@ impl Platform {
     /// Depth of the graph rooted at `root`: the maximum BFS distance over
     /// reachable nodes.
     pub fn depth_from(&self, root: NodeId) -> usize {
-        self.bfs_depths(root).iter().flatten().copied().max().unwrap_or(0)
+        self.bfs_depths(root)
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// The transposed platform (every edge reversed, weights kept).
@@ -313,7 +343,8 @@ impl Platform {
             g.add_node(n.name.clone(), n.w.clone());
         }
         for e in &self.edges {
-            g.add_edge(e.dst, e.src, e.c.clone()).expect("reversal preserves validity");
+            g.add_edge(e.dst, e.src, e.c.clone())
+                .expect("reversal preserves validity");
         }
         g
     }
@@ -437,11 +468,23 @@ mod tests {
         let mut g = Platform::new();
         let a = g.add_node("a", Weight::from_int(1));
         let b = g.add_node("b", Weight::from_int(1));
-        assert_eq!(g.add_edge(a, a, ri(1)).unwrap_err(), PlatformError::SelfLoop);
-        assert_eq!(g.add_edge(a, b, ri(0)).unwrap_err(), PlatformError::NonPositiveCost);
-        assert_eq!(g.add_edge(a, b, ri(-1)).unwrap_err(), PlatformError::NonPositiveCost);
+        assert_eq!(
+            g.add_edge(a, a, ri(1)).unwrap_err(),
+            PlatformError::SelfLoop
+        );
+        assert_eq!(
+            g.add_edge(a, b, ri(0)).unwrap_err(),
+            PlatformError::NonPositiveCost
+        );
+        assert_eq!(
+            g.add_edge(a, b, ri(-1)).unwrap_err(),
+            PlatformError::NonPositiveCost
+        );
         g.add_edge(a, b, ri(1)).unwrap();
-        assert_eq!(g.add_edge(a, b, ri(2)).unwrap_err(), PlatformError::DuplicateEdge);
+        assert_eq!(
+            g.add_edge(a, b, ri(2)).unwrap_err(),
+            PlatformError::DuplicateEdge
+        );
         assert_eq!(
             g.add_edge(a, NodeId(99), ri(1)).unwrap_err(),
             PlatformError::InvalidNode

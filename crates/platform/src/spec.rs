@@ -7,11 +7,15 @@
 //! re-validated on load.
 
 use crate::graph::{NodeId, Platform, PlatformError, Weight};
-use serde::{Deserialize, Serialize};
+use serde::ser::SerializeStruct as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use ss_num::Ratio;
 
 /// Serializable node: `w == None` encodes `w_i = +∞` (forwarding-only).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+///
+/// The `Serialize`/`Deserialize` impls are hand-written (the offline serde
+/// shim ships no derive macro); field names are the wire format.
+#[derive(Clone, Debug, PartialEq)]
 pub struct NodeSpec {
     /// Node name.
     pub name: String,
@@ -20,7 +24,7 @@ pub struct NodeSpec {
 }
 
 /// Serializable directed edge.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EdgeSpec {
     /// Source node index.
     pub src: usize,
@@ -31,12 +35,68 @@ pub struct EdgeSpec {
 }
 
 /// A platform in serializable form.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct PlatformSpec {
     /// Nodes, in id order.
     pub nodes: Vec<NodeSpec>,
     /// Directed edges, in id order.
     pub edges: Vec<EdgeSpec>,
+}
+
+impl Serialize for NodeSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("NodeSpec", 2)?;
+        st.serialize_field("name", &self.name)?;
+        st.serialize_field("w", &self.w)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for NodeSpec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<NodeSpec, D::Error> {
+        Ok(NodeSpec {
+            name: String::deserialize(deserializer.clone().take_field("name")?)?,
+            w: Option::<Ratio>::deserialize(deserializer.take_field("w")?)?,
+        })
+    }
+}
+
+impl Serialize for EdgeSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("EdgeSpec", 3)?;
+        st.serialize_field("src", &self.src)?;
+        st.serialize_field("dst", &self.dst)?;
+        st.serialize_field("c", &self.c)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for EdgeSpec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<EdgeSpec, D::Error> {
+        Ok(EdgeSpec {
+            src: usize::deserialize(deserializer.clone().take_field("src")?)?,
+            dst: usize::deserialize(deserializer.clone().take_field("dst")?)?,
+            c: Ratio::deserialize(deserializer.take_field("c")?)?,
+        })
+    }
+}
+
+impl Serialize for PlatformSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("PlatformSpec", 2)?;
+        st.serialize_field("nodes", &self.nodes)?;
+        st.serialize_field("edges", &self.edges)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for PlatformSpec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<PlatformSpec, D::Error> {
+        Ok(PlatformSpec {
+            nodes: Vec::deserialize(deserializer.clone().take_field("nodes")?)?,
+            edges: Vec::deserialize(deserializer.take_field("edges")?)?,
+        })
+    }
 }
 
 impl PlatformSpec {
@@ -45,11 +105,18 @@ impl PlatformSpec {
         PlatformSpec {
             nodes: g
                 .nodes()
-                .map(|n| NodeSpec { name: n.name.to_string(), w: n.w.as_ratio().cloned() })
+                .map(|n| NodeSpec {
+                    name: n.name.to_string(),
+                    w: n.w.as_ratio().cloned(),
+                })
                 .collect(),
             edges: g
                 .edges()
-                .map(|e| EdgeSpec { src: e.src.index(), dst: e.dst.index(), c: e.c.clone() })
+                .map(|e| EdgeSpec {
+                    src: e.src.index(),
+                    dst: e.dst.index(),
+                    c: e.c.clone(),
+                })
                 .collect(),
         }
     }
@@ -118,22 +185,52 @@ mod tests {
     fn invalid_spec_rejected() {
         let spec = PlatformSpec {
             nodes: vec![
-                NodeSpec { name: "a".into(), w: Some(Ratio::one()) },
-                NodeSpec { name: "b".into(), w: None },
+                NodeSpec {
+                    name: "a".into(),
+                    w: Some(Ratio::one()),
+                },
+                NodeSpec {
+                    name: "b".into(),
+                    w: None,
+                },
             ],
             edges: vec![
-                EdgeSpec { src: 0, dst: 1, c: Ratio::one() },
-                EdgeSpec { src: 0, dst: 1, c: Ratio::one() },
+                EdgeSpec {
+                    src: 0,
+                    dst: 1,
+                    c: Ratio::one(),
+                },
+                EdgeSpec {
+                    src: 0,
+                    dst: 1,
+                    c: Ratio::one(),
+                },
             ],
         };
-        assert_eq!(spec.to_platform().unwrap_err(), PlatformError::DuplicateEdge);
+        assert_eq!(
+            spec.to_platform().unwrap_err(),
+            PlatformError::DuplicateEdge
+        );
         let bad_cost = PlatformSpec {
             nodes: vec![
-                NodeSpec { name: "a".into(), w: Some(Ratio::one()) },
-                NodeSpec { name: "b".into(), w: None },
+                NodeSpec {
+                    name: "a".into(),
+                    w: Some(Ratio::one()),
+                },
+                NodeSpec {
+                    name: "b".into(),
+                    w: None,
+                },
             ],
-            edges: vec![EdgeSpec { src: 0, dst: 1, c: Ratio::zero() }],
+            edges: vec![EdgeSpec {
+                src: 0,
+                dst: 1,
+                c: Ratio::zero(),
+            }],
         };
-        assert_eq!(bad_cost.to_platform().unwrap_err(), PlatformError::NonPositiveCost);
+        assert_eq!(
+            bad_cost.to_platform().unwrap_err(),
+            PlatformError::NonPositiveCost
+        );
     }
 }

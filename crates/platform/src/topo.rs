@@ -29,7 +29,11 @@ pub struct ParamRange {
 
 impl Default for ParamRange {
     fn default() -> Self {
-        ParamRange { w_range: (1, 10), c_range: (1, 5), max_denominator: 1 }
+        ParamRange {
+            w_range: (1, 10),
+            c_range: (1, 5),
+            max_denominator: 1,
+        }
     }
 }
 
@@ -70,7 +74,8 @@ pub fn chain<R: Rng>(rng: &mut R, p: usize, params: &ParamRange) -> (Platform, N
         .map(|i| g.add_node(format!("P{i}"), Weight::finite(params.sample_w(rng))))
         .collect();
     for i in 1..p {
-        g.add_duplex_edge(ids[i - 1], ids[i], params.sample_c(rng)).unwrap();
+        g.add_duplex_edge(ids[i - 1], ids[i], params.sample_c(rng))
+            .unwrap();
     }
     (g, ids[0])
 }
@@ -108,7 +113,8 @@ pub fn random_connected<R: Rng>(
                 continue;
             }
             if rng.gen_bool(extra_edge_prob) {
-                g.add_duplex_edge(ids[i], ids[j], params.sample_c(rng)).unwrap();
+                g.add_duplex_edge(ids[i], ids[j], params.sample_c(rng))
+                    .unwrap();
             }
         }
     }
@@ -117,7 +123,12 @@ pub fn random_connected<R: Rng>(
 
 /// 2-D grid (torus-free) of `rows x cols` processors with duplex links —
 /// the "grid" in "clusters and grids".
-pub fn grid2d<R: Rng>(rng: &mut R, rows: usize, cols: usize, params: &ParamRange) -> (Platform, NodeId) {
+pub fn grid2d<R: Rng>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    params: &ParamRange,
+) -> (Platform, NodeId) {
     assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
     let mut g = Platform::new();
     let mut ids = Vec::with_capacity(rows * cols);
@@ -130,10 +141,12 @@ pub fn grid2d<R: Rng>(rng: &mut R, rows: usize, cols: usize, params: &ParamRange
         for c in 0..cols {
             let here = ids[r * cols + c];
             if c + 1 < cols {
-                g.add_duplex_edge(here, ids[r * cols + c + 1], params.sample_c(rng)).unwrap();
+                g.add_duplex_edge(here, ids[r * cols + c + 1], params.sample_c(rng))
+                    .unwrap();
             }
             if r + 1 < rows {
-                g.add_duplex_edge(here, ids[(r + 1) * cols + c], params.sample_c(rng)).unwrap();
+                g.add_duplex_edge(here, ids[(r + 1) * cols + c], params.sample_c(rng))
+                    .unwrap();
             }
         }
     }
@@ -177,7 +190,8 @@ pub fn clique<R: Rng>(rng: &mut R, p: usize, params: &ParamRange) -> (Platform, 
         .collect();
     for i in 0..p {
         for j in (i + 1)..p {
-            g.add_duplex_edge(ids[i], ids[j], params.sample_c(rng)).unwrap();
+            g.add_duplex_edge(ids[i], ids[j], params.sample_c(rng))
+                .unwrap();
         }
     }
     (g, ids[0])
@@ -278,7 +292,11 @@ mod tests {
 
     #[test]
     fn fractional_parameters() {
-        let params = ParamRange { w_range: (1, 6), c_range: (1, 4), max_denominator: 3 };
+        let params = ParamRange {
+            w_range: (1, 6),
+            c_range: (1, 4),
+            max_denominator: 3,
+        };
         let (g, _) = star(&mut rng(7), 6, &params);
         // At least constructible and positive.
         for n in g.nodes() {

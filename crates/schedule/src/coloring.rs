@@ -67,7 +67,10 @@ impl Decomposition {
                     return Err(format!("round {ri}: sender {} used twice", er.src.index()));
                 }
                 if std::mem::replace(&mut recv_used[er.dst.index()], true) {
-                    return Err(format!("round {ri}: receiver {} used twice", er.dst.index()));
+                    return Err(format!(
+                        "round {ri}: receiver {} used twice",
+                        er.dst.index()
+                    ));
                 }
                 acc[e.index()] += &round.duration;
             }
@@ -107,7 +110,10 @@ impl Cell {
 /// entry is negative.
 pub fn decompose(g: &Platform, edge_busy: &[BigInt]) -> Decomposition {
     assert_eq!(edge_busy.len(), g.num_edges());
-    assert!(edge_busy.iter().all(|b| !b.is_negative()), "negative busy time");
+    assert!(
+        edge_busy.iter().all(|b| !b.is_negative()),
+        "negative busy time"
+    );
 
     let p = g.num_nodes();
     let mut cells: Vec<Vec<Cell>> = vec![vec![Cell::default(); p]; p];
@@ -131,7 +137,10 @@ pub fn decompose(g: &Platform, edge_busy: &[BigInt]) -> Decomposition {
         .max()
         .unwrap_or_else(BigInt::zero);
     if !delta.is_positive() {
-        return Decomposition { rounds: Vec::new(), makespan: BigInt::zero() };
+        return Decomposition {
+            rounds: Vec::new(),
+            makespan: BigInt::zero(),
+        };
     }
 
     // Pad to uniform load Δ: greedily pair under-loaded send ports with
@@ -163,7 +172,11 @@ pub fn decompose(g: &Platform, edge_busy: &[BigInt]) -> Decomposition {
         let mut mu = remaining.clone();
         for (s, &r) in matching.iter().enumerate() {
             let c = &cells[s][r];
-            let avail = if c.real >= c.dummy { c.real.clone() } else { c.dummy.clone() };
+            let avail = if c.real >= c.dummy {
+                c.real.clone()
+            } else {
+                c.dummy.clone()
+            };
             mu = mu.min(avail);
         }
         debug_assert!(mu.is_positive());
@@ -179,12 +192,18 @@ pub fn decompose(g: &Platform, edge_busy: &[BigInt]) -> Decomposition {
         }
         if !transfers.is_empty() {
             transfers.sort();
-            rounds.push(CommRound { duration: mu.clone(), transfers });
+            rounds.push(CommRound {
+                duration: mu.clone(),
+                transfers,
+            });
         }
         remaining -= &mu;
     }
 
-    Decomposition { rounds, makespan: delta }
+    Decomposition {
+        rounds,
+        makespan: delta,
+    }
 }
 
 /// Kuhn's augmenting-path perfect matching over the positive cells of a
@@ -195,7 +214,10 @@ fn perfect_matching(cells: &[Vec<Cell>], p: usize) -> Vec<usize> {
     for s in 0..p {
         let mut visited = vec![false; p];
         let ok = try_augment(cells, p, s, &mut visited, &mut recv_of);
-        assert!(ok, "perfect matching must exist in a doubly balanced positive matrix");
+        assert!(
+            ok,
+            "perfect matching must exist in a doubly balanced positive matrix"
+        );
     }
     let mut send_to = vec![usize::MAX; p];
     for (r, s) in recv_of.iter().enumerate() {
@@ -263,14 +285,15 @@ pub fn greedy_shared_port_schedule(g: &Platform, edge_busy: &[BigInt]) -> (BigIn
         // Candidate starts: 0 and the ends of existing intervals at either
         // endpoint; take the earliest that fits both.
         let mut candidates: Vec<BigInt> = vec![BigInt::zero()];
-        for (_, end) in busy[er.src.index()].iter().chain(busy[er.dst.index()].iter()) {
+        for (_, end) in busy[er.src.index()]
+            .iter()
+            .chain(busy[er.dst.index()].iter())
+        {
             candidates.push(end.clone());
         }
         candidates.sort();
         let fits = |node: usize, start: &BigInt, end: &BigInt| {
-            busy[node]
-                .iter()
-                .all(|(s, t)| end <= s || start >= t)
+            busy[node].iter().all(|(s, t)| end <= s || start >= t)
         };
         let start = candidates
             .into_iter()
@@ -315,7 +338,9 @@ mod tests {
 
     fn line_platform(n: usize) -> Platform {
         let mut g = Platform::new();
-        let ids: Vec<_> = (0..n).map(|i| g.add_node(format!("P{i}"), Weight::from_int(1))).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_node(format!("P{i}"), Weight::from_int(1)))
+            .collect();
         for w in ids.windows(2) {
             g.add_duplex_edge(w[0], w[1], Ratio::one()).unwrap();
         }
@@ -422,11 +447,16 @@ mod tests {
         for seed in 0..6 {
             let mut rng = StdRng::seed_from_u64(300 + seed);
             let (g, _) = topo::random_connected(&mut rng, 7, 0.3, &topo::ParamRange::default());
-            let busy: Vec<BigInt> = (0..g.num_edges()).map(|_| big(rng.gen_range(0..15))).collect();
+            let busy: Vec<BigInt> = (0..g.num_edges())
+                .map(|_| big(rng.gen_range(0..15)))
+                .collect();
             let (makespan, starts) = greedy_shared_port_schedule(&g, &busy);
             let bound = shared_port_load_bound(&g, &busy);
             assert!(makespan >= bound, "seed {seed}");
-            assert!(makespan <= &big(2) * &bound, "seed {seed}: {makespan} > 2*{bound}");
+            assert!(
+                makespan <= &big(2) * &bound,
+                "seed {seed}: {makespan} > 2*{bound}"
+            );
             // Feasibility: per node, intervals must not overlap.
             for i in g.node_ids() {
                 let mut ivs: Vec<(BigInt, BigInt)> = g
@@ -440,7 +470,11 @@ mod tests {
                     .collect();
                 ivs.sort();
                 for w in ivs.windows(2) {
-                    assert!(w[0].1 <= w[1].0, "seed {seed}: overlap at node {}", i.index());
+                    assert!(
+                        w[0].1 <= w[1].0,
+                        "seed {seed}: overlap at node {}",
+                        i.index()
+                    );
                 }
             }
         }
@@ -483,7 +517,9 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
         let (g, _) = topo::clique(&mut rng, 5, &topo::ParamRange::default());
-        let busy: Vec<BigInt> = (0..g.num_edges()).map(|_| big(rng.gen_range(1..10))).collect();
+        let busy: Vec<BigInt> = (0..g.num_edges())
+            .map(|_| big(rng.gen_range(1..10)))
+            .collect();
         let d = decompose(&g, &busy);
         d.check(&g, &busy).unwrap();
     }

@@ -58,7 +58,10 @@ impl FixedPeriodPlan {
                 .map(|e| &Ratio::from(edge_msgs[e.id.index()].clone()) * e.c)
                 .sum();
             if send > period || recv > period {
-                return Err(format!("port overload at {} in fixed period", g.node(i).name));
+                return Err(format!(
+                    "port overload at {} in fixed period",
+                    g.node(i).name
+                ));
             }
         }
         Ok(())
@@ -86,7 +89,12 @@ pub fn master_slave_fixed_period(
         routed.push((p, count));
     }
     let achieved = &Ratio::from(per_period_tasks) / &period_r;
-    Ok(FixedPeriodPlan { period, paths: routed, achieved, optimum: sol.ntask.clone() })
+    Ok(FixedPeriodPlan {
+        period,
+        paths: routed,
+        achieved,
+        optimum: sol.ntask.clone(),
+    })
 }
 
 /// Sweep achieved throughput over a list of period lengths.

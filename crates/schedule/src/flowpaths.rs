@@ -51,10 +51,7 @@ pub fn master_slave_warmup(
 
 /// Warm-up bound for a sum-coupled collective solution: the longest routed
 /// path over all commodities.
-pub fn collective_warmup(
-    g: &Platform,
-    sol: &ss_core::CollectiveSolution,
-) -> Result<usize, String> {
+pub fn collective_warmup(g: &Platform, sol: &ss_core::CollectiveSolution) -> Result<usize, String> {
     let mut worst = 0;
     for (k, fk) in sol.flows.iter().enumerate() {
         let mut absorb = vec![Ratio::zero(); g.num_nodes()];
@@ -93,7 +90,10 @@ pub fn decompose_flow(
             continue;
         }
         let inn: Ratio = g.in_edges(i).map(|e| edge_flow[e.id.index()].clone()).sum();
-        let out: Ratio = g.out_edges(i).map(|e| edge_flow[e.id.index()].clone()).sum();
+        let out: Ratio = g
+            .out_edges(i)
+            .map(|e| edge_flow[e.id.index()].clone())
+            .sum();
         if inn != &absorption[i.index()] + &out {
             return Err(format!(
                 "flow not conserved at {}: in {} != absorbed {} + out {}",
@@ -110,13 +110,18 @@ pub fn decompose_flow(
     let mut paths = Vec::new();
 
     if absorb[source.index()].is_positive() {
-        paths.push(FlowPath { edges: Vec::new(), rate: absorb[source.index()].clone() });
+        paths.push(FlowPath {
+            edges: Vec::new(),
+            rate: absorb[source.index()].clone(),
+        });
         absorb[source.index()] = Ratio::zero();
     }
 
     // Extract source→sink paths while the source still emits.
     'outer: loop {
-        let emits = g.out_edges(source).any(|e| flow[e.id.index()].is_positive());
+        let emits = g
+            .out_edges(source)
+            .any(|e| flow[e.id.index()].is_positive());
         if !emits {
             break;
         }
@@ -138,7 +143,10 @@ pub fn decompose_flow(
                     flow[e.index()] -= &bottleneck;
                 }
                 absorb[u.index()] -= &bottleneck;
-                paths.push(FlowPath { edges: path_edges, rate: bottleneck });
+                paths.push(FlowPath {
+                    edges: path_edges,
+                    rate: bottleneck,
+                });
                 continue 'outer;
             }
             let next = g.out_edges(u).find(|e| flow[e.id.index()].is_positive());

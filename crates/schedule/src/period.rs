@@ -12,8 +12,8 @@
 //!   in the platform even when `T` is exponential.
 
 use crate::coloring::{decompose, Decomposition};
-use ss_core::{CollectiveSolution, MasterSlaveSolution};
 use ss_core::multicast::EdgeCoupling;
+use ss_core::{CollectiveSolution, MasterSlaveSolution};
 use ss_num::{BigInt, Ratio};
 use ss_platform::Platform;
 
@@ -92,7 +92,11 @@ pub fn reconstruct_master_slave(g: &Platform, sol: &MasterSlaveSolution) -> Peri
     let period = Ratio::lcm_of_denominators(denoms.iter());
 
     let edge_busy: Vec<BigInt> = sol.edge_time.iter().map(|s| scale(s, &period)).collect();
-    let edge_messages: Vec<BigInt> = sol.edge_task_rate.iter().map(|f| scale(f, &period)).collect();
+    let edge_messages: Vec<BigInt> = sol
+        .edge_task_rate
+        .iter()
+        .map(|f| scale(f, &period))
+        .collect();
     let node_work: Vec<BigInt> = consumption.iter().map(|c| scale(c, &period)).collect();
     let decomposition = decompose(g, &edge_busy);
 
@@ -112,7 +116,10 @@ pub fn reconstruct_master_slave(g: &Platform, sol: &MasterSlaveSolution) -> Peri
 /// Max-coupled solutions are rejected: §4.3 shows their bound need not be
 /// reconstructible (that impossibility is demonstrated by experiment
 /// `fig3`, not silently papered over here).
-pub fn reconstruct_collective(g: &Platform, sol: &CollectiveSolution) -> Result<PeriodicSchedule, String> {
+pub fn reconstruct_collective(
+    g: &Platform,
+    sol: &CollectiveSolution,
+) -> Result<PeriodicSchedule, String> {
     if sol.coupling == EdgeCoupling::Max {
         return Err(
             "max-coupled multicast bounds are not reconstructible in general (§4.3); \
@@ -218,8 +225,14 @@ mod tests {
             if i == master {
                 continue;
             }
-            let inn: BigInt = g.in_edges(i).map(|e| sched.edge_messages[e.id.index()].clone()).sum();
-            let out: BigInt = g.out_edges(i).map(|e| sched.edge_messages[e.id.index()].clone()).sum();
+            let inn: BigInt = g
+                .in_edges(i)
+                .map(|e| sched.edge_messages[e.id.index()].clone())
+                .sum();
+            let out: BigInt = g
+                .out_edges(i)
+                .map(|e| sched.edge_messages[e.id.index()].clone())
+                .sum();
             let work = sched.node_work[i.index()].clone();
             assert_eq!(inn, work + out, "node {}", g.node(i).name);
         }

@@ -105,8 +105,8 @@ pub fn total_time_bound(
     let m = optimal_m(n, &sched.throughput);
     let grouped = group(sched, startup, m.clone());
     let depth = Ratio::from(g.depth_from(master) as u64);
-    let warmcool = &(&Ratio::from(2u64) * &depth)
-        * &(&Ratio::from(m) * &Ratio::from(sched.period.clone()));
+    let warmcool =
+        &(&Ratio::from(2u64) * &depth) * &(&Ratio::from(m) * &Ratio::from(sched.period.clone()));
     let supers = (&Ratio::from(n) / &Ratio::from(grouped.tasks_per_super_period.clone())).ceil();
     &warmcool + &(&Ratio::from(supers) * &grouped.super_period)
 }

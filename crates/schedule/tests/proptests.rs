@@ -8,9 +8,7 @@ use rand::SeedableRng;
 use ss_core::master_slave;
 use ss_num::{BigInt, Ratio};
 use ss_platform::topo;
-use ss_schedule::coloring::{
-    decompose, greedy_shared_port_schedule, shared_port_load_bound,
-};
+use ss_schedule::coloring::{decompose, greedy_shared_port_schedule, shared_port_load_bound};
 use ss_schedule::{fixed_period, flowpaths, reconstruct_master_slave};
 
 proptest! {

@@ -107,12 +107,16 @@ pub fn realized_throughput(
         if !sched.node_work[i.index()].is_positive() {
             continue;
         }
-        let Some(w) = g_nominal.node(i).w.as_ratio() else { continue };
+        let Some(w) = g_nominal.node(i).w.as_ratio() else {
+            continue;
+        };
         let actual_w = w * &actual.w_mult[i.index()];
         let span = &Ratio::from(sched.node_work[i.index()].clone()) * &actual_w;
         compute_span = compute_span.max(span);
     }
-    let realized_period = comm_span.max(compute_span).max(Ratio::from(sched.period.clone()));
+    let realized_period = comm_span
+        .max(compute_span)
+        .max(Ratio::from(sched.period.clone()));
     &Ratio::from(sched.work_per_period()) / &realized_period
 }
 
@@ -161,7 +165,11 @@ pub fn simulate_policies(
         let omni_sol = master_slave::solve(&omni_platform, master)?;
         let omniscient_thr = omni_sol.ntask.clone();
 
-        reports.push(PhaseReport { static_thr, adaptive_thr, omniscient_thr });
+        reports.push(PhaseReport {
+            static_thr,
+            adaptive_thr,
+            omniscient_thr,
+        });
         prev_scale = actual.clone();
     }
     Ok(reports)

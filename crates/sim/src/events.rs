@@ -57,7 +57,10 @@ pub struct EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -70,7 +73,11 @@ impl<E> EventQueue<E> {
     /// Schedule `event` at `time`.
     pub fn push(&mut self, time: Ratio, event: E) {
         debug_assert!(!time.is_negative());
-        self.heap.push(Entry { time, seq: self.seq, event });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 
@@ -106,7 +113,10 @@ pub struct Port {
 
 impl Default for Port {
     fn default() -> Self {
-        Port { free_at: Ratio::zero(), busy_total: Ratio::zero() }
+        Port {
+            free_at: Ratio::zero(),
+            busy_total: Ratio::zero(),
+        }
     }
 }
 
@@ -125,7 +135,11 @@ impl Port {
     /// returns the actual `(start, end)`.
     pub fn reserve(&mut self, earliest: &Ratio, duration: &Ratio) -> (Ratio, Ratio) {
         assert!(!duration.is_negative(), "negative reservation");
-        let start = if &self.free_at > earliest { self.free_at.clone() } else { earliest.clone() };
+        let start = if &self.free_at > earliest {
+            self.free_at.clone()
+        } else {
+            earliest.clone()
+        };
         let end = &start + duration;
         self.free_at = end.clone();
         self.busy_total += duration;
@@ -157,7 +171,10 @@ mod tests {
     fn exact_rational_times() {
         let mut q = EventQueue::new();
         // 1/3 + 1/3 + 1/3 == 1 exactly; no epsilon issues.
-        q.push(&(&Ratio::new(1, 3) + &Ratio::new(1, 3)) + &Ratio::new(1, 3), "one");
+        q.push(
+            &(&Ratio::new(1, 3) + &Ratio::new(1, 3)) + &Ratio::new(1, 3),
+            "one",
+        );
         q.push(Ratio::one(), "also-one");
         let (t1, e1) = q.pop().unwrap();
         let (t2, _) = q.pop().unwrap();

@@ -45,7 +45,10 @@ impl PeriodicRun {
             return BigInt::zero();
         }
         let full = (k / &Ratio::from(self.period.clone())).floor();
-        let full = full.to_u64().unwrap_or(u64::MAX).min(self.per_period.len() as u64);
+        let full = full
+            .to_u64()
+            .unwrap_or(u64::MAX)
+            .min(self.per_period.len() as u64);
         self.per_period[..full as usize].iter().cloned().sum()
     }
 
@@ -159,9 +162,7 @@ pub fn simulate_collective(
     let plan_total: BigInt = targets
         .iter()
         .enumerate()
-        .map(|(ki, &t)| -> BigInt {
-            g.in_edges(t).map(|e| plan[ki][e.id.index()].clone()).sum()
-        })
+        .map(|(ki, &t)| -> BigInt { g.in_edges(t).map(|e| plan[ki][e.id.index()].clone()).sum() })
         .sum();
 
     let mut buffer = vec![vec![BigInt::zero(); n]; k];
@@ -284,10 +285,7 @@ pub fn simulate_tree_packing(
                     }
                     // Interior nodes (and targets that also relay) buffer a
                     // copy for next period's forwarding.
-                    let relays_further = tree
-                        .edges
-                        .iter()
-                        .any(|&e| g.edge(e).src == ch);
+                    let relays_further = tree.edges.iter().any(|&e| g.edge(e).src == ch);
                     if relays_further {
                         arrivals[ti][ch.index()] += &have;
                     }
@@ -334,7 +332,10 @@ mod tests {
         // an arbitrary LP optimum need not produce).
         let warmup = ss_schedule::flowpaths::master_slave_warmup(&g, m, &sol).unwrap();
         let steady = run.steady_after.expect("must reach steady state");
-        assert!(steady <= warmup, "steady after {steady} > warmup bound {warmup}");
+        assert!(
+            steady <= warmup,
+            "steady after {steady} > warmup bound {warmup}"
+        );
         assert!(warmup < g.num_nodes());
         // Once steady, every period delivers the plan.
         for p in steady..20 {
@@ -400,7 +401,10 @@ mod tests {
             let run = simulate_master_slave(&g, m, &sched, 30);
             let steady = run.steady_after.expect("steady state");
             let warmup = ss_schedule::flowpaths::master_slave_warmup(&g, m, &sol).unwrap();
-            assert!(steady <= warmup, "seed {seed}: steady {steady} > warmup {warmup}");
+            assert!(
+                steady <= warmup,
+                "seed {seed}: steady {steady} > warmup {warmup}"
+            );
             assert_eq!(run.per_period.last().unwrap(), &run.plan_per_period);
         }
     }
@@ -418,7 +422,10 @@ mod tests {
             let run = simulate_collective(&g, root, &targets, &sol.flows, &sched, 25);
             let steady = run.steady_after.expect("steady state");
             let warmup = ss_schedule::flowpaths::collective_warmup(&g, &sol).unwrap();
-            assert!(steady <= warmup, "seed {seed}: steady {steady} > warmup {warmup}");
+            assert!(
+                steady <= warmup,
+                "seed {seed}: steady {steady} > warmup {warmup}"
+            );
             // Per-period plan = TP * T * #targets.
             let plan = &(&sol.throughput * &Ratio::from(sched.period.clone()))
                 * &Ratio::from(targets.len());

@@ -39,7 +39,10 @@ pub struct PortLog {
 
 impl PortLog {
     fn new(n: usize) -> PortLog {
-        PortLog { send: vec![Vec::new(); n], recv: vec![Vec::new(); n] }
+        PortLog {
+            send: vec![Vec::new(); n],
+            recv: vec![Vec::new(); n],
+        }
     }
 
     /// Check that no port ever holds two overlapping reservations.
@@ -88,7 +91,11 @@ pub fn execute_rounds(g: &Platform, sched: &PeriodicSchedule, periods: usize) ->
             let end = &t + &dur;
             for &e in &round.transfers {
                 let er = g.edge(e);
-                let r = Reservation { edge: e, start: t.clone(), end: end.clone() };
+                let r = Reservation {
+                    edge: e,
+                    start: t.clone(),
+                    end: end.clone(),
+                };
                 log.send[er.src.index()].push(r.clone());
                 log.recv[er.dst.index()].push(r);
             }
@@ -149,7 +156,10 @@ mod tests {
         let log = execute_and_verify(&g, &sched, 3).expect("event-level model compliance");
         // Port busy fractions match the LP activities exactly.
         for i in g.node_ids() {
-            let lp_out: Ratio = g.out_edges(i).map(|e| sol.edge_time[e.id.index()].clone()).sum();
+            let lp_out: Ratio = g
+                .out_edges(i)
+                .map(|e| sol.edge_time[e.id.index()].clone())
+                .sum();
             let horizon = &Ratio::from(sched.period.clone()) * &Ratio::from_int(3);
             assert_eq!(log.send_busy(i), &lp_out * &horizon);
         }

@@ -22,7 +22,9 @@ fn main() {
     // P1-P3 link congests, then everything returns to nominal.
     let nominal = ParamScale::nominal(&g);
     let p2 = g.find_node("P2").unwrap();
-    let p1p3 = g.edge_between(g.find_node("P1").unwrap(), g.find_node("P3").unwrap()).unwrap();
+    let p1p3 = g
+        .edge_between(g.find_node("P1").unwrap(), g.find_node("P3").unwrap())
+        .unwrap();
     let phases = vec![
         nominal.clone(),
         nominal.clone(),
@@ -54,7 +56,12 @@ fn main() {
     let a = mean_throughput(&reports, |r| &r.adaptive_thr);
     let o = mean_throughput(&reports, |r| &r.omniscient_thr);
     println!("------+----------+----------+-----------");
-    println!(" mean | {:8.4} | {:8.4} | {:8.4}", s.to_f64(), a.to_f64(), o.to_f64());
+    println!(
+        " mean | {:8.4} | {:8.4} | {:8.4}",
+        s.to_f64(),
+        a.to_f64(),
+        o.to_f64()
+    );
     println!(
         "\nadaptive recovers {:.1}% of the omniscient throughput; static only {:.1}%.",
         100.0 * (&a / &o).to_f64(),

@@ -22,7 +22,11 @@ use steadystate::sim::simulate_master_slave;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2004);
-    let params = topo::ParamRange { w_range: (2, 8), c_range: (1, 2), max_denominator: 1 };
+    let params = topo::ParamRange {
+        w_range: (2, 8),
+        c_range: (1, 2),
+        max_denominator: 1,
+    };
     let (g, master) = topo::two_level_clusters(&mut rng, 3, 4, 8, &params);
     println!(
         "Platform: {} nodes ({} routers with w = +inf), {} links",
@@ -35,8 +39,16 @@ fn main() {
     let sol = master_slave::solve(&g, master).expect("SSMS solves");
     let sched = reconstruct_master_slave(&g, &sol);
     sched.check(&g).expect("valid schedule");
-    println!("\nSteady-state LP: ntask(G) = {} ≈ {:.4} tasks/unit", sol.ntask, sol.ntask.to_f64());
-    println!("period T = {}, {} tasks/period", sched.period, sched.work_per_period());
+    println!(
+        "\nSteady-state LP: ntask(G) = {} ≈ {:.4} tasks/unit",
+        sol.ntask,
+        sol.ntask.to_f64()
+    );
+    println!(
+        "period T = {}, {} tasks/period",
+        sched.period,
+        sched.work_per_period()
+    );
 
     let horizon_periods = 40usize;
     let run = simulate_master_slave(&g, master, &sched, horizon_periods);
@@ -52,10 +64,20 @@ fn main() {
     // Baselines on the same horizon: give each the same wall-clock K and
     // count completions. A pool of 2·K·ntask tasks is inexhaustible within
     // K for any schedule (nothing can beat the LP rate).
-    let n_big = (&(&k * &sol.ntask) * &Ratio::from_int(2)).ceil().to_u64().unwrap();
+    let n_big = (&(&k * &sol.ntask) * &Ratio::from_int(2))
+        .ceil()
+        .to_u64()
+        .unwrap();
     println!("\nWithin the same K = {k} time units (pool of {n_big} tasks):");
-    println!("  steady-state periodic : {} tasks", run.completed_within(&k));
-    for order in [ServiceOrder::Fifo, ServiceOrder::RoundRobin, ServiceOrder::BandwidthCentric] {
+    println!(
+        "  steady-state periodic : {} tasks",
+        run.completed_within(&k)
+    );
+    for order in [
+        ServiceOrder::Fifo,
+        ServiceOrder::RoundRobin,
+        ServiceOrder::BandwidthCentric,
+    ] {
         let out = simulate_tree_greedy(&g, master, n_big, order).expect("tree platform");
         println!("  greedy {:16?}: {} tasks", order, out.completed_by(&k));
     }

@@ -23,11 +23,19 @@ fn main() {
     let (lo, hi) = multicast::bounds(&g, source, &targets).expect("LPs solve");
 
     println!("max-coupled LP bound (optimistic): TP = {}", hi.throughput);
-    assert_eq!(hi.throughput, Ratio::one(), "the paper's bound is exactly 1");
+    assert_eq!(
+        hi.throughput,
+        Ratio::one(),
+        "the paper's bound is exactly 1"
+    );
 
     // Figure 3(a)/(b): per-edge flows for each target.
     for (k, &t) in targets.iter().enumerate() {
-        println!("\nFlows of messages targeting {} (Fig. 3{})", g.node(t).name, ['a', 'b'][k]);
+        println!(
+            "\nFlows of messages targeting {} (Fig. 3{})",
+            g.node(t).name,
+            ['a', 'b'][k]
+        );
         for e in g.edges() {
             let f = &hi.flows[k][e.id.index()];
             if !f.is_zero() {
@@ -41,7 +49,12 @@ fn main() {
     for e in g.edges() {
         let total = hi.total_edge_rate(e.id);
         if !total.is_zero() {
-            println!("  {} → {}: {}", g.node(e.src).name, g.node(e.dst).name, total);
+            println!(
+                "  {} → {}: {}",
+                g.node(e.src).name,
+                g.node(e.dst).name,
+                total
+            );
         }
     }
 
@@ -65,13 +78,20 @@ fn main() {
     println!("  a real schedule needs ({f5} + {f6}) · {c} = {real}  (> 1: impossible!)");
     assert!(real > Ratio::one());
 
-    println!("\nachievable sum-coupled LP (treat the multicast as a scatter): TP = {}", lo.throughput);
+    println!(
+        "\nachievable sum-coupled LP (treat the multicast as a scatter): TP = {}",
+        lo.throughput
+    );
     assert!(lo.throughput < hi.throughput);
 
     // Between the two: fractional tree packing (achievable, reconstructible).
     let pack = steadystate::core::multicast_trees::solve_tree_packing(&g, source, &targets)
         .expect("packing solves");
-    println!("fractional tree packing over {} trees: TP = {} — achieved:", pack.trees.len(), pack.rate);
+    println!(
+        "fractional tree packing over {} trees: TP = {} — achieved:",
+        pack.trees.len(),
+        pack.rate
+    );
     for (t, x) in &pack.trees {
         let edges: Vec<String> = t
             .edges

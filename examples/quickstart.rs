@@ -13,12 +13,19 @@ use steadystate::sim::simulate_master_slave;
 fn main() {
     // The 6-processor platform of Figure 1, master P1.
     let (g, master) = paper::fig1();
-    println!("Platform: {} nodes, {} directed links", g.num_nodes(), g.num_edges());
+    println!(
+        "Platform: {} nodes, {} directed links",
+        g.num_nodes(),
+        g.num_edges()
+    );
     println!("{}", g.to_dot());
 
     // §3.1 — the SSMS linear program: maximize sum(alpha_i / w_i).
     let sol = master_slave::solve(&g, master).expect("SSMS LP solves");
-    println!("Optimal steady-state throughput ntask(G) = {} tasks/time-unit", sol.ntask);
+    println!(
+        "Optimal steady-state throughput ntask(G) = {} tasks/time-unit",
+        sol.ntask
+    );
     println!("  (≈ {:.4} in floating point)", sol.ntask.to_f64());
     for n in g.nodes() {
         println!(
@@ -48,7 +55,11 @@ fn main() {
                 format!("{}→{}", g.node(er.src).name, g.node(er.dst).name)
             })
             .collect();
-        println!("  round {i}: {} time units, transfers [{}]", round.duration, names.join(", "));
+        println!(
+            "  round {i}: {} time units, transfers [{}]",
+            round.duration,
+            names.join(", ")
+        );
     }
 
     // Execute the schedule and watch the pipeline fill.

@@ -27,12 +27,18 @@ fn main() {
         g.num_nodes(),
         g.num_edges(),
         g.node(source).name,
-        targets.iter().map(|&t| g.node(t).name.to_string()).collect::<Vec<_>>(),
+        targets
+            .iter()
+            .map(|&t| g.node(t).name.to_string())
+            .collect::<Vec<_>>(),
     );
 
     // §3.2 — the SSPS LP.
     let sol = scatter::solve(&g, source, &targets).expect("SSPS solves");
-    println!("\nsteady-state scatter throughput TP = {} ops/time-unit", sol.throughput);
+    println!(
+        "\nsteady-state scatter throughput TP = {} ops/time-unit",
+        sol.throughput
+    );
 
     // How each target's messages are routed (possibly multi-path!).
     for (k, &t) in targets.iter().enumerate() {
@@ -40,7 +46,12 @@ fn main() {
         for e in g.edges() {
             let f = &sol.flows[k][e.id.index()];
             if !f.is_zero() {
-                println!("  {} → {} carries {}", g.node(e.src).name, g.node(e.dst).name, f);
+                println!(
+                    "  {} → {} carries {}",
+                    g.node(e.src).name,
+                    g.node(e.dst).name,
+                    f
+                );
             }
         }
     }
@@ -65,6 +76,9 @@ fn main() {
     let flat = flat_tree_scatter_rate(&g, source, &targets).expect("reachable");
     println!("\nflat-tree scatter rate: {} ops/time-unit", flat);
     let gain = &sol.throughput / &flat;
-    println!("steady-state gain over the fixed tree: ×{:.3}", gain.to_f64());
+    println!(
+        "steady-state gain over the fixed tree: ×{:.3}",
+        gain.to_f64()
+    );
     assert!(sol.throughput >= flat);
 }

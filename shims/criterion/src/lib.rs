@@ -1,0 +1,346 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! Implements the API subset the workspace bench targets use — `Criterion`,
+//! `benchmark_group` (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring wall-clock
+//! time with adaptive iteration batching. No statistical machinery: each
+//! benchmark reports min/mean/max over the sample set, printed as a table
+//! and optionally recorded via [`Criterion::write_json_summary`].
+//!
+//! Honors `CRITERION_SAMPLE_MS` (target milliseconds per sample, default 20)
+//! so CI can dial total bench time.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a benchmarked
+/// computation whose result is unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Samples measured.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(f64, f64, f64, usize, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fill the per-sample budget?
+        let budget = Duration::from_millis(
+            std::env::var("CRITERION_SAMPLE_MS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(20),
+        );
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0, f64::max);
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.result = Some((mean, min, max, samples_ns.len(), iters));
+    }
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, None, id.to_string(), 10, f);
+        self
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the final table (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!(
+            "\n{:<44} {:>12} {:>12} {:>12}",
+            "benchmark", "mean", "min", "max"
+        );
+        for r in &self.results {
+            println!(
+                "{:<44} {:>12} {:>12} {:>12}",
+                r.id,
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns)
+            );
+        }
+    }
+
+    /// Write all recorded results as a JSON array to `path`.
+    ///
+    /// Workspace extension (not in upstream criterion): bench targets use
+    /// this to persist machine-readable results next to the repo's other
+    /// recorded experiment outputs.
+    pub fn write_json_summary(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut s = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                s,
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                r.id.replace('\\', "\\\\").replace('"', "\\\""),
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                r.iters_per_sample
+            );
+            s.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("]\n");
+        std::fs::write(path, s)
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchId,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            self.c,
+            Some(&self.name),
+            id.into_bench_id(),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(self.c, Some(&self.name), id.id, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; we print as we go).
+    pub fn finish(&mut self) {}
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchId {
+    /// The path-component string for this id.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &mut Criterion,
+    group: Option<&str>,
+    id: String,
+    sample_size: usize,
+    mut f: F,
+) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id,
+    };
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    let (mean, min, max, samples, iters) =
+        b.result.expect("benchmark closure must call Bencher::iter");
+    println!(
+        "bench {full_id:<42} mean {:>12}  ({samples} samples x {iters} iters)",
+        fmt_ns(mean)
+    );
+    c.results.push(BenchResult {
+        id: full_id,
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples,
+        iters_per_sample: iters,
+    });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+                b.iter(|| (0..n).product::<u64>())
+            });
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 3);
+        assert_eq!(c.results()[0].id, "g/sum");
+        assert_eq!(c.results()[1].id, "g/scaled/4");
+        assert!(c.results().iter().all(|r| r.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn json_summary_roundtrips_shape() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("x", |b| b.iter(|| black_box(2 * 2)));
+        let dir = std::env::temp_dir().join("criterion_shim_test.json");
+        c.write_json_summary(&dir).unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.contains("\"id\": \"x\""));
+        let _ = std::fs::remove_file(dir);
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//!   header) running each test body over `cases` sampled inputs,
+//! * integer range strategies (`lo..hi`, `lo..=hi`), [`any`] for primitive
+//!   types, tuple strategies, string-regex strategies (a generative subset:
+//!   literals, `[...]` classes, `?`, `{m}`, `{m,n}`), and
+//!   [`collection::vec`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from upstream, deliberate for an offline shim: no shrinking
+//! (failures report the raw sampled inputs), and rejected cases
+//! (`prop_assume!`) are retried up to a bounded factor rather than tracked
+//! by a global rejection budget. Sampling is deterministic per test name
+//! unless `PROPTEST_SEED` overrides it.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Re-exported so the generated test bodies can name the rng type.
+pub use rand as rand_crate;
+
+/// What a single sampled case reported.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard the case, draw another.
+    Reject,
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// Resolve the effective case count (`PROPTEST_CASES` overrides).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Deterministic per-test RNG; `PROPTEST_SEED` overrides the base seed.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5ee0_5ee0_5ee0_5ee0);
+    // FNV-1a over the test name so each test gets its own stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(base ^ h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128, u128);
+
+/// Full-range strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy over a type's whole value space (primitives only).
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+// ------------------------------ string regex -------------------------------
+
+/// `&str` strategies are generative regexes (subset: literal characters,
+/// `[...]` classes with ranges, and `?` / `{m}` / `{m,n}` quantifiers).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_regex(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out: Vec<Quantified> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated class in regex strategy `{pattern}`"
+                );
+                i += 1; // past ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(
+                    i < chars.len(),
+                    "trailing backslash in regex strategy `{pattern}`"
+                );
+                let c = chars[i];
+                i += 1;
+                match c {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    other => Atom::Literal(other),
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier in regex strategy")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for q in parse_regex(pattern) {
+        let reps = rng.gen_range(q.min..=q.max);
+        for _ in 0..reps {
+            match &q.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    out.push(
+                        char::from_u32(rng.gen_range(lo as u32..=hi as u32)).expect("char range"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs, in one glob import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// Mirror of upstream's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property body; failure reports the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(0i64..5, 3)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut ran: u32 = 0;
+                let mut rejected: u64 = 0;
+                // Bounded rejection budget, like upstream (factor 256).
+                let max_rejects = (cases as u64) * 256;
+                while ran < cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => { ran += 1; }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            if rejected > max_rejects {
+                                panic!(
+                                    "proptest `{}`: too many prop_assume! rejections ({rejected})",
+                                    stringify!($name)
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed after {} cases: {}\ninputs: {:#?}",
+                                stringify!($name),
+                                ran,
+                                msg,
+                                ($(&$arg,)*)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_samples_match_shape() {
+        let mut rng = crate::test_rng("regex_shape");
+        for _ in 0..200 {
+            let s = crate::sample_regex("-?[1-9][0-9]{0,3}", &mut rng);
+            let body = s.strip_prefix('-').unwrap_or(&s);
+            assert!(!body.is_empty() && body.len() <= 4);
+            assert!(!body.starts_with('0'));
+            assert!(body.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 3i64..9, v in prop::collection::vec(0u32..5, 1..4), b in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            // Exercise the reject path on roughly half the cases.
+            prop_assume!(b);
+        }
+
+        #[test]
+        fn tuples_sample(pair in (0i64..5, 1i64..6)) {
+            prop_assert!(pair.0 < 5 && pair.1 >= 1);
+        }
+    }
+
+    // Defined without `#[test]` so the harness doesn't run it directly; the
+    // `#[should_panic]` wrapper below exercises the failure path.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        fn always_fails(x in 0u8..10) {
+            prop_assert!(x > 200, "x was {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failure_reports_inputs() {
+        always_fails();
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *small* slice of the `rand 0.8` API its sources
+//! actually use — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen_range, gen_bool}` over integer ranges, and
+//! `seq::SliceRandom::shuffle` — implemented on top of a deterministic
+//! xoshiro256** generator.
+//!
+//! Determinism notes: all platform generators and property tests in this
+//! workspace only rely on *reproducibility for a fixed seed within one
+//! build*, never on matching the upstream `StdRng` stream, so a different
+//! (but stable) PRNG is a faithful substitute.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core randomness source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-width byte array upstream; mirrored here).
+    type Seed;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` via splitmix64 expansion (the upstream contract:
+    /// distinct `u64` seeds give independent streams).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive integer ranges).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        // 53 uniform mantissa bits, exactly representable in f64.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one sample; panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                let draw = draw_u128(rng) % width;
+                ((self.start as $wide as u128).wrapping_add(draw)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let width = (hi as $wide).wrapping_sub(lo as $wide) as u128;
+                if width == u128::MAX {
+                    return draw_u128(rng) as $t;
+                }
+                let draw = draw_u128(rng) % (width + 1);
+                ((lo as $wide as u128).wrapping_add(draw)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize, u128 => u128,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128,
+);
+
+fn draw_u128<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s.iter().all(|&x| x == 0) {
+                s = [1, 2, 3, 4]; // xoshiro must not start at the all-zero state
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> StdRng {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = StdRng::splitmix64(&mut sm);
+            }
+            if s.iter().all(|&x| x == 0) {
+                s = [1, 2, 3, 4];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0..u64::MAX)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0..u64::MAX)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&x));
+            let y = rng.gen_range(1i64..=3);
+            assert!((1..=3).contains(&y));
+            let z = rng.gen_range(0usize..9);
+            assert!(z < 9);
+            let w = rng.gen_range(-(1i128 << 100)..(1i128 << 100));
+            assert!((-(1i128 << 100)..(1i128 << 100)).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}
