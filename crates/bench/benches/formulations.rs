@@ -9,8 +9,10 @@
 use criterion::{criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ss_core::engine::Formulation;
 use ss_core::multicast::EdgeCoupling;
 use ss_core::{all_to_all, broadcast, dag, master_slave, multicast, reduce, scatter};
+use ss_lp::KernelChoice;
 use ss_num::Ratio;
 use ss_platform::{paper, topo};
 
@@ -123,7 +125,66 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_formulations, bench_backends);
+/// Dense tableau vs sparse revised simplex on identical `f64` instances:
+/// the kernel pairing per formulation, recorded alongside the backend
+/// pairing (the `repro -- lp-scale` sweep additionally writes its own
+/// machine-readable copy to `BENCH_lp_sparse.json`).
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (g, root) = topo::random_connected(&mut rng, 8, 0.3, &topo::ParamRange::default());
+    let mut tg = dag::TaskGraph::diamond();
+    tg.pin_task(dag::TaskId(0), root);
+
+    let mut group = c.benchmark_group("lp_kernels");
+    group.sample_size(10);
+
+    let ms = master_slave::MasterSlave::new(root);
+    let (ms_prob, _) = ms.build(&g).unwrap();
+    group.bench_function("master_slave/dense", |b| {
+        b.iter(|| ms_prob.solve_kernel::<f64>(KernelChoice::Dense).unwrap())
+    });
+    group.bench_function("master_slave/sparse", |b| {
+        b.iter(|| ms_prob.solve_kernel::<f64>(KernelChoice::Sparse).unwrap())
+    });
+
+    let a2a = all_to_all::AllToAll::new();
+    let (a2a_prob, _) = a2a.build(&g).unwrap();
+    group.bench_function("all_to_all/dense", |b| {
+        b.iter(|| a2a_prob.solve_kernel::<f64>(KernelChoice::Dense).unwrap())
+    });
+    group.bench_function("all_to_all/sparse", |b| {
+        b.iter(|| a2a_prob.solve_kernel::<f64>(KernelChoice::Sparse).unwrap())
+    });
+
+    let dagf = dag::DagCollection { dag: &tg };
+    let (dag_prob, _) = dagf.build(&g).unwrap();
+    group.bench_function("dag/dense", |b| {
+        b.iter(|| dag_prob.solve_kernel::<f64>(KernelChoice::Dense).unwrap())
+    });
+    group.bench_function("dag/sparse", |b| {
+        b.iter(|| dag_prob.solve_kernel::<f64>(KernelChoice::Sparse).unwrap())
+    });
+
+    let div = ss_core::divisible::Divisible::new(root);
+    let (div_prob, _) = div.build(&g).unwrap();
+    group.bench_function("divisible/dense", |b| {
+        b.iter(|| div_prob.solve_kernel::<f64>(KernelChoice::Dense).unwrap())
+    });
+    group.bench_function("divisible/sparse", |b| {
+        b.iter(|| div_prob.solve_kernel::<f64>(KernelChoice::Sparse).unwrap())
+    });
+
+    // Sanity-anchor the pairing itself: both kernels agree on each
+    // instance (the bench must never record a speedup for a wrong answer).
+    for prob in [&ms_prob, &a2a_prob, &dag_prob, &div_prob] {
+        let d = prob.solve_kernel::<f64>(KernelChoice::Dense).unwrap();
+        let s = prob.solve_kernel::<f64>(KernelChoice::Sparse).unwrap();
+        assert!((d.objective() - s.objective()).abs() <= 1e-6 * (1.0 + d.objective().abs()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulations, bench_backends, bench_kernels);
 
 fn main() {
     let mut c = Criterion::default();

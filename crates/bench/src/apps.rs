@@ -67,7 +67,19 @@ pub fn divisible() {
     let (g, m) = topo::star(&mut rng, 7, &params);
     let plan = ss_core::divisible::single_round_bandwidth_order(&g, m).expect("DLT plan");
     plan.check(&g, m).expect("valid plan");
-    let rate = ss_core::divisible::steady_state_rate(&g, m).expect("SSMS rate");
+    // The ported engine formulation: exact certified rate, f64 cross-check
+    // riding along for free.
+    let cc = ss_core::engine::cross_check(&ss_core::divisible::Divisible::new(m), &g, 1e-6, |s| {
+        s.rate.clone()
+    })
+    .expect("divisible backends agree");
+    let rate = cc.exact.rate.clone();
+    println!(
+        "backends: exact rate {} vs f64 {:.6} (|Δ| = {:.1e}, duality-certified)",
+        rate,
+        cc.approx.objective_f64(),
+        cc.abs_error
+    );
     println!(
         "star with {} workers; single-round unit makespan = {} (~{:.4}); steady-state rate = {} (fluid unit time {:.4})",
         g.num_nodes() - 1,

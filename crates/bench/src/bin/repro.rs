@@ -4,18 +4,43 @@
 //! cargo run --release -p ss-bench --bin repro -- list
 //! cargo run --release -p ss-bench --bin repro -- fig1 fig3
 //! cargo run --release -p ss-bench --bin repro -- all
+//! cargo run --release -p ss-bench --bin repro -- --kernel=dense lp-scale
 //! ```
+//!
+//! `--kernel=auto|dense|sparse` pins the LP pivoting engine for every
+//! solve in the run (default `auto`: sparse revised simplex for f64,
+//! dense tableau for exact rationals).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let registry = ss_bench::registry();
+
+    args.retain(|a| match a.strip_prefix("--kernel=") {
+        Some(k) => {
+            let choice = match k {
+                "auto" => ss_lp::KernelChoice::Auto,
+                "dense" => ss_lp::KernelChoice::Dense,
+                "sparse" => ss_lp::KernelChoice::Sparse,
+                other => {
+                    eprintln!("unknown kernel `{other}`; use auto|dense|sparse");
+                    std::process::exit(2);
+                }
+            };
+            ss_lp::set_default_kernel(choice);
+            false
+        }
+        None => true,
+    });
 
     if args.is_empty()
         || args
             .iter()
             .any(|a| a == "list" || a == "--help" || a == "-h")
     {
-        println!("usage: repro <experiment-id>... | all | list\n\navailable experiments:");
+        println!(
+            "usage: repro [--kernel=auto|dense|sparse] <experiment-id>... | all | list\n\n\
+             available experiments:"
+        );
         for (id, _) in &registry {
             println!("  {id}");
         }

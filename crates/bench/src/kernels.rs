@@ -1,0 +1,180 @@
+//! Dense-tableau vs sparse-revised-simplex kernel comparisons.
+//!
+//! Two consumers:
+//!
+//! * [`formulation_pairings`] times every steady-state formulation's `f64`
+//!   solve on both kernels (identical instances) — the per-formulation
+//!   half of `BENCH_lp_sparse.json`, written by the `lp-scale` sweep.
+//! * [`kernel_smoke`] is the CI guard: small platforms, all four
+//!   backend × kernel combinations, hard agreement asserts. A kernel
+//!   regression fails the workflow here instead of surfacing as a bench
+//!   curiosity.
+
+use crate::table::{banner, print_table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ss_core::divisible::Divisible;
+use ss_core::master_slave::MasterSlave;
+use ss_core::multicast::EdgeCoupling;
+use ss_core::{all_to_all, broadcast, dag, engine, master_slave, multicast, reduce, scatter};
+use ss_lp::KernelChoice;
+use ss_num::Ratio;
+use ss_platform::{paper, topo};
+use std::time::Instant;
+
+/// One formulation's dense-vs-sparse timing on an identical instance.
+pub struct KernelPairing {
+    /// Formulation name.
+    pub name: &'static str,
+    /// Median wall-clock per `f64` solve on the dense tableau (ms).
+    pub dense_ms: f64,
+    /// Median wall-clock per `f64` solve on the sparse revised simplex (ms).
+    pub sparse_ms: f64,
+}
+
+impl KernelPairing {
+    /// `dense / sparse` (>1 means the sparse kernel wins).
+    pub fn speedup(&self) -> f64 {
+        self.dense_ms / self.sparse_ms
+    }
+}
+
+/// Median wall-clock of `runs` invocations, in milliseconds.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Time one closure under each kernel via the process-default switch (the
+/// same mechanism `repro --kernel=...` uses), restoring the caller's
+/// default after — a user-pinned `--kernel=...` must keep holding for the
+/// experiments that run after this pairing.
+fn pair(name: &'static str, mut solve: impl FnMut()) -> KernelPairing {
+    const RUNS: usize = 5;
+    let prior = ss_lp::default_kernel();
+    ss_lp::set_default_kernel(KernelChoice::Dense);
+    let dense_ms = median_ms(RUNS, &mut solve);
+    ss_lp::set_default_kernel(KernelChoice::Sparse);
+    let sparse_ms = median_ms(RUNS, &mut solve);
+    ss_lp::set_default_kernel(prior);
+    KernelPairing {
+        name,
+        dense_ms,
+        sparse_ms,
+    }
+}
+
+/// Dense-vs-sparse `f64` timings for every formulation on its reference
+/// platform (the same instances the `formulations` Criterion bench uses).
+pub fn formulation_pairings() -> Vec<KernelPairing> {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (g, root) = topo::random_connected(&mut rng, 8, 0.3, &topo::ParamRange::default());
+    let targets = topo::pick_targets(&mut rng, &g, root, 3);
+    let (fig2, src2, targets2) = paper::fig2_multicast();
+    let mut tg = dag::TaskGraph::diamond();
+    tg.pin_task(dag::TaskId(0), root);
+
+    let mut rng6 = StdRng::seed_from_u64(42);
+    let (g6, _) = topo::random_connected(&mut rng6, 6, 0.3, &topo::ParamRange::default());
+
+    vec![
+        pair("ssms", || {
+            master_slave::solve_approx(&g, root).unwrap();
+        }),
+        pair("scatter", || {
+            scatter::solve_approx(&g, root, &targets).unwrap();
+        }),
+        pair("multicast-sum", || {
+            multicast::solve_approx(&fig2, src2, &targets2, EdgeCoupling::Sum).unwrap();
+        }),
+        pair("multicast-max", || {
+            multicast::solve_approx(&fig2, src2, &targets2, EdgeCoupling::Max).unwrap();
+        }),
+        pair("broadcast", || {
+            broadcast::solve_approx(&g, root).unwrap();
+        }),
+        pair("reduce", || {
+            reduce::solve_approx(&g, root).unwrap();
+        }),
+        pair("all-to-all", || {
+            all_to_all::solve_approx(&g6).unwrap();
+        }),
+        pair("dag", || {
+            dag::solve_approx(&g, &tg).unwrap();
+        }),
+        pair("divisible", || {
+            engine::solve_approx(&Divisible::new(root), &g).unwrap();
+        }),
+    ]
+}
+
+/// Print a pairing table (used by the `lp-scale` experiment).
+pub fn print_pairings(pairs: &[KernelPairing]) {
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                format!("{:.3}", p.dense_ms),
+                format!("{:.3}", p.sparse_ms),
+                format!("{:.2}x", p.speedup()),
+            ]
+        })
+        .collect();
+    print_table(&["formulation", "dense ms", "sparse ms", "speedup"], &rows);
+}
+
+/// CI smoke: both kernels × both backends on small platforms, with hard
+/// agreement asserts (`repro -- kernel-smoke`; wired into the workflow).
+pub fn kernel_smoke() {
+    banner(
+        "kernel-smoke",
+        "kernel regression guard — dense vs sparse on both backends, small p",
+    );
+    let mut rows = Vec::new();
+    for p in [4usize, 8, 12] {
+        let mut rng = StdRng::seed_from_u64(7000 + p as u64);
+        let (g, m) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let f = MasterSlave::new(m);
+
+        // f64: dense vs sparse within tolerance.
+        let (dense, sparse) = engine::kernel_cross_check(&f, &g, crate::scale::BACKEND_TOLERANCE)
+            .expect("f64 kernels agree");
+
+        // Exact: identical rationals, certificate from the engine.
+        let exact = engine::solve(&f, &g).expect("exact dense solve");
+        let sparse_exact = engine::solve_backend_kernel::<Ratio, _>(&f, &g, KernelChoice::Sparse)
+            .expect("exact sparse solve");
+        assert_eq!(
+            &exact.ntask,
+            sparse_exact.objective(),
+            "p={p}: sparse-exact disagrees with the certified optimum"
+        );
+        let err = (exact.ntask.to_f64() - sparse.objective_f64()).abs();
+        assert!(
+            err <= crate::scale::BACKEND_TOLERANCE,
+            "p={p}: f64 sparse drifts from exact by {err:.3e}"
+        );
+
+        // The ported divisible formulation rides the same guard.
+        engine::kernel_cross_check(&Divisible::new(m), &g, crate::scale::BACKEND_TOLERANCE)
+            .expect("divisible kernels agree");
+
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.6}", dense.objective_f64()),
+            format!("{:.6}", sparse.objective_f64()),
+            exact.ntask.to_string(),
+            format!("{:.1e}", err),
+        ]);
+    }
+    print_table(&["p", "dense f64", "sparse f64", "exact", "|Δ|"], &rows);
+    println!("all kernel/backends agree (asserted; a disagreement panics and fails CI).");
+}

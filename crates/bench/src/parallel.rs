@@ -1,0 +1,82 @@
+//! Scoped-thread parallel runner for embarrassingly parallel sweeps.
+//!
+//! The `ss-bench` sweeps iterate independent (platform, seed) points —
+//! separate platforms, separate LPs, no shared state — so they scale
+//! linearly with cores. [`par_map`] fans a work list over a
+//! `std::thread::scope` pool (no dependencies, no global executor) and
+//! returns results in input order. A panic in any worker (a failed
+//! cross-check assertion, say) propagates to the caller when the scope
+//! joins, so sweep guards still fail the run loudly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on up to `available_parallelism` scoped threads,
+/// preserving input order. Falls back to a plain sequential map for empty
+/// or single-item inputs (and when the machine reports one core).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot is locked exactly once by exactly one worker; the atomic
+    // cursor hands out indices.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("slot taken twice");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker skipped a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(items, |i| i * 3);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(Vec::<usize>::new(), |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(vec![41], |i| i + 1), vec![42]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _ = par_map(vec![1, 2, 3], |i| {
+            assert!(i < 3, "sweep guard fired");
+            i
+        });
+    }
+}

@@ -2,82 +2,211 @@
 //! scaling (§4.1). Rough wall-clock numbers here; precise statistics in
 //! the Criterion benches.
 //!
-//! Both sweeps run on the **f64 backend** (Dantzig pricing) so they reach
-//! platform sizes where exact rationals are needlessly expensive, and
-//! cross-check the f64 objective against the exact, duality-certified
-//! backend on every platform small enough to afford it.
+//! Both sweeps run on the **f64 backend** so they reach platform sizes
+//! where exact rationals are needlessly expensive, and cross-check the f64
+//! objective against the exact, duality-certified backend on every
+//! platform small enough to afford it. The LP sweep additionally pairs the
+//! two pivoting kernels — dense tableau vs sparse revised simplex — on
+//! identical instances, and records the pairing (plus the per-formulation
+//! pairings from [`crate::kernels`]) to `BENCH_lp_sparse.json` at the
+//! workspace root. Sweep points are independent platforms, so they run on
+//! the scoped-thread pool of [`crate::parallel::par_map`].
 
+use crate::parallel::par_map;
 use crate::table::{banner, print_table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ss_core::engine;
 use ss_core::master_slave::MasterSlave;
+use ss_lp::KernelChoice;
 use ss_num::BigInt;
 use ss_platform::topo;
 use ss_platform::NodeId;
 use ss_schedule::coloring::decompose;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Platforms up to this node count also run the exact backend for the
 /// cross-check; larger ones trust the (already-anchored) fast path.
 const CROSS_CHECK_MAX_NODES: usize = 24;
 
-/// Objective agreement tolerance between the two backends (absolute; the
-/// steady-state objectives are O(1)-scaled).
+/// Platforms up to this node count also run the dense f64 kernel for the
+/// dense-vs-sparse pairing; beyond it the tableau is the bottleneck the
+/// sparse kernel exists to remove, so only the sparse kernel continues.
+const DENSE_KERNEL_MAX_NODES: usize = 48;
+
+/// Objective agreement tolerance between backends and between kernels
+/// (absolute; the steady-state objectives are O(1)-scaled).
 pub const BACKEND_TOLERANCE: f64 = 1e-6;
 
-/// §3: LP build + solve time vs platform size, f64 backend with exact
-/// cross-check.
+struct SweepPoint {
+    p: usize,
+    edges: usize,
+    vars: usize,
+    rows: usize,
+    sparse_ms: f64,
+    sparse_pivots: usize,
+    dense_ms: Option<f64>,
+    exact_ms: Option<f64>,
+    abs_error: Option<f64>,
+}
+
+fn sweep_point(p: usize) -> SweepPoint {
+    let mut rng = StdRng::seed_from_u64(p as u64);
+    let (g, m) = topo::random_connected(&mut rng, p, 0.25, &topo::ParamRange::default());
+    let f = MasterSlave::new(m);
+
+    let t0 = Instant::now();
+    let sparse = engine::solve_backend_kernel::<f64, _>(&f, &g, KernelChoice::Sparse)
+        .expect("sparse f64 solve");
+    let sparse_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let dense_ms = (p <= DENSE_KERNEL_MAX_NODES).then(|| {
+        let t0 = Instant::now();
+        let dense = engine::solve_backend_kernel::<f64, _>(&f, &g, KernelChoice::Dense)
+            .expect("dense f64 solve");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let err = (dense.objective_f64() - sparse.objective_f64()).abs();
+        assert!(
+            err <= BACKEND_TOLERANCE * (1.0 + dense.objective_f64().abs()),
+            "p={p}: kernel disagreement |Δ| = {err:.3e}"
+        );
+        ms
+    });
+
+    let (exact_ms, abs_error) = if p <= CROSS_CHECK_MAX_NODES {
+        let t0 = Instant::now();
+        let exact = engine::solve(&f, &g).expect("exact solve");
+        let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let abs_error = (exact.ntask.to_f64() - sparse.objective_f64()).abs();
+        assert!(
+            abs_error <= BACKEND_TOLERANCE,
+            "p={p}: backend disagreement |Δ| = {abs_error:.3e}"
+        );
+        (Some(exact_ms), Some(abs_error))
+    } else {
+        (None, None)
+    };
+
+    SweepPoint {
+        p,
+        edges: g.num_edges(),
+        vars: sparse.num_vars(),
+        rows: sparse.num_constraints(),
+        sparse_ms,
+        sparse_pivots: sparse.iterations(),
+        dense_ms,
+        exact_ms,
+        abs_error,
+    }
+}
+
+/// §3: LP build + solve time vs platform size — sparse f64 kernel end to
+/// end, dense f64 kernel paired up to p = 48, exact cross-check up to
+/// p = 24. Points run in parallel; results recorded to
+/// `BENCH_lp_sparse.json`.
 pub fn lp_scale() {
     banner(
         "lp-scale",
-        "§3 — SSMS LP solve time vs platform size (f64 backend, exact cross-check)",
+        "§3 — SSMS LP solve time vs platform size (sparse vs dense kernel, exact cross-check)",
     );
-    let mut rows = Vec::new();
-    for p in [4usize, 6, 8, 12, 16, 24, 32, 48] {
-        let mut rng = StdRng::seed_from_u64(p as u64);
-        let (g, m) = topo::random_connected(&mut rng, p, 0.25, &topo::ParamRange::default());
-        let f = MasterSlave::new(m);
+    let ps = vec![4usize, 6, 8, 12, 16, 24, 32, 48, 64, 96];
+    let points = par_map(ps, sweep_point);
 
-        let t0 = Instant::now();
-        let approx = engine::solve_approx(&f, &g).expect("f64 solve");
-        let f64_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-        let (exact_ms, agree) = if p <= CROSS_CHECK_MAX_NODES {
-            let t0 = Instant::now();
-            let exact = engine::solve(&f, &g).expect("exact solve");
-            let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let abs_error = (exact.ntask.to_f64() - approx.objective_f64()).abs();
-            assert!(
-                abs_error <= BACKEND_TOLERANCE,
-                "p={p}: backend disagreement |Δ| = {abs_error:.3e}"
-            );
-            (format!("{exact_ms:.2}"), format!("|Δ|={abs_error:.1e}"))
-        } else {
-            ("-".into(), "skipped".into())
-        };
-
-        rows.push(vec![
-            p.to_string(),
-            g.num_edges().to_string(),
-            approx.num_vars().to_string(),
-            approx.num_constraints().to_string(),
-            format!("{f64_ms:.2}"),
-            exact_ms,
-            approx.iterations().to_string(),
-            agree,
-        ]);
-    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.p.to_string(),
+                pt.edges.to_string(),
+                pt.vars.to_string(),
+                pt.rows.to_string(),
+                format!("{:.2}", pt.sparse_ms),
+                pt.dense_ms.map_or("-".into(), |ms| format!("{ms:.2}")),
+                pt.dense_ms
+                    .map_or("-".into(), |ms| format!("{:.1}x", ms / pt.sparse_ms)),
+                pt.exact_ms.map_or("-".into(), |ms| format!("{ms:.2}")),
+                pt.sparse_pivots.to_string(),
+                pt.abs_error
+                    .map_or("skipped".into(), |e| format!("|Δ|={e:.1e}")),
+            ]
+        })
+        .collect();
     print_table(
         &[
-            "p", "|E|", "vars", "rows", "f64 ms", "exact ms", "pivots", "agree",
+            "p",
+            "|E|",
+            "vars",
+            "rows",
+            "sparse ms",
+            "dense ms",
+            "speedup",
+            "exact ms",
+            "pivots",
+            "agree",
         ],
         &rows,
     );
     println!(
-        "shape: polynomial growth in |V|+|E| (the §3 claim); the f64 kernel runs the sweep, \
-         the exact kernel certifies it up to p = {CROSS_CHECK_MAX_NODES}."
+        "shape: polynomial growth in |V|+|E| (the §3 claim); the sparse revised simplex runs \
+         the whole sweep, the dense tableau pairs it up to p = {DENSE_KERNEL_MAX_NODES}, and \
+         the exact kernel certifies both up to p = {CROSS_CHECK_MAX_NODES}."
     );
+
+    println!("\nper-formulation dense-vs-sparse pairing (f64 backend, identical instances):");
+    let pairs = crate::kernels::formulation_pairings();
+    crate::kernels::print_pairings(&pairs);
+
+    match write_bench_json(&points, &pairs) {
+        Ok(path) => println!("recorded kernel pairings to {path}"),
+        Err(e) => eprintln!("could not write BENCH_lp_sparse.json: {e}"),
+    }
+}
+
+/// Record the sweep and the formulation pairings as JSON next to the
+/// repo's other experiment artifacts (workspace root).
+fn write_bench_json(
+    points: &[SweepPoint],
+    pairs: &[crate::kernels::KernelPairing],
+) -> std::io::Result<String> {
+    let mut s = String::from("{\n  \"lp_scale\": [\n");
+    for (i, pt) in points.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"p\": {}, \"edges\": {}, \"vars\": {}, \"rows\": {}, \"sparse_f64_ms\": {:.3}, \
+             \"dense_f64_ms\": {}, \"exact_ms\": {}, \"sparse_pivots\": {}, \"abs_error\": {}}}",
+            pt.p,
+            pt.edges,
+            pt.vars,
+            pt.rows,
+            pt.sparse_ms,
+            pt.dense_ms
+                .map_or("null".into(), |ms| format!("{ms:.3}")),
+            pt.exact_ms
+                .map_or("null".into(), |ms| format!("{ms:.3}")),
+            pt.sparse_pivots,
+            pt.abs_error
+                .map_or("null".into(), |e| format!("{e:.3e}")),
+        );
+        s.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"formulations\": [\n");
+    for (i, p) in pairs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"dense_f64_ms\": {:.4}, \"sparse_f64_ms\": {:.4}, \
+             \"speedup\": {:.2}}}",
+            p.name,
+            p.dense_ms,
+            p.sparse_ms,
+            p.speedup()
+        );
+        s.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp_sparse.json");
+    std::fs::write(path, s)?;
+    Ok("BENCH_lp_sparse.json".into())
 }
 
 /// §4.1: weighted edge-coloring decomposition — number of matchings
@@ -94,12 +223,11 @@ pub fn coloring_scale() {
         "coloring-scale",
         "§4.1 — edge-coloring decomposition scaling (f64-derived busy times)",
     );
-    let mut rows = Vec::new();
     // Busy-time resolution: f64 edge activities in [0, 1] scale to [0, RES].
     const RES: f64 = 10_000.0;
     // Concurrent steady-state applications sharing the platform.
     const APPS: usize = 4;
-    for p in [4usize, 8, 12, 16, 24, 32] {
+    let rows = par_map(vec![4usize, 8, 12, 16, 24, 32], |p| {
         let mut rng = StdRng::seed_from_u64(4000 + p as u64);
         let (g, m) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
         let mut busy = vec![BigInt::zero(); g.num_edges()];
@@ -132,14 +260,14 @@ pub fn coloring_scale() {
         let d = decompose(&g, &busy);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         d.check(&g, &busy).expect("exact decomposition");
-        rows.push(vec![
+        vec![
             p.to_string(),
             g.num_edges().to_string(),
             d.num_rounds().to_string(),
             (g.num_edges() + 2 * g.num_nodes()).to_string(),
             format!("{ms:.2}"),
-        ]);
-    }
+        ]
+    });
     print_table(&["p", "|E|", "matchings", "bound", "ms"], &rows);
     println!("shape: matchings stay well under the bound; cost grows polynomially (the §4.1 O(|E|^2) regime).");
 }

@@ -19,8 +19,10 @@
 //!   workers idle during early sends — which is how ref \[8\] uses the
 //!   steady-state machinery of this paper.
 
+use crate::engine::{self, Activities, Formulation};
 use crate::error::CoreError;
-use crate::master_slave;
+use crate::master_slave::{self, PortModel, SsmsVars};
+use ss_lp::Problem;
 use ss_num::Ratio;
 use ss_platform::{NodeId, Platform};
 
@@ -164,11 +166,94 @@ pub fn single_round_bandwidth_order(
     single_round(g, master, &workers)
 }
 
-/// The steady-state (multi-round) processing rate: SSMS on the same
-/// platform. `W / rate` lower-bounds any schedule's time, and the §4/§5.2
-/// machinery approaches it for large `W`.
+/// The steady-state divisible-load problem as an engine [`Formulation`].
+///
+/// A unit of divisible load is carried and processed exactly like one SSMS
+/// task (§3.1 with tasks read as load units), so the LP is the SSMS LP;
+/// what the port buys is the engine pipeline: the exact backend returns a
+/// duality-certified rate, the `f64` backend serves the sweeps, and
+/// [`engine::cross_check`] / [`engine::kernel_cross_check`] keep the two
+/// honest — none of which the old free-function path offered.
+#[derive(Clone, Debug)]
+pub struct Divisible {
+    /// The node holding the load.
+    pub master: NodeId,
+    /// Communication model (§2 default, §5.1 variants).
+    pub model: PortModel,
+}
+
+impl Divisible {
+    /// Divisible load under the paper's full-overlap one-port model.
+    pub fn new(master: NodeId) -> Divisible {
+        Divisible {
+            master,
+            model: PortModel::FullOverlapOnePort,
+        }
+    }
+}
+
+/// Exact steady-state (fluid) solution of the divisible-load LP.
+#[derive(Clone, Debug)]
+pub struct DivisibleSolution {
+    /// Load units processed per time unit across the platform.
+    pub rate: Ratio,
+    /// Compute-time fraction per node.
+    pub alpha: Vec<Ratio>,
+    /// Communication-time fraction per directed edge.
+    pub edge_time: Vec<Ratio>,
+}
+
+impl DivisibleSolution {
+    /// Fluid lower bound on the time to process load `w`.
+    pub fn fluid_time(&self, w: &Ratio) -> Ratio {
+        w / &self.rate
+    }
+}
+
+impl Formulation for Divisible {
+    type Vars = SsmsVars;
+    type Solution = DivisibleSolution;
+
+    fn name(&self) -> &'static str {
+        "divisible"
+    }
+
+    fn build(&self, g: &Platform) -> Result<(Problem, SsmsVars), CoreError> {
+        if self.master.index() >= g.num_nodes() {
+            return Err(CoreError::Invalid("master id out of range".into()));
+        }
+        Ok(master_slave::build(g, self.master, &self.model))
+    }
+
+    fn extract(
+        &self,
+        _g: &Platform,
+        vars: &SsmsVars,
+        acts: &Activities<Ratio>,
+    ) -> Result<DivisibleSolution, CoreError> {
+        Ok(DivisibleSolution {
+            rate: acts.objective().clone(),
+            alpha: vars
+                .alpha
+                .iter()
+                .map(|v| v.map(|v| acts.value(v).clone()).unwrap_or_else(Ratio::zero))
+                .collect(),
+            edge_time: vars.s.iter().map(|&v| acts.value(v).clone()).collect(),
+        })
+    }
+}
+
+/// The steady-state (multi-round) processing rate, exact and
+/// duality-certified via the engine. `W / rate` lower-bounds any
+/// schedule's time, and the §4/§5.2 machinery approaches it for large `W`.
 pub fn steady_state_rate(g: &Platform, master: NodeId) -> Result<Ratio, CoreError> {
-    Ok(master_slave::solve(g, master)?.ntask)
+    Ok(engine::solve(&Divisible::new(master), g)?.rate)
+}
+
+/// The steady-state rate on the fast `f64` backend (no certificate) —
+/// used by capacity sweeps over many candidate masters.
+pub fn steady_state_rate_approx(g: &Platform, master: NodeId) -> Result<f64, CoreError> {
+    Ok(engine::solve_approx(&Divisible::new(master), g)?.objective_f64())
 }
 
 #[cfg(test)]
@@ -275,6 +360,30 @@ mod tests {
         assert!(plan.unit_makespan >= fluid_unit_time);
         // ...and it is strict here: single-round leaves resources idle.
         assert!(plan.unit_makespan > fluid_unit_time);
+    }
+
+    #[test]
+    fn formulation_port_matches_ssms_and_cross_checks() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let (g, m) = topo::random_connected(&mut rng, 7, 0.3, &topo::ParamRange::default());
+        // The divisible fluid rate IS the SSMS task rate.
+        let rate = steady_state_rate(&g, m).unwrap();
+        assert_eq!(rate, master_slave::solve(&g, m).unwrap().ntask);
+        // Both backends through the engine, within tolerance.
+        let cc = engine::cross_check(&Divisible::new(m), &g, 1e-6, |s| s.rate.clone()).unwrap();
+        assert!(cc.abs_error <= 1e-6);
+        // And both pivoting kernels on the f64 backend.
+        engine::kernel_cross_check(&Divisible::new(m), &g, 1e-6).unwrap();
+        // The approximate rate tracks the exact one.
+        let approx = steady_state_rate_approx(&g, m).unwrap();
+        assert!((approx - rate.to_f64()).abs() <= 1e-6);
+        // Typed solution exposes fluid time and activities.
+        let sol = engine::solve(&Divisible::new(m), &g).unwrap();
+        assert_eq!(sol.rate, rate);
+        assert_eq!(sol.fluid_time(&rate), Ratio::one());
+        assert_eq!(sol.edge_time.len(), g.num_edges());
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! * [`cross_check`] runs both and verifies they agree within a tolerance,
 //!   which is how the `ss-bench` sweeps keep the fast path honest.
 //!
+//! Orthogonally to the scalar backend, every solve picks a **pivoting
+//! kernel** (`ss-lp`'s dense tableau or sparse revised simplex). The
+//! default follows `ss-lp`'s `Auto` choice — sparse for `f64`, dense for
+//! exact `Ratio` — and [`solve_backend_kernel`] / [`kernel_cross_check`]
+//! pin or pair the kernels explicitly for the sweeps and the CI smoke
+//! guard.
+//!
 //! The module also hosts the LP-construction helpers shared by the
 //! formulations — the port-capacity rows for every §2/§5.1 communication
 //! model ([`add_port_rows`]) and their solution-side verifier
@@ -30,7 +37,7 @@
 
 use crate::error::CoreError;
 use crate::master_slave::PortModel;
-use ss_lp::{Cmp, LinExpr, Problem, Scalar, SimplexOptions, Solution, Var};
+use ss_lp::{Cmp, KernelChoice, LinExpr, Problem, Scalar, SimplexOptions, Solution, Var};
 use ss_num::Ratio;
 use ss_platform::{EdgeRef, Platform};
 
@@ -144,6 +151,10 @@ pub fn solve_backend_with_vars<S: Scalar, F: Formulation>(
 }
 
 /// Run one already-built problem through the kernel of the chosen backend.
+///
+/// The pivoting engine follows the process-default [`KernelChoice`]
+/// (`Auto`: sparse revised simplex for `f64`, dense tableau for exact
+/// `Ratio`); use [`solve_problem_kernel`] to pin it.
 pub fn solve_problem<S: Scalar>(p: &Problem) -> Result<Activities<S>, CoreError> {
     let solution = p.solve_with::<S>(&SimplexOptions::default())?;
     Ok(Activities {
@@ -151,6 +162,57 @@ pub fn solve_problem<S: Scalar>(p: &Problem) -> Result<Activities<S>, CoreError>
         num_vars: p.num_vars(),
         num_constraints: p.num_constraints(),
     })
+}
+
+/// [`solve_problem`] with an explicit pivoting-kernel choice.
+pub fn solve_problem_kernel<S: Scalar>(
+    p: &Problem,
+    kernel: KernelChoice,
+) -> Result<Activities<S>, CoreError> {
+    let solution = p.solve_with::<S>(&SimplexOptions::with_kernel(kernel))?;
+    Ok(Activities {
+        solution,
+        num_vars: p.num_vars(),
+        num_constraints: p.num_constraints(),
+    })
+}
+
+/// [`solve_backend`] with an explicit pivoting-kernel choice — how the
+/// sweeps pair the dense tableau against the sparse revised simplex on
+/// identical formulation instances.
+pub fn solve_backend_kernel<S: Scalar, F: Formulation>(
+    f: &F,
+    g: &Platform,
+    kernel: KernelChoice,
+) -> Result<Activities<S>, CoreError> {
+    let (p, _) = f.build(g)?;
+    solve_problem_kernel(&p, kernel)
+}
+
+/// Solve `f` on `g` with the `f64` backend on **both** kernels and require
+/// objective agreement within `tol` (absolute). Returns
+/// `(dense, sparse)` activities — the kernel-regression guard used by the
+/// CI smoke experiment and the scaling sweeps.
+pub fn kernel_cross_check<F: Formulation>(
+    f: &F,
+    g: &Platform,
+    tol: f64,
+) -> Result<(Activities<f64>, Activities<f64>), CoreError> {
+    let (p, _) = f.build(g)?;
+    let dense = solve_problem_kernel::<f64>(&p, KernelChoice::Dense)?;
+    let sparse = solve_problem_kernel::<f64>(&p, KernelChoice::Sparse)?;
+    let abs_error = (dense.objective_f64() - sparse.objective_f64()).abs();
+    if abs_error > tol {
+        return Err(CoreError::Invalid(format!(
+            "{}: kernel disagreement: dense {} vs sparse {} (|Δ| = {:.3e} > tol {:.1e})",
+            f.name(),
+            dense.objective_f64(),
+            sparse.objective_f64(),
+            abs_error,
+            tol
+        )));
+    }
+    Ok((dense, sparse))
 }
 
 /// Solve exactly, verify the duality certificate, and extract the typed
@@ -414,6 +476,20 @@ mod tests {
         assert!(cc.abs_error <= 1e-6);
         assert_eq!(cc.exact_objective, cc.exact.ntask.to_f64());
         assert!(cc.approx.num_vars() > 0 && cc.approx.num_constraints() > 0);
+    }
+
+    #[test]
+    fn kernel_cross_check_accepts_and_reports() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        let (g, m) = topo::random_connected(&mut rng, 9, 0.3, &topo::ParamRange::default());
+        let f = MasterSlave::new(m);
+        let (dense, sparse) = kernel_cross_check(&f, &g, 1e-6).unwrap();
+        assert!((dense.objective_f64() - sparse.objective_f64()).abs() <= 1e-6);
+        // And both kernel-pinned paths agree with the exact certified one.
+        let exact = solve(&f, &g).unwrap();
+        assert!((exact.ntask.to_f64() - sparse.objective_f64()).abs() <= 1e-6);
     }
 
     #[test]

@@ -3,6 +3,10 @@
 //! exact, duality-certified backend within `1e-6` — for master–slave and
 //! scatter (the two reconstruction-grade formulations the sweeps lean on),
 //! plus spot coverage of the remaining formulations.
+//!
+//! The same contract holds across **pivoting kernels**: the dense tableau
+//! and the sparse revised simplex must find the same optimum — within
+//! tolerance on `f64`, as identical rationals on the exact backend.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -64,6 +68,49 @@ proptest! {
         let (g, m) = random_platform(seed, p, 0.3);
         let cc = engine::cross_check(&MasterSlave::new(m), &g, TOL, |s| s.ntask.clone()).unwrap();
         prop_assert!(cc.abs_error <= TOL);
+    }
+
+    /// Dense vs sparse kernel on the f64 backend: same optimum within
+    /// tolerance on any platform (the sweep's kernel-regression guard).
+    #[test]
+    fn kernels_agree_on_f64_master_slave(seed in 0u64..10_000, p in 3usize..9, dense in 0u8..2) {
+        let (g, m) = random_platform(seed, p, if dense == 0 { 0.2 } else { 0.5 });
+        let (d, s) = engine::kernel_cross_check(&MasterSlave::new(m), &g, TOL).unwrap();
+        prop_assert!((d.objective_f64() - s.objective_f64()).abs() <= TOL);
+    }
+
+    /// Sparse-exact: where the sparse kernel runs on the exact `Ratio`
+    /// backend, its objective equals the dense kernel's **exactly** —
+    /// both are exact algorithms, so there is no tolerance to hide behind.
+    #[test]
+    fn kernels_identical_on_ratio_master_slave(seed in 0u64..10_000, p in 3usize..7) {
+        let (g, m) = random_platform(seed, p, 0.3);
+        let f = MasterSlave::new(m);
+        let dense = engine::solve_backend_kernel::<Ratio, _>(&f, &g, ss_lp::KernelChoice::Dense).unwrap();
+        let sparse = engine::solve_backend_kernel::<Ratio, _>(&f, &g, ss_lp::KernelChoice::Sparse).unwrap();
+        prop_assert_eq!(dense.objective(), sparse.objective());
+    }
+
+    /// Same exact-equality contract on all-to-all (p(p-1) coupled flows —
+    /// the densest multi-flow structure in the crate).
+    #[test]
+    fn kernels_identical_on_ratio_all_to_all(seed in 0u64..10_000, p in 3usize..6) {
+        let (g, _) = random_platform(seed, p, 0.3);
+        let f = all_to_all::AllToAll::new();
+        let dense = engine::solve_backend_kernel::<Ratio, _>(&f, &g, ss_lp::KernelChoice::Dense).unwrap();
+        let sparse = engine::solve_backend_kernel::<Ratio, _>(&f, &g, ss_lp::KernelChoice::Sparse).unwrap();
+        prop_assert_eq!(dense.objective(), sparse.objective());
+    }
+
+    /// The ported divisible formulation holds the full contract: backend
+    /// agreement and kernel agreement on one platform family.
+    #[test]
+    fn divisible_backends_and_kernels_agree(seed in 0u64..10_000, p in 3usize..8) {
+        let (g, m) = random_platform(seed, p, 0.3);
+        let f = ss_core::divisible::Divisible::new(m);
+        let cc = engine::cross_check(&f, &g, TOL, |s| s.rate.clone()).unwrap();
+        prop_assert!(cc.abs_error <= TOL);
+        engine::kernel_cross_check(&f, &g, TOL).unwrap();
     }
 }
 

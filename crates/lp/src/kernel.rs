@@ -1,0 +1,155 @@
+//! The pluggable LP-kernel abstraction: one lowering, many pivoting
+//! engines.
+//!
+//! A kernel is anything that can take a lowered [`StandardForm`] to an
+//! optimal basis: the crate ships the original [`DenseTableau`] (full
+//! two-phase tableau, O(rows·cols) per pivot, trivially auditable) and the
+//! [`SparseRevised`](crate::sparse::SparseRevised) revised simplex (CSC
+//! columns, product-form basis updates, pricing over nonzeros only —
+//! built for the >90%-zero steady-state LPs at scale). Both run on either
+//! [`Scalar`] backend; [`KernelChoice::Auto`] picks sparse for `f64` and
+//! dense for exact `Ratio` (the certification path) until sparse-exact
+//! has more mileage.
+
+use crate::scalar::Scalar;
+use crate::simplex::SimplexOptions;
+use crate::solution::{Solution, SolveError};
+use crate::standard::{KernelOutput, StandardForm};
+use crate::Problem;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which pivoting engine a solve ran on (recorded on the
+/// [`Solution`], like [`PivotRule`](crate::PivotRule), so kernel-selection
+/// guarantees are testable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Dense two-phase tableau.
+    Dense,
+    /// Sparse revised simplex with eta-file basis updates.
+    SparseRevised,
+}
+
+/// Kernel selection for a solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Scalar-driven: sparse revised simplex for inexact scalars (the big
+    /// sweeps), dense tableau for exact scalars (the certification path).
+    #[default]
+    Auto,
+    /// Force the dense tableau.
+    Dense,
+    /// Force the sparse revised simplex.
+    Sparse,
+}
+
+impl KernelChoice {
+    /// Resolve to a concrete kernel for scalar type `S`.
+    pub fn resolve<S: Scalar>(self) -> Kernel {
+        match self {
+            KernelChoice::Dense => Kernel::Dense,
+            KernelChoice::Sparse => Kernel::SparseRevised,
+            KernelChoice::Auto => {
+                if S::EXACT {
+                    Kernel::Dense
+                } else {
+                    Kernel::SparseRevised
+                }
+            }
+        }
+    }
+}
+
+// Process-wide default consumed by `SimplexOptions::default()`, so harness
+// binaries (`repro --kernel=...`) can steer every solve without threading
+// an option through each experiment signature. 0 = Auto, 1 = Dense,
+// 2 = Sparse.
+static DEFAULT_KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide default [`KernelChoice`] used by
+/// [`SimplexOptions::default`]. Explicit `SimplexOptions { kernel, .. }`
+/// values always win over this.
+pub fn set_default_kernel(choice: KernelChoice) {
+    let v = match choice {
+        KernelChoice::Auto => 0,
+        KernelChoice::Dense => 1,
+        KernelChoice::Sparse => 2,
+    };
+    DEFAULT_KERNEL.store(v, Ordering::Relaxed);
+}
+
+/// The current process-wide default [`KernelChoice`].
+pub fn default_kernel() -> KernelChoice {
+    match DEFAULT_KERNEL.load(Ordering::Relaxed) {
+        1 => KernelChoice::Dense,
+        2 => KernelChoice::Sparse,
+        _ => KernelChoice::Auto,
+    }
+}
+
+/// A pivoting engine: drives a lowered [`StandardForm`] to optimality.
+///
+/// Implementations must honor the crate's pivoting contract — Bland's rule
+/// whenever `S::EXACT || opts.force_bland` (anti-cycling, guaranteed
+/// termination), Dantzig pricing with a Bland stall-fallback otherwise —
+/// and report which rule ran via [`KernelOutput::pivot_rule`].
+pub trait LpKernel<S: Scalar> {
+    /// Short diagnostic name (`"dense-tableau"`, `"sparse-revised"`).
+    fn name(&self) -> &'static str;
+
+    /// The kernel family recorded on solutions produced by this engine.
+    fn tag(&self) -> Kernel;
+
+    /// Solve the lowered system to optimality.
+    fn solve(
+        &self,
+        sf: &StandardForm<S>,
+        opts: &SimplexOptions,
+    ) -> Result<KernelOutput<S>, SolveError>;
+}
+
+/// The original dense two-phase tableau kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DenseTableau;
+
+/// Solve `problem` through an explicit kernel implementation.
+///
+/// This is the extension point behind [`Problem::solve_with`]: lower once,
+/// run the engine, and assemble the certified solution shape (values,
+/// exact objective recomputation, row and bound duals).
+pub fn solve_with_kernel<S: Scalar>(
+    problem: &Problem,
+    kernel: &dyn LpKernel<S>,
+    opts: &SimplexOptions,
+) -> Result<Solution<S>, SolveError> {
+    let sf = crate::standard::lower::<S>(problem);
+    let out = kernel.solve(&sf, opts)?;
+    Ok(crate::standard::assemble(problem, &sf, out, kernel.tag()))
+}
+
+/// Dispatch a solve according to `opts.kernel`.
+pub(crate) fn solve<S: Scalar>(
+    problem: &Problem,
+    opts: &SimplexOptions,
+) -> Result<Solution<S>, SolveError> {
+    match opts.kernel.resolve::<S>() {
+        Kernel::Dense => solve_with_kernel(problem, &DenseTableau, opts),
+        Kernel::SparseRevised => solve_with_kernel(problem, &crate::sparse::SparseRevised, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_num::Ratio;
+
+    #[test]
+    fn auto_resolution_follows_scalar_exactness() {
+        assert_eq!(KernelChoice::Auto.resolve::<Ratio>(), Kernel::Dense);
+        assert_eq!(KernelChoice::Auto.resolve::<f64>(), Kernel::SparseRevised);
+        assert_eq!(KernelChoice::Dense.resolve::<f64>(), Kernel::Dense);
+        assert_eq!(
+            KernelChoice::Sparse.resolve::<Ratio>(),
+            Kernel::SparseRevised
+        );
+    }
+}

@@ -12,10 +12,16 @@
 //!   ratio test, used for large scaling sweeps where exactness is not
 //!   required.
 //!
-//! The dense-tableau representation is a deliberate choice: steady-state LPs
-//! derived from platform graphs have at most a few thousand nonzeros, and a
-//! dense kernel with exact rationals beats a sparse one at that scale while
-//! being far easier to audit.
+//! …and over the **pivoting kernel** ([`LpKernel`]):
+//!
+//! * [`DenseTableau`] — the full two-phase tableau, O(rows·cols) per pivot,
+//!   trivially auditable; the default for exact solves.
+//! * [`SparseRevised`] — sparse revised simplex (CSC columns, product-form
+//!   basis updates, pricing over nonzeros only); the default for `f64`,
+//!   built for the >90%-zero steady-state LPs at platform scale.
+//!
+//! [`KernelChoice::Auto`] picks per scalar; `SimplexOptions { kernel, .. }`
+//! or [`set_default_kernel`] override.
 //!
 //! ```
 //! use ss_lp::{Problem, Sense, Cmp};
@@ -36,12 +42,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod kernel;
 mod problem;
 mod scalar;
 mod simplex;
 mod solution;
+mod sparse;
+mod standard;
 
+pub use kernel::{
+    default_kernel, set_default_kernel, solve_with_kernel, DenseTableau, Kernel, KernelChoice,
+    LpKernel,
+};
 pub use problem::{Cmp, LinExpr, Problem, Sense, Var};
 pub use scalar::Scalar;
 pub use simplex::SimplexOptions;
 pub use solution::{PivotRule, Solution, SolveError, Status};
+pub use sparse::SparseRevised;
+pub use standard::{lower, KernelOutput, StandardForm};

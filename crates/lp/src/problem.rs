@@ -1,6 +1,7 @@
 //! Problem-builder API: variables, linear expressions, constraints.
 
-use crate::simplex::{self, SimplexOptions};
+use crate::kernel::{self, KernelChoice};
+use crate::simplex::SimplexOptions;
 use crate::solution::{Solution, SolveError};
 use ss_num::Ratio;
 use std::fmt;
@@ -259,22 +260,33 @@ impl Problem {
     }
 
     /// Solve with exact rational arithmetic (Bland's rule; guaranteed
-    /// termination, exact optimum).
+    /// termination, exact optimum). Kernel per the process default
+    /// ([`KernelChoice::Auto`]: dense tableau).
     pub fn solve_exact(&self) -> Result<Solution<Ratio>, SolveError> {
-        simplex::solve::<Ratio>(self, &SimplexOptions::default())
+        kernel::solve::<Ratio>(self, &SimplexOptions::default())
     }
 
-    /// Solve with `f64` arithmetic (fast, approximate).
+    /// Solve with `f64` arithmetic (fast, approximate). Kernel per the
+    /// process default ([`KernelChoice::Auto`]: sparse revised simplex).
     pub fn solve_f64(&self) -> Result<Solution<f64>, SolveError> {
-        simplex::solve::<f64>(self, &SimplexOptions::default())
+        kernel::solve::<f64>(self, &SimplexOptions::default())
     }
 
-    /// Solve with explicit options (iteration limits, pivoting rule).
+    /// Solve with explicit options (iteration limits, pivoting rule,
+    /// kernel choice).
     pub fn solve_with<S: crate::Scalar>(
         &self,
         opts: &SimplexOptions,
     ) -> Result<Solution<S>, SolveError> {
-        simplex::solve::<S>(self, opts)
+        kernel::solve::<S>(self, opts)
+    }
+
+    /// Solve with an explicit kernel choice and default options otherwise.
+    pub fn solve_kernel<S: crate::Scalar>(
+        &self,
+        choice: KernelChoice,
+    ) -> Result<Solution<S>, SolveError> {
+        kernel::solve::<S>(self, &SimplexOptions::with_kernel(choice))
     }
 
     /// Evaluate the objective at a candidate point (for cross-checks).

@@ -1,22 +1,61 @@
-//! Dense two-phase primal simplex, generic over [`Scalar`].
+//! Dense two-phase primal simplex, generic over [`Scalar`] — the
+//! [`DenseTableau`] implementation of [`LpKernel`](crate::LpKernel).
 //!
 //! Pivoting: Bland's rule when the scalar is exact (guaranteed termination —
 //! important because steady-state LPs are heavily degenerate: many activity
 //! variables sit at 0 or at the one-port bound), Dantzig pricing with a
-//! Bland fallback for `f64`.
+//! Bland fallback for `f64`. The tableau is O(rows·cols) per pivot; for
+//! the mostly-zero LPs the platform sweeps build at scale, prefer the
+//! [`SparseRevised`](crate::sparse::SparseRevised) kernel.
 
-use crate::problem::{Cmp, Problem};
+use crate::kernel::{DenseTableau, Kernel, KernelChoice, LpKernel};
 use crate::scalar::Scalar;
-use crate::solution::{PivotRule, Solution, SolveError};
+use crate::solution::{PivotRule, SolveError};
+use crate::standard::{KernelOutput, StandardForm};
 
-/// Tuning knobs for the simplex kernel.
-#[derive(Clone, Debug, Default)]
+/// Tuning knobs for the simplex kernels.
+#[derive(Clone, Debug)]
 pub struct SimplexOptions {
     /// Hard cap on total pivots across both phases (0 = automatic:
     /// `200 * (rows + cols) + 10_000`).
     pub max_iterations: usize,
     /// Force Bland's rule even for inexact scalars.
     pub force_bland: bool,
+    /// Which pivoting engine runs the solve.
+    pub kernel: KernelChoice,
+}
+
+impl Default for SimplexOptions {
+    /// Defaults honor the process-wide kernel choice
+    /// ([`crate::set_default_kernel`]), which itself defaults to
+    /// [`KernelChoice::Auto`].
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 0,
+            force_bland: false,
+            kernel: crate::kernel::default_kernel(),
+        }
+    }
+}
+
+impl SimplexOptions {
+    /// Default options with an explicit kernel choice.
+    pub fn with_kernel(kernel: KernelChoice) -> SimplexOptions {
+        SimplexOptions {
+            kernel,
+            ..SimplexOptions::default()
+        }
+    }
+
+    /// The pivot budget for a lowered system of `m` rows and `ncols`
+    /// columns (shared by both kernels).
+    pub(crate) fn budget(&self, m: usize, ncols: usize) -> usize {
+        if self.max_iterations == 0 {
+            200 * (m + ncols) + 10_000
+        } else {
+            self.max_iterations
+        }
+    }
 }
 
 struct Tableau<S> {
@@ -177,240 +216,129 @@ fn optimize<S: Scalar>(
     }
 }
 
-/// Solve `problem` with scalar type `S`.
-pub(crate) fn solve<S: Scalar>(
-    problem: &Problem,
-    opts: &SimplexOptions,
-) -> Result<Solution<S>, SolveError> {
-    let nstruct = problem.num_vars();
-
-    // Lower upper bounds into explicit rows.
-    struct RawRow<S> {
-        coeffs: Vec<(usize, S)>,
-        cmp: Cmp,
-        rhs: S,
-    }
-    let mut raw: Vec<RawRow<S>> = Vec::with_capacity(problem.rows.len());
-    for row in &problem.rows {
-        raw.push(RawRow {
-            coeffs: row
-                .expr
-                .terms()
-                .iter()
-                .map(|(v, c)| (v.index(), S::from_ratio(c)))
-                .collect(),
-            cmp: row.cmp,
-            rhs: S::from_ratio(&row.rhs),
-        });
-    }
-    for (j, ub) in problem.upper_bounds().iter().enumerate() {
-        if let Some(ub) = ub {
-            raw.push(RawRow {
-                coeffs: vec![(j, S::one())],
-                cmp: Cmp::Le,
-                rhs: S::from_ratio(ub),
-            });
-        }
+impl<S: Scalar> LpKernel<S> for DenseTableau {
+    fn name(&self) -> &'static str {
+        "dense-tableau"
     }
 
-    let m = raw.len();
-    // Count extra columns; remember which rows were sign-normalized (their
-    // duals flip back at extraction).
-    let mut nslack = 0usize;
-    let mut nart = 0usize;
-    let mut flipped = vec![false; m];
-    for (i, r) in raw.iter_mut().enumerate() {
-        if r.rhs.is_negative() {
-            // Normalize to rhs >= 0.
-            for (_, c) in r.coeffs.iter_mut() {
-                *c = c.neg();
-            }
-            r.rhs = r.rhs.neg();
-            r.cmp = match r.cmp {
-                Cmp::Le => Cmp::Ge,
-                Cmp::Ge => Cmp::Le,
-                Cmp::Eq => Cmp::Eq,
-            };
-            flipped[i] = true;
-        }
-        match r.cmp {
-            Cmp::Le => nslack += 1,
-            Cmp::Ge => {
-                nslack += 1;
-                nart += 1;
-            }
-            Cmp::Eq => nart += 1,
-        }
+    fn tag(&self) -> Kernel {
+        Kernel::Dense
     }
 
-    let ncols = nstruct + nslack + nart;
-    let mut t = Tableau {
-        a: vec![vec![S::zero(); ncols + 1]; m],
-        ncols,
-        basis: vec![usize::MAX; m],
-    };
+    fn solve(
+        &self,
+        sf: &StandardForm<S>,
+        opts: &SimplexOptions,
+    ) -> Result<KernelOutput<S>, SolveError> {
+        let m = sf.m;
+        let ncols = sf.ncols;
+        let art_start = sf.art_start;
 
-    let mut next_slack = nstruct;
-    let mut next_art = nstruct + nslack;
-    let art_start = nstruct + nslack;
-    // Dual witness per raw row: a column whose tableau coefficients are
-    // `+e_i` with zero phase-2 cost (the slack of a ≤ row, the artificial
-    // of a ≥ or = row), so its final reduced cost is exactly `-y_i`.
-    let mut witness: Vec<usize> = Vec::with_capacity(m);
-    for (i, r) in raw.iter().enumerate() {
-        for (j, c) in &r.coeffs {
-            t.a[i][*j] = t.a[i][*j].add(c);
-        }
-        t.a[i][ncols] = r.rhs.clone();
-        match r.cmp {
-            Cmp::Le => {
-                t.a[i][next_slack] = S::one();
-                t.basis[i] = next_slack;
-                witness.push(next_slack);
-                next_slack += 1;
-            }
-            Cmp::Ge => {
-                t.a[i][next_slack] = S::one().neg();
-                next_slack += 1;
-                t.a[i][next_art] = S::one();
-                t.basis[i] = next_art;
-                witness.push(next_art);
-                next_art += 1;
-            }
-            Cmp::Eq => {
-                t.a[i][next_art] = S::one();
-                t.basis[i] = next_art;
-                witness.push(next_art);
-                next_art += 1;
+        // Scatter the CSC columns into dense rows; last column is the rhs.
+        let mut t = Tableau {
+            a: vec![vec![S::zero(); ncols + 1]; m],
+            ncols,
+            basis: sf.basis0.clone(),
+        };
+        for j in 0..ncols {
+            let (rows, vals) = sf.column(j);
+            for (i, v) in rows.iter().zip(vals) {
+                t.a[*i][j] = v.clone();
             }
         }
-    }
+        for (i, b) in sf.rhs.iter().enumerate() {
+            t.a[i][ncols] = b.clone();
+        }
 
-    let mut budget = if opts.max_iterations == 0 {
-        200 * (m + ncols) + 10_000
-    } else {
-        opts.max_iterations
-    };
-    let mut total_iters = 0usize;
-    let mut phase1_iters = 0usize;
+        let mut budget = opts.budget(m, ncols);
+        let mut total_iters = 0usize;
+        let mut phase1_iters = 0usize;
 
-    // Phase 1: drive artificials to zero (maximize -sum of artificials).
-    if nart > 0 {
-        let mut costs_full = vec![S::zero(); ncols + 1];
-        for c in costs_full.iter_mut().take(ncols).skip(art_start) {
-            *c = S::one().neg();
-        }
-        let mut cost: Vec<S> = costs_full[..ncols].to_vec();
-        cost.push(S::zero());
-        let obj0 = price_out(&t, &mut cost, &costs_full);
-        let active = vec![true; ncols];
-        let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
-        phase1_iters = it;
-        total_iters += it;
-        budget = budget.saturating_sub(it);
-        if budget == 0 {
-            return Err(SolveError::IterationLimit);
-        }
-        // Phase-1 objective value = obj0 + (accumulated in cost rhs).
-        // Recompute directly: sum of artificial basic values.
-        let mut art_sum = S::zero();
-        for (i, &b) in t.basis.iter().enumerate() {
-            if b >= art_start {
-                art_sum = art_sum.add(t.rhs(i));
+        // Phase 1: drive artificials to zero (maximize -sum of artificials).
+        if sf.num_artificials() > 0 {
+            let mut costs_full = vec![S::zero(); ncols + 1];
+            for c in costs_full.iter_mut().take(ncols).skip(art_start) {
+                *c = S::one().neg();
             }
-        }
-        let _ = obj0;
-        if !art_sum.is_zero() {
-            return Err(SolveError::Infeasible);
-        }
-        // Pivot lingering zero-level artificials out of the basis.
-        let mut drop_rows: Vec<usize> = Vec::new();
-        for i in 0..m {
-            if t.basis[i] < art_start {
-                continue;
+            // `cost` starts as a copy of the pristine costs; price_out
+            // mutates it against the basic rows while reading the original.
+            let mut cost = costs_full.clone();
+            let _ = price_out(&t, &mut cost, &costs_full);
+            let active = vec![true; ncols];
+            let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
+            phase1_iters = it;
+            total_iters += it;
+            budget = budget.saturating_sub(it);
+            if budget == 0 {
+                return Err(SolveError::IterationLimit);
             }
-            let col = (0..art_start).find(|&j| !t.a[i][j].is_zero());
-            match col {
-                Some(j) => {
-                    let mut dummy_cost = vec![S::zero(); ncols + 1];
-                    t.pivot(i, j, &mut dummy_cost);
+            // Phase-1 objective value: sum of artificial basic values.
+            let mut art_sum = S::zero();
+            for (i, &b) in t.basis.iter().enumerate() {
+                if b >= art_start {
+                    art_sum = art_sum.add(t.rhs(i));
                 }
-                // Entire row zero over real columns: redundant constraint.
-                None => drop_rows.push(i),
+            }
+            if !art_sum.is_zero() {
+                return Err(SolveError::Infeasible);
+            }
+            // Pivot lingering zero-level artificials out of the basis.
+            let mut drop_rows: Vec<usize> = Vec::new();
+            for i in 0..t.a.len() {
+                if t.basis[i] < art_start {
+                    continue;
+                }
+                let col = (0..art_start).find(|&j| !t.a[i][j].is_zero());
+                match col {
+                    Some(j) => {
+                        let mut dummy_cost = vec![S::zero(); ncols + 1];
+                        t.pivot(i, j, &mut dummy_cost);
+                    }
+                    // Entire row zero over real columns: redundant constraint.
+                    None => drop_rows.push(i),
+                }
+            }
+            for &i in drop_rows.iter().rev() {
+                t.a.remove(i);
+                t.basis.remove(i);
             }
         }
-        for &i in drop_rows.iter().rev() {
-            t.a.remove(i);
-            t.basis.remove(i);
-        }
-    }
 
-    // Phase 2: original objective over structural + slack columns only.
-    let negate = matches!(problem.sense(), crate::problem::Sense::Minimize);
-    let mut costs_full = vec![S::zero(); ncols + 1];
-    for (j, c) in problem.objective_terms() {
-        let c = S::from_ratio(c);
-        costs_full[j] = if negate { c.neg() } else { c };
-    }
-    let mut cost: Vec<S> = costs_full[..ncols].to_vec();
-    cost.push(S::zero());
-    let _ = price_out(&t, &mut cost, &costs_full);
-    let mut active = vec![true; ncols];
-    for a in active.iter_mut().take(ncols).skip(art_start) {
-        *a = false; // artificials may never re-enter
-    }
-    let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
-    total_iters += it;
+        // Phase 2: original objective over structural + slack columns only.
+        let mut costs_full: Vec<S> = sf.cost2.clone();
+        costs_full.push(S::zero());
+        let mut cost = costs_full.clone();
+        let _ = price_out(&t, &mut cost, &costs_full);
+        let mut active = vec![true; ncols];
+        for a in active.iter_mut().take(ncols).skip(art_start) {
+            *a = false; // artificials may never re-enter
+        }
+        let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
+        total_iters += it;
 
-    // Extract the structural solution.
-    let mut values = vec![S::zero(); nstruct];
-    for (i, &b) in t.basis.iter().enumerate() {
-        if b < nstruct {
-            values[b] = t.rhs(i).clone();
+        // Extract the structural solution.
+        let mut values = vec![S::zero(); sf.nstruct];
+        for (i, &b) in t.basis.iter().enumerate() {
+            if b < sf.nstruct {
+                values[b] = t.rhs(i).clone();
+            }
         }
-    }
-    // Recompute the objective from the point (exact, sign-safe).
-    let mut objective = S::zero();
-    for (j, c) in problem.objective_terms() {
-        objective = objective.add(&S::from_ratio(c).mul(&values[j]));
-    }
 
-    // Duals: each row's witness column has coefficients `+e_i` and zero
-    // phase-2 cost, so its final reduced cost is `-y_i` (for the
-    // normalized maximize system). Undo the row flips and the minimize
-    // negation to express duals against the problem as stated.
-    let num_explicit = problem.rows.len();
-    let mut row_duals = Vec::with_capacity(num_explicit);
-    let mut bound_duals = vec![None; nstruct];
-    for (k, &wcol) in witness.iter().enumerate() {
-        let mut y = cost[wcol].neg();
-        if flipped[k] {
-            y = y.neg();
-        }
-        if negate {
-            y = y.neg();
-        }
-        if k < num_explicit {
-            row_duals.push(y);
+        // Each witness column's final reduced cost is `-y_i` for the
+        // normalized maximize system.
+        let reduced_witness = sf.witness.iter().map(|&w| cost[w].clone()).collect();
+
+        let pivot_rule = if S::EXACT || opts.force_bland {
+            PivotRule::Bland
         } else {
-            // Upper-bound rows were appended in variable order.
-            let var = raw[k].coeffs[0].0;
-            bound_duals[var] = Some(y);
-        }
+            PivotRule::Dantzig
+        };
+        Ok(KernelOutput {
+            values,
+            reduced_witness,
+            iterations: total_iters,
+            phase1_iterations: phase1_iters,
+            pivot_rule,
+        })
     }
-
-    let pivot_rule = if S::EXACT || opts.force_bland {
-        PivotRule::Bland
-    } else {
-        PivotRule::Dantzig
-    };
-    Ok(Solution::new(
-        values,
-        objective,
-        total_iters,
-        phase1_iters,
-        pivot_rule,
-        row_duals,
-        bound_duals,
-    ))
 }

@@ -1,5 +1,6 @@
 //! Solve results and errors.
 
+use crate::kernel::Kernel;
 use crate::problem::Var;
 use crate::scalar::Scalar;
 use std::fmt;
@@ -53,17 +54,20 @@ pub struct Solution<S> {
     iterations: usize,
     phase1_iterations: usize,
     pivot_rule: PivotRule,
+    kernel: Kernel,
     row_duals: Vec<S>,
     bound_duals: Vec<Option<S>>,
 }
 
 impl<S: Scalar> Solution<S> {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor
     pub(crate) fn new(
         values: Vec<S>,
         objective: S,
         iterations: usize,
         phase1_iterations: usize,
         pivot_rule: PivotRule,
+        kernel: Kernel,
         row_duals: Vec<S>,
         bound_duals: Vec<Option<S>>,
     ) -> Self {
@@ -73,6 +77,7 @@ impl<S: Scalar> Solution<S> {
             iterations,
             phase1_iterations,
             pivot_rule,
+            kernel,
             row_duals,
             bound_duals,
         }
@@ -137,5 +142,11 @@ impl<S: Scalar> Solution<S> {
     #[inline]
     pub fn pivot_rule(&self) -> PivotRule {
         self.pivot_rule
+    }
+
+    /// Which pivoting engine produced this solution (see [`Kernel`]).
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 }

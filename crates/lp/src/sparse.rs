@@ -1,0 +1,537 @@
+//! Sparse revised simplex — the [`SparseRevised`] implementation of
+//! [`LpKernel`](crate::LpKernel).
+//!
+//! The steady-state LPs are >90% zeros at scale: each per-type flow block
+//! touches a single edge, so a constraint row has a handful of nonzeros
+//! regardless of platform size. This kernel never materializes the
+//! tableau. It keeps the constraint matrix in the shared CSC storage of
+//! [`StandardForm`] and maintains only a factorization of the current
+//! basis `B` in **product form** (an eta file):
+//!
+//! ```text
+//! B⁻¹ = E_k · E_{k-1} · ... · E_1        (one eta matrix per pivot)
+//! ```
+//!
+//! * **FTRAN** (`d = B⁻¹ a_q`) applies the etas forward — the entering
+//!   column for the ratio test.
+//! * **BTRAN** (`y = B⁻ᵀ c_B`) applies them transposed in reverse — the
+//!   dual prices for reduced-cost pricing.
+//! * **Pricing** walks nonzero column entries only: `z_j = c_j − y·a_j`
+//!   costs O(nnz) per iteration instead of the dense kernel's
+//!   O(rows·cols) pivot.
+//! * **Reinversion**: the eta file grows by one per pivot, so every
+//!   [`REINVERT_INTERVAL`] pivots the basis is refactorized from scratch
+//!   (product-form Gaussian elimination over the basic columns), which
+//!   also refreshes the basic values from `rhs` and flushes accumulated
+//!   `f64` drift.
+//!
+//! Pivoting rules mirror the dense kernel: Bland for exact scalars (the
+//! anti-cycling guarantee matters — steady-state LPs are heavily
+//! degenerate), Dantzig with a Bland stall-fallback for `f64`. Zero-level
+//! artificials that linger in the basis after phase 1 are never pivoted
+//! out eagerly; instead the ratio test treats any nonzero pivot entry in
+//! such a row as a zero-ratio leaving candidate, so an entering column
+//! can never push an artificial positive and redundant rows simply keep
+//! their artificial basic at level zero (its dual price is then exactly
+//! zero, matching the dense kernel's row-dropping semantics).
+
+use crate::kernel::{Kernel, LpKernel};
+use crate::scalar::Scalar;
+use crate::simplex::SimplexOptions;
+use crate::solution::{PivotRule, SolveError};
+use crate::standard::{KernelOutput, StandardForm};
+
+/// Rebuild the basis factorization after this many fresh etas.
+const REINVERT_INTERVAL: usize = 64;
+
+/// Sparse revised-simplex kernel (CSC columns + product-form inverse).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SparseRevised;
+
+/// One elementary (eta) matrix: the identity with column `row` replaced by
+/// the pivot column `d` — `E[row][row] = d_row`, `E[i][row] = d_i`.
+/// Stored inverted-application-ready: applying `E⁻¹` to a vector is one
+/// division and `terms.len()` multiply-subtracts.
+struct Eta<S> {
+    row: usize,
+    pivot: S,
+    /// `(i, d_i)` for `i != row`, `d_i` nonzero.
+    terms: Vec<(usize, S)>,
+}
+
+struct Factors<S> {
+    etas: Vec<Eta<S>>,
+    /// Etas appended since the last reinversion.
+    fresh: usize,
+}
+
+impl<S: Scalar> Factors<S> {
+    fn identity() -> Factors<S> {
+        Factors {
+            etas: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    /// `v := B⁻¹ v` (forward transformation).
+    fn ftran(&self, v: &mut [S]) {
+        for e in &self.etas {
+            let t = &v[e.row];
+            if t.is_zero() {
+                continue;
+            }
+            let t = t.div(&e.pivot);
+            for (i, d) in &e.terms {
+                v[*i] = v[*i].sub(&d.mul(&t));
+            }
+            v[e.row] = t;
+        }
+    }
+
+    /// `v := B⁻ᵀ v` (backward transformation).
+    fn btran(&self, v: &mut [S]) {
+        for e in self.etas.iter().rev() {
+            let mut t = v[e.row].clone();
+            for (i, d) in &e.terms {
+                if !v[*i].is_zero() {
+                    t = t.sub(&d.mul(&v[*i]));
+                }
+            }
+            v[e.row] = t.div(&e.pivot);
+        }
+    }
+
+    /// Append the eta of a pivot on `row` with transformed column `d`.
+    fn push(&mut self, row: usize, d: &[S]) {
+        let terms: Vec<(usize, S)> = d
+            .iter()
+            .enumerate()
+            .filter(|(i, x)| *i != row && !x.is_zero())
+            .map(|(i, x)| (i, x.clone()))
+            .collect();
+        self.etas.push(Eta {
+            row,
+            pivot: d[row].clone(),
+            terms,
+        });
+        self.fresh += 1;
+    }
+}
+
+struct Engine<'a, S> {
+    sf: &'a StandardForm<S>,
+    factors: Factors<S>,
+    /// `basis[i]` = column occupying row `i` of the factorized basis.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// `x[i]` = current value of `basis[i]` (always ≥ 0).
+    x: Vec<S>,
+}
+
+impl<'a, S: Scalar> Engine<'a, S> {
+    fn new(sf: &'a StandardForm<S>) -> Engine<'a, S> {
+        let mut in_basis = vec![false; sf.ncols];
+        for &b in &sf.basis0 {
+            in_basis[b] = true;
+        }
+        Engine {
+            sf,
+            factors: Factors::identity(),
+            basis: sf.basis0.clone(),
+            in_basis,
+            x: sf.rhs.clone(),
+        }
+    }
+
+    /// Scatter column `j` of the constraint matrix into a dense workvec.
+    fn scatter(&self, j: usize) -> Vec<S> {
+        let mut v = vec![S::zero(); self.sf.m];
+        let (rows, vals) = self.sf.column(j);
+        for (i, a) in rows.iter().zip(vals) {
+            v[*i] = a.clone();
+        }
+        v
+    }
+
+    /// Dual prices `y = B⁻ᵀ c_B` for the cost vector `cost`.
+    fn prices(&self, cost: &[S]) -> Vec<S> {
+        let mut y: Vec<S> = self.basis.iter().map(|&b| cost[b].clone()).collect();
+        self.factors.btran(&mut y);
+        y
+    }
+
+    /// Reduced cost of column `j` under prices `y`: `c_j − y·a_j`.
+    fn reduced_cost(&self, j: usize, cost: &[S], y: &[S]) -> S {
+        let mut z = cost[j].clone();
+        let (rows, vals) = self.sf.column(j);
+        for (i, a) in rows.iter().zip(vals) {
+            if !y[*i].is_zero() {
+                z = z.sub(&y[*i].mul(a));
+            }
+        }
+        z
+    }
+
+    /// Bland: smallest-index nonbasic active column with positive reduced
+    /// cost.
+    fn entering_bland(&self, cost: &[S], active: &[bool], y: &[S]) -> Option<usize> {
+        (0..self.sf.ncols).find(|&j| {
+            active[j] && !self.in_basis[j] && self.reduced_cost(j, cost, y).is_positive()
+        })
+    }
+
+    /// Dantzig: most positive reduced cost among nonbasic active columns.
+    fn entering_dantzig(&self, cost: &[S], active: &[bool], y: &[S]) -> Option<usize> {
+        let mut best: Option<(usize, S)> = None;
+        for (j, act) in active.iter().enumerate() {
+            if !act || self.in_basis[j] {
+                continue;
+            }
+            let z = self.reduced_cost(j, cost, y);
+            if !z.is_positive() {
+                continue;
+            }
+            match &best {
+                None => best = Some((j, z)),
+                Some((_, bz)) if z > *bz => best = Some((j, z)),
+                _ => {}
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Ratio test over the transformed entering column `d`, with Bland
+    /// tie-breaking (smallest basic variable index).
+    ///
+    /// Zero-level basic artificials are special: any nonzero `d_i` in such
+    /// a row makes it a zero-ratio candidate (even `d_i < 0` — a
+    /// degenerate pivot on a negative element is sound when the leaving
+    /// value is exactly zero, and it is the only way to stop the entering
+    /// column from pushing the artificial positive).
+    fn leaving(&self, d: &[S]) -> Option<usize> {
+        let art_start = self.sf.art_start;
+        let mut best: Option<(usize, S)> = None;
+        for (i, di) in d.iter().enumerate() {
+            let ratio = if self.basis[i] >= art_start && self.x[i].is_zero() && !di.is_zero() {
+                S::zero()
+            } else if di.is_positive() {
+                let r = self.x[i].div(di);
+                // f64 drift can leave a basic value a hair negative;
+                // clamp the ratio so feasibility is preserved.
+                if r.is_negative() {
+                    S::zero()
+                } else {
+                    r
+                }
+            } else {
+                continue;
+            };
+            match &best {
+                None => best = Some((i, ratio)),
+                Some((bi, br)) => {
+                    if ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi]) {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Replace `basis[row]` by column `q` whose transformed column is `d`:
+    /// update the basic values, append the eta, and reinvert on schedule.
+    fn pivot(&mut self, row: usize, q: usize, d: &[S]) {
+        let t = {
+            let r = self.x[row].div(&d[row]);
+            // Degenerate artificial exits pivot on a negative element with
+            // x[row] == 0; keep the step at exactly zero.
+            if r.is_negative() || r.is_zero() {
+                S::zero()
+            } else {
+                r
+            }
+        };
+        if !t.is_zero() {
+            for (i, di) in d.iter().enumerate() {
+                if i == row || di.is_zero() {
+                    continue;
+                }
+                let nx = self.x[i].sub(&t.mul(di));
+                // Snap epsilon residue (exact zeros for Ratio are free).
+                self.x[i] = if nx.is_zero() { S::zero() } else { nx };
+            }
+        }
+        self.x[row] = t;
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[q] = true;
+        self.basis[row] = q;
+        self.factors.push(row, d);
+        if self.factors.fresh >= REINVERT_INTERVAL {
+            self.reinvert();
+        }
+    }
+
+    /// Refactorize the current basis from scratch: product-form Gaussian
+    /// elimination over the basic columns (unit columns first — slacks and
+    /// artificials still basic contribute no eta at all), then refresh the
+    /// basic values as `B⁻¹ rhs`.
+    fn reinvert(&mut self) {
+        let m = self.sf.m;
+        let mut fresh = Factors::identity();
+        let mut new_basis = vec![usize::MAX; m];
+        let mut row_taken = vec![false; m];
+        let mut deferred: Vec<usize> = Vec::new();
+        // Pass 1: columns that are unit vectors in A claim their own row
+        // eta-free (the +e_i slack/artificial columns of the lowering).
+        for &j in &self.basis {
+            let (rows, vals) = self.sf.column(j);
+            if rows.len() == 1 && !row_taken[rows[0]] && vals[0] == S::one() {
+                new_basis[rows[0]] = j;
+                row_taken[rows[0]] = true;
+            } else {
+                deferred.push(j);
+            }
+        }
+        // Pass 2: eliminate the remaining columns.
+        for j in deferred {
+            let mut v = self.scatter(j);
+            fresh.ftran(&mut v);
+            // Pivot row: largest untaken |v_i| for inexact scalars (keeps
+            // the factorization stable); first nonzero for exact ones.
+            let mut pick: Option<usize> = None;
+            for (i, x) in v.iter().enumerate() {
+                if row_taken[i] || x.is_zero() {
+                    continue;
+                }
+                match pick {
+                    None => pick = Some(i),
+                    Some(p) if !S::EXACT && abs_gt(x, &v[p]) => pick = Some(i),
+                    _ => {}
+                }
+                if S::EXACT {
+                    break;
+                }
+            }
+            // The basis is nonsingular by invariant, so a pivot always
+            // exists for exact scalars; for f64 a numerically degenerate
+            // column falls back to the largest entry even if tiny.
+            let r = match pick {
+                Some(r) => r,
+                None => {
+                    let mut best = usize::MAX;
+                    for (i, x) in v.iter().enumerate() {
+                        if row_taken[i] {
+                            continue;
+                        }
+                        if best == usize::MAX || abs_gt(x, &v[best]) {
+                            best = i;
+                        }
+                    }
+                    best
+                }
+            };
+            fresh.push(r, &v);
+            new_basis[r] = j;
+            row_taken[r] = true;
+        }
+        self.basis = new_basis;
+        self.factors = fresh;
+        self.factors.fresh = 0;
+        // Refresh basic values from the factorization (flushes drift).
+        let mut x = self.sf.rhs.clone();
+        self.factors.ftran(&mut x);
+        for v in x.iter_mut() {
+            if v.is_zero() || v.is_negative() {
+                *v = S::zero();
+            }
+        }
+        self.x = x;
+    }
+
+    /// Run pivots until optimality/unboundedness/limit for the given cost.
+    fn optimize(
+        &mut self,
+        cost: &[S],
+        active: &[bool],
+        opts: &SimplexOptions,
+        budget: &mut usize,
+    ) -> Result<usize, SolveError> {
+        let use_bland = S::EXACT || opts.force_bland;
+        let mut iters = 0usize;
+        let dantzig_cap = if use_bland {
+            0
+        } else {
+            budget.saturating_div(2)
+        };
+        loop {
+            let y = self.prices(cost);
+            let entering = if use_bland || iters >= dantzig_cap {
+                self.entering_bland(cost, active, &y)
+            } else {
+                self.entering_dantzig(cost, active, &y)
+            };
+            let Some(q) = entering else {
+                return Ok(iters);
+            };
+            let mut d = self.scatter(q);
+            self.factors.ftran(&mut d);
+            let Some(row) = self.leaving(&d) else {
+                return Err(SolveError::Unbounded);
+            };
+            self.pivot(row, q, &d);
+            iters += 1;
+            if iters >= *budget {
+                return Err(SolveError::IterationLimit);
+            }
+        }
+    }
+}
+
+/// `|a| > |b|` without requiring `abs` on the scalar.
+fn abs_gt<S: Scalar>(a: &S, b: &S) -> bool {
+    let abs = |x: &S| if x.is_negative() { x.neg() } else { x.clone() };
+    abs(a) > abs(b)
+}
+
+impl<S: Scalar> LpKernel<S> for SparseRevised {
+    fn name(&self) -> &'static str {
+        "sparse-revised"
+    }
+
+    fn tag(&self) -> Kernel {
+        Kernel::SparseRevised
+    }
+
+    fn solve(
+        &self,
+        sf: &StandardForm<S>,
+        opts: &SimplexOptions,
+    ) -> Result<KernelOutput<S>, SolveError> {
+        let mut eng = Engine::new(sf);
+        let mut budget = opts.budget(sf.m, sf.ncols);
+        let mut total_iters = 0usize;
+        let mut phase1_iters = 0usize;
+
+        // Phase 1: drive the artificials to zero.
+        if sf.num_artificials() > 0 {
+            let mut cost1 = vec![S::zero(); sf.ncols];
+            for c in cost1.iter_mut().skip(sf.art_start) {
+                *c = S::one().neg();
+            }
+            let active = vec![true; sf.ncols];
+            let it = eng.optimize(&cost1, &active, opts, &mut budget)?;
+            phase1_iters = it;
+            total_iters += it;
+            budget = budget.saturating_sub(it);
+            if budget == 0 {
+                return Err(SolveError::IterationLimit);
+            }
+            let mut art_sum = S::zero();
+            for (i, &b) in eng.basis.iter().enumerate() {
+                if b >= sf.art_start {
+                    art_sum = art_sum.add(&eng.x[i]);
+                }
+            }
+            if !art_sum.is_zero() {
+                return Err(SolveError::Infeasible);
+            }
+            // Snap lingering zero-level artificials to exact zero; the
+            // guarded ratio test keeps them there through phase 2.
+            for (i, &b) in eng.basis.iter().enumerate() {
+                if b >= sf.art_start {
+                    eng.x[i] = S::zero();
+                }
+            }
+        }
+
+        // Phase 2: the real objective; artificials may never re-enter.
+        let mut active = vec![true; sf.ncols];
+        for a in active.iter_mut().skip(sf.art_start) {
+            *a = false;
+        }
+        let it = eng.optimize(&sf.cost2, &active, opts, &mut budget)?;
+        total_iters += it;
+
+        let mut values = vec![S::zero(); sf.nstruct];
+        for (i, &b) in eng.basis.iter().enumerate() {
+            if b < sf.nstruct {
+                values[b] = eng.x[i].clone();
+            }
+        }
+
+        // Witness reduced costs from the final dual prices: the witness of
+        // raw row k is a `+e_k` column with zero phase-2 cost, so its
+        // reduced cost is exactly `-y_k`.
+        let y = eng.prices(&sf.cost2);
+        let reduced_witness = (0..sf.witness.len()).map(|k| y[k].neg()).collect();
+
+        let pivot_rule = if S::EXACT || opts.force_bland {
+            PivotRule::Bland
+        } else {
+            PivotRule::Dantzig
+        };
+        Ok(KernelOutput {
+            values,
+            reduced_witness,
+            iterations: total_iters,
+            phase1_iterations: phase1_iters,
+            pivot_rule,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_num::Ratio;
+
+    fn ftran_btran_roundtrip_on(m: usize, pivots: &[(usize, Vec<i64>)]) {
+        // Build an eta file from integer pivot columns and check that
+        // FTRAN(a_q) after pushing equals e_row.
+        let mut f: Factors<Ratio> = Factors::identity();
+        for (row, col) in pivots {
+            let d: Vec<Ratio> = col.iter().map(|&x| Ratio::from_int(x)).collect();
+            assert!(!d[*row].is_zero());
+            f.push(*row, &d);
+            // The freshly pivoted column must map to a unit vector.
+            let mut v = d.clone();
+            // v was already B_old⁻¹ a_q; applying only the new eta:
+            let mut single: Factors<Ratio> = Factors::identity();
+            single.push(*row, &d);
+            single.ftran(&mut v);
+            for (i, x) in v.iter().enumerate() {
+                let want = if i == *row {
+                    Ratio::one()
+                } else {
+                    Ratio::zero()
+                };
+                assert_eq!(*x, want, "m={m} row={row} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn eta_application_maps_pivot_column_to_unit() {
+        ftran_btran_roundtrip_on(3, &[(0, vec![2, 1, 0]), (2, vec![0, 3, 5])]);
+        ftran_btran_roundtrip_on(2, &[(1, vec![7, -3])]);
+    }
+
+    #[test]
+    fn btran_is_transpose_of_ftran() {
+        // For random-ish integer etas, check <B⁻ᵀu, v> == <u, B⁻¹v>.
+        let mut f: Factors<Ratio> = Factors::identity();
+        f.push(0, &[Ratio::from_int(2), Ratio::from_int(1), Ratio::zero()]);
+        f.push(
+            2,
+            &[Ratio::from_int(-1), Ratio::from_int(4), Ratio::from_int(3)],
+        );
+        let u: Vec<Ratio> = [1, -2, 5].iter().map(|&x| Ratio::from_int(x)).collect();
+        let v: Vec<Ratio> = [3, 7, -1].iter().map(|&x| Ratio::from_int(x)).collect();
+        let mut bu = u.clone();
+        f.btran(&mut bu);
+        let mut fv = v.clone();
+        f.ftran(&mut fv);
+        let dot = |a: &[Ratio], b: &[Ratio]| -> Ratio { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        assert_eq!(dot(&bu, &v), dot(&u, &fv));
+    }
+}

@@ -1,0 +1,334 @@
+//! Shared standard-form lowering: one [`Problem`] → one [`StandardForm`],
+//! consumed by every [`LpKernel`](crate::LpKernel).
+//!
+//! The lowering is the part of a simplex solve that is independent of the
+//! pivoting engine: flip negative right-hand sides, append slack/surplus
+//! and artificial columns, record the dual *witness* column of every raw
+//! row, and lower variable upper bounds into explicit rows. Kernels see a
+//! fully lowered maximize-form system
+//!
+//! ```text
+//! maximize  cost2 · x   s.t.   A x = rhs,  x ≥ 0,  rhs ≥ 0
+//! ```
+//!
+//! with the constraint matrix stored once in **compressed sparse column**
+//! (CSC) form — the dense tableau kernel scatters it into rows, the sparse
+//! revised-simplex kernel consumes it directly — plus an initial basis
+//! `basis0` that is exactly the identity (one slack or artificial unit
+//! column per row).
+
+use crate::problem::{Cmp, Problem, Sense};
+use crate::scalar::Scalar;
+use crate::solution::{PivotRule, Solution};
+
+/// A lowered LP in kernel-ready standard form, scalar type `S`.
+///
+/// Column layout: `0..nstruct` structural variables in [`Problem`] order,
+/// then one slack/surplus column per row that needs one (in row order),
+/// then one artificial column per `≥`/`=` row (in row order, starting at
+/// [`StandardForm::art_start`]).
+#[derive(Clone, Debug)]
+pub struct StandardForm<S> {
+    /// Number of rows (explicit constraints + lowered upper bounds).
+    pub m: usize,
+    /// Total columns: structural + slack/surplus + artificial.
+    pub ncols: usize,
+    /// Number of structural (problem) variables.
+    pub nstruct: usize,
+    /// First artificial column index; columns `art_start..ncols` may never
+    /// re-enter the basis in phase 2.
+    pub art_start: usize,
+    /// CSC column pointers, length `ncols + 1`.
+    pub col_ptr: Vec<usize>,
+    /// CSC row indices, sorted ascending within each column.
+    pub row_idx: Vec<usize>,
+    /// CSC nonzero values, parallel to `row_idx`.
+    pub vals: Vec<S>,
+    /// Right-hand side per row, normalized non-negative.
+    pub rhs: Vec<S>,
+    /// Initial basis: the slack (`≤`) or artificial (`≥`, `=`) column of
+    /// each row. With the sign normalization these are `+e_i` columns, so
+    /// the initial basis matrix is the identity.
+    pub basis0: Vec<usize>,
+    /// Dual witness column per raw row: a `+e_i` column with zero phase-2
+    /// cost, whose final reduced cost is exactly `-y_i`.
+    pub witness: Vec<usize>,
+    /// Rows whose sign was flipped during rhs normalization (their duals
+    /// flip back at extraction).
+    pub flipped: Vec<bool>,
+    /// `true` if the problem was a minimization lowered to maximize form.
+    pub negate: bool,
+    /// Phase-2 objective over all columns, in maximize form (zero on
+    /// slack/surplus/artificial columns).
+    pub cost2: Vec<S>,
+    /// Number of explicit constraint rows (the first `num_explicit` raw
+    /// rows); the remainder are lowered upper bounds.
+    pub num_explicit: usize,
+    /// For raw row `num_explicit + k`: the variable whose upper bound it
+    /// lowers.
+    pub bound_vars: Vec<usize>,
+}
+
+impl<S: Scalar> StandardForm<S> {
+    /// The nonzeros of column `j` as parallel `(rows, values)` slices.
+    #[inline]
+    pub fn column(&self, j: usize) -> (&[usize], &[S]) {
+        let r = self.col_ptr[j]..self.col_ptr[j + 1];
+        (&self.row_idx[r.clone()], &self.vals[r])
+    }
+
+    /// Number of artificial columns.
+    #[inline]
+    pub fn num_artificials(&self) -> usize {
+        self.ncols - self.art_start
+    }
+
+    /// Total stored nonzeros of the constraint matrix.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+/// What a kernel hands back: enough to reconstruct the full [`Solution`]
+/// without the kernel knowing about senses, flips, or bound lowering.
+#[derive(Clone, Debug)]
+pub struct KernelOutput<S> {
+    /// Structural variable values at the optimum.
+    pub values: Vec<S>,
+    /// Final phase-2 reduced cost of each raw row's witness column
+    /// (`= -y_i` in the normalized maximize system).
+    pub reduced_witness: Vec<S>,
+    /// Total pivots across both phases.
+    pub iterations: usize,
+    /// Pivots spent in phase 1.
+    pub phase1_iterations: usize,
+    /// Entering-variable rule the kernel ran with.
+    pub pivot_rule: PivotRule,
+}
+
+/// Lower `problem` into kernel-ready standard form with scalar type `S`.
+pub fn lower<S: Scalar>(problem: &Problem) -> StandardForm<S> {
+    let nstruct = problem.num_vars();
+
+    struct RawRow<S> {
+        coeffs: Vec<(usize, S)>,
+        cmp: Cmp,
+        rhs: S,
+    }
+    let mut raw: Vec<RawRow<S>> = Vec::with_capacity(problem.rows.len());
+    for row in &problem.rows {
+        raw.push(RawRow {
+            coeffs: row
+                .expr
+                .terms()
+                .iter()
+                .map(|(v, c)| (v.index(), S::from_ratio(c)))
+                .collect(),
+            cmp: row.cmp,
+            rhs: S::from_ratio(&row.rhs),
+        });
+    }
+    let num_explicit = raw.len();
+    let mut bound_vars = Vec::new();
+    for (j, ub) in problem.upper_bounds().iter().enumerate() {
+        if let Some(ub) = ub {
+            raw.push(RawRow {
+                coeffs: vec![(j, S::one())],
+                cmp: Cmp::Le,
+                rhs: S::from_ratio(ub),
+            });
+            bound_vars.push(j);
+        }
+    }
+
+    let m = raw.len();
+    let mut nslack = 0usize;
+    let mut nart = 0usize;
+    let mut flipped = vec![false; m];
+    for (i, r) in raw.iter_mut().enumerate() {
+        if r.rhs.is_negative() {
+            for (_, c) in r.coeffs.iter_mut() {
+                *c = c.neg();
+            }
+            r.rhs = r.rhs.neg();
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+            flipped[i] = true;
+        }
+        match r.cmp {
+            Cmp::Le => nslack += 1,
+            Cmp::Ge => {
+                nslack += 1;
+                nart += 1;
+            }
+            Cmp::Eq => nart += 1,
+        }
+    }
+
+    let ncols = nstruct + nslack + nart;
+    let art_start = nstruct + nslack;
+
+    // Per-column nonzero lists (rows pushed in ascending order because the
+    // raw rows are scanned in order).
+    let mut cols: Vec<Vec<(usize, S)>> = vec![Vec::new(); ncols];
+    let mut basis0 = vec![usize::MAX; m];
+    let mut witness = Vec::with_capacity(m);
+    let mut next_slack = nstruct;
+    let mut next_art = art_start;
+    let mut rhs = Vec::with_capacity(m);
+    for (i, r) in raw.iter().enumerate() {
+        for (j, c) in &r.coeffs {
+            cols[*j].push((i, c.clone()));
+        }
+        rhs.push(r.rhs.clone());
+        match r.cmp {
+            Cmp::Le => {
+                cols[next_slack].push((i, S::one()));
+                basis0[i] = next_slack;
+                witness.push(next_slack);
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                cols[next_slack].push((i, S::one().neg()));
+                next_slack += 1;
+                cols[next_art].push((i, S::one()));
+                basis0[i] = next_art;
+                witness.push(next_art);
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                cols[next_art].push((i, S::one()));
+                basis0[i] = next_art;
+                witness.push(next_art);
+                next_art += 1;
+            }
+        }
+    }
+
+    let nnz: usize = cols.iter().map(Vec::len).sum();
+    let mut col_ptr = Vec::with_capacity(ncols + 1);
+    let mut row_idx = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    col_ptr.push(0);
+    for col in cols {
+        for (i, v) in col {
+            row_idx.push(i);
+            vals.push(v);
+        }
+        col_ptr.push(row_idx.len());
+    }
+
+    let negate = matches!(problem.sense(), Sense::Minimize);
+    let mut cost2 = vec![S::zero(); ncols];
+    for (j, c) in problem.objective_terms() {
+        let c = S::from_ratio(c);
+        cost2[j] = if negate { c.neg() } else { c };
+    }
+
+    StandardForm {
+        m,
+        ncols,
+        nstruct,
+        art_start,
+        col_ptr,
+        row_idx,
+        vals,
+        rhs,
+        basis0,
+        witness,
+        flipped,
+        negate,
+        cost2,
+        num_explicit,
+        bound_vars,
+    }
+}
+
+/// Package a kernel's output into the public [`Solution`]: recompute the
+/// objective from the point (exact, sign-safe), and undo the rhs flips and
+/// the minimize negation on the duals.
+pub fn assemble<S: Scalar>(
+    problem: &Problem,
+    sf: &StandardForm<S>,
+    out: KernelOutput<S>,
+    kernel: crate::kernel::Kernel,
+) -> Solution<S> {
+    let mut objective = S::zero();
+    for (j, c) in problem.objective_terms() {
+        objective = objective.add(&S::from_ratio(c).mul(&out.values[j]));
+    }
+
+    let mut row_duals = Vec::with_capacity(sf.num_explicit);
+    let mut bound_duals = vec![None; sf.nstruct];
+    for (k, rw) in out.reduced_witness.iter().enumerate() {
+        let mut y = rw.neg();
+        if sf.flipped[k] {
+            y = y.neg();
+        }
+        if sf.negate {
+            y = y.neg();
+        }
+        if k < sf.num_explicit {
+            row_duals.push(y);
+        } else {
+            bound_duals[sf.bound_vars[k - sf.num_explicit]] = Some(y);
+        }
+    }
+
+    Solution::new(
+        out.values,
+        objective,
+        out.iterations,
+        out.phase1_iterations,
+        out.pivot_rule,
+        kernel,
+        row_duals,
+        bound_duals,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_num::Ratio;
+
+    #[test]
+    fn lowering_shape_and_layout() {
+        use crate::problem::Sense;
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var_bounded("x", Ratio::from_int(5));
+        let y = p.add_var("y");
+        p.set_objective_coeff(x, Ratio::one());
+        p.add_constraint(
+            "ge",
+            [(x, Ratio::one()), (y, Ratio::one())],
+            Cmp::Ge,
+            Ratio::from_int(2),
+        );
+        p.add_constraint("eq", [(y, Ratio::one())], Cmp::Eq, Ratio::from_int(-1));
+        let sf = lower::<Ratio>(&p);
+        // 2 explicit rows + 1 bound row; Ge gives slack+art, flipped Eq
+        // gives art, bound gives slack.
+        assert_eq!(sf.m, 3);
+        assert_eq!(sf.nstruct, 2);
+        assert_eq!(sf.num_explicit, 2);
+        assert_eq!(sf.bound_vars, vec![0]);
+        assert_eq!(sf.num_artificials(), 2);
+        assert!(sf.negate);
+        assert!(!sf.flipped[0] && sf.flipped[1]);
+        // rhs normalized non-negative.
+        assert!(sf.rhs.iter().all(|r| !r.is_negative()));
+        // Initial basis columns are +e_i unit columns.
+        for (i, &b) in sf.basis0.iter().enumerate() {
+            let (rows, vals) = sf.column(b);
+            assert_eq!(rows, &[i]);
+            assert_eq!(vals, &[Ratio::one()]);
+        }
+        // Minimize lowered to maximize: cost negated.
+        assert_eq!(sf.cost2[x.index()], Ratio::from_int(-1));
+    }
+}

@@ -1,0 +1,32 @@
+//! The process-wide default-kernel switch (`repro --kernel=...` relies on
+//! it). Kept in its own integration-test binary: the global is
+//! process-scoped state, and a dedicated binary means no other test can
+//! race with the mutation.
+
+use ss_lp::{Cmp, Kernel, KernelChoice, Problem, Sense};
+use ss_num::Ratio;
+
+#[test]
+fn default_kernel_steers_plain_solves() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var_bounded("x", Ratio::from_int(3));
+    p.set_objective_coeff(x, Ratio::one());
+    p.add_constraint("c", [(x, Ratio::from_int(2))], Cmp::Le, Ratio::from_int(4));
+
+    // Out of the box: Auto (dense for exact, sparse for f64).
+    assert_eq!(ss_lp::default_kernel(), KernelChoice::Auto);
+    assert_eq!(p.solve_exact().unwrap().kernel(), Kernel::Dense);
+    assert_eq!(p.solve_f64().unwrap().kernel(), Kernel::SparseRevised);
+
+    // Forcing dense steers the f64 path too.
+    ss_lp::set_default_kernel(KernelChoice::Dense);
+    assert_eq!(p.solve_f64().unwrap().kernel(), Kernel::Dense);
+
+    // Forcing sparse steers the exact path.
+    ss_lp::set_default_kernel(KernelChoice::Sparse);
+    let s = p.solve_exact().unwrap();
+    assert_eq!(s.kernel(), Kernel::SparseRevised);
+    assert_eq!(s.objective(), &Ratio::from_int(2));
+
+    ss_lp::set_default_kernel(KernelChoice::Auto);
+}
