@@ -8,8 +8,8 @@
 //! ```
 //!
 //! `--kernel=auto|dense|sparse` pins the LP pivoting engine for every
-//! solve in the run (default `auto`: sparse revised simplex for f64,
-//! dense tableau for exact rationals).
+//! solve in the run (default `auto`: the sparse revised simplex for both
+//! scalar backends; `dense` pins the cross-check tableau).
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();

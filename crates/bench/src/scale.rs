@@ -1,24 +1,29 @@
 //! Polynomial-cost claims: LP solve scaling (§3) and edge-coloring
 //! scaling (§4.1). Rough wall-clock numbers here; precise statistics in
-//! the Criterion benches.
+//! the Criterion benches. The LP sweep builds each instance once and
+//! times **solves only**, so the kernel and bound-mode pairings compare
+//! pivoting work, not shared construction cost.
 //!
 //! Both sweeps run on the **f64 backend** so they reach platform sizes
 //! where exact rationals are needlessly expensive, and cross-check the f64
 //! objective against the exact, duality-certified backend on every
 //! platform small enough to afford it. The LP sweep additionally pairs the
 //! two pivoting kernels — dense tableau vs sparse revised simplex — on
-//! identical instances, and records the pairing (plus the per-formulation
-//! pairings from [`crate::kernels`]) to `BENCH_lp_sparse.json` at the
-//! workspace root. Sweep points are independent platforms, so they run on
-//! the scoped-thread pool of [`crate::parallel::par_map`].
+//! identical instances (recorded with the per-formulation pairings from
+//! [`crate::kernels`] to `BENCH_lp_sparse.json`), and pairs the two
+//! **bound modes** — native `0 ≤ x ≤ u` metadata vs lowered bound rows —
+//! on the sparse kernel (recorded to `BENCH_lp_bounded.json`; the native
+//! standard form must stay ≥ 5x smaller from p = 96 up, asserted). Sweep
+//! points are independent platforms, so they run on the scoped-thread
+//! pool of [`crate::parallel::par_map`].
 
 use crate::parallel::par_map;
 use crate::table::{banner, print_table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ss_core::engine;
+use ss_core::engine::{self, Formulation};
 use ss_core::master_slave::MasterSlave;
-use ss_lp::KernelChoice;
+use ss_lp::{BoundMode, KernelChoice, SimplexOptions};
 use ss_num::BigInt;
 use ss_platform::topo;
 use ss_platform::NodeId;
@@ -35,6 +40,12 @@ const CROSS_CHECK_MAX_NODES: usize = 24;
 /// sparse kernel exists to remove, so only the sparse kernel continues.
 const DENSE_KERNEL_MAX_NODES: usize = 48;
 
+/// From this node count up, the native standard form must be at least
+/// this many times smaller (rows) than the lowered-bound-rows form —
+/// the bounded-variable simplex's reason to exist, asserted in CI.
+const BOUNDED_ROW_FACTOR_MIN_NODES: usize = 96;
+const BOUNDED_ROW_FACTOR: usize = 5;
+
 /// Objective agreement tolerance between backends and between kernels
 /// (absolute; the steady-state objectives are O(1)-scaled).
 pub const BACKEND_TOLERANCE: f64 = 1e-6;
@@ -44,8 +55,13 @@ struct SweepPoint {
     edges: usize,
     vars: usize,
     rows: usize,
+    /// Standard-form rows with native bounds / with lowered bound rows.
+    native_rows: usize,
+    lowered_rows: usize,
     sparse_ms: f64,
     sparse_pivots: usize,
+    /// Sparse kernel re-run with bounds lowered to rows (PR 2's shape).
+    lowered_ms: f64,
     dense_ms: Option<f64>,
     exact_ms: Option<f64>,
     abs_error: Option<f64>,
@@ -55,16 +71,44 @@ fn sweep_point(p: usize) -> SweepPoint {
     let mut rng = StdRng::seed_from_u64(p as u64);
     let (g, m) = topo::random_connected(&mut rng, p, 0.25, &topo::ParamRange::default());
     let f = MasterSlave::new(m);
+    let (lp, _vars) = f.build(&g).expect("SSMS build");
+
+    let native_rows = ss_lp::lower::<f64>(&lp).m;
+    let lowered_rows = ss_lp::lower_with::<f64>(&lp, BoundMode::LoweredRows).m;
+    if p >= BOUNDED_ROW_FACTOR_MIN_NODES {
+        assert!(
+            lowered_rows >= BOUNDED_ROW_FACTOR * native_rows,
+            "p={p}: native form only shrinks {lowered_rows} rows to {native_rows}"
+        );
+    }
 
     let t0 = Instant::now();
-    let sparse = engine::solve_backend_kernel::<f64, _>(&f, &g, KernelChoice::Sparse)
-        .expect("sparse f64 solve");
+    let sparse =
+        engine::solve_problem_kernel::<f64>(&lp, KernelChoice::Sparse).expect("sparse f64 solve");
     let sparse_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The same sparse kernel on the lowered-rows oracle — PR 2's baseline
+    // shape, kept as the bounded path's speedup reference.
+    let lowered_opts = SimplexOptions {
+        kernel: KernelChoice::Sparse,
+        bound_mode: BoundMode::LoweredRows,
+        ..SimplexOptions::default()
+    };
+    let t0 = Instant::now();
+    let lowered = lp
+        .solve_with::<f64>(&lowered_opts)
+        .expect("lowered-rows sparse f64 solve");
+    let lowered_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bound_err = (lowered.objective() - sparse.objective_f64()).abs();
+    assert!(
+        bound_err <= BACKEND_TOLERANCE * (1.0 + lowered.objective().abs()),
+        "p={p}: bound-mode disagreement |Δ| = {bound_err:.3e}"
+    );
 
     let dense_ms = (p <= DENSE_KERNEL_MAX_NODES).then(|| {
         let t0 = Instant::now();
-        let dense = engine::solve_backend_kernel::<f64, _>(&f, &g, KernelChoice::Dense)
-            .expect("dense f64 solve");
+        let dense =
+            engine::solve_problem_kernel::<f64>(&lp, KernelChoice::Dense).expect("dense f64 solve");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let err = (dense.objective_f64() - sparse.objective_f64()).abs();
         assert!(
@@ -93,24 +137,30 @@ fn sweep_point(p: usize) -> SweepPoint {
         edges: g.num_edges(),
         vars: sparse.num_vars(),
         rows: sparse.num_constraints(),
+        native_rows,
+        lowered_rows,
         sparse_ms,
         sparse_pivots: sparse.iterations(),
+        lowered_ms,
         dense_ms,
         exact_ms,
         abs_error,
     }
 }
 
-/// §3: LP build + solve time vs platform size — sparse f64 kernel end to
-/// end, dense f64 kernel paired up to p = 48, exact cross-check up to
-/// p = 24. Points run in parallel; results recorded to
-/// `BENCH_lp_sparse.json`.
+/// §3: LP solve time vs platform size (each instance built once, solves
+/// timed in isolation) — sparse f64 kernel with native bounds end to end
+/// (p = 192), the same kernel on lowered bound rows as the PR 2
+/// baseline, dense f64 kernel paired up to p = 48, exact cross-check up
+/// to p = 24 (exact timing includes certificate verification). Points
+/// run in parallel; results recorded to `BENCH_lp_sparse.json` and
+/// `BENCH_lp_bounded.json`.
 pub fn lp_scale() {
     banner(
         "lp-scale",
-        "§3 — SSMS LP solve time vs platform size (sparse vs dense kernel, exact cross-check)",
+        "§3 — SSMS LP solve time vs platform size (bounded vs lowered, sparse vs dense, exact cross-check)",
     );
-    let ps = vec![4usize, 6, 8, 12, 16, 24, 32, 48, 64, 96];
+    let ps = vec![4usize, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192];
     let points = par_map(ps, sweep_point);
 
     let rows: Vec<Vec<String>> = points
@@ -120,11 +170,11 @@ pub fn lp_scale() {
                 pt.p.to_string(),
                 pt.edges.to_string(),
                 pt.vars.to_string(),
-                pt.rows.to_string(),
+                format!("{}/{}", pt.native_rows, pt.lowered_rows),
                 format!("{:.2}", pt.sparse_ms),
+                format!("{:.2}", pt.lowered_ms),
+                format!("{:.1}x", pt.lowered_ms / pt.sparse_ms),
                 pt.dense_ms.map_or("-".into(), |ms| format!("{ms:.2}")),
-                pt.dense_ms
-                    .map_or("-".into(), |ms| format!("{:.1}x", ms / pt.sparse_ms)),
                 pt.exact_ms.map_or("-".into(), |ms| format!("{ms:.2}")),
                 pt.sparse_pivots.to_string(),
                 pt.abs_error
@@ -137,10 +187,11 @@ pub fn lp_scale() {
             "p",
             "|E|",
             "vars",
-            "rows",
-            "sparse ms",
-            "dense ms",
+            "rows n/l",
+            "bounded ms",
+            "lowered ms",
             "speedup",
+            "dense ms",
             "exact ms",
             "pivots",
             "agree",
@@ -148,9 +199,11 @@ pub fn lp_scale() {
         &rows,
     );
     println!(
-        "shape: polynomial growth in |V|+|E| (the §3 claim); the sparse revised simplex runs \
-         the whole sweep, the dense tableau pairs it up to p = {DENSE_KERNEL_MAX_NODES}, and \
-         the exact kernel certifies both up to p = {CROSS_CHECK_MAX_NODES}."
+        "shape: polynomial growth in |V|+|E| (the §3 claim); native bounds keep the basis at \
+         the explicit-row count (≥ {BOUNDED_ROW_FACTOR}x fewer rows than lowering from \
+         p = {BOUNDED_ROW_FACTOR_MIN_NODES}, asserted), the dense tableau pairs the sparse \
+         kernel up to p = {DENSE_KERNEL_MAX_NODES}, and the exact kernel certifies both up \
+         to p = {CROSS_CHECK_MAX_NODES}."
     );
 
     println!("\nper-formulation dense-vs-sparse pairing (f64 backend, identical instances):");
@@ -160,6 +213,10 @@ pub fn lp_scale() {
     match write_bench_json(&points, &pairs) {
         Ok(path) => println!("recorded kernel pairings to {path}"),
         Err(e) => eprintln!("could not write BENCH_lp_sparse.json: {e}"),
+    }
+    match write_bounded_json(&points) {
+        Ok(path) => println!("recorded bounded-vs-lowered pairing to {path}"),
+        Err(e) => eprintln!("could not write BENCH_lp_bounded.json: {e}"),
     }
 }
 
@@ -207,6 +264,35 @@ fn write_bench_json(
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp_sparse.json");
     std::fs::write(path, s)?;
     Ok("BENCH_lp_sparse.json".into())
+}
+
+/// Record the bounded-vs-lowered pairing (row counts and sparse-kernel
+/// solve times per platform size) to `BENCH_lp_bounded.json`.
+fn write_bounded_json(points: &[SweepPoint]) -> std::io::Result<String> {
+    let mut s = String::from("{\n  \"lp_bounded\": [\n");
+    for (i, pt) in points.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"p\": {}, \"edges\": {}, \"vars\": {}, \"explicit_rows\": {}, \
+             \"native_rows\": {}, \"lowered_rows\": {}, \"row_factor\": {:.2}, \
+             \"bounded_sparse_ms\": {:.3}, \"lowered_sparse_ms\": {:.3}, \"speedup\": {:.2}}}",
+            pt.p,
+            pt.edges,
+            pt.vars,
+            pt.rows,
+            pt.native_rows,
+            pt.lowered_rows,
+            pt.lowered_rows as f64 / pt.native_rows as f64,
+            pt.sparse_ms,
+            pt.lowered_ms,
+            pt.lowered_ms / pt.sparse_ms,
+        );
+        s.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp_bounded.json");
+    std::fs::write(path, s)?;
+    Ok("BENCH_lp_bounded.json".into())
 }
 
 /// §4.1: weighted edge-coloring decomposition — number of matchings

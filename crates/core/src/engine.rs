@@ -24,10 +24,11 @@
 //!
 //! Orthogonally to the scalar backend, every solve picks a **pivoting
 //! kernel** (`ss-lp`'s dense tableau or sparse revised simplex). The
-//! default follows `ss-lp`'s `Auto` choice — sparse for `f64`, dense for
-//! exact `Ratio` — and [`solve_backend_kernel`] / [`kernel_cross_check`]
-//! pin or pair the kernels explicitly for the sweeps and the CI smoke
-//! guard.
+//! default follows `ss-lp`'s `Auto` choice — the sparse revised simplex
+//! for both backends, exact `Ratio` included — and
+//! [`solve_backend_kernel`] / [`kernel_cross_check`] pin or pair the
+//! kernels explicitly for the sweeps and the CI smoke guard (the dense
+//! tableau lives on as the cross-check reference).
 //!
 //! The module also hosts the LP-construction helpers shared by the
 //! formulations — the port-capacity rows for every §2/§5.1 communication
@@ -153,8 +154,8 @@ pub fn solve_backend_with_vars<S: Scalar, F: Formulation>(
 /// Run one already-built problem through the kernel of the chosen backend.
 ///
 /// The pivoting engine follows the process-default [`KernelChoice`]
-/// (`Auto`: sparse revised simplex for `f64`, dense tableau for exact
-/// `Ratio`); use [`solve_problem_kernel`] to pin it.
+/// (`Auto`: the sparse revised simplex for both backends); use
+/// [`solve_problem_kernel`] to pin it.
 pub fn solve_problem<S: Scalar>(p: &Problem) -> Result<Activities<S>, CoreError> {
     let solution = p.solve_with::<S>(&SimplexOptions::default())?;
     Ok(Activities {
@@ -284,6 +285,26 @@ pub fn cross_check<F: Formulation>(
 // Shared LP-construction helpers.
 // ---------------------------------------------------------------------------
 
+/// Post a capacity constraint `expr ≤ rhs`, folding the single-variable
+/// case `c·x ≤ rhs` (with `c > 0`) into the variable's box `x ≤ rhs/c`
+/// instead of emitting a row.
+///
+/// With the bounded-variable simplex handling `0 ≤ x ≤ u` natively, a
+/// folded bound costs the kernels nothing — it never enters the basis —
+/// while an explicit row would. Leaf nodes' one-edge port rows and
+/// single-tree packing rows all collapse this way. Empty expressions are
+/// dropped entirely; a negative capacity stays a row so the solver
+/// reports `Infeasible` instead of the bound setter panicking.
+pub fn post_capacity(p: &mut Problem, name: impl Into<String>, expr: LinExpr, rhs: Ratio) {
+    match expr.terms() {
+        [] => {}
+        [(v, c)] if c.is_positive() && !rhs.is_negative() => p.tighten_upper_bound(*v, &rhs / c),
+        _ => {
+            p.add_expr_constraint(name, expr, Cmp::Le, rhs);
+        }
+    }
+}
+
 /// Add the port-capacity rows of the chosen communication model.
 ///
 /// `edge_terms(e)` returns the linear terms whose sum is the fraction of
@@ -317,20 +338,14 @@ pub fn add_port_rows(
         }
         match model {
             PortModel::FullOverlapOnePort => {
-                if !out.terms().is_empty() {
-                    p.add_expr_constraint(format!("outport_{name}"), out, Cmp::Le, Ratio::one());
-                }
-                if !inn.terms().is_empty() {
-                    p.add_expr_constraint(format!("inport_{name}"), inn, Cmp::Le, Ratio::one());
-                }
+                post_capacity(p, format!("outport_{name}"), out, Ratio::one());
+                post_capacity(p, format!("inport_{name}"), inn, Ratio::one());
             }
             PortModel::SendOrReceive => {
                 for (v, c) in inn.terms() {
                     out.add(*v, c.clone());
                 }
-                if !out.terms().is_empty() {
-                    p.add_expr_constraint(format!("port_{name}"), out, Cmp::Le, Ratio::one());
-                }
+                post_capacity(p, format!("port_{name}"), out, Ratio::one());
             }
             PortModel::Multiport {
                 send_cards,
@@ -338,22 +353,8 @@ pub fn add_port_rows(
             } => {
                 let ks = send_cards.get(i.index()).copied().unwrap_or(1) as i64;
                 let kr = recv_cards.get(i.index()).copied().unwrap_or(1) as i64;
-                if !out.terms().is_empty() {
-                    p.add_expr_constraint(
-                        format!("outcards_{name}"),
-                        out,
-                        Cmp::Le,
-                        Ratio::from_int(ks),
-                    );
-                }
-                if !inn.terms().is_empty() {
-                    p.add_expr_constraint(
-                        format!("incards_{name}"),
-                        inn,
-                        Cmp::Le,
-                        Ratio::from_int(kr),
-                    );
-                }
+                post_capacity(p, format!("outcards_{name}"), out, Ratio::from_int(ks));
+                post_capacity(p, format!("incards_{name}"), inn, Ratio::from_int(kr));
             }
         }
     }
@@ -417,14 +418,7 @@ pub fn add_edge_caps(
         for (v, c) in edge_terms(e) {
             expr.add(v, c);
         }
-        if !expr.terms().is_empty() {
-            p.add_expr_constraint(
-                format!("edgecap_{}", e.id.index()),
-                expr,
-                Cmp::Le,
-                Ratio::one(),
-            );
-        }
+        post_capacity(p, format!("edgecap_{}", e.id.index()), expr, Ratio::one());
     }
 }
 
@@ -490,6 +484,30 @@ mod tests {
         // And both kernel-pinned paths agree with the exact certified one.
         let exact = solve(&f, &g).unwrap();
         assert!((exact.ntask.to_f64() - sparse.objective_f64()).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn post_capacity_folds_bounds_but_keeps_infeasible_rows() {
+        use ss_lp::Sense;
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        // Single positive term: folds into the box, no row.
+        let mut e = LinExpr::new();
+        e.add(x, Ratio::from_int(2));
+        post_capacity(&mut p, "cap_x", e, Ratio::one());
+        assert_eq!(p.num_constraints(), 0);
+        assert_eq!(p.upper_bound(x), Some(&Ratio::new(1, 2)));
+        // Negative rhs stays a row so the solve reports Infeasible
+        // instead of the bound setter panicking.
+        let mut e = LinExpr::new();
+        e.add(y, Ratio::one());
+        post_capacity(&mut p, "neg", e, Ratio::from_int(-1));
+        assert_eq!(p.num_constraints(), 1);
+        assert!(matches!(
+            p.solve_exact(),
+            Err(ss_lp::SolveError::Infeasible)
+        ));
     }
 
     #[test]

@@ -21,9 +21,16 @@
 //! achieves **3/4** — strictly above the per-copy scatter bound (1/2) and
 //! strictly below the unachievable max-LP bound (1), an exact witness for
 //! the gap the paper describes.
+//!
+//! The [`TreePackingForm`] descriptor implements the engine's
+//! [`Formulation`], so the packing LP solves through either scalar
+//! backend and either pivoting kernel, with the exact path
+//! duality-certified like every other formulation
+//! ([`crate::engine::solve`] / [`crate::engine::solve_approx`]).
 
+use crate::engine::{self, Activities, Formulation};
 use crate::error::CoreError;
-use ss_lp::{Cmp, LinExpr, Problem, Sense};
+use ss_lp::{LinExpr, Problem, Sense, Var};
 use ss_num::Ratio;
 use ss_platform::{EdgeId, NodeId, Platform};
 use std::collections::BTreeSet;
@@ -223,70 +230,128 @@ pub fn enumerate_candidate_trees(
     out
 }
 
+/// Fractional tree packing as an engine formulation: maximize the total
+/// rate over the structurally enumerated candidate trees, under the
+/// one-port send/receive capacities their superposition occupies.
+#[derive(Clone, Debug)]
+pub struct TreePackingForm {
+    /// Multicast source.
+    pub source: NodeId,
+    /// Multicast targets (non-empty, source excluded).
+    pub targets: Vec<NodeId>,
+}
+
+impl TreePackingForm {
+    /// Descriptor for packing trees from `source` to `targets`.
+    pub fn new(source: NodeId, targets: &[NodeId]) -> TreePackingForm {
+        TreePackingForm {
+            source,
+            targets: targets.to_vec(),
+        }
+    }
+}
+
+/// Variable handles of the packing LP: one rate variable per candidate
+/// tree, with the candidates themselves carried along for extraction.
+pub struct TreeVars {
+    /// Enumerated candidate trees, parallel to `xs`.
+    pub candidates: Vec<MulticastTree>,
+    /// Per-tree rate variables.
+    pub xs: Vec<Var>,
+}
+
+impl Formulation for TreePackingForm {
+    type Vars = TreeVars;
+    type Solution = TreePacking;
+
+    fn name(&self) -> &'static str {
+        "multicast-trees"
+    }
+
+    fn build(&self, g: &Platform) -> Result<(Problem, TreeVars), CoreError> {
+        if self.targets.is_empty() || self.targets.contains(&self.source) {
+            return Err(CoreError::Invalid("bad target set".into()));
+        }
+        let candidates = enumerate_candidate_trees(g, self.source, &self.targets);
+        if candidates.is_empty() {
+            return Err(CoreError::Invalid("no tree reaches all targets".into()));
+        }
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..candidates.len())
+            .map(|i| p.add_var(format!("x{i}")))
+            .collect();
+        for &x in &xs {
+            p.set_objective_coeff(x, Ratio::one());
+        }
+        for i in g.node_ids() {
+            let mut send = LinExpr::new();
+            let mut recv = LinExpr::new();
+            for (ti, t) in candidates.iter().enumerate() {
+                let st = t.send_time(g, i);
+                if !st.is_zero() {
+                    send.add(xs[ti], st);
+                }
+                let rt = t.recv_time(g, i);
+                if !rt.is_zero() {
+                    recv.add(xs[ti], rt);
+                }
+            }
+            // Single-tree ports fold into the rate variable's box.
+            engine::post_capacity(&mut p, format!("send_{}", i.index()), send, Ratio::one());
+            engine::post_capacity(&mut p, format!("recv_{}", i.index()), recv, Ratio::one());
+        }
+        Ok((p, TreeVars { candidates, xs }))
+    }
+
+    fn extract(
+        &self,
+        g: &Platform,
+        vars: &TreeVars,
+        acts: &Activities<Ratio>,
+    ) -> Result<TreePacking, CoreError> {
+        let mut trees = Vec::new();
+        for (t, &x) in vars.candidates.iter().zip(&vars.xs) {
+            let rate = acts.value(x).clone();
+            if rate.is_positive() {
+                trees.push((t.clone(), rate));
+            }
+        }
+        let edge_time: Vec<Ratio> = g
+            .edges()
+            .map(|e| {
+                trees
+                    .iter()
+                    .filter(|(t, _)| t.edges.contains(&e.id))
+                    .map(|(_, x)| x * e.c)
+                    .sum()
+            })
+            .collect();
+        Ok(TreePacking {
+            rate: acts.objective().clone(),
+            trees,
+            edge_time,
+        })
+    }
+}
+
 /// Maximize the total rate of a fractional packing over the candidate
-/// trees (exact LP).
+/// trees (exact, duality-certified LP through the engine).
 pub fn solve_tree_packing(
     g: &Platform,
     source: NodeId,
     targets: &[NodeId],
 ) -> Result<TreePacking, CoreError> {
-    if targets.is_empty() || targets.contains(&source) {
-        return Err(CoreError::Invalid("bad target set".into()));
-    }
-    let candidates = enumerate_candidate_trees(g, source, targets);
-    if candidates.is_empty() {
-        return Err(CoreError::Invalid("no tree reaches all targets".into()));
-    }
-    let mut p = Problem::new(Sense::Maximize);
-    let xs: Vec<_> = (0..candidates.len())
-        .map(|i| p.add_var(format!("x{i}")))
-        .collect();
-    for &x in &xs {
-        p.set_objective_coeff(x, Ratio::one());
-    }
-    for i in g.node_ids() {
-        let mut send = LinExpr::new();
-        let mut recv = LinExpr::new();
-        for (ti, t) in candidates.iter().enumerate() {
-            let st = t.send_time(g, i);
-            if !st.is_zero() {
-                send.add(xs[ti], st);
-            }
-            let rt = t.recv_time(g, i);
-            if !rt.is_zero() {
-                recv.add(xs[ti], rt);
-            }
-        }
-        if !send.terms().is_empty() {
-            p.add_expr_constraint(format!("send_{}", i.index()), send, Cmp::Le, Ratio::one());
-        }
-        if !recv.terms().is_empty() {
-            p.add_expr_constraint(format!("recv_{}", i.index()), recv, Cmp::Le, Ratio::one());
-        }
-    }
-    let sol = p.solve_exact()?;
-    let mut trees = Vec::new();
-    for (ti, t) in candidates.into_iter().enumerate() {
-        let x = sol.value(xs[ti]).clone();
-        if x.is_positive() {
-            trees.push((t, x));
-        }
-    }
-    let edge_time: Vec<Ratio> = g
-        .edges()
-        .map(|e| {
-            trees
-                .iter()
-                .filter(|(t, _)| t.edges.contains(&e.id))
-                .map(|(_, x)| x * e.c)
-                .sum()
-        })
-        .collect();
-    Ok(TreePacking {
-        rate: sol.objective().clone(),
-        trees,
-        edge_time,
-    })
+    engine::solve(&TreePackingForm::new(source, targets), g)
+}
+
+/// The packing LP on the fast `f64` backend (raw activities; the total
+/// rate is the objective).
+pub fn solve_tree_packing_approx(
+    g: &Platform,
+    source: NodeId,
+    targets: &[NodeId],
+) -> Result<Activities<f64>, CoreError> {
+    engine::solve_approx(&TreePackingForm::new(source, targets), g)
 }
 
 #[cfg(test)]
@@ -368,5 +433,24 @@ mod tests {
         let (g, src, _) = paper::fig2_multicast();
         assert!(solve_tree_packing(&g, src, &[]).is_err());
         assert!(solve_tree_packing(&g, src, &[src]).is_err());
+    }
+
+    /// The engine port: both scalar backends and both pivoting kernels
+    /// agree on the packing rate, and the exact path is certified (the
+    /// engine's `solve` verifies the duality certificate internally).
+    #[test]
+    fn formulation_backends_and_kernels_agree() {
+        use ss_lp::KernelChoice;
+        let (g, src, targets) = paper::fig2_multicast();
+        let f = TreePackingForm::new(src, &targets);
+        let exact = engine::solve(&f, &g).unwrap();
+        assert_eq!(exact.rate, Ratio::new(3, 4));
+        let approx = solve_tree_packing_approx(&g, src, &targets).unwrap();
+        assert!((exact.rate.to_f64() - approx.objective_f64()).abs() < 1e-9);
+        let (dense, sparse) = engine::kernel_cross_check(&f, &g, 1e-6).unwrap();
+        assert!((dense.objective_f64() - sparse.objective_f64()).abs() <= 1e-6);
+        let dense_exact =
+            engine::solve_backend_kernel::<Ratio, _>(&f, &g, KernelChoice::Dense).unwrap();
+        assert_eq!(dense_exact.objective(), &exact.rate);
     }
 }

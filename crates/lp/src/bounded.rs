@@ -1,0 +1,291 @@
+//! The bounded-variable ratio test, shared by both kernels.
+//!
+//! With native bounds ([`BoundMode::Native`](crate::BoundMode)) a nonbasic
+//! variable rests at *either* of its bounds, and the entering step `t ≥ 0`
+//! moves the entering variable away from the bound it rests at: up from 0
+//! (`σ = +1`) or down from `u_q` (`σ = -1`). The basic values respond as
+//! `x_B ← x_B − σ t d` with `d = B⁻¹ a_q`, so the step is limited by three
+//! kinds of blocking event:
+//!
+//! 1. a basic variable driven **down** hits its lower bound 0,
+//! 2. a basic variable driven **up** hits its own upper bound,
+//! 3. the entering variable reaches its **opposite bound** — a *bound
+//!    flip*: its status toggles `AtLower ↔ AtUpper` and the basis does not
+//!    change at all (no eta, no elimination).
+//!
+//! Ties break on the smallest *variable* index among the blocking
+//! candidates (the entering variable counting as its own candidate for
+//! case 3) — Bland's rule extended to bounded variables, which keeps the
+//! exact-arithmetic termination guarantee on degenerate LPs.
+//!
+//! Artificial columns need no special-casing here: the kernels pin every
+//! artificial to `u = 0` once phase 1 ends, so "an entering column must
+//! not push a zero-level artificial positive" is exactly case 2 with zero
+//! headroom — a standard bounded-Bland candidate, covered by the
+//! termination proof. (An earlier ad-hoc guard that forced zero-ratio
+//! pivots on such rows regardless of direction sat outside the proof and
+//! could cycle on degenerate DAG-collection LPs.)
+
+use crate::scalar::Scalar;
+
+/// What blocks the entering step first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Leaving {
+    /// The entering variable reaches its opposite bound: flip its status,
+    /// keep the basis.
+    Flip,
+    /// The basic variable of `row` leaves the basis, resting at its upper
+    /// bound (`to_upper`) or at zero.
+    Row {
+        /// Basis row of the leaving variable.
+        row: usize,
+        /// `true` if the leaving variable exits at its upper bound.
+        to_upper: bool,
+    },
+}
+
+/// The blocking variable's index, for Bland tie-breaking.
+fn blocking_var(l: &Leaving, basis: &[usize], entering: usize) -> usize {
+    match l {
+        Leaving::Flip => entering,
+        Leaving::Row { row, .. } => basis[*row],
+    }
+}
+
+/// Sign-aware improvement test shared by both kernels' pricing rules:
+/// at-lower columns enter on `z > 0`, at-upper columns on `z < 0`.
+#[inline]
+pub(crate) fn improves<S: Scalar>(at_upper: bool, z: &S) -> bool {
+    if at_upper {
+        z.is_negative()
+    } else {
+        z.is_positive()
+    }
+}
+
+/// Shift every basic value by `-σ t d` (the response to the entering
+/// step), snapping epsilon residue to exact zero. `skip` excludes the
+/// pivot row, whose value the caller replaces via [`entering_value`].
+pub(crate) fn shift_basics<S: Scalar>(
+    x: &mut [S],
+    d: &[S],
+    t: &S,
+    sigma_pos: bool,
+    skip: Option<usize>,
+) {
+    if t.is_zero() {
+        return;
+    }
+    for (i, di) in d.iter().enumerate() {
+        if Some(i) == skip || di.is_zero() {
+            continue;
+        }
+        let delta = t.mul(di);
+        let nx = if sigma_pos {
+            x[i].sub(&delta)
+        } else {
+            x[i].add(&delta)
+        };
+        x[i] = if nx.is_zero() { S::zero() } else { nx };
+    }
+}
+
+/// The value the entering variable takes after a [`Leaving::Row`] step of
+/// size `t`: `t` up from 0, or `u_q − t` down from its upper bound
+/// (zero-snapped either way).
+pub(crate) fn entering_value<S: Scalar>(upper_q: Option<&S>, t: &S, sigma_pos: bool) -> S {
+    let v = if sigma_pos {
+        t.clone()
+    } else {
+        upper_q.expect("entering from upper implies a bound").sub(t)
+    };
+    if v.is_zero() {
+        S::zero()
+    } else {
+        v
+    }
+}
+
+/// Choose the leaving event for entering column `q` with transformed
+/// column `d`, current basic values `x`, and per-column upper bounds
+/// `upper` (the kernels' working copy — artificials pinned to 0 in
+/// phase 2). `sigma_pos` is `true` when `q` enters from its lower bound.
+/// Returns `None` when no event blocks the step (the LP is unbounded).
+pub(crate) fn choose_leaving<S: Scalar>(
+    d: &[S],
+    x: &[S],
+    basis: &[usize],
+    upper: &[Option<S>],
+    q: usize,
+    sigma_pos: bool,
+) -> Option<(Leaving, S)> {
+    let mut best: Option<(Leaving, S)> = None;
+    let mut consider = |cand: Leaving, ratio: S| {
+        let replace = match &best {
+            None => true,
+            Some((bl, br)) => {
+                ratio < *br
+                    || (ratio == *br && blocking_var(&cand, basis, q) < blocking_var(bl, basis, q))
+            }
+        };
+        if replace {
+            best = Some((cand, ratio));
+        }
+    };
+
+    // Case 3: the entering variable's own opposite bound. The travel is
+    // `u_q` in either direction (0 → u_q or u_q → 0).
+    if let Some(u) = &upper[q] {
+        consider(Leaving::Flip, u.clone());
+    }
+
+    for (i, di) in d.iter().enumerate() {
+        if di.is_zero() {
+            continue;
+        }
+        // Basic i moves by `-σ d_i` per unit step.
+        let decreasing = if sigma_pos {
+            di.is_positive()
+        } else {
+            di.is_negative()
+        };
+        let step = if di.is_negative() {
+            di.neg()
+        } else {
+            di.clone()
+        };
+        if decreasing {
+            // Case 1: hits lower bound 0. f64 drift can leave a basic value
+            // a hair negative; clamp the ratio so feasibility is preserved.
+            let r = x[i].div(&step);
+            let r = if r.is_negative() { S::zero() } else { r };
+            consider(
+                Leaving::Row {
+                    row: i,
+                    to_upper: false,
+                },
+                r,
+            );
+        } else if let Some(u) = &upper[basis[i]] {
+            // Case 2: hits its own upper bound (same drift clamp).
+            let headroom = u.sub(&x[i]);
+            let headroom = if headroom.is_negative() {
+                S::zero()
+            } else {
+                headroom
+            };
+            consider(
+                Leaving::Row {
+                    row: i,
+                    to_upper: true,
+                },
+                headroom.div(&step),
+            );
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_num::Ratio;
+
+    fn ri(n: i64) -> Ratio {
+        Ratio::from_int(n)
+    }
+
+    #[test]
+    fn basic_hits_lower_bound() {
+        // One row, basic slack at 4, d = [2]: ratio 2, leaves at lower.
+        let (l, t) =
+            choose_leaving::<Ratio>(&[ri(2)], &[ri(4)], &[1], &[None, None], 0, true).unwrap();
+        assert_eq!(
+            l,
+            Leaving::Row {
+                row: 0,
+                to_upper: false
+            }
+        );
+        assert_eq!(t, ri(2));
+    }
+
+    #[test]
+    fn basic_hits_upper_bound() {
+        // d = [-1] drives basic var 1 (value 1, upper 3) upward: headroom 2.
+        let (l, t) =
+            choose_leaving::<Ratio>(&[ri(-1)], &[ri(1)], &[1], &[None, Some(ri(3))], 0, true)
+                .unwrap();
+        assert_eq!(
+            l,
+            Leaving::Row {
+                row: 0,
+                to_upper: true
+            }
+        );
+        assert_eq!(t, ri(2));
+    }
+
+    #[test]
+    fn entering_bound_flip_wins_when_tightest() {
+        // Entering var 0 has u = 1, row candidate would allow 4.
+        let (l, t) =
+            choose_leaving::<Ratio>(&[ri(1)], &[ri(4)], &[1], &[Some(ri(1)), None], 0, true)
+                .unwrap();
+        assert_eq!(l, Leaving::Flip);
+        assert_eq!(t, ri(1));
+    }
+
+    #[test]
+    fn unbounded_when_nothing_blocks() {
+        // d = [-1], basic var unbounded above, entering unbounded.
+        assert!(
+            choose_leaving::<Ratio>(&[ri(-1)], &[ri(1)], &[1], &[None, None], 0, true).is_none()
+        );
+    }
+
+    #[test]
+    fn pinned_artificial_blocks_at_zero_headroom() {
+        // Basic var 3 is an artificial pinned to u = 0 in phase 2; a
+        // direction that would push it up is blocked at ratio 0 by the
+        // ordinary upper-bound case.
+        let (l, t) = choose_leaving::<Ratio>(
+            &[ri(-5)],
+            &[ri(0)],
+            &[3],
+            &[None, None, None, Some(ri(0))],
+            0,
+            true,
+        )
+        .unwrap();
+        assert_eq!(
+            l,
+            Leaving::Row {
+                row: 0,
+                to_upper: true
+            }
+        );
+        assert!(t.is_zero());
+    }
+
+    #[test]
+    fn ties_break_on_smallest_variable_index() {
+        // Two rows tie at ratio 1; basic vars 5 and 2 — row 1 (var 2) wins.
+        let (l, _) = choose_leaving::<Ratio>(
+            &[ri(1), ri(1)],
+            &[ri(1), ri(1)],
+            &[5, 2],
+            &[None, None, None, None, None, None],
+            0,
+            true,
+        )
+        .unwrap();
+        assert_eq!(
+            l,
+            Leaving::Row {
+                row: 1,
+                to_upper: false
+            }
+        );
+    }
+}

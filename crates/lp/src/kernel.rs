@@ -7,9 +7,11 @@
 //! [`SparseRevised`](crate::sparse::SparseRevised) revised simplex (CSC
 //! columns, product-form basis updates, pricing over nonzeros only —
 //! built for the >90%-zero steady-state LPs at scale). Both run on either
-//! [`Scalar`] backend; [`KernelChoice::Auto`] picks sparse for `f64` and
-//! dense for exact `Ratio` (the certification path) until sparse-exact
-//! has more mileage.
+//! [`Scalar`] backend; [`KernelChoice::Auto`] now picks the sparse kernel
+//! for *every* scalar — the exact `Ratio` path included, after the sparse
+//! kernel earned its mileage through the kernel-agreement suites — with
+//! the dense tableau demoted to a cross-check reference (`--kernel=dense`
+//! still pins it).
 
 use crate::scalar::Scalar;
 use crate::simplex::SimplexOptions;
@@ -32,8 +34,10 @@ pub enum Kernel {
 /// Kernel selection for a solve.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum KernelChoice {
-    /// Scalar-driven: sparse revised simplex for inexact scalars (the big
-    /// sweeps), dense tableau for exact scalars (the certification path).
+    /// The sparse revised simplex for every scalar backend — exact `Ratio`
+    /// solves included (promoted after the kernel-agreement suites gave
+    /// sparse-exact enough mileage; the dense tableau remains the
+    /// cross-check reference).
     #[default]
     Auto,
     /// Force the dense tableau.
@@ -47,14 +51,7 @@ impl KernelChoice {
     pub fn resolve<S: Scalar>(self) -> Kernel {
         match self {
             KernelChoice::Dense => Kernel::Dense,
-            KernelChoice::Sparse => Kernel::SparseRevised,
-            KernelChoice::Auto => {
-                if S::EXACT {
-                    Kernel::Dense
-                } else {
-                    Kernel::SparseRevised
-                }
-            }
+            KernelChoice::Auto | KernelChoice::Sparse => Kernel::SparseRevised,
         }
     }
 }
@@ -121,7 +118,7 @@ pub fn solve_with_kernel<S: Scalar>(
     kernel: &dyn LpKernel<S>,
     opts: &SimplexOptions,
 ) -> Result<Solution<S>, SolveError> {
-    let sf = crate::standard::lower::<S>(problem);
+    let sf = crate::standard::lower_with::<S>(problem, opts.bound_mode);
     let out = kernel.solve(&sf, opts)?;
     Ok(crate::standard::assemble(problem, &sf, out, kernel.tag()))
 }
@@ -143,10 +140,11 @@ mod tests {
     use ss_num::Ratio;
 
     #[test]
-    fn auto_resolution_follows_scalar_exactness() {
-        assert_eq!(KernelChoice::Auto.resolve::<Ratio>(), Kernel::Dense);
+    fn auto_resolution_is_sparse_for_both_scalars() {
+        assert_eq!(KernelChoice::Auto.resolve::<Ratio>(), Kernel::SparseRevised);
         assert_eq!(KernelChoice::Auto.resolve::<f64>(), Kernel::SparseRevised);
         assert_eq!(KernelChoice::Dense.resolve::<f64>(), Kernel::Dense);
+        assert_eq!(KernelChoice::Dense.resolve::<Ratio>(), Kernel::Dense);
         assert_eq!(
             KernelChoice::Sparse.resolve::<Ratio>(),
             Kernel::SparseRevised

@@ -14,14 +14,22 @@
 //!
 //! …and over the **pivoting kernel** ([`LpKernel`]):
 //!
-//! * [`DenseTableau`] — the full two-phase tableau, O(rows·cols) per pivot,
-//!   trivially auditable; the default for exact solves.
 //! * [`SparseRevised`] — sparse revised simplex (CSC columns, product-form
-//!   basis updates, pricing over nonzeros only); the default for `f64`,
-//!   built for the >90%-zero steady-state LPs at platform scale.
+//!   basis updates, pricing over nonzeros only); the default for **both**
+//!   scalar backends, built for the >90%-zero steady-state LPs at
+//!   platform scale.
+//! * [`DenseTableau`] — the full two-phase tableau, O(rows·cols) per pivot,
+//!   trivially auditable; the cross-check reference.
 //!
-//! [`KernelChoice::Auto`] picks per scalar; `SimplexOptions { kernel, .. }`
-//! or [`set_default_kernel`] override.
+//! [`KernelChoice::Auto`] resolves to the sparse kernel;
+//! `SimplexOptions { kernel, .. }` or [`set_default_kernel`] override.
+//!
+//! Variable upper bounds `0 ≤ x ≤ u` are handled **natively** in both
+//! kernels ([`BoundMode::Native`]): a nonbasic variable tracks whether it
+//! rests `AtLower` or `AtUpper`, pricing is sign-aware, and the ratio test
+//! admits bound flips that change no basis at all — so box constraints
+//! never inflate the basis. [`BoundMode::LoweredRows`] keeps the legacy
+//! one-row-per-bound lowering alive as an agreement oracle.
 //!
 //! ```
 //! use ss_lp::{Problem, Sense, Cmp};
@@ -42,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bounded;
 mod kernel;
 mod problem;
 mod scalar;
@@ -59,4 +68,4 @@ pub use scalar::Scalar;
 pub use simplex::SimplexOptions;
 pub use solution::{PivotRule, Solution, SolveError, Status};
 pub use sparse::SparseRevised;
-pub use standard::{lower, KernelOutput, StandardForm};
+pub use standard::{lower, lower_with, BoundMode, KernelOutput, StandardForm};

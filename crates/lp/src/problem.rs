@@ -125,8 +125,10 @@ pub(crate) struct ConstraintRow {
 /// A linear program in build form.
 ///
 /// Variables are non-negative; optional upper bounds are stored separately
-/// and lowered to rows at solve time. Problem data is always exact
-/// ([`Ratio`]); the solve method chooses the kernel arithmetic.
+/// and handed to the kernels as native bound metadata at solve time (or
+/// lowered to explicit rows under
+/// [`BoundMode::LoweredRows`](crate::BoundMode)). Problem data is always
+/// exact ([`Ratio`]); the solve method chooses the kernel arithmetic.
 pub struct Problem {
     sense: Sense,
     var_names: Vec<String>,
@@ -175,6 +177,26 @@ impl Problem {
             "upper bound below the implicit lower bound 0"
         );
         self.upper_bounds[var.0] = Some(ub);
+    }
+
+    /// Tighten the upper bound of a variable: keep the smaller of the
+    /// existing bound (if any) and `ub`. This is how capacity rows of the
+    /// shape `c·x ≤ b` fold into the box `x ≤ b/c` instead of becoming
+    /// explicit rows.
+    pub fn tighten_upper_bound(&mut self, var: Var, ub: Ratio) {
+        assert!(
+            !ub.is_negative(),
+            "upper bound below the implicit lower bound 0"
+        );
+        match &self.upper_bounds[var.0] {
+            Some(cur) if *cur <= ub => {}
+            _ => self.upper_bounds[var.0] = Some(ub),
+        }
+    }
+
+    /// The upper bound of a variable, if one is set.
+    pub fn upper_bound(&self, var: Var) -> Option<&Ratio> {
+        self.upper_bounds[var.0].as_ref()
     }
 
     /// Set the objective coefficient of a variable (default 0).
@@ -261,7 +283,7 @@ impl Problem {
 
     /// Solve with exact rational arithmetic (Bland's rule; guaranteed
     /// termination, exact optimum). Kernel per the process default
-    /// ([`KernelChoice::Auto`]: dense tableau).
+    /// ([`KernelChoice::Auto`]: sparse revised simplex).
     pub fn solve_exact(&self) -> Result<Solution<Ratio>, SolveError> {
         kernel::solve::<Ratio>(self, &SimplexOptions::default())
     }

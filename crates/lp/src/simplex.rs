@@ -4,14 +4,18 @@
 //! Pivoting: Bland's rule when the scalar is exact (guaranteed termination —
 //! important because steady-state LPs are heavily degenerate: many activity
 //! variables sit at 0 or at the one-port bound), Dantzig pricing with a
-//! Bland fallback for `f64`. The tableau is O(rows·cols) per pivot; for
-//! the mostly-zero LPs the platform sweeps build at scale, prefer the
+//! Bland fallback for `f64`. Variable upper bounds are handled natively in
+//! the ratio test (see [`crate::bounded`]): nonbasic columns rest at either
+//! bound, pricing is sign-aware, and bound flips skip the elimination
+//! entirely. The tableau is O(rows·cols) per pivot; for the mostly-zero
+//! LPs the platform sweeps build at scale, prefer the
 //! [`SparseRevised`](crate::sparse::SparseRevised) kernel.
 
+use crate::bounded::{choose_leaving, entering_value, improves, shift_basics, Leaving};
 use crate::kernel::{DenseTableau, Kernel, KernelChoice, LpKernel};
 use crate::scalar::Scalar;
 use crate::solution::{PivotRule, SolveError};
-use crate::standard::{KernelOutput, StandardForm};
+use crate::standard::{BoundMode, KernelOutput, StandardForm};
 
 /// Tuning knobs for the simplex kernels.
 #[derive(Clone, Debug)]
@@ -23,6 +27,9 @@ pub struct SimplexOptions {
     pub force_bland: bool,
     /// Which pivoting engine runs the solve.
     pub kernel: KernelChoice,
+    /// How variable upper bounds reach the kernel (native metadata by
+    /// default; lowered rows as the agreement oracle).
+    pub bound_mode: BoundMode,
 }
 
 impl Default for SimplexOptions {
@@ -34,6 +41,7 @@ impl Default for SimplexOptions {
             max_iterations: 0,
             force_bland: false,
             kernel: crate::kernel::default_kernel(),
+            bound_mode: BoundMode::default(),
         }
     }
 }
@@ -43,6 +51,14 @@ impl SimplexOptions {
     pub fn with_kernel(kernel: KernelChoice) -> SimplexOptions {
         SimplexOptions {
             kernel,
+            ..SimplexOptions::default()
+        }
+    }
+
+    /// Default options with an explicit bound handling.
+    pub fn with_bound_mode(bound_mode: BoundMode) -> SimplexOptions {
+        SimplexOptions {
+            bound_mode,
             ..SimplexOptions::default()
         }
     }
@@ -59,21 +75,26 @@ impl SimplexOptions {
 }
 
 struct Tableau<S> {
-    /// `rows x (ncols + 1)`; the last column is the rhs.
+    /// `rows x ncols` — the transformed constraint matrix `B⁻¹ A`.
     a: Vec<Vec<S>>,
     ncols: usize,
     basis: Vec<usize>,
+    /// Current value of each basic variable (parallel to `a`'s rows).
+    x: Vec<S>,
+    /// Nonbasic-at-upper status per column (structural bounded columns
+    /// only; always false under [`BoundMode::LoweredRows`]).
+    at_upper: Vec<bool>,
+    /// Working upper bounds: the standard form's, plus artificials pinned
+    /// to 0 once phase 1 ends (the anti-cycling-safe way to keep them at
+    /// level zero through phase 2).
+    upper: Vec<Option<S>>,
 }
 
 impl<S: Scalar> Tableau<S> {
-    #[inline]
-    fn rhs(&self, i: usize) -> &S {
-        &self.a[i][self.ncols]
-    }
-
-    /// Pivot on (row, col): normalize the pivot row, eliminate the column
-    /// from every other row and from `cost`.
-    fn pivot(&mut self, row: usize, col: usize, cost: &mut [S]) {
+    /// Eliminate column `col` around `row`: normalize the pivot row,
+    /// clear the column from every other row and from `cost`, and record
+    /// the basis change. Basic *values* are the caller's job.
+    fn eliminate(&mut self, row: usize, col: usize, cost: &mut [S]) {
         let pivot_val = self.a[row][col].clone();
         debug_assert!(!pivot_val.is_zero());
         let prow = &mut self.a[row];
@@ -112,75 +133,51 @@ impl<S: Scalar> Tableau<S> {
         self.basis[row] = col;
     }
 
-    /// Bland's rule: smallest-index column with positive reduced cost.
+    /// Bland's rule: smallest-index eligible column (sign-aware via
+    /// [`improves`]).
     fn entering_bland(&self, cost: &[S], active: &[bool]) -> Option<usize> {
-        (0..self.ncols).find(|&j| active[j] && cost[j].is_positive())
+        (0..self.ncols).find(|&j| active[j] && improves(self.at_upper[j], &cost[j]))
     }
 
-    /// Dantzig's rule: most positive reduced cost.
+    /// Dantzig's rule: largest improvement rate `|z_j|` among eligible.
     fn entering_dantzig(&self, cost: &[S], active: &[bool]) -> Option<usize> {
-        let mut best: Option<usize> = None;
+        let mut best: Option<(usize, S)> = None;
         for j in 0..self.ncols {
-            if !active[j] || !cost[j].is_positive() {
+            if !active[j] || !improves(self.at_upper[j], &cost[j]) {
                 continue;
             }
-            match best {
-                None => best = Some(j),
-                Some(b) if cost[j] > cost[b] => best = Some(j),
+            let score = if self.at_upper[j] {
+                cost[j].neg()
+            } else {
+                cost[j].clone()
+            };
+            match &best {
+                None => best = Some((j, score)),
+                Some((_, bs)) if score > *bs => best = Some((j, score)),
                 _ => {}
             }
         }
-        best
-    }
-
-    /// Ratio test with Bland tie-breaking (smallest basic variable index).
-    fn leaving(&self, col: usize) -> Option<usize> {
-        let mut best: Option<(usize, S)> = None;
-        for i in 0..self.a.len() {
-            let aij = &self.a[i][col];
-            if !aij.is_positive() {
-                continue;
-            }
-            let ratio = self.rhs(i).div(aij);
-            match &best {
-                None => best = Some((i, ratio)),
-                Some((bi, br)) => {
-                    if ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi]) {
-                        best = Some((i, ratio));
-                    }
-                }
-            }
-        }
-        best.map(|(i, _)| i)
+        best.map(|(j, _)| j)
     }
 }
 
-/// Price out the basic variables from a freshly built cost row, returning the
-/// objective value of the current basic solution.
-#[allow(clippy::needless_range_loop)] // the rhs column (j == ncols) is special-cased
-fn price_out<S: Scalar>(t: &Tableau<S>, cost: &mut [S], costs_full: &[S]) -> S {
-    let mut obj = S::zero();
+/// Price out the basic variables from a freshly built cost row.
+fn price_out<S: Scalar>(t: &Tableau<S>, cost: &mut [S], costs_full: &[S]) {
     for (i, &b) in t.basis.iter().enumerate() {
         let cb = &costs_full[b];
         if cb.is_zero() {
             continue;
         }
-        for j in 0..=t.ncols {
-            let aij = &t.a[i][j];
-            if aij.is_zero() {
-                continue;
-            }
-            if j == t.ncols {
-                obj = obj.add(&cb.mul(aij));
-            } else {
+        for (j, aij) in t.a[i].iter().enumerate() {
+            if !aij.is_zero() {
                 cost[j] = cost[j].sub(&cb.mul(aij));
             }
         }
     }
-    obj
 }
 
-/// Run pivots until optimality/unboundedness/limit. Returns iterations used.
+/// Run pivots until optimality/unboundedness/limit. Returns iterations used
+/// (bound flips included).
 fn optimize<S: Scalar>(
     t: &mut Tableau<S>,
     cost: &mut [S],
@@ -205,10 +202,25 @@ fn optimize<S: Scalar>(
         let Some(col) = entering else {
             return Ok(iters);
         };
-        let Some(row) = t.leaving(col) else {
+        let sigma_pos = !t.at_upper[col];
+        let d: Vec<S> = t.a.iter().map(|row| row[col].clone()).collect();
+        let Some((leaving, step)) = choose_leaving(&d, &t.x, &t.basis, &t.upper, col, sigma_pos)
+        else {
             return Err(SolveError::Unbounded);
         };
-        t.pivot(row, col, cost);
+        match leaving {
+            Leaving::Flip => {
+                shift_basics(&mut t.x, &d, &step, sigma_pos, None);
+                t.at_upper[col] = !t.at_upper[col];
+            }
+            Leaving::Row { row, to_upper } => {
+                shift_basics(&mut t.x, &d, &step, sigma_pos, Some(row));
+                t.at_upper[t.basis[row]] = to_upper;
+                t.x[row] = entering_value(t.upper[col].as_ref(), &step, sigma_pos);
+                t.at_upper[col] = false;
+                t.eliminate(row, col, cost);
+            }
+        }
         iters += 1;
         if iters >= *budget {
             return Err(SolveError::IterationLimit);
@@ -234,20 +246,21 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
         let ncols = sf.ncols;
         let art_start = sf.art_start;
 
-        // Scatter the CSC columns into dense rows; last column is the rhs.
+        // Scatter the CSC columns into dense rows; basic values start as
+        // the rhs (every nonbasic variable starts at its lower bound 0).
         let mut t = Tableau {
-            a: vec![vec![S::zero(); ncols + 1]; m],
+            a: vec![vec![S::zero(); ncols]; m],
             ncols,
             basis: sf.basis0.clone(),
+            x: sf.rhs.clone(),
+            at_upper: vec![false; ncols],
+            upper: sf.upper.clone(),
         };
         for j in 0..ncols {
             let (rows, vals) = sf.column(j);
             for (i, v) in rows.iter().zip(vals) {
                 t.a[*i][j] = v.clone();
             }
-        }
-        for (i, b) in sf.rhs.iter().enumerate() {
-            t.a[i][ncols] = b.clone();
         }
 
         let mut budget = opts.budget(m, ncols);
@@ -256,14 +269,14 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
 
         // Phase 1: drive artificials to zero (maximize -sum of artificials).
         if sf.num_artificials() > 0 {
-            let mut costs_full = vec![S::zero(); ncols + 1];
-            for c in costs_full.iter_mut().take(ncols).skip(art_start) {
+            let mut costs_full = vec![S::zero(); ncols];
+            for c in costs_full.iter_mut().skip(art_start) {
                 *c = S::one().neg();
             }
             // `cost` starts as a copy of the pristine costs; price_out
             // mutates it against the basic rows while reading the original.
             let mut cost = costs_full.clone();
-            let _ = price_out(&t, &mut cost, &costs_full);
+            price_out(&t, &mut cost, &costs_full);
             let active = vec![true; ncols];
             let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
             phase1_iters = it;
@@ -276,39 +289,65 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
             let mut art_sum = S::zero();
             for (i, &b) in t.basis.iter().enumerate() {
                 if b >= art_start {
-                    art_sum = art_sum.add(t.rhs(i));
+                    art_sum = art_sum.add(&t.x[i]);
                 }
             }
             if !art_sum.is_zero() {
                 return Err(SolveError::Infeasible);
             }
-            // Pivot lingering zero-level artificials out of the basis.
+            // Snap lingering zero-level artificials to exact zero and pin
+            // every artificial to u = 0: phase 2's ratio test then blocks
+            // any step that would lift one, as an ordinary upper-bound
+            // candidate with zero headroom. Then pivot zero-level basics
+            // out where a real at-lower column is available (a degenerate
+            // basis change: no value moves).
+            for (i, &b) in t.basis.iter().enumerate() {
+                if b >= art_start {
+                    t.x[i] = S::zero();
+                }
+            }
+            for u in t.upper.iter_mut().skip(art_start) {
+                *u = Some(S::zero());
+            }
             let mut drop_rows: Vec<usize> = Vec::new();
             for i in 0..t.a.len() {
                 if t.basis[i] < art_start {
                     continue;
                 }
-                let col = (0..art_start).find(|&j| !t.a[i][j].is_zero());
+                // An at-upper column cannot enter at value 0, so only
+                // at-lower columns qualify for the degenerate swap.
+                let col = (0..art_start).find(|&j| !t.a[i][j].is_zero() && !t.at_upper[j]);
                 match col {
                     Some(j) => {
-                        let mut dummy_cost = vec![S::zero(); ncols + 1];
-                        t.pivot(i, j, &mut dummy_cost);
+                        let mut dummy_cost = vec![S::zero(); ncols];
+                        t.eliminate(i, j, &mut dummy_cost);
+                        t.x[i] = S::zero();
                     }
-                    // Entire row zero over real columns: redundant constraint.
-                    None => drop_rows.push(i),
+                    // Entire row zero over enterable columns: either the
+                    // constraint is redundant (all-zero row: drop it) or
+                    // the pinned artificial stays basic at level zero,
+                    // protected through phase 2 by its u = 0 bound.
+                    None => {
+                        if (0..art_start).all(|j| t.a[i][j].is_zero()) {
+                            drop_rows.push(i);
+                        }
+                    }
                 }
             }
             for &i in drop_rows.iter().rev() {
                 t.a.remove(i);
                 t.basis.remove(i);
+                t.x.remove(i);
             }
         }
 
         // Phase 2: original objective over structural + slack columns only.
-        let mut costs_full: Vec<S> = sf.cost2.clone();
-        costs_full.push(S::zero());
+        let costs_full: Vec<S> = sf.cost2.clone();
         let mut cost = costs_full.clone();
-        let _ = price_out(&t, &mut cost, &costs_full);
+        price_out(&t, &mut cost, &costs_full);
+        // Nonbasic-at-upper columns contribute to the initial reduced
+        // costs only through the basic rows, which price_out already
+        // covers — reduced costs are independent of where nonbasics rest.
         let mut active = vec![true; ncols];
         for a in active.iter_mut().take(ncols).skip(art_start) {
             *a = false; // artificials may never re-enter
@@ -316,17 +355,34 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
         let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
         total_iters += it;
 
-        // Extract the structural solution.
+        // Extract the structural solution: at-upper nonbasics sit at their
+        // bound, basic variables at their tableau value.
         let mut values = vec![S::zero(); sf.nstruct];
+        for (j, v) in values.iter_mut().enumerate() {
+            if t.at_upper[j] {
+                *v = sf.upper[j].clone().expect("at_upper implies a bound");
+            }
+        }
         for (i, &b) in t.basis.iter().enumerate() {
             if b < sf.nstruct {
-                values[b] = t.rhs(i).clone();
+                values[b] = t.x[i].clone();
             }
         }
 
         // Each witness column's final reduced cost is `-y_i` for the
         // normalized maximize system.
         let reduced_witness = sf.witness.iter().map(|&w| cost[w].clone()).collect();
+        // Active bounds get their multiplier from the column's own final
+        // reduced cost (`μ_j = z_j ≥ 0` at optimality for at-upper columns).
+        let bound_mults = (0..sf.nstruct)
+            .map(|j| {
+                if t.at_upper[j] {
+                    cost[j].clone()
+                } else {
+                    S::zero()
+                }
+            })
+            .collect();
 
         let pivot_rule = if S::EXACT || opts.force_bland {
             PivotRule::Bland
@@ -336,6 +392,7 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
         Ok(KernelOutput {
             values,
             reduced_witness,
+            bound_mults,
             iterations: total_iters,
             phase1_iterations: phase1_iters,
             pivot_rule,

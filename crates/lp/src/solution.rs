@@ -103,6 +103,12 @@ impl<S: Scalar> Solution<S> {
 
     /// Dual of a variable's upper bound (`None` if the variable has no
     /// upper bound).
+    ///
+    /// Under native bound handling
+    /// ([`BoundMode::Native`](crate::BoundMode)) this is the sign-corrected
+    /// final reduced cost of the column when it ends nonbasic at its upper
+    /// bound (zero otherwise); under lowered rows it is the dual of the
+    /// explicit bound row. Both produce the same certificate.
     #[inline]
     pub fn bound_dual(&self, var: Var) -> Option<&S> {
         self.bound_duals[var.index()].as_ref()

@@ -18,23 +18,32 @@
 //!   dual prices for reduced-cost pricing.
 //! * **Pricing** walks nonzero column entries only: `z_j = c_j − y·a_j`
 //!   costs O(nnz) per iteration instead of the dense kernel's
-//!   O(rows·cols) pivot.
+//!   O(rows·cols) pivot. With native bounds the test is sign-aware:
+//!   at-lower columns enter on `z_j > 0`, at-upper columns on `z_j < 0`.
+//! * **Bounded ratio test** (see [`crate::bounded`]): a step is blocked by
+//!   a basic variable hitting either of its bounds *or* by the entering
+//!   variable reaching its own opposite bound — a **bound flip** that
+//!   costs no eta and no basis change at all. This is what lets the
+//!   steady-state formulations keep their thousands of `0 ≤ x ≤ u` box
+//!   constraints out of the basis entirely.
 //! * **Reinversion**: the eta file grows by one per pivot, so every
 //!   [`REINVERT_INTERVAL`] pivots the basis is refactorized from scratch
 //!   (product-form Gaussian elimination over the basic columns), which
-//!   also refreshes the basic values from `rhs` and flushes accumulated
-//!   `f64` drift.
+//!   also refreshes the basic values from the bound-adjusted rhs
+//!   `b − Σ_{j at upper} u_j a_j` and flushes accumulated `f64` drift.
 //!
 //! Pivoting rules mirror the dense kernel: Bland for exact scalars (the
 //! anti-cycling guarantee matters — steady-state LPs are heavily
 //! degenerate), Dantzig with a Bland stall-fallback for `f64`. Zero-level
 //! artificials that linger in the basis after phase 1 are never pivoted
-//! out eagerly; instead the ratio test treats any nonzero pivot entry in
-//! such a row as a zero-ratio leaving candidate, so an entering column
-//! can never push an artificial positive and redundant rows simply keep
-//! their artificial basic at level zero (its dual price is then exactly
-//! zero, matching the dense kernel's row-dropping semantics).
+//! out eagerly; instead every artificial is **pinned to `u = 0`** once
+//! phase 1 ends, so the bounded ratio test blocks any step that would
+//! lift one — an ordinary zero-headroom upper-bound candidate, inside
+//! Bland's termination proof — and redundant rows simply keep their
+//! artificial basic at level zero (its dual price is then exactly zero,
+//! matching the dense kernel's row-dropping semantics).
 
+use crate::bounded::{choose_leaving, entering_value, improves, shift_basics, Leaving};
 use crate::kernel::{Kernel, LpKernel};
 use crate::scalar::Scalar;
 use crate::simplex::SimplexOptions;
@@ -124,8 +133,13 @@ struct Engine<'a, S> {
     /// `basis[i]` = column occupying row `i` of the factorized basis.
     basis: Vec<usize>,
     in_basis: Vec<bool>,
-    /// `x[i]` = current value of `basis[i]` (always ≥ 0).
+    /// `x[i]` = current value of `basis[i]` (always in `[0, u]`).
     x: Vec<S>,
+    /// Nonbasic-at-upper status per column (bounded structural only).
+    at_upper: Vec<bool>,
+    /// Working upper bounds: the standard form's, plus artificials pinned
+    /// to 0 once phase 1 ends.
+    upper: Vec<Option<S>>,
 }
 
 impl<'a, S: Scalar> Engine<'a, S> {
@@ -140,6 +154,8 @@ impl<'a, S: Scalar> Engine<'a, S> {
             basis: sf.basis0.clone(),
             in_basis,
             x: sf.rhs.clone(),
+            at_upper: vec![false; sf.ncols],
+            upper: sf.upper.clone(),
         }
     }
 
@@ -172,15 +188,19 @@ impl<'a, S: Scalar> Engine<'a, S> {
         z
     }
 
-    /// Bland: smallest-index nonbasic active column with positive reduced
-    /// cost.
+    /// Bland: smallest-index nonbasic active column that improves
+    /// (sign-aware via [`improves`]).
     fn entering_bland(&self, cost: &[S], active: &[bool], y: &[S]) -> Option<usize> {
         (0..self.sf.ncols).find(|&j| {
-            active[j] && !self.in_basis[j] && self.reduced_cost(j, cost, y).is_positive()
+            active[j] && !self.in_basis[j] && {
+                let z = self.reduced_cost(j, cost, y);
+                improves(self.at_upper[j], &z)
+            }
         })
     }
 
-    /// Dantzig: most positive reduced cost among nonbasic active columns.
+    /// Dantzig: largest improvement rate `|z_j|` among nonbasic active
+    /// columns that improve.
     fn entering_dantzig(&self, cost: &[S], active: &[bool], y: &[S]) -> Option<usize> {
         let mut best: Option<(usize, S)> = None;
         for (j, act) in active.iter().enumerate() {
@@ -188,82 +208,30 @@ impl<'a, S: Scalar> Engine<'a, S> {
                 continue;
             }
             let z = self.reduced_cost(j, cost, y);
-            if !z.is_positive() {
+            if !improves(self.at_upper[j], &z) {
                 continue;
             }
+            let score = if self.at_upper[j] { z.neg() } else { z };
             match &best {
-                None => best = Some((j, z)),
-                Some((_, bz)) if z > *bz => best = Some((j, z)),
+                None => best = Some((j, score)),
+                Some((_, bs)) if score > *bs => best = Some((j, score)),
                 _ => {}
             }
         }
         best.map(|(j, _)| j)
     }
 
-    /// Ratio test over the transformed entering column `d`, with Bland
-    /// tie-breaking (smallest basic variable index).
-    ///
-    /// Zero-level basic artificials are special: any nonzero `d_i` in such
-    /// a row makes it a zero-ratio candidate (even `d_i < 0` — a
-    /// degenerate pivot on a negative element is sound when the leaving
-    /// value is exactly zero, and it is the only way to stop the entering
-    /// column from pushing the artificial positive).
-    fn leaving(&self, d: &[S]) -> Option<usize> {
-        let art_start = self.sf.art_start;
-        let mut best: Option<(usize, S)> = None;
-        for (i, di) in d.iter().enumerate() {
-            let ratio = if self.basis[i] >= art_start && self.x[i].is_zero() && !di.is_zero() {
-                S::zero()
-            } else if di.is_positive() {
-                let r = self.x[i].div(di);
-                // f64 drift can leave a basic value a hair negative;
-                // clamp the ratio so feasibility is preserved.
-                if r.is_negative() {
-                    S::zero()
-                } else {
-                    r
-                }
-            } else {
-                continue;
-            };
-            match &best {
-                None => best = Some((i, ratio)),
-                Some((bi, br)) => {
-                    if ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi]) {
-                        best = Some((i, ratio));
-                    }
-                }
-            }
-        }
-        best.map(|(i, _)| i)
-    }
-
-    /// Replace `basis[row]` by column `q` whose transformed column is `d`:
-    /// update the basic values, append the eta, and reinvert on schedule.
-    fn pivot(&mut self, row: usize, q: usize, d: &[S]) {
-        let t = {
-            let r = self.x[row].div(&d[row]);
-            // Degenerate artificial exits pivot on a negative element with
-            // x[row] == 0; keep the step at exactly zero.
-            if r.is_negative() || r.is_zero() {
-                S::zero()
-            } else {
-                r
-            }
-        };
-        if !t.is_zero() {
-            for (i, di) in d.iter().enumerate() {
-                if i == row || di.is_zero() {
-                    continue;
-                }
-                let nx = self.x[i].sub(&t.mul(di));
-                // Snap epsilon residue (exact zeros for Ratio are free).
-                self.x[i] = if nx.is_zero() { S::zero() } else { nx };
-            }
-        }
-        self.x[row] = t;
-        self.in_basis[self.basis[row]] = false;
+    /// Replace `basis[row]` by column `q` entering with step `t` in
+    /// direction `σ`, whose transformed column is `d`: update the basic
+    /// values, append the eta, and reinvert on schedule.
+    fn pivot(&mut self, row: usize, q: usize, d: &[S], t: &S, sigma_pos: bool, to_upper: bool) {
+        shift_basics(&mut self.x, d, t, sigma_pos, Some(row));
+        self.x[row] = entering_value(self.upper[q].as_ref(), t, sigma_pos);
+        let leave = self.basis[row];
+        self.in_basis[leave] = false;
+        self.at_upper[leave] = to_upper;
         self.in_basis[q] = true;
+        self.at_upper[q] = false;
         self.basis[row] = q;
         self.factors.push(row, d);
         if self.factors.fresh >= REINVERT_INTERVAL {
@@ -274,7 +242,7 @@ impl<'a, S: Scalar> Engine<'a, S> {
     /// Refactorize the current basis from scratch: product-form Gaussian
     /// elimination over the basic columns (unit columns first — slacks and
     /// artificials still basic contribute no eta at all), then refresh the
-    /// basic values as `B⁻¹ rhs`.
+    /// basic values as `B⁻¹ (b − Σ_{j at upper} u_j a_j)`.
     fn reinvert(&mut self) {
         let m = self.sf.m;
         let mut fresh = Factors::identity();
@@ -337,15 +305,30 @@ impl<'a, S: Scalar> Engine<'a, S> {
         self.basis = new_basis;
         self.factors = fresh;
         self.factors.fresh = 0;
-        // Refresh basic values from the factorization (flushes drift).
-        let mut x = self.sf.rhs.clone();
-        self.factors.ftran(&mut x);
-        for v in x.iter_mut() {
+        self.refresh_basics();
+    }
+
+    /// Recompute the basic values from the factorization and the
+    /// bound-adjusted rhs (flushes f64 drift; exact for `Ratio`).
+    fn refresh_basics(&mut self) {
+        let mut b = self.sf.rhs.clone();
+        for (j, up) in self.at_upper.iter().enumerate() {
+            if !up {
+                continue;
+            }
+            let u = self.upper[j].as_ref().expect("at_upper implies a bound");
+            let (rows, vals) = self.sf.column(j);
+            for (i, a) in rows.iter().zip(vals) {
+                b[*i] = b[*i].sub(&u.mul(a));
+            }
+        }
+        self.factors.ftran(&mut b);
+        for v in b.iter_mut() {
             if v.is_zero() || v.is_negative() {
                 *v = S::zero();
             }
         }
-        self.x = x;
+        self.x = b;
     }
 
     /// Run pivots until optimality/unboundedness/limit for the given cost.
@@ -373,12 +356,23 @@ impl<'a, S: Scalar> Engine<'a, S> {
             let Some(q) = entering else {
                 return Ok(iters);
             };
+            let sigma_pos = !self.at_upper[q];
             let mut d = self.scatter(q);
             self.factors.ftran(&mut d);
-            let Some(row) = self.leaving(&d) else {
+            let Some((leaving, step)) =
+                choose_leaving(&d, &self.x, &self.basis, &self.upper, q, sigma_pos)
+            else {
                 return Err(SolveError::Unbounded);
             };
-            self.pivot(row, q, &d);
+            match leaving {
+                Leaving::Flip => {
+                    shift_basics(&mut self.x, &d, &step, sigma_pos, None);
+                    self.at_upper[q] = !self.at_upper[q];
+                }
+                Leaving::Row { row, to_upper } => {
+                    self.pivot(row, q, &d, &step, sigma_pos, to_upper);
+                }
+            }
             iters += 1;
             if iters >= *budget {
                 return Err(SolveError::IterationLimit);
@@ -435,12 +429,16 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
             if !art_sum.is_zero() {
                 return Err(SolveError::Infeasible);
             }
-            // Snap lingering zero-level artificials to exact zero; the
-            // guarded ratio test keeps them there through phase 2.
+            // Snap lingering zero-level artificials to exact zero and pin
+            // every artificial to u = 0; the bounded ratio test keeps them
+            // at level zero through phase 2.
             for (i, &b) in eng.basis.iter().enumerate() {
                 if b >= sf.art_start {
                     eng.x[i] = S::zero();
                 }
+            }
+            for u in eng.upper.iter_mut().skip(sf.art_start) {
+                *u = Some(S::zero());
             }
         }
 
@@ -453,6 +451,11 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
         total_iters += it;
 
         let mut values = vec![S::zero(); sf.nstruct];
+        for (j, v) in values.iter_mut().enumerate() {
+            if eng.at_upper[j] {
+                *v = sf.upper[j].clone().expect("at_upper implies a bound");
+            }
+        }
         for (i, &b) in eng.basis.iter().enumerate() {
             if b < sf.nstruct {
                 values[b] = eng.x[i].clone();
@@ -461,9 +464,20 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
 
         // Witness reduced costs from the final dual prices: the witness of
         // raw row k is a `+e_k` column with zero phase-2 cost, so its
-        // reduced cost is exactly `-y_k`.
+        // reduced cost is exactly `-y_k`. Active bounds take their
+        // multiplier from the column's own reduced cost (`μ_j = z_j ≥ 0`
+        // at optimality for at-upper columns).
         let y = eng.prices(&sf.cost2);
         let reduced_witness = (0..sf.witness.len()).map(|k| y[k].neg()).collect();
+        let bound_mults = (0..sf.nstruct)
+            .map(|j| {
+                if eng.at_upper[j] {
+                    eng.reduced_cost(j, &sf.cost2, &y)
+                } else {
+                    S::zero()
+                }
+            })
+            .collect();
 
         let pivot_rule = if S::EXACT || opts.force_bland {
             PivotRule::Bland
@@ -473,6 +487,7 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
         Ok(KernelOutput {
             values,
             reduced_witness,
+            bound_mults,
             iterations: total_iters,
             phase1_iterations: phase1_iters,
             pivot_rule,

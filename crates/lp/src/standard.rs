@@ -4,11 +4,10 @@
 //! The lowering is the part of a simplex solve that is independent of the
 //! pivoting engine: flip negative right-hand sides, append slack/surplus
 //! and artificial columns, record the dual *witness* column of every raw
-//! row, and lower variable upper bounds into explicit rows. Kernels see a
-//! fully lowered maximize-form system
+//! row, and carry variable upper bounds. Kernels see a maximize-form system
 //!
 //! ```text
-//! maximize  cost2 · x   s.t.   A x = rhs,  x ≥ 0,  rhs ≥ 0
+//! maximize  cost2 · x   s.t.   A x = rhs,  0 ≤ x ≤ u,  rhs ≥ 0
 //! ```
 //!
 //! with the constraint matrix stored once in **compressed sparse column**
@@ -16,10 +15,38 @@
 //! revised-simplex kernel consumes it directly — plus an initial basis
 //! `basis0` that is exactly the identity (one slack or artificial unit
 //! column per row).
+//!
+//! ## Bound handling
+//!
+//! Variable upper bounds `x_j ≤ u_j` have two lowerings, selected by
+//! [`BoundMode`]:
+//!
+//! * [`BoundMode::Native`] (the default) keeps each bound as **column
+//!   metadata** in [`StandardForm::upper`]. Kernels run the
+//!   bounded-variable ratio test: nonbasic variables rest at *either*
+//!   bound (`AtLower`/`AtUpper`), pricing is sign-aware, and an entering
+//!   variable may simply flip to its opposite bound without a basis
+//!   change. The basis stays the size of the explicit constraint set —
+//!   on the steady-state LPs this is ~10x fewer rows than lowering.
+//! * [`BoundMode::LoweredRows`] appends one explicit `x_j ≤ u_j` row per
+//!   bound (the pre-bounded behaviour), kept alive as an agreement oracle
+//!   for tests and cross-checks.
 
 use crate::problem::{Cmp, Problem, Sense};
 use crate::scalar::Scalar;
 use crate::solution::{PivotRule, Solution};
+
+/// How variable upper bounds are handed to the kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BoundMode {
+    /// Keep `0 ≤ x ≤ u` as column metadata; kernels run the
+    /// bounded-variable ratio test (smaller basis, bound flips).
+    #[default]
+    Native,
+    /// Lower each upper bound into an explicit `x ≤ u` row (the legacy
+    /// shape; the agreement oracle for the native path).
+    LoweredRows,
+}
 
 /// A lowered LP in kernel-ready standard form, scalar type `S`.
 ///
@@ -29,7 +56,8 @@ use crate::solution::{PivotRule, Solution};
 /// [`StandardForm::art_start`]).
 #[derive(Clone, Debug)]
 pub struct StandardForm<S> {
-    /// Number of rows (explicit constraints + lowered upper bounds).
+    /// Number of rows (explicit constraints, plus lowered upper bounds in
+    /// [`BoundMode::LoweredRows`]).
     pub m: usize,
     /// Total columns: structural + slack/surplus + artificial.
     pub ncols: usize,
@@ -62,11 +90,18 @@ pub struct StandardForm<S> {
     /// slack/surplus/artificial columns).
     pub cost2: Vec<S>,
     /// Number of explicit constraint rows (the first `num_explicit` raw
-    /// rows); the remainder are lowered upper bounds.
+    /// rows); the remainder are lowered upper bounds
+    /// ([`BoundMode::LoweredRows`] only — `num_explicit == m` natively).
     pub num_explicit: usize,
     /// For raw row `num_explicit + k`: the variable whose upper bound it
-    /// lowers.
+    /// lowers ([`BoundMode::LoweredRows`] only; empty natively).
     pub bound_vars: Vec<usize>,
+    /// Per-column upper bound ([`BoundMode::Native`] only; all `None` in
+    /// [`BoundMode::LoweredRows`]). Slack, surplus and artificial columns
+    /// are never bounded.
+    pub upper: Vec<Option<S>>,
+    /// The bound handling this form was lowered with.
+    pub bound_mode: BoundMode,
 }
 
 impl<S: Scalar> StandardForm<S> {
@@ -94,12 +129,19 @@ impl<S: Scalar> StandardForm<S> {
 /// without the kernel knowing about senses, flips, or bound lowering.
 #[derive(Clone, Debug)]
 pub struct KernelOutput<S> {
-    /// Structural variable values at the optimum.
+    /// Structural variable values at the optimum (nonbasic-at-upper
+    /// variables report their bound).
     pub values: Vec<S>,
     /// Final phase-2 reduced cost of each raw row's witness column
     /// (`= -y_i` in the normalized maximize system).
     pub reduced_witness: Vec<S>,
-    /// Total pivots across both phases.
+    /// Bound multiplier `μ_j ≥ 0` per structural variable in the
+    /// normalized maximize system: the final reduced cost of column `j`
+    /// when it is nonbasic at its upper bound, zero otherwise. Only
+    /// meaningful under [`BoundMode::Native`] (bounds have no columns of
+    /// their own when lowered to rows).
+    pub bound_mults: Vec<S>,
+    /// Total pivots across both phases (bound flips included).
     pub iterations: usize,
     /// Pivots spent in phase 1.
     pub phase1_iterations: usize,
@@ -107,8 +149,14 @@ pub struct KernelOutput<S> {
     pub pivot_rule: PivotRule,
 }
 
-/// Lower `problem` into kernel-ready standard form with scalar type `S`.
+/// Lower `problem` into kernel-ready standard form with native bounds
+/// ([`BoundMode::Native`]).
 pub fn lower<S: Scalar>(problem: &Problem) -> StandardForm<S> {
+    lower_with::<S>(problem, BoundMode::Native)
+}
+
+/// Lower `problem` with an explicit [`BoundMode`].
+pub fn lower_with<S: Scalar>(problem: &Problem, bound_mode: BoundMode) -> StandardForm<S> {
     let nstruct = problem.num_vars();
 
     struct RawRow<S> {
@@ -131,14 +179,16 @@ pub fn lower<S: Scalar>(problem: &Problem) -> StandardForm<S> {
     }
     let num_explicit = raw.len();
     let mut bound_vars = Vec::new();
-    for (j, ub) in problem.upper_bounds().iter().enumerate() {
-        if let Some(ub) = ub {
-            raw.push(RawRow {
-                coeffs: vec![(j, S::one())],
-                cmp: Cmp::Le,
-                rhs: S::from_ratio(ub),
-            });
-            bound_vars.push(j);
+    if bound_mode == BoundMode::LoweredRows {
+        for (j, ub) in problem.upper_bounds().iter().enumerate() {
+            if let Some(ub) = ub {
+                raw.push(RawRow {
+                    coeffs: vec![(j, S::one())],
+                    cmp: Cmp::Le,
+                    rhs: S::from_ratio(ub),
+                });
+                bound_vars.push(j);
+            }
         }
     }
 
@@ -229,6 +279,15 @@ pub fn lower<S: Scalar>(problem: &Problem) -> StandardForm<S> {
         cost2[j] = if negate { c.neg() } else { c };
     }
 
+    let mut upper = vec![None; ncols];
+    if bound_mode == BoundMode::Native {
+        for (j, ub) in problem.upper_bounds().iter().enumerate() {
+            if let Some(ub) = ub {
+                upper[j] = Some(S::from_ratio(ub));
+            }
+        }
+    }
+
     StandardForm {
         m,
         ncols,
@@ -245,12 +304,14 @@ pub fn lower<S: Scalar>(problem: &Problem) -> StandardForm<S> {
         cost2,
         num_explicit,
         bound_vars,
+        upper,
+        bound_mode,
     }
 }
 
 /// Package a kernel's output into the public [`Solution`]: recompute the
 /// objective from the point (exact, sign-safe), and undo the rhs flips and
-/// the minimize negation on the duals.
+/// the minimize negation on the duals and bound multipliers.
 pub fn assemble<S: Scalar>(
     problem: &Problem,
     sf: &StandardForm<S>,
@@ -278,6 +339,17 @@ pub fn assemble<S: Scalar>(
             bound_duals[sf.bound_vars[k - sf.num_explicit]] = Some(y);
         }
     }
+    if sf.bound_mode == BoundMode::Native {
+        // Native bounds have no witness rows; the multiplier of an active
+        // bound is the column's own final reduced cost (sign-corrected for
+        // minimization, exactly like the row duals).
+        for (j, ub) in problem.upper_bounds().iter().enumerate() {
+            if ub.is_some() {
+                let mu = &out.bound_mults[j];
+                bound_duals[j] = Some(if sf.negate { mu.neg() } else { mu.clone() });
+            }
+        }
+    }
 
     Solution::new(
         out.values,
@@ -296,8 +368,7 @@ mod tests {
     use super::*;
     use ss_num::Ratio;
 
-    #[test]
-    fn lowering_shape_and_layout() {
+    fn two_row_bounded_problem() -> Problem {
         use crate::problem::Sense;
         let mut p = Problem::new(Sense::Minimize);
         let x = p.add_var_bounded("x", Ratio::from_int(5));
@@ -310,7 +381,30 @@ mod tests {
             Ratio::from_int(2),
         );
         p.add_constraint("eq", [(y, Ratio::one())], Cmp::Eq, Ratio::from_int(-1));
+        p
+    }
+
+    #[test]
+    fn native_lowering_keeps_bounds_as_metadata() {
+        let p = two_row_bounded_problem();
         let sf = lower::<Ratio>(&p);
+        // 2 explicit rows only; the bound lives on the column.
+        assert_eq!(sf.m, 2);
+        assert_eq!(sf.num_explicit, 2);
+        assert!(sf.bound_vars.is_empty());
+        assert_eq!(sf.bound_mode, BoundMode::Native);
+        assert_eq!(sf.upper[0], Some(Ratio::from_int(5)));
+        assert_eq!(sf.upper[1], None);
+        // Slack/artificial columns are never bounded.
+        assert!(sf.upper[sf.nstruct..].iter().all(Option::is_none));
+        assert!(sf.negate);
+        assert!(!sf.flipped[0] && sf.flipped[1]);
+    }
+
+    #[test]
+    fn lowered_rows_shape_and_layout() {
+        let p = two_row_bounded_problem();
+        let sf = lower_with::<Ratio>(&p, BoundMode::LoweredRows);
         // 2 explicit rows + 1 bound row; Ge gives slack+art, flipped Eq
         // gives art, bound gives slack.
         assert_eq!(sf.m, 3);
@@ -318,8 +412,7 @@ mod tests {
         assert_eq!(sf.num_explicit, 2);
         assert_eq!(sf.bound_vars, vec![0]);
         assert_eq!(sf.num_artificials(), 2);
-        assert!(sf.negate);
-        assert!(!sf.flipped[0] && sf.flipped[1]);
+        assert!(sf.upper.iter().all(Option::is_none));
         // rhs normalized non-negative.
         assert!(sf.rhs.iter().all(|r| !r.is_negative()));
         // Initial basis columns are +e_i unit columns.
@@ -329,6 +422,6 @@ mod tests {
             assert_eq!(vals, &[Ratio::one()]);
         }
         // Minimize lowered to maximize: cost negated.
-        assert_eq!(sf.cost2[x.index()], Ratio::from_int(-1));
+        assert_eq!(sf.cost2[0], Ratio::from_int(-1));
     }
 }

@@ -13,16 +13,20 @@ fn default_kernel_steers_plain_solves() {
     p.set_objective_coeff(x, Ratio::one());
     p.add_constraint("c", [(x, Ratio::from_int(2))], Cmp::Le, Ratio::from_int(4));
 
-    // Out of the box: Auto (dense for exact, sparse for f64).
+    // Out of the box: Auto (sparse revised simplex for both backends —
+    // exact solves were promoted to sparse once it had agreement mileage).
     assert_eq!(ss_lp::default_kernel(), KernelChoice::Auto);
-    assert_eq!(p.solve_exact().unwrap().kernel(), Kernel::Dense);
+    assert_eq!(p.solve_exact().unwrap().kernel(), Kernel::SparseRevised);
     assert_eq!(p.solve_f64().unwrap().kernel(), Kernel::SparseRevised);
 
-    // Forcing dense steers the f64 path too.
+    // Forcing dense steers both scalar backends to the reference tableau.
     ss_lp::set_default_kernel(KernelChoice::Dense);
     assert_eq!(p.solve_f64().unwrap().kernel(), Kernel::Dense);
+    let s = p.solve_exact().unwrap();
+    assert_eq!(s.kernel(), Kernel::Dense);
+    assert_eq!(s.objective(), &Ratio::from_int(2));
 
-    // Forcing sparse steers the exact path.
+    // Explicit sparse keeps working.
     ss_lp::set_default_kernel(KernelChoice::Sparse);
     let s = p.solve_exact().unwrap();
     assert_eq!(s.kernel(), Kernel::SparseRevised);

@@ -100,7 +100,7 @@ fn negative_rhs_normalization() {
 }
 
 #[test]
-fn upper_bounds_as_rows() {
+fn upper_bounds_reach_the_optimum() {
     let mut p = Problem::new(Sense::Maximize);
     let x = p.add_var_bounded("x", r(1, 2));
     let y = p.add_var_bounded("y", r(1, 3));
