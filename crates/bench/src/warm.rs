@@ -1,0 +1,302 @@
+//! Warm-started re-solve experiments: the `warm-scale` sweep and the
+//! `warm-smoke` CI guard.
+//!
+//! §5.5 re-solves the steady-state LP every phase from observed
+//! parameters. The [`warm_scale`] sweep drives a large SSMS platform
+//! through ~20 drift phases twice — once through a hot
+//! [`SolveSession`] (basis reuse) and once solving every phase from
+//! scratch — and records pivots and wall-clock per phase to
+//! `BENCH_lp_warm.json`, asserting in-sweep that warm re-solves pivot
+//! strictly less on average. [`warm_smoke`] is the correctness guard:
+//! small platforms, exact and `f64` sessions against per-phase cold
+//! solves, certificates verified, and a shape-changing drift that must
+//! trigger the cold fallback.
+
+use crate::parallel::par_map;
+use crate::table::{banner, print_table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ss_core::engine::{self, Formulation};
+use ss_core::master_slave::MasterSlave;
+use ss_core::session::SolveSession;
+use ss_core::WarmOutcome;
+use ss_lp::KernelChoice;
+use ss_num::Ratio;
+use ss_platform::{topo, Platform};
+use ss_sim::dynamic::ParamScale;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Drift phases per platform in the sweep (phase 0 is nominal/cold).
+const PHASES: usize = 20;
+
+/// Mild multiplicative drift: each node/edge is rescaled with probability
+/// `prob` by a factor in [2/3, 3/2] — the NWS-style "machine got loaded /
+/// link got congested" regime of §5.5.
+fn random_drift(rng: &mut StdRng, g: &Platform, prob: f64) -> ParamScale {
+    let mut s = ParamScale::nominal(g);
+    for w in s.w_mult.iter_mut() {
+        if rng.gen_bool(prob) {
+            *w = Ratio::new(rng.gen_range(8..=18), 12);
+        }
+    }
+    for c in s.c_mult.iter_mut() {
+        if rng.gen_bool(prob) {
+            *c = Ratio::new(rng.gen_range(8..=18), 12);
+        }
+    }
+    s
+}
+
+struct PhasePoint {
+    outcome: WarmOutcome,
+    warm_pivots: usize,
+    cold_pivots: usize,
+    warm_ms: f64,
+    cold_ms: f64,
+}
+
+struct WarmSweep {
+    p: usize,
+    phases: Vec<PhasePoint>,
+    mean_warm: f64,
+    mean_cold: f64,
+}
+
+fn sweep_platform(p: usize) -> WarmSweep {
+    let mut rng = StdRng::seed_from_u64(p as u64);
+    let (g, m) = topo::random_connected(&mut rng, p, 0.25, &topo::ParamRange::default());
+    let f = MasterSlave::new(m);
+    let mut sess: SolveSession<f64, MasterSlave> =
+        SolveSession::with_kernel(MasterSlave::new(m), KernelChoice::Sparse);
+
+    let mut drift_rng = StdRng::seed_from_u64(0xd21f7 + p as u64);
+    let mut phases = Vec::with_capacity(PHASES);
+    for t in 0..PHASES {
+        let scale = if t == 0 {
+            ParamScale::nominal(&g)
+        } else {
+            random_drift(&mut drift_rng, &g, 0.3)
+        };
+        let gp = scale.apply(&g);
+
+        let t0 = Instant::now();
+        let warm = sess.resolve(&gp).expect("warm re-solve");
+        let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // The cold reference: identical instance, fresh two-phase solve.
+        let (lp, _) = f.build(&gp).expect("SSMS build");
+        let t0 = Instant::now();
+        let cold =
+            engine::solve_problem_kernel::<f64>(&lp, KernelChoice::Sparse).expect("cold solve");
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let err = (warm.activities.objective_f64() - cold.objective_f64()).abs();
+        assert!(
+            err <= crate::scale::BACKEND_TOLERANCE * (1.0 + cold.objective_f64().abs()),
+            "p={p} phase={t}: warm/cold disagree |Δ| = {err:.3e}"
+        );
+        if t > 0 {
+            assert_ne!(
+                warm.telemetry.outcome,
+                WarmOutcome::Cold,
+                "p={p} phase={t}: session lost its warm state"
+            );
+        }
+        phases.push(PhasePoint {
+            outcome: warm.telemetry.outcome,
+            warm_pivots: warm.telemetry.iterations,
+            cold_pivots: cold.iterations(),
+            warm_ms,
+            cold_ms,
+        });
+    }
+
+    // The sweep's reason to exist, asserted in-sweep: across the re-solve
+    // phases (1..), basis reuse pivots strictly less on average.
+    let resolves = &phases[1..];
+    let mean_warm =
+        resolves.iter().map(|q| q.warm_pivots).sum::<usize>() as f64 / resolves.len() as f64;
+    let mean_cold =
+        resolves.iter().map(|q| q.cold_pivots).sum::<usize>() as f64 / resolves.len() as f64;
+    assert!(
+        mean_warm < mean_cold,
+        "p={p}: warm re-solves pivot no less than cold ({mean_warm:.1} vs {mean_cold:.1})"
+    );
+    WarmSweep {
+        p,
+        phases,
+        mean_warm,
+        mean_cold,
+    }
+}
+
+/// `warm-scale`: a drifting p = 96 / 192 platform re-solved across
+/// [`PHASES`] phases through a hot session vs from scratch; per-phase
+/// pivots and times recorded to `BENCH_lp_warm.json`, with the in-sweep
+/// assertion that warm re-solves pivot strictly less on average.
+pub fn warm_scale() {
+    banner(
+        "warm-scale",
+        "§5.5 — warm-started re-solve sessions vs cold per-phase solves (drifting SSMS)",
+    );
+    let sweeps = par_map(vec![96usize, 192], sweep_platform);
+
+    for sw in &sweeps {
+        println!("\np = {} ({} phases):", sw.p, sw.phases.len());
+        let rows: Vec<Vec<String>> = sw
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(t, q)| {
+                vec![
+                    t.to_string(),
+                    q.outcome.to_string(),
+                    q.warm_pivots.to_string(),
+                    q.cold_pivots.to_string(),
+                    format!("{:.2}", q.warm_ms),
+                    format!("{:.2}", q.cold_ms),
+                ]
+            })
+            .collect();
+        print_table(
+            &[
+                "phase",
+                "path",
+                "warm pivots",
+                "cold pivots",
+                "warm ms",
+                "cold ms",
+            ],
+            &rows,
+        );
+        println!(
+            "mean over re-solves: warm {:.1} vs cold {:.1} pivots ({:.1}x fewer, asserted strict)",
+            sw.mean_warm,
+            sw.mean_cold,
+            sw.mean_cold / sw.mean_warm.max(1.0)
+        );
+    }
+
+    match write_warm_json(&sweeps) {
+        Ok(path) => println!("\nrecorded warm-vs-cold phases to {path}"),
+        Err(e) => eprintln!("could not write BENCH_lp_warm.json: {e}"),
+    }
+}
+
+fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
+    let mut s = String::from("{\n  \"warm_scale\": [\n");
+    for (i, sw) in sweeps.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"p\": {}, \"mean_warm_pivots\": {:.2}, \"mean_cold_pivots\": {:.2}, \
+             \"phases\": [",
+            sw.p, sw.mean_warm, sw.mean_cold
+        );
+        for (t, q) in sw.phases.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{\"phase\": {}, \"path\": \"{}\", \"warm_pivots\": {}, \
+                 \"cold_pivots\": {}, \"warm_ms\": {:.3}, \"cold_ms\": {:.3}}}",
+                t, q.outcome, q.warm_pivots, q.cold_pivots, q.warm_ms, q.cold_ms
+            );
+            s.push_str(if t + 1 < sw.phases.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("    ]}");
+        s.push_str(if i + 1 < sweeps.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp_warm.json");
+    std::fs::write(path, s)?;
+    Ok("BENCH_lp_warm.json".into())
+}
+
+/// `warm-smoke`: the CI guard for the warm-start machinery. Small
+/// platforms, both scalar backends: session re-solves must agree with
+/// per-phase cold solves (exactly for `Ratio`, within tolerance for
+/// `f64`), verify duality certificates at checkpoints, go through the
+/// warm machinery from phase 2 on, pivot less in total — and a
+/// shape-changing drift must trigger the cold fallback, not an error.
+pub fn warm_smoke() {
+    banner(
+        "warm-smoke",
+        "warm-start regression guard — sessions vs cold re-solves, both backends, small p",
+    );
+    let mut rows = Vec::new();
+    for p in [8usize, 12] {
+        let mut rng = StdRng::seed_from_u64(11_000 + p as u64);
+        let (g, m) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let mut drift_rng = StdRng::seed_from_u64(22_000 + p as u64);
+
+        let mut exact_sess: SolveSession<Ratio, MasterSlave> =
+            SolveSession::new(MasterSlave::new(m));
+        let mut fast_sess: SolveSession<f64, MasterSlave> = SolveSession::new(MasterSlave::new(m));
+        let mut warm_pivots = 0usize;
+        let mut cold_pivots = 0usize;
+        let mut warm_used = 0usize;
+        for t in 0..6 {
+            let scale = if t == 0 {
+                ParamScale::nominal(&g)
+            } else {
+                random_drift(&mut drift_rng, &g, 0.4)
+            };
+            let gp = scale.apply(&g);
+            let exact = exact_sess.resolve(&gp).expect("exact warm re-solve");
+            let cold = engine::solve_backend::<Ratio, _>(&MasterSlave::new(m), &gp)
+                .expect("exact cold solve");
+            assert_eq!(
+                exact.activities.objective(),
+                cold.objective(),
+                "p={p} phase={t}: exact warm optimum drifted"
+            );
+            let fast = fast_sess.resolve(&gp).expect("f64 warm re-solve");
+            let err = (fast.activities.objective_f64() - cold.objective().to_f64()).abs();
+            assert!(
+                err <= crate::scale::BACKEND_TOLERANCE,
+                "p={p} phase={t}: f64 warm drifts by {err:.3e}"
+            );
+            if t > 0 {
+                assert_ne!(
+                    exact.telemetry.outcome,
+                    WarmOutcome::Cold,
+                    "p={p} phase={t}"
+                );
+                warm_pivots += exact.telemetry.iterations;
+                cold_pivots += cold.iterations();
+                if exact.telemetry.outcome.used_warm_basis() {
+                    warm_used += 1;
+                }
+            }
+            // Checkpoint: exact re-certification of both sessions.
+            exact_sess.certify(&gp).expect("exact certification");
+            fast_sess.certify(&gp).expect("f64-session certification");
+        }
+        assert!(
+            warm_pivots < cold_pivots,
+            "p={p}: warm re-solves did not save pivots ({warm_pivots} vs {cold_pivots})"
+        );
+        assert!(warm_used > 0, "p={p}: no re-solve reused the warm basis");
+
+        // A platform of a different shape must fall back cold — and the
+        // session must re-warm on the new shape afterwards.
+        let mut rng2 = StdRng::seed_from_u64(33_000 + p as u64);
+        let (g2, _) = topo::random_connected(&mut rng2, p + 3, 0.3, &topo::ParamRange::default());
+        let fb = exact_sess.resolve(&g2).expect("shape-change re-solve");
+        assert_eq!(fb.telemetry.outcome, WarmOutcome::ColdFallback, "p={p}");
+        let rewarmed = exact_sess.resolve(&g2).expect("re-warm on new shape");
+        assert!(rewarmed.telemetry.outcome.used_warm_basis(), "p={p}");
+
+        rows.push(vec![
+            p.to_string(),
+            format!("{warm_used}/5"),
+            warm_pivots.to_string(),
+            cold_pivots.to_string(),
+            exact_sess.stats().certifications.to_string(),
+        ]);
+    }
+    print_table(
+        &["p", "warm used", "warm pivots", "cold pivots", "certs"],
+        &rows,
+    );
+    println!("sessions agree with cold re-solves on both backends (asserted; failures panic CI).");
+}

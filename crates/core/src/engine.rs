@@ -101,6 +101,16 @@ impl<S: Scalar> Activities<S> {
     }
 }
 
+/// Package a raw `ss-lp` solution as [`Activities`] of `p`'s shape (the
+/// constructor the re-solve sessions use).
+pub(crate) fn activities_from<S: Scalar>(solution: Solution<S>, p: &Problem) -> Activities<S> {
+    Activities {
+        solution,
+        num_vars: p.num_vars(),
+        num_constraints: p.num_constraints(),
+    }
+}
+
 /// One steady-state problem: how to build its LP and how to read the
 /// solution back. Implementations are cheap descriptor structs
 /// ([`crate::master_slave::MasterSlave`], [`crate::collective::Collective`],

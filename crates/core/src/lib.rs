@@ -76,6 +76,7 @@ pub mod multicast;
 pub mod multicast_trees;
 pub mod reduce;
 pub mod scatter;
+pub mod session;
 
 mod collective;
 mod error;
@@ -85,3 +86,5 @@ pub use error::CoreError;
 pub use master_slave::{MasterSlave, MasterSlaveSolution, PortModel};
 pub use multicast::EdgeCoupling;
 pub use scatter::CollectiveSolution;
+pub use session::{SessionSolve, SessionStats, SolveSession, SolveTelemetry};
+pub use ss_lp::{WarmOutcome, WarmStart};

@@ -1,0 +1,283 @@
+//! Stateful **re-solve sessions**: solve the same steady-state problem
+//! repeatedly against drifting platform parameters, warm-starting every
+//! re-solve from the previous optimal basis.
+//!
+//! §5.5 of the paper argues steady-state scheduling is naturally adaptive:
+//! work is organized in phases, and between phases the activity variables
+//! are recomputed from observed resource performance. A
+//! [`SolveSession`] owns a [`Formulation`] descriptor and carries the
+//! scalar-free [`WarmStart`] snapshot from one solve to the next, so a
+//! per-phase re-solve reuses the previous basis and bound statuses —
+//! skipping the phase-1 pivots that dominate a cold solve of the
+//! equality-heavy steady-state LPs. When the platform's *shape* changes
+//! (nodes or links appear or disappear), the snapshot no longer matches
+//! and the kernel transparently falls back to a cold solve; the
+//! [`SolveTelemetry`] on every result records which path ran.
+//!
+//! Because the snapshot carries only column indices and bound sides — no
+//! scalar values — one session can serve fast `f64` re-solves *and* hand
+//! the same statuses to an exact `Ratio` re-certification at checkpoints
+//! ([`SolveSession::certify`]), which verifies the full LP-duality
+//! certificate on the exact optimum.
+
+use crate::engine::{activities_from, Activities, Formulation};
+use crate::error::CoreError;
+use ss_lp::{KernelChoice, Scalar, SimplexOptions, WarmOutcome, WarmStart};
+use ss_num::Ratio;
+use ss_platform::Platform;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// How one session re-solve went: the warm/cold path taken and the pivot
+/// work spent.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveTelemetry {
+    /// Which path the solve took (see [`WarmOutcome`]).
+    pub outcome: WarmOutcome,
+    /// Total simplex pivots (both phases, bound flips included).
+    pub iterations: usize,
+    /// Pivots spent before phase 2: phase-1 pivots on a cold solve,
+    /// composite-repair pivots on a [`WarmOutcome::Repaired`] solve, and
+    /// 0 on a pure warm solve.
+    pub phase1_iterations: usize,
+    /// Wall-clock of the solve (build + lower + pivot), in milliseconds.
+    pub solve_ms: f64,
+}
+
+/// Cumulative counters of a session's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Total re-solves served.
+    pub solves: usize,
+    /// Solves that started from the hinted basis unrepaired.
+    pub warm: usize,
+    /// Solves that started from the hinted basis after repair.
+    pub repaired: usize,
+    /// Solves that had a hint but fell back to a cold start.
+    pub cold_fallback: usize,
+    /// Hint-less cold solves (the session's first solve).
+    pub cold: usize,
+    /// Total pivots across all solves.
+    pub iterations: usize,
+    /// Exact re-certifications performed ([`SolveSession::certify`]).
+    pub certifications: usize,
+}
+
+impl SessionStats {
+    fn record(&mut self, t: &SolveTelemetry) {
+        self.solves += 1;
+        self.iterations += t.iterations;
+        match t.outcome {
+            WarmOutcome::Cold => self.cold += 1,
+            WarmOutcome::Warm => self.warm += 1,
+            WarmOutcome::Repaired => self.repaired += 1,
+            WarmOutcome::ColdFallback => self.cold_fallback += 1,
+        }
+    }
+
+    /// Fraction of solves that actually reused a warm basis.
+    pub fn warm_fraction(&self) -> f64 {
+        if self.solves == 0 {
+            return 0.0;
+        }
+        (self.warm + self.repaired) as f64 / self.solves as f64
+    }
+}
+
+/// One session re-solve: the solved activities, the formulation's variable
+/// handles, and how the solve went.
+pub struct SessionSolve<S: Scalar, F: Formulation> {
+    /// Variable handles from this build (read individual activities).
+    pub vars: F::Vars,
+    /// The solved activity variables.
+    pub activities: Activities<S>,
+    /// Warm/cold path and pivot work of this solve.
+    pub telemetry: SolveTelemetry,
+}
+
+/// A stateful re-solve session: one formulation, many platforms.
+///
+/// See the [module docs](self) for the warm-start life cycle. The scalar
+/// parameter picks the arithmetic of [`SolveSession::resolve`]; exact
+/// re-certification is always available via [`SolveSession::certify`]
+/// regardless of `S`.
+pub struct SolveSession<S: Scalar, F: Formulation> {
+    formulation: F,
+    kernel: KernelChoice,
+    warm: Option<WarmStart>,
+    stats: SessionStats,
+    _scalar: PhantomData<S>,
+}
+
+impl<S: Scalar, F: Formulation> SolveSession<S, F> {
+    /// New session with the process-default kernel choice (`Auto`: the
+    /// warm-capable sparse revised simplex).
+    pub fn new(formulation: F) -> SolveSession<S, F> {
+        Self::with_kernel(formulation, ss_lp::default_kernel())
+    }
+
+    /// New session pinned to an explicit kernel. Note the dense tableau
+    /// has no warm path: a dense session re-solves cold every time
+    /// (recorded as [`WarmOutcome::ColdFallback`]).
+    pub fn with_kernel(formulation: F, kernel: KernelChoice) -> SolveSession<S, F> {
+        SolveSession {
+            formulation,
+            kernel,
+            warm: None,
+            stats: SessionStats::default(),
+            _scalar: PhantomData,
+        }
+    }
+
+    /// The owned formulation descriptor.
+    pub fn formulation(&self) -> &F {
+        &self.formulation
+    }
+
+    /// Lifetime counters (warm/cold split, pivots, certifications).
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The snapshot that will seed the next re-solve, if any.
+    pub fn warm_state(&self) -> Option<&WarmStart> {
+        self.warm.as_ref()
+    }
+
+    /// Drop the warm state: the next re-solve starts cold.
+    pub fn reset(&mut self) {
+        self.warm = None;
+    }
+
+    /// Re-solve against `g`'s current parameters, warm-starting from the
+    /// previous solve when possible, and advance the session state.
+    pub fn resolve(&mut self, g: &Platform) -> Result<SessionSolve<S, F>, CoreError> {
+        let t0 = Instant::now();
+        let (p, vars) = self.formulation.build(g)?;
+        let opts = SimplexOptions::with_kernel(self.kernel);
+        let run = p.solve_warm_with::<S>(&opts, self.warm.as_ref())?;
+        let telemetry = SolveTelemetry {
+            outcome: run.outcome,
+            iterations: run.solution.iterations(),
+            phase1_iterations: run.solution.phase1_iterations(),
+            solve_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        self.warm = Some(run.warm);
+        self.stats.record(&telemetry);
+        Ok(SessionSolve {
+            vars,
+            activities: activities_from(run.solution, &p),
+            telemetry,
+        })
+    }
+
+    /// Exact re-certification checkpoint: re-solve `g` with the **exact
+    /// `Ratio` backend**, warm-started from the same scalar-free snapshot
+    /// the fast path uses, and verify the full LP-duality optimality
+    /// certificate. Returns the certified exact activities.
+    ///
+    /// The session's warm state advances to the certified basis (for a
+    /// same-scalar session this is a no-op in practice — the statuses
+    /// agree when the fast path solved to optimality).
+    pub fn certify(&mut self, g: &Platform) -> Result<Activities<Ratio>, CoreError> {
+        let (p, _) = self.formulation.build(g)?;
+        let opts = SimplexOptions::with_kernel(self.kernel);
+        let run = p.solve_warm_with::<Ratio>(&opts, self.warm.as_ref())?;
+        p.verify_optimality(&run.solution).map_err(|e| {
+            CoreError::Invalid(format!(
+                "{}: session certification failed: {e}",
+                self.formulation.name()
+            ))
+        })?;
+        self.warm = Some(run.warm);
+        self.stats.certifications += 1;
+        Ok(activities_from(run.solution, &p))
+    }
+}
+
+impl<F: Formulation> SolveSession<Ratio, F> {
+    /// [`SolveSession::resolve`], then extract the formulation's typed
+    /// exact solution (the reconstruction-grade shape the schedule layer
+    /// consumes).
+    pub fn resolve_typed(
+        &mut self,
+        g: &Platform,
+    ) -> Result<(F::Solution, SolveTelemetry), CoreError> {
+        let s = self.resolve(g)?;
+        let typed = self.formulation.extract(g, &s.vars, &s.activities)?;
+        Ok((typed, s.telemetry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master_slave::MasterSlave;
+    use ss_platform::{paper, topo};
+
+    #[test]
+    fn second_resolve_is_warm_and_cheaper() {
+        let (g, m) = paper::fig1();
+        let mut sess: SolveSession<Ratio, _> = SolveSession::new(MasterSlave::new(m));
+        let first = sess.resolve(&g).unwrap();
+        assert_eq!(first.telemetry.outcome, WarmOutcome::Cold);
+        assert!(first.telemetry.iterations > 0);
+        let second = sess.resolve(&g).unwrap();
+        assert!(second.telemetry.outcome.used_warm_basis());
+        assert_eq!(second.telemetry.phase1_iterations, 0);
+        assert!(second.telemetry.iterations <= first.telemetry.iterations);
+        assert_eq!(second.activities.objective(), first.activities.objective());
+        let stats = sess.stats();
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.cold, 1);
+        assert_eq!(stats.warm + stats.repaired, 1);
+        assert!(stats.warm_fraction() > 0.4);
+    }
+
+    #[test]
+    fn f64_session_certifies_exactly_at_checkpoints() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        let (g, m) = topo::random_connected(&mut rng, 8, 0.3, &topo::ParamRange::default());
+        let mut sess: SolveSession<f64, _> = SolveSession::new(MasterSlave::new(m));
+        let fast = sess.resolve(&g).unwrap();
+        let exact = sess.certify(&g).unwrap();
+        assert!((fast.activities.objective_f64() - exact.objective_f64()).abs() < 1e-9);
+        assert_eq!(sess.stats().certifications, 1);
+        // The certification advanced the warm state: the next fast solve
+        // still warm-starts.
+        let again = sess.resolve(&g).unwrap();
+        assert!(again.telemetry.outcome.used_warm_basis());
+    }
+
+    #[test]
+    fn shape_change_is_a_cold_fallback_then_warm_again() {
+        let (g1, m) = paper::fig1();
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let (g2, _) = topo::random_connected(&mut rng, 9, 0.4, &topo::ParamRange::default());
+        let mut sess: SolveSession<Ratio, _> = SolveSession::new(MasterSlave::new(m));
+        sess.resolve(&g1).unwrap();
+        // Different platform, different LP shape: fallback, not an error.
+        let fb = sess.resolve(&g2).unwrap();
+        assert_eq!(fb.telemetry.outcome, WarmOutcome::ColdFallback);
+        // And the session re-warms on the new shape.
+        let warm = sess.resolve(&g2).unwrap();
+        assert!(warm.telemetry.outcome.used_warm_basis());
+        assert_eq!(sess.stats().cold_fallback, 1);
+    }
+
+    #[test]
+    fn typed_resolution_matches_the_engine_path() {
+        let (g, m) = paper::fig1();
+        let f = MasterSlave::new(m);
+        let reference = crate::engine::solve(&f, &g).unwrap();
+        let mut sess: SolveSession<Ratio, _> = SolveSession::new(f);
+        let (typed, tel) = sess.resolve_typed(&g).unwrap();
+        assert_eq!(typed.ntask, reference.ntask);
+        assert_eq!(tel.outcome, WarmOutcome::Cold);
+        typed.check(&g, &sess.formulation().model).unwrap();
+    }
+}

@@ -186,6 +186,117 @@ pub(crate) fn choose_leaving<S: Scalar>(
     best
 }
 
+/// The ratio test of the **composite feasibility-repair pass** (the warm
+/// path's phase-1 substitute — see `ss-lp::warm`): basic variables that
+/// are currently *outside* their bounds block only in the direction that
+/// restores them, at the bound they violate, while feasible basics block
+/// exactly as in [`choose_leaving`]. Feasible rows therefore never leave
+/// their box during repair, and each blocking event either restores one
+/// infeasible basic or is an ordinary bounded pivot.
+///
+/// Ties break on the smallest blocking-variable index, like the main test.
+/// Returns `None` when nothing blocks — the caller abandons the repair
+/// (cold fallback) rather than diagnosing unboundedness from an
+/// infeasible point.
+pub(crate) fn choose_leaving_repair<S: Scalar>(
+    d: &[S],
+    x: &[S],
+    basis: &[usize],
+    upper: &[Option<S>],
+    q: usize,
+    sigma_pos: bool,
+) -> Option<(Leaving, S)> {
+    let mut best: Option<(Leaving, S)> = None;
+    let mut consider = |cand: Leaving, ratio: S| {
+        let replace = match &best {
+            None => true,
+            Some((bl, br)) => {
+                ratio < *br
+                    || (ratio == *br && blocking_var(&cand, basis, q) < blocking_var(bl, basis, q))
+            }
+        };
+        if replace {
+            best = Some((cand, ratio));
+        }
+    };
+
+    if let Some(u) = &upper[q] {
+        consider(Leaving::Flip, u.clone());
+    }
+
+    for (i, di) in d.iter().enumerate() {
+        if di.is_zero() {
+            continue;
+        }
+        let decreasing = if sigma_pos {
+            di.is_positive()
+        } else {
+            di.is_negative()
+        };
+        let step = if di.is_negative() {
+            di.neg()
+        } else {
+            di.clone()
+        };
+        let xi = &x[i];
+        let over_upper = upper[basis[i]]
+            .as_ref()
+            .is_some_and(|u| u.sub(xi).is_negative());
+        if xi.is_negative() {
+            // Below its lower bound: blocks only while being *raised*,
+            // when it reaches 0 (restored, leaves at lower).
+            if !decreasing {
+                consider(
+                    Leaving::Row {
+                        row: i,
+                        to_upper: false,
+                    },
+                    xi.neg().div(&step),
+                );
+            }
+        } else if over_upper {
+            // Above its upper bound: blocks only while being *lowered*,
+            // when it reaches u (restored, leaves at upper).
+            if decreasing {
+                let u = upper[basis[i]].as_ref().expect("over_upper has a bound");
+                consider(
+                    Leaving::Row {
+                        row: i,
+                        to_upper: true,
+                    },
+                    xi.sub(u).div(&step),
+                );
+            }
+        } else if decreasing {
+            // Feasible rows: the standard bounded test.
+            let r = xi.div(&step);
+            let r = if r.is_negative() { S::zero() } else { r };
+            consider(
+                Leaving::Row {
+                    row: i,
+                    to_upper: false,
+                },
+                r,
+            );
+        } else if let Some(u) = &upper[basis[i]] {
+            let headroom = u.sub(xi);
+            let headroom = if headroom.is_negative() {
+                S::zero()
+            } else {
+                headroom
+            };
+            consider(
+                Leaving::Row {
+                    row: i,
+                    to_upper: true,
+                },
+                headroom.div(&step),
+            );
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +377,42 @@ mod tests {
             }
         );
         assert!(t.is_zero());
+    }
+
+    #[test]
+    fn repair_ratio_test_restores_infeasible_basics() {
+        // Basic var 1 at −2 being raised (d = [−1], entering from lower):
+        // blocks when it reaches 0, ratio 2, leaves at lower.
+        let (l, t) =
+            choose_leaving_repair::<Ratio>(&[ri(-1)], &[ri(-2)], &[1], &[None, None], 0, true)
+                .unwrap();
+        assert_eq!(
+            l,
+            Leaving::Row {
+                row: 0,
+                to_upper: false
+            }
+        );
+        assert_eq!(t, ri(2));
+        // The same row driven further negative never blocks; with no flip
+        // candidate either, the repair pass reports nothing.
+        assert!(
+            choose_leaving_repair::<Ratio>(&[ri(1)], &[ri(-2)], &[1], &[None, None], 0, true)
+                .is_none()
+        );
+        // Basic var 1 above its bound (x = 3 > u = 1) driven down: blocks
+        // at u with ratio 2 and leaves at upper.
+        let (l, t) =
+            choose_leaving_repair::<Ratio>(&[ri(1)], &[ri(3)], &[1], &[None, Some(ri(1))], 0, true)
+                .unwrap();
+        assert_eq!(
+            l,
+            Leaving::Row {
+                row: 0,
+                to_upper: true
+            }
+        );
+        assert_eq!(t, ri(2));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::scalar::Scalar;
 use crate::simplex::SimplexOptions;
 use crate::solution::{Solution, SolveError};
 use crate::standard::{KernelOutput, StandardForm};
+use crate::warm::{WarmKernelSolve, WarmOutcome, WarmRun, WarmStart};
 use crate::Problem;
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -102,6 +103,30 @@ pub trait LpKernel<S: Scalar> {
         sf: &StandardForm<S>,
         opts: &SimplexOptions,
     ) -> Result<KernelOutput<S>, SolveError>;
+
+    /// Solve with an optional warm-start hint (see [`crate::warm`] for
+    /// the cold → warm → repair → cold-fallback state machine).
+    ///
+    /// The default implementation cannot consume a hint: it runs the cold
+    /// [`solve`](LpKernel::solve) and reports
+    /// [`WarmOutcome::ColdFallback`] when one was supplied (the output
+    /// still snapshots the final basis, so a warm-capable kernel can pick
+    /// up from it on the next re-solve). [`SparseRevised`]
+    /// (crate::SparseRevised) overrides this with a real warm path.
+    fn solve_warm(
+        &self,
+        sf: &StandardForm<S>,
+        opts: &SimplexOptions,
+        warm: Option<&WarmStart>,
+    ) -> Result<WarmKernelSolve<S>, SolveError> {
+        let output = self.solve(sf, opts)?;
+        let outcome = if warm.is_some() {
+            WarmOutcome::ColdFallback
+        } else {
+            WarmOutcome::Cold
+        };
+        Ok(WarmKernelSolve { output, outcome })
+    }
 }
 
 /// The original dense two-phase tableau kernel.
@@ -123,6 +148,26 @@ pub fn solve_with_kernel<S: Scalar>(
     Ok(crate::standard::assemble(problem, &sf, out, kernel.tag()))
 }
 
+/// Warm-capable counterpart of [`solve_with_kernel`]: lower once, run the
+/// kernel's [`LpKernel::solve_warm`], and return the assembled solution
+/// together with the outcome telemetry and the snapshot seeding the next
+/// re-solve.
+pub fn solve_warm_with_kernel<S: Scalar>(
+    problem: &Problem,
+    kernel: &dyn LpKernel<S>,
+    opts: &SimplexOptions,
+    warm: Option<&WarmStart>,
+) -> Result<WarmRun<S>, SolveError> {
+    let sf = crate::standard::lower_with::<S>(problem, opts.bound_mode);
+    let ws = kernel.solve_warm(&sf, opts, warm)?;
+    let next = WarmStart::from_output(&sf, &ws.output);
+    Ok(WarmRun {
+        solution: crate::standard::assemble(problem, &sf, ws.output, kernel.tag()),
+        outcome: ws.outcome,
+        warm: next,
+    })
+}
+
 /// Dispatch a solve according to `opts.kernel`.
 pub(crate) fn solve<S: Scalar>(
     problem: &Problem,
@@ -131,6 +176,20 @@ pub(crate) fn solve<S: Scalar>(
     match opts.kernel.resolve::<S>() {
         Kernel::Dense => solve_with_kernel(problem, &DenseTableau, opts),
         Kernel::SparseRevised => solve_with_kernel(problem, &crate::sparse::SparseRevised, opts),
+    }
+}
+
+/// Dispatch a warm-capable solve according to `opts.kernel`.
+pub(crate) fn solve_warm<S: Scalar>(
+    problem: &Problem,
+    opts: &SimplexOptions,
+    warm: Option<&WarmStart>,
+) -> Result<WarmRun<S>, SolveError> {
+    match opts.kernel.resolve::<S>() {
+        Kernel::Dense => solve_warm_with_kernel(problem, &DenseTableau, opts, warm),
+        Kernel::SparseRevised => {
+            solve_warm_with_kernel(problem, &crate::sparse::SparseRevised, opts, warm)
+        }
     }
 }
 

@@ -58,14 +58,16 @@ mod simplex;
 mod solution;
 mod sparse;
 mod standard;
+pub mod warm;
 
 pub use kernel::{
-    default_kernel, set_default_kernel, solve_with_kernel, DenseTableau, Kernel, KernelChoice,
-    LpKernel,
+    default_kernel, set_default_kernel, solve_warm_with_kernel, solve_with_kernel, DenseTableau,
+    Kernel, KernelChoice, LpKernel,
 };
 pub use problem::{Cmp, LinExpr, Problem, Sense, Var};
 pub use scalar::Scalar;
 pub use simplex::SimplexOptions;
 pub use solution::{PivotRule, Solution, SolveError, Status};
-pub use sparse::SparseRevised;
+pub use sparse::{SparseRevised, SparseState};
 pub use standard::{lower, lower_with, BoundMode, KernelOutput, StandardForm};
+pub use warm::{WarmKernelSolve, WarmOutcome, WarmRun, WarmStart};

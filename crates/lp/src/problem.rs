@@ -303,6 +303,22 @@ impl Problem {
         kernel::solve::<S>(self, opts)
     }
 
+    /// Solve with an optional warm-start hint from a previous solve of a
+    /// same-shaped problem (same rows/columns, drifted coefficients).
+    ///
+    /// Returns the solution together with how the solve started (cold,
+    /// warm, repaired, or cold-fallback — see
+    /// [`WarmOutcome`](crate::WarmOutcome)) and the
+    /// [`WarmStart`](crate::WarmStart) snapshot that seeds the *next*
+    /// re-solve. This is the entry point re-solve sessions build on.
+    pub fn solve_warm_with<S: crate::Scalar>(
+        &self,
+        opts: &SimplexOptions,
+        warm: Option<&crate::WarmStart>,
+    ) -> Result<crate::WarmRun<S>, SolveError> {
+        kernel::solve_warm::<S>(self, opts, warm)
+    }
+
     /// Solve with an explicit kernel choice and default options otherwise.
     pub fn solve_kernel<S: crate::Scalar>(
         &self,

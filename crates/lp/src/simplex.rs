@@ -396,6 +396,8 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
             iterations: total_iters,
             phase1_iterations: phase1_iters,
             pivot_rule,
+            basis: t.basis,
+            at_upper: t.at_upper,
         })
     }
 }

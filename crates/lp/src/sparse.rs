@@ -32,6 +32,17 @@
 //!   also refreshes the basic values from the bound-adjusted rhs
 //!   `b − Σ_{j at upper} u_j a_j` and flushes accumulated `f64` drift.
 //!
+//! The mutable solve state — eta file, basis, basic values, bound
+//! statuses — lives in [`SparseState`], split out from the pivoting loop
+//! so that re-solve sessions can rebuild it from a
+//! [`WarmStart`](crate::WarmStart) snapshot: the warm path refactorizes
+//! the hinted basis against the *new* coefficients, checks primal
+//! feasibility, optionally repairs (dependent or out-of-bound columns are
+//! dropped onto the bound they violated and the basis is completed with
+//! slack/artificial unit columns), and then runs **phase 2 only** — on the
+//! equality-heavy steady-state LPs that skips the phase-1 pivots that
+//! dominate a cold solve. See [`crate::warm`] for the full state machine.
+//!
 //! Pivoting rules mirror the dense kernel: Bland for exact scalars (the
 //! anti-cycling guarantee matters — steady-state LPs are heavily
 //! degenerate), Dantzig with a Bland stall-fallback for `f64`. Zero-level
@@ -43,12 +54,15 @@
 //! artificial basic at level zero (its dual price is then exactly zero,
 //! matching the dense kernel's row-dropping semantics).
 
-use crate::bounded::{choose_leaving, entering_value, improves, shift_basics, Leaving};
+use crate::bounded::{
+    choose_leaving, choose_leaving_repair, entering_value, improves, shift_basics, Leaving,
+};
 use crate::kernel::{Kernel, LpKernel};
 use crate::scalar::Scalar;
 use crate::simplex::SimplexOptions;
 use crate::solution::{PivotRule, SolveError};
 use crate::standard::{KernelOutput, StandardForm};
+use crate::warm::{WarmKernelSolve, WarmOutcome, WarmStart};
 
 /// Rebuild the basis factorization after this many fresh etas.
 const REINVERT_INTERVAL: usize = 64;
@@ -127,8 +141,15 @@ impl<S: Scalar> Factors<S> {
     }
 }
 
-struct Engine<'a, S> {
-    sf: &'a StandardForm<S>,
+/// The mutable state of a sparse revised-simplex solve: the factorized
+/// basis (eta file), the basis ↔ row assignment, the basic values, and the
+/// `AtLower`/`Basic`/`AtUpper` status of every column.
+///
+/// Split out of the pivoting engine so re-solve sessions can rebuild it
+/// from a [`WarmStart`] snapshot against freshly drifted coefficients —
+/// see [`crate::warm`] for the cold → warm → repair → cold-fallback state
+/// machine.
+pub struct SparseState<S> {
     factors: Factors<S>,
     /// `basis[i]` = column occupying row `i` of the factorized basis.
     basis: Vec<usize>,
@@ -142,14 +163,15 @@ struct Engine<'a, S> {
     upper: Vec<Option<S>>,
 }
 
-impl<'a, S: Scalar> Engine<'a, S> {
-    fn new(sf: &'a StandardForm<S>) -> Engine<'a, S> {
+impl<S: Scalar> SparseState<S> {
+    /// The cold starting state: slack/artificial identity basis, every
+    /// structural column nonbasic at its lower bound.
+    fn cold(sf: &StandardForm<S>) -> SparseState<S> {
         let mut in_basis = vec![false; sf.ncols];
         for &b in &sf.basis0 {
             in_basis[b] = true;
         }
-        Engine {
-            sf,
+        SparseState {
             factors: Factors::identity(),
             basis: sf.basis0.clone(),
             in_basis,
@@ -159,20 +181,226 @@ impl<'a, S: Scalar> Engine<'a, S> {
         }
     }
 
-    /// Scatter column `j` of the constraint matrix into a dense workvec.
-    fn scatter(&self, j: usize) -> Vec<S> {
-        let mut v = vec![S::zero(); self.sf.m];
-        let (rows, vals) = self.sf.column(j);
-        for (i, a) in rows.iter().zip(vals) {
-            v[*i] = a.clone();
+    /// Number of etas currently in the file (diagnostic).
+    pub fn eta_count(&self) -> usize {
+        self.factors.etas.len()
+    }
+
+    /// Rebuild a state from a [`WarmStart`] against (possibly drifted)
+    /// coefficients. Returns the state plus `true` when the hint needed
+    /// patching (duplicate or dependent columns dropped, rows completed);
+    /// `None` when the completion itself is numerically singular — the
+    /// caller falls back to a cold solve. The rebuilt state's basic
+    /// values are **unclamped**: the caller checks primal feasibility and
+    /// runs the composite repair pass if needed.
+    ///
+    /// Artificials are pinned to `u = 0` from the start (the warm path
+    /// never runs phase 1), so a warm basis with a lingering basic
+    /// artificial is accepted only at level zero under the new
+    /// coefficients — anything else is an infeasibility the repair pass
+    /// drives out like any other out-of-bound basic.
+    fn from_warm(sf: &StandardForm<S>, warm: &WarmStart) -> Option<(SparseState<S>, bool)> {
+        debug_assert!(warm.shape_matches(sf));
+        let mut upper = sf.upper.clone();
+        for u in upper.iter_mut().skip(sf.art_start) {
+            *u = Some(S::zero());
         }
-        v
+        // Sanitize the hint: keep each column at most once, and only let
+        // bounded nonbasic structural columns rest at their upper bound.
+        let mut in_keep = vec![false; sf.ncols];
+        let mut keep: Vec<usize> = Vec::with_capacity(warm.basis().len());
+        for &j in warm.basis() {
+            if j < sf.ncols && !in_keep[j] {
+                in_keep[j] = true;
+                keep.push(j);
+            }
+        }
+        let mut at_upper = vec![false; sf.ncols];
+        for j in 0..sf.nstruct {
+            at_upper[j] = warm.at_upper()[j] && !in_keep[j] && sf.upper[j].is_some();
+        }
+        let deduped = keep.len() != warm.basis().len();
+        let (st, dropped_any) = Self::factorize(sf, &keep, &at_upper, &upper)?;
+        Some((st, deduped || dropped_any))
+    }
+
+    /// Factorize the column set `cols` (eta file + row assignment),
+    /// dropping dependent columns and completing unclaimed rows with their
+    /// `basis0` unit columns, then compute the basic values from the
+    /// bound-adjusted rhs — *unclamped*, so the caller can check primal
+    /// feasibility. Returns `None` only on numerically singular
+    /// completion (f64 pathology); the flag reports dropped columns.
+    fn factorize(
+        sf: &StandardForm<S>,
+        cols: &[usize],
+        at_upper: &[bool],
+        upper: &[Option<S>],
+    ) -> Option<(SparseState<S>, bool)> {
+        let m = sf.m;
+        let mut factors = Factors::identity();
+        let mut basis = vec![usize::MAX; m];
+        let mut row_taken = vec![false; m];
+        let mut dropped_any = false;
+
+        // Pass 1: unit columns of A claim their own row eta-free.
+        let mut deferred: Vec<usize> = Vec::new();
+        for &j in cols {
+            let (rows, vals) = sf.column(j);
+            if rows.len() == 1 && !row_taken[rows[0]] && vals[0] == S::one() {
+                basis[rows[0]] = j;
+                row_taken[rows[0]] = true;
+            } else {
+                deferred.push(j);
+            }
+        }
+        // Pass 2: eliminate the general columns; a column with no usable
+        // pivot is dependent on the ones before it — drop it.
+        for j in deferred {
+            let mut v = scatter(sf, j);
+            factors.ftran(&mut v);
+            match pick_pivot(&v, &row_taken) {
+                Some(r) => {
+                    factors.push(r, &v);
+                    basis[r] = j;
+                    row_taken[r] = true;
+                }
+                None => dropped_any = true,
+            }
+        }
+        // Pass 3: complete unclaimed rows with their slack/artificial
+        // unit columns (always independent of the accepted set as a whole,
+        // though each one still needs a pivot under the running etas).
+        for r in 0..m {
+            if row_taken[r] {
+                continue;
+            }
+            let j = sf.basis0[r];
+            let mut v = scatter(sf, j);
+            factors.ftran(&mut v);
+            let pr = pick_pivot(&v, &row_taken)?;
+            factors.push(pr, &v);
+            basis[pr] = j;
+            row_taken[pr] = true;
+        }
+
+        let mut in_basis = vec![false; sf.ncols];
+        for &b in &basis {
+            in_basis[b] = true;
+        }
+        // A column can be hinted basic *and* at-upper after sanitizing
+        // only via completion; basic wins.
+        let at_upper: Vec<bool> = at_upper
+            .iter()
+            .enumerate()
+            .map(|(j, &u)| u && !in_basis[j])
+            .collect();
+
+        let mut st = SparseState {
+            factors,
+            basis,
+            in_basis,
+            x: vec![S::zero(); m],
+            at_upper,
+            upper: upper.to_vec(),
+        };
+        st.x = st.adjusted_rhs(sf);
+        Some((st, dropped_any))
+    }
+
+    /// `B⁻¹ (b − Σ_{j at upper} u_j a_j)` — the basic values implied by
+    /// the current factorization and statuses, without any clamping.
+    fn adjusted_rhs(&self, sf: &StandardForm<S>) -> Vec<S> {
+        let mut b = sf.rhs.clone();
+        for (j, up) in self.at_upper.iter().enumerate() {
+            if !up {
+                continue;
+            }
+            let u = self.upper[j].as_ref().expect("at_upper implies a bound");
+            let (rows, vals) = sf.column(j);
+            for (i, a) in rows.iter().zip(vals) {
+                b[*i] = b[*i].sub(&u.mul(a));
+            }
+        }
+        self.factors.ftran(&mut b);
+        b
+    }
+
+    /// `true` when every basic value respects its `[0, u]` box (up to the
+    /// scalar's comparison tolerance).
+    fn is_feasible(&self) -> bool {
+        self.basis.iter().enumerate().all(|(i, &b)| {
+            !self.x[i].is_negative()
+                && self.upper[b]
+                    .as_ref()
+                    .is_none_or(|u| !u.sub(&self.x[i]).is_negative())
+        })
+    }
+
+    /// Snap epsilon-negative basic values to exact zero (f64 drift; a
+    /// no-op for exact scalars on feasible states).
+    fn clamp_basics(&mut self) {
+        for v in self.x.iter_mut() {
+            if v.is_zero() || v.is_negative() {
+                *v = S::zero();
+            }
+        }
+    }
+}
+
+struct Engine<'a, S> {
+    sf: &'a StandardForm<S>,
+    st: SparseState<S>,
+    /// Snap epsilon-negative basics to zero on reinversion. True during
+    /// ordinary optimization (values are feasible up to f64 drift); false
+    /// during composite repair, where genuinely negative basics are the
+    /// state being repaired and must survive a mid-repair reinversion.
+    clamp_on_refresh: bool,
+}
+
+/// Scatter column `j` of the constraint matrix into a dense workvec.
+fn scatter<S: Scalar>(sf: &StandardForm<S>, j: usize) -> Vec<S> {
+    let mut v = vec![S::zero(); sf.m];
+    let (rows, vals) = sf.column(j);
+    for (i, a) in rows.iter().zip(vals) {
+        v[*i] = a.clone();
+    }
+    v
+}
+
+/// Pivot row for a transformed column: largest untaken `|v_i|` for inexact
+/// scalars (keeps the factorization stable), first nonzero for exact ones.
+/// `None` when the column has no nonzero in any untaken row (dependent).
+fn pick_pivot<S: Scalar>(v: &[S], row_taken: &[bool]) -> Option<usize> {
+    let mut pick: Option<usize> = None;
+    for (i, x) in v.iter().enumerate() {
+        if row_taken[i] || x.is_zero() {
+            continue;
+        }
+        match pick {
+            None => pick = Some(i),
+            Some(p) if !S::EXACT && abs_gt(x, &v[p]) => pick = Some(i),
+            _ => {}
+        }
+        if S::EXACT {
+            break;
+        }
+    }
+    pick
+}
+
+impl<'a, S: Scalar> Engine<'a, S> {
+    fn cold(sf: &'a StandardForm<S>) -> Engine<'a, S> {
+        Engine {
+            sf,
+            st: SparseState::cold(sf),
+            clamp_on_refresh: true,
+        }
     }
 
     /// Dual prices `y = B⁻ᵀ c_B` for the cost vector `cost`.
     fn prices(&self, cost: &[S]) -> Vec<S> {
-        let mut y: Vec<S> = self.basis.iter().map(|&b| cost[b].clone()).collect();
-        self.factors.btran(&mut y);
+        let mut y: Vec<S> = self.st.basis.iter().map(|&b| cost[b].clone()).collect();
+        self.st.factors.btran(&mut y);
         y
     }
 
@@ -192,9 +420,9 @@ impl<'a, S: Scalar> Engine<'a, S> {
     /// (sign-aware via [`improves`]).
     fn entering_bland(&self, cost: &[S], active: &[bool], y: &[S]) -> Option<usize> {
         (0..self.sf.ncols).find(|&j| {
-            active[j] && !self.in_basis[j] && {
+            active[j] && !self.st.in_basis[j] && {
                 let z = self.reduced_cost(j, cost, y);
-                improves(self.at_upper[j], &z)
+                improves(self.st.at_upper[j], &z)
             }
         })
     }
@@ -204,14 +432,14 @@ impl<'a, S: Scalar> Engine<'a, S> {
     fn entering_dantzig(&self, cost: &[S], active: &[bool], y: &[S]) -> Option<usize> {
         let mut best: Option<(usize, S)> = None;
         for (j, act) in active.iter().enumerate() {
-            if !act || self.in_basis[j] {
+            if !act || self.st.in_basis[j] {
                 continue;
             }
             let z = self.reduced_cost(j, cost, y);
-            if !improves(self.at_upper[j], &z) {
+            if !improves(self.st.at_upper[j], &z) {
                 continue;
             }
-            let score = if self.at_upper[j] { z.neg() } else { z };
+            let score = if self.st.at_upper[j] { z.neg() } else { z };
             match &best {
                 None => best = Some((j, score)),
                 Some((_, bs)) if score > *bs => best = Some((j, score)),
@@ -225,16 +453,16 @@ impl<'a, S: Scalar> Engine<'a, S> {
     /// direction `σ`, whose transformed column is `d`: update the basic
     /// values, append the eta, and reinvert on schedule.
     fn pivot(&mut self, row: usize, q: usize, d: &[S], t: &S, sigma_pos: bool, to_upper: bool) {
-        shift_basics(&mut self.x, d, t, sigma_pos, Some(row));
-        self.x[row] = entering_value(self.upper[q].as_ref(), t, sigma_pos);
-        let leave = self.basis[row];
-        self.in_basis[leave] = false;
-        self.at_upper[leave] = to_upper;
-        self.in_basis[q] = true;
-        self.at_upper[q] = false;
-        self.basis[row] = q;
-        self.factors.push(row, d);
-        if self.factors.fresh >= REINVERT_INTERVAL {
+        shift_basics(&mut self.st.x, d, t, sigma_pos, Some(row));
+        self.st.x[row] = entering_value(self.st.upper[q].as_ref(), t, sigma_pos);
+        let leave = self.st.basis[row];
+        self.st.in_basis[leave] = false;
+        self.st.at_upper[leave] = to_upper;
+        self.st.in_basis[q] = true;
+        self.st.at_upper[q] = false;
+        self.st.basis[row] = q;
+        self.st.factors.push(row, d);
+        if self.st.factors.fresh >= REINVERT_INTERVAL {
             self.reinvert();
         }
     }
@@ -251,7 +479,7 @@ impl<'a, S: Scalar> Engine<'a, S> {
         let mut deferred: Vec<usize> = Vec::new();
         // Pass 1: columns that are unit vectors in A claim their own row
         // eta-free (the +e_i slack/artificial columns of the lowering).
-        for &j in &self.basis {
+        for &j in &self.st.basis {
             let (rows, vals) = self.sf.column(j);
             if rows.len() == 1 && !row_taken[rows[0]] && vals[0] == S::one() {
                 new_basis[rows[0]] = j;
@@ -260,30 +488,14 @@ impl<'a, S: Scalar> Engine<'a, S> {
                 deferred.push(j);
             }
         }
-        // Pass 2: eliminate the remaining columns.
+        // Pass 2: eliminate the remaining columns. The basis is
+        // nonsingular by invariant, so a pivot always exists for exact
+        // scalars; for f64 a numerically degenerate column falls back to
+        // the largest entry even if tiny.
         for j in deferred {
-            let mut v = self.scatter(j);
+            let mut v = scatter(self.sf, j);
             fresh.ftran(&mut v);
-            // Pivot row: largest untaken |v_i| for inexact scalars (keeps
-            // the factorization stable); first nonzero for exact ones.
-            let mut pick: Option<usize> = None;
-            for (i, x) in v.iter().enumerate() {
-                if row_taken[i] || x.is_zero() {
-                    continue;
-                }
-                match pick {
-                    None => pick = Some(i),
-                    Some(p) if !S::EXACT && abs_gt(x, &v[p]) => pick = Some(i),
-                    _ => {}
-                }
-                if S::EXACT {
-                    break;
-                }
-            }
-            // The basis is nonsingular by invariant, so a pivot always
-            // exists for exact scalars; for f64 a numerically degenerate
-            // column falls back to the largest entry even if tiny.
-            let r = match pick {
+            let r = match pick_pivot(&v, &row_taken) {
                 Some(r) => r,
                 None => {
                     let mut best = usize::MAX;
@@ -302,33 +514,101 @@ impl<'a, S: Scalar> Engine<'a, S> {
             new_basis[r] = j;
             row_taken[r] = true;
         }
-        self.basis = new_basis;
-        self.factors = fresh;
-        self.factors.fresh = 0;
+        self.st.basis = new_basis;
+        self.st.factors = fresh;
+        self.st.factors.fresh = 0;
         self.refresh_basics();
     }
 
     /// Recompute the basic values from the factorization and the
     /// bound-adjusted rhs (flushes f64 drift; exact for `Ratio`).
     fn refresh_basics(&mut self) {
-        let mut b = self.sf.rhs.clone();
-        for (j, up) in self.at_upper.iter().enumerate() {
-            if !up {
-                continue;
-            }
-            let u = self.upper[j].as_ref().expect("at_upper implies a bound");
-            let (rows, vals) = self.sf.column(j);
-            for (i, a) in rows.iter().zip(vals) {
-                b[*i] = b[*i].sub(&u.mul(a));
-            }
+        self.st.x = self.st.adjusted_rhs(self.sf);
+        if self.clamp_on_refresh {
+            self.st.clamp_basics();
         }
-        self.factors.ftran(&mut b);
-        for v in b.iter_mut() {
-            if v.is_zero() || v.is_negative() {
-                *v = S::zero();
-            }
+    }
+
+    /// Composite feasibility repair: drive out-of-bound basic values back
+    /// into their boxes from a warm basis, without artificials.
+    ///
+    /// This is the warm path's phase-1 substitute. Each iteration prices
+    /// with the **composite infeasibility gradient** — `σ_i = +1` for a
+    /// basic below 0, `σ_i = −1` for a basic above its bound, 0 otherwise
+    /// (so `y = B⁻ᵀσ` and a nonbasic column improves total infeasibility
+    /// iff `−y·a_j` improves in its sign-aware direction) — and steps with
+    /// the repair ratio test ([`choose_leaving_repair`]): feasible basics
+    /// never leave their boxes, infeasible basics block (and leave) at the
+    /// bound they violate. The composite objective is monotone, so
+    /// progress is strict outside degenerate ties; a small pivot budget
+    /// bounds those, and exhausting it (or finding no improving column —
+    /// possible from a bad hint even on feasible LPs) returns `None`: the
+    /// caller falls back to a cold solve rather than diagnosing
+    /// infeasibility from a warm basis.
+    fn composite_repair(&mut self, repair_budget: usize) -> Option<usize> {
+        self.clamp_on_refresh = false;
+        let out = self.composite_repair_inner(repair_budget);
+        self.clamp_on_refresh = true;
+        if out.is_some() {
+            self.st.clamp_basics();
         }
-        self.x = b;
+        out
+    }
+
+    fn composite_repair_inner(&mut self, repair_budget: usize) -> Option<usize> {
+        let zero_cost = vec![S::zero(); self.sf.ncols];
+        let mut active = vec![true; self.sf.ncols];
+        for a in active.iter_mut().skip(self.sf.art_start) {
+            *a = false;
+        }
+        let mut iters = 0usize;
+        loop {
+            // Classify the current infeasibilities.
+            let mut sigma = vec![S::zero(); self.sf.m];
+            let mut any = false;
+            for (i, &b) in self.st.basis.iter().enumerate() {
+                if self.st.x[i].is_negative() {
+                    sigma[i] = S::one();
+                    any = true;
+                } else if let Some(u) = &self.st.upper[b] {
+                    if u.sub(&self.st.x[i]).is_negative() {
+                        sigma[i] = S::one().neg();
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                return Some(iters);
+            }
+            if iters >= repair_budget {
+                return None;
+            }
+            // Composite prices; reduced cost of a zero-cost column under
+            // them is exactly −y·a_j.
+            self.st.factors.btran(&mut sigma);
+            let q = self.entering_bland(&zero_cost, &active, &sigma)?;
+            let sigma_pos = !self.st.at_upper[q];
+            let mut d = scatter(self.sf, q);
+            self.st.factors.ftran(&mut d);
+            let (leaving, step) = choose_leaving_repair(
+                &d,
+                &self.st.x,
+                &self.st.basis,
+                &self.st.upper,
+                q,
+                sigma_pos,
+            )?;
+            match leaving {
+                Leaving::Flip => {
+                    shift_basics(&mut self.st.x, &d, &step, sigma_pos, None);
+                    self.st.at_upper[q] = !self.st.at_upper[q];
+                }
+                Leaving::Row { row, to_upper } => {
+                    self.pivot(row, q, &d, &step, sigma_pos, to_upper);
+                }
+            }
+            iters += 1;
+        }
     }
 
     /// Run pivots until optimality/unboundedness/limit for the given cost.
@@ -356,18 +636,18 @@ impl<'a, S: Scalar> Engine<'a, S> {
             let Some(q) = entering else {
                 return Ok(iters);
             };
-            let sigma_pos = !self.at_upper[q];
-            let mut d = self.scatter(q);
-            self.factors.ftran(&mut d);
+            let sigma_pos = !self.st.at_upper[q];
+            let mut d = scatter(self.sf, q);
+            self.st.factors.ftran(&mut d);
             let Some((leaving, step)) =
-                choose_leaving(&d, &self.x, &self.basis, &self.upper, q, sigma_pos)
+                choose_leaving(&d, &self.st.x, &self.st.basis, &self.st.upper, q, sigma_pos)
             else {
                 return Err(SolveError::Unbounded);
             };
             match leaving {
                 Leaving::Flip => {
-                    shift_basics(&mut self.x, &d, &step, sigma_pos, None);
-                    self.at_upper[q] = !self.at_upper[q];
+                    shift_basics(&mut self.st.x, &d, &step, sigma_pos, None);
+                    self.st.at_upper[q] = !self.st.at_upper[q];
                 }
                 Leaving::Row { row, to_upper } => {
                     self.pivot(row, q, &d, &step, sigma_pos, to_upper);
@@ -379,86 +659,32 @@ impl<'a, S: Scalar> Engine<'a, S> {
             }
         }
     }
-}
 
-/// `|a| > |b|` without requiring `abs` on the scalar.
-fn abs_gt<S: Scalar>(a: &S, b: &S) -> bool {
-    let abs = |x: &S| if x.is_negative() { x.neg() } else { x.clone() };
-    abs(a) > abs(b)
-}
-
-impl<S: Scalar> LpKernel<S> for SparseRevised {
-    fn name(&self) -> &'static str {
-        "sparse-revised"
-    }
-
-    fn tag(&self) -> Kernel {
-        Kernel::SparseRevised
-    }
-
-    fn solve(
-        &self,
-        sf: &StandardForm<S>,
+    /// Run phase 2 (the real objective; artificials inactive) and package
+    /// the output. `budget` must already account for phase-1 spending.
+    fn phase2_and_extract(
+        &mut self,
         opts: &SimplexOptions,
+        budget: &mut usize,
+        phase1_iters: usize,
     ) -> Result<KernelOutput<S>, SolveError> {
-        let mut eng = Engine::new(sf);
-        let mut budget = opts.budget(sf.m, sf.ncols);
-        let mut total_iters = 0usize;
-        let mut phase1_iters = 0usize;
-
-        // Phase 1: drive the artificials to zero.
-        if sf.num_artificials() > 0 {
-            let mut cost1 = vec![S::zero(); sf.ncols];
-            for c in cost1.iter_mut().skip(sf.art_start) {
-                *c = S::one().neg();
-            }
-            let active = vec![true; sf.ncols];
-            let it = eng.optimize(&cost1, &active, opts, &mut budget)?;
-            phase1_iters = it;
-            total_iters += it;
-            budget = budget.saturating_sub(it);
-            if budget == 0 {
-                return Err(SolveError::IterationLimit);
-            }
-            let mut art_sum = S::zero();
-            for (i, &b) in eng.basis.iter().enumerate() {
-                if b >= sf.art_start {
-                    art_sum = art_sum.add(&eng.x[i]);
-                }
-            }
-            if !art_sum.is_zero() {
-                return Err(SolveError::Infeasible);
-            }
-            // Snap lingering zero-level artificials to exact zero and pin
-            // every artificial to u = 0; the bounded ratio test keeps them
-            // at level zero through phase 2.
-            for (i, &b) in eng.basis.iter().enumerate() {
-                if b >= sf.art_start {
-                    eng.x[i] = S::zero();
-                }
-            }
-            for u in eng.upper.iter_mut().skip(sf.art_start) {
-                *u = Some(S::zero());
-            }
-        }
-
-        // Phase 2: the real objective; artificials may never re-enter.
+        let sf = self.sf;
         let mut active = vec![true; sf.ncols];
         for a in active.iter_mut().skip(sf.art_start) {
             *a = false;
         }
-        let it = eng.optimize(&sf.cost2, &active, opts, &mut budget)?;
-        total_iters += it;
+        let it = self.optimize(&sf.cost2, &active, opts, budget)?;
+        let total_iters = phase1_iters + it;
 
         let mut values = vec![S::zero(); sf.nstruct];
         for (j, v) in values.iter_mut().enumerate() {
-            if eng.at_upper[j] {
+            if self.st.at_upper[j] {
                 *v = sf.upper[j].clone().expect("at_upper implies a bound");
             }
         }
-        for (i, &b) in eng.basis.iter().enumerate() {
+        for (i, &b) in self.st.basis.iter().enumerate() {
             if b < sf.nstruct {
-                values[b] = eng.x[i].clone();
+                values[b] = self.st.x[i].clone();
             }
         }
 
@@ -467,12 +693,12 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
         // reduced cost is exactly `-y_k`. Active bounds take their
         // multiplier from the column's own reduced cost (`μ_j = z_j ≥ 0`
         // at optimality for at-upper columns).
-        let y = eng.prices(&sf.cost2);
+        let y = self.prices(&sf.cost2);
         let reduced_witness = (0..sf.witness.len()).map(|k| y[k].neg()).collect();
         let bound_mults = (0..sf.nstruct)
             .map(|j| {
-                if eng.at_upper[j] {
-                    eng.reduced_cost(j, &sf.cost2, &y)
+                if self.st.at_upper[j] {
+                    self.reduced_cost(j, &sf.cost2, &y)
                 } else {
                     S::zero()
                 }
@@ -491,7 +717,148 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
             iterations: total_iters,
             phase1_iterations: phase1_iters,
             pivot_rule,
+            basis: self.st.basis.clone(),
+            at_upper: self.st.at_upper.clone(),
         })
+    }
+}
+
+/// `|a| > |b|` without requiring `abs` on the scalar.
+fn abs_gt<S: Scalar>(a: &S, b: &S) -> bool {
+    let abs = |x: &S| if x.is_negative() { x.neg() } else { x.clone() };
+    abs(a) > abs(b)
+}
+
+impl SparseRevised {
+    /// The full cold two-phase solve.
+    fn solve_cold<S: Scalar>(
+        &self,
+        sf: &StandardForm<S>,
+        opts: &SimplexOptions,
+    ) -> Result<KernelOutput<S>, SolveError> {
+        let mut eng = Engine::cold(sf);
+        let mut budget = opts.budget(sf.m, sf.ncols);
+        let mut phase1_iters = 0usize;
+
+        // Phase 1: drive the artificials to zero.
+        if sf.num_artificials() > 0 {
+            let mut cost1 = vec![S::zero(); sf.ncols];
+            for c in cost1.iter_mut().skip(sf.art_start) {
+                *c = S::one().neg();
+            }
+            let active = vec![true; sf.ncols];
+            let it = eng.optimize(&cost1, &active, opts, &mut budget)?;
+            phase1_iters = it;
+            budget = budget.saturating_sub(it);
+            if budget == 0 {
+                return Err(SolveError::IterationLimit);
+            }
+            let mut art_sum = S::zero();
+            for (i, &b) in eng.st.basis.iter().enumerate() {
+                if b >= sf.art_start {
+                    art_sum = art_sum.add(&eng.st.x[i]);
+                }
+            }
+            if !art_sum.is_zero() {
+                return Err(SolveError::Infeasible);
+            }
+            // Snap lingering zero-level artificials to exact zero and pin
+            // every artificial to u = 0; the bounded ratio test keeps them
+            // at level zero through phase 2.
+            for (i, &b) in eng.st.basis.iter().enumerate() {
+                if b >= sf.art_start {
+                    eng.st.x[i] = S::zero();
+                }
+            }
+            for u in eng.st.upper.iter_mut().skip(sf.art_start) {
+                *u = Some(S::zero());
+            }
+        }
+
+        eng.phase2_and_extract(opts, &mut budget, phase1_iters)
+    }
+}
+
+impl<S: Scalar> LpKernel<S> for SparseRevised {
+    fn name(&self) -> &'static str {
+        "sparse-revised"
+    }
+
+    fn tag(&self) -> Kernel {
+        Kernel::SparseRevised
+    }
+
+    fn solve(
+        &self,
+        sf: &StandardForm<S>,
+        opts: &SimplexOptions,
+    ) -> Result<KernelOutput<S>, SolveError> {
+        self.solve_cold(sf, opts)
+    }
+
+    /// Warm-capable solve: reuse the hinted basis + statuses when the
+    /// shape matches and the basis refactorizes to a (possibly repaired)
+    /// feasible point, skipping phase 1 entirely; otherwise fall back to
+    /// the cold two-phase path. See [`crate::warm`].
+    fn solve_warm(
+        &self,
+        sf: &StandardForm<S>,
+        opts: &SimplexOptions,
+        warm: Option<&WarmStart>,
+    ) -> Result<WarmKernelSolve<S>, SolveError> {
+        let cold = |outcome: WarmOutcome| -> Result<WarmKernelSolve<S>, SolveError> {
+            Ok(WarmKernelSolve {
+                output: self.solve_cold(sf, opts)?,
+                outcome,
+            })
+        };
+        let Some(w) = warm else {
+            return cold(WarmOutcome::Cold);
+        };
+        if !w.shape_matches(sf) {
+            return cold(WarmOutcome::ColdFallback);
+        }
+        let Some((st, mut repaired)) = SparseState::from_warm(sf, w) else {
+            return cold(WarmOutcome::ColdFallback);
+        };
+        let mut eng = Engine {
+            sf,
+            st,
+            clamp_on_refresh: true,
+        };
+        // Coefficient drift can leave the hinted basis primal infeasible;
+        // the composite repair pass restores feasibility in a handful of
+        // pivots or gives the basis up.
+        let mut repair_iters = 0usize;
+        if !eng.st.is_feasible() {
+            // Budget ~m/4: drift typically breaks a handful of rows, so a
+            // productive repair converges quickly; a repair that needs
+            // cold-solve-scale pivot counts is not worth finishing.
+            match eng.composite_repair(sf.m / 4 + 20) {
+                Some(it) => {
+                    repaired = true;
+                    repair_iters = it;
+                }
+                None => return cold(WarmOutcome::ColdFallback),
+            }
+        } else {
+            eng.st.clamp_basics();
+        }
+        let mut budget = opts.budget(sf.m, sf.ncols).saturating_sub(repair_iters);
+        match eng.phase2_and_extract(opts, &mut budget, repair_iters) {
+            Ok(output) => Ok(WarmKernelSolve {
+                output,
+                outcome: if repaired {
+                    WarmOutcome::Repaired
+                } else {
+                    WarmOutcome::Warm
+                },
+            }),
+            // A warm basis that stalls the pivot budget (f64 cycling from
+            // an unusual start) is abandoned, not fatal.
+            Err(SolveError::IterationLimit) => cold(WarmOutcome::ColdFallback),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -548,5 +915,56 @@ mod tests {
         f.ftran(&mut fv);
         let dot = |a: &[Ratio], b: &[Ratio]| -> Ratio { a.iter().zip(b).map(|(x, y)| x * y).sum() };
         assert_eq!(dot(&bu, &v), dot(&u, &fv));
+    }
+
+    #[test]
+    fn warm_state_rebuilds_and_detects_infeasible_hints() {
+        use crate::{lower, Cmp, Problem, Sense};
+        // maximize x + y  s.t.  x + y ≤ 4,  x ≤ 3 (box),  y ≤ 3 (box).
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var_bounded("x", Ratio::from_int(3));
+        let y = p.add_var_bounded("y", Ratio::from_int(3));
+        p.set_objective_coeff(x, Ratio::one());
+        p.set_objective_coeff(y, Ratio::one());
+        p.add_constraint(
+            "cap",
+            [(x, Ratio::one()), (y, Ratio::one())],
+            Cmp::Le,
+            Ratio::from_int(4),
+        );
+        let sf = lower::<Ratio>(&p);
+        let out = SparseRevised
+            .solve(&sf, &SimplexOptions::default())
+            .unwrap();
+        let ws = WarmStart::from_output(&sf, &out);
+        // The optimal basis snapshot refactorizes feasibly, no repair.
+        let (st, repaired) = SparseState::from_warm(&sf, &ws).unwrap();
+        assert!(!repaired);
+        assert!(st.is_feasible());
+        // A hint resting both columns at their upper bounds (x = y = 3)
+        // overshoots the cap row: the slack basic goes negative — primal
+        // infeasible, composite repair territory.
+        let bad = WarmStart::new(
+            sf.m,
+            sf.ncols,
+            sf.art_start,
+            sf.basis0.clone(),
+            vec![true, true, false],
+        );
+        let (st, _) = SparseState::from_warm(&sf, &bad).unwrap();
+        assert!(!st.is_feasible());
+        // End to end, the repair pass restores feasibility and the solve
+        // still lands on the true optimum (x + y = 4).
+        let ws2 = SparseRevised
+            .solve_warm(&sf, &SimplexOptions::default(), Some(&bad))
+            .unwrap();
+        assert!(ws2.outcome.used_warm_basis());
+        let obj: Ratio = sf
+            .cost2
+            .iter()
+            .zip(&ws2.output.values)
+            .map(|(c, v)| c * v)
+            .sum();
+        assert_eq!(obj, Ratio::from_int(4));
     }
 }

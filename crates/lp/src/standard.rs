@@ -147,6 +147,12 @@ pub struct KernelOutput<S> {
     pub phase1_iterations: usize,
     /// Entering-variable rule the kernel ran with.
     pub pivot_rule: PivotRule,
+    /// Final basic columns (a set; may be shorter than `m` when the kernel
+    /// dropped redundant rows). Feeds
+    /// [`WarmStart::from_output`](crate::WarmStart::from_output).
+    pub basis: Vec<usize>,
+    /// Final nonbasic-at-upper status per column (length `ncols`).
+    pub at_upper: Vec<bool>,
 }
 
 /// Lower `problem` into kernel-ready standard form with native bounds

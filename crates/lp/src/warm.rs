@@ -1,0 +1,217 @@
+//! Warm-started re-solves: carry a basis and its bound statuses from one
+//! solve to the next.
+//!
+//! §5.5 of the paper re-solves the steady-state LP every phase from
+//! observed parameters. Successive phases share the *structure* of the LP
+//! — same rows, same columns, same sparsity pattern — and only the
+//! coefficients drift, so the optimal basis of phase `t` is an excellent
+//! starting basis for phase `t+1`. A [`WarmStart`] is the scalar-free
+//! snapshot of everything a kernel needs to resume: the set of basic
+//! columns plus the `AtLower`/`AtUpper` resting side of every nonbasic
+//! bounded column. Values are *not* carried — they are recomputed from the
+//! new coefficients by refactorizing the basis, which is also what makes
+//! one snapshot reusable across scalar backends (an `f64` session can hand
+//! its statuses to an exact `Ratio` re-certification solve).
+//!
+//! The state machine of a warm solve
+//! ([`LpKernel::solve_warm`](crate::LpKernel::solve_warm)):
+//!
+//! ```text
+//! no hint ──────────────────────────────▶ Cold          (two-phase solve)
+//! hint, shape mismatch / singular ──────▶ ColdFallback  (two-phase solve)
+//! hint, basis refactorizes, feasible ───▶ Warm          (phase 2 only)
+//! hint, some basics out of bounds ──────▶ repair: drop the offending
+//!         columns onto the bound they violated, complete the basis with
+//!         the rows' slack/artificial unit columns, retry once
+//!                       ├── feasible ───▶ Repaired      (phase 2 only)
+//!                       └── still not ──▶ ColdFallback  (two-phase solve)
+//! ```
+//!
+//! Skipping phase 1 is where the savings live: the steady-state LPs are
+//! equality-heavy (one conservation row per node and type), so a cold
+//! solve spends most of its pivots driving artificials out.
+
+use crate::kernel::Kernel;
+use crate::scalar::Scalar;
+use crate::solution::Solution;
+use crate::standard::{KernelOutput, StandardForm};
+
+/// How a [`solve_warm`](crate::LpKernel::solve_warm) run actually started.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmOutcome {
+    /// No warm hint was supplied: ordinary two-phase cold solve.
+    Cold,
+    /// The warm basis refactorized to a feasible point; phase 1 skipped.
+    Warm,
+    /// The warm basis needed patching (dependent or out-of-bound columns
+    /// replaced by unit columns) before phase 2 could start.
+    Repaired,
+    /// A hint was supplied but could not be used (shape change, singular
+    /// repair, or a kernel without warm support): cold solve instead.
+    ColdFallback,
+}
+
+impl WarmOutcome {
+    /// `true` when the solve actually started from the hinted basis
+    /// ([`Warm`](WarmOutcome::Warm) or [`Repaired`](WarmOutcome::Repaired)).
+    pub fn used_warm_basis(&self) -> bool {
+        matches!(self, WarmOutcome::Warm | WarmOutcome::Repaired)
+    }
+}
+
+impl std::fmt::Display for WarmOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(match self {
+            WarmOutcome::Cold => "cold",
+            WarmOutcome::Warm => "warm",
+            WarmOutcome::Repaired => "repaired",
+            WarmOutcome::ColdFallback => "cold-fallback",
+        })
+    }
+}
+
+/// A scalar-free snapshot of a solved basis, reusable as the starting
+/// point of the next solve on a same-shaped [`StandardForm`].
+///
+/// The basis is carried as a column *set* (row assignment is recomputed by
+/// refactorization), so a snapshot taken from the dense tableau after its
+/// redundant-row dropping — a basis smaller than `m` — still seeds the
+/// sparse kernel: missing rows are completed with their slack/artificial
+/// unit columns.
+#[derive(Clone, Debug)]
+pub struct WarmStart {
+    m: usize,
+    ncols: usize,
+    art_start: usize,
+    basis: Vec<usize>,
+    at_upper: Vec<bool>,
+}
+
+impl WarmStart {
+    /// Assemble a snapshot from raw parts (tests and external tooling; the
+    /// usual source is [`WarmStart::from_output`]).
+    pub fn new(
+        m: usize,
+        ncols: usize,
+        art_start: usize,
+        basis: Vec<usize>,
+        at_upper: Vec<bool>,
+    ) -> WarmStart {
+        WarmStart {
+            m,
+            ncols,
+            art_start,
+            basis,
+            at_upper,
+        }
+    }
+
+    /// Snapshot the final basis + statuses of a kernel run on `sf`.
+    pub fn from_output<S: Scalar>(sf: &StandardForm<S>, out: &KernelOutput<S>) -> WarmStart {
+        WarmStart {
+            m: sf.m,
+            ncols: sf.ncols,
+            art_start: sf.art_start,
+            basis: out.basis.clone(),
+            at_upper: out.at_upper.clone(),
+        }
+    }
+
+    /// `true` when this snapshot can seed a solve of `sf`: identical row,
+    /// column and artificial layout (coefficients are free to differ —
+    /// that is the point).
+    pub fn shape_matches<S>(&self, sf: &StandardForm<S>) -> bool {
+        self.m == sf.m
+            && self.ncols == sf.ncols
+            && self.art_start == sf.art_start
+            && self.at_upper.len() == sf.ncols
+            && self.basis.iter().all(|&j| j < sf.ncols)
+    }
+
+    /// The snapshot's basic columns (a set; row order not meaningful).
+    pub fn basis(&self) -> &[usize] {
+        &self.basis
+    }
+
+    /// Per-column nonbasic-at-upper statuses (length = total columns).
+    pub fn at_upper(&self) -> &[bool] {
+        &self.at_upper
+    }
+
+    /// Number of rows of the form this snapshot was taken from.
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+}
+
+/// What [`LpKernel::solve_warm`](crate::LpKernel::solve_warm) hands back:
+/// the ordinary kernel output plus how the solve started.
+#[derive(Clone, Debug)]
+pub struct WarmKernelSolve<S> {
+    /// The kernel's output, identical in shape to a cold
+    /// [`solve`](crate::LpKernel::solve).
+    pub output: KernelOutput<S>,
+    /// How the solve started (see [`WarmOutcome`]).
+    pub outcome: WarmOutcome,
+}
+
+/// A completed warm-capable solve at the [`Problem`](crate::Problem)
+/// level: the assembled solution, the outcome telemetry, and the snapshot
+/// that seeds the *next* solve.
+#[derive(Clone, Debug)]
+pub struct WarmRun<S> {
+    /// The assembled, certified-shape solution (duals included).
+    pub solution: Solution<S>,
+    /// How the solve started (see [`WarmOutcome`]).
+    pub outcome: WarmOutcome,
+    /// Snapshot of the final basis, ready to seed the next re-solve.
+    pub warm: WarmStart,
+}
+
+impl<S: Scalar> WarmRun<S> {
+    /// Which pivoting engine produced this run.
+    pub fn kernel(&self) -> Kernel {
+        self.solution.kernel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates_and_display() {
+        assert!(WarmOutcome::Warm.used_warm_basis());
+        assert!(WarmOutcome::Repaired.used_warm_basis());
+        assert!(!WarmOutcome::Cold.used_warm_basis());
+        assert!(!WarmOutcome::ColdFallback.used_warm_basis());
+        assert_eq!(WarmOutcome::ColdFallback.to_string(), "cold-fallback");
+    }
+
+    #[test]
+    fn shape_matching_rejects_mismatches() {
+        use crate::{lower, Cmp, Problem, Sense};
+        use ss_num::Ratio;
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x");
+        p.set_objective_coeff(x, Ratio::one());
+        p.add_constraint("c", [(x, Ratio::one())], Cmp::Le, Ratio::one());
+        let sf = lower::<Ratio>(&p);
+        let ws = WarmStart::new(
+            sf.m,
+            sf.ncols,
+            sf.art_start,
+            sf.basis0.clone(),
+            vec![false; sf.ncols],
+        );
+        assert!(ws.shape_matches(&sf));
+        let wrong = WarmStart::new(
+            sf.m + 1,
+            sf.ncols,
+            sf.art_start,
+            sf.basis0.clone(),
+            vec![false; sf.ncols],
+        );
+        assert!(!wrong.shape_matches(&sf));
+    }
+}

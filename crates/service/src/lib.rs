@@ -1,0 +1,505 @@
+//! # ss-service — a multi-tenant online steady-state scheduling service
+//!
+//! The serving layer the §5.5 adaptive story scales up to: many
+//! independent applications ("tenants"), each with its own platform and
+//! master, all keeping a **hot warm-started re-solve session**
+//! ([`SolveSession`]) alive between requests. A tenant's steady-state
+//! plan is recomputed only when its observed parameters drift — and the
+//! re-solve reuses the previous optimal basis, so a re-plan costs a
+//! handful of simplex pivots instead of a full two-phase solve.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  ServiceClient ──┬── mpsc ──▶ worker 0 ── {tenant a, tenant d, ...}
+//!   (cloneable)    ├── mpsc ──▶ worker 1 ── {tenant b, ...}
+//!                  └── mpsc ──▶ worker k ── {tenant c, ...}
+//! ```
+//!
+//! * One OS thread per worker (`std::thread` + `std::sync::mpsc`, the
+//!   same no-dependency style as `ss_bench::parallel::par_map`); tenants
+//!   are sharded across workers by a stable hash of their id, so all
+//!   requests of one tenant serialize on one thread and its session needs
+//!   no locking.
+//! * Requests carry their own reply channel; clients block only on their
+//!   own request.
+//! * Re-plans run on the fast `f64` backend; [`ServiceClient::certify`]
+//!   re-solves a tenant **exactly** (warm-started from the same
+//!   scalar-free snapshot) and verifies the LP-duality certificate — the
+//!   on-demand checkpoint of the session layer.
+//!
+//! Parameter drift is expressed as a [`ParamScale`] relative to the
+//! tenant's registered nominal platform, matching the §5.5 simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ss_core::master_slave::MasterSlave;
+use ss_core::session::SolveSession;
+use ss_core::WarmOutcome;
+use ss_lp::KernelChoice;
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform};
+use ss_sim::dynamic::ParamScale;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (each owns a shard of the tenants). At least 1.
+    pub workers: usize,
+    /// LP kernel every tenant session runs on (`Auto` = the warm-capable
+    /// sparse revised simplex).
+    pub kernel: KernelChoice,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            kernel: KernelChoice::Auto,
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No tenant registered under this id.
+    UnknownTenant(String),
+    /// A tenant with this id already exists.
+    DuplicateTenant(String),
+    /// The tenant's LP could not be solved (or certified).
+    Solve(String),
+    /// The service is shutting down (a worker hung up).
+    Disconnected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(id) => write!(f, "unknown tenant `{id}`"),
+            ServiceError::DuplicateTenant(id) => write!(f, "tenant `{id}` already registered"),
+            ServiceError::Solve(msg) => write!(f, "solve failed: {msg}"),
+            ServiceError::Disconnected => f.write_str("service disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The result of a (re-)plan: the new steady-state rate plus the warm/cold
+/// telemetry of the solve that produced it.
+#[derive(Clone, Debug)]
+pub struct Replan {
+    /// Tenant id.
+    pub tenant: String,
+    /// Steady-state throughput of the new plan (tasks per time unit).
+    pub throughput: f64,
+    /// Which warm/cold path the re-solve took.
+    pub outcome: WarmOutcome,
+    /// Simplex pivots spent (repair included).
+    pub iterations: usize,
+    /// Wall-clock of the re-plan in milliseconds.
+    pub solve_ms: f64,
+}
+
+/// A cheap rate query: the tenant's current plan, no solve performed.
+#[derive(Clone, Debug)]
+pub struct RateReport {
+    /// Tenant id.
+    pub tenant: String,
+    /// Steady-state throughput of the current plan.
+    pub throughput: f64,
+    /// Re-plans served so far (including registration).
+    pub solves: usize,
+    /// Fraction of re-plans that reused a warm basis.
+    pub warm_fraction: f64,
+}
+
+/// The result of an exact re-certification checkpoint.
+#[derive(Clone, Debug)]
+pub struct CertifiedRate {
+    /// Tenant id.
+    pub tenant: String,
+    /// The exact optimal throughput, duality-certified.
+    pub exact: Ratio,
+    /// `|exact − f64 plan|` — the fast path's current drift.
+    pub f64_gap: f64,
+}
+
+enum Request {
+    Register {
+        tenant: String,
+        platform: Platform,
+        master: NodeId,
+        reply: Sender<Result<Replan, ServiceError>>,
+    },
+    Update {
+        tenant: String,
+        scale: ParamScale,
+        reply: Sender<Result<Replan, ServiceError>>,
+    },
+    Rate {
+        tenant: String,
+        reply: Sender<Result<RateReport, ServiceError>>,
+    },
+    Certify {
+        tenant: String,
+        reply: Sender<Result<CertifiedRate, ServiceError>>,
+    },
+    Shutdown,
+}
+
+struct Tenant {
+    /// The registered nominal platform ([`ParamScale`]s are relative to it).
+    base: Platform,
+    /// The platform under the most recent drift.
+    current: Platform,
+    session: SolveSession<f64, MasterSlave>,
+    throughput: f64,
+}
+
+/// FNV-1a over the tenant id — the stable shard router.
+fn shard_of(tenant: &str, workers: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % workers as u64) as usize
+}
+
+fn worker_loop(rx: Receiver<Request>, kernel: KernelChoice) {
+    let mut tenants: HashMap<String, Tenant> = HashMap::new();
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Register {
+                tenant,
+                platform,
+                master,
+                reply,
+            } => {
+                let out = match tenants.entry(tenant.clone()) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        Err(ServiceError::DuplicateTenant(tenant))
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        let mut t = Tenant {
+                            base: platform.clone(),
+                            current: platform,
+                            session: SolveSession::with_kernel(MasterSlave::new(master), kernel),
+                            throughput: 0.0,
+                        };
+                        let r = replan(&tenant, &mut t);
+                        if r.is_ok() {
+                            slot.insert(t);
+                        }
+                        r
+                    }
+                };
+                let _ = reply.send(out);
+            }
+            Request::Update {
+                tenant,
+                scale,
+                reply,
+            } => {
+                let out = match tenants.get_mut(&tenant) {
+                    None => Err(ServiceError::UnknownTenant(tenant)),
+                    Some(t) => {
+                        t.current = scale.apply(&t.base);
+                        replan(&tenant, t)
+                    }
+                };
+                let _ = reply.send(out);
+            }
+            Request::Rate { tenant, reply } => {
+                let out = match tenants.get(&tenant) {
+                    None => Err(ServiceError::UnknownTenant(tenant)),
+                    Some(t) => Ok(RateReport {
+                        tenant,
+                        throughput: t.throughput,
+                        solves: t.session.stats().solves,
+                        warm_fraction: t.session.stats().warm_fraction(),
+                    }),
+                };
+                let _ = reply.send(out);
+            }
+            Request::Certify { tenant, reply } => {
+                let out = match tenants.get_mut(&tenant) {
+                    None => Err(ServiceError::UnknownTenant(tenant)),
+                    Some(t) => match t.session.certify(&t.current) {
+                        Err(e) => Err(ServiceError::Solve(e.to_string())),
+                        Ok(exact) => Ok(CertifiedRate {
+                            f64_gap: (exact.objective_f64() - t.throughput).abs(),
+                            exact: exact.objective().clone(),
+                            tenant,
+                        }),
+                    },
+                };
+                let _ = reply.send(out);
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+// A free function rather than a `Tenant` method because `Request::Update`
+// needs it while holding the map entry mutably *and* the tenant id.
+fn replan(tenant: &str, t: &mut Tenant) -> Result<Replan, ServiceError> {
+    match t.session.resolve(&t.current) {
+        Err(e) => Err(ServiceError::Solve(e.to_string())),
+        Ok(s) => {
+            t.throughput = s.activities.objective_f64();
+            Ok(Replan {
+                tenant: tenant.to_string(),
+                throughput: t.throughput,
+                outcome: s.telemetry.outcome,
+                iterations: s.telemetry.iterations,
+                solve_ms: s.telemetry.solve_ms,
+            })
+        }
+    }
+}
+
+/// Cloneable handle for talking to a running [`Service`]. Every method
+/// blocks on its own reply channel only; clones can issue requests from
+/// many threads concurrently.
+#[derive(Clone)]
+pub struct ServiceClient {
+    txs: Vec<Sender<Request>>,
+}
+
+impl ServiceClient {
+    fn send<R>(
+        &self,
+        tenant: &str,
+        make: impl FnOnce(Sender<Result<R, ServiceError>>) -> Request,
+    ) -> Result<R, ServiceError> {
+        let (tx, rx) = channel();
+        self.txs[shard_of(tenant, self.txs.len())]
+            .send(make(tx))
+            .map_err(|_| ServiceError::Disconnected)?;
+        rx.recv().map_err(|_| ServiceError::Disconnected)?
+    }
+
+    /// Register a tenant (platform + master) and compute its initial
+    /// plan. Fails on duplicate ids.
+    pub fn register(
+        &self,
+        tenant: impl Into<String>,
+        platform: Platform,
+        master: NodeId,
+    ) -> Result<Replan, ServiceError> {
+        let tenant = tenant.into();
+        self.send(&tenant.clone(), |reply| Request::Register {
+            tenant,
+            platform,
+            master,
+            reply,
+        })
+    }
+
+    /// Report drifted parameters (relative to the registered platform)
+    /// and re-plan — warm-started from the tenant's previous basis.
+    pub fn update(
+        &self,
+        tenant: impl Into<String>,
+        scale: ParamScale,
+    ) -> Result<Replan, ServiceError> {
+        let tenant = tenant.into();
+        self.send(&tenant.clone(), |reply| Request::Update {
+            tenant,
+            scale,
+            reply,
+        })
+    }
+
+    /// The tenant's current steady-state rate (no solve).
+    pub fn rate(&self, tenant: impl Into<String>) -> Result<RateReport, ServiceError> {
+        let tenant = tenant.into();
+        self.send(&tenant.clone(), |reply| Request::Rate { tenant, reply })
+    }
+
+    /// Exact re-certification checkpoint: re-solve the tenant's current
+    /// platform with the exact backend (warm-started from the same
+    /// snapshot) and verify the LP-duality certificate.
+    pub fn certify(&self, tenant: impl Into<String>) -> Result<CertifiedRate, ServiceError> {
+        let tenant = tenant.into();
+        self.send(&tenant.clone(), |reply| Request::Certify { tenant, reply })
+    }
+}
+
+/// A running scheduling service: worker threads owning sharded tenants.
+///
+/// Dropping the service shuts the workers down and joins them; use
+/// [`Service::client`] to get (cloneable) request handles first.
+pub struct Service {
+    txs: Vec<Sender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Spawn the worker threads.
+    pub fn spawn(config: ServiceConfig) -> Service {
+        let workers = config.workers.max(1);
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel();
+            let kernel = config.kernel;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ss-service-{i}"))
+                    .spawn(move || worker_loop(rx, kernel))
+                    .expect("spawn service worker"),
+            );
+            txs.push(tx);
+        }
+        Service { txs, handles }
+    }
+
+    /// A new client handle (cheap to clone, safe to hand to other threads).
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            txs: self.txs.clone(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Graceful shutdown: stop all workers and join them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ss_platform::topo;
+
+    fn tenant_platform(seed: u64, p: usize) -> (Platform, NodeId) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default())
+    }
+
+    fn mild_drift(g: &Platform, node: usize, num: i64, den: i64) -> ParamScale {
+        ParamScale::nominal(g).with_node(NodeId(node % g.num_nodes()), Ratio::new(num, den))
+    }
+
+    #[test]
+    fn register_update_rate_certify_roundtrip() {
+        let service = Service::spawn(ServiceConfig::default());
+        let client = service.client();
+        let (g, m) = tenant_platform(1, 8);
+
+        let plan = client.register("acme", g.clone(), m).unwrap();
+        assert!(plan.throughput > 0.0);
+        assert_eq!(plan.outcome, WarmOutcome::Cold);
+
+        // A drift re-plan goes through the warm machinery, never a
+        // hint-less cold solve.
+        let re = client.update("acme", mild_drift(&g, 1, 3, 2)).unwrap();
+        assert!(re.throughput > 0.0);
+        assert_ne!(re.outcome, WarmOutcome::Cold);
+
+        let rate = client.rate("acme").unwrap();
+        assert_eq!(rate.solves, 2);
+        assert!((rate.throughput - re.throughput).abs() < 1e-12);
+
+        // Exact checkpoint agrees with the fast plan.
+        let cert = client.certify("acme").unwrap();
+        assert!(cert.f64_gap < 1e-6, "gap {}", cert.f64_gap);
+        assert!(cert.exact.is_positive());
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_and_duplicate_tenants_error() {
+        let service = Service::spawn(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        assert_eq!(
+            client.rate("ghost").unwrap_err(),
+            ServiceError::UnknownTenant("ghost".into())
+        );
+        let (g, m) = tenant_platform(2, 6);
+        client.register("dup", g.clone(), m).unwrap();
+        assert_eq!(
+            client.register("dup", g, m).unwrap_err(),
+            ServiceError::DuplicateTenant("dup".into())
+        );
+    }
+
+    #[test]
+    fn many_tenants_replan_concurrently_and_stay_warm() {
+        let service = Service::spawn(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let tenants: Vec<(String, Platform, NodeId)> = (0..8)
+            .map(|i| {
+                let (g, m) = tenant_platform(100 + i, 6 + (i as usize % 3) * 2);
+                (format!("tenant-{i}"), g, m)
+            })
+            .collect();
+        for (id, g, m) in &tenants {
+            client.register(id.clone(), g.clone(), *m).unwrap();
+        }
+        // Concurrent drift updates from one client clone per tenant.
+        std::thread::scope(|s| {
+            for (id, g, _) in &tenants {
+                let c = client.clone();
+                s.spawn(move || {
+                    for round in 0..3i64 {
+                        let drift = mild_drift(g, round as usize + 1, 2 + round, 2);
+                        let re = c.update(id.clone(), drift).unwrap();
+                        assert!(re.throughput > 0.0, "{id} round {round}");
+                        assert_ne!(re.outcome, WarmOutcome::Cold, "{id} round {round}");
+                    }
+                });
+            }
+        });
+        // Every tenant served 1 registration + 3 updates, mostly warm.
+        let mut warm_total = 0.0;
+        for (id, _, _) in &tenants {
+            let rate = client.rate(id.clone()).unwrap();
+            assert_eq!(rate.solves, 4, "{id}");
+            warm_total += rate.warm_fraction;
+        }
+        assert!(
+            warm_total / tenants.len() as f64 > 0.25,
+            "warm fraction collapsed: {warm_total}"
+        );
+        service.shutdown();
+    }
+}

@@ -17,6 +17,15 @@
 //! * **Omniscient** — re-solve with the current phase's true parameters:
 //!   the unbeatable reference.
 //!
+//! The re-solving policies run through **warm-started re-solve sessions**
+//! ([`SolveSession`]): each phase's LP shares the structure of the
+//! previous one (same platform graph, drifted coefficients), so from
+//! phase 2 on the solve reuses the previous optimal basis and bound
+//! statuses and skips phase 1 entirely — the [`SolveTelemetry`] on every
+//! [`PhaseReport`] records which path ran and how many pivots it cost. A
+//! final exact re-certification checkpoint verifies the adaptive
+//! session's last optimum against the full LP-duality certificate.
+//!
 //! Throughput of a plan under possibly different actual parameters is
 //! computed exactly: the §4.1 round structure stretches round-by-round
 //! (each round lasts as long as its slowest stretched transfer) and
@@ -24,7 +33,8 @@
 //! communication span and the compute spans, and the plan still completes
 //! its fixed task count per period.
 
-use ss_core::master_slave;
+use ss_core::master_slave::{self, MasterSlave};
+use ss_core::session::{SolveSession, SolveTelemetry};
 use ss_num::Ratio;
 use ss_platform::{NodeId, Platform, Weight};
 use ss_schedule::{reconstruct_master_slave, PeriodicSchedule};
@@ -120,7 +130,8 @@ pub fn realized_throughput(
     &Ratio::from(sched.work_per_period()) / &realized_period
 }
 
-/// Per-phase throughput of the three policies.
+/// Per-phase throughput of the three policies, with the LP telemetry of
+/// the two re-solving ones.
 #[derive(Clone, Debug)]
 pub struct PhaseReport {
     /// Tasks per time unit the static plan achieves this phase.
@@ -129,12 +140,21 @@ pub struct PhaseReport {
     pub adaptive_thr: Ratio,
     /// Tasks per time unit with perfect knowledge (LP on true parameters).
     pub omniscient_thr: Ratio,
+    /// Warm/cold path and pivot work of the adaptive re-solve.
+    pub adaptive: SolveTelemetry,
+    /// Warm/cold path and pivot work of the omniscient re-solve.
+    pub omniscient: SolveTelemetry,
 }
 
 /// Run the three policies across a sequence of drift phases.
 ///
 /// `phases[t]` is the true parameter scale during phase `t`; all phases
-/// have equal length, so aggregate throughput is the mean.
+/// have equal length, so aggregate throughput is the mean. The adaptive
+/// and omniscient policies re-solve through warm-started
+/// [`SolveSession`]s — from phase 2 on, every re-solve reuses the
+/// previous phase's basis (see each report's telemetry) — and the
+/// adaptive session's final optimum is re-certified exactly against the
+/// LP-duality certificate before returning.
 pub fn simulate_policies(
     g: &Platform,
     master: NodeId,
@@ -147,30 +167,47 @@ pub fn simulate_policies(
     let static_sol = master_slave::solve(g, master)?;
     let static_sched = reconstruct_master_slave(g, &static_sol);
 
+    // One hot session per re-solving policy: the exact backend (the
+    // schedules are reconstructed from the optima), warm-started across
+    // phases.
+    let mut adaptive_sess: SolveSession<Ratio, MasterSlave> =
+        SolveSession::new(MasterSlave::new(master));
+    let mut omni_sess: SolveSession<Ratio, MasterSlave> =
+        SolveSession::new(MasterSlave::new(master));
+
     let mut reports = Vec::with_capacity(phases.len());
     let mut prev_scale = nominal.clone();
+    let mut last_adaptive_platform: Option<Platform> = None;
     for actual in phases {
         // Static: nominal plan under actual parameters.
         let static_thr = realized_throughput(g, &static_sched, &nominal, actual);
 
         // Adaptive: plan on the previous phase's parameters.
         let adaptive_platform = prev_scale.apply(g);
-        let adaptive_sol = master_slave::solve(&adaptive_platform, master)?;
+        let (adaptive_sol, adaptive_tel) = adaptive_sess.resolve_typed(&adaptive_platform)?;
         let adaptive_sched = reconstruct_master_slave(&adaptive_platform, &adaptive_sol);
         // Its plan was built against prev_scale; it executes under actual.
         let adaptive_thr = realized_throughput(g, &adaptive_sched, &prev_scale, actual);
 
         // Omniscient: plan on the true parameters.
         let omni_platform = actual.apply(g);
-        let omni_sol = master_slave::solve(&omni_platform, master)?;
-        let omniscient_thr = omni_sol.ntask.clone();
+        let (omni_sol, omni_tel) = omni_sess.resolve_typed(&omni_platform)?;
+        let omniscient_thr = omni_sol.ntask;
 
         reports.push(PhaseReport {
             static_thr,
             adaptive_thr,
             omniscient_thr,
+            adaptive: adaptive_tel,
+            omniscient: omni_tel,
         });
         prev_scale = actual.clone();
+        last_adaptive_platform = Some(adaptive_platform);
+    }
+    // Checkpoint: exact re-certification of the adaptive session's final
+    // optimum (LP-duality certificate; §5.5's "trust but verify" hook).
+    if let Some(gp) = &last_adaptive_platform {
+        adaptive_sess.certify(gp)?;
     }
     Ok(reports)
 }
@@ -245,6 +282,40 @@ mod tests {
         assert_eq!(reports[4].adaptive_thr, reports[4].omniscient_thr);
         // Under persistent drift the static plan is strictly worse.
         assert!(reports[2].static_thr < reports[2].omniscient_thr);
+    }
+
+    /// The re-solving policies run through warm sessions: the first phase
+    /// is a cold solve, every later phase goes through `solve_warm` (and
+    /// when the parameters repeat, the previous basis is still optimal —
+    /// the warm path with zero phase-1 pivots).
+    #[test]
+    fn adaptive_resolves_warm_from_phase_two() {
+        use ss_core::WarmOutcome;
+        let (g, m) = paper::fig1();
+        let drift = ParamScale::nominal(&g).with_node(ss_platform::NodeId(1), Ratio::from_int(4));
+        let phases = vec![
+            ParamScale::nominal(&g),
+            drift.clone(),
+            drift,
+            ParamScale::nominal(&g),
+        ];
+        let reports = simulate_policies(&g, m, &phases).unwrap();
+        assert_eq!(reports[0].adaptive.outcome, WarmOutcome::Cold);
+        assert_eq!(reports[0].omniscient.outcome, WarmOutcome::Cold);
+        for (t, r) in reports.iter().enumerate().skip(1) {
+            // Phase ≥ 2 solves carry a hint: never a hint-less cold solve.
+            assert_ne!(r.adaptive.outcome, WarmOutcome::Cold, "phase {t}");
+            assert_ne!(r.omniscient.outcome, WarmOutcome::Cold, "phase {t}");
+        }
+        // Phase 2 plans on freshly drifted parameters: the warm machinery
+        // must reuse the hinted basis (repairing it if drift broke primal
+        // feasibility) rather than fall all the way back to cold.
+        assert!(reports[2].adaptive.outcome.used_warm_basis());
+        // Phase 3 re-plans on the *same* parameters as phase 2: the
+        // hinted basis is still optimal — pure warm, no repair pivots.
+        assert_eq!(reports[3].adaptive.outcome, WarmOutcome::Warm);
+        assert_eq!(reports[3].adaptive.phase1_iterations, 0);
+        assert!(reports[3].adaptive.iterations <= reports[0].adaptive.iterations);
     }
 
     /// Aggregate: adaptive beats static when drift persists.

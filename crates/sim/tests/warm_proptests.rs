@@ -1,0 +1,140 @@
+//! Property tests for warm-started re-solve sessions under random
+//! [`ParamScale`] drifts: a warm re-solve must agree with a cold solve —
+//! objective, primal feasibility, and the LP-duality certificate — on
+//! both kernels and both scalar backends, and a shape-changing drift must
+//! trigger the cold fallback instead of a wrong answer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ss_core::master_slave::MasterSlave;
+use ss_core::session::SolveSession;
+use ss_core::{engine, WarmOutcome};
+use ss_lp::KernelChoice;
+use ss_num::Ratio;
+use ss_platform::{topo, Platform};
+use ss_sim::dynamic::ParamScale;
+
+fn random_platform(seed: u64, p: usize) -> (Platform, ss_platform::NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    topo::random_connected(&mut rng, p, 0.35, &topo::ParamRange::default())
+}
+
+/// A random multiplicative drift with factors in [1/3, 3].
+fn random_drift(rng: &mut StdRng, g: &Platform) -> ParamScale {
+    let mut s = ParamScale::nominal(g);
+    for w in s.w_mult.iter_mut() {
+        if rng.gen_bool(0.5) {
+            *w = Ratio::new(rng.gen_range(4..=36), 12);
+        }
+    }
+    for c in s.c_mult.iter_mut() {
+        if rng.gen_bool(0.5) {
+            *c = Ratio::new(rng.gen_range(4..=36), 12);
+        }
+    }
+    s
+}
+
+fn kernel_of(pick: u8) -> KernelChoice {
+    if pick == 0 {
+        KernelChoice::Sparse
+    } else {
+        KernelChoice::Dense
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exact backend, both kernels: every phase of a warm session matches
+    /// the cold optimum exactly and carries a verifying duality
+    /// certificate. (The dense kernel has no warm path — its session
+    /// reports cold fallbacks — which is exactly what this property
+    /// checks: outcomes never change answers.)
+    #[test]
+    fn warm_sessions_agree_with_cold_exact(
+        seed in 0u64..1000,
+        p in 5usize..9,
+        nphases in 2usize..5,
+        pick in 0u8..2,
+    ) {
+        let (g, m) = random_platform(seed, p);
+        let mut drift_rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        let mut sess: SolveSession<Ratio, MasterSlave> =
+            SolveSession::with_kernel(MasterSlave::new(m), kernel_of(pick));
+        for t in 0..nphases {
+            let scale = if t == 0 {
+                ParamScale::nominal(&g)
+            } else {
+                random_drift(&mut drift_rng, &g)
+            };
+            let gp = scale.apply(&g);
+            let warm = sess.resolve(&gp).unwrap();
+            let cold = engine::solve_backend::<Ratio, _>(&MasterSlave::new(m), &gp).unwrap();
+            prop_assert_eq!(
+                warm.activities.objective(),
+                cold.objective(),
+                "phase {} ({:?})", t, warm.telemetry.outcome
+            );
+            // Warm solutions ship full duals: the certificate must hold.
+            let (lp, _) = engine::Formulation::build(&MasterSlave::new(m), &gp).unwrap();
+            if let Err(e) = lp.verify_optimality(warm.activities.solution()) {
+                return Err(TestCaseError::fail(format!("phase {t}: certificate: {e}")));
+            }
+            if t > 0 {
+                prop_assert!(warm.telemetry.outcome != WarmOutcome::Cold, "phase {}", t);
+            }
+        }
+    }
+
+    /// `f64` backend, both kernels: warm re-solves track the exact
+    /// optimum within the sweep tolerance across drifts.
+    #[test]
+    fn warm_sessions_agree_with_cold_f64(
+        seed in 0u64..1000,
+        p in 5usize..10,
+        nphases in 2usize..5,
+        pick in 0u8..2,
+    ) {
+        let (g, m) = random_platform(seed.wrapping_add(500), p);
+        let mut drift_rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut sess: SolveSession<f64, MasterSlave> =
+            SolveSession::with_kernel(MasterSlave::new(m), kernel_of(pick));
+        for t in 0..nphases {
+            let scale = if t == 0 {
+                ParamScale::nominal(&g)
+            } else {
+                random_drift(&mut drift_rng, &g)
+            };
+            let gp = scale.apply(&g);
+            let warm = sess.resolve(&gp).unwrap();
+            let exact = engine::solve_backend::<Ratio, _>(&MasterSlave::new(m), &gp).unwrap();
+            let err = (warm.activities.objective_f64() - exact.objective().to_f64()).abs();
+            prop_assert!(err < 1e-6, "phase {}: |Δ| = {:.3e} ({:?})", t, err, warm.telemetry.outcome);
+        }
+    }
+
+    /// A drift that changes the platform's *shape* (more nodes and edges,
+    /// hence a different LP layout) must be served by a cold fallback —
+    /// same optimum as a from-scratch solve, never an error — and the
+    /// session must re-warm on the new shape.
+    #[test]
+    fn shape_changing_drift_triggers_cold_fallback(
+        seed in 0u64..1000,
+        p in 5usize..8,
+        grow in 1usize..4,
+    ) {
+        let (g1, m) = random_platform(seed.wrapping_add(900), p);
+        let (g2, _) = random_platform(seed.wrapping_add(901), p + grow);
+        let mut sess: SolveSession<Ratio, MasterSlave> =
+            SolveSession::with_kernel(MasterSlave::new(m), KernelChoice::Sparse);
+        sess.resolve(&g1).unwrap();
+        let fb = sess.resolve(&g2).unwrap();
+        prop_assert_eq!(fb.telemetry.outcome, WarmOutcome::ColdFallback);
+        let cold = engine::solve_backend::<Ratio, _>(&MasterSlave::new(m), &g2).unwrap();
+        prop_assert_eq!(fb.activities.objective(), cold.objective());
+        let rewarmed = sess.resolve(&g2).unwrap();
+        prop_assert!(rewarmed.telemetry.outcome.used_warm_basis());
+    }
+}

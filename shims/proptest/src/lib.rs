@@ -11,11 +11,20 @@
 //!   [`collection::vec`],
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
 //!
-//! Differences from upstream, deliberate for an offline shim: no shrinking
-//! (failures report the raw sampled inputs), and rejected cases
-//! (`prop_assume!`) are retried up to a bounded factor rather than tracked
-//! by a global rejection budget. Sampling is deterministic per test name
-//! unless `PROPTEST_SEED` overrides it.
+//! On failure, inputs are **shrunk naively** before reporting: integers
+//! halve toward their lower bound (plus a −1 step so exact boundaries are
+//! reached), vectors try halves, element drops and element-wise shrinks,
+//! tuples shrink one component at a time — greedy hill descent re-running
+//! the test body until no candidate still fails, with a bounded attempt
+//! budget. The panic message reports both the originally sampled inputs
+//! and the minimal failing ones. (Upstream shrinks through the full
+//! strategy tree; this is the offline approximation of the same idea.)
+//!
+//! Other differences from upstream, deliberate for an offline shim:
+//! rejected cases (`prop_assume!`) are retried up to a bounded factor
+//! rather than tracked by a global rejection budget, and sampled values
+//! must be `Clone` (the shrinker re-runs the body). Sampling is
+//! deterministic per test name unless `PROPTEST_SEED` overrides it.
 
 #![forbid(unsafe_code)]
 
@@ -92,6 +101,30 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing value, simplest first.
+    /// Every candidate must stay inside the strategy's value space. The
+    /// default is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Integer shrink candidates toward `lo`: the bound itself, the halfway
+/// point, and one step down (so exact failure boundaries are reached).
+macro_rules! int_candidates {
+    ($lo:expr, $v:expr) => {{
+        let lo = $lo;
+        let v = $v;
+        if v <= lo {
+            Vec::new()
+        } else {
+            let mut out = vec![lo, lo + (v - lo) / 2, v - 1];
+            out.retain(|x| *x >= lo && *x < v);
+            out.dedup();
+            out
+        }
+    }};
 }
 
 macro_rules! impl_range_strategy {
@@ -101,11 +134,17 @@ macro_rules! impl_range_strategy {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_candidates!(self.start, *v)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_candidates!(*self.start(), *v)
             }
         }
     )*};
@@ -132,6 +171,18 @@ macro_rules! impl_any_int {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(<$t>::MIN..=<$t>::MAX)
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                // Toward zero: zero itself, halving, one step inward.
+                let v = *v;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                let mut out = vec![0, v / 2, step];
+                out.retain(|x| *x != v);
+                out.dedup();
+                out
+            }
         }
     )*};
 }
@@ -143,25 +194,115 @@ impl Strategy for Any<bool> {
     fn sample(&self, rng: &mut StdRng) -> bool {
         rng.gen_bool(0.5)
     }
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 impl_tuple_strategy! {
+    (A 0)
     (A 0, B 1)
     (A 0, B 1, C 2)
     (A 0, B 1, C 2, D 3)
     (A 0, B 1, C 2, D 3, E 4)
     (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Pin a test-body closure's argument type to `strat`'s value type (an
+/// identity function; the macro-generated tuple patterns are otherwise
+/// uninferable). Implementation detail of [`proptest!`].
+#[doc(hidden)]
+pub fn make_runner<S, F>(_strat: &S, f: F) -> F
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
+
+/// Greedy shrink driver: walk the candidate lists of `strat` downhill,
+/// keeping any candidate on which `run` still fails, until no candidate
+/// fails or the attempt budget is spent. Returns the minimal failing
+/// value, its failure message, and the number of successful shrink steps.
+pub fn shrink_case<S, F>(
+    strat: &S,
+    mut case: S::Value,
+    mut msg: String,
+    run: &mut F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    const MAX_ATTEMPTS: usize = 4096;
+    let mut steps = 0usize;
+    let mut attempts = 0usize;
+    'descend: loop {
+        for cand in strat.shrink(&case) {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                break 'descend;
+            }
+            // Shrink candidates were never sampled, so the body may
+            // panic on them (e.g. setup unwraps) rather than fail via
+            // prop_assert!; catch and treat a panic as a failure to keep
+            // shrinking on — never let it eat the counterexample report.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(cand.clone())));
+            match outcome {
+                Ok(Err(TestCaseError::Fail(m))) => {
+                    case = cand;
+                    msg = m;
+                    steps += 1;
+                    continue 'descend;
+                }
+                Ok(_) => {}
+                Err(payload) => {
+                    case = cand;
+                    msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "panicked while shrinking".to_string());
+                    steps += 1;
+                    continue 'descend;
+                }
+            }
+        }
+        break;
+    }
+    (case, msg, steps)
 }
 
 // ------------------------------ string regex -------------------------------
@@ -328,12 +469,43 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
             (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let n = v.len();
+            let mut out = Vec::new();
+            // Halving first (big jumps), then single element drops, both
+            // respecting the strategy's minimum length.
+            let half = n / 2;
+            if half >= self.size.lo && half < n {
+                out.push(v[..half].to_vec());
+                out.push(v[half..].to_vec());
+            }
+            if n > self.size.lo {
+                for i in 0..n {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    out.push(w);
+                }
+            }
+            // Element-wise shrinks, one position at a time.
+            for (i, x) in v.iter().enumerate() {
+                for cand in self.element.shrink(x) {
+                    let mut w = v.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -442,17 +614,25 @@ macro_rules! __proptest_body {
                 let config: $crate::ProptestConfig = $cfg;
                 let cases = config.effective_cases();
                 let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                // The argument strategies as one tuple strategy, so the
+                // shrinker can simplify the whole case at once.
+                let strat_tuple = ($(($strat),)*);
+                let mut runner = $crate::make_runner(&strat_tuple, |($($arg,)*)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 let mut ran: u32 = 0;
                 let mut rejected: u64 = 0;
                 // Bounded rejection budget, like upstream (factor 256).
                 let max_rejects = (cases as u64) * 256;
                 while ran < cases {
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
-                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    match outcome {
+                    // Snapshot the rng so a failing case can be
+                    // regenerated for shrinking — the success path then
+                    // moves the sampled values straight into the body
+                    // without cloning them.
+                    let rng_at_case = rng.clone();
+                    let case = $crate::Strategy::sample(&strat_tuple, &mut rng);
+                    match runner(case) {
                         ::std::result::Result::Ok(()) => { ran += 1; }
                         ::std::result::Result::Err($crate::TestCaseError::Reject) => {
                             rejected += 1;
@@ -464,12 +644,25 @@ macro_rules! __proptest_body {
                             }
                         }
                         ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            // Regenerate the failing case from the rng
+                            // snapshot, then shrink: halve/drop inputs
+                            // while the body keeps failing, and report
+                            // the minimum.
+                            let case = $crate::Strategy::sample(&strat_tuple, &mut rng_at_case.clone());
+                            let (min_case, min_msg, steps) =
+                                $crate::shrink_case(&strat_tuple, case.clone(), msg.clone(), &mut runner);
                             panic!(
-                                "proptest `{}` failed after {} cases: {}\ninputs: {:#?}",
+                                "proptest `{}` failed after {} cases: {}\n\
+                                 inputs: {:#?}\n\
+                                 minimal inputs ({} shrink steps): {:#?}\n\
+                                 minimal failure: {}",
                                 stringify!($name),
                                 ran,
                                 msg,
-                                ($(&$arg,)*)
+                                case,
+                                steps,
+                                min_case,
+                                min_msg
                             );
                         }
                     }
@@ -523,8 +716,87 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "failed after")]
+    #[should_panic(expected = "minimal inputs")]
     fn failure_reports_inputs() {
         always_fails();
+    }
+
+    #[test]
+    fn integer_shrink_converges_to_the_failure_boundary() {
+        // Fails iff x ≥ 17: the shrinker must land exactly on 17.
+        let strat = (0u64..1000,);
+        let mut runner = |(x,): (u64,)| {
+            if x >= 17 {
+                Err(TestCaseError::fail(format!("x={x}")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = crate::shrink_case(&strat, (900,), "x=900".into(), &mut runner);
+        assert_eq!(min.0, 17);
+        assert_eq!(msg, "x=17");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn vec_shrink_drops_irrelevant_elements() {
+        // Fails iff the vec contains a 3: minimal counterexample is [3].
+        let strat = (prop::collection::vec(0u32..10, 1..12),);
+        let mut runner = |(v,): (Vec<u32>,)| {
+            if v.contains(&3) {
+                Err(TestCaseError::fail(format!("{v:?}")))
+            } else {
+                Ok(())
+            }
+        };
+        let seed = vec![7, 3, 9, 3, 1, 0, 5];
+        let (min, _, _) = crate::shrink_case(&strat, (seed,), "seed".into(), &mut runner);
+        assert_eq!(min.0, vec![3]);
+    }
+
+    #[test]
+    fn tuple_shrink_minimizes_components_independently() {
+        // Fails iff a + b ≥ 10; a minimum sits on the boundary.
+        let strat = (0i64..100, 0i64..100);
+        let mut runner = |(a, b): (i64, i64)| {
+            if a + b >= 10 {
+                Err(TestCaseError::fail(format!("{a}+{b}")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = crate::shrink_case(&strat, (60, 40), "60+40".into(), &mut runner);
+        assert_eq!(min.0 + min.1, 10);
+    }
+
+    #[test]
+    fn shrinking_survives_panicking_candidates() {
+        // The body panics (setup-style) on 10..=20 and fails the property
+        // above 20: the shrinker must treat the panics as failures and
+        // keep descending instead of aborting the report.
+        let strat = (0u64..100,);
+        let mut runner = |(x,): (u64,)| {
+            assert!(!(10..=20).contains(&x), "boom at {x}");
+            if x > 20 {
+                Err(TestCaseError::fail(format!("x={x}")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, _) = crate::shrink_case(&strat, (90,), "x=90".into(), &mut runner);
+        assert_eq!(min.0, 10);
+        assert!(msg.contains("boom at 10"), "msg: {msg}");
+    }
+
+    #[test]
+    fn shrinking_respects_range_lower_bounds() {
+        // Everything fails; the minimum must still respect `lo`.
+        let strat = (5u8..50, prop::collection::vec(0u8..4, 2..6));
+        let mut runner =
+            |(_, _): (u8, Vec<u8>)| Err::<(), _>(TestCaseError::fail("always".to_string()));
+        let (min, _, _) =
+            crate::shrink_case(&strat, (47, vec![3, 3, 3, 3, 3]), "a".into(), &mut runner);
+        assert_eq!(min.0, 5);
+        assert_eq!(min.1.len(), 2);
     }
 }

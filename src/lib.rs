@@ -19,6 +19,9 @@
 //!   edge-coloring orchestration, start-up grouping, fixed periods,
 //! * [`sim`] — executable semantics (periodic executor, event kernel,
 //!   §5.5 dynamic adaptation),
+//! * [`service`] — the multi-tenant online scheduling service (one hot
+//!   warm-started re-solve session per tenant behind a channel-based
+//!   request loop),
 //! * [`baselines`] — greedy/HEFT/fixed-tree competitors.
 //!
 //! ## Quickstart
@@ -54,4 +57,5 @@ pub use ss_lp as lp;
 pub use ss_num as num;
 pub use ss_platform as platform;
 pub use ss_schedule as schedule;
+pub use ss_service as service;
 pub use ss_sim as sim;
