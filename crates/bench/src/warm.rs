@@ -1,16 +1,25 @@
 //! Warm-started re-solve experiments: the `warm-scale` sweep and the
-//! `warm-smoke` CI guard.
+//! `warm-smoke` / `dual-smoke` / `bench-check` CI guards.
 //!
 //! §5.5 re-solves the steady-state LP every phase from observed
 //! parameters. The [`warm_scale`] sweep drives a large SSMS platform
 //! through ~20 drift phases twice — once through a hot
 //! [`SolveSession`] (basis reuse) and once solving every phase from
-//! scratch — and records pivots and wall-clock per phase to
-//! `BENCH_lp_warm.json`, asserting in-sweep that warm re-solves pivot
-//! strictly less on average. [`warm_smoke`] is the correctness guard:
-//! small platforms, exact and `f64` sessions against per-phase cold
-//! solves, certificates verified, and a shape-changing drift that must
-//! trigger the cold fallback.
+//! scratch — and records pivots, wall-clock and the warm path taken per
+//! phase to `BENCH_lp_warm.json`, asserting in-sweep that warm re-solves
+//! pivot strictly less on average **and never fall back cold**: with the
+//! bounded dual simplex ahead of the composite primal repair, every
+//! drifted basis is either restored on optimal-side bases
+//! (`dual-repaired`) or patched primal-side (`repaired`).
+//!
+//! [`warm_smoke`] is the correctness guard (small platforms, exact and
+//! `f64` sessions against per-phase cold solves, certificates verified,
+//! shape-change fallback). [`dual_smoke`] is the dual-path guard: drift
+//! aggressive enough to break primal feasibility every few phases must
+//! route through the dual repair — zero cold fallbacks, both scalars,
+//! answers identical to cold. [`bench_check`] is the regression gate: a
+//! fresh sweep must not pivot more than 2x the committed
+//! `BENCH_lp_warm.json` numbers at any recorded platform size.
 
 use crate::parallel::par_map;
 use crate::table::{banner, print_table};
@@ -29,6 +38,10 @@ use std::time::Instant;
 
 /// Drift phases per platform in the sweep (phase 0 is nominal/cold).
 const PHASES: usize = 20;
+
+/// Where the sweep records its phases (and where [`bench_check`] reads
+/// the committed reference back from).
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp_warm.json");
 
 /// Mild multiplicative drift: each node/edge is rescaled with probability
 /// `prob` by a factor in [2/3, 3/2] — the NWS-style "machine got loaded /
@@ -54,11 +67,23 @@ struct PhasePoint {
     cold_pivots: usize,
     warm_ms: f64,
     cold_ms: f64,
+    snapshot_ms: f64,
+}
+
+/// How many re-solves took each warm path (phase 0's hint-less cold solve
+/// excluded).
+#[derive(Default)]
+struct PathCounts {
+    warm: usize,
+    dual_repaired: usize,
+    repaired: usize,
+    cold_fallback: usize,
 }
 
 struct WarmSweep {
     p: usize,
     phases: Vec<PhasePoint>,
+    paths: PathCounts,
     mean_warm: f64,
     mean_cold: f64,
 }
@@ -72,6 +97,7 @@ fn sweep_platform(p: usize) -> WarmSweep {
 
     let mut drift_rng = StdRng::seed_from_u64(0xd21f7 + p as u64);
     let mut phases = Vec::with_capacity(PHASES);
+    let mut paths = PathCounts::default();
     for t in 0..PHASES {
         let scale = if t == 0 {
             ParamScale::nominal(&g)
@@ -82,7 +108,9 @@ fn sweep_platform(p: usize) -> WarmSweep {
 
         let t0 = Instant::now();
         let warm = sess.resolve(&gp).expect("warm re-solve");
-        let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Snapshot capture seeds the *next* phase: billed separately so
+        // the warm-vs-cold column is an honest solve-vs-solve comparison.
+        let warm_ms = t0.elapsed().as_secs_f64() * 1e3 - warm.telemetry.snapshot_ms;
 
         // The cold reference: identical instance, fresh two-phase solve.
         let (lp, _) = f.build(&gp).expect("SSMS build");
@@ -97,11 +125,13 @@ fn sweep_platform(p: usize) -> WarmSweep {
             "p={p} phase={t}: warm/cold disagree |Δ| = {err:.3e}"
         );
         if t > 0 {
-            assert_ne!(
-                warm.telemetry.outcome,
-                WarmOutcome::Cold,
-                "p={p} phase={t}: session lost its warm state"
-            );
+            match warm.telemetry.outcome {
+                WarmOutcome::Cold => panic!("p={p} phase={t}: session lost its warm state"),
+                WarmOutcome::Warm => paths.warm += 1,
+                WarmOutcome::DualRepaired => paths.dual_repaired += 1,
+                WarmOutcome::Repaired => paths.repaired += 1,
+                WarmOutcome::ColdFallback => paths.cold_fallback += 1,
+            }
         }
         phases.push(PhasePoint {
             outcome: warm.telemetry.outcome,
@@ -109,11 +139,14 @@ fn sweep_platform(p: usize) -> WarmSweep {
             cold_pivots: cold.iterations(),
             warm_ms,
             cold_ms,
+            snapshot_ms: warm.telemetry.snapshot_ms,
         });
     }
 
     // The sweep's reason to exist, asserted in-sweep: across the re-solve
-    // phases (1..), basis reuse pivots strictly less on average.
+    // phases (1..), basis reuse pivots strictly less on average — and with
+    // the dual repair ahead of the primal one, *no* drifted basis is ever
+    // given up cold.
     let resolves = &phases[1..];
     let mean_warm =
         resolves.iter().map(|q| q.warm_pivots).sum::<usize>() as f64 / resolves.len() as f64;
@@ -123,9 +156,15 @@ fn sweep_platform(p: usize) -> WarmSweep {
         mean_warm < mean_cold,
         "p={p}: warm re-solves pivot no less than cold ({mean_warm:.1} vs {mean_cold:.1})"
     );
+    assert_eq!(
+        paths.cold_fallback, 0,
+        "p={p}: {} drifted re-solve(s) fell back cold despite the dual repair",
+        paths.cold_fallback
+    );
     WarmSweep {
         p,
         phases,
+        paths,
         mean_warm,
         mean_cold,
     }
@@ -133,8 +172,9 @@ fn sweep_platform(p: usize) -> WarmSweep {
 
 /// `warm-scale`: a drifting p = 96 / 192 platform re-solved across
 /// [`PHASES`] phases through a hot session vs from scratch; per-phase
-/// pivots and times recorded to `BENCH_lp_warm.json`, with the in-sweep
-/// assertion that warm re-solves pivot strictly less on average.
+/// pivots, times, snapshot overhead and warm paths recorded to
+/// `BENCH_lp_warm.json`, with the in-sweep assertions that warm re-solves
+/// pivot strictly less on average and never fall back cold.
 pub fn warm_scale() {
     banner(
         "warm-scale",
@@ -156,6 +196,7 @@ pub fn warm_scale() {
                     q.cold_pivots.to_string(),
                     format!("{:.2}", q.warm_ms),
                     format!("{:.2}", q.cold_ms),
+                    format!("{:.3}", q.snapshot_ms),
                 ]
             })
             .collect();
@@ -167,8 +208,14 @@ pub fn warm_scale() {
                 "cold pivots",
                 "warm ms",
                 "cold ms",
+                "snapshot ms",
             ],
             &rows,
+        );
+        println!(
+            "paths over re-solves: {} warm, {} dual-repaired, {} repaired, {} cold-fallback \
+             (zero asserted)",
+            sw.paths.warm, sw.paths.dual_repaired, sw.paths.repaired, sw.paths.cold_fallback
         );
         println!(
             "mean over re-solves: warm {:.1} vs cold {:.1} pivots ({:.1}x fewer, asserted strict)",
@@ -190,15 +237,23 @@ fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
         let _ = writeln!(
             s,
             "    {{\"p\": {}, \"mean_warm_pivots\": {:.2}, \"mean_cold_pivots\": {:.2}, \
-             \"phases\": [",
-            sw.p, sw.mean_warm, sw.mean_cold
+             \"paths\": {{\"warm\": {}, \"dual_repaired\": {}, \"repaired\": {}, \
+             \"cold_fallback\": {}}}, \"phases\": [",
+            sw.p,
+            sw.mean_warm,
+            sw.mean_cold,
+            sw.paths.warm,
+            sw.paths.dual_repaired,
+            sw.paths.repaired,
+            sw.paths.cold_fallback
         );
         for (t, q) in sw.phases.iter().enumerate() {
             let _ = write!(
                 s,
                 "      {{\"phase\": {}, \"path\": \"{}\", \"warm_pivots\": {}, \
-                 \"cold_pivots\": {}, \"warm_ms\": {:.3}, \"cold_ms\": {:.3}}}",
-                t, q.outcome, q.warm_pivots, q.cold_pivots, q.warm_ms, q.cold_ms
+                 \"cold_pivots\": {}, \"warm_ms\": {:.3}, \"cold_ms\": {:.3}, \
+                 \"snapshot_ms\": {:.3}}}",
+                t, q.outcome, q.warm_pivots, q.cold_pivots, q.warm_ms, q.cold_ms, q.snapshot_ms
             );
             s.push_str(if t + 1 < sw.phases.len() { ",\n" } else { "\n" });
         }
@@ -206,8 +261,7 @@ fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
         s.push_str(if i + 1 < sweeps.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp_warm.json");
-    std::fs::write(path, s)?;
+    std::fs::write(BENCH_PATH, s)?;
     Ok("BENCH_lp_warm.json".into())
 }
 
@@ -299,4 +353,222 @@ pub fn warm_smoke() {
         &rows,
     );
     println!("sessions agree with cold re-solves on both backends (asserted; failures panic CI).");
+}
+
+/// Aggressive drift for the dual-path guard: half the parameters move,
+/// by up to ~1.7x either way — enough to knock the previous basis primal
+/// infeasible every few phases without changing the LP's shape.
+fn aggressive_drift(rng: &mut StdRng, g: &Platform) -> ParamScale {
+    let mut s = ParamScale::nominal(g);
+    for w in s.w_mult.iter_mut() {
+        if rng.gen_bool(0.5) {
+            *w = Ratio::new(rng.gen_range(7..=20), 12);
+        }
+    }
+    for c in s.c_mult.iter_mut() {
+        if rng.gen_bool(0.5) {
+            *c = Ratio::new(rng.gen_range(7..=20), 12);
+        }
+    }
+    s
+}
+
+/// `dual-smoke`: the CI guard for the bounded dual simplex on the warm
+/// repair path. Drifted re-solves on both scalar backends must (a) never
+/// fall back cold, (b) route through the dual repair at least once —
+/// aggressive `ParamScale` drift reliably breaks primal feasibility —
+/// and (c) agree with a fresh cold solve every phase (exactly for
+/// `Ratio`, within tolerance for `f64`).
+pub fn dual_smoke() {
+    banner(
+        "dual-smoke",
+        "dual-repair regression guard — drifted re-solves must take the dual path, never cold",
+    );
+    let mut rows = Vec::new();
+
+    // f64 backend: big enough that drift breaks feasibility every few
+    // phases (the regime warm-scale sees at p = 192, shrunk for CI).
+    {
+        let p = 64usize;
+        let mut rng = StdRng::seed_from_u64(44_000 + p as u64);
+        let (g, m) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+        let mut drift_rng = StdRng::seed_from_u64(55_000 + p as u64);
+        let mut sess: SolveSession<f64, MasterSlave> =
+            SolveSession::with_kernel(MasterSlave::new(m), KernelChoice::Sparse);
+        let mut dual = 0usize;
+        let mut fallback = 0usize;
+        for t in 0..10 {
+            let scale = if t == 0 {
+                ParamScale::nominal(&g)
+            } else {
+                aggressive_drift(&mut drift_rng, &g)
+            };
+            let gp = scale.apply(&g);
+            let warm = sess.resolve(&gp).expect("f64 warm re-solve");
+            let cold =
+                engine::solve_backend::<f64, _>(&MasterSlave::new(m), &gp).expect("f64 cold solve");
+            let err = (warm.activities.objective_f64() - cold.objective_f64()).abs();
+            assert!(
+                err <= crate::scale::BACKEND_TOLERANCE * (1.0 + cold.objective_f64().abs()),
+                "f64 p={p} phase={t}: warm/cold disagree |Δ| = {err:.3e}"
+            );
+            match warm.telemetry.outcome {
+                WarmOutcome::DualRepaired => dual += 1,
+                WarmOutcome::ColdFallback => fallback += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fallback, 0, "f64 p={p}: drifted re-solves fell back cold");
+        assert!(
+            dual > 0,
+            "f64 p={p}: no drifted re-solve exercised the dual repair"
+        );
+        rows.push(vec![
+            "f64".into(),
+            p.to_string(),
+            dual.to_string(),
+            "0".into(),
+        ]);
+    }
+
+    // Exact backend: smaller platform, same guarantees — plus exact
+    // equality against the cold optimum and a verified certificate.
+    {
+        let p = 16usize;
+        let mut rng = StdRng::seed_from_u64(66_000 + p as u64);
+        let (g, m) = topo::random_connected(&mut rng, p, 0.35, &topo::ParamRange::default());
+        let mut drift_rng = StdRng::seed_from_u64(77_000 + p as u64);
+        let mut sess: SolveSession<Ratio, MasterSlave> =
+            SolveSession::with_kernel(MasterSlave::new(m), KernelChoice::Sparse);
+        let mut dual = 0usize;
+        let mut fallback = 0usize;
+        let mut last_gp = g.clone();
+        for t in 0..10 {
+            let scale = if t == 0 {
+                ParamScale::nominal(&g)
+            } else {
+                aggressive_drift(&mut drift_rng, &g)
+            };
+            let gp = scale.apply(&g);
+            let warm = sess.resolve(&gp).expect("exact warm re-solve");
+            let cold = engine::solve_backend::<Ratio, _>(&MasterSlave::new(m), &gp)
+                .expect("exact cold solve");
+            assert_eq!(
+                warm.activities.objective(),
+                cold.objective(),
+                "Ratio p={p} phase={t}: warm optimum drifted off the cold one"
+            );
+            match warm.telemetry.outcome {
+                WarmOutcome::DualRepaired => dual += 1,
+                WarmOutcome::ColdFallback => fallback += 1,
+                _ => {}
+            }
+            last_gp = gp;
+        }
+        assert_eq!(fallback, 0, "Ratio p={p}: drifted re-solves fell back cold");
+        assert!(
+            dual > 0,
+            "Ratio p={p}: no drifted re-solve exercised the dual repair"
+        );
+        // Certify the *last drifted* instance — the state the dual-repair
+        // path actually produced, not the nominal platform.
+        sess.certify(&last_gp).expect("final exact certification");
+        rows.push(vec![
+            "Ratio".into(),
+            p.to_string(),
+            dual.to_string(),
+            "0".into(),
+        ]);
+    }
+
+    print_table(&["backend", "p", "dual-repaired", "cold-fallback"], &rows);
+    println!("dual repair carries drifted re-solves on both backends (asserted; failures panic).");
+}
+
+/// `bench-check`: the bench-regression gate. Reruns the warm-scale sweep
+/// at every platform size recorded in the **committed**
+/// `BENCH_lp_warm.json` and fails if the fresh mean warm pivot count
+/// regresses by more than 2x at any of them (the sweep's own in-sweep
+/// asserts — strictly-fewer-than-cold, zero cold fallbacks — also run).
+/// The committed file is not rewritten; `warm-scale` does that.
+pub fn bench_check() {
+    banner(
+        "bench-check",
+        "bench-regression gate — fresh warm-scale vs the committed BENCH_lp_warm.json",
+    );
+    let committed = std::fs::read_to_string(BENCH_PATH)
+        .unwrap_or_else(|e| panic!("cannot read committed BENCH_lp_warm.json: {e}"));
+    let doc = serde_json::parse(&committed)
+        .unwrap_or_else(|e| panic!("committed BENCH_lp_warm.json is not valid JSON: {e}"));
+    let sweeps = json_field(&doc, "warm_scale")
+        .and_then(json_array)
+        .expect("BENCH_lp_warm.json: missing `warm_scale` array");
+
+    let reference: Vec<(usize, f64)> = sweeps
+        .iter()
+        .map(|sw| {
+            let p = json_field(sw, "p")
+                .and_then(json_f64)
+                .expect("sweep entry without `p`") as usize;
+            let mean = json_field(sw, "mean_warm_pivots")
+                .and_then(json_f64)
+                .expect("sweep entry without `mean_warm_pivots`");
+            (p, mean)
+        })
+        .collect();
+    assert!(!reference.is_empty(), "committed file records no sweeps");
+
+    let fresh = par_map(reference.iter().map(|(p, _)| *p).collect(), sweep_platform);
+
+    let mut rows = Vec::new();
+    let mut regressed = false;
+    for ((p, committed_mean), sw) in reference.iter().zip(&fresh) {
+        // 2x headroom: pivot counts are deterministic under the sweep's
+        // fixed seeds, so anything past 2x is a behavioral regression,
+        // not noise. Tiny committed means get an absolute floor of one
+        // pivot so a 0.4 → 0.9 wobble cannot fail the gate.
+        let limit = committed_mean.max(1.0) * 2.0;
+        let ok = sw.mean_warm <= limit;
+        regressed |= !ok;
+        rows.push(vec![
+            p.to_string(),
+            format!("{committed_mean:.2}"),
+            format!("{:.2}", sw.mean_warm),
+            format!("{limit:.2}"),
+            if ok { "ok".into() } else { "REGRESSED".into() },
+        ]);
+    }
+    print_table(
+        &["p", "committed mean", "fresh mean", "limit (2x)", "verdict"],
+        &rows,
+    );
+    assert!(
+        !regressed,
+        "warm-scale mean pivots regressed past 2x the committed BENCH_lp_warm.json"
+    );
+    println!("fresh warm-scale pivots within 2x of the committed record at every p.");
+}
+
+/// Look up `key` in a JSON object `Value`.
+fn json_field<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    match v {
+        serde_json::Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn json_array(v: &serde_json::Value) -> Option<&[serde_json::Value]> {
+    match v {
+        serde_json::Value::Array(items) => Some(items),
+        _ => None,
+    }
+}
+
+fn json_f64(v: &serde_json::Value) -> Option<f64> {
+    match v {
+        serde_json::Value::Int(i) => Some(*i as f64),
+        serde_json::Value::UInt(u) => Some(*u as f64),
+        serde_json::Value::Float(f) => Some(*f),
+        _ => None,
+    }
 }

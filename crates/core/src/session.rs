@@ -37,11 +37,19 @@ pub struct SolveTelemetry {
     /// Total simplex pivots (both phases, bound flips included).
     pub iterations: usize,
     /// Pivots spent before phase 2: phase-1 pivots on a cold solve,
+    /// dual-simplex pivots on a [`WarmOutcome::DualRepaired`] solve,
     /// composite-repair pivots on a [`WarmOutcome::Repaired`] solve, and
     /// 0 on a pure warm solve.
     pub phase1_iterations: usize,
-    /// Wall-clock of the solve (build + lower + pivot), in milliseconds.
+    /// Wall-clock of the solve (build + lower + pivot), in milliseconds —
+    /// snapshot capture excluded (see [`SolveTelemetry::snapshot_ms`]).
     pub solve_ms: f64,
+    /// Wall-clock spent capturing the warm-start snapshot that seeds the
+    /// *next* re-solve, in milliseconds. Billed separately from
+    /// [`SolveTelemetry::solve_ms`]: a cold reference solve does no such
+    /// bookkeeping, so folding it into the solve time would overstate
+    /// warm cost.
+    pub snapshot_ms: f64,
 }
 
 /// Cumulative counters of a session's lifetime.
@@ -51,7 +59,10 @@ pub struct SessionStats {
     pub solves: usize,
     /// Solves that started from the hinted basis unrepaired.
     pub warm: usize,
-    /// Solves that started from the hinted basis after repair.
+    /// Solves whose warm basis was restored by the bounded dual simplex.
+    pub dual_repaired: usize,
+    /// Solves that started from the hinted basis after composite primal
+    /// repair.
     pub repaired: usize,
     /// Solves that had a hint but fell back to a cold start.
     pub cold_fallback: usize,
@@ -70,6 +81,7 @@ impl SessionStats {
         match t.outcome {
             WarmOutcome::Cold => self.cold += 1,
             WarmOutcome::Warm => self.warm += 1,
+            WarmOutcome::DualRepaired => self.dual_repaired += 1,
             WarmOutcome::Repaired => self.repaired += 1,
             WarmOutcome::ColdFallback => self.cold_fallback += 1,
         }
@@ -80,7 +92,7 @@ impl SessionStats {
         if self.solves == 0 {
             return 0.0;
         }
-        (self.warm + self.repaired) as f64 / self.solves as f64
+        (self.warm + self.dual_repaired + self.repaired) as f64 / self.solves as f64
     }
 }
 
@@ -160,7 +172,8 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
             outcome: run.outcome,
             iterations: run.solution.iterations(),
             phase1_iterations: run.solution.phase1_iterations(),
-            solve_ms: t0.elapsed().as_secs_f64() * 1e3,
+            solve_ms: t0.elapsed().as_secs_f64() * 1e3 - run.snapshot_ms,
+            snapshot_ms: run.snapshot_ms,
         };
         self.warm = Some(run.warm);
         self.stats.record(&telemetry);
@@ -230,7 +243,7 @@ mod tests {
         let stats = sess.stats();
         assert_eq!(stats.solves, 2);
         assert_eq!(stats.cold, 1);
-        assert_eq!(stats.warm + stats.repaired, 1);
+        assert_eq!(stats.warm + stats.dual_repaired + stats.repaired, 1);
         assert!(stats.warm_fraction() > 0.4);
     }
 

@@ -297,6 +297,152 @@ pub(crate) fn choose_leaving_repair<S: Scalar>(
     best
 }
 
+/// One nonbasic column as seen by the **dual** ratio test
+/// ([`choose_entering_dual`]): its pivot-row entry `α_j = ρ·a_j` (the
+/// BTRAN'd row of `B⁻¹A`), its reduced cost `z_j`, and its bound status.
+pub(crate) struct DualCand<S> {
+    /// Column index (Bland tie-breaks compare these).
+    pub col: usize,
+    /// Pivot-row entry `α_j` for the leaving row.
+    pub alpha: S,
+    /// Reduced cost `c_j − y·a_j` under the current prices.
+    pub z: S,
+    /// The column's upper bound (`None` = unbounded above).
+    pub upper: Option<S>,
+    /// `true` when the column currently rests at its upper bound.
+    pub at_upper: bool,
+}
+
+/// What the dual ratio test decided for one leaving row.
+pub(crate) struct DualStep {
+    /// Columns whose dual ratio breakpoint was *passed*: each flips to its
+    /// opposite bound (no basis change), absorbing `|α_j|·u_j` of the
+    /// row's violation, before the entering column pivots in.
+    pub flips: Vec<usize>,
+    /// The column that enters the basis on the leaving row.
+    pub entering: usize,
+}
+
+/// The **bounded dual ratio test**: given the leaving row's BTRAN'd pivot
+/// entries over the nonbasic columns, pick the entering column that keeps
+/// every reduced cost on its dual-feasible side, passing breakpoints by
+/// **bound flips** while the row's box violation survives them (the
+/// bound-flipping ratio test — each flipped column contributes
+/// `|α_j|·u_j` toward restoring the row, for free).
+///
+/// Sign conventions (maximize form, dual feasibility `z ≤ 0` at lower /
+/// `z ≥ 0` at upper):
+///
+/// * row **below** its lower bound (`above == false`): at-lower columns
+///   are eligible on `α_j < 0`, at-upper columns on `α_j > 0`;
+/// * row **above** its upper bound: at-lower on `α_j > 0`, at-upper on
+///   `α_j < 0`.
+///
+/// Eligible columns are ordered by the dual ratio `|z_j| / |α_j|`
+/// ascending — the reduced cost that hits zero first. Walking that order
+/// *group by tied ratio* (a tie is a gap below the scalar's comparison
+/// tolerance): a group is flipped only when every member has a finite
+/// box, their combined absorption `Σ |α_j|·u_j` leaves violation behind,
+/// **and** a meaningfully larger ratio group follows — the dual step then
+/// strictly passes those breakpoints, so each flipped column's reduced
+/// cost genuinely crosses to its new bound's side. Flipping *within* a
+/// tied group would be dual-neutral (θ never passes the breakpoint it
+/// sits on) while still shaking every basic value the flipped box
+/// touches — on the heavily degenerate steady-state LPs, where dozens of
+/// reduced costs tie at zero, that turns one violated row into dozens.
+///
+/// The first group that is not flipped provides the entering column: the
+/// member with the **largest `|α|`** (ties on the smallest column index).
+/// Within a tied-ratio group any member preserves dual feasibility
+/// equally, but the *primal* step is `violation / |α_q|` — a small pivot
+/// entry catapults every basic value the entering column touches. On
+/// degenerate LPs, where the minimal-ratio group is wide, entering on
+/// max-`|α|` is the difference between the violation count shrinking and
+/// exploding (it is also the numerically stable pivot, same reason
+/// [`pick_pivot`](crate::sparse) prefers it during refactorization).
+///
+/// Returns `None` when **no** column is eligible: the leaving row's
+/// infeasibility cannot be reduced in any dual-feasible direction — the
+/// dual is unbounded, i.e. the primal is infeasible (the unbounded-row
+/// exit; from a drifted warm basis the caller treats it as "give the
+/// basis up", not as a verdict).
+pub(crate) fn choose_entering_dual<S: Scalar>(
+    cands: &[DualCand<S>],
+    above: bool,
+    violation: &S,
+) -> Option<DualStep> {
+    let abs = |x: &S| if x.is_negative() { x.neg() } else { x.clone() };
+    // (ratio, col, index into cands) over the eligible columns.
+    let mut elig: Vec<(S, usize, usize)> = Vec::new();
+    for (k, c) in cands.iter().enumerate() {
+        let want_pos = if above { !c.at_upper } else { c.at_upper };
+        let ok = if want_pos {
+            c.alpha.is_positive()
+        } else {
+            c.alpha.is_negative()
+        };
+        if !ok {
+            continue;
+        }
+        // Dual feasibility puts z on a known side per status; |z| absorbs
+        // the sign (and clamps epsilon-wrong f64 residue to a 0 ratio).
+        elig.push((abs(&c.z).div(&abs(&c.alpha)), c.col, k));
+    }
+    if elig.is_empty() {
+        return None;
+    }
+    elig.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let mut flips = Vec::new();
+    let mut remaining = violation.clone();
+    let mut i = 0;
+    loop {
+        // The tied-ratio group [i, j): gaps below the comparison
+        // tolerance count as ties, so f64 noise cannot split a
+        // degenerate group into a ladder of flippable micro-steps.
+        let mut j = i + 1;
+        while j < elig.len() && !elig[j].0.sub(&elig[i].0).is_positive() {
+            j += 1;
+        }
+        // Flip the whole group only when a larger-ratio group follows and
+        // the group's combined absorption still leaves violation behind.
+        if j < elig.len() {
+            let mut absorb = S::zero();
+            let mut all_boxed = true;
+            for e in &elig[i..j] {
+                match &cands[e.2].upper {
+                    Some(u) => absorb = absorb.add(&abs(&cands[e.2].alpha).mul(u)),
+                    None => {
+                        all_boxed = false;
+                        break;
+                    }
+                }
+            }
+            if all_boxed && remaining.sub(&absorb).is_positive() {
+                flips.extend(elig[i..j].iter().map(|e| e.1));
+                remaining = remaining.sub(&absorb);
+                i = j;
+                continue;
+            }
+        }
+        // Enter on the group's largest |α|; on |α| ties the first entry
+        // wins, and sort order makes that the smallest column index.
+        let mut q = &elig[i];
+        for e in &elig[i + 1..j] {
+            if abs(&cands[e.2].alpha) > abs(&cands[q.2].alpha) {
+                q = e;
+            }
+        }
+        return Some(DualStep {
+            flips,
+            entering: q.1,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +559,85 @@ mod tests {
             }
         );
         assert_eq!(t, ri(2));
+    }
+
+    fn cand(col: usize, alpha: i64, z: i64, upper: Option<i64>, at_upper: bool) -> DualCand<Ratio> {
+        DualCand {
+            col,
+            alpha: ri(alpha),
+            z: ri(z),
+            upper: upper.map(ri),
+            at_upper,
+        }
+    }
+
+    #[test]
+    fn dual_test_picks_smallest_ratio_with_bland_ties() {
+        // Row below its lower bound by 5. Two eligible at-lower columns
+        // (α < 0): ratios |z|/|α| = 2 and 1 — column 7 enters.
+        let cands = [cand(3, -1, -2, None, false), cand(7, -2, -2, None, false)];
+        let step = choose_entering_dual(&cands, false, &ri(5)).unwrap();
+        assert!(step.flips.is_empty());
+        assert_eq!(step.entering, 7);
+        // Equal ratios: Bland — the smaller column index wins.
+        let tied = [cand(9, -1, -1, None, false), cand(4, -1, -1, None, false)];
+        let step = choose_entering_dual(&tied, false, &ri(5)).unwrap();
+        assert_eq!(step.entering, 4);
+    }
+
+    #[test]
+    fn dual_test_flips_through_small_boxes() {
+        // Row below by 5. The tightest-ratio column (ratio 0) has a tiny
+        // box: flipping it absorbs |α|·u = 2 < 5 of the violation, so it
+        // flips and the next breakpoint enters the basis.
+        let cands = [
+            cand(2, -1, 0, Some(2), false),
+            cand(6, -1, -3, Some(10), false),
+        ];
+        let step = choose_entering_dual(&cands, false, &ri(5)).unwrap();
+        assert_eq!(step.flips, vec![2]);
+        assert_eq!(step.entering, 6);
+        // A box wide enough to cover the whole violation does not flip:
+        // its column enters directly.
+        let cands = [
+            cand(2, -1, 0, Some(8), false),
+            cand(6, -1, -3, Some(10), false),
+        ];
+        let step = choose_entering_dual(&cands, false, &ri(5)).unwrap();
+        assert!(step.flips.is_empty());
+        assert_eq!(step.entering, 2);
+    }
+
+    #[test]
+    fn dual_test_sign_aware_eligibility() {
+        // Row ABOVE its upper bound: at-lower needs α > 0, at-upper α < 0.
+        let cands = [
+            cand(1, -1, -2, None, false),  // at-lower, α < 0: ineligible
+            cand(2, 1, -2, None, false),   // at-lower, α > 0: eligible
+            cand(3, 1, 4, Some(9), true),  // at-upper, α > 0: ineligible
+            cand(4, -2, 4, Some(9), true), // at-upper, α < 0: eligible, ratio 2
+        ];
+        let step = choose_entering_dual(&cands, true, &ri(1)).unwrap();
+        // Both eligible columns tie at ratio 2; the larger |α| (column 4,
+        // |α| = 2) enters — the small-primal-step pick.
+        assert_eq!(step.entering, 4);
+    }
+
+    #[test]
+    fn dual_test_unbounded_row_exit() {
+        // No column moves the row back toward its box in a dual-feasible
+        // direction: the dual is unbounded (primal infeasible) — `None`.
+        let cands = [
+            cand(0, 1, -2, None, false),   // wrong sign for a below-row
+            cand(1, -3, 5, Some(2), true), // wrong sign for at-upper
+        ];
+        assert!(choose_entering_dual(&cands, false, &ri(3)).is_none());
+        // And the last eligible column always enters even when its box is
+        // narrower than the violation (nothing left to block afterwards).
+        let only = [cand(5, -1, -1, Some(1), false)];
+        let step = choose_entering_dual(&only, false, &ri(100)).unwrap();
+        assert!(step.flips.is_empty());
+        assert_eq!(step.entering, 5);
     }
 
     #[test]

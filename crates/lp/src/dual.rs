@@ -1,0 +1,417 @@
+//! Bounded-variable **dual simplex** — the warm path's first repair
+//! strategy.
+//!
+//! A warm basis that drift broke is usually broken in a very particular
+//! way: the *primal* values walked out of their boxes (a handful of basic
+//! variables went negative or overshot their bound when the coefficients
+//! moved), while the *dual* side — the sign pattern of the reduced costs
+//! against the `AtLower`/`AtUpper` statuses — survived. Pure cost or
+//! bound drift provably preserves dual feasibility; mild matrix drift
+//! breaks it only on columns whose reduced cost crossed zero, and every
+//! such column with a finite box is fixed by a **bound flip** (resting it
+//! at the opposite bound puts its reduced cost back on the feasible
+//! side). The composite primal repair ignores all of that structure and
+//! re-earns feasibility from scratch; at p = 192 roughly a third of
+//! drifted re-solves used to give up and fall back cold.
+//!
+//! The dual simplex consumes the structure directly. Each iteration:
+//!
+//! 1. **Leaving row** — pick the basic row with the largest box violation
+//!    (the dual analogue of Dantzig pricing; ties and, past half the
+//!    budget, the whole selection degrade to smallest-variable-index, the
+//!    anti-cycling regime).
+//! 2. **Pivot row** — `ρ = B⁻ᵀ e_r` by one BTRAN over the eta file, then
+//!    `α_j = ρ·a_j` over the nonzeros of the nonbasic columns.
+//! 3. **Dual ratio test** — `choose_entering_dual` in [`crate::bounded`]:
+//!    sign-aware eligibility per status, dual ratios `|z_j|/|α_j|` walked
+//!    in tied groups (Bland/largest-`|α|` tie-breaks), **bound flips**
+//!    through every breakpoint group the dual step genuinely passes while
+//!    its absorption is cheaper than the remaining violation.
+//! 4. **Pivot** — the flipped columns adjust the basic values in one
+//!    batched FTRAN, the entering column pivots onto the leaving row, and
+//!    the leaving variable exits *at the bound it violated* — restored by
+//!    construction.
+//!
+//! Every intermediate basis stays dual feasible, i.e. *optimal for its
+//! own box-perturbed problem*: when the last violated row is restored the
+//! solve is already at the new optimum and phase 2 has (near-)nothing
+//! left to price in. That is the asymmetry that makes dual repair
+//! strictly stronger than the composite pass for the re-plan-under-drift
+//! regime — the composite pass lands on a merely *feasible* basis and
+//! still owes a full phase-2 tail.
+//!
+//! A start that bound flips cannot make exactly dual feasible (unboxed
+//! columns priced wrong, or more wrong-side boxes than are worth
+//! flipping) is **tolerated** rather than declined: the wrong-siders
+//! ride along as ordinary ratio candidates, ratio-test flipping is
+//! switched off (no dual step licenses it), and the loop keeps its real
+//! driver — restore the worst row on the largest pivot entry — while the
+//! phase-2 primal pass reprices whatever optimality the tolerance cost.
+//!
+//! Exits: restoring the last row ⇒ success; an **unbounded row** (no
+//! eligible entering column — the primal is infeasible, or `f64` noise
+//! says so) or an exhausted budget ⇒ the caller falls through to the
+//! composite primal repair, and only if that also fails does the solve
+//! go back cold.
+
+use crate::bounded::{choose_entering_dual, improves, DualCand};
+use crate::scalar::Scalar;
+use crate::sparse::{scatter, Engine};
+
+impl<S: Scalar> Engine<'_, S> {
+    /// Restore dual feasibility by bound flips, as far as flips are worth
+    /// it: price every nonbasic column and flip the ones resting on the
+    /// wrong side of their reduced cost onto their opposite bound.
+    ///
+    /// Not every wrong-side column forces a decision:
+    ///
+    /// * **A few boxed wrong-siders** — flip them: the start becomes
+    ///   exactly dual feasible and the loop walks optimal-side bases, so
+    ///   phase 2 inherits (near-)nothing.
+    /// * **Many boxed wrong-siders** — leave them alone. Every flip also
+    ///   shifts the basic values by its whole box (`u_j B⁻¹a_j`), so a
+    ///   mass flip manufactures primal violations far faster than the
+    ///   loop retires them; tolerated columns instead ride along as
+    ///   ordinary dual-ratio candidates (their `|z|` ratio is positive)
+    ///   and the phase-2 primal pass reprices whatever optimality they
+    ///   cost.
+    /// * **Unflippable wrong-siders** (no opposite bound: a slack or an
+    ///   unboxed structural priced wrong by matrix drift) — tolerated the
+    ///   same way, in any number: they cannot be flipped, and declining
+    ///   outright would hand the composite pass exactly the bases it is
+    ///   worst at (the warm-scale phases that used to end cold). The
+    ///   budget on the pivot loop bounds the damage when tolerance was
+    ///   the wrong call.
+    ///
+    /// Returns `(flips applied, dual-clean)`: `dual-clean` is `true` when
+    /// the start is exactly dual feasible after the flips (no tolerated
+    /// wrong-siders), which is what licenses ratio-test bound flips in
+    /// the pivot loop.
+    fn dual_feasibility_flips(&mut self) -> (usize, bool) {
+        let y = self.prices(&self.sf.cost2);
+        let mut flips: Vec<usize> = Vec::new();
+        let mut clean = true;
+        let flip_cap = self.sf.m / 16 + 8;
+        for j in 0..self.sf.art_start {
+            if self.st.in_basis[j] {
+                continue;
+            }
+            // A zero-width box (artificials are pinned elsewhere; folded
+            // capacities can produce u = 0 structurals) admits any sign.
+            if self.st.upper[j].as_ref().is_some_and(|u| u.is_zero()) {
+                continue;
+            }
+            let z = self.reduced_cost(j, &self.sf.cost2, &y);
+            if improves(self.st.at_upper[j], &z) {
+                if self.st.upper[j].is_none() {
+                    clean = false;
+                } else {
+                    flips.push(j);
+                    if flips.len() > flip_cap {
+                        // Tolerant start: no flips at all (a partial flip
+                        // would leave a mixed state with the worst of
+                        // both regimes).
+                        return (0, false);
+                    }
+                }
+            }
+        }
+        if !flips.is_empty() {
+            for &j in &flips {
+                self.st.at_upper[j] = !self.st.at_upper[j];
+            }
+            // Statuses moved: recompute the basic values they imply.
+            self.st.x = self.st.adjusted_rhs(self.sf);
+        }
+        (flips.len(), clean)
+    }
+
+    /// The leaving row: largest box violation, ties on the smaller basic
+    /// variable index; `bland` switches the whole selection to
+    /// smallest-variable-index (the anti-cycling regime for degenerate
+    /// tails). Returns `(row, |violation|, above)`.
+    fn leaving_row(&self, bland: bool) -> Option<(usize, S, bool)> {
+        let mut pick: Option<(usize, S, bool)> = None;
+        for (i, &b) in self.st.basis.iter().enumerate() {
+            let (viol, above) = if self.st.x[i].is_negative() {
+                (self.st.x[i].neg(), false)
+            } else if let Some(u) = &self.st.upper[b] {
+                let over = self.st.x[i].sub(u);
+                if over.is_positive() {
+                    (over, true)
+                } else {
+                    continue;
+                }
+            } else {
+                continue;
+            };
+            let better = match &pick {
+                None => true,
+                Some((pi, pv, _)) => {
+                    if bland {
+                        b < self.st.basis[*pi]
+                    } else {
+                        viol > *pv || (viol == *pv && b < self.st.basis[*pi])
+                    }
+                }
+            };
+            if better {
+                pick = Some((i, viol, above));
+            }
+        }
+        pick
+    }
+
+    /// The bounded dual-simplex repair pass: from a dual-feasible (or
+    /// bound-flip-fixable) warm basis, price the box-violating rows out
+    /// one pivot at a time. Returns the work spent (pivots + bound flips)
+    /// on success — the state is then primal *and* dual feasible — or
+    /// `None` when the dual phase is unavailable or gave up (the caller
+    /// falls through to the composite primal repair; the state may be
+    /// dirty, restore it from a snapshot).
+    pub(crate) fn dual_repair(&mut self, budget: usize) -> Option<usize> {
+        let (flipped, clean) = self.dual_feasibility_flips();
+        let mut iters = flipped;
+        self.clamp_on_refresh = false;
+        // Ratio-test bound flips are justified by the dual step passing a
+        // breakpoint — which presumes the start was dual feasible. From a
+        // tolerant (wrong-side columns left in place) start they are pure
+        // churn: every flip shakes a whole box through the basics with no
+        // dual step to earn it.
+        let out = self.dual_loop(budget, clean, &mut iters);
+        self.clamp_on_refresh = true;
+        if out {
+            self.st.clamp_basics();
+            Some(iters)
+        } else {
+            None
+        }
+    }
+
+    fn dual_loop(&mut self, budget: usize, flips_allowed: bool, iters: &mut usize) -> bool {
+        let m = self.sf.m;
+        loop {
+            // Anti-cycling regime for the tail: drop from largest-violation
+            // to smallest-index row selection only late — index order
+            // converges much slower, it just cannot loop on a tie.
+            let bland = *iters >= budget - budget / 4;
+            let Some((r, viol, above)) = self.leaving_row(bland) else {
+                return true;
+            };
+            if *iters >= budget {
+                return false;
+            }
+            // The BTRAN'd pivot row and the current prices — two passes
+            // over the eta file per iteration, against the many whole
+            // iterations each restored row saves.
+            let mut rho = vec![S::zero(); m];
+            rho[r] = S::one();
+            self.st.factors.btran(&mut rho);
+            let y = self.prices(&self.sf.cost2);
+
+            let mut cands: Vec<DualCand<S>> = Vec::new();
+            for j in 0..self.sf.art_start {
+                if self.st.in_basis[j] {
+                    continue;
+                }
+                if self.st.upper[j].as_ref().is_some_and(|u| u.is_zero()) {
+                    continue;
+                }
+                let (rows, vals) = self.sf.column(j);
+                let mut alpha = S::zero();
+                for (i, a) in rows.iter().zip(vals) {
+                    if !rho[*i].is_zero() {
+                        alpha = alpha.add(&rho[*i].mul(a));
+                    }
+                }
+                if alpha.is_zero() {
+                    continue;
+                }
+                cands.push(DualCand {
+                    col: j,
+                    alpha,
+                    z: self.reduced_cost(j, &self.sf.cost2, &y),
+                    upper: self.st.upper[j].clone(),
+                    at_upper: self.st.at_upper[j],
+                });
+            }
+            // Unbounded row: nothing can absorb this violation.
+            let effective_viol = if flips_allowed {
+                viol
+            } else {
+                // Zero remaining violation disables breakpoint flipping
+                // inside the ratio test (see `dual_repair`).
+                S::zero()
+            };
+            let Some(step) = choose_entering_dual(&cands, above, &effective_viol) else {
+                return false;
+            };
+
+            // Passed breakpoints flip to their opposite bound; their
+            // effect on the basic values is one batched FTRAN.
+            if !step.flips.is_empty() {
+                let mut db = vec![S::zero(); m];
+                for &j in &step.flips {
+                    let u = self.st.upper[j]
+                        .clone()
+                        .expect("flipped columns have a box");
+                    let from_lower = !self.st.at_upper[j];
+                    let (rows, vals) = self.sf.column(j);
+                    for (i, a) in rows.iter().zip(vals) {
+                        let t = u.mul(a);
+                        db[*i] = if from_lower {
+                            db[*i].add(&t)
+                        } else {
+                            db[*i].sub(&t)
+                        };
+                    }
+                    self.st.at_upper[j] = !self.st.at_upper[j];
+                }
+                self.st.factors.ftran(&mut db);
+                for (xi, d) in self.st.x.iter_mut().zip(&db) {
+                    if !d.is_zero() {
+                        *xi = xi.sub(d);
+                    }
+                }
+                *iters += step.flips.len();
+            }
+
+            let q = step.entering;
+            let mut d = scatter(self.sf, q);
+            self.st.factors.ftran(&mut d);
+            if d[r].is_zero() {
+                // ρ·a_q said nonzero, FTRAN says zero: f64 breakdown.
+                return false;
+            }
+            // Step that lands the leaving variable exactly on the bound
+            // it violated (x_r recomputed after the flips above).
+            let target = if above {
+                self.st.upper[self.st.basis[r]]
+                    .clone()
+                    .expect("above-bound row has a bound")
+            } else {
+                S::zero()
+            };
+            let delta = self.st.x[r].sub(&target).div(&d[r]);
+            let t = if delta.is_negative() {
+                delta.neg()
+            } else {
+                delta
+            };
+            let sigma_pos = !self.st.at_upper[q];
+            self.pivot(r, q, &d, &t, sigma_pos, above);
+            *iters += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lower, Cmp, KernelChoice, Problem, Sense, SimplexOptions, WarmOutcome, WarmStart};
+    use ss_num::Ratio;
+
+    /// maximize x + y  s.t.  x + y ≤ 4,  0 ≤ x ≤ 3,  0 ≤ y ≤ 3.
+    fn boxed_cap(rhs: i64) -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var_bounded("x", Ratio::from_int(3));
+        let y = p.add_var_bounded("y", Ratio::from_int(3));
+        p.set_objective_coeff(x, Ratio::one());
+        p.set_objective_coeff(y, Ratio::one());
+        p.add_constraint(
+            "cap",
+            [(x, Ratio::one()), (y, Ratio::one())],
+            Cmp::Le,
+            Ratio::from_int(rhs),
+        );
+        p
+    }
+
+    #[test]
+    fn dual_feasible_infeasible_hint_takes_the_dual_path() {
+        // Resting both columns at their upper bounds overshoots the cap
+        // row (slack −2): primal infeasible, but with positive costs the
+        // at-upper statuses are dual feasible — exactly one dual pivot
+        // restores the slack at its violated bound and lands on the
+        // optimum directly.
+        let p = boxed_cap(4);
+        let sf = lower::<Ratio>(&p);
+        let hint = WarmStart::new(
+            sf.m,
+            sf.ncols,
+            sf.art_start,
+            sf.basis0.clone(),
+            vec![true, true, false],
+        );
+        let opts = SimplexOptions::with_kernel(KernelChoice::Sparse);
+        let run = p.solve_warm_with::<Ratio>(&opts, Some(&hint)).unwrap();
+        assert_eq!(run.outcome, WarmOutcome::DualRepaired);
+        assert_eq!(run.solution.objective(), &Ratio::from_int(4));
+        p.verify_optimality(&run.solution).unwrap();
+    }
+
+    #[test]
+    fn dual_infeasible_start_is_tolerated_and_still_lands_the_optimum() {
+        // maximize x + y with y unboxed: a hint resting x at its upper
+        // bound while y (z = 1 > 0, no box to flip to) rests at lower is
+        // dual infeasible beyond bound flips, and the overshot cap row
+        // keeps it primal infeasible too. The tolerant dual start keeps
+        // the wrong-side column as an ordinary ratio candidate, restores
+        // the violated row, and phase 2 reprices the tolerance away —
+        // same exact optimum, certificate and all.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var_bounded("x", Ratio::from_int(3));
+        let y = p.add_var("y");
+        p.set_objective_coeff(x, Ratio::one());
+        p.set_objective_coeff(y, Ratio::one());
+        p.add_constraint(
+            "cap",
+            [(x, Ratio::one()), (y, Ratio::one())],
+            Cmp::Le,
+            Ratio::from_int(2),
+        );
+        // y alone must stay bounded or the LP is unbounded.
+        p.add_constraint("ycap", [(y, Ratio::one())], Cmp::Le, Ratio::from_int(2));
+        let sf = lower::<Ratio>(&p);
+        let hint = WarmStart::new(
+            sf.m,
+            sf.ncols,
+            sf.art_start,
+            sf.basis0.clone(),
+            vec![true, false, false, false],
+        );
+        let opts = SimplexOptions::with_kernel(KernelChoice::Sparse);
+        let run = p.solve_warm_with::<Ratio>(&opts, Some(&hint)).unwrap();
+        assert_eq!(run.outcome, WarmOutcome::DualRepaired);
+        assert_eq!(run.solution.objective(), &Ratio::from_int(2));
+        p.verify_optimality(&run.solution).unwrap();
+    }
+
+    #[test]
+    fn infeasible_lp_from_warm_hint_still_reports_infeasible() {
+        // Drift the rhs negative-ward until the LP is infeasible: x + y
+        // ≥ 8 with both boxes at 3. The warm path (dual unbounded row →
+        // primal repair stall → cold fallback) must end at the cold
+        // solve's verdict, not a wrong answer.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var_bounded("x", Ratio::from_int(3));
+        let y = p.add_var_bounded("y", Ratio::from_int(3));
+        p.set_objective_coeff(x, Ratio::one());
+        p.add_constraint(
+            "need",
+            [(x, Ratio::one()), (y, Ratio::one())],
+            Cmp::Ge,
+            Ratio::from_int(8),
+        );
+        let sf = lower::<Ratio>(&p);
+        let hint = WarmStart::new(
+            sf.m,
+            sf.ncols,
+            sf.art_start,
+            sf.basis0.clone(),
+            vec![false; sf.ncols],
+        );
+        let opts = SimplexOptions::with_kernel(KernelChoice::Sparse);
+        let err = p.solve_warm_with::<Ratio>(&opts, Some(&hint)).unwrap_err();
+        assert_eq!(err, crate::SolveError::Infeasible);
+    }
+}

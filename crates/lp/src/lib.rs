@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod bounded;
+mod dual;
 mod kernel;
 mod problem;
 mod scalar;

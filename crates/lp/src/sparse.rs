@@ -37,11 +37,14 @@
 //! so that re-solve sessions can rebuild it from a
 //! [`WarmStart`](crate::WarmStart) snapshot: the warm path refactorizes
 //! the hinted basis against the *new* coefficients, checks primal
-//! feasibility, optionally repairs (dependent or out-of-bound columns are
-//! dropped onto the bound they violated and the basis is completed with
-//! slack/artificial unit columns), and then runs **phase 2 only** — on the
-//! equality-heavy steady-state LPs that skips the phase-1 pivots that
-//! dominate a cold solve. See [`crate::warm`] for the full state machine.
+//! feasibility, optionally repairs — **dual simplex first**
+//! ([`crate::dual`]: the warm basis is still dual feasible after
+//! cost/bound drift, so pricing the infeasible rows out keeps every
+//! intermediate basis on the optimal side), falling back to the composite
+//! primal repair for structural drift — and then runs **phase 2 only**:
+//! on the equality-heavy steady-state LPs that skips the phase-1 pivots
+//! that dominate a cold solve. See [`crate::warm`] for the full
+//! five-state machine.
 //!
 //! Pivoting rules mirror the dense kernel: Bland for exact scalars (the
 //! anti-cycling guarantee matters — steady-state LPs are heavily
@@ -75,6 +78,7 @@ pub struct SparseRevised;
 /// the pivot column `d` — `E[row][row] = d_row`, `E[i][row] = d_i`.
 /// Stored inverted-application-ready: applying `E⁻¹` to a vector is one
 /// division and `terms.len()` multiply-subtracts.
+#[derive(Clone)]
 struct Eta<S> {
     row: usize,
     pivot: S,
@@ -82,7 +86,8 @@ struct Eta<S> {
     terms: Vec<(usize, S)>,
 }
 
-struct Factors<S> {
+#[derive(Clone)]
+pub(crate) struct Factors<S> {
     etas: Vec<Eta<S>>,
     /// Etas appended since the last reinversion.
     fresh: usize,
@@ -97,7 +102,7 @@ impl<S: Scalar> Factors<S> {
     }
 
     /// `v := B⁻¹ v` (forward transformation).
-    fn ftran(&self, v: &mut [S]) {
+    pub(crate) fn ftran(&self, v: &mut [S]) {
         for e in &self.etas {
             let t = &v[e.row];
             if t.is_zero() {
@@ -112,7 +117,7 @@ impl<S: Scalar> Factors<S> {
     }
 
     /// `v := B⁻ᵀ v` (backward transformation).
-    fn btran(&self, v: &mut [S]) {
+    pub(crate) fn btran(&self, v: &mut [S]) {
         for e in self.etas.iter().rev() {
             let mut t = v[e.row].clone();
             for (i, d) in &e.terms {
@@ -147,20 +152,23 @@ impl<S: Scalar> Factors<S> {
 ///
 /// Split out of the pivoting engine so re-solve sessions can rebuild it
 /// from a [`WarmStart`] snapshot against freshly drifted coefficients —
-/// see [`crate::warm`] for the cold → warm → repair → cold-fallback state
-/// machine.
+/// see [`crate::warm`] for the cold → warm → dual-repair → primal-repair
+/// → cold-fallback state machine.
+#[derive(Clone)]
 pub struct SparseState<S> {
-    factors: Factors<S>,
+    pub(crate) factors: Factors<S>,
     /// `basis[i]` = column occupying row `i` of the factorized basis.
-    basis: Vec<usize>,
-    in_basis: Vec<bool>,
-    /// `x[i]` = current value of `basis[i]` (always in `[0, u]`).
-    x: Vec<S>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) in_basis: Vec<bool>,
+    /// `x[i]` = current value of `basis[i]` (always in `[0, u]` once the
+    /// solve reaches phase 2; out-of-box values are live state during the
+    /// dual and composite repair passes).
+    pub(crate) x: Vec<S>,
     /// Nonbasic-at-upper status per column (bounded structural only).
-    at_upper: Vec<bool>,
+    pub(crate) at_upper: Vec<bool>,
     /// Working upper bounds: the standard form's, plus artificials pinned
     /// to 0 once phase 1 ends.
-    upper: Vec<Option<S>>,
+    pub(crate) upper: Vec<Option<S>>,
 }
 
 impl<S: Scalar> SparseState<S> {
@@ -309,7 +317,7 @@ impl<S: Scalar> SparseState<S> {
 
     /// `B⁻¹ (b − Σ_{j at upper} u_j a_j)` — the basic values implied by
     /// the current factorization and statuses, without any clamping.
-    fn adjusted_rhs(&self, sf: &StandardForm<S>) -> Vec<S> {
+    pub(crate) fn adjusted_rhs(&self, sf: &StandardForm<S>) -> Vec<S> {
         let mut b = sf.rhs.clone();
         for (j, up) in self.at_upper.iter().enumerate() {
             if !up {
@@ -327,7 +335,7 @@ impl<S: Scalar> SparseState<S> {
 
     /// `true` when every basic value respects its `[0, u]` box (up to the
     /// scalar's comparison tolerance).
-    fn is_feasible(&self) -> bool {
+    pub(crate) fn is_feasible(&self) -> bool {
         self.basis.iter().enumerate().all(|(i, &b)| {
             !self.x[i].is_negative()
                 && self.upper[b]
@@ -338,7 +346,7 @@ impl<S: Scalar> SparseState<S> {
 
     /// Snap epsilon-negative basic values to exact zero (f64 drift; a
     /// no-op for exact scalars on feasible states).
-    fn clamp_basics(&mut self) {
+    pub(crate) fn clamp_basics(&mut self) {
         for v in self.x.iter_mut() {
             if v.is_zero() || v.is_negative() {
                 *v = S::zero();
@@ -347,18 +355,18 @@ impl<S: Scalar> SparseState<S> {
     }
 }
 
-struct Engine<'a, S> {
-    sf: &'a StandardForm<S>,
-    st: SparseState<S>,
+pub(crate) struct Engine<'a, S> {
+    pub(crate) sf: &'a StandardForm<S>,
+    pub(crate) st: SparseState<S>,
     /// Snap epsilon-negative basics to zero on reinversion. True during
     /// ordinary optimization (values are feasible up to f64 drift); false
-    /// during composite repair, where genuinely negative basics are the
-    /// state being repaired and must survive a mid-repair reinversion.
-    clamp_on_refresh: bool,
+    /// during dual/composite repair, where genuinely out-of-box basics are
+    /// the state being repaired and must survive a mid-repair reinversion.
+    pub(crate) clamp_on_refresh: bool,
 }
 
 /// Scatter column `j` of the constraint matrix into a dense workvec.
-fn scatter<S: Scalar>(sf: &StandardForm<S>, j: usize) -> Vec<S> {
+pub(crate) fn scatter<S: Scalar>(sf: &StandardForm<S>, j: usize) -> Vec<S> {
     let mut v = vec![S::zero(); sf.m];
     let (rows, vals) = sf.column(j);
     for (i, a) in rows.iter().zip(vals) {
@@ -398,14 +406,14 @@ impl<'a, S: Scalar> Engine<'a, S> {
     }
 
     /// Dual prices `y = B⁻ᵀ c_B` for the cost vector `cost`.
-    fn prices(&self, cost: &[S]) -> Vec<S> {
+    pub(crate) fn prices(&self, cost: &[S]) -> Vec<S> {
         let mut y: Vec<S> = self.st.basis.iter().map(|&b| cost[b].clone()).collect();
         self.st.factors.btran(&mut y);
         y
     }
 
     /// Reduced cost of column `j` under prices `y`: `c_j − y·a_j`.
-    fn reduced_cost(&self, j: usize, cost: &[S], y: &[S]) -> S {
+    pub(crate) fn reduced_cost(&self, j: usize, cost: &[S], y: &[S]) -> S {
         let mut z = cost[j].clone();
         let (rows, vals) = self.sf.column(j);
         for (i, a) in rows.iter().zip(vals) {
@@ -452,7 +460,15 @@ impl<'a, S: Scalar> Engine<'a, S> {
     /// Replace `basis[row]` by column `q` entering with step `t` in
     /// direction `σ`, whose transformed column is `d`: update the basic
     /// values, append the eta, and reinvert on schedule.
-    fn pivot(&mut self, row: usize, q: usize, d: &[S], t: &S, sigma_pos: bool, to_upper: bool) {
+    pub(crate) fn pivot(
+        &mut self,
+        row: usize,
+        q: usize,
+        d: &[S],
+        t: &S,
+        sigma_pos: bool,
+        to_upper: bool,
+    ) {
         shift_basics(&mut self.st.x, d, t, sigma_pos, Some(row));
         self.st.x[row] = entering_value(self.st.upper[q].as_ref(), t, sigma_pos);
         let leave = self.st.basis[row];
@@ -561,6 +577,16 @@ impl<'a, S: Scalar> Engine<'a, S> {
         for a in active.iter_mut().skip(self.sf.art_start) {
             *a = false;
         }
+        // Entering rule mirrors `optimize`: greedy Dantzig pricing on the
+        // composite gradient for inexact scalars (steepest infeasibility
+        // reduction — Bland's index order crawls on wide repairs), with
+        // Bland as the exact-scalar / anti-cycling tail regime.
+        let use_bland = S::EXACT;
+        let dantzig_cap = if use_bland {
+            0
+        } else {
+            repair_budget.saturating_div(2)
+        };
         let mut iters = 0usize;
         loop {
             // Classify the current infeasibilities.
@@ -586,7 +612,11 @@ impl<'a, S: Scalar> Engine<'a, S> {
             // Composite prices; reduced cost of a zero-cost column under
             // them is exactly −y·a_j.
             self.st.factors.btran(&mut sigma);
-            let q = self.entering_bland(&zero_cost, &active, &sigma)?;
+            let q = if use_bland || iters >= dantzig_cap {
+                self.entering_bland(&zero_cost, &active, &sigma)?
+            } else {
+                self.entering_dantzig(&zero_cost, &active, &sigma)?
+            };
             let sigma_pos = !self.st.at_upper[q];
             let mut d = scatter(self.sf, q);
             self.st.factors.ftran(&mut d);
@@ -799,7 +829,19 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
     /// Warm-capable solve: reuse the hinted basis + statuses when the
     /// shape matches and the basis refactorizes to a (possibly repaired)
     /// feasible point, skipping phase 1 entirely; otherwise fall back to
-    /// the cold two-phase path. See [`crate::warm`].
+    /// the cold two-phase path.
+    ///
+    /// The repair ladder when drift broke primal feasibility
+    /// (see [`crate::warm`] for the full five-state machine):
+    ///
+    /// 1. **Dual repair** ([`crate::dual`]) — after pure cost/bound drift
+    ///    the warm basis is still dual feasible (and mild matrix drift is
+    ///    usually bound-flip-fixable), so the bounded dual simplex prices
+    ///    the infeasible *rows* out directly, staying on optimal-side
+    ///    bases the whole way: phase 2 then has (nearly) nothing to do.
+    /// 2. **Composite primal repair** — the phase-1 substitute kept for
+    ///    structural drift that breaks dual feasibility beyond flips.
+    /// 3. **Cold fallback** — both repairs gave the basis up.
     fn solve_warm(
         &self,
         sf: &StandardForm<S>,
@@ -818,7 +860,7 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
         if !w.shape_matches(sf) {
             return cold(WarmOutcome::ColdFallback);
         }
-        let Some((st, mut repaired)) = SparseState::from_warm(sf, w) else {
+        let Some((st, patched)) = SparseState::from_warm(sf, w) else {
             return cold(WarmOutcome::ColdFallback);
         };
         let mut eng = Engine {
@@ -826,34 +868,50 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
             st,
             clamp_on_refresh: true,
         };
-        // Coefficient drift can leave the hinted basis primal infeasible;
-        // the composite repair pass restores feasibility in a handful of
-        // pivots or gives the basis up.
         let mut repair_iters = 0usize;
+        let mut outcome = if patched {
+            WarmOutcome::Repaired
+        } else {
+            WarmOutcome::Warm
+        };
         if !eng.st.is_feasible() {
-            // Budget ~m/4: drift typically breaks a handful of rows, so a
-            // productive repair converges quickly; a repair that needs
-            // cold-solve-scale pivot counts is not worth finishing.
-            match eng.composite_repair(sf.m / 4 + 20) {
+            // Dual first: it walks optimal-side bases, so success means
+            // phase 2 is (near-)free. Each dual pivot retires one violated
+            // row (new ones appear and are retired in turn); a ~2m budget
+            // lets even a hint with a third of its rows knocked out of
+            // their boxes converge, while the mild-drift common case
+            // exits after a handful of pivots regardless.
+            let saved = eng.st.clone();
+            match eng.dual_repair(2 * sf.m + 64) {
                 Some(it) => {
-                    repaired = true;
                     repair_iters = it;
+                    outcome = WarmOutcome::DualRepaired;
                 }
-                None => return cold(WarmOutcome::ColdFallback),
+                None => {
+                    // Composite primal repair from the untouched state.
+                    // Budget ~m/4: drift typically breaks a handful of
+                    // rows; a repair needing cold-solve-scale pivots is
+                    // not worth finishing.
+                    eng.st = saved;
+                    // Last rung before giving the basis up: a composite
+                    // repair that runs long still beats re-earning the
+                    // whole basis from a cold identity start, so the
+                    // last-resort budget is a full m.
+                    match eng.composite_repair(sf.m + 64) {
+                        Some(it) => {
+                            repair_iters = it;
+                            outcome = WarmOutcome::Repaired;
+                        }
+                        None => return cold(WarmOutcome::ColdFallback),
+                    }
+                }
             }
         } else {
             eng.st.clamp_basics();
         }
         let mut budget = opts.budget(sf.m, sf.ncols).saturating_sub(repair_iters);
         match eng.phase2_and_extract(opts, &mut budget, repair_iters) {
-            Ok(output) => Ok(WarmKernelSolve {
-                output,
-                outcome: if repaired {
-                    WarmOutcome::Repaired
-                } else {
-                    WarmOutcome::Warm
-                },
-            }),
+            Ok(output) => Ok(WarmKernelSolve { output, outcome }),
             // A warm basis that stalls the pivot budget (f64 cycling from
             // an unusual start) is abandoned, not fatal.
             Err(SolveError::IterationLimit) => cold(WarmOutcome::ColdFallback),

@@ -13,23 +13,31 @@
 //! one snapshot reusable across scalar backends (an `f64` session can hand
 //! its statuses to an exact `Ratio` re-certification solve).
 //!
-//! The state machine of a warm solve
+//! The five-state machine of a warm solve
 //! ([`LpKernel::solve_warm`](crate::LpKernel::solve_warm)):
 //!
 //! ```text
 //! no hint ──────────────────────────────▶ Cold          (two-phase solve)
 //! hint, shape mismatch / singular ──────▶ ColdFallback  (two-phase solve)
 //! hint, basis refactorizes, feasible ───▶ Warm          (phase 2 only)
-//! hint, some basics out of bounds ──────▶ repair: drop the offending
-//!         columns onto the bound they violated, complete the basis with
-//!         the rows' slack/artificial unit columns, retry once
+//! hint, some basics out of bounds ──────▶ dual repair: the basis is
+//!         still dual feasible after cost/bound drift (bound flips fix
+//!         mild matrix drift), so the bounded dual simplex prices the
+//!         violated rows out while staying on optimal-side bases
+//!                       ├── restored ───▶ DualRepaired  (phase 2 ~free)
+//!                       └── declined/stalled ▶ primal repair: composite
+//!         infeasibility pricing drives the out-of-box basics home
 //!                       ├── feasible ───▶ Repaired      (phase 2 only)
 //!                       └── still not ──▶ ColdFallback  (two-phase solve)
 //! ```
 //!
 //! Skipping phase 1 is where the savings live: the steady-state LPs are
 //! equality-heavy (one conservation row per node and type), so a cold
-//! solve spends most of its pivots driving artificials out.
+//! solve spends most of its pivots driving artificials out. The dual
+//! stage goes further: because every intermediate basis it visits stays
+//! dual feasible, restoring the last violated row lands directly on the
+//! new optimum — where the composite primal repair still owes a full
+//! phase-2 tail from whatever feasible vertex it reached.
 
 use crate::kernel::Kernel;
 use crate::scalar::Scalar;
@@ -43,8 +51,13 @@ pub enum WarmOutcome {
     Cold,
     /// The warm basis refactorized to a feasible point; phase 1 skipped.
     Warm,
-    /// The warm basis needed patching (dependent or out-of-bound columns
-    /// replaced by unit columns) before phase 2 could start.
+    /// Drift left the warm basis primal infeasible but (bound flips
+    /// included) dual feasible: the bounded dual simplex priced the
+    /// violated rows out, staying on optimal-side bases throughout.
+    DualRepaired,
+    /// The warm basis needed the composite **primal** repair (dependent
+    /// columns patched, out-of-box basics driven home by infeasibility
+    /// pricing) before phase 2 could start.
     Repaired,
     /// A hint was supplied but could not be used (shape change, singular
     /// repair, or a kernel without warm support): cold solve instead.
@@ -53,9 +66,13 @@ pub enum WarmOutcome {
 
 impl WarmOutcome {
     /// `true` when the solve actually started from the hinted basis
-    /// ([`Warm`](WarmOutcome::Warm) or [`Repaired`](WarmOutcome::Repaired)).
+    /// ([`Warm`](WarmOutcome::Warm), [`DualRepaired`](WarmOutcome::DualRepaired)
+    /// or [`Repaired`](WarmOutcome::Repaired)).
     pub fn used_warm_basis(&self) -> bool {
-        matches!(self, WarmOutcome::Warm | WarmOutcome::Repaired)
+        matches!(
+            self,
+            WarmOutcome::Warm | WarmOutcome::DualRepaired | WarmOutcome::Repaired
+        )
     }
 }
 
@@ -64,6 +81,7 @@ impl std::fmt::Display for WarmOutcome {
         f.pad(match self {
             WarmOutcome::Cold => "cold",
             WarmOutcome::Warm => "warm",
+            WarmOutcome::DualRepaired => "dual-repaired",
             WarmOutcome::Repaired => "repaired",
             WarmOutcome::ColdFallback => "cold-fallback",
         })
@@ -166,6 +184,11 @@ pub struct WarmRun<S> {
     pub outcome: WarmOutcome,
     /// Snapshot of the final basis, ready to seed the next re-solve.
     pub warm: WarmStart,
+    /// Wall-clock spent *capturing* [`WarmRun::warm`] (basis + status
+    /// copy), in milliseconds. Reported separately so warm-vs-cold time
+    /// comparisons don't bill the next solve's seed to this one — a cold
+    /// reference solve does no such bookkeeping.
+    pub snapshot_ms: f64,
 }
 
 impl<S: Scalar> WarmRun<S> {
@@ -182,10 +205,12 @@ mod tests {
     #[test]
     fn outcome_predicates_and_display() {
         assert!(WarmOutcome::Warm.used_warm_basis());
+        assert!(WarmOutcome::DualRepaired.used_warm_basis());
         assert!(WarmOutcome::Repaired.used_warm_basis());
         assert!(!WarmOutcome::Cold.used_warm_basis());
         assert!(!WarmOutcome::ColdFallback.used_warm_basis());
         assert_eq!(WarmOutcome::ColdFallback.to_string(), "cold-fallback");
+        assert_eq!(WarmOutcome::DualRepaired.to_string(), "dual-repaired");
     }
 
     #[test]

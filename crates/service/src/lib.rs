@@ -116,8 +116,12 @@ pub struct RateReport {
     pub throughput: f64,
     /// Re-plans served so far (including registration).
     pub solves: usize,
-    /// Fraction of re-plans that reused a warm basis.
+    /// Fraction of re-plans that reused a warm basis (pure warm,
+    /// dual-repaired, or primal-repaired).
     pub warm_fraction: f64,
+    /// Re-plans whose warm basis the bounded dual simplex restored — the
+    /// cheap drift path; see [`WarmOutcome::DualRepaired`].
+    pub dual_repaired: usize,
 }
 
 /// The result of an exact re-certification checkpoint.
@@ -225,6 +229,7 @@ fn worker_loop(rx: Receiver<Request>, kernel: KernelChoice) {
                         throughput: t.throughput,
                         solves: t.session.stats().solves,
                         warm_fraction: t.session.stats().warm_fraction(),
+                        dual_repaired: t.session.stats().dual_repaired,
                     }),
                 };
                 let _ = reply.send(out);

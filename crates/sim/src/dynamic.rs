@@ -21,7 +21,10 @@
 //! ([`SolveSession`]): each phase's LP shares the structure of the
 //! previous one (same platform graph, drifted coefficients), so from
 //! phase 2 on the solve reuses the previous optimal basis and bound
-//! statuses and skips phase 1 entirely — the [`SolveTelemetry`] on every
+//! statuses and skips phase 1 entirely — drift that knocks the basis
+//! primal infeasible is absorbed by the bounded **dual simplex** first
+//! (`dual-repaired`), with the composite primal repair and the cold
+//! fallback behind it — and the [`SolveTelemetry`] on every
 //! [`PhaseReport`] records which path ran and how many pivots it cost. A
 //! final exact re-certification checkpoint verifies the adaptive
 //! session's last optimum against the full LP-duality certificate.
