@@ -5,11 +5,16 @@
 //! cargo run --release -p ss-bench --bin repro -- fig1 fig3
 //! cargo run --release -p ss-bench --bin repro -- all
 //! cargo run --release -p ss-bench --bin repro -- --kernel=dense lp-scale
+//! cargo run --release -p ss-bench --bin repro -- --pricing=dantzig lp-warm
 //! ```
 //!
 //! `--kernel=auto|dense|sparse` pins the LP pivoting engine for every
 //! solve in the run (default `auto`: the sparse revised simplex for both
 //! scalar backends; `dense` pins the cross-check tableau).
+//!
+//! `--pricing=auto|bland|dantzig|devex` pins the entering rule for every
+//! solve (default `auto`: Bland on exact scalars for the termination
+//! guarantee, devex reference pricing on `f64`).
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,13 +37,32 @@ fn main() {
         None => true,
     });
 
+    args.retain(|a| match a.strip_prefix("--pricing=") {
+        Some(p) => {
+            let pricing = match p {
+                "auto" => ss_lp::Pricing::Auto,
+                "bland" => ss_lp::Pricing::Bland,
+                "dantzig" => ss_lp::Pricing::Dantzig,
+                "devex" => ss_lp::Pricing::Devex,
+                other => {
+                    eprintln!("unknown pricing rule `{other}`; use auto|bland|dantzig|devex");
+                    std::process::exit(2);
+                }
+            };
+            ss_lp::set_default_pricing(pricing);
+            false
+        }
+        None => true,
+    });
+
     if args.is_empty()
         || args
             .iter()
             .any(|a| a == "list" || a == "--help" || a == "-h")
     {
         println!(
-            "usage: repro [--kernel=auto|dense|sparse] <experiment-id>... | all | list\n\n\
+            "usage: repro [--kernel=auto|dense|sparse] [--pricing=auto|bland|dantzig|devex] \
+             <experiment-id>... | all | list\n\n\
              available experiments:"
         );
         for (id, _) in &registry {

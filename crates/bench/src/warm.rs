@@ -29,7 +29,7 @@ use ss_core::engine::{self, Formulation};
 use ss_core::master_slave::MasterSlave;
 use ss_core::session::SolveSession;
 use ss_core::WarmOutcome;
-use ss_lp::KernelChoice;
+use ss_lp::{KernelChoice, Pricing, SimplexOptions};
 use ss_num::Ratio;
 use ss_platform::{topo, Platform};
 use ss_sim::dynamic::ParamScale;
@@ -67,7 +67,10 @@ struct PhasePoint {
     cold_pivots: usize,
     warm_ms: f64,
     cold_ms: f64,
+    build_ms: f64,
     snapshot_ms: f64,
+    priced_columns: usize,
+    pricing_ms: f64,
 }
 
 /// How many re-solves took each warm path (phase 0's hint-less cold solve
@@ -86,6 +89,8 @@ struct WarmSweep {
     paths: PathCounts,
     mean_warm: f64,
     mean_cold: f64,
+    mean_warm_ms: f64,
+    mean_cold_ms: f64,
 }
 
 fn sweep_platform(p: usize) -> WarmSweep {
@@ -106,11 +111,15 @@ fn sweep_platform(p: usize) -> WarmSweep {
         };
         let gp = scale.apply(&g);
 
-        let t0 = Instant::now();
+        // The session's own telemetry is the honest warm clock: it
+        // excludes the formulation build (the cold reference builds its
+        // problem outside the timer below, so an outer wall-clock here
+        // would bill assembly against the warm column only — exactly the
+        // asymmetry that once made a 3-pivot pure-warm re-solve look
+        // slower than its 100-pivot cold reference) and the snapshot
+        // capture that seeds the *next* phase.
         let warm = sess.resolve(&gp).expect("warm re-solve");
-        // Snapshot capture seeds the *next* phase: billed separately so
-        // the warm-vs-cold column is an honest solve-vs-solve comparison.
-        let warm_ms = t0.elapsed().as_secs_f64() * 1e3 - warm.telemetry.snapshot_ms;
+        let warm_ms = warm.telemetry.solve_ms;
 
         // The cold reference: identical instance, fresh two-phase solve.
         let (lp, _) = f.build(&gp).expect("SSMS build");
@@ -139,7 +148,10 @@ fn sweep_platform(p: usize) -> WarmSweep {
             cold_pivots: cold.iterations(),
             warm_ms,
             cold_ms,
+            build_ms: warm.telemetry.build_ms,
             snapshot_ms: warm.telemetry.snapshot_ms,
+            priced_columns: warm.telemetry.priced_columns,
+            pricing_ms: warm.telemetry.pricing_ms,
         });
     }
 
@@ -161,12 +173,27 @@ fn sweep_platform(p: usize) -> WarmSweep {
         "p={p}: {} drifted re-solve(s) fell back cold despite the dual repair",
         paths.cold_fallback
     );
+    // And fewer pivots must translate into less *time*: with devex on the
+    // primal phases and candidate-list partial pricing on the dual
+    // repairs, the warm path's higher per-pivot cost (BTRAN per violated
+    // row, reference-weight bookkeeping) must stay under what the pivot
+    // savings buy. Mean over the re-solves — single phases may wobble
+    // with the OS scheduler, the mean may not.
+    let mean_warm_ms = resolves.iter().map(|q| q.warm_ms).sum::<f64>() / resolves.len() as f64;
+    let mean_cold_ms = resolves.iter().map(|q| q.cold_ms).sum::<f64>() / resolves.len() as f64;
+    assert!(
+        mean_warm_ms < mean_cold_ms,
+        "p={p}: warm re-solves are no faster than cold on wall-clock \
+         ({mean_warm_ms:.2}ms vs {mean_cold_ms:.2}ms)"
+    );
     WarmSweep {
         p,
         phases,
         paths,
         mean_warm,
         mean_cold,
+        mean_warm_ms,
+        mean_cold_ms,
     }
 }
 
@@ -197,6 +224,8 @@ pub fn warm_scale() {
                     format!("{:.2}", q.warm_ms),
                     format!("{:.2}", q.cold_ms),
                     format!("{:.3}", q.snapshot_ms),
+                    q.priced_columns.to_string(),
+                    format!("{:.3}", q.pricing_ms),
                 ]
             })
             .collect();
@@ -209,6 +238,8 @@ pub fn warm_scale() {
                 "warm ms",
                 "cold ms",
                 "snapshot ms",
+                "priced cols",
+                "pricing ms",
             ],
             &rows,
         );
@@ -222,6 +253,10 @@ pub fn warm_scale() {
             sw.mean_warm,
             sw.mean_cold,
             sw.mean_cold / sw.mean_warm.max(1.0)
+        );
+        println!(
+            "mean over re-solves: warm {:.2}ms vs cold {:.2}ms wall-clock (asserted strict)",
+            sw.mean_warm_ms, sw.mean_cold_ms
         );
     }
 
@@ -237,11 +272,14 @@ fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
         let _ = writeln!(
             s,
             "    {{\"p\": {}, \"mean_warm_pivots\": {:.2}, \"mean_cold_pivots\": {:.2}, \
+             \"mean_warm_ms\": {:.3}, \"mean_cold_ms\": {:.3}, \
              \"paths\": {{\"warm\": {}, \"dual_repaired\": {}, \"repaired\": {}, \
              \"cold_fallback\": {}}}, \"phases\": [",
             sw.p,
             sw.mean_warm,
             sw.mean_cold,
+            sw.mean_warm_ms,
+            sw.mean_cold_ms,
             sw.paths.warm,
             sw.paths.dual_repaired,
             sw.paths.repaired,
@@ -252,8 +290,18 @@ fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
                 s,
                 "      {{\"phase\": {}, \"path\": \"{}\", \"warm_pivots\": {}, \
                  \"cold_pivots\": {}, \"warm_ms\": {:.3}, \"cold_ms\": {:.3}, \
-                 \"snapshot_ms\": {:.3}}}",
-                t, q.outcome, q.warm_pivots, q.cold_pivots, q.warm_ms, q.cold_ms, q.snapshot_ms
+                 \"build_ms\": {:.3}, \"snapshot_ms\": {:.3}, \
+                 \"priced_columns\": {}, \"pricing_ms\": {:.3}}}",
+                t,
+                q.outcome,
+                q.warm_pivots,
+                q.cold_pivots,
+                q.warm_ms,
+                q.cold_ms,
+                q.build_ms,
+                q.snapshot_ms,
+                q.priced_columns,
+                q.pricing_ms
             );
             s.push_str(if t + 1 < sw.phases.len() { ",\n" } else { "\n" });
         }
@@ -485,12 +533,146 @@ pub fn dual_smoke() {
     println!("dual repair carries drifted re-solves on both backends (asserted; failures panic).");
 }
 
+/// `pricing-smoke`: the CI guard for the pricing subsystem. A drifting
+/// SSMS platform is re-solved through a warm session under the
+/// **process-default** pricing rule — the CI step runs this twice, via
+/// `repro --pricing=devex pricing-smoke` and `--pricing=dantzig` — and
+/// every phase must agree with a Bland-forced cold reference. On top of
+/// that, one drifted instance is solved cold under every *explicit* rule
+/// on both scalar backends: all optima must coincide (exactly on `Ratio`,
+/// within tolerance on `f64`), the recorded [`PivotRule`](ss_lp::PivotRule)
+/// must match the requested rule, the exact solve must pass the full
+/// LP-duality certificate under every rule, and the pricing telemetry
+/// must actually count work (`priced_columns > 0`).
+pub fn pricing_smoke() {
+    banner(
+        "pricing-smoke",
+        "pricing-rule agreement guard — devex/dantzig/bland land on one optimum, warm and cold",
+    );
+    println!(
+        "process-default pricing: {:?} (set with repro --pricing=...)",
+        ss_lp::default_pricing()
+    );
+
+    let p = 24usize;
+    let mut rng = StdRng::seed_from_u64(88_000 + p as u64);
+    let (g, m) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+    let f = MasterSlave::new(m);
+    let mut drift_rng = StdRng::seed_from_u64(99_000 + p as u64);
+
+    // Drift session under the process default; aggressive drift so the
+    // dual repair (and with it the candidate-list pricer) gets exercised,
+    // not just the pure-warm path.
+    let mut sess: SolveSession<f64, MasterSlave> =
+        SolveSession::with_kernel(MasterSlave::new(m), KernelChoice::Sparse);
+    let mut rows = Vec::new();
+    let mut last_gp = g.clone();
+    for t in 0..8 {
+        let scale = if t == 0 {
+            ParamScale::nominal(&g)
+        } else {
+            aggressive_drift(&mut drift_rng, &g)
+        };
+        let gp = scale.apply(&g);
+        let warm = sess.resolve(&gp).expect("drifted re-solve");
+        let (lp, _) = f.build(&gp).expect("SSMS build");
+
+        // The Bland-forced cold solve is the agreement reference: the
+        // rule every scalar backend can run exactly.
+        let bland = SimplexOptions {
+            force_bland: true,
+            ..SimplexOptions::default()
+        };
+        let reference = lp.solve_with::<f64>(&bland).expect("Bland reference");
+        let err = (warm.activities.objective_f64() - reference.objective()).abs();
+        assert!(
+            err <= crate::scale::BACKEND_TOLERANCE * (1.0 + reference.objective().abs()),
+            "phase {t}: session under {:?} pricing drifts off the Bland reference by {err:.3e}",
+            ss_lp::default_pricing()
+        );
+        assert!(
+            warm.telemetry.priced_columns > 0,
+            "phase {t}: solve priced no columns — telemetry wiring broken"
+        );
+
+        rows.push(vec![
+            t.to_string(),
+            warm.telemetry.outcome.to_string(),
+            warm.telemetry.iterations.to_string(),
+            warm.telemetry.priced_columns.to_string(),
+            format!("{:.3}", warm.telemetry.pricing_ms),
+            format!("{err:.1e}"),
+        ]);
+        last_gp = gp;
+    }
+    print_table(
+        &[
+            "phase",
+            "path",
+            "pivots",
+            "priced cols",
+            "pricing ms",
+            "|Δ| vs bland",
+        ],
+        &rows,
+    );
+
+    // Explicit rule matrix on the last drifted instance, cold, both
+    // backends. Explicit Dantzig/devex are legal on the exact backend too
+    // (the Bland stall-fallback past half the budget restores the
+    // termination guarantee), so the matrix is 3 rules × 2 scalars.
+    let (lp, _) = f.build(&last_gp).expect("SSMS build");
+    let exact_ref = lp
+        .solve_with::<Ratio>(&SimplexOptions::default())
+        .expect("exact reference");
+    for pricing in [Pricing::Bland, Pricing::Dantzig, Pricing::Devex] {
+        let opts = SimplexOptions {
+            pricing,
+            ..SimplexOptions::default()
+        };
+        let fast = lp
+            .solve_with::<f64>(&opts)
+            .expect("explicit-rule f64 solve");
+        assert_eq!(
+            fast.pivot_rule(),
+            pricing.resolve::<f64>(false),
+            "f64 solve did not record the requested rule"
+        );
+        let err = (fast.objective() - exact_ref.objective().to_f64()).abs();
+        assert!(
+            err <= crate::scale::BACKEND_TOLERANCE * (1.0 + fast.objective().abs()),
+            "{pricing:?} (f64) lands {err:.3e} off the exact optimum"
+        );
+        let exact = lp
+            .solve_with::<Ratio>(&opts)
+            .expect("explicit-rule exact solve");
+        assert_eq!(
+            exact.objective(),
+            exact_ref.objective(),
+            "{pricing:?} (Ratio) changed the exact optimum"
+        );
+        lp.verify_optimality(&exact)
+            .unwrap_or_else(|e| panic!("{pricing:?} (Ratio) fails the duality certificate: {e}"));
+    }
+    println!(
+        "bland/dantzig/devex agree on both backends, certificates verified (asserted; failures \
+         panic CI)."
+    );
+}
+
 /// `bench-check`: the bench-regression gate. Reruns the warm-scale sweep
 /// at every platform size recorded in the **committed**
-/// `BENCH_lp_warm.json` and fails if the fresh mean warm pivot count
-/// regresses by more than 2x at any of them (the sweep's own in-sweep
-/// asserts — strictly-fewer-than-cold, zero cold fallbacks — also run).
-/// The committed file is not rewritten; `warm-scale` does that.
+/// `BENCH_lp_warm.json` and fails if, at any of them, the fresh mean warm
+/// pivot count regresses by more than 2x — or the fresh **warm/cold
+/// wall-clock ratio** regresses past 2x the committed ratio (pivots
+/// catch algorithmic regressions; the clock ratio catches a pricing rule
+/// whose per-pivot bookkeeping quietly eats the pivot savings). The gate
+/// compares ratios, not absolute milliseconds, so machine speed and
+/// background load cancel out — the committed file may have been written
+/// on a faster box than the CI runner. The sweep's own
+/// in-sweep asserts — strictly-fewer-than-cold on pivots *and*
+/// wall-clock, zero cold fallbacks — also run. The committed file is not
+/// rewritten; `warm-scale` does that.
 pub fn bench_check() {
     banner(
         "bench-check",
@@ -504,7 +686,7 @@ pub fn bench_check() {
         .and_then(json_array)
         .expect("BENCH_lp_warm.json: missing `warm_scale` array");
 
-    let reference: Vec<(usize, f64)> = sweeps
+    let reference: Vec<(usize, f64, f64)> = sweeps
         .iter()
         .map(|sw| {
             let p = json_field(sw, "p")
@@ -513,40 +695,79 @@ pub fn bench_check() {
             let mean = json_field(sw, "mean_warm_pivots")
                 .and_then(json_f64)
                 .expect("sweep entry without `mean_warm_pivots`");
-            (p, mean)
+            let mean_ms = json_field(sw, "mean_warm_ms")
+                .and_then(json_f64)
+                .expect("sweep entry without `mean_warm_ms`");
+            let mean_cold_ms = json_field(sw, "mean_cold_ms")
+                .and_then(json_f64)
+                .expect("sweep entry without `mean_cold_ms`");
+            (p, mean, mean_ms / mean_cold_ms.max(1e-9))
         })
         .collect();
     assert!(!reference.is_empty(), "committed file records no sweeps");
 
-    let fresh = par_map(reference.iter().map(|(p, _)| *p).collect(), sweep_platform);
+    let fresh = par_map(
+        reference.iter().map(|(p, _, _)| *p).collect(),
+        sweep_platform,
+    );
 
     let mut rows = Vec::new();
     let mut regressed = false;
-    for ((p, committed_mean), sw) in reference.iter().zip(&fresh) {
+    for ((p, committed_mean, committed_ratio), sw) in reference.iter().zip(&fresh) {
         // 2x headroom: pivot counts are deterministic under the sweep's
         // fixed seeds, so anything past 2x is a behavioral regression,
         // not noise. Tiny committed means get an absolute floor of one
         // pivot so a 0.4 → 0.9 wobble cannot fail the gate.
         let limit = committed_mean.max(1.0) * 2.0;
-        let ok = sw.mean_warm <= limit;
-        regressed |= !ok;
+        let pivots_ok = sw.mean_warm <= limit;
+        // The clock gate is a ratio of ratios: fresh warm/cold wall-clock
+        // against the committed warm/cold, with the same 2x headroom.
+        // Warm and cold re-solves run on the same machine under the same
+        // load, so speed differences cancel; what's left is exactly the
+        // per-pivot bookkeeping cost the pivot gate cannot see. A small
+        // absolute floor (ratio 0.10) keeps sub-millisecond timer noise
+        // at tiny p from failing an otherwise-huge warm advantage.
+        let fresh_ratio = sw.mean_warm_ms / sw.mean_cold_ms.max(1e-9);
+        let ratio_limit = (committed_ratio * 2.0).max(0.10);
+        let ms_ok = fresh_ratio <= ratio_limit;
+        regressed |= !pivots_ok || !ms_ok;
         rows.push(vec![
             p.to_string(),
             format!("{committed_mean:.2}"),
             format!("{:.2}", sw.mean_warm),
             format!("{limit:.2}"),
-            if ok { "ok".into() } else { "REGRESSED".into() },
+            format!("{committed_ratio:.3}"),
+            format!("{fresh_ratio:.3}"),
+            format!("{ratio_limit:.3}"),
+            if pivots_ok && ms_ok {
+                "ok".into()
+            } else {
+                "REGRESSED".into()
+            },
         ]);
     }
     print_table(
-        &["p", "committed mean", "fresh mean", "limit (2x)", "verdict"],
+        &[
+            "p",
+            "committed pivots",
+            "fresh pivots",
+            "limit (2x)",
+            "committed ms ratio",
+            "fresh ms ratio",
+            "limit (2x)",
+            "verdict",
+        ],
         &rows,
     );
     assert!(
         !regressed,
-        "warm-scale mean pivots regressed past 2x the committed BENCH_lp_warm.json"
+        "warm-scale mean pivots or warm/cold wall-clock ratio regressed past 2x the committed \
+         BENCH_lp_warm.json"
     );
-    println!("fresh warm-scale pivots within 2x of the committed record at every p.");
+    println!(
+        "fresh warm-scale pivots and warm/cold wall-clock ratio within 2x of the committed \
+         record at every p."
+    );
 }
 
 /// Look up `key` in a JSON object `Value`.

@@ -54,6 +54,11 @@ fn blocking_var(l: &Leaving, basis: &[usize], entering: usize) -> usize {
 
 /// Sign-aware improvement test shared by both kernels' pricing rules:
 /// at-lower columns enter on `z > 0`, at-upper columns on `z < 0`.
+///
+/// Every entering rule in [`crate::pricing`] filters through this first —
+/// Bland takes the smallest improving index, Dantzig the largest `|z|`,
+/// and devex the largest `z²/w_j` over its reference weights — so the
+/// bounded-sign convention lives in exactly one place.
 #[inline]
 pub(crate) fn improves<S: Scalar>(at_upper: bool, z: &S) -> bool {
     if at_upper {
@@ -372,73 +377,90 @@ pub(crate) fn choose_entering_dual<S: Scalar>(
     violation: &S,
 ) -> Option<DualStep> {
     let abs = |x: &S| if x.is_negative() { x.neg() } else { x.clone() };
-    // (ratio, col, index into cands) over the eligible columns.
-    let mut elig: Vec<(S, usize, usize)> = Vec::new();
-    for (k, c) in cands.iter().enumerate() {
-        let want_pos = if above { !c.at_upper } else { c.at_upper };
-        let ok = if want_pos {
-            c.alpha.is_positive()
-        } else {
-            c.alpha.is_negative()
-        };
-        if !ok {
-            continue;
-        }
-        // Dual feasibility puts z on a known side per status; |z| absorbs
-        // the sign (and clamps epsilon-wrong f64 residue to a 0 ratio).
-        elig.push((abs(&c.z).div(&abs(&c.alpha)), c.col, k));
-    }
-    if elig.is_empty() {
-        return None;
-    }
-    elig.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
-    });
+    // Dual ratio per candidate, `None` for the ineligible (wrong α sign)
+    // and for candidates consumed by a flipped group. |z| absorbs the
+    // sign per status (and clamps epsilon-wrong f64 residue to 0).
+    //
+    // The selection never sorts: each round is one O(n) pass that finds
+    // the minimal ratio, its tied group (gaps below the comparison
+    // tolerance count as ties), the group's combined absorption, and its
+    // largest-|α| member — a sorted walk would pay O(n log n) with
+    // scalar-clone keys per pivot for an order the test consults only a
+    // group or two deep.
+    let mut ratio: Vec<Option<S>> = cands
+        .iter()
+        .map(|c| {
+            let want_pos = if above { !c.at_upper } else { c.at_upper };
+            let ok = if want_pos {
+                c.alpha.is_positive()
+            } else {
+                c.alpha.is_negative()
+            };
+            ok.then(|| abs(&c.z).div(&abs(&c.alpha)))
+        })
+        .collect();
     let mut flips = Vec::new();
     let mut remaining = violation.clone();
-    let mut i = 0;
     loop {
-        // The tied-ratio group [i, j): gaps below the comparison
-        // tolerance count as ties, so f64 noise cannot split a
-        // degenerate group into a ladder of flippable micro-steps.
-        let mut j = i + 1;
-        while j < elig.len() && !elig[j].0.sub(&elig[i].0).is_positive() {
-            j += 1;
-        }
-        // Flip the whole group only when a larger-ratio group follows and
-        // the group's combined absorption still leaves violation behind.
-        if j < elig.len() {
-            let mut absorb = S::zero();
-            let mut all_boxed = true;
-            for e in &elig[i..j] {
-                match &cands[e.2].upper {
-                    Some(u) => absorb = absorb.add(&abs(&cands[e.2].alpha).mul(u)),
-                    None => {
-                        all_boxed = false;
-                        break;
-                    }
-                }
+        let mut r0: Option<S> = None;
+        for r in ratio.iter().flatten() {
+            if r0.as_ref().is_none_or(|m| r < m) {
+                r0 = Some(r.clone());
             }
-            if all_boxed && remaining.sub(&absorb).is_positive() {
-                flips.extend(elig[i..j].iter().map(|e| e.1));
-                remaining = remaining.sub(&absorb);
-                i = j;
+        }
+        // No eligible column at all: the unbounded-row exit. (A flipped
+        // round only proceeds when a larger-ratio group follows, so the
+        // pool cannot drain by flips alone.)
+        let r0 = r0?;
+        let mut absorb = S::zero();
+        let mut all_boxed = true;
+        let mut larger_exists = false;
+        let mut q: Option<usize> = None;
+        for (k, r) in ratio.iter().enumerate() {
+            let Some(r) = r else { continue };
+            if r.sub(&r0).is_positive() {
+                larger_exists = true;
                 continue;
             }
-        }
-        // Enter on the group's largest |α|; on |α| ties the first entry
-        // wins, and sort order makes that the smallest column index.
-        let mut q = &elig[i];
-        for e in &elig[i + 1..j] {
-            if abs(&cands[e.2].alpha) > abs(&cands[q.2].alpha) {
-                q = e;
+            match &cands[k].upper {
+                Some(u) => absorb = absorb.add(&abs(&cands[k].alpha).mul(u)),
+                None => all_boxed = false,
             }
+            // Enter on the group's largest |α|, ties on the smallest
+            // column index (candidates arrive in ascending-column order
+            // from the full sweeps; the explicit index tie-break also
+            // covers the candidate-list order).
+            let better = match q {
+                None => true,
+                Some(qq) => {
+                    let (ak, aq) = (abs(&cands[k].alpha), abs(&cands[qq].alpha));
+                    ak > aq || (ak == aq && cands[k].col < cands[qq].col)
+                }
+            };
+            if better {
+                q = Some(k);
+            }
+        }
+        let q = q.expect("the minimal-ratio group is nonempty");
+        // Flip the whole group only when a meaningfully larger ratio
+        // group follows (the dual step then strictly passes these
+        // breakpoints), every member has a finite box, and their combined
+        // absorption still leaves violation behind. Flipping within a
+        // tied group would be dual-neutral while still shaking every
+        // basic value the flipped boxes touch.
+        if larger_exists && all_boxed && remaining.sub(&absorb).is_positive() {
+            for (k, r) in ratio.iter_mut().enumerate() {
+                if r.as_ref().is_some_and(|r| !r.sub(&r0).is_positive()) {
+                    flips.push(cands[k].col);
+                    *r = None;
+                }
+            }
+            remaining = remaining.sub(&absorb);
+            continue;
         }
         return Some(DualStep {
             flips,
-            entering: q.1,
+            entering: cands[q].col,
         });
     }
 }

@@ -21,7 +21,11 @@
 //!    budget, the whole selection degrade to smallest-variable-index, the
 //!    anti-cycling regime).
 //! 2. **Pivot row** — `ρ = B⁻ᵀ e_r` by one BTRAN over the eta file, then
-//!    `α_j = ρ·a_j` over the nonzeros of the nonbasic columns.
+//!    `α_j = ρ·a_j` over the nonzeros of the nonbasic columns — or, under
+//!    candidate-list partial pricing ([`crate::pricing::CandidateList`],
+//!    the devex-pricing default), over just the columns with nonzeros in
+//!    rows seen violating plus recent basis leavers, with a full-sweep
+//!    fallback (and list re-seed) when the restricted scan runs dry.
 //! 3. **Dual ratio test** — `choose_entering_dual` in [`crate::bounded`]:
 //!    sign-aware eligibility per status, dual ratios `|z_j|/|α_j|` walked
 //!    in tied groups (Bland/largest-`|α|` tie-breaks), **bound flips**
@@ -42,11 +46,14 @@
 //!
 //! A start that bound flips cannot make exactly dual feasible (unboxed
 //! columns priced wrong, or more wrong-side boxes than are worth
-//! flipping) is **tolerated** rather than declined: the wrong-siders
-//! ride along as ordinary ratio candidates, ratio-test flipping is
-//! switched off (no dual step licenses it), and the loop keeps its real
-//! driver — restore the worst row on the largest pivot entry — while the
-//! phase-2 primal pass reprices whatever optimality the tolerance cost.
+//! flipping) is **cost-shifted** into feasibility: each remaining
+//! wrong-sider has its cost moved so its reduced cost parks on exact
+//! zero, the loop prices against the shifted vector (keeping the
+//! monotone-dual-objective termination argument), and the phase-2
+//! primal pass reprices the shifts away under the true costs. Only a
+//! start needing *mass* shifting — drift so large the dual information
+//! is junk wholesale — is declined outright, straight to the composite
+//! primal repair.
 //!
 //! Exits: restoring the last row ⇒ success; an **unbounded row** (no
 //! eligible entering column — the primal is infeasible, or `f64` noise
@@ -55,42 +62,40 @@
 //! go back cold.
 
 use crate::bounded::{choose_entering_dual, improves, DualCand};
+use crate::pricing::CandidateList;
 use crate::scalar::Scalar;
 use crate::sparse::{scatter, Engine};
+use std::time::Instant;
 
 impl<S: Scalar> Engine<'_, S> {
-    /// Restore dual feasibility by bound flips, as far as flips are worth
-    /// it: price every nonbasic column and flip the ones resting on the
-    /// wrong side of their reduced cost onto their opposite bound.
+    /// Make the warm start **exactly dual feasible** by bound flips and
+    /// cost shifts: price every nonbasic column; the ones resting on the
+    /// wrong side of their reduced cost either flip to their opposite
+    /// bound or have their cost *shifted* so the reduced cost parks on
+    /// zero.
     ///
-    /// Not every wrong-side column forces a decision:
+    /// * **A few boxed wrong-siders** — flip them: genuinely dual
+    ///   feasible under the true costs, so phase 2 inherits nothing.
+    /// * **Everything else** — shift. A flip also moves the basic values
+    ///   by its whole box (`u_j B⁻¹a_j`), so a mass flip manufactures
+    ///   primal violations faster than the loop retires them, and an
+    ///   unboxed column (a slack, or a structural priced wrong by matrix
+    ///   drift) has no opposite bound at all. A shift moves *nothing*:
+    ///   the repair simply runs against the shifted cost vector, under
+    ///   which the start is exactly dual feasible — so the loop keeps the
+    ///   monotone-dual-objective termination argument instead of
+    ///   wandering (earlier *tolerated* starts, which carried wrong-side
+    ///   columns unshifted, were precisely the repairs that walked 381
+    ///   violated rows down to 8 and then exploded). Each shifted column
+    ///   the repair leaves nonbasic is a phase-2 debt: its true reduced
+    ///   cost is still wrong-side, and the primal pass reprices it.
     ///
-    /// * **A few boxed wrong-siders** — flip them: the start becomes
-    ///   exactly dual feasible and the loop walks optimal-side bases, so
-    ///   phase 2 inherits (near-)nothing.
-    /// * **Many boxed wrong-siders** — leave them alone. Every flip also
-    ///   shifts the basic values by its whole box (`u_j B⁻¹a_j`), so a
-    ///   mass flip manufactures primal violations far faster than the
-    ///   loop retires them; tolerated columns instead ride along as
-    ///   ordinary dual-ratio candidates (their `|z|` ratio is positive)
-    ///   and the phase-2 primal pass reprices whatever optimality they
-    ///   cost.
-    /// * **Unflippable wrong-siders** (no opposite bound: a slack or an
-    ///   unboxed structural priced wrong by matrix drift) — tolerated the
-    ///   same way, in any number: they cannot be flipped, and declining
-    ///   outright would hand the composite pass exactly the bases it is
-    ///   worst at (the warm-scale phases that used to end cold). The
-    ///   budget on the pivot loop bounds the damage when tolerance was
-    ///   the wrong call.
-    ///
-    /// Returns `(flips applied, dual-clean)`: `dual-clean` is `true` when
-    /// the start is exactly dual feasible after the flips (no tolerated
-    /// wrong-siders), which is what licenses ratio-test bound flips in
-    /// the pivot loop.
-    fn dual_feasibility_flips(&mut self) -> (usize, bool) {
+    /// Returns `(flips, shifts, costs)` — the work applied and the cost
+    /// vector (shifted where needed) the pivot loop must price against.
+    fn dual_feasibility_flips(&mut self) -> (usize, usize, Vec<S>) {
         let y = self.prices(&self.sf.cost2);
-        let mut flips: Vec<usize> = Vec::new();
-        let mut clean = true;
+        // (column, its wrong-side reduced cost, flippable?).
+        let mut wrong: Vec<(usize, S, bool)> = Vec::new();
         let flip_cap = self.sf.m / 16 + 8;
         for j in 0..self.sf.art_start {
             if self.st.in_basis[j] {
@@ -103,35 +108,45 @@ impl<S: Scalar> Engine<'_, S> {
             }
             let z = self.reduced_cost(j, &self.sf.cost2, &y);
             if improves(self.st.at_upper[j], &z) {
-                if self.st.upper[j].is_none() {
-                    clean = false;
-                } else {
-                    flips.push(j);
-                    if flips.len() > flip_cap {
-                        // Tolerant start: no flips at all (a partial flip
-                        // would leave a mixed state with the worst of
-                        // both regimes).
-                        return (0, false);
-                    }
-                }
+                let flippable = self.st.upper[j].is_some();
+                wrong.push((j, z, flippable));
             }
         }
-        if !flips.is_empty() {
-            for &j in &flips {
+        // A mass flip would shake every touched basic value by a whole
+        // box; past the cap, *no* column flips — they all shift instead
+        // (a shift moves nothing).
+        let flip_all = wrong.iter().filter(|w| w.2).count() <= flip_cap;
+        let mut costs = self.sf.cost2.clone();
+        let mut flips = 0usize;
+        let mut shifts = 0usize;
+        for (j, z, flippable) in wrong {
+            if flippable && flip_all {
                 self.st.at_upper[j] = !self.st.at_upper[j];
+                flips += 1;
+            } else {
+                // Park the shifted reduced cost on exact zero: feasible
+                // for either bound status, so the column is an ordinary
+                // (degenerate-ratio) candidate from here on.
+                costs[j] = costs[j].sub(&z);
+                shifts += 1;
             }
+        }
+        if flips > 0 {
             // Statuses moved: recompute the basic values they imply.
             self.st.x = self.st.adjusted_rhs(self.sf);
         }
-        (flips.len(), clean)
+        (flips, shifts, costs)
     }
 
     /// The leaving row: largest box violation, ties on the smaller basic
     /// variable index; `bland` switches the whole selection to
     /// smallest-variable-index (the anti-cycling regime for degenerate
-    /// tails). Returns `(row, |violation|, above)`.
-    fn leaving_row(&self, bland: bool) -> Option<(usize, S, bool)> {
+    /// tails). Returns `(row, |violation|, above)` plus the total count of
+    /// violated rows — the pricing handover signal (see the endgame and
+    /// explosion guards in [`Self::dual_loop`]).
+    fn leaving_row(&self, bland: bool) -> (Option<(usize, S, bool)>, usize) {
         let mut pick: Option<(usize, S, bool)> = None;
+        let mut count = 0usize;
         for (i, &b) in self.st.basis.iter().enumerate() {
             let (viol, above) = if self.st.x[i].is_negative() {
                 (self.st.x[i].neg(), false)
@@ -145,6 +160,7 @@ impl<S: Scalar> Engine<'_, S> {
             } else {
                 continue;
             };
+            count += 1;
             let better = match &pick {
                 None => true,
                 Some((pi, pv, _)) => {
@@ -159,7 +175,7 @@ impl<S: Scalar> Engine<'_, S> {
                 pick = Some((i, viol, above));
             }
         }
-        pick
+        (pick, count)
     }
 
     /// The bounded dual-simplex repair pass: from a dual-feasible (or
@@ -169,16 +185,24 @@ impl<S: Scalar> Engine<'_, S> {
     /// `None` when the dual phase is unavailable or gave up (the caller
     /// falls through to the composite primal repair; the state may be
     /// dirty, restore it from a snapshot).
-    pub(crate) fn dual_repair(&mut self, budget: usize) -> Option<usize> {
-        let (flipped, clean) = self.dual_feasibility_flips();
+    /// `partial` enables candidate-list partial pricing (see
+    /// [`CandidateList`]): the dual ratio test prices only columns with
+    /// nonzeros in rows seen violating (plus recent leavers), falling
+    /// back to a full sweep when the list runs dry.
+    pub(crate) fn dual_repair(&mut self, budget: usize, partial: bool) -> Option<usize> {
+        let (flipped, shifts, costs) = self.dual_feasibility_flips();
+        // A shift parks one mispriced column; thousands of them mean the
+        // warm basis's dual information is junk wholesale — the shifted
+        // optimum is nowhere near the true one and the repair would pay
+        // its whole budget learning that. Decline and let the composite
+        // primal repair (which never consults the dual side) take the
+        // basis instead.
+        if shifts > self.sf.art_start / 8 + 4 {
+            return None;
+        }
         let mut iters = flipped;
         self.clamp_on_refresh = false;
-        // Ratio-test bound flips are justified by the dual step passing a
-        // breakpoint — which presumes the start was dual feasible. From a
-        // tolerant (wrong-side columns left in place) start they are pure
-        // churn: every flip shakes a whole box through the basics with no
-        // dual step to earn it.
-        let out = self.dual_loop(budget, clean, &mut iters);
+        let out = self.dual_loop(budget, partial, &mut iters, &costs);
         self.clamp_on_refresh = true;
         if out {
             self.st.clamp_basics();
@@ -188,62 +212,243 @@ impl<S: Scalar> Engine<'_, S> {
         }
     }
 
-    fn dual_loop(&mut self, budget: usize, flips_allowed: bool, iters: &mut usize) -> bool {
+    /// Assemble dual ratio-test candidates (`α_j = ρ·a_j`, reduced cost,
+    /// box) for the given columns; returns the number of columns priced.
+    fn dual_candidates(
+        &self,
+        cols: impl Iterator<Item = usize>,
+        costs: &[S],
+        rho: &[S],
+        y: &[S],
+        cands: &mut Vec<DualCand<S>>,
+    ) -> usize {
+        let mut scanned = 0usize;
+        for j in cols {
+            if self.st.in_basis[j] {
+                continue;
+            }
+            if self.st.upper[j].as_ref().is_some_and(|u| u.is_zero()) {
+                continue;
+            }
+            scanned += 1;
+            // One traversal of the column serves both dot products — the
+            // nonzeros are read once for `α_j = ρ·a_j` and `y·a_j`
+            // together instead of a second pass through `reduced_cost`.
+            let (rows, vals) = self.sf.column(j);
+            let mut alpha = S::zero();
+            let mut ydot = S::zero();
+            for (i, a) in rows.iter().zip(vals) {
+                if !rho[*i].is_zero() {
+                    alpha = alpha.add(&rho[*i].mul(a));
+                }
+                if !y[*i].is_zero() {
+                    ydot = ydot.add(&y[*i].mul(a));
+                }
+            }
+            // Negligible α is excluded outright, not just exact zero: a
+            // pivot entry this small poisons the eta file (the basis goes
+            // numerically singular and every later FTRAN/BTRAN disagrees),
+            // and the dual ratios it implies are pure noise anyway.
+            if alpha.is_negligible_pivot() {
+                continue;
+            }
+            cands.push(DualCand {
+                col: j,
+                alpha,
+                z: costs[j].sub(&ydot),
+                upper: self.st.upper[j].clone(),
+                at_upper: self.st.at_upper[j],
+            });
+        }
+        scanned
+    }
+
+    /// Reduced costs of every structural column under prices `y` (basic
+    /// columns get an exact zero) — the seed of the full-pricing mode's
+    /// incremental cache.
+    fn reduced_costs_all(&self, costs: &[S], y: &[S]) -> Vec<S> {
+        (0..self.sf.art_start)
+            .map(|j| {
+                if self.st.in_basis[j] {
+                    S::zero()
+                } else {
+                    self.reduced_cost(j, costs, y)
+                }
+            })
+            .collect()
+    }
+
+    /// Full-pricing candidate sweep against the cached reduced costs:
+    /// only the `α_j = ρ·a_j` dot is paid per column, `z_j` is a lookup.
+    fn dual_candidates_cached(&self, zc: &[S], rho: &[S], cands: &mut Vec<DualCand<S>>) -> usize {
+        let mut scanned = 0usize;
+        for (j, zj) in zc.iter().enumerate().take(self.sf.art_start) {
+            if self.st.in_basis[j] {
+                continue;
+            }
+            if self.st.upper[j].as_ref().is_some_and(|u| u.is_zero()) {
+                continue;
+            }
+            scanned += 1;
+            let (rows, vals) = self.sf.column(j);
+            let mut alpha = S::zero();
+            for (i, a) in rows.iter().zip(vals) {
+                if !rho[*i].is_zero() {
+                    alpha = alpha.add(&rho[*i].mul(a));
+                }
+            }
+            if alpha.is_negligible_pivot() {
+                continue;
+            }
+            cands.push(DualCand {
+                col: j,
+                alpha,
+                z: zj.clone(),
+                upper: self.st.upper[j].clone(),
+                at_upper: self.st.at_upper[j],
+            });
+        }
+        scanned
+    }
+
+    fn dual_loop(&mut self, budget: usize, partial: bool, iters: &mut usize, costs: &[S]) -> bool {
         let m = self.sf.m;
+        // Candidate-list partial pricing: only a column with a nonzero in
+        // a violated row can absorb that row's violation, so seed the list
+        // from the rows as they show up and reprice just the list. The
+        // row → columns index is one O(nnz) pass, paid once per repair.
+        let mut list = if partial {
+            let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); m];
+            for j in 0..self.sf.art_start {
+                let (rows, _) = self.sf.column(j);
+                for &i in rows {
+                    row_cols[i].push(j);
+                }
+            }
+            Some((CandidateList::new(self.sf.art_start, m), row_cols))
+        } else {
+            None
+        };
+        // Full-pricing mode caches every reduced cost and maintains the
+        // cache across pivots (`z_j ← z_j − θ·α_j`, exact for the same
+        // reason the price update below is), so each sweep pays only the
+        // `α` dot per column. Rebuilt whenever the prices are (empty ⇒
+        // invalid).
+        let mut zc: Vec<S> = Vec::new();
+        // Candidate-list pricing runs the *opening*, not the whole game:
+        // past this many pivots the cheap restricted scans have either
+        // finished the repair or stopped being the bottleneck, and the
+        // loop hands over to full pricing *in place* — keeping every
+        // retired row — rather than restoring the snapshot and re-earning
+        // them under full pricing from scratch.
+        let partial_cutoff = self.sf.m / 2 + 32;
+        // Low-water mark of the violated-row count — a run that blows far
+        // past it under the candidate list triggers the explosion
+        // handover below. (It is *not* a convergence signal: even from an
+        // exactly dual-feasible start the count wanders while the dual
+        // objective climbs monotonically, so no stall detector keys on
+        // it — the budget is the only give-up.)
+        let mut best_viol = usize::MAX;
+        // Prices are maintained *incrementally*: a dual pivot replaces one
+        // basic cost, and the new prices are exactly
+        // `y' = y + (z_q/α_q)·ρ` — `y'·a_q = y·a_q + z_q = c_q` prices the
+        // entering column to zero, while `ρ·a_b = e_r·(B⁻¹a_b) = 0` leaves
+        // every other basic column priced. That turns the second full
+        // BTRAN per iteration into an O(m) vector update; the eta-file
+        // reinversion points (where `fresh` resets) double as the flush
+        // for accumulated `f64` drift.
+        let mut y: Vec<S> = Vec::new();
+        let mut last_fresh = usize::MAX;
         loop {
             // Anti-cycling regime for the tail: drop from largest-violation
             // to smallest-index row selection only late — index order
             // converges much slower, it just cannot loop on a tie.
             let bland = *iters >= budget - budget / 4;
-            let Some((r, viol, above)) = self.leaving_row(bland) else {
+            let (pick, viol_rows) = self.leaving_row(bland);
+            let Some((r, viol, above)) = pick else {
                 return true;
             };
+            if list.is_some() {
+                // Hand the list over to full pricing in place when it has
+                // outlived its use: past the opening (the budget reasoning
+                // above), in the **endgame** (a handful of rows left: the
+                // restricted scan's best pivot is often a tiny |α| whose
+                // primal step catapults basics back out of their boxes —
+                // repairs have been watched walk 381 violated rows down
+                // to 8 under the list and then explode to 116), and on
+                // that **explosion** itself, the moment the count blows
+                // far past its best — full pricing recovers a near-done
+                // repair far cheaper than restoring the snapshot and
+                // starting over.
+                let endgame = viol_rows < 16 && *iters >= 96;
+                let exploded = best_viol != usize::MAX && viol_rows > 2 * best_viol + 32;
+                if endgame || exploded || *iters >= partial_cutoff {
+                    list = None;
+                }
+            }
             if *iters >= budget {
                 return false;
             }
-            // The BTRAN'd pivot row and the current prices — two passes
-            // over the eta file per iteration, against the many whole
-            // iterations each restored row saves.
+            if viol_rows < best_viol {
+                best_viol = viol_rows;
+            }
+            // The BTRAN'd pivot row — the one unavoidable pass over the
+            // eta file per iteration, against the many whole iterations
+            // each restored row saves.
             let mut rho = vec![S::zero(); m];
             rho[r] = S::one();
             self.st.factors.btran(&mut rho);
-            let y = self.prices(&self.sf.cost2);
+            // Fresh prices only at the start and after a reinversion
+            // (`fresh` dropped); otherwise the incrementally-updated
+            // vector from the last pivot is already exact.
+            if last_fresh == usize::MAX || self.st.factors.fresh() < last_fresh {
+                y = self.prices(costs);
+                zc.clear();
+            }
+            last_fresh = self.st.factors.fresh();
 
-            let mut cands: Vec<DualCand<S>> = Vec::new();
-            for j in 0..self.sf.art_start {
-                if self.st.in_basis[j] {
-                    continue;
-                }
-                if self.st.upper[j].as_ref().is_some_and(|u| u.is_zero()) {
-                    continue;
-                }
-                let (rows, vals) = self.sf.column(j);
-                let mut alpha = S::zero();
-                for (i, a) in rows.iter().zip(vals) {
-                    if !rho[*i].is_zero() {
-                        alpha = alpha.add(&rho[*i].mul(a));
+            let tp = Instant::now();
+            if let Some((cl, row_cols)) = list.as_mut() {
+                // First violation seen on this row: its columns join the
+                // candidate list.
+                if cl.note_row(r) {
+                    for &j in &row_cols[r] {
+                        cl.push(j);
                     }
                 }
-                if alpha.is_zero() {
-                    continue;
-                }
-                cands.push(DualCand {
-                    col: j,
-                    alpha,
-                    z: self.reduced_cost(j, &self.sf.cost2, &y),
-                    upper: self.st.upper[j].clone(),
-                    at_upper: self.st.at_upper[j],
-                });
             }
-            // Unbounded row: nothing can absorb this violation.
-            let effective_viol = if flips_allowed {
-                viol
-            } else {
-                // Zero remaining violation disables breakpoint flipping
-                // inside the ratio test (see `dual_repair`).
-                S::zero()
+            let mut cands: Vec<DualCand<S>> = Vec::new();
+            let scanned = match &list {
+                Some((cl, _)) => {
+                    self.dual_candidates(cl.cols().iter().copied(), costs, &rho, &y, &mut cands)
+                }
+                None => {
+                    if zc.is_empty() {
+                        zc = self.reduced_costs_all(costs, &y);
+                    }
+                    self.dual_candidates_cached(&zc, &rho, &mut cands)
+                }
             };
-            let Some(step) = choose_entering_dual(&cands, above, &effective_viol) else {
+            self.stats.priced_columns += scanned;
+            let mut step = choose_entering_dual(&cands, above, &viol);
+            if step.is_none() && list.is_some() {
+                // The list ran dry for this row: one full repricing sweep
+                // serves the step before the row may be declared unbounded
+                // — the fallback keeps the exit semantics of full pricing.
+                // The sweep's candidates are *not* folded into the list
+                // (they are specific to this row's ρ; absorbing them once
+                // turned the "partial" list into the whole column set).
+                self.stats.full_sweeps += 1;
+                cands.clear();
+                let scanned =
+                    self.dual_candidates(0..self.sf.art_start, costs, &rho, &y, &mut cands);
+                self.stats.priced_columns += scanned;
+                step = choose_entering_dual(&cands, above, &viol);
+            }
+            self.stats.pricing_ms += tp.elapsed().as_secs_f64() * 1e3;
+            // Unbounded row: nothing here (list exhausted and the full
+            // sweep included) can absorb this violation.
+            let Some(step) = step else {
                 return false;
             };
 
@@ -277,10 +482,24 @@ impl<S: Scalar> Engine<'_, S> {
             }
 
             let q = step.entering;
+            let (zq, aq) = cands
+                .iter()
+                .find(|c| c.col == q)
+                .map(|c| (c.z.clone(), c.alpha.clone()))
+                .expect("entering column came from the candidate set");
             let mut d = scatter(self.sf, q);
             self.st.factors.ftran(&mut d);
             if d[r].is_zero() {
-                // ρ·a_q said nonzero, FTRAN says zero: f64 breakdown.
+                // ρ·a_q said nonzero, FTRAN says zero: the eta file has
+                // drifted until its two transform directions disagree.
+                // A stale factorization is repairable — rebuild it and
+                // re-run the iteration on fresh numbers; give up only if
+                // the disagreement survives a fresh factorization.
+                if self.st.factors.fresh() > 0 {
+                    self.reinvert();
+                    last_fresh = usize::MAX;
+                    continue;
+                }
                 return false;
             }
             // Step that lands the leaving variable exactly on the bound
@@ -299,7 +518,35 @@ impl<S: Scalar> Engine<'_, S> {
                 delta
             };
             let sigma_pos = !self.st.at_upper[q];
+            let leave = self.st.basis[r];
             self.pivot(r, q, &d, &t, sigma_pos, above);
+            // The incremental price update (see above): one O(m) sweep
+            // over ρ's support instead of a BTRAN next iteration.
+            let theta = zq.div(&aq);
+            for (yi, ri) in y.iter_mut().zip(&rho) {
+                if !ri.is_zero() {
+                    *yi = yi.add(&theta.mul(ri));
+                }
+            }
+            if !zc.is_empty() {
+                // `z_j ← z_j − θ·α_j` over the swept candidates — exactly
+                // the α ≠ 0 columns, so every other cached entry is
+                // already correct. The entering column lands on an exact
+                // zero (`z_q − θ·α_q`); the leaver re-enters the cache at
+                // `−θ` (its α against its own pivot row is 1).
+                for c in &cands {
+                    zc[c.col] = zc[c.col].sub(&theta.mul(&c.alpha));
+                }
+                if leave < self.sf.art_start {
+                    zc[leave] = theta.neg();
+                }
+            }
+            if let Some((cl, _)) = list.as_mut() {
+                // A just-left variable is a prime re-entry candidate.
+                if leave < self.sf.art_start {
+                    cl.push(leave);
+                }
+            }
             *iters += 1;
         }
     }
@@ -350,14 +597,15 @@ mod tests {
     }
 
     #[test]
-    fn dual_infeasible_start_is_tolerated_and_still_lands_the_optimum() {
+    fn dual_infeasible_start_is_cost_shifted_and_still_lands_the_optimum() {
         // maximize x + y with y unboxed: a hint resting x at its upper
         // bound while y (z = 1 > 0, no box to flip to) rests at lower is
         // dual infeasible beyond bound flips, and the overshot cap row
-        // keeps it primal infeasible too. The tolerant dual start keeps
-        // the wrong-side column as an ordinary ratio candidate, restores
-        // the violated row, and phase 2 reprices the tolerance away —
-        // same exact optimum, certificate and all.
+        // keeps it primal infeasible too. The dual start *shifts* the
+        // wrong-side column's cost so its reduced cost parks on zero,
+        // restores the violated row against the shifted costs, and phase
+        // 2 reprices the shift away — same exact optimum, certificate
+        // and all.
         let mut p = Problem::new(Sense::Maximize);
         let x = p.add_var_bounded("x", Ratio::from_int(3));
         let y = p.add_var("y");

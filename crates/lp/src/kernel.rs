@@ -86,10 +86,14 @@ pub fn default_kernel() -> KernelChoice {
 
 /// A pivoting engine: drives a lowered [`StandardForm`] to optimality.
 ///
-/// Implementations must honor the crate's pivoting contract — Bland's rule
-/// whenever `S::EXACT || opts.force_bland` (anti-cycling, guaranteed
-/// termination), Dantzig pricing with a Bland stall-fallback otherwise —
-/// and report which rule ran via [`KernelOutput::pivot_rule`].
+/// Implementations must honor the crate's pricing contract (see
+/// [`crate::pricing`]): the entering rule is
+/// `opts.pricing.resolve::<S>(opts.force_bland)` — Bland for exact
+/// scalars under `Pricing::Auto` (anti-cycling, guaranteed termination),
+/// devex reference pricing for `f64`, and a Bland stall-fallback past
+/// half the pivot budget for every non-Bland rule — reported via
+/// [`KernelOutput::pivot_rule`], with pricing work counted in
+/// [`KernelOutput::pricing`].
 pub trait LpKernel<S: Scalar> {
     /// Short diagnostic name (`"dense-tableau"`, `"sparse-revised"`).
     fn name(&self) -> &'static str;

@@ -8,9 +8,10 @@
 //!   are guaranteed; the answer has *denominators*, which the steady-state
 //!   schedule reconstruction of Beaumont et al. (§4.1) consumes directly
 //!   (period = lcm of denominators).
-//! * `f64` — fast floating-point solving with Dantzig pricing and an epsilon
-//!   ratio test, used for large scaling sweeps where exactness is not
-//!   required.
+//! * `f64` — fast floating-point solving with devex reference pricing
+//!   (see [`pricing`]) and an epsilon ratio test, used for large scaling
+//!   sweeps where exactness is not required. `SimplexOptions { pricing,
+//!   .. }` or [`set_default_pricing`] pin Dantzig/Bland/devex explicitly.
 //!
 //! …and over the **pivoting kernel** ([`LpKernel`]):
 //!
@@ -53,6 +54,7 @@
 mod bounded;
 mod dual;
 mod kernel;
+pub mod pricing;
 mod problem;
 mod scalar;
 mod simplex;
@@ -65,6 +67,7 @@ pub use kernel::{
     default_kernel, set_default_kernel, solve_warm_with_kernel, solve_with_kernel, DenseTableau,
     Kernel, KernelChoice, LpKernel,
 };
+pub use pricing::{default_pricing, set_default_pricing, Pricing, PricingStats};
 pub use problem::{Cmp, LinExpr, Problem, Sense, Var};
 pub use scalar::Scalar;
 pub use simplex::SimplexOptions;

@@ -1,0 +1,365 @@
+//! The shared **pricing subsystem**: how the simplex engines choose what
+//! to price, and how much pricing work they report doing.
+//!
+//! Pivot counts stopped being the bottleneck once the warm ladder landed:
+//! with bound flips free and the basis small, most of a pivot's wall-clock
+//! is spent *pricing* — walking nonbasic columns computing reduced costs
+//! (primal) or pivot-row entries `α_j = ρ·a_j` (dual). This module owns
+//! the two answers:
+//!
+//! * **Devex reference pricing** ([`Devex`], Forrest–Goldfarb style
+//!   approximate steepest edge) for the primal engines: entering column is
+//!   the largest `z_j² / w_j` over reference weights `w_j` that start at 1
+//!   and are cheaply updated from each pivot row, so the rule prefers
+//!   columns whose *edge direction* is actually steep rather than whose
+//!   raw reduced cost is large. Weights drift upward as the reference
+//!   framework ages; past [`DEVEX_RESET`] the framework is reset to the
+//!   current basis (all weights back to 1). Weights are plain `f64` even
+//!   under the exact scalar — they only rank candidates, every pivot still
+//!   runs in exact arithmetic.
+//! * **Candidate-list partial pricing** ([`CandidateList`]) for the dual
+//!   engine: only columns with nonzeros in recently-violating rows can
+//!   absorb those rows' violations, so the dual ratio test prices just
+//!   that list, falling back to (and re-seeding from) a full sweep when
+//!   the list runs dry. Correctness is unaffected — the dual loop already
+//!   tolerates dual-infeasible intermediate states and phase 2 reprices
+//!   whatever the restricted scan missed; only the *path* changes.
+//!
+//! The engine-facing choice is the [`Pricing`] enum on
+//! [`SimplexOptions`](crate::SimplexOptions), resolved per scalar by
+//! [`Pricing::resolve`]; the process-wide default
+//! ([`set_default_pricing`], `repro --pricing=...`) mirrors the kernel
+//! default. Every kernel reports its pricing work — columns priced and
+//! wall-clock spent pricing — as a [`PricingStats`] on the
+//! [`KernelOutput`](crate::KernelOutput) and
+//! [`Solution`](crate::Solution).
+
+use crate::scalar::Scalar;
+use crate::solution::PivotRule;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Entering-variable pricing strategy for a solve.
+///
+/// `Auto` preserves the crate's historical guarantees: exact scalars keep
+/// Bland's rule (anti-cycling, guaranteed termination on the degenerate
+/// steady-state LPs), `f64` takes devex. The explicit variants pin a rule
+/// for either scalar — every non-Bland rule keeps the Bland stall-fallback
+/// past half the pivot budget, so termination is never at stake.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Pricing {
+    /// Devex for `f64`, Bland for exact scalars.
+    #[default]
+    Auto,
+    /// Force Bland's rule (smallest improving index).
+    Bland,
+    /// Force Dantzig pricing (most improving reduced cost) — the pre-devex
+    /// `f64` default, kept as the A/B reference.
+    Dantzig,
+    /// Force devex reference pricing (and candidate-list partial pricing
+    /// in the dual engine).
+    Devex,
+}
+
+impl Pricing {
+    /// Resolve to the concrete entering rule for scalar `S`.
+    /// `force_bland` (the [`SimplexOptions`](crate::SimplexOptions) flag)
+    /// wins over everything.
+    pub fn resolve<S: Scalar>(self, force_bland: bool) -> PivotRule {
+        if force_bland {
+            return PivotRule::Bland;
+        }
+        match self {
+            Pricing::Auto => {
+                if S::EXACT {
+                    PivotRule::Bland
+                } else {
+                    PivotRule::Devex
+                }
+            }
+            Pricing::Bland => PivotRule::Bland,
+            Pricing::Dantzig => PivotRule::Dantzig,
+            Pricing::Devex => PivotRule::Devex,
+        }
+    }
+}
+
+// Process-wide default consumed by `SimplexOptions::default()`, mirroring
+// the kernel default: harness binaries (`repro --pricing=...`) steer every
+// solve without threading an option through each experiment signature.
+// 0 = Auto, 1 = Bland, 2 = Dantzig, 3 = Devex.
+static DEFAULT_PRICING: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide default [`Pricing`] used by
+/// [`SimplexOptions::default`](crate::SimplexOptions::default). Explicit
+/// `SimplexOptions { pricing, .. }` values always win over this.
+pub fn set_default_pricing(pricing: Pricing) {
+    let v = match pricing {
+        Pricing::Auto => 0,
+        Pricing::Bland => 1,
+        Pricing::Dantzig => 2,
+        Pricing::Devex => 3,
+    };
+    DEFAULT_PRICING.store(v, Ordering::Relaxed);
+}
+
+/// The current process-wide default [`Pricing`].
+pub fn default_pricing() -> Pricing {
+    match DEFAULT_PRICING.load(Ordering::Relaxed) {
+        1 => Pricing::Bland,
+        2 => Pricing::Dantzig,
+        3 => Pricing::Devex,
+        _ => Pricing::Auto,
+    }
+}
+
+/// How much pricing work a solve did: reduced-cost / pivot-row-entry
+/// evaluations and the wall-clock spent selecting entering columns
+/// (devex weight maintenance and dual candidate assembly included).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PricingStats {
+    /// Columns whose reduced cost (primal) or pivot-row entry `α_j`
+    /// (dual) was evaluated, summed over all iterations and phases.
+    pub priced_columns: usize,
+    /// Wall-clock spent in entering-column selection, in milliseconds.
+    pub pricing_ms: f64,
+    /// Dual-engine candidate-list exhaustions that forced a full repricing
+    /// sweep (0 under full-sweep pricing).
+    pub full_sweeps: usize,
+}
+
+impl PricingStats {
+    /// Accumulate another solve's counters (cold fallback after a failed
+    /// warm attempt, multi-phase totals).
+    pub fn absorb(&mut self, other: &PricingStats) {
+        self.priced_columns += other.priced_columns;
+        self.pricing_ms += other.pricing_ms;
+        self.full_sweeps += other.full_sweeps;
+    }
+}
+
+/// Reference-weight blow-up threshold: when any devex weight exceeds this,
+/// the reference framework is stale enough that the steepest-edge
+/// approximation has degraded to noise — reset it to the current basis.
+pub(crate) const DEVEX_RESET: f64 = 1e7;
+
+/// Devex reference weights (Forrest–Goldfarb approximate steepest edge).
+///
+/// `w_j` approximates `‖B⁻¹a_j‖²` measured against the *reference
+/// framework* — the basis at the last reset. The entering score of a
+/// column with reduced cost `z_j` is `z_j²/w_j`. After a pivot in which
+/// `q` enters on row `r` (pivot element `α_q`) and `l` leaves, the cheap
+/// one-row update is
+///
+/// ```text
+/// w_j ← max(w_j, (α_j/α_q)² · w_q)   for each nonbasic j with α_j ≠ 0
+/// w_l ← max(w_q/α_q², 1)
+/// ```
+///
+/// which needs exactly the pivot row `α` — one extra BTRAN per pivot for
+/// the revised kernel, free for the dense tableau. Weights only *rank*
+/// candidates, so they stay `f64` under every scalar backend; exactness is
+/// untouched.
+pub(crate) struct Devex {
+    w: Vec<f64>,
+    max_w: f64,
+    resets: usize,
+}
+
+impl Devex {
+    pub(crate) fn new(ncols: usize) -> Devex {
+        Devex {
+            w: vec![1.0; ncols],
+            max_w: 1.0,
+            resets: 0,
+        }
+    }
+
+    /// Entering score of column `j` with reduced cost `z` (already
+    /// converted): larger is better.
+    #[inline]
+    pub(crate) fn score(&self, j: usize, z: f64) -> f64 {
+        z * z / self.w[j]
+    }
+
+    /// Framework resets performed so far (diagnostic).
+    #[allow(dead_code)] // exercised by the unit tests
+    pub(crate) fn resets(&self) -> usize {
+        self.resets
+    }
+
+    /// Fold one pivot into the weights: `q` entered with pivot element
+    /// `alpha_q`, `leave` left, and `alphas` yields `(j, α_j)` for the
+    /// remaining nonbasic columns (zero entries may be skipped by the
+    /// caller). Resets the framework if any weight blew past
+    /// [`DEVEX_RESET`].
+    pub(crate) fn pivot_update<I>(&mut self, q: usize, leave: usize, alpha_q: f64, alphas: I)
+    where
+        I: IntoIterator<Item = (usize, f64)>,
+    {
+        let aq2 = alpha_q * alpha_q;
+        if aq2 <= 0.0 || !aq2.is_finite() {
+            // Degenerate or non-finite pivot element: no usable update.
+            return;
+        }
+        let wq = self.w[q].max(1.0);
+        let scale = wq / aq2;
+        for (j, a) in alphas {
+            if a == 0.0 {
+                continue;
+            }
+            let cand = a * a * scale;
+            if cand > self.w[j] {
+                self.w[j] = cand;
+                if cand > self.max_w {
+                    self.max_w = cand;
+                }
+            }
+        }
+        self.w[leave] = scale.max(1.0);
+        if self.w[leave] > self.max_w {
+            self.max_w = self.w[leave];
+        }
+        // The entering column joins the basis; its weight restarts when it
+        // next leaves (set above for `leave`, here for hygiene).
+        self.w[q] = 1.0;
+        if self.max_w > DEVEX_RESET {
+            self.reset();
+        }
+    }
+
+    /// Reset the reference framework to the current basis: all weights
+    /// back to 1.
+    pub(crate) fn reset(&mut self) {
+        for w in self.w.iter_mut() {
+            *w = 1.0;
+        }
+        self.max_w = 1.0;
+        self.resets += 1;
+    }
+}
+
+/// Candidate list for the dual engine's partial pricing: the nonbasic
+/// columns with nonzeros in rows that have shown a box violation, plus
+/// variables that recently left the basis.
+///
+/// Only a column with `a_ij ≠ 0` in a violated row `i` can have
+/// `α_j = ρ·a_j ≠ 0` for that row's pivot row, so pricing outside the
+/// list is wasted work *for the rows seen so far*. New rows knocked out of
+/// their boxes mid-repair enlarge the list as they are selected; if the
+/// restricted scan still finds no eligible entering column the caller runs
+/// one full sweep (re-seeding the list) before concluding the row is
+/// genuinely unbounded — the fallback keeps the infeasibility exit
+/// semantics identical to full pricing.
+pub(crate) struct CandidateList {
+    in_list: Vec<bool>,
+    cols: Vec<usize>,
+    row_seen: Vec<bool>,
+}
+
+impl CandidateList {
+    pub(crate) fn new(ncols: usize, m: usize) -> CandidateList {
+        CandidateList {
+            in_list: vec![false; ncols],
+            cols: Vec::new(),
+            row_seen: vec![false; m],
+        }
+    }
+
+    /// Add column `j` (deduplicated).
+    pub(crate) fn push(&mut self, j: usize) {
+        if !self.in_list[j] {
+            self.in_list[j] = true;
+            self.cols.push(j);
+        }
+    }
+
+    /// First time row `r` shows a violation? (The caller then pushes the
+    /// row's columns.)
+    pub(crate) fn note_row(&mut self, r: usize) -> bool {
+        if self.row_seen[r] {
+            false
+        } else {
+            self.row_seen[r] = true;
+            true
+        }
+    }
+
+    /// The current candidate columns (may include columns that have since
+    /// entered the basis; the pricer skips those).
+    pub(crate) fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_num::Ratio;
+
+    #[test]
+    fn resolution_matrix() {
+        // Auto keeps the historical guarantees per scalar.
+        assert_eq!(Pricing::Auto.resolve::<Ratio>(false), PivotRule::Bland);
+        assert_eq!(Pricing::Auto.resolve::<f64>(false), PivotRule::Devex);
+        // Explicit rules pin either scalar.
+        assert_eq!(Pricing::Devex.resolve::<Ratio>(false), PivotRule::Devex);
+        assert_eq!(Pricing::Dantzig.resolve::<f64>(false), PivotRule::Dantzig);
+        assert_eq!(Pricing::Bland.resolve::<f64>(false), PivotRule::Bland);
+        // force_bland wins over everything.
+        assert_eq!(Pricing::Devex.resolve::<f64>(true), PivotRule::Bland);
+    }
+
+    #[test]
+    fn process_default_round_trips() {
+        let before = default_pricing();
+        set_default_pricing(Pricing::Dantzig);
+        assert_eq!(default_pricing(), Pricing::Dantzig);
+        set_default_pricing(before);
+    }
+
+    #[test]
+    fn devex_scores_prefer_light_reference_weights() {
+        let mut d = Devex::new(3);
+        // Equal |z|: equal scores while the framework is fresh.
+        assert_eq!(d.score(0, 2.0), d.score(1, -2.0));
+        // A pivot that inflates w_1 demotes column 1 at equal |z|.
+        d.pivot_update(2, 0, 0.5, [(1, 3.0)]);
+        assert!(d.score(1, 2.0) < d.score(0, 2.0));
+    }
+
+    #[test]
+    fn devex_weight_blowup_resets_the_framework() {
+        let mut d = Devex::new(4);
+        // A tiny pivot element inflates the leaving weight past the
+        // threshold: w_l = w_q/α_q² = 1e8 > DEVEX_RESET.
+        d.pivot_update(1, 2, 1e-4, [(3, 1.0)]);
+        assert_eq!(d.resets(), 1);
+        assert!(d.w.iter().all(|&w| w == 1.0));
+        // A benign pivot does not reset.
+        d.pivot_update(2, 1, 1.0, [(3, 2.0)]);
+        assert_eq!(d.resets(), 1);
+        assert_eq!(d.w[3], 4.0);
+        assert_eq!(d.w[1], 1.0);
+    }
+
+    #[test]
+    fn devex_degenerate_pivot_is_a_no_op() {
+        let mut d = Devex::new(2);
+        d.pivot_update(0, 1, 0.0, [(1, 5.0)]);
+        assert!(d.w.iter().all(|&w| w == 1.0));
+        assert_eq!(d.resets(), 0);
+    }
+
+    #[test]
+    fn candidate_list_dedups_and_notes_rows_once() {
+        let mut c = CandidateList::new(5, 3);
+        assert!(c.note_row(1));
+        c.push(0);
+        c.push(3);
+        c.push(0);
+        assert_eq!(c.cols(), &[0, 3]);
+        // A row enlarges the list only the first time it violates.
+        assert!(!c.note_row(1));
+        assert!(c.note_row(2));
+    }
+}

@@ -33,6 +33,14 @@ pub trait Scalar: Clone + std::fmt::Debug + PartialOrd {
     fn from_ratio(r: &Ratio) -> Self;
     /// Export for reporting.
     fn to_f64(&self) -> f64;
+    /// Too small to anchor a basis factorization: a pivot that clears
+    /// [`Self::is_zero`] but not this test produces an eta file whose
+    /// FTRAN and BTRAN directions disagree (the warm path's "f64
+    /// breakdown"). Exact scalars have no such regime — any nonzero
+    /// pivot is exact.
+    fn is_negligible_pivot(&self) -> bool {
+        self.is_zero()
+    }
     /// `true` if this scalar type is exact (drives pivoting-rule selection).
     const EXACT: bool;
 }
@@ -141,6 +149,14 @@ impl Scalar for f64 {
     #[inline]
     fn to_f64(&self) -> f64 {
         *self
+    }
+    #[inline]
+    fn is_negligible_pivot(&self) -> bool {
+        // Three orders looser than `F64_EPS`: the problem data is O(1),
+        // so a 1e-6 pivot means the hinted column is (numerically) a
+        // combination of the ones before it — dropping it costs one
+        // patch pivot, accepting it poisons every later FTRAN/BTRAN.
+        self.abs() <= 1e-6
     }
     const EXACT: bool = false;
 }

@@ -3,8 +3,10 @@
 //!
 //! Pivoting: Bland's rule when the scalar is exact (guaranteed termination —
 //! important because steady-state LPs are heavily degenerate: many activity
-//! variables sit at 0 or at the one-port bound), Dantzig pricing with a
-//! Bland fallback for `f64`. Variable upper bounds are handled natively in
+//! variables sit at 0 or at the one-port bound), devex reference pricing
+//! with a Bland stall-fallback for `f64` (see [`crate::pricing`]; the
+//! tableau gets the devex pivot row for free — it *is* row `r` of `B⁻¹A`).
+//! Variable upper bounds are handled natively in
 //! the ratio test (see [`crate::bounded`]): nonbasic columns rest at either
 //! bound, pricing is sign-aware, and bound flips skip the elimination
 //! entirely. The tableau is O(rows·cols) per pivot; for the mostly-zero
@@ -13,9 +15,11 @@
 
 use crate::bounded::{choose_leaving, entering_value, improves, shift_basics, Leaving};
 use crate::kernel::{DenseTableau, Kernel, KernelChoice, LpKernel};
+use crate::pricing::{Devex, Pricing, PricingStats};
 use crate::scalar::Scalar;
 use crate::solution::{PivotRule, SolveError};
 use crate::standard::{BoundMode, KernelOutput, StandardForm};
+use std::time::Instant;
 
 /// Tuning knobs for the simplex kernels.
 #[derive(Clone, Debug)]
@@ -25,6 +29,9 @@ pub struct SimplexOptions {
     pub max_iterations: usize,
     /// Force Bland's rule even for inexact scalars.
     pub force_bland: bool,
+    /// Entering-variable pricing strategy (see [`Pricing`]); `Auto`
+    /// resolves to devex for `f64`, Bland for exact scalars.
+    pub pricing: Pricing,
     /// Which pivoting engine runs the solve.
     pub kernel: KernelChoice,
     /// How variable upper bounds reach the kernel (native metadata by
@@ -33,13 +40,14 @@ pub struct SimplexOptions {
 }
 
 impl Default for SimplexOptions {
-    /// Defaults honor the process-wide kernel choice
-    /// ([`crate::set_default_kernel`]), which itself defaults to
-    /// [`KernelChoice::Auto`].
+    /// Defaults honor the process-wide kernel and pricing choices
+    /// ([`crate::set_default_kernel`], [`crate::set_default_pricing`]),
+    /// which themselves default to `Auto`.
     fn default() -> Self {
         SimplexOptions {
             max_iterations: 0,
             force_bland: false,
+            pricing: crate::pricing::default_pricing(),
             kernel: crate::kernel::default_kernel(),
             bound_mode: BoundMode::default(),
         }
@@ -59,6 +67,14 @@ impl SimplexOptions {
     pub fn with_bound_mode(bound_mode: BoundMode) -> SimplexOptions {
         SimplexOptions {
             bound_mode,
+            ..SimplexOptions::default()
+        }
+    }
+
+    /// Default options with an explicit pricing strategy.
+    pub fn with_pricing(pricing: Pricing) -> SimplexOptions {
+        SimplexOptions {
+            pricing,
             ..SimplexOptions::default()
         }
     }
@@ -134,16 +150,31 @@ impl<S: Scalar> Tableau<S> {
     }
 
     /// Bland's rule: smallest-index eligible column (sign-aware via
-    /// [`improves`]).
-    fn entering_bland(&self, cost: &[S], active: &[bool]) -> Option<usize> {
-        (0..self.ncols).find(|&j| active[j] && improves(self.at_upper[j], &cost[j]))
+    /// [`improves`]). Also returns the number of columns scanned.
+    fn entering_bland(&self, cost: &[S], active: &[bool]) -> (Option<usize>, usize) {
+        let mut scanned = 0usize;
+        for j in 0..self.ncols {
+            if !active[j] {
+                continue;
+            }
+            scanned += 1;
+            if improves(self.at_upper[j], &cost[j]) {
+                return (Some(j), scanned);
+            }
+        }
+        (None, scanned)
     }
 
     /// Dantzig's rule: largest improvement rate `|z_j|` among eligible.
-    fn entering_dantzig(&self, cost: &[S], active: &[bool]) -> Option<usize> {
+    fn entering_dantzig(&self, cost: &[S], active: &[bool]) -> (Option<usize>, usize) {
         let mut best: Option<(usize, S)> = None;
+        let mut scanned = 0usize;
         for j in 0..self.ncols {
-            if !active[j] || !improves(self.at_upper[j], &cost[j]) {
+            if !active[j] {
+                continue;
+            }
+            scanned += 1;
+            if !improves(self.at_upper[j], &cost[j]) {
                 continue;
             }
             let score = if self.at_upper[j] {
@@ -157,7 +188,30 @@ impl<S: Scalar> Tableau<S> {
                 _ => {}
             }
         }
-        best.map(|(j, _)| j)
+        (best.map(|(j, _)| j), scanned)
+    }
+
+    /// Devex reference pricing: largest `z_j²/w_j` among eligible columns
+    /// (see [`crate::pricing`]); ties break to the smaller index.
+    fn entering_devex(&self, cost: &[S], active: &[bool], devex: &Devex) -> (Option<usize>, usize) {
+        let mut best: Option<(usize, f64)> = None;
+        let mut scanned = 0usize;
+        for j in 0..self.ncols {
+            if !active[j] {
+                continue;
+            }
+            scanned += 1;
+            if !improves(self.at_upper[j], &cost[j]) {
+                continue;
+            }
+            let score = devex.score(j, cost[j].to_f64());
+            match &best {
+                None => best = Some((j, score)),
+                Some((_, bs)) if score > *bs => best = Some((j, score)),
+                _ => {}
+            }
+        }
+        (best.map(|(j, _)| j), scanned)
     }
 }
 
@@ -177,28 +231,35 @@ fn price_out<S: Scalar>(t: &Tableau<S>, cost: &mut [S], costs_full: &[S]) {
 }
 
 /// Run pivots until optimality/unboundedness/limit. Returns iterations used
-/// (bound flips included).
+/// (bound flips included). `rule` is the resolved entering rule; non-Bland
+/// rules switch to Bland after a stall threshold to escape cycling. The
+/// devex reference framework is per-phase (fresh weights per call), and its
+/// pivot-row update is free here — the row is `t.a[row]` pre-elimination.
 fn optimize<S: Scalar>(
     t: &mut Tableau<S>,
     cost: &mut [S],
     active: &[bool],
-    opts: &SimplexOptions,
+    rule: PivotRule,
     budget: &mut usize,
+    stats: &mut PricingStats,
 ) -> Result<usize, SolveError> {
-    let use_bland = S::EXACT || opts.force_bland;
     let mut iters = 0usize;
-    // For f64, switch to Bland after a stall threshold to escape cycling.
-    let dantzig_cap = if use_bland {
-        0
-    } else {
-        budget.saturating_div(2)
+    let greedy_cap = match rule {
+        PivotRule::Bland => 0,
+        _ => budget.saturating_div(2),
     };
+    let mut devex = matches!(rule, PivotRule::Devex).then(|| Devex::new(t.ncols));
     loop {
-        let entering = if use_bland || iters >= dantzig_cap {
+        let tp = Instant::now();
+        let (entering, scanned) = if matches!(rule, PivotRule::Bland) || iters >= greedy_cap {
             t.entering_bland(cost, active)
+        } else if let Some(dv) = &devex {
+            t.entering_devex(cost, active, dv)
         } else {
             t.entering_dantzig(cost, active)
         };
+        stats.priced_columns += scanned;
+        stats.pricing_ms += tp.elapsed().as_secs_f64() * 1e3;
         let Some(col) = entering else {
             return Ok(iters);
         };
@@ -214,6 +275,18 @@ fn optimize<S: Scalar>(
                 t.at_upper[col] = !t.at_upper[col];
             }
             Leaving::Row { row, to_upper } => {
+                if let Some(dv) = devex.as_mut() {
+                    // Weight update wants the pre-elimination pivot row.
+                    let tp = Instant::now();
+                    let leave = t.basis[row];
+                    let alphas = t.a[row]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != col && j != leave && active[j])
+                        .map(|(j, a)| (j, a.to_f64()));
+                    dv.pivot_update(col, leave, t.a[row][col].to_f64(), alphas);
+                    stats.pricing_ms += tp.elapsed().as_secs_f64() * 1e3;
+                }
                 shift_basics(&mut t.x, &d, &step, sigma_pos, Some(row));
                 t.at_upper[t.basis[row]] = to_upper;
                 t.x[row] = entering_value(t.upper[col].as_ref(), &step, sigma_pos);
@@ -266,6 +339,8 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
         let mut budget = opts.budget(m, ncols);
         let mut total_iters = 0usize;
         let mut phase1_iters = 0usize;
+        let rule = opts.pricing.resolve::<S>(opts.force_bland);
+        let mut stats = PricingStats::default();
 
         // Phase 1: drive artificials to zero (maximize -sum of artificials).
         if sf.num_artificials() > 0 {
@@ -278,7 +353,7 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
             let mut cost = costs_full.clone();
             price_out(&t, &mut cost, &costs_full);
             let active = vec![true; ncols];
-            let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
+            let it = optimize(&mut t, &mut cost, &active, rule, &mut budget, &mut stats)?;
             phase1_iters = it;
             total_iters += it;
             budget = budget.saturating_sub(it);
@@ -352,7 +427,7 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
         for a in active.iter_mut().take(ncols).skip(art_start) {
             *a = false; // artificials may never re-enter
         }
-        let it = optimize(&mut t, &mut cost, &active, opts, &mut budget)?;
+        let it = optimize(&mut t, &mut cost, &active, rule, &mut budget, &mut stats)?;
         total_iters += it;
 
         // Extract the structural solution: at-upper nonbasics sit at their
@@ -384,18 +459,14 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
             })
             .collect();
 
-        let pivot_rule = if S::EXACT || opts.force_bland {
-            PivotRule::Bland
-        } else {
-            PivotRule::Dantzig
-        };
         Ok(KernelOutput {
             values,
             reduced_witness,
             bound_mults,
             iterations: total_iters,
             phase1_iterations: phase1_iters,
-            pivot_rule,
+            pivot_rule: rule,
+            pricing: stats,
             basis: t.basis,
             at_upper: t.at_upper,
         })

@@ -1,6 +1,7 @@
 //! Solve results and errors.
 
 use crate::kernel::Kernel;
+use crate::pricing::PricingStats;
 use crate::problem::Var;
 use crate::scalar::Scalar;
 use std::fmt;
@@ -33,17 +34,22 @@ pub type Status = SolveError;
 
 /// Which entering-variable rule the kernel ran with.
 ///
-/// Selection is driven by [`Scalar::EXACT`]: exact scalars take Bland's
-/// rule (anti-cycling, guaranteed termination on the degenerate
-/// steady-state LPs), `f64` takes Dantzig pricing (with a Bland fallback
-/// after a stall threshold). Recorded on the solution so the guarantee is
-/// testable and cannot silently regress.
+/// Selection is driven by [`Pricing`](crate::Pricing) (resolved per
+/// [`Scalar::EXACT`]): under the default `Pricing::Auto`, exact scalars
+/// take Bland's rule (anti-cycling, guaranteed termination on the
+/// degenerate steady-state LPs) and `f64` takes devex reference pricing.
+/// Every non-Bland rule keeps a Bland fallback after a stall threshold.
+/// Recorded on the solution so the guarantee is testable and cannot
+/// silently regress.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PivotRule {
     /// Smallest-index positive reduced cost; anti-cycling.
     Bland,
     /// Most-positive reduced cost; fast in practice, may cycle.
     Dantzig,
+    /// Devex reference pricing (approximate steepest edge, see
+    /// [`crate::pricing`]); the `f64` default.
+    Devex,
 }
 
 /// An optimal solution to a [`Problem`](crate::Problem).
@@ -55,6 +61,7 @@ pub struct Solution<S> {
     phase1_iterations: usize,
     pivot_rule: PivotRule,
     kernel: Kernel,
+    pricing: PricingStats,
     row_duals: Vec<S>,
     bound_duals: Vec<Option<S>>,
 }
@@ -68,6 +75,7 @@ impl<S: Scalar> Solution<S> {
         phase1_iterations: usize,
         pivot_rule: PivotRule,
         kernel: Kernel,
+        pricing: PricingStats,
         row_duals: Vec<S>,
         bound_duals: Vec<Option<S>>,
     ) -> Self {
@@ -78,6 +86,7 @@ impl<S: Scalar> Solution<S> {
             phase1_iterations,
             pivot_rule,
             kernel,
+            pricing,
             row_duals,
             bound_duals,
         }
@@ -154,5 +163,23 @@ impl<S: Scalar> Solution<S> {
     #[inline]
     pub fn kernel(&self) -> Kernel {
         self.kernel
+    }
+
+    /// Pricing work the kernel reported (see [`PricingStats`]).
+    #[inline]
+    pub fn pricing(&self) -> &PricingStats {
+        &self.pricing
+    }
+
+    /// Columns priced across all iterations and phases.
+    #[inline]
+    pub fn priced_columns(&self) -> usize {
+        self.pricing.priced_columns
+    }
+
+    /// Wall-clock spent in entering-column selection, in milliseconds.
+    #[inline]
+    pub fn pricing_ms(&self) -> f64 {
+        self.pricing.pricing_ms
     }
 }

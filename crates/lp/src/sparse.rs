@@ -46,9 +46,12 @@
 //! that dominate a cold solve. See [`crate::warm`] for the full
 //! five-state machine.
 //!
-//! Pivoting rules mirror the dense kernel: Bland for exact scalars (the
-//! anti-cycling guarantee matters — steady-state LPs are heavily
-//! degenerate), Dantzig with a Bland stall-fallback for `f64`. Zero-level
+//! Pivoting rules mirror the dense kernel (see [`crate::pricing`]): Bland
+//! for exact scalars (the anti-cycling guarantee matters — steady-state
+//! LPs are heavily degenerate), devex reference pricing with a Bland
+//! stall-fallback for `f64` (the devex weight update costs one extra
+//! BTRAN + one nonzero sweep per pivot — repaid by the shorter path the
+//! steepest-edge approximation walks). Zero-level
 //! artificials that linger in the basis after phase 1 are never pivoted
 //! out eagerly; instead every artificial is **pinned to `u = 0`** once
 //! phase 1 ends, so the bounded ratio test blocks any step that would
@@ -61,11 +64,13 @@ use crate::bounded::{
     choose_leaving, choose_leaving_repair, entering_value, improves, shift_basics, Leaving,
 };
 use crate::kernel::{Kernel, LpKernel};
+use crate::pricing::{Devex, PricingStats};
 use crate::scalar::Scalar;
 use crate::simplex::SimplexOptions;
 use crate::solution::{PivotRule, SolveError};
 use crate::standard::{KernelOutput, StandardForm};
 use crate::warm::{WarmKernelSolve, WarmOutcome, WarmStart};
+use std::time::Instant;
 
 /// Rebuild the basis factorization after this many fresh etas.
 const REINVERT_INTERVAL: usize = 64;
@@ -114,6 +119,13 @@ impl<S: Scalar> Factors<S> {
             }
             v[e.row] = t;
         }
+    }
+
+    /// Etas appended since the last reinversion — resets to zero at each
+    /// reinversion point, which callers maintaining incrementally-updated
+    /// vectors (the dual loop's prices) use as their refresh signal.
+    pub(crate) fn fresh(&self) -> usize {
+        self.fresh
     }
 
     /// `v := B⁻ᵀ v` (backward transformation).
@@ -262,17 +274,19 @@ impl<S: Scalar> SparseState<S> {
             }
         }
         // Pass 2: eliminate the general columns; a column with no usable
-        // pivot is dependent on the ones before it — drop it.
+        // pivot — none at all, or only a numerically negligible one that
+        // would poison the eta file (see `Scalar::is_negligible_pivot`) —
+        // is dependent on the ones before it: drop it.
         for j in deferred {
             let mut v = scatter(sf, j);
             factors.ftran(&mut v);
             match pick_pivot(&v, &row_taken) {
-                Some(r) => {
+                Some(r) if !v[r].is_negligible_pivot() => {
                     factors.push(r, &v);
                     basis[r] = j;
                     row_taken[r] = true;
                 }
-                None => dropped_any = true,
+                _ => dropped_any = true,
             }
         }
         // Pass 3: complete unclaimed rows with their slack/artificial
@@ -363,6 +377,9 @@ pub(crate) struct Engine<'a, S> {
     /// during dual/composite repair, where genuinely out-of-box basics are
     /// the state being repaired and must survive a mid-repair reinversion.
     pub(crate) clamp_on_refresh: bool,
+    /// Pricing work accumulated across every pass this engine runs
+    /// (phase 1, repairs, phase 2); lands on the [`KernelOutput`].
+    pub(crate) stats: PricingStats,
 }
 
 /// Scatter column `j` of the constraint matrix into a dense workvec.
@@ -402,6 +419,7 @@ impl<'a, S: Scalar> Engine<'a, S> {
             sf,
             st: SparseState::cold(sf),
             clamp_on_refresh: true,
+            stats: PricingStats::default(),
         }
     }
 
@@ -425,24 +443,32 @@ impl<'a, S: Scalar> Engine<'a, S> {
     }
 
     /// Bland: smallest-index nonbasic active column that improves
-    /// (sign-aware via [`improves`]).
-    fn entering_bland(&self, cost: &[S], active: &[bool], y: &[S]) -> Option<usize> {
-        (0..self.sf.ncols).find(|&j| {
-            active[j] && !self.st.in_basis[j] && {
-                let z = self.reduced_cost(j, cost, y);
-                improves(self.st.at_upper[j], &z)
+    /// (sign-aware via [`improves`]). Also returns columns priced.
+    fn entering_bland(&self, cost: &[S], active: &[bool], y: &[S]) -> (Option<usize>, usize) {
+        let mut scanned = 0usize;
+        for (j, act) in active.iter().enumerate().take(self.sf.ncols) {
+            if !act || self.st.in_basis[j] {
+                continue;
             }
-        })
+            scanned += 1;
+            let z = self.reduced_cost(j, cost, y);
+            if improves(self.st.at_upper[j], &z) {
+                return (Some(j), scanned);
+            }
+        }
+        (None, scanned)
     }
 
     /// Dantzig: largest improvement rate `|z_j|` among nonbasic active
     /// columns that improve.
-    fn entering_dantzig(&self, cost: &[S], active: &[bool], y: &[S]) -> Option<usize> {
+    fn entering_dantzig(&self, cost: &[S], active: &[bool], y: &[S]) -> (Option<usize>, usize) {
         let mut best: Option<(usize, S)> = None;
+        let mut scanned = 0usize;
         for (j, act) in active.iter().enumerate() {
             if !act || self.st.in_basis[j] {
                 continue;
             }
+            scanned += 1;
             let z = self.reduced_cost(j, cost, y);
             if !improves(self.st.at_upper[j], &z) {
                 continue;
@@ -454,7 +480,74 @@ impl<'a, S: Scalar> Engine<'a, S> {
                 _ => {}
             }
         }
-        best.map(|(j, _)| j)
+        (best.map(|(j, _)| j), scanned)
+    }
+
+    /// Devex reference pricing: largest `z_j²/w_j` among improving
+    /// nonbasic active columns (see [`crate::pricing`]); ties break to
+    /// the smaller index.
+    fn entering_devex(
+        &self,
+        cost: &[S],
+        active: &[bool],
+        y: &[S],
+        devex: &Devex,
+    ) -> (Option<usize>, usize) {
+        let mut best: Option<(usize, f64)> = None;
+        let mut scanned = 0usize;
+        for (j, act) in active.iter().enumerate() {
+            if !act || self.st.in_basis[j] {
+                continue;
+            }
+            scanned += 1;
+            let z = self.reduced_cost(j, cost, y);
+            if !improves(self.st.at_upper[j], &z) {
+                continue;
+            }
+            let score = devex.score(j, z.to_f64());
+            match &best {
+                None => best = Some((j, score)),
+                Some((_, bs)) if score > *bs => best = Some((j, score)),
+                _ => {}
+            }
+        }
+        (best.map(|(j, _)| j), scanned)
+    }
+
+    /// Devex weight maintenance for a pivot of `q` onto `row`: computes
+    /// the pivot row `α = ρA` (one BTRAN of `e_row` + a pass over the
+    /// nonbasic nonzeros) and folds it into the reference weights. Must
+    /// run *before* [`Engine::pivot`] appends the new eta. The `α` values
+    /// feed a ranking heuristic only, so they are computed in `f64` for
+    /// every scalar backend.
+    fn devex_update(&mut self, devex: &mut Devex, row: usize, q: usize, d: &[S], active: &[bool]) {
+        let tp = Instant::now();
+        let mut rho = vec![S::zero(); self.sf.m];
+        rho[row] = S::one();
+        self.st.factors.btran(&mut rho);
+        let rho_f: Vec<f64> = rho.iter().map(|r| r.to_f64()).collect();
+        let leave = self.st.basis[row];
+        let sf = self.sf;
+        let st = &self.st;
+        let alphas = (0..sf.ncols).filter_map(|j| {
+            if j == q || j == leave || !active[j] || st.in_basis[j] {
+                return None;
+            }
+            let (rows, vals) = sf.column(j);
+            let mut a = 0.0f64;
+            for (i, v) in rows.iter().zip(vals) {
+                if rho_f[*i] != 0.0 {
+                    a += rho_f[*i] * v.to_f64();
+                }
+            }
+            if a == 0.0 {
+                None
+            } else {
+                Some((j, a))
+            }
+        });
+        devex.pivot_update(q, leave, d[row].to_f64(), alphas);
+        self.stats.pricing_ms += tp.elapsed().as_secs_f64() * 1e3;
     }
 
     /// Replace `basis[row]` by column `q` entering with step `t` in
@@ -487,7 +580,7 @@ impl<'a, S: Scalar> Engine<'a, S> {
     /// elimination over the basic columns (unit columns first — slacks and
     /// artificials still basic contribute no eta at all), then refresh the
     /// basic values as `B⁻¹ (b − Σ_{j at upper} u_j a_j)`.
-    fn reinvert(&mut self) {
+    pub(crate) fn reinvert(&mut self) {
         let m = self.sf.m;
         let mut fresh = Factors::identity();
         let mut new_basis = vec![usize::MAX; m];
@@ -612,11 +705,15 @@ impl<'a, S: Scalar> Engine<'a, S> {
             // Composite prices; reduced cost of a zero-cost column under
             // them is exactly −y·a_j.
             self.st.factors.btran(&mut sigma);
-            let q = if use_bland || iters >= dantzig_cap {
-                self.entering_bland(&zero_cost, &active, &sigma)?
+            let tp = Instant::now();
+            let (pick, scanned) = if use_bland || iters >= dantzig_cap {
+                self.entering_bland(&zero_cost, &active, &sigma)
             } else {
-                self.entering_dantzig(&zero_cost, &active, &sigma)?
+                self.entering_dantzig(&zero_cost, &active, &sigma)
             };
+            self.stats.priced_columns += scanned;
+            self.stats.pricing_ms += tp.elapsed().as_secs_f64() * 1e3;
+            let q = pick?;
             let sigma_pos = !self.st.at_upper[q];
             let mut d = scatter(self.sf, q);
             self.st.factors.ftran(&mut d);
@@ -642,6 +739,10 @@ impl<'a, S: Scalar> Engine<'a, S> {
     }
 
     /// Run pivots until optimality/unboundedness/limit for the given cost.
+    /// The entering rule comes from `opts.pricing` (resolved per scalar);
+    /// every non-Bland rule degrades to Bland past half the budget, the
+    /// anti-cycling stall fallback. The devex reference framework is
+    /// per-phase: fresh weights on every call.
     fn optimize(
         &mut self,
         cost: &[S],
@@ -649,20 +750,25 @@ impl<'a, S: Scalar> Engine<'a, S> {
         opts: &SimplexOptions,
         budget: &mut usize,
     ) -> Result<usize, SolveError> {
-        let use_bland = S::EXACT || opts.force_bland;
+        let rule = opts.pricing.resolve::<S>(opts.force_bland);
         let mut iters = 0usize;
-        let dantzig_cap = if use_bland {
-            0
-        } else {
-            budget.saturating_div(2)
+        let greedy_cap = match rule {
+            PivotRule::Bland => 0,
+            _ => budget.saturating_div(2),
         };
+        let mut devex = matches!(rule, PivotRule::Devex).then(|| Devex::new(self.sf.ncols));
         loop {
+            let tp = Instant::now();
             let y = self.prices(cost);
-            let entering = if use_bland || iters >= dantzig_cap {
+            let (entering, scanned) = if matches!(rule, PivotRule::Bland) || iters >= greedy_cap {
                 self.entering_bland(cost, active, &y)
+            } else if let Some(dv) = &devex {
+                self.entering_devex(cost, active, &y, dv)
             } else {
                 self.entering_dantzig(cost, active, &y)
             };
+            self.stats.priced_columns += scanned;
+            self.stats.pricing_ms += tp.elapsed().as_secs_f64() * 1e3;
             let Some(q) = entering else {
                 return Ok(iters);
             };
@@ -680,6 +786,11 @@ impl<'a, S: Scalar> Engine<'a, S> {
                     self.st.at_upper[q] = !self.st.at_upper[q];
                 }
                 Leaving::Row { row, to_upper } => {
+                    if let Some(dv) = devex.as_mut() {
+                        // Reference weights want the pivot row of the
+                        // *pre-pivot* basis.
+                        self.devex_update(dv, row, q, &d, active);
+                    }
                     self.pivot(row, q, &d, &step, sigma_pos, to_upper);
                 }
             }
@@ -735,18 +846,14 @@ impl<'a, S: Scalar> Engine<'a, S> {
             })
             .collect();
 
-        let pivot_rule = if S::EXACT || opts.force_bland {
-            PivotRule::Bland
-        } else {
-            PivotRule::Dantzig
-        };
         Ok(KernelOutput {
             values,
             reduced_witness,
             bound_mults,
             iterations: total_iters,
             phase1_iterations: phase1_iters,
-            pivot_rule,
+            pivot_rule: opts.pricing.resolve::<S>(opts.force_bland),
+            pricing: self.stats,
             basis: self.st.basis.clone(),
             at_upper: self.st.at_upper.clone(),
         })
@@ -867,6 +974,7 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
             sf,
             st,
             clamp_on_refresh: true,
+            stats: PricingStats::default(),
         };
         let mut repair_iters = 0usize;
         let mut outcome = if patched {
@@ -882,7 +990,47 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
             // their boxes converge, while the mild-drift common case
             // exits after a handful of pivots regardless.
             let saved = eng.st.clone();
-            match eng.dual_repair(2 * sf.m + 64) {
+            // Candidate-list partial pricing restricts the dual ratio
+            // test to columns supported on violated rows (plus recent
+            // leavers). On mild drift the entering column is almost
+            // always in that set and each pivot prices a few hundred
+            // columns instead of all of them — but ρ = B⁻ᵀe_r spreads
+            // beyond the violated row's own support, so on hard drift
+            // the restricted test mis-sizes dual steps, spawns new
+            // violations, and wanders. The partial attempt therefore
+            // gets a *short* budget; if it does not converge quickly,
+            // the basis is restored and the full-pricing dual repair
+            // runs with its original budget — partial pricing can make
+            // the common case cheaper, never the hard case worse.
+            let partial = matches!(
+                opts.pricing.resolve::<S>(opts.force_bland),
+                PivotRule::Devex
+            );
+            // The partial attempt fails *cheap*: its restricted scans
+            // price a few thousand columns per pivot, so half the full
+            // budget bounds a wasted attempt at a fraction of a full
+            // sweep's cost — and when the candidate list wanders (its
+            // restricted entering choices can walk the basis somewhere
+            // the repair then spends hundreds of pivots escaping), the
+            // full-pricing rerun from the untouched snapshot routinely
+            // finishes in a tenth of the pivots the wandering attempt
+            // burned. Endgame/explosion guards inside `dual_loop` hand
+            // single bad stretches over to full pricing in place; the
+            // short budget is the backstop for attempts that are bad
+            // throughout.
+            let mut dual = if partial {
+                let out = eng.dual_repair(sf.m / 2 + 32, true);
+                if out.is_none() {
+                    eng.st = saved.clone();
+                }
+                out
+            } else {
+                None
+            };
+            if dual.is_none() {
+                dual = eng.dual_repair(sf.m + 64, false);
+            }
+            match dual {
                 Some(it) => {
                     repair_iters = it;
                     outcome = WarmOutcome::DualRepaired;
@@ -897,7 +1045,7 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
                     // repair that runs long still beats re-earning the
                     // whole basis from a cold identity start, so the
                     // last-resort budget is a full m.
-                    match eng.composite_repair(sf.m + 64) {
+                    match eng.composite_repair(2 * sf.m + 64) {
                         Some(it) => {
                             repair_iters = it;
                             outcome = WarmOutcome::Repaired;

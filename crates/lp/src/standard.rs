@@ -32,6 +32,7 @@
 //!   bound (the pre-bounded behaviour), kept alive as an agreement oracle
 //!   for tests and cross-checks.
 
+use crate::pricing::PricingStats;
 use crate::problem::{Cmp, Problem, Sense};
 use crate::scalar::Scalar;
 use crate::solution::{PivotRule, Solution};
@@ -147,6 +148,9 @@ pub struct KernelOutput<S> {
     pub phase1_iterations: usize,
     /// Entering-variable rule the kernel ran with.
     pub pivot_rule: PivotRule,
+    /// Pricing work done: columns priced, wall-clock spent selecting
+    /// entering columns, dual full-sweep fallbacks.
+    pub pricing: PricingStats,
     /// Final basic columns (a set; may be shorter than `m` when the kernel
     /// dropped redundant rows). Feeds
     /// [`WarmStart::from_output`](crate::WarmStart::from_output).
@@ -364,6 +368,7 @@ pub fn assemble<S: Scalar>(
         out.phase1_iterations,
         out.pivot_rule,
         kernel,
+        out.pricing,
         row_duals,
         bound_duals,
     )

@@ -38,6 +38,14 @@
 //! dual feasible, restoring the last violated row lands directly on the
 //! new optimum — where the composite primal repair still owes a full
 //! phase-2 tail from whatever feasible vertex it reached.
+//!
+//! Fewer pivots must also mean less *time*: the `warm-scale` benchmark
+//! gates warm re-solves on **wall-clock**, not just pivot counts —
+//! per-pivot cost on the warm path (dual BTRAN per violated row, devex
+//! bookkeeping) is higher than on a cold Dantzig sweep, so the repair
+//! paths lean on candidate-list partial pricing (see [`crate::pricing`])
+//! to keep each dual pivot's pricing bill proportional to the drift, not
+//! to the column count.
 
 use crate::kernel::Kernel;
 use crate::scalar::Scalar;

@@ -1,0 +1,191 @@
+//! Pricing-rule agreement tests: devex, Dantzig, and Bland are different
+//! *orderings* over the same simplex — on any LP, under either kernel and
+//! either scalar backend, they must land on the same optimum. Exact
+//! solves must be identical rationals with verifying duality
+//! certificates; `f64` solves must agree within tolerance. Explicit
+//! Dantzig/devex on the exact backend lean on the Bland stall-fallback
+//! (past half the pivot budget) for termination, so the proptests cover
+//! that path too.
+
+use proptest::prelude::*;
+use ss_lp::{Cmp, KernelChoice, PivotRule, Pricing, Problem, Sense, SimplexOptions, Solution};
+use ss_num::Ratio;
+
+fn ri(n: i64) -> Ratio {
+    Ratio::from_int(n)
+}
+
+fn opts(pricing: Pricing, kernel: KernelChoice) -> SimplexOptions {
+    SimplexOptions {
+        pricing,
+        kernel,
+        ..SimplexOptions::default()
+    }
+}
+
+const RULES: [Pricing; 3] = [Pricing::Bland, Pricing::Dantzig, Pricing::Devex];
+const KERNELS: [KernelChoice; 2] = [KernelChoice::Dense, KernelChoice::Sparse];
+
+/// Every rule × kernel lands on the reference exact optimum, records the
+/// requested rule, and produces a verifying certificate.
+fn assert_rules_agree_exact(p: &Problem, reference: &Solution<Ratio>) {
+    for kernel in KERNELS {
+        for pricing in RULES {
+            let s = p.solve_with::<Ratio>(&opts(pricing, kernel)).unwrap();
+            assert_eq!(
+                s.objective(),
+                reference.objective(),
+                "{pricing:?} on {kernel:?} (Ratio) moved the optimum"
+            );
+            assert_eq!(s.pivot_rule(), pricing.resolve::<Ratio>(false));
+            p.check_feasible(s.values()).unwrap();
+            p.verify_optimality(&s).unwrap();
+        }
+    }
+}
+
+fn assert_rules_agree_f64(p: &Problem, reference_obj: f64) {
+    for kernel in KERNELS {
+        for pricing in RULES {
+            let s = p.solve_with::<f64>(&opts(pricing, kernel)).unwrap();
+            assert!(
+                (s.objective() - reference_obj).abs() <= 1e-6 * (1.0 + reference_obj.abs()),
+                "{pricing:?} on {kernel:?} (f64): {} vs reference {reference_obj}",
+                s.objective()
+            );
+            assert_eq!(s.pivot_rule(), pricing.resolve::<f64>(false));
+        }
+    }
+}
+
+fn random_lp(nv: usize, nc: usize, coeffs: &[i64], rhss: &[i64], objs: &[i64]) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..nv)
+        .map(|i| p.add_var_bounded(format!("x{i}"), ri(10)))
+        .collect();
+    for (i, &o) in objs.iter().enumerate().take(nv) {
+        p.set_objective_coeff(vars[i], ri(o));
+    }
+    for ci in 0..nc {
+        let terms: Vec<_> = (0..nv)
+            .map(|vi| (vars[vi], ri(coeffs[ci * nv + vi])))
+            .filter(|(_, c)| !c.is_zero())
+            .collect();
+        p.add_constraint(format!("c{ci}"), terms, Cmp::Le, ri(rhss[ci]));
+    }
+    p
+}
+
+#[test]
+fn textbook_instance_agrees_under_every_rule() {
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => 36.
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var("x");
+    let y = p.add_var("y");
+    p.set_objective_coeff(x, ri(3));
+    p.set_objective_coeff(y, ri(5));
+    p.add_constraint("c1", [(x, ri(1))], Cmp::Le, ri(4));
+    p.add_constraint("c2", [(y, ri(2))], Cmp::Le, ri(12));
+    p.add_constraint("c3", [(x, ri(3)), (y, ri(2))], Cmp::Le, ri(18));
+    let reference = p.solve_exact().unwrap();
+    assert_eq!(reference.objective(), &ri(36));
+    assert_rules_agree_exact(&p, &reference);
+    assert_rules_agree_f64(&p, 36.0);
+}
+
+#[test]
+fn devex_reports_pricing_work() {
+    // The telemetry satellite: a devex solve must count priced columns,
+    // and the counters must survive assembly into the Solution.
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..12)
+        .map(|i| p.add_var_bounded(format!("x{i}"), ri(2)))
+        .collect();
+    for (i, &v) in vars.iter().enumerate() {
+        p.set_objective_coeff(v, ri(1 + (i % 5) as i64));
+    }
+    for i in 0..vars.len() - 1 {
+        p.add_constraint(
+            format!("c{i}"),
+            [(vars[i], ri(1)), (vars[i + 1], ri(1))],
+            Cmp::Le,
+            ri(3),
+        );
+    }
+    for kernel in KERNELS {
+        let s = p.solve_with::<f64>(&opts(Pricing::Devex, kernel)).unwrap();
+        assert_eq!(s.pivot_rule(), PivotRule::Devex);
+        assert!(
+            s.priced_columns() > 0,
+            "{kernel:?}: devex solve priced nothing"
+        );
+        assert!(s.pricing_ms() >= 0.0);
+    }
+}
+
+#[test]
+fn force_bland_beats_any_explicit_rule() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var("x");
+    p.set_objective_coeff(x, ri(1));
+    p.add_constraint("c", [(x, ri(1))], Cmp::Le, ri(5));
+    for pricing in RULES {
+        let o = SimplexOptions {
+            force_bland: true,
+            ..opts(pricing, KernelChoice::Sparse)
+        };
+        let s = p.solve_with::<f64>(&o).unwrap();
+        assert_eq!(s.pivot_rule(), PivotRule::Bland);
+        assert_eq!(s.objective(), &5.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact arithmetic: Bland, Dantzig, and devex walk different pivot
+    /// sequences but the optimum is a property of the LP — identical
+    /// rationals, verifying certificates, on both kernels.
+    #[test]
+    fn rules_identical_on_ratio(
+        nv in 1usize..5,
+        nc in 1usize..5,
+        seed in prop::collection::vec(0i64..6, 60),
+        rhs in prop::collection::vec(1i64..20, 8),
+        obj in prop::collection::vec(0i64..5, 8),
+    ) {
+        let p = random_lp(nv, nc, &seed, &rhs, &obj);
+        let reference = p.solve_exact().unwrap();
+        for kernel in KERNELS {
+            for pricing in RULES {
+                let s = p.solve_with::<Ratio>(&opts(pricing, kernel)).unwrap();
+                prop_assert_eq!(s.objective(), reference.objective());
+                p.check_feasible(s.values()).unwrap();
+                p.verify_optimality(&s).unwrap();
+            }
+        }
+    }
+
+    /// f64: all three rules within tolerance of the exact optimum, on
+    /// both kernels.
+    #[test]
+    fn rules_agree_on_f64(
+        nv in 1usize..6,
+        nc in 1usize..6,
+        seed in prop::collection::vec(0i64..6, 60),
+        rhs in prop::collection::vec(1i64..20, 8),
+        obj in prop::collection::vec(0i64..5, 8),
+    ) {
+        let p = random_lp(nv, nc, &seed, &rhs, &obj);
+        let exact = p.solve_exact().unwrap().objective().to_f64();
+        for kernel in KERNELS {
+            for pricing in RULES {
+                let s = p.solve_with::<f64>(&opts(pricing, kernel)).unwrap();
+                prop_assert!(
+                    (s.objective() - exact).abs() <= 1e-6 * (1.0 + exact.abs()),
+                    "{:?} on {:?}: {} vs exact {}", pricing, kernel, s.objective(), exact
+                );
+            }
+        }
+    }
+}

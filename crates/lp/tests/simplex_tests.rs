@@ -212,13 +212,14 @@ fn redundant_equality_rows_dropped() {
     assert_eq!(s.objective(), &ri(2));
 }
 
-/// The anti-cycling contract: `Scalar::EXACT` drives pivot selection —
-/// exact scalars must run Bland's rule (termination guarantee on the
-/// degenerate steady-state LPs), `f64` must run Dantzig pricing, and
-/// `force_bland` overrides. Asserted here so the guarantee cannot silently
-/// regress behind a refactor of the kernel.
+/// The anti-cycling contract: under `Pricing::Auto`, `Scalar::EXACT`
+/// drives pivot selection — exact scalars must run Bland's rule
+/// (termination guarantee on the degenerate steady-state LPs), `f64` must
+/// run devex reference pricing, and `force_bland` overrides. Asserted here
+/// so the guarantee cannot silently regress behind a refactor of the
+/// kernel.
 #[test]
-fn exact_scalar_selects_bland_f64_selects_dantzig() {
+fn exact_scalar_selects_bland_f64_selects_devex() {
     let build = || {
         let mut p = Problem::new(Sense::Maximize);
         let x = p.add_var("x");
@@ -236,9 +237,9 @@ fn exact_scalar_selects_bland_f64_selects_dantzig() {
     assert_eq!(exact.pivot_rule(), PivotRule::Bland);
 
     let fast = p.solve_f64().unwrap();
-    assert_eq!(fast.pivot_rule(), PivotRule::Dantzig);
+    assert_eq!(fast.pivot_rule(), PivotRule::Devex);
 
-    // force_bland overrides Dantzig for f64 — and both rules agree on the
+    // force_bland overrides devex for f64 — and both rules agree on the
     // optimum.
     let opts = SimplexOptions {
         force_bland: true,

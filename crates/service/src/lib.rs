@@ -105,6 +105,11 @@ pub struct Replan {
     pub iterations: usize,
     /// Wall-clock of the re-plan in milliseconds.
     pub solve_ms: f64,
+    /// Columns priced by the entering rule across the re-plan (primal
+    /// scans plus dual-repair candidate scans).
+    pub priced_columns: usize,
+    /// Wall-clock spent inside pricing, in milliseconds.
+    pub pricing_ms: f64,
 }
 
 /// A cheap rate query: the tenant's current plan, no solve performed.
@@ -266,6 +271,8 @@ fn replan(tenant: &str, t: &mut Tenant) -> Result<Replan, ServiceError> {
                 outcome: s.telemetry.outcome,
                 iterations: s.telemetry.iterations,
                 solve_ms: s.telemetry.solve_ms,
+                priced_columns: s.telemetry.priced_columns,
+                pricing_ms: s.telemetry.pricing_ms,
             })
         }
     }

@@ -134,7 +134,8 @@ pub fn realized_throughput(
 }
 
 /// Per-phase throughput of the three policies, with the LP telemetry of
-/// the two re-solving ones.
+/// the two re-solving ones (warm/cold path, pivot counts, and the pricing
+/// work — `priced_columns`/`pricing_ms` — of each re-solve).
 #[derive(Clone, Debug)]
 pub struct PhaseReport {
     /// Tasks per time unit the static plan achieves this phase.
