@@ -15,6 +15,11 @@
 //! `--pricing=auto|bland|dantzig|devex` pins the entering rule for every
 //! solve (default `auto`: Bland on exact scalars for the termination
 //! guarantee, devex reference pricing on `f64`).
+//!
+//! `--factor=auto|eta|lu` pins the basis-factorization backend of the
+//! sparse kernel for every solve (default `auto`: sparse LU with
+//! Markowitz ordering and Forrest–Tomlin updates; `eta` pins the
+//! product-form eta file kept as the agreement oracle).
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +60,23 @@ fn main() {
         None => true,
     });
 
+    args.retain(|a| match a.strip_prefix("--factor=") {
+        Some(f) => {
+            let factor = match f {
+                "auto" => ss_lp::FactorChoice::Auto,
+                "eta" => ss_lp::FactorChoice::Eta,
+                "lu" => ss_lp::FactorChoice::Lu,
+                other => {
+                    eprintln!("unknown factorization `{other}`; use auto|eta|lu");
+                    std::process::exit(2);
+                }
+            };
+            ss_lp::set_default_factor(factor);
+            false
+        }
+        None => true,
+    });
+
     if args.is_empty()
         || args
             .iter()
@@ -62,7 +84,7 @@ fn main() {
     {
         println!(
             "usage: repro [--kernel=auto|dense|sparse] [--pricing=auto|bland|dantzig|devex] \
-             <experiment-id>... | all | list\n\n\
+             [--factor=auto|eta|lu] <experiment-id>... | all | list\n\n\
              available experiments:"
         );
         for (id, _) in &registry {

@@ -46,6 +46,12 @@ const DENSE_KERNEL_MAX_NODES: usize = 48;
 const BOUNDED_ROW_FACTOR_MIN_NODES: usize = 96;
 const BOUNDED_ROW_FACTOR: usize = 5;
 
+/// Platforms up to this node count also run the lowered-bound-rows oracle
+/// solve; beyond it the lowered form's 6x-plus row count makes the oracle
+/// the sweep bottleneck (its basis is the thing native bounds exist to
+/// avoid), so the large-p points pair it no further.
+const LOWERED_ORACLE_MAX_NODES: usize = 192;
+
 /// Objective agreement tolerance between backends and between kernels
 /// (absolute; the steady-state objectives are O(1)-scaled).
 pub const BACKEND_TOLERANCE: f64 = 1e-6;
@@ -60,8 +66,9 @@ struct SweepPoint {
     lowered_rows: usize,
     sparse_ms: f64,
     sparse_pivots: usize,
-    /// Sparse kernel re-run with bounds lowered to rows (PR 2's shape).
-    lowered_ms: f64,
+    /// Sparse kernel re-run with bounds lowered to rows (PR 2's shape);
+    /// paired up to [`LOWERED_ORACLE_MAX_NODES`].
+    lowered_ms: Option<f64>,
     dense_ms: Option<f64>,
     exact_ms: Option<f64>,
     abs_error: Option<f64>,
@@ -88,22 +95,26 @@ fn sweep_point(p: usize) -> SweepPoint {
     let sparse_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // The same sparse kernel on the lowered-rows oracle — PR 2's baseline
-    // shape, kept as the bounded path's speedup reference.
-    let lowered_opts = SimplexOptions {
-        kernel: KernelChoice::Sparse,
-        bound_mode: BoundMode::LoweredRows,
-        ..SimplexOptions::default()
-    };
-    let t0 = Instant::now();
-    let lowered = lp
-        .solve_with::<f64>(&lowered_opts)
-        .expect("lowered-rows sparse f64 solve");
-    let lowered_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let bound_err = (lowered.objective() - sparse.objective_f64()).abs();
-    assert!(
-        bound_err <= BACKEND_TOLERANCE * (1.0 + lowered.objective().abs()),
-        "p={p}: bound-mode disagreement |Δ| = {bound_err:.3e}"
-    );
+    // shape, kept as the bounded path's speedup reference up to
+    // `LOWERED_ORACLE_MAX_NODES`.
+    let lowered_ms = (p <= LOWERED_ORACLE_MAX_NODES).then(|| {
+        let lowered_opts = SimplexOptions {
+            kernel: KernelChoice::Sparse,
+            bound_mode: BoundMode::LoweredRows,
+            ..SimplexOptions::default()
+        };
+        let t0 = Instant::now();
+        let lowered = lp
+            .solve_with::<f64>(&lowered_opts)
+            .expect("lowered-rows sparse f64 solve");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let bound_err = (lowered.objective() - sparse.objective_f64()).abs();
+        assert!(
+            bound_err <= BACKEND_TOLERANCE * (1.0 + lowered.objective().abs()),
+            "p={p}: bound-mode disagreement |Δ| = {bound_err:.3e}"
+        );
+        ms
+    });
 
     let dense_ms = (p <= DENSE_KERNEL_MAX_NODES).then(|| {
         let t0 = Instant::now();
@@ -150,17 +161,18 @@ fn sweep_point(p: usize) -> SweepPoint {
 
 /// §3: LP solve time vs platform size (each instance built once, solves
 /// timed in isolation) — sparse f64 kernel with native bounds end to end
-/// (p = 192), the same kernel on lowered bound rows as the PR 2
-/// baseline, dense f64 kernel paired up to p = 48, exact cross-check up
-/// to p = 24 (exact timing includes certificate verification). Points
-/// run in parallel; results recorded to `BENCH_lp_sparse.json` and
-/// `BENCH_lp_bounded.json`.
+/// (p = 512, reachable since the sparse-LU basis keeps FTRAN/BTRAN at
+/// O(factor nnz)), the same kernel on lowered bound rows as the PR 2
+/// baseline up to p = 192, dense f64 kernel paired up to p = 48, exact
+/// cross-check up to p = 24 (exact timing includes certificate
+/// verification). Points run in parallel; results recorded to
+/// `BENCH_lp_sparse.json` and `BENCH_lp_bounded.json`.
 pub fn lp_scale() {
     banner(
         "lp-scale",
         "§3 — SSMS LP solve time vs platform size (bounded vs lowered, sparse vs dense, exact cross-check)",
     );
-    let ps = vec![4usize, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192];
+    let ps = vec![4usize, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 512];
     let points = par_map(ps, sweep_point);
 
     let rows: Vec<Vec<String>> = points
@@ -172,8 +184,9 @@ pub fn lp_scale() {
                 pt.vars.to_string(),
                 format!("{}/{}", pt.native_rows, pt.lowered_rows),
                 format!("{:.2}", pt.sparse_ms),
-                format!("{:.2}", pt.lowered_ms),
-                format!("{:.1}x", pt.lowered_ms / pt.sparse_ms),
+                pt.lowered_ms.map_or("-".into(), |ms| format!("{ms:.2}")),
+                pt.lowered_ms
+                    .map_or("-".into(), |ms| format!("{:.1}x", ms / pt.sparse_ms)),
                 pt.dense_ms.map_or("-".into(), |ms| format!("{ms:.2}")),
                 pt.exact_ms.map_or("-".into(), |ms| format!("{ms:.2}")),
                 pt.sparse_pivots.to_string(),
@@ -275,7 +288,7 @@ fn write_bounded_json(points: &[SweepPoint]) -> std::io::Result<String> {
             s,
             "    {{\"p\": {}, \"edges\": {}, \"vars\": {}, \"explicit_rows\": {}, \
              \"native_rows\": {}, \"lowered_rows\": {}, \"row_factor\": {:.2}, \
-             \"bounded_sparse_ms\": {:.3}, \"lowered_sparse_ms\": {:.3}, \"speedup\": {:.2}}}",
+             \"bounded_sparse_ms\": {:.3}, \"lowered_sparse_ms\": {}, \"speedup\": {}}}",
             pt.p,
             pt.edges,
             pt.vars,
@@ -284,8 +297,9 @@ fn write_bounded_json(points: &[SweepPoint]) -> std::io::Result<String> {
             pt.lowered_rows,
             pt.lowered_rows as f64 / pt.native_rows as f64,
             pt.sparse_ms,
-            pt.lowered_ms,
-            pt.lowered_ms / pt.sparse_ms,
+            pt.lowered_ms.map_or("null".into(), |ms| format!("{ms:.3}")),
+            pt.lowered_ms
+                .map_or("null".into(), |ms| format!("{:.2}", ms / pt.sparse_ms)),
         );
         s.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }

@@ -29,7 +29,7 @@ use ss_core::engine::{self, Formulation};
 use ss_core::master_slave::MasterSlave;
 use ss_core::session::SolveSession;
 use ss_core::WarmOutcome;
-use ss_lp::{KernelChoice, Pricing, SimplexOptions};
+use ss_lp::{Factor, FactorChoice, KernelChoice, Pricing, SimplexOptions};
 use ss_num::Ratio;
 use ss_platform::{topo, Platform};
 use ss_sim::dynamic::ParamScale;
@@ -71,6 +71,11 @@ struct PhasePoint {
     snapshot_ms: f64,
     priced_columns: usize,
     pricing_ms: f64,
+    factor_ms: f64,
+    update_ms: f64,
+    ftran_btran_ms: f64,
+    factor_nnz: usize,
+    fill_ratio: f64,
 }
 
 /// How many re-solves took each warm path (phase 0's hint-less cold solve
@@ -152,6 +157,11 @@ fn sweep_platform(p: usize) -> WarmSweep {
             snapshot_ms: warm.telemetry.snapshot_ms,
             priced_columns: warm.telemetry.priced_columns,
             pricing_ms: warm.telemetry.pricing_ms,
+            factor_ms: warm.telemetry.factor_ms,
+            update_ms: warm.telemetry.update_ms,
+            ftran_btran_ms: warm.telemetry.ftran_btran_ms,
+            factor_nnz: warm.telemetry.factor_nnz,
+            fill_ratio: warm.telemetry.fill_ratio,
         });
     }
 
@@ -197,17 +207,25 @@ fn sweep_platform(p: usize) -> WarmSweep {
     }
 }
 
-/// `warm-scale`: a drifting p = 96 / 192 platform re-solved across
-/// [`PHASES`] phases through a hot session vs from scratch; per-phase
-/// pivots, times, snapshot overhead and warm paths recorded to
-/// `BENCH_lp_warm.json`, with the in-sweep assertions that warm re-solves
-/// pivot strictly less on average and never fall back cold.
+/// `warm-scale`: a drifting p = 96 / 192 / 256 / 512 platform re-solved
+/// across [`PHASES`] phases through a hot session vs from scratch;
+/// per-phase pivots, times, snapshot overhead, factorization split and
+/// warm paths recorded to `BENCH_lp_warm.json`, with the in-sweep
+/// assertions that warm re-solves pivot strictly less on average, beat
+/// cold on wall-clock, and never fall back cold. The p ≥ 256 points are
+/// what the sparse-LU basis (see `ss_lp::factor`) unlocked: under the
+/// eta file their per-phase FTRAN/BTRAN cost grew with accumulated
+/// pivots and the sweep did not finish in CI budget.
 pub fn warm_scale() {
     banner(
         "warm-scale",
         "§5.5 — warm-started re-solve sessions vs cold per-phase solves (drifting SSMS)",
     );
-    let sweeps = par_map(vec![96usize, 192], sweep_platform);
+    println!(
+        "process-default factorization: {:?} (set with repro --factor=...)",
+        ss_lp::default_factor()
+    );
+    let sweeps = par_map(vec![96usize, 192, 256, 512], sweep_platform);
 
     for sw in &sweeps {
         println!("\np = {} ({} phases):", sw.p, sw.phases.len());
@@ -226,6 +244,10 @@ pub fn warm_scale() {
                     format!("{:.3}", q.snapshot_ms),
                     q.priced_columns.to_string(),
                     format!("{:.3}", q.pricing_ms),
+                    format!("{:.3}", q.factor_ms),
+                    format!("{:.3}", q.update_ms),
+                    format!("{:.3}", q.ftran_btran_ms),
+                    format!("{:.2}", q.fill_ratio),
                 ]
             })
             .collect();
@@ -240,6 +262,10 @@ pub fn warm_scale() {
                 "snapshot ms",
                 "priced cols",
                 "pricing ms",
+                "factor ms",
+                "update ms",
+                "ftran ms",
+                "fill",
             ],
             &rows,
         );
@@ -267,7 +293,10 @@ pub fn warm_scale() {
 }
 
 fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
-    let mut s = String::from("{\n  \"warm_scale\": [\n");
+    let mut s = format!(
+        "{{\n  \"factor\": \"{}\",\n  \"warm_scale\": [\n",
+        ss_lp::default_factor().resolve::<f64>()
+    );
     for (i, sw) in sweeps.iter().enumerate() {
         let _ = writeln!(
             s,
@@ -291,7 +320,10 @@ fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
                 "      {{\"phase\": {}, \"path\": \"{}\", \"warm_pivots\": {}, \
                  \"cold_pivots\": {}, \"warm_ms\": {:.3}, \"cold_ms\": {:.3}, \
                  \"build_ms\": {:.3}, \"snapshot_ms\": {:.3}, \
-                 \"priced_columns\": {}, \"pricing_ms\": {:.3}}}",
+                 \"priced_columns\": {}, \"pricing_ms\": {:.3}, \
+                 \"factor_ms\": {:.3}, \"update_ms\": {:.3}, \
+                 \"ftran_btran_ms\": {:.3}, \"factor_nnz\": {}, \
+                 \"fill_ratio\": {:.3}}}",
                 t,
                 q.outcome,
                 q.warm_pivots,
@@ -301,7 +333,12 @@ fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
                 q.build_ms,
                 q.snapshot_ms,
                 q.priced_columns,
-                q.pricing_ms
+                q.pricing_ms,
+                q.factor_ms,
+                q.update_ms,
+                q.ftran_btran_ms,
+                q.factor_nnz,
+                q.fill_ratio
             );
             s.push_str(if t + 1 < sw.phases.len() { ",\n" } else { "\n" });
         }
@@ -657,6 +694,146 @@ pub fn pricing_smoke() {
     println!(
         "bland/dantzig/devex agree on both backends, certificates verified (asserted; failures \
          panic CI)."
+    );
+}
+
+/// `factor-smoke`: the CI guard for the basis-factorization subsystem. A
+/// drifting SSMS platform is re-solved through a warm session under the
+/// **process-default** factorization backend — the CI step runs this
+/// twice, via `repro --factor=eta factor-smoke` and `--factor=lu` — and
+/// every phase must agree with a cold reference. On top of that, one
+/// drifted instance is solved cold under both *explicit* backends on both
+/// scalar backends and both kernels: all optima must coincide (exactly on
+/// `Ratio`, within tolerance on `f64`), the recorded
+/// [`FactorStats`](ss_lp::FactorStats) backend tag must match the
+/// requested one on the sparse kernel, the exact solves must pass the
+/// full LP-duality certificate under both backends, and the factor
+/// telemetry must actually count work (`refactorizations > 0` on the
+/// sparse kernel).
+pub fn factor_smoke() {
+    banner(
+        "factor-smoke",
+        "basis-factorization agreement guard — eta file and sparse LU land on one optimum",
+    );
+    println!(
+        "process-default factorization: {:?} (set with repro --factor=...)",
+        ss_lp::default_factor()
+    );
+
+    let p = 24usize;
+    let mut rng = StdRng::seed_from_u64(111_000 + p as u64);
+    let (g, m) = topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default());
+    let f = MasterSlave::new(m);
+    let mut drift_rng = StdRng::seed_from_u64(121_000 + p as u64);
+
+    // Drift session under the process default; aggressive drift so the
+    // dual repair's FTRAN/BTRAN traffic and the warm refactorization both
+    // run against the selected backend, not just cold factorizations.
+    let mut sess: SolveSession<f64, MasterSlave> =
+        SolveSession::with_kernel(MasterSlave::new(m), KernelChoice::Sparse);
+    let mut rows = Vec::new();
+    let mut last_gp = g.clone();
+    for t in 0..8 {
+        let scale = if t == 0 {
+            ParamScale::nominal(&g)
+        } else {
+            aggressive_drift(&mut drift_rng, &g)
+        };
+        let gp = scale.apply(&g);
+        let warm = sess.resolve(&gp).expect("drifted re-solve");
+        let (lp, _) = f.build(&gp).expect("SSMS build");
+        let cold = lp
+            .solve_with::<f64>(&SimplexOptions::default())
+            .expect("cold reference");
+        let err = (warm.activities.objective_f64() - cold.objective()).abs();
+        assert!(
+            err <= crate::scale::BACKEND_TOLERANCE * (1.0 + cold.objective().abs()),
+            "phase {t}: session under {:?} factorization drifts off the cold reference by \
+             {err:.3e}",
+            ss_lp::default_factor()
+        );
+        rows.push(vec![
+            t.to_string(),
+            warm.telemetry.outcome.to_string(),
+            warm.telemetry.iterations.to_string(),
+            format!("{:.3}", warm.telemetry.factor_ms),
+            format!("{:.3}", warm.telemetry.update_ms),
+            format!("{:.3}", warm.telemetry.ftran_btran_ms),
+            format!("{:.2}", warm.telemetry.fill_ratio),
+            format!("{err:.1e}"),
+        ]);
+        last_gp = gp;
+    }
+    print_table(
+        &[
+            "phase",
+            "path",
+            "pivots",
+            "factor ms",
+            "update ms",
+            "ftran ms",
+            "fill",
+            "|Δ| vs cold",
+        ],
+        &rows,
+    );
+
+    // Explicit backend matrix on the last drifted instance, cold:
+    // 2 factorizations × 2 scalars × 2 kernels, all one optimum.
+    let (lp, _) = f.build(&last_gp).expect("SSMS build");
+    let exact_ref = lp
+        .solve_with::<Ratio>(&SimplexOptions::default())
+        .expect("exact reference");
+    for factor in [FactorChoice::Eta, FactorChoice::Lu] {
+        for kernel in [KernelChoice::Sparse, KernelChoice::Dense] {
+            let opts = SimplexOptions {
+                factor,
+                kernel,
+                ..SimplexOptions::default()
+            };
+            let fast = lp
+                .solve_with::<f64>(&opts)
+                .expect("explicit-backend f64 solve");
+            let err = (fast.objective() - exact_ref.objective().to_f64()).abs();
+            assert!(
+                err <= crate::scale::BACKEND_TOLERANCE * (1.0 + fast.objective().abs()),
+                "{factor:?}/{kernel:?} (f64) lands {err:.3e} off the exact optimum"
+            );
+            let exact = lp
+                .solve_with::<Ratio>(&opts)
+                .expect("explicit-backend exact solve");
+            assert_eq!(
+                exact.objective(),
+                exact_ref.objective(),
+                "{factor:?}/{kernel:?} (Ratio) changed the exact optimum"
+            );
+            lp.verify_optimality(&exact).unwrap_or_else(|e| {
+                panic!("{factor:?}/{kernel:?} (Ratio) fails the duality certificate: {e}")
+            });
+            if kernel == KernelChoice::Sparse {
+                // The sparse kernel must have run the backend it was
+                // asked for — and actually factorized through it.
+                for (scalar, stats) in [("f64", fast.factor()), ("Ratio", exact.factor())] {
+                    assert_eq!(
+                        stats.backend,
+                        match factor {
+                            FactorChoice::Eta => Factor::EtaFile,
+                            _ => Factor::SparseLu,
+                        },
+                        "{scalar} solve did not record the requested factorization backend"
+                    );
+                    assert!(
+                        stats.refactorizations > 0,
+                        "{factor:?} ({scalar}): no refactorization counted — telemetry wiring \
+                         broken"
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "eta and sparse LU agree on both scalars and kernels, certificates verified (asserted; \
+         failures panic CI)."
     );
 }
 

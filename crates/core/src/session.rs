@@ -67,6 +67,19 @@ pub struct SolveTelemetry {
     /// Wall-clock spent inside pricing (reduced costs + entering
     /// selection + devex bookkeeping), in milliseconds.
     pub pricing_ms: f64,
+    /// Wall-clock spent in full basis (re)factorizations, in milliseconds
+    /// (see `ss_lp::FactorStats`).
+    pub factor_ms: f64,
+    /// Wall-clock spent applying per-pivot basis updates (eta pushes or
+    /// Forrest–Tomlin replacements), in milliseconds.
+    pub update_ms: f64,
+    /// Wall-clock spent in FTRAN/BTRAN solves against the factorization,
+    /// in milliseconds.
+    pub ftran_btran_ms: f64,
+    /// Stored nonzeros of the most recent full factorization.
+    pub factor_nnz: usize,
+    /// Peak factor-nnz over basis-nnz fill ratio observed by the solve.
+    pub fill_ratio: f64,
 }
 
 /// Cumulative counters of a session's lifetime.
@@ -196,6 +209,11 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
             snapshot_ms: run.snapshot_ms,
             priced_columns: run.solution.priced_columns(),
             pricing_ms: run.solution.pricing_ms(),
+            factor_ms: run.solution.factor_ms(),
+            update_ms: run.solution.update_ms(),
+            ftran_btran_ms: run.solution.ftran_btran_ms(),
+            factor_nnz: run.solution.factor_nnz(),
+            fill_ratio: run.solution.fill_ratio(),
         };
         self.warm = Some(run.warm);
         self.stats.record(&telemetry);

@@ -316,6 +316,12 @@ pub(crate) struct DualCand<S> {
     pub upper: Option<S>,
     /// `true` when the column currently rests at its upper bound.
     pub at_upper: bool,
+    /// Nonzeros in the column of `A` — the sparsity tie-break key (see
+    /// [`choose_entering_dual`]): a warm session pivots thousands of
+    /// times across re-solves, and without a sparsity preference the
+    /// basis drifts toward ever-denser optimal corners of the degenerate
+    /// LP, inflating every later BTRAN/FTRAN and pricing scatter.
+    pub nnz: usize,
 }
 
 /// What the dual ratio test decided for one leaving row.
@@ -356,15 +362,29 @@ pub(crate) struct DualStep {
 /// touches — on the heavily degenerate steady-state LPs, where dozens of
 /// reduced costs tie at zero, that turns one violated row into dozens.
 ///
-/// The first group that is not flipped provides the entering column: the
-/// member with the **largest `|α|`** (ties on the smallest column index).
-/// Within a tied-ratio group any member preserves dual feasibility
-/// equally, but the *primal* step is `violation / |α_q|` — a small pivot
-/// entry catapults every basic value the entering column touches. On
-/// degenerate LPs, where the minimal-ratio group is wide, entering on
+/// The first group that is not flipped provides the entering column:
+/// within the group's **stability band** — members whose `|α|` is at
+/// least half the group's largest — the **sparsest** column (ties on
+/// `|α|` descending, then the smallest column index). Within a
+/// tied-ratio group any member preserves dual feasibility equally, but
+/// the *primal* step is `violation / |α_q|` — a small pivot entry
+/// catapults every basic value the entering column touches. On
+/// degenerate LPs, where the minimal-ratio group is wide, staying near
 /// max-`|α|` is the difference between the violation count shrinking and
 /// exploding (it is also the numerically stable pivot, same reason
-/// [`pick_pivot`](crate::sparse) prefers it during refactorization).
+/// [`pick_pivot`](crate::sparse) prefers it during refactorization);
+/// *within* that band, preferring few-nonzero columns keeps a warm
+/// session's basis from densifying across re-solves — the Markowitz
+/// instinct applied to the ratio test.
+///
+/// On inexact scalars the group boundary is the **Harris bound**
+/// `θmax = min_k (|z_k| + τ)/|α_k|` with `τ =`
+/// [`Scalar::dual_ratio_slack`], not the exact minimal ratio: any step up
+/// to θmax leaves every passed reduced cost within τ of its feasible
+/// side, and the wider group lets a healthy pivot displace a *lone*
+/// degenerate tiny-`|α|` minimum — the configuration that walked warm
+/// repairs into `x`-explosions before the relaxation. Exact scalars have
+/// `τ = 0`, which collapses θmax to the strict minimal ratio.
 ///
 /// Returns `None` when **no** column is eligible: the leaving row's
 /// infeasibility cannot be reduced in any dual-feasible direction — the
@@ -377,17 +397,22 @@ pub(crate) fn choose_entering_dual<S: Scalar>(
     violation: &S,
 ) -> Option<DualStep> {
     let abs = |x: &S| if x.is_negative() { x.neg() } else { x.clone() };
-    // Dual ratio per candidate, `None` for the ineligible (wrong α sign)
-    // and for candidates consumed by a flipped group. |z| absorbs the
-    // sign per status (and clamps epsilon-wrong f64 residue to 0).
-    //
-    // The selection never sorts: each round is one O(n) pass that finds
-    // the minimal ratio, its tied group (gaps below the comparison
-    // tolerance count as ties), the group's combined absorption, and its
-    // largest-|α| member — a sorted walk would pay O(n log n) with
-    // scalar-clone keys per pivot for an order the test consults only a
-    // group or two deep.
-    let mut ratio: Vec<Option<S>> = cands
+    let tau = S::dual_ratio_slack();
+    // Per-candidate precomputation, one pass up front: eligibility (the
+    // α sign that reduces the violated direction), |α|, and both the
+    // strict ratio `|z|/|α|` (group membership) and the Harris-relaxed
+    // `(|z|+τ)/|α|` (the θmax bound). The round loop below re-walks the
+    // candidates once per flipped group; on wide pivot rows (tens of
+    // thousands of scattered columns at the large sweep sizes) keeping
+    // those walks division- and allocation-free is what keeps the dual
+    // iteration cheaper than a full-sweep pricing pass.
+    struct Row<S> {
+        aabs: S,
+        strict: S,
+        relaxed: S,
+        live: bool,
+    }
+    let mut rows: Vec<Row<S>> = cands
         .iter()
         .map(|c| {
             let want_pos = if above { !c.at_upper } else { c.at_upper };
@@ -396,52 +421,75 @@ pub(crate) fn choose_entering_dual<S: Scalar>(
             } else {
                 c.alpha.is_negative()
             };
-            ok.then(|| abs(&c.z).div(&abs(&c.alpha)))
+            let aabs = abs(&c.alpha);
+            let (strict, relaxed) = if ok {
+                let zabs = abs(&c.z);
+                (zabs.div(&aabs), zabs.add(&tau).div(&aabs))
+            } else {
+                (S::zero(), S::zero())
+            };
+            Row {
+                aabs,
+                strict,
+                relaxed,
+                live: ok,
+            }
         })
         .collect();
     let mut flips = Vec::new();
     let mut remaining = violation.clone();
     loop {
-        let mut r0: Option<S> = None;
-        for r in ratio.iter().flatten() {
-            if r0.as_ref().is_none_or(|m| r < m) {
-                r0 = Some(r.clone());
+        // Harris bound `θmax = min_k (|z_k| + τ)/|α_k|`: any dual step
+        // up to θmax leaves every passed reduced cost within τ of its
+        // feasible side, so the "tied group" below widens from exact
+        // ratio ties to everything under θmax — which is what lets a
+        // large-|α| pivot displace a lone degenerate tiny-|α| minimum
+        // instead of entering on it and catapulting the basics. Exact
+        // scalars have τ = 0 and recover the strict minimal-ratio rule.
+        let mut theta_max: Option<usize> = None;
+        for (k, r) in rows.iter().enumerate() {
+            if !r.live {
+                continue;
+            }
+            if theta_max.is_none_or(|m| r.relaxed < rows[m].relaxed) {
+                theta_max = Some(k);
             }
         }
         // No eligible column at all: the unbounded-row exit. (A flipped
         // round only proceeds when a larger-ratio group follows, so the
         // pool cannot drain by flips alone.)
-        let r0 = r0?;
+        let theta_max = rows[theta_max?].relaxed.clone();
         let mut absorb = S::zero();
         let mut all_boxed = true;
         let mut larger_exists = false;
-        let mut q: Option<usize> = None;
-        for (k, r) in ratio.iter().enumerate() {
-            let Some(r) = r else { continue };
-            if r.sub(&r0).is_positive() {
+        let mut peak: Option<usize> = None;
+        for k in 0..rows.len() {
+            if !rows[k].live {
+                continue;
+            }
+            if rows[k].strict.sub(&theta_max).is_positive() {
                 larger_exists = true;
                 continue;
             }
             match &cands[k].upper {
-                Some(u) => absorb = absorb.add(&abs(&cands[k].alpha).mul(u)),
+                Some(u) => absorb = absorb.add(&rows[k].aabs.mul(u)),
                 None => all_boxed = false,
             }
-            // Enter on the group's largest |α|, ties on the smallest
-            // column index (candidates arrive in ascending-column order
-            // from the full sweeps; the explicit index tie-break also
-            // covers the candidate-list order).
-            let better = match q {
+            // Track the group's largest |α| (ties on the smallest column
+            // index) — the stability anchor of the entering selection
+            // below.
+            let better = match peak {
                 None => true,
                 Some(qq) => {
-                    let (ak, aq) = (abs(&cands[k].alpha), abs(&cands[qq].alpha));
-                    ak > aq || (ak == aq && cands[k].col < cands[qq].col)
+                    rows[k].aabs > rows[qq].aabs
+                        || (rows[k].aabs == rows[qq].aabs && cands[k].col < cands[qq].col)
                 }
             };
             if better {
-                q = Some(k);
+                peak = Some(k);
             }
         }
-        let q = q.expect("the minimal-ratio group is nonempty");
+        let peak = peak.expect("the minimal-ratio group is nonempty");
         // Flip the whole group only when a meaningfully larger ratio
         // group follows (the dual step then strictly passes these
         // breakpoints), every member has a finite box, and their combined
@@ -449,14 +497,42 @@ pub(crate) fn choose_entering_dual<S: Scalar>(
         // tied group would be dual-neutral while still shaking every
         // basic value the flipped boxes touch.
         if larger_exists && all_boxed && remaining.sub(&absorb).is_positive() {
-            for (k, r) in ratio.iter_mut().enumerate() {
-                if r.as_ref().is_some_and(|r| !r.sub(&r0).is_positive()) {
+            for (k, r) in rows.iter_mut().enumerate() {
+                if r.live && !r.strict.sub(&theta_max).is_positive() {
                     flips.push(cands[k].col);
-                    *r = None;
+                    r.live = false;
                 }
             }
             remaining = remaining.sub(&absorb);
             continue;
+        }
+        // Entering column: within the group's *stability band* —
+        // members whose `|α|` is at least half the group's largest —
+        // prefer the **sparsest** column (ties on `|α|` descending, then
+        // smallest index). Any band member is an acceptably stable
+        // pivot, but the sparse pick keeps the basis (and therefore the
+        // LU factors, the BTRAN'd ρ, and the pricing scatter that walks
+        // ρ's support) from densifying as a warm session pivots across
+        // many re-solves: without it the session basis drifted from
+        // fill ≈ 1.1 to ≈ 5 over twenty drift phases, and every warm
+        // solve after the drift cost more than the cold solve it was
+        // supposed to beat.
+        let apeak = rows[peak].aabs.clone();
+        let mut q = peak;
+        for k in 0..rows.len() {
+            if !rows[k].live || rows[k].strict.sub(&theta_max).is_positive() {
+                continue;
+            }
+            if rows[k].aabs.add(&rows[k].aabs) < apeak {
+                continue;
+            }
+            let better = cands[k].nnz < cands[q].nnz
+                || (cands[k].nnz == cands[q].nnz
+                    && (rows[k].aabs > rows[q].aabs
+                        || (rows[k].aabs == rows[q].aabs && cands[k].col < cands[q].col)));
+            if better {
+                q = k;
+            }
         }
         return Some(DualStep {
             flips,
@@ -590,7 +666,29 @@ mod tests {
             z: ri(z),
             upper: upper.map(ri),
             at_upper,
+            // Uniform density: the sparsity tie-break degenerates to the
+            // classic |α|-then-index rule these tests pin down.
+            nnz: 1,
         }
+    }
+
+    #[test]
+    fn dual_test_prefers_sparse_columns_within_stability_band() {
+        // Ratio-tied columns: 9 has the larger |α| (4) but column 4 sits
+        // inside the stability band (2·2 ≥ 4) and is sparser — it enters.
+        let mut heavy = cand(9, -4, -4, None, false);
+        heavy.nnz = 6;
+        let mut sparse = cand(4, -2, -2, None, false);
+        sparse.nnz = 1;
+        let step = choose_entering_dual(&[heavy, sparse], false, &ri(5)).unwrap();
+        assert_eq!(step.entering, 4);
+        // Below the band (2·1 < 4) sparsity cannot override stability.
+        let mut heavy = cand(9, -4, -4, None, false);
+        heavy.nnz = 6;
+        let mut tiny = cand(4, -1, -1, None, false);
+        tiny.nnz = 1;
+        let step = choose_entering_dual(&[heavy, tiny], false, &ri(5)).unwrap();
+        assert_eq!(step.entering, 9);
     }
 
     #[test]

@@ -16,16 +16,24 @@
 //!
 //! The dual simplex consumes the structure directly. Each iteration:
 //!
-//! 1. **Leaving row** — pick the basic row with the largest box violation
-//!    (the dual analogue of Dantzig pricing; ties and, past half the
-//!    budget, the whole selection degrade to smallest-variable-index, the
-//!    anti-cycling regime).
-//! 2. **Pivot row** — `ρ = B⁻ᵀ e_r` by one BTRAN over the eta file, then
-//!    `α_j = ρ·a_j` over the nonzeros of the nonbasic columns — or, under
-//!    candidate-list partial pricing ([`crate::pricing::CandidateList`],
-//!    the devex-pricing default), over just the columns with nonzeros in
-//!    rows seen violating plus recent basis leavers, with a full-sweep
-//!    fallback (and list re-seed) when the restricted scan runs dry.
+//! 1. **Leaving row** — pick the basic row with the largest *weighted*
+//!    box violation `viol² / w_i` over **dual devex** reference weights
+//!    (`w_i ≈ ‖B⁻ᵀe_i‖²`, maintained for free from each pivot's FTRAN'd
+//!    column — the dual analogue of the primal devex rule; ties and,
+//!    past three quarters of the budget, the whole selection degrade to
+//!    smallest-variable-index, the anti-cycling regime).
+//! 2. **Pivot row** — `ρ = B⁻ᵀ e_r` by one BTRAN, then the whole row
+//!    `α = ρᵀA_N` **row-wise over ρ's support**: a row → columns index
+//!    (built once per repair) scatters `ρ_i·a_ij` into a stamped
+//!    accumulator, so the cost is the nonzeros of the rows ρ actually
+//!    touches — not one dot product per nonbasic column. The sparse-LU
+//!    BTRAN keeps ρ sparse, which is what makes this the dominant win at
+//!    large p; the sweep is still *exact* full pricing (every column with
+//!    `α_j ≠ 0` is found — only such columns can absorb the violation),
+//!    so no candidate-list heuristics or dry-list fallbacks are needed.
+//!    Reduced costs come from an incrementally-maintained cache
+//!    (`z_j ← z_j − θ·α_j` touches exactly the scattered columns),
+//!    reseeded whenever the factorization is rebuilt.
 //! 3. **Dual ratio test** — `choose_entering_dual` in [`crate::bounded`]:
 //!    sign-aware eligibility per status, dual ratios `|z_j|/|α_j|` walked
 //!    in tied groups (Bland/largest-`|α|` tie-breaks), **bound flips**
@@ -61,8 +69,7 @@
 //! composite primal repair, and only if that also fails does the solve
 //! go back cold.
 
-use crate::bounded::{choose_entering_dual, improves, DualCand};
-use crate::pricing::CandidateList;
+use crate::bounded::{choose_entering_dual, DualCand};
 use crate::scalar::Scalar;
 use crate::sparse::{scatter, Engine};
 use std::time::Instant;
@@ -97,6 +104,17 @@ impl<S: Scalar> Engine<'_, S> {
         // (column, its wrong-side reduced cost, flippable?).
         let mut wrong: Vec<(usize, S, bool)> = Vec::new();
         let flip_cap = self.sf.m / 16 + 8;
+        // Wrong-side only past the Harris slack τ: the steady-state LPs
+        // are massively dual degenerate — thousands of nonbasic reduced
+        // costs sit on zero at an optimum, so even mild drift pushes
+        // half of them an epsilon wrong-side. Those are exactly the
+        // states the relaxed dual ratio test tolerates (any step ≤ θmax
+        // leaves passed reduced costs within τ of feasible), so shifting
+        // them buys nothing — and *counting* them once tripped the
+        // mass-shift decline below on a basis that was one epsilon from
+        // dual feasible, sending a perfectly warm start cold. Exact
+        // scalars have τ = 0 and keep the strict test.
+        let tau = S::dual_ratio_slack();
         for j in 0..self.sf.art_start {
             if self.st.in_basis[j] {
                 continue;
@@ -107,7 +125,12 @@ impl<S: Scalar> Engine<'_, S> {
                 continue;
             }
             let z = self.reduced_cost(j, &self.sf.cost2, &y);
-            if improves(self.st.at_upper[j], &z) {
+            let beyond_slack = if self.st.at_upper[j] {
+                z.add(&tau).is_negative()
+            } else {
+                z.sub(&tau).is_positive()
+            };
+            if beyond_slack {
                 let flippable = self.st.upper[j].is_some();
                 wrong.push((j, z, flippable));
             }
@@ -138,15 +161,24 @@ impl<S: Scalar> Engine<'_, S> {
         (flips, shifts, costs)
     }
 
-    /// The leaving row: largest box violation, ties on the smaller basic
-    /// variable index; `bland` switches the whole selection to
-    /// smallest-variable-index (the anti-cycling regime for degenerate
-    /// tails). Returns `(row, |violation|, above)` plus the total count of
-    /// violated rows — the pricing handover signal (see the endgame and
-    /// explosion guards in [`Self::dual_loop`]).
-    fn leaving_row(&self, bland: bool) -> (Option<(usize, S, bool)>, usize) {
+    /// The leaving row: largest **weighted** box violation
+    /// `viol_i² / w_i` over the dual devex reference weights (ties on the
+    /// smaller basic variable index); `bland` switches the whole
+    /// selection to smallest-variable-index (the anti-cycling regime for
+    /// degenerate tails). Returns `(row, |violation|, above)`.
+    ///
+    /// The weights `w_i` approximate `‖B⁻ᵀe_i‖²` — the dual analogue of
+    /// the primal devex reference framework, maintained by
+    /// [`dual_loop`](Self::dual_loop) from each pivot's FTRAN'd entering
+    /// column. Raw max-violation selection kept picking rows whose dual
+    /// step barely moved the dual objective (the dual edge `ρ` was long,
+    /// so the actual progress `viol/‖ρ‖` was tiny); on the wide heavy
+    /// repairs at p = 512 that crawled through 2–3× a cold solve's pivot
+    /// count. Weights only *rank* rows, so they are plain `f64` under
+    /// every scalar backend.
+    fn leaving_row(&self, bland: bool, weights: &[f64]) -> Option<(usize, S, bool)> {
         let mut pick: Option<(usize, S, bool)> = None;
-        let mut count = 0usize;
+        let mut best_score = 0.0f64;
         for (i, &b) in self.st.basis.iter().enumerate() {
             let (viol, above) = if self.st.x[i].is_negative() {
                 (self.st.x[i].neg(), false)
@@ -160,22 +192,24 @@ impl<S: Scalar> Engine<'_, S> {
             } else {
                 continue;
             };
-            count += 1;
+            let vf = viol.to_f64();
+            let score = vf * vf / weights[i];
             let better = match &pick {
                 None => true,
-                Some((pi, pv, _)) => {
+                Some((pi, _, _)) => {
                     if bland {
                         b < self.st.basis[*pi]
                     } else {
-                        viol > *pv || (viol == *pv && b < self.st.basis[*pi])
+                        score > best_score || (score == best_score && b < self.st.basis[*pi])
                     }
                 }
             };
             if better {
+                best_score = score;
                 pick = Some((i, viol, above));
             }
         }
-        (pick, count)
+        pick
     }
 
     /// The bounded dual-simplex repair pass: from a dual-feasible (or
@@ -185,11 +219,7 @@ impl<S: Scalar> Engine<'_, S> {
     /// `None` when the dual phase is unavailable or gave up (the caller
     /// falls through to the composite primal repair; the state may be
     /// dirty, restore it from a snapshot).
-    /// `partial` enables candidate-list partial pricing (see
-    /// [`CandidateList`]): the dual ratio test prices only columns with
-    /// nonzeros in rows seen violating (plus recent leavers), falling
-    /// back to a full sweep when the list runs dry.
-    pub(crate) fn dual_repair(&mut self, budget: usize, partial: bool) -> Option<usize> {
+    pub(crate) fn dual_repair(&mut self, budget: usize) -> Option<usize> {
         let (flipped, shifts, costs) = self.dual_feasibility_flips();
         // A shift parks one mispriced column; thousands of them mean the
         // warm basis's dual information is junk wholesale — the shifted
@@ -202,7 +232,7 @@ impl<S: Scalar> Engine<'_, S> {
         }
         let mut iters = flipped;
         self.clamp_on_refresh = false;
-        let out = self.dual_loop(budget, partial, &mut iters, &costs);
+        let out = self.dual_loop(budget, &mut iters, &costs);
         self.clamp_on_refresh = true;
         if out {
             self.st.clamp_basics();
@@ -212,60 +242,9 @@ impl<S: Scalar> Engine<'_, S> {
         }
     }
 
-    /// Assemble dual ratio-test candidates (`α_j = ρ·a_j`, reduced cost,
-    /// box) for the given columns; returns the number of columns priced.
-    fn dual_candidates(
-        &self,
-        cols: impl Iterator<Item = usize>,
-        costs: &[S],
-        rho: &[S],
-        y: &[S],
-        cands: &mut Vec<DualCand<S>>,
-    ) -> usize {
-        let mut scanned = 0usize;
-        for j in cols {
-            if self.st.in_basis[j] {
-                continue;
-            }
-            if self.st.upper[j].as_ref().is_some_and(|u| u.is_zero()) {
-                continue;
-            }
-            scanned += 1;
-            // One traversal of the column serves both dot products — the
-            // nonzeros are read once for `α_j = ρ·a_j` and `y·a_j`
-            // together instead of a second pass through `reduced_cost`.
-            let (rows, vals) = self.sf.column(j);
-            let mut alpha = S::zero();
-            let mut ydot = S::zero();
-            for (i, a) in rows.iter().zip(vals) {
-                if !rho[*i].is_zero() {
-                    alpha = alpha.add(&rho[*i].mul(a));
-                }
-                if !y[*i].is_zero() {
-                    ydot = ydot.add(&y[*i].mul(a));
-                }
-            }
-            // Negligible α is excluded outright, not just exact zero: a
-            // pivot entry this small poisons the eta file (the basis goes
-            // numerically singular and every later FTRAN/BTRAN disagrees),
-            // and the dual ratios it implies are pure noise anyway.
-            if alpha.is_negligible_pivot() {
-                continue;
-            }
-            cands.push(DualCand {
-                col: j,
-                alpha,
-                z: costs[j].sub(&ydot),
-                upper: self.st.upper[j].clone(),
-                at_upper: self.st.at_upper[j],
-            });
-        }
-        scanned
-    }
-
     /// Reduced costs of every structural column under prices `y` (basic
-    /// columns get an exact zero) — the seed of the full-pricing mode's
-    /// incremental cache.
+    /// columns get an exact zero) — the seed of the incremental
+    /// reduced-cost cache maintained across dual pivots.
     fn reduced_costs_all(&self, costs: &[S], y: &[S]) -> Vec<S> {
         (0..self.sf.art_start)
             .map(|j| {
@@ -278,182 +257,177 @@ impl<S: Scalar> Engine<'_, S> {
             .collect()
     }
 
-    /// Full-pricing candidate sweep against the cached reduced costs:
-    /// only the `α_j = ρ·a_j` dot is paid per column, `z_j` is a lookup.
-    fn dual_candidates_cached(&self, zc: &[S], rho: &[S], cands: &mut Vec<DualCand<S>>) -> usize {
-        let mut scanned = 0usize;
-        for (j, zj) in zc.iter().enumerate().take(self.sf.art_start) {
-            if self.st.in_basis[j] {
-                continue;
-            }
-            if self.st.upper[j].as_ref().is_some_and(|u| u.is_zero()) {
-                continue;
-            }
-            scanned += 1;
-            let (rows, vals) = self.sf.column(j);
-            let mut alpha = S::zero();
-            for (i, a) in rows.iter().zip(vals) {
-                if !rho[*i].is_zero() {
-                    alpha = alpha.add(&rho[*i].mul(a));
-                }
-            }
-            if alpha.is_negligible_pivot() {
-                continue;
-            }
-            cands.push(DualCand {
-                col: j,
-                alpha,
-                z: zj.clone(),
-                upper: self.st.upper[j].clone(),
-                at_upper: self.st.at_upper[j],
-            });
-        }
-        scanned
-    }
-
-    fn dual_loop(&mut self, budget: usize, partial: bool, iters: &mut usize, costs: &[S]) -> bool {
+    fn dual_loop(&mut self, budget: usize, iters: &mut usize, costs: &[S]) -> bool {
         let m = self.sf.m;
-        // Candidate-list partial pricing: only a column with a nonzero in
-        // a violated row can absorb that row's violation, so seed the list
-        // from the rows as they show up and reprice just the list. The
-        // row → columns index is one O(nnz) pass, paid once per repair.
-        let mut list = if partial {
-            let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); m];
-            for j in 0..self.sf.art_start {
-                let (rows, _) = self.sf.column(j);
-                for &i in rows {
-                    row_cols[i].push(j);
-                }
+        // Row → structural-column index: `row_cols[i]` lists every
+        // `(j, a_ij)` nonzero in row `i`. One O(nnz) pass per repair —
+        // the price of admission for computing each pivot row `α = ρᵀA_N`
+        // **over ρ's support** instead of one dot product per nonbasic
+        // column. The sparse-LU BTRAN keeps ρ sparse, so most iterations
+        // touch a small fraction of the matrix; and unlike the
+        // candidate-list heuristics this replaced, the scatter is still
+        // *exact* full pricing — every column with `α_j ≠ 0` is found,
+        // and only such columns can absorb the row's violation.
+        // Flat CSR layout (row pointers + parallel column/value arrays)
+        // rather than a Vec per row: the scatter below is the innermost
+        // loop of the whole repair, and walking two contiguous arrays is
+        // measurably cheaper than hopping per-row heap allocations.
+        let mut row_len = vec![0usize; m];
+        for j in 0..self.sf.art_start {
+            for i in self.sf.column(j).0 {
+                row_len[*i] += 1;
             }
-            Some((CandidateList::new(self.sf.art_start, m), row_cols))
-        } else {
-            None
-        };
-        // Full-pricing mode caches every reduced cost and maintains the
-        // cache across pivots (`z_j ← z_j − θ·α_j`, exact for the same
-        // reason the price update below is), so each sweep pays only the
-        // `α` dot per column. Rebuilt whenever the prices are (empty ⇒
-        // invalid).
+        }
+        let mut row_ptr = vec![0usize; m + 1];
+        for i in 0..m {
+            row_ptr[i + 1] = row_ptr[i] + row_len[i];
+        }
+        let mut rc_col = vec![0u32; row_ptr[m]];
+        let mut rc_val = vec![S::zero(); row_ptr[m]];
+        let mut fill = row_ptr.clone();
+        for j in 0..self.sf.art_start {
+            let (rows, vals) = self.sf.column(j);
+            for (i, a) in rows.iter().zip(vals) {
+                rc_col[fill[*i]] = j as u32;
+                rc_val[fill[*i]] = a.clone();
+                fill[*i] += 1;
+            }
+        }
+        // Stamped scatter accumulator for the pivot row: `alpha[j]` is
+        // valid iff `stamp[j] == generation`, so clearing between
+        // iterations is one counter bump, not an O(n) sweep.
+        let mut alpha: Vec<S> = vec![S::zero(); self.sf.art_start];
+        let mut stamp: Vec<u32> = vec![0; self.sf.art_start];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut generation: u32 = 0;
+        // Reduced costs are cached and maintained incrementally across
+        // pivots (`z_j ← z_j − θ·α_j` touches exactly the scattered
+        // columns, and is exact for the same reason the price update
+        // below is), so the full O(nnz) repricing is paid only at the
+        // start and after a refactorization flushes accumulated drift.
         let mut zc: Vec<S> = Vec::new();
-        // Candidate-list pricing runs the *opening*, not the whole game:
-        // past this many pivots the cheap restricted scans have either
-        // finished the repair or stopped being the bottleneck, and the
-        // loop hands over to full pricing *in place* — keeping every
-        // retired row — rather than restoring the snapshot and re-earning
-        // them under full pricing from scratch.
-        let partial_cutoff = self.sf.m / 2 + 32;
-        // Low-water mark of the violated-row count — a run that blows far
-        // past it under the candidate list triggers the explosion
-        // handover below. (It is *not* a convergence signal: even from an
-        // exactly dual-feasible start the count wanders while the dual
-        // objective climbs monotonically, so no stall detector keys on
-        // it — the budget is the only give-up.)
-        let mut best_viol = usize::MAX;
         // Prices are maintained *incrementally*: a dual pivot replaces one
         // basic cost, and the new prices are exactly
         // `y' = y + (z_q/α_q)·ρ` — `y'·a_q = y·a_q + z_q = c_q` prices the
         // entering column to zero, while `ρ·a_b = e_r·(B⁻¹a_b) = 0` leaves
         // every other basic column priced. That turns the second full
-        // BTRAN per iteration into an O(m) vector update; the eta-file
-        // reinversion points (where `fresh` resets) double as the flush
-        // for accumulated `f64` drift.
+        // BTRAN per iteration into an O(m) vector update; the
+        // refactorization points (where `fresh` resets) double as the
+        // flush for accumulated `f64` drift.
         let mut y: Vec<S> = Vec::new();
         let mut last_fresh = usize::MAX;
+        // Dual devex reference weights over the basis rows (see
+        // `leaving_row`): start at 1, updated below from each pivot's
+        // FTRAN'd entering column — the dual mirror of the primal devex
+        // recurrence, and free because `d` is already in hand.
+        let mut dw = vec![1.0f64; m];
         loop {
-            // Anti-cycling regime for the tail: drop from largest-violation
+            // Anti-cycling regime for the tail: drop from weighted-violation
             // to smallest-index row selection only late — index order
             // converges much slower, it just cannot loop on a tie.
             let bland = *iters >= budget - budget / 4;
-            let (pick, viol_rows) = self.leaving_row(bland);
-            let Some((r, viol, above)) = pick else {
+            let Some((r, viol, above)) = self.leaving_row(bland, &dw) else {
                 return true;
             };
-            if list.is_some() {
-                // Hand the list over to full pricing in place when it has
-                // outlived its use: past the opening (the budget reasoning
-                // above), in the **endgame** (a handful of rows left: the
-                // restricted scan's best pivot is often a tiny |α| whose
-                // primal step catapults basics back out of their boxes —
-                // repairs have been watched walk 381 violated rows down
-                // to 8 under the list and then explode to 116), and on
-                // that **explosion** itself, the moment the count blows
-                // far past its best — full pricing recovers a near-done
-                // repair far cheaper than restoring the snapshot and
-                // starting over.
-                let endgame = viol_rows < 16 && *iters >= 96;
-                let exploded = best_viol != usize::MAX && viol_rows > 2 * best_viol + 32;
-                if endgame || exploded || *iters >= partial_cutoff {
-                    list = None;
-                }
-            }
             if *iters >= budget {
                 return false;
             }
-            if viol_rows < best_viol {
-                best_viol = viol_rows;
-            }
             // The BTRAN'd pivot row — the one unavoidable pass over the
-            // eta file per iteration, against the many whole iterations
-            // each restored row saves.
+            // factorization per iteration, against the many whole
+            // iterations each restored row saves.
             let mut rho = vec![S::zero(); m];
             rho[r] = S::one();
             self.st.factors.btran(&mut rho);
-            // Fresh prices only at the start and after a reinversion
-            // (`fresh` dropped); otherwise the incrementally-updated
-            // vector from the last pivot is already exact.
+            // Fresh prices and reduced costs only at the start and after a
+            // refactorization (`fresh` dropped); otherwise the
+            // incrementally-updated vectors from the last pivot are
+            // already exact.
             if last_fresh == usize::MAX || self.st.factors.fresh() < last_fresh {
                 y = self.prices(costs);
-                zc.clear();
+                zc = self.reduced_costs_all(costs, &y);
             }
             last_fresh = self.st.factors.fresh();
 
             let tp = Instant::now();
-            if let Some((cl, row_cols)) = list.as_mut() {
-                // First violation seen on this row: its columns join the
-                // candidate list.
-                if cl.note_row(r) {
-                    for &j in &row_cols[r] {
-                        cl.push(j);
+            // Scatter `α_j = Σ_i ρ_i·a_ij` over ρ's support.
+            generation += 1;
+            touched.clear();
+            for (i, ri) in rho.iter().enumerate() {
+                if ri.is_zero() {
+                    continue;
+                }
+                for t in row_ptr[i]..row_ptr[i + 1] {
+                    let j = rc_col[t] as usize;
+                    let v = ri.mul(&rc_val[t]);
+                    if stamp[j] == generation {
+                        alpha[j] = alpha[j].add(&v);
+                    } else {
+                        stamp[j] = generation;
+                        alpha[j] = v;
+                        touched.push(j);
                     }
                 }
             }
             let mut cands: Vec<DualCand<S>> = Vec::new();
-            let scanned = match &list {
-                Some((cl, _)) => {
-                    self.dual_candidates(cl.cols().iter().copied(), costs, &rho, &y, &mut cands)
+            for &j in &touched {
+                if self.st.in_basis[j] {
+                    continue;
                 }
-                None => {
-                    if zc.is_empty() {
-                        zc = self.reduced_costs_all(costs, &y);
-                    }
-                    self.dual_candidates_cached(&zc, &rho, &mut cands)
+                if self.st.upper[j].as_ref().is_some_and(|u| u.is_zero()) {
+                    continue;
                 }
-            };
-            self.stats.priced_columns += scanned;
-            let mut step = choose_entering_dual(&cands, above, &viol);
-            if step.is_none() && list.is_some() {
-                // The list ran dry for this row: one full repricing sweep
-                // serves the step before the row may be declared unbounded
-                // — the fallback keeps the exit semantics of full pricing.
-                // The sweep's candidates are *not* folded into the list
-                // (they are specific to this row's ρ; absorbing them once
-                // turned the "partial" list into the whole column set).
-                self.stats.full_sweeps += 1;
-                cands.clear();
-                let scanned =
-                    self.dual_candidates(0..self.sf.art_start, costs, &rho, &y, &mut cands);
-                self.stats.priced_columns += scanned;
-                step = choose_entering_dual(&cands, above, &viol);
+                // Columns whose α sign cannot reduce the violated
+                // direction never participate in the ratio test — filter
+                // them here (they still get their `zc` update below, the
+                // `touched` list is what stays complete).
+                let want_pos = if above {
+                    !self.st.at_upper[j]
+                } else {
+                    self.st.at_upper[j]
+                };
+                let eligible = if want_pos {
+                    alpha[j].is_positive()
+                } else {
+                    alpha[j].is_negative()
+                };
+                if !eligible {
+                    continue;
+                }
+                // Negligible α is excluded outright, not just exact zero:
+                // a pivot entry this small poisons the factorization (the
+                // basis goes numerically singular and every later
+                // FTRAN/BTRAN disagrees), and the dual ratios it implies
+                // are pure noise anyway.
+                if alpha[j].is_negligible_pivot() {
+                    continue;
+                }
+                cands.push(DualCand {
+                    col: j,
+                    alpha: alpha[j].clone(),
+                    z: zc[j].clone(),
+                    upper: self.st.upper[j].clone(),
+                    at_upper: self.st.at_upper[j],
+                    nnz: self.sf.column(j).0.len(),
+                });
             }
+            self.stats.priced_columns += touched.len();
+            let step = choose_entering_dual(&cands, above, &viol);
             self.stats.pricing_ms += tp.elapsed().as_secs_f64() * 1e3;
-            // Unbounded row: nothing here (list exhausted and the full
-            // sweep included) can absorb this violation.
+            // Unbounded row: the scatter is exhaustive, so nothing can
+            // absorb this violation — the primal is infeasible (or `f64`
+            // noise says so).
             let Some(step) = step else {
                 return false;
             };
 
             // Passed breakpoints flip to their opposite bound; their
-            // effect on the basic values is one batched FTRAN.
+            // effect on the basic values is one batched FTRAN — which is
+            // why they do NOT charge the iteration budget: the budget
+            // bounds per-step work (a BTRAN, a pricing pass, an FTRAN),
+            // and a step's whole flip batch rides on the step's own
+            // charge. Billing each flipped column as a full iteration
+            // starved wide repairs whose steps legitimately pass dozens
+            // of breakpoints (the Harris-relaxed groups flip together).
             if !step.flips.is_empty() {
                 let mut db = vec![S::zero(); m];
                 for &j in &step.flips {
@@ -478,7 +452,6 @@ impl<S: Scalar> Engine<'_, S> {
                         *xi = xi.sub(d);
                     }
                 }
-                *iters += step.flips.len();
             }
 
             let q = step.entering;
@@ -519,6 +492,41 @@ impl<S: Scalar> Engine<'_, S> {
             };
             let sigma_pos = !self.st.at_upper[q];
             let leave = self.st.basis[r];
+            // Dual devex recurrence, the row mirror of
+            // `Devex::pivot_update`: with pivot element `d_r`,
+            //   w_i ← max(w_i, (d_i/d_r)²·w_r)  for d_i ≠ 0,
+            //   w_r ← max(w_r/d_r², 1),
+            // reset to the current basis when any weight blows past
+            // `DEVEX_RESET`. Weights only rank rows — plain `f64` under
+            // every scalar.
+            let drf = d[r].to_f64();
+            let dr2 = drf * drf;
+            if dr2 > 0.0 && dr2.is_finite() {
+                let scale = dw[r].max(1.0) / dr2;
+                let mut max_w = 0.0f64;
+                for (i, di) in d.iter().enumerate() {
+                    if i == r {
+                        continue;
+                    }
+                    let df = di.to_f64();
+                    if df == 0.0 {
+                        continue;
+                    }
+                    let cand = df * df * scale;
+                    if cand > dw[i] {
+                        dw[i] = cand;
+                    }
+                    if dw[i] > max_w {
+                        max_w = dw[i];
+                    }
+                }
+                dw[r] = scale.max(1.0);
+                if dw[r].max(max_w) > crate::pricing::DEVEX_RESET {
+                    for w in dw.iter_mut() {
+                        *w = 1.0;
+                    }
+                }
+            }
             self.pivot(r, q, &d, &t, sigma_pos, above);
             // The incremental price update (see above): one O(m) sweep
             // over ρ's support instead of a BTRAN next iteration.
@@ -528,24 +536,18 @@ impl<S: Scalar> Engine<'_, S> {
                     *yi = yi.add(&theta.mul(ri));
                 }
             }
-            if !zc.is_empty() {
-                // `z_j ← z_j − θ·α_j` over the swept candidates — exactly
-                // the α ≠ 0 columns, so every other cached entry is
-                // already correct. The entering column lands on an exact
-                // zero (`z_q − θ·α_q`); the leaver re-enters the cache at
-                // `−θ` (its α against its own pivot row is 1).
-                for c in &cands {
-                    zc[c.col] = zc[c.col].sub(&theta.mul(&c.alpha));
-                }
-                if leave < self.sf.art_start {
-                    zc[leave] = theta.neg();
+            // `z_j ← z_j − θ·α_j` over the scattered columns — exactly
+            // the α ≠ 0 columns, so every other cached entry is already
+            // correct. Columns in the basis are skipped (their cached
+            // entries are ignored until they leave); the leaver re-enters
+            // the cache at `−θ` (its α against its own pivot row is 1).
+            for &j in &touched {
+                if !self.st.in_basis[j] {
+                    zc[j] = zc[j].sub(&theta.mul(&alpha[j]));
                 }
             }
-            if let Some((cl, _)) = list.as_mut() {
-                // A just-left variable is a prime re-entry candidate.
-                if leave < self.sf.art_start {
-                    cl.push(leave);
-                }
+            if leave < self.sf.art_start {
+                zc[leave] = theta.neg();
             }
             *iters += 1;
         }

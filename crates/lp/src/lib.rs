@@ -53,6 +53,7 @@
 
 mod bounded;
 mod dual;
+pub mod factor;
 mod kernel;
 pub mod pricing;
 mod problem;
@@ -63,6 +64,10 @@ mod sparse;
 mod standard;
 pub mod warm;
 
+pub use factor::{
+    default_factor, set_default_factor, BasisFactorization, EtaFile, Factor, FactorChoice,
+    FactorStats, RefactorMode, RefactorPolicy, Refactorized, SparseLu,
+};
 pub use kernel::{
     default_kernel, set_default_kernel, solve_warm_with_kernel, solve_with_kernel, DenseTableau,
     Kernel, KernelChoice, LpKernel,

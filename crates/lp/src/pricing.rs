@@ -17,13 +17,12 @@
 //!   current basis (all weights back to 1). Weights are plain `f64` even
 //!   under the exact scalar — they only rank candidates, every pivot still
 //!   runs in exact arithmetic.
-//! * **Candidate-list partial pricing** ([`CandidateList`]) for the dual
-//!   engine: only columns with nonzeros in recently-violating rows can
-//!   absorb those rows' violations, so the dual ratio test prices just
-//!   that list, falling back to (and re-seeding from) a full sweep when
-//!   the list runs dry. Correctness is unaffected — the dual loop already
-//!   tolerates dual-infeasible intermediate states and phase 2 reprices
-//!   whatever the restricted scan missed; only the *path* changes.
+//! * **Row-wise pivot-row pricing** for the dual engine: each pivot row
+//!   `α = ρᵀA_N` is scattered over ρ's support through a row → columns
+//!   index (see the dual loop in `crate::dual`), so its cost tracks the
+//!   nonzeros of the rows the sparse-LU BTRAN actually touches — while
+//!   remaining *exact* full pricing, since only a column with `α_j ≠ 0`
+//!   can absorb the leaving row's violation.
 //!
 //! The engine-facing choice is the [`Pricing`] enum on
 //! [`SimplexOptions`](crate::SimplexOptions), resolved per scalar by
@@ -55,8 +54,7 @@ pub enum Pricing {
     /// Force Dantzig pricing (most improving reduced cost) — the pre-devex
     /// `f64` default, kept as the A/B reference.
     Dantzig,
-    /// Force devex reference pricing (and candidate-list partial pricing
-    /// in the dual engine).
+    /// Force devex reference pricing.
     Devex,
 }
 
@@ -122,9 +120,6 @@ pub struct PricingStats {
     pub priced_columns: usize,
     /// Wall-clock spent in entering-column selection, in milliseconds.
     pub pricing_ms: f64,
-    /// Dual-engine candidate-list exhaustions that forced a full repricing
-    /// sweep (0 under full-sweep pricing).
-    pub full_sweeps: usize,
 }
 
 impl PricingStats {
@@ -133,7 +128,6 @@ impl PricingStats {
     pub fn absorb(&mut self, other: &PricingStats) {
         self.priced_columns += other.priced_columns;
         self.pricing_ms += other.pricing_ms;
-        self.full_sweeps += other.full_sweeps;
     }
 }
 
@@ -238,59 +232,6 @@ impl Devex {
     }
 }
 
-/// Candidate list for the dual engine's partial pricing: the nonbasic
-/// columns with nonzeros in rows that have shown a box violation, plus
-/// variables that recently left the basis.
-///
-/// Only a column with `a_ij ≠ 0` in a violated row `i` can have
-/// `α_j = ρ·a_j ≠ 0` for that row's pivot row, so pricing outside the
-/// list is wasted work *for the rows seen so far*. New rows knocked out of
-/// their boxes mid-repair enlarge the list as they are selected; if the
-/// restricted scan still finds no eligible entering column the caller runs
-/// one full sweep (re-seeding the list) before concluding the row is
-/// genuinely unbounded — the fallback keeps the infeasibility exit
-/// semantics identical to full pricing.
-pub(crate) struct CandidateList {
-    in_list: Vec<bool>,
-    cols: Vec<usize>,
-    row_seen: Vec<bool>,
-}
-
-impl CandidateList {
-    pub(crate) fn new(ncols: usize, m: usize) -> CandidateList {
-        CandidateList {
-            in_list: vec![false; ncols],
-            cols: Vec::new(),
-            row_seen: vec![false; m],
-        }
-    }
-
-    /// Add column `j` (deduplicated).
-    pub(crate) fn push(&mut self, j: usize) {
-        if !self.in_list[j] {
-            self.in_list[j] = true;
-            self.cols.push(j);
-        }
-    }
-
-    /// First time row `r` shows a violation? (The caller then pushes the
-    /// row's columns.)
-    pub(crate) fn note_row(&mut self, r: usize) -> bool {
-        if self.row_seen[r] {
-            false
-        } else {
-            self.row_seen[r] = true;
-            true
-        }
-    }
-
-    /// The current candidate columns (may include columns that have since
-    /// entered the basis; the pricer skips those).
-    pub(crate) fn cols(&self) -> &[usize] {
-        &self.cols
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,18 +289,5 @@ mod tests {
         d.pivot_update(0, 1, 0.0, [(1, 5.0)]);
         assert!(d.w.iter().all(|&w| w == 1.0));
         assert_eq!(d.resets(), 0);
-    }
-
-    #[test]
-    fn candidate_list_dedups_and_notes_rows_once() {
-        let mut c = CandidateList::new(5, 3);
-        assert!(c.note_row(1));
-        c.push(0);
-        c.push(3);
-        c.push(0);
-        assert_eq!(c.cols(), &[0, 3]);
-        // A row enlarges the list only the first time it violates.
-        assert!(!c.note_row(1));
-        assert!(c.note_row(2));
     }
 }

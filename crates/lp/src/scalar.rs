@@ -41,6 +41,13 @@ pub trait Scalar: Clone + std::fmt::Debug + PartialOrd {
     fn is_negligible_pivot(&self) -> bool {
         self.is_zero()
     }
+    /// Harris slack of the dual ratio test: how far a passed reduced
+    /// cost may cross zero in exchange for a larger (numerically
+    /// stabler) entering pivot. Zero for exact scalars — the relaxed
+    /// test degenerates to the exact minimal-ratio rule.
+    fn dual_ratio_slack() -> Self {
+        Self::zero()
+    }
     /// `true` if this scalar type is exact (drives pivoting-rule selection).
     const EXACT: bool;
 }
@@ -157,6 +164,15 @@ impl Scalar for f64 {
         // combination of the ones before it — dropping it costs one
         // patch pivot, accepting it poisons every later FTRAN/BTRAN.
         self.abs() <= 1e-6
+    }
+    #[inline]
+    fn dual_ratio_slack() -> Self {
+        // Two orders above `F64_EPS`: wide enough to let a healthy
+        // pivot displace a degenerate tiny-|α| one (whose primal step
+        // `violation/|α|` catapults the basics), tight enough that the
+        // dual infeasibility a relaxed step leaves behind is epsilon
+        // noise to the next pricing pass.
+        1e-7
     }
     const EXACT: bool = false;
 }

@@ -14,6 +14,7 @@
 //! [`SparseRevised`](crate::sparse::SparseRevised) kernel.
 
 use crate::bounded::{choose_leaving, entering_value, improves, shift_basics, Leaving};
+use crate::factor::{FactorChoice, FactorStats, RefactorPolicy};
 use crate::kernel::{DenseTableau, Kernel, KernelChoice, LpKernel};
 use crate::pricing::{Devex, Pricing, PricingStats};
 use crate::scalar::Scalar;
@@ -37,11 +38,20 @@ pub struct SimplexOptions {
     /// How variable upper bounds reach the kernel (native metadata by
     /// default; lowered rows as the agreement oracle).
     pub bound_mode: BoundMode,
+    /// Which basis-factorization backend the sparse kernel maintains
+    /// (see [`FactorChoice`]); `Auto` resolves to sparse LU, with the
+    /// eta file as the agreement oracle. Ignored by the dense tableau.
+    pub factor: FactorChoice,
+    /// When the sparse kernel refactorizes its basis (update cap,
+    /// fill-growth ratio, stability triggers; see [`RefactorPolicy`]) —
+    /// shared by both factorization backends.
+    pub refactor: RefactorPolicy,
 }
 
 impl Default for SimplexOptions {
-    /// Defaults honor the process-wide kernel and pricing choices
-    /// ([`crate::set_default_kernel`], [`crate::set_default_pricing`]),
+    /// Defaults honor the process-wide kernel, pricing and factorization
+    /// choices ([`crate::set_default_kernel`],
+    /// [`crate::set_default_pricing`], [`crate::set_default_factor`]),
     /// which themselves default to `Auto`.
     fn default() -> Self {
         SimplexOptions {
@@ -50,6 +60,8 @@ impl Default for SimplexOptions {
             pricing: crate::pricing::default_pricing(),
             kernel: crate::kernel::default_kernel(),
             bound_mode: BoundMode::default(),
+            factor: crate::factor::default_factor(),
+            refactor: RefactorPolicy::default(),
         }
     }
 }
@@ -75,6 +87,14 @@ impl SimplexOptions {
     pub fn with_pricing(pricing: Pricing) -> SimplexOptions {
         SimplexOptions {
             pricing,
+            ..SimplexOptions::default()
+        }
+    }
+
+    /// Default options with an explicit basis-factorization backend.
+    pub fn with_factor(factor: FactorChoice) -> SimplexOptions {
+        SimplexOptions {
+            factor,
             ..SimplexOptions::default()
         }
     }
@@ -467,6 +487,7 @@ impl<S: Scalar> LpKernel<S> for DenseTableau {
             phase1_iterations: phase1_iters,
             pivot_rule: rule,
             pricing: stats,
+            factor: FactorStats::default(),
             basis: t.basis,
             at_upper: t.at_upper,
         })

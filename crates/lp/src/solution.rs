@@ -1,5 +1,6 @@
 //! Solve results and errors.
 
+use crate::factor::FactorStats;
 use crate::kernel::Kernel;
 use crate::pricing::PricingStats;
 use crate::problem::Var;
@@ -62,6 +63,7 @@ pub struct Solution<S> {
     pivot_rule: PivotRule,
     kernel: Kernel,
     pricing: PricingStats,
+    factor: FactorStats,
     row_duals: Vec<S>,
     bound_duals: Vec<Option<S>>,
 }
@@ -76,6 +78,7 @@ impl<S: Scalar> Solution<S> {
         pivot_rule: PivotRule,
         kernel: Kernel,
         pricing: PricingStats,
+        factor: FactorStats,
         row_duals: Vec<S>,
         bound_duals: Vec<Option<S>>,
     ) -> Self {
@@ -87,6 +90,7 @@ impl<S: Scalar> Solution<S> {
             pivot_rule,
             kernel,
             pricing,
+            factor,
             row_duals,
             bound_duals,
         }
@@ -181,5 +185,42 @@ impl<S: Scalar> Solution<S> {
     #[inline]
     pub fn pricing_ms(&self) -> f64 {
         self.pricing.pricing_ms
+    }
+
+    /// Basis-factorization work the kernel reported (see [`FactorStats`]).
+    /// All-zero for the dense tableau, which keeps no factorization.
+    #[inline]
+    pub fn factor(&self) -> &FactorStats {
+        &self.factor
+    }
+
+    /// Wall-clock spent in full (re)factorizations, in milliseconds.
+    #[inline]
+    pub fn factor_ms(&self) -> f64 {
+        self.factor.factor_ms
+    }
+
+    /// Wall-clock spent applying basis-change updates, in milliseconds.
+    #[inline]
+    pub fn update_ms(&self) -> f64 {
+        self.factor.update_ms
+    }
+
+    /// Wall-clock spent in FTRAN/BTRAN solves, in milliseconds.
+    #[inline]
+    pub fn ftran_btran_ms(&self) -> f64 {
+        self.factor.ftran_btran_ms
+    }
+
+    /// Stored nonzeros of the most recent full factorization.
+    #[inline]
+    pub fn factor_nnz(&self) -> usize {
+        self.factor.factor_nnz
+    }
+
+    /// Peak factor-nnz over basis-nnz fill ratio observed.
+    #[inline]
+    pub fn fill_ratio(&self) -> f64 {
+        self.factor.fill_ratio
     }
 }

@@ -6,15 +6,15 @@
 //! regardless of platform size. This kernel never materializes the
 //! tableau. It keeps the constraint matrix in the shared CSC storage of
 //! [`StandardForm`] and maintains only a factorization of the current
-//! basis `B` in **product form** (an eta file):
+//! basis `B` behind the [`BasisFactorization`](crate::BasisFactorization)
+//! trait (see [`crate::factor`]): sparse LU with threshold-Markowitz
+//! pivoting and Forrest–Tomlin updates by default, the historical
+//! product-form eta file as the selectable agreement oracle
+//! (`SimplexOptions { factor, .. }`, `repro --factor=eta|lu`).
 //!
-//! ```text
-//! B⁻¹ = E_k · E_{k-1} · ... · E_1        (one eta matrix per pivot)
-//! ```
-//!
-//! * **FTRAN** (`d = B⁻¹ a_q`) applies the etas forward — the entering
+//! * **FTRAN** (`d = B⁻¹ a_q`) solves against the factors — the entering
 //!   column for the ratio test.
-//! * **BTRAN** (`y = B⁻ᵀ c_B`) applies them transposed in reverse — the
+//! * **BTRAN** (`y = B⁻ᵀ c_B`) solves transposed — the
 //!   dual prices for reduced-cost pricing.
 //! * **Pricing** walks nonzero column entries only: `z_j = c_j − y·a_j`
 //!   costs O(nnz) per iteration instead of the dense kernel's
@@ -26,10 +26,12 @@
 //!   costs no eta and no basis change at all. This is what lets the
 //!   steady-state formulations keep their thousands of `0 ≤ x ≤ u` box
 //!   constraints out of the basis entirely.
-//! * **Reinversion**: the eta file grows by one per pivot, so every
-//!   [`REINVERT_INTERVAL`] pivots the basis is refactorized from scratch
-//!   (product-form Gaussian elimination over the basic columns), which
-//!   also refreshes the basic values from the bound-adjusted rhs
+//! * **Refactorization**: updates accumulate cost (etas pile up; the LU
+//!   absorbs fill and row etas), so the basis is refactorized from
+//!   scratch under the shared [`RefactorPolicy`] — update-count cap,
+//!   fill-growth ratio, and (for `f64`) stability triggers on the
+//!   Forrest–Tomlin diagonal and the FTRAN residual — which also
+//!   refreshes the basic values from the bound-adjusted rhs
 //!   `b − Σ_{j at upper} u_j a_j` and flushes accumulated `f64` drift.
 //!
 //! The mutable solve state — eta file, basis, basic values, bound
@@ -63,6 +65,7 @@
 use crate::bounded::{
     choose_leaving, choose_leaving_repair, entering_value, improves, shift_basics, Leaving,
 };
+use crate::factor::{Factor, Factorization, RefactorMode, RefactorPolicy};
 use crate::kernel::{Kernel, LpKernel};
 use crate::pricing::{Devex, PricingStats};
 use crate::scalar::Scalar;
@@ -72,94 +75,12 @@ use crate::standard::{KernelOutput, StandardForm};
 use crate::warm::{WarmKernelSolve, WarmOutcome, WarmStart};
 use std::time::Instant;
 
-/// Rebuild the basis factorization after this many fresh etas.
-const REINVERT_INTERVAL: usize = 64;
-
-/// Sparse revised-simplex kernel (CSC columns + product-form inverse).
+/// Sparse revised-simplex kernel (CSC columns + factorized basis).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SparseRevised;
 
-/// One elementary (eta) matrix: the identity with column `row` replaced by
-/// the pivot column `d` — `E[row][row] = d_row`, `E[i][row] = d_i`.
-/// Stored inverted-application-ready: applying `E⁻¹` to a vector is one
-/// division and `terms.len()` multiply-subtracts.
-#[derive(Clone)]
-struct Eta<S> {
-    row: usize,
-    pivot: S,
-    /// `(i, d_i)` for `i != row`, `d_i` nonzero.
-    terms: Vec<(usize, S)>,
-}
-
-#[derive(Clone)]
-pub(crate) struct Factors<S> {
-    etas: Vec<Eta<S>>,
-    /// Etas appended since the last reinversion.
-    fresh: usize,
-}
-
-impl<S: Scalar> Factors<S> {
-    fn identity() -> Factors<S> {
-        Factors {
-            etas: Vec::new(),
-            fresh: 0,
-        }
-    }
-
-    /// `v := B⁻¹ v` (forward transformation).
-    pub(crate) fn ftran(&self, v: &mut [S]) {
-        for e in &self.etas {
-            let t = &v[e.row];
-            if t.is_zero() {
-                continue;
-            }
-            let t = t.div(&e.pivot);
-            for (i, d) in &e.terms {
-                v[*i] = v[*i].sub(&d.mul(&t));
-            }
-            v[e.row] = t;
-        }
-    }
-
-    /// Etas appended since the last reinversion — resets to zero at each
-    /// reinversion point, which callers maintaining incrementally-updated
-    /// vectors (the dual loop's prices) use as their refresh signal.
-    pub(crate) fn fresh(&self) -> usize {
-        self.fresh
-    }
-
-    /// `v := B⁻ᵀ v` (backward transformation).
-    pub(crate) fn btran(&self, v: &mut [S]) {
-        for e in self.etas.iter().rev() {
-            let mut t = v[e.row].clone();
-            for (i, d) in &e.terms {
-                if !v[*i].is_zero() {
-                    t = t.sub(&d.mul(&v[*i]));
-                }
-            }
-            v[e.row] = t.div(&e.pivot);
-        }
-    }
-
-    /// Append the eta of a pivot on `row` with transformed column `d`.
-    fn push(&mut self, row: usize, d: &[S]) {
-        let terms: Vec<(usize, S)> = d
-            .iter()
-            .enumerate()
-            .filter(|(i, x)| *i != row && !x.is_zero())
-            .map(|(i, x)| (i, x.clone()))
-            .collect();
-        self.etas.push(Eta {
-            row,
-            pivot: d[row].clone(),
-            terms,
-        });
-        self.fresh += 1;
-    }
-}
-
 /// The mutable state of a sparse revised-simplex solve: the factorized
-/// basis (eta file), the basis ↔ row assignment, the basic values, and the
+/// basis (see [`crate::factor`]), the basis ↔ row assignment, the basic values, and the
 /// `AtLower`/`Basic`/`AtUpper` status of every column.
 ///
 /// Split out of the pivoting engine so re-solve sessions can rebuild it
@@ -168,7 +89,7 @@ impl<S: Scalar> Factors<S> {
 /// → cold-fallback state machine.
 #[derive(Clone)]
 pub struct SparseState<S> {
-    pub(crate) factors: Factors<S>,
+    pub(crate) factors: Factorization<S>,
     /// `basis[i]` = column occupying row `i` of the factorized basis.
     pub(crate) basis: Vec<usize>,
     pub(crate) in_basis: Vec<bool>,
@@ -186,13 +107,13 @@ pub struct SparseState<S> {
 impl<S: Scalar> SparseState<S> {
     /// The cold starting state: slack/artificial identity basis, every
     /// structural column nonbasic at its lower bound.
-    fn cold(sf: &StandardForm<S>) -> SparseState<S> {
+    fn cold(sf: &StandardForm<S>, kind: Factor) -> SparseState<S> {
         let mut in_basis = vec![false; sf.ncols];
         for &b in &sf.basis0 {
             in_basis[b] = true;
         }
         SparseState {
-            factors: Factors::identity(),
+            factors: Factorization::identity(kind, sf.m),
             basis: sf.basis0.clone(),
             in_basis,
             x: sf.rhs.clone(),
@@ -201,9 +122,9 @@ impl<S: Scalar> SparseState<S> {
         }
     }
 
-    /// Number of etas currently in the file (diagnostic).
-    pub fn eta_count(&self) -> usize {
-        self.factors.etas.len()
+    /// Nonzeros stored in the basis factorization right now (diagnostic).
+    pub fn factor_nnz(&self) -> usize {
+        self.factors.nnz()
     }
 
     /// Rebuild a state from a [`WarmStart`] against (possibly drifted)
@@ -219,7 +140,12 @@ impl<S: Scalar> SparseState<S> {
     /// artificial is accepted only at level zero under the new
     /// coefficients — anything else is an infeasibility the repair pass
     /// drives out like any other out-of-bound basic.
-    fn from_warm(sf: &StandardForm<S>, warm: &WarmStart) -> Option<(SparseState<S>, bool)> {
+    pub(crate) fn from_warm(
+        sf: &StandardForm<S>,
+        warm: &WarmStart,
+        kind: Factor,
+        policy: &RefactorPolicy,
+    ) -> Option<(SparseState<S>, bool)> {
         debug_assert!(warm.shape_matches(sf));
         let mut upper = sf.upper.clone();
         for u in upper.iter_mut().skip(sf.art_start) {
@@ -240,11 +166,11 @@ impl<S: Scalar> SparseState<S> {
             at_upper[j] = warm.at_upper()[j] && !in_keep[j] && sf.upper[j].is_some();
         }
         let deduped = keep.len() != warm.basis().len();
-        let (st, dropped_any) = Self::factorize(sf, &keep, &at_upper, &upper)?;
+        let (st, dropped_any) = Self::factorize(sf, &keep, &at_upper, &upper, kind, policy)?;
         Some((st, deduped || dropped_any))
     }
 
-    /// Factorize the column set `cols` (eta file + row assignment),
+    /// Factorize the column set `cols` (factors + row assignment),
     /// dropping dependent columns and completing unclaimed rows with their
     /// `basis0` unit columns, then compute the basic values from the
     /// bound-adjusted rhs — *unclamped*, so the caller can check primal
@@ -255,55 +181,14 @@ impl<S: Scalar> SparseState<S> {
         cols: &[usize],
         at_upper: &[bool],
         upper: &[Option<S>],
+        kind: Factor,
+        policy: &RefactorPolicy,
     ) -> Option<(SparseState<S>, bool)> {
         let m = sf.m;
-        let mut factors = Factors::identity();
-        let mut basis = vec![usize::MAX; m];
-        let mut row_taken = vec![false; m];
-        let mut dropped_any = false;
-
-        // Pass 1: unit columns of A claim their own row eta-free.
-        let mut deferred: Vec<usize> = Vec::new();
-        for &j in cols {
-            let (rows, vals) = sf.column(j);
-            if rows.len() == 1 && !row_taken[rows[0]] && vals[0] == S::one() {
-                basis[rows[0]] = j;
-                row_taken[rows[0]] = true;
-            } else {
-                deferred.push(j);
-            }
-        }
-        // Pass 2: eliminate the general columns; a column with no usable
-        // pivot — none at all, or only a numerically negligible one that
-        // would poison the eta file (see `Scalar::is_negligible_pivot`) —
-        // is dependent on the ones before it: drop it.
-        for j in deferred {
-            let mut v = scatter(sf, j);
-            factors.ftran(&mut v);
-            match pick_pivot(&v, &row_taken) {
-                Some(r) if !v[r].is_negligible_pivot() => {
-                    factors.push(r, &v);
-                    basis[r] = j;
-                    row_taken[r] = true;
-                }
-                _ => dropped_any = true,
-            }
-        }
-        // Pass 3: complete unclaimed rows with their slack/artificial
-        // unit columns (always independent of the accepted set as a whole,
-        // though each one still needs a pivot under the running etas).
-        for r in 0..m {
-            if row_taken[r] {
-                continue;
-            }
-            let j = sf.basis0[r];
-            let mut v = scatter(sf, j);
-            factors.ftran(&mut v);
-            let pr = pick_pivot(&v, &row_taken)?;
-            factors.push(pr, &v);
-            basis[pr] = j;
-            row_taken[pr] = true;
-        }
+        let mut factors = Factorization::identity(kind, m);
+        let refac = factors.refactorize(sf, cols, RefactorMode::Strict, policy)?;
+        let basis = refac.basis;
+        let dropped_any = refac.dropped;
 
         let mut in_basis = vec![false; sf.ncols];
         for &b in &basis {
@@ -380,6 +265,9 @@ pub(crate) struct Engine<'a, S> {
     /// Pricing work accumulated across every pass this engine runs
     /// (phase 1, repairs, phase 2); lands on the [`KernelOutput`].
     pub(crate) stats: PricingStats,
+    /// When to refactorize (update cap, fill growth, stability; see
+    /// [`RefactorPolicy`]) — shared by both factorization backends.
+    pub(crate) policy: RefactorPolicy,
 }
 
 /// Scatter column `j` of the constraint matrix into a dense workvec.
@@ -392,34 +280,14 @@ pub(crate) fn scatter<S: Scalar>(sf: &StandardForm<S>, j: usize) -> Vec<S> {
     v
 }
 
-/// Pivot row for a transformed column: largest untaken `|v_i|` for inexact
-/// scalars (keeps the factorization stable), first nonzero for exact ones.
-/// `None` when the column has no nonzero in any untaken row (dependent).
-fn pick_pivot<S: Scalar>(v: &[S], row_taken: &[bool]) -> Option<usize> {
-    let mut pick: Option<usize> = None;
-    for (i, x) in v.iter().enumerate() {
-        if row_taken[i] || x.is_zero() {
-            continue;
-        }
-        match pick {
-            None => pick = Some(i),
-            Some(p) if !S::EXACT && abs_gt(x, &v[p]) => pick = Some(i),
-            _ => {}
-        }
-        if S::EXACT {
-            break;
-        }
-    }
-    pick
-}
-
 impl<'a, S: Scalar> Engine<'a, S> {
-    fn cold(sf: &'a StandardForm<S>) -> Engine<'a, S> {
+    fn cold(sf: &'a StandardForm<S>, opts: &SimplexOptions) -> Engine<'a, S> {
         Engine {
             sf,
-            st: SparseState::cold(sf),
+            st: SparseState::cold(sf, opts.factor.resolve::<S>()),
             clamp_on_refresh: true,
             stats: PricingStats::default(),
+            policy: opts.refactor,
         }
     }
 
@@ -552,7 +420,9 @@ impl<'a, S: Scalar> Engine<'a, S> {
 
     /// Replace `basis[row]` by column `q` entering with step `t` in
     /// direction `σ`, whose transformed column is `d`: update the basic
-    /// values, append the eta, and reinvert on schedule.
+    /// values, absorb the pivot into the factorization, and refactorize
+    /// when the policy says so (update cap, fill growth, or a rejected
+    /// update).
     pub(crate) fn pivot(
         &mut self,
         row: usize,
@@ -570,63 +440,70 @@ impl<'a, S: Scalar> Engine<'a, S> {
         self.st.in_basis[q] = true;
         self.st.at_upper[q] = false;
         self.st.basis[row] = q;
-        self.st.factors.push(row, d);
-        if self.st.factors.fresh >= REINVERT_INTERVAL {
+        let ok = self.st.factors.update(row, d, &self.policy);
+        let fill_cap =
+            self.policy.max_fill_growth * (self.st.factors.base_nnz().max(self.sf.m) as f64);
+        if !ok
+            || self.st.factors.fresh() >= self.policy.max_updates
+            || (self.st.factors.nnz() as f64) > fill_cap
+        {
             self.reinvert();
         }
     }
 
-    /// Refactorize the current basis from scratch: product-form Gaussian
-    /// elimination over the basic columns (unit columns first — slacks and
-    /// artificials still basic contribute no eta at all), then refresh the
-    /// basic values as `B⁻¹ (b − Σ_{j at upper} u_j a_j)`.
+    /// Refactorize the current basis from scratch under the policy's
+    /// Force regime (the basis is nonsingular by invariant; a numerically
+    /// degenerate column is dropped only as a last resort and its row
+    /// completed from `basis0`), then refresh the basic values as
+    /// `B⁻¹ (b − Σ_{j at upper} u_j a_j)`.
     pub(crate) fn reinvert(&mut self) {
-        let m = self.sf.m;
-        let mut fresh = Factors::identity();
-        let mut new_basis = vec![usize::MAX; m];
-        let mut row_taken = vec![false; m];
-        let mut deferred: Vec<usize> = Vec::new();
-        // Pass 1: columns that are unit vectors in A claim their own row
-        // eta-free (the +e_i slack/artificial columns of the lowering).
-        for &j in &self.st.basis {
-            let (rows, vals) = self.sf.column(j);
-            if rows.len() == 1 && !row_taken[rows[0]] && vals[0] == S::one() {
-                new_basis[rows[0]] = j;
-                row_taken[rows[0]] = true;
-            } else {
-                deferred.push(j);
+        let cols = self.st.basis.clone();
+        let refac = self
+            .st
+            .factors
+            .refactorize(self.sf, &cols, RefactorMode::Force, &self.policy)
+            .expect("reinvert: current basis must refactorize");
+        self.st.basis = refac.basis;
+        if refac.dropped {
+            // A basic column was numerically dependent and got replaced
+            // by its row's basis0 unit column: rebuild the membership
+            // flags to match the repaired basis.
+            for f in self.st.in_basis.iter_mut() {
+                *f = false;
+            }
+            for &b in &self.st.basis {
+                self.st.in_basis[b] = true;
+                self.st.at_upper[b] = false;
             }
         }
-        // Pass 2: eliminate the remaining columns. The basis is
-        // nonsingular by invariant, so a pivot always exists for exact
-        // scalars; for f64 a numerically degenerate column falls back to
-        // the largest entry even if tiny.
-        for j in deferred {
-            let mut v = scatter(self.sf, j);
-            fresh.ftran(&mut v);
-            let r = match pick_pivot(&v, &row_taken) {
-                Some(r) => r,
-                None => {
-                    let mut best = usize::MAX;
-                    for (i, x) in v.iter().enumerate() {
-                        if row_taken[i] {
-                            continue;
-                        }
-                        if best == usize::MAX || abs_gt(x, &v[best]) {
-                            best = i;
-                        }
-                    }
-                    best
-                }
-            };
-            fresh.push(r, &v);
-            new_basis[r] = j;
-            row_taken[r] = true;
-        }
-        self.st.basis = new_basis;
-        self.st.factors = fresh;
-        self.st.factors.fresh = 0;
         self.refresh_basics();
+    }
+
+    /// `f64` drift tripwire: check the FTRAN residual
+    /// `‖B d − a_q‖∞ ≤ stability_tol · ‖a_q‖∞` of the entering column's
+    /// transformed image. A violation means the update chain has gone
+    /// numerically bad before the update cap — refactorize now.
+    fn ftran_residual_ok(&self, q: usize, d: &[S]) -> bool {
+        let mut acc = vec![0.0f64; self.sf.m];
+        for (i, di) in d.iter().enumerate() {
+            let df = di.to_f64();
+            if df == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.sf.column(self.st.basis[i]);
+            for (r, a) in rows.iter().zip(vals) {
+                acc[*r] += df * a.to_f64();
+            }
+        }
+        let (rows, vals) = self.sf.column(q);
+        let mut anorm = 1.0f64;
+        for (r, a) in rows.iter().zip(vals) {
+            let af = a.to_f64();
+            acc[*r] -= af;
+            anorm = anorm.max(af.abs());
+        }
+        let rmax = acc.iter().fold(0.0f64, |mx, x| mx.max(x.abs()));
+        rmax <= self.policy.stability_tol * anorm
     }
 
     /// Recompute the basic values from the factorization and the
@@ -673,12 +550,18 @@ impl<'a, S: Scalar> Engine<'a, S> {
         // Entering rule mirrors `optimize`: greedy Dantzig pricing on the
         // composite gradient for inexact scalars (steepest infeasibility
         // reduction — Bland's index order crawls on wide repairs), with
-        // Bland as the exact-scalar / anti-cycling tail regime.
+        // Bland as the exact-scalar / anti-cycling tail regime. The Bland
+        // tail is kept short (the last quarter of the budget): a junk
+        // warm basis can need most of the budget under Dantzig — watched
+        // walk 227 infeasible rows down to 8 by half-budget and finish
+        // around 850 — and a half-budget Bland regime turned exactly
+        // those repairs into a crawl (5 rows retired in 800 index-order
+        // pivots) that exhausted the budget and went cold.
         let use_bland = S::EXACT;
         let dantzig_cap = if use_bland {
             0
         } else {
-            repair_budget.saturating_div(2)
+            repair_budget - repair_budget / 4
         };
         let mut iters = 0usize;
         loop {
@@ -775,6 +658,22 @@ impl<'a, S: Scalar> Engine<'a, S> {
             let sigma_pos = !self.st.at_upper[q];
             let mut d = scatter(self.sf, q);
             self.st.factors.ftran(&mut d);
+            if !S::EXACT
+                && self.policy.residual_interval > 0
+                && self.st.factors.fresh() >= self.policy.residual_interval
+                && self
+                    .st
+                    .factors
+                    .fresh()
+                    .is_multiple_of(self.policy.residual_interval)
+                && !self.ftran_residual_ok(q, &d)
+            {
+                // Update-chain drift caught by the residual trigger:
+                // rebuild the factors and re-run the iteration on fresh
+                // numbers (fresh() == 0 afterwards, so no re-trigger).
+                self.reinvert();
+                continue;
+            }
             let Some((leaving, step)) =
                 choose_leaving(&d, &self.st.x, &self.st.basis, &self.st.upper, q, sigma_pos)
             else {
@@ -854,16 +753,11 @@ impl<'a, S: Scalar> Engine<'a, S> {
             phase1_iterations: phase1_iters,
             pivot_rule: opts.pricing.resolve::<S>(opts.force_bland),
             pricing: self.stats,
+            factor: self.st.factors.stats(),
             basis: self.st.basis.clone(),
             at_upper: self.st.at_upper.clone(),
         })
     }
-}
-
-/// `|a| > |b|` without requiring `abs` on the scalar.
-fn abs_gt<S: Scalar>(a: &S, b: &S) -> bool {
-    let abs = |x: &S| if x.is_negative() { x.neg() } else { x.clone() };
-    abs(a) > abs(b)
 }
 
 impl SparseRevised {
@@ -873,7 +767,7 @@ impl SparseRevised {
         sf: &StandardForm<S>,
         opts: &SimplexOptions,
     ) -> Result<KernelOutput<S>, SolveError> {
-        let mut eng = Engine::cold(sf);
+        let mut eng = Engine::cold(sf, opts);
         let mut budget = opts.budget(sf.m, sf.ncols);
         let mut phase1_iters = 0usize;
 
@@ -967,7 +861,9 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
         if !w.shape_matches(sf) {
             return cold(WarmOutcome::ColdFallback);
         }
-        let Some((st, patched)) = SparseState::from_warm(sf, w) else {
+        let Some((st, patched)) =
+            SparseState::from_warm(sf, w, opts.factor.resolve::<S>(), &opts.refactor)
+        else {
             return cold(WarmOutcome::ColdFallback);
         };
         let mut eng = Engine {
@@ -975,6 +871,7 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
             st,
             clamp_on_refresh: true,
             stats: PricingStats::default(),
+            policy: opts.refactor,
         };
         let mut repair_iters = 0usize;
         let mut outcome = if patched {
@@ -990,47 +887,13 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
             // their boxes converge, while the mild-drift common case
             // exits after a handful of pivots regardless.
             let saved = eng.st.clone();
-            // Candidate-list partial pricing restricts the dual ratio
-            // test to columns supported on violated rows (plus recent
-            // leavers). On mild drift the entering column is almost
-            // always in that set and each pivot prices a few hundred
-            // columns instead of all of them — but ρ = B⁻ᵀe_r spreads
-            // beyond the violated row's own support, so on hard drift
-            // the restricted test mis-sizes dual steps, spawns new
-            // violations, and wanders. The partial attempt therefore
-            // gets a *short* budget; if it does not converge quickly,
-            // the basis is restored and the full-pricing dual repair
-            // runs with its original budget — partial pricing can make
-            // the common case cheaper, never the hard case worse.
-            let partial = matches!(
-                opts.pricing.resolve::<S>(opts.force_bland),
-                PivotRule::Devex
-            );
-            // The partial attempt fails *cheap*: its restricted scans
-            // price a few thousand columns per pivot, so half the full
-            // budget bounds a wasted attempt at a fraction of a full
-            // sweep's cost — and when the candidate list wanders (its
-            // restricted entering choices can walk the basis somewhere
-            // the repair then spends hundreds of pivots escaping), the
-            // full-pricing rerun from the untouched snapshot routinely
-            // finishes in a tenth of the pivots the wandering attempt
-            // burned. Endgame/explosion guards inside `dual_loop` hand
-            // single bad stretches over to full pricing in place; the
-            // short budget is the backstop for attempts that are bad
-            // throughout.
-            let mut dual = if partial {
-                let out = eng.dual_repair(sf.m / 2 + 32, true);
-                if out.is_none() {
-                    eng.st = saved.clone();
-                }
-                out
-            } else {
-                None
-            };
-            if dual.is_none() {
-                dual = eng.dual_repair(sf.m + 64, false);
-            }
-            match dual {
+            // One attempt, one pricing mode: the dual loop computes each
+            // pivot row row-wise over ρ's support (see `dual_loop`), which
+            // is exact full pricing at a restricted scan's cost — there is
+            // no cheaper-but-incomplete mode left to try first, and a
+            // second attempt from the snapshot would replay the same
+            // deterministic trajectory with a bigger budget.
+            match eng.dual_repair(sf.m + 64) {
                 Some(it) => {
                     repair_iters = it;
                     outcome = WarmOutcome::DualRepaired;
@@ -1073,56 +936,6 @@ mod tests {
     use super::*;
     use ss_num::Ratio;
 
-    fn ftran_btran_roundtrip_on(m: usize, pivots: &[(usize, Vec<i64>)]) {
-        // Build an eta file from integer pivot columns and check that
-        // FTRAN(a_q) after pushing equals e_row.
-        let mut f: Factors<Ratio> = Factors::identity();
-        for (row, col) in pivots {
-            let d: Vec<Ratio> = col.iter().map(|&x| Ratio::from_int(x)).collect();
-            assert!(!d[*row].is_zero());
-            f.push(*row, &d);
-            // The freshly pivoted column must map to a unit vector.
-            let mut v = d.clone();
-            // v was already B_old⁻¹ a_q; applying only the new eta:
-            let mut single: Factors<Ratio> = Factors::identity();
-            single.push(*row, &d);
-            single.ftran(&mut v);
-            for (i, x) in v.iter().enumerate() {
-                let want = if i == *row {
-                    Ratio::one()
-                } else {
-                    Ratio::zero()
-                };
-                assert_eq!(*x, want, "m={m} row={row} i={i}");
-            }
-        }
-    }
-
-    #[test]
-    fn eta_application_maps_pivot_column_to_unit() {
-        ftran_btran_roundtrip_on(3, &[(0, vec![2, 1, 0]), (2, vec![0, 3, 5])]);
-        ftran_btran_roundtrip_on(2, &[(1, vec![7, -3])]);
-    }
-
-    #[test]
-    fn btran_is_transpose_of_ftran() {
-        // For random-ish integer etas, check <B⁻ᵀu, v> == <u, B⁻¹v>.
-        let mut f: Factors<Ratio> = Factors::identity();
-        f.push(0, &[Ratio::from_int(2), Ratio::from_int(1), Ratio::zero()]);
-        f.push(
-            2,
-            &[Ratio::from_int(-1), Ratio::from_int(4), Ratio::from_int(3)],
-        );
-        let u: Vec<Ratio> = [1, -2, 5].iter().map(|&x| Ratio::from_int(x)).collect();
-        let v: Vec<Ratio> = [3, 7, -1].iter().map(|&x| Ratio::from_int(x)).collect();
-        let mut bu = u.clone();
-        f.btran(&mut bu);
-        let mut fv = v.clone();
-        f.ftran(&mut fv);
-        let dot = |a: &[Ratio], b: &[Ratio]| -> Ratio { a.iter().zip(b).map(|(x, y)| x * y).sum() };
-        assert_eq!(dot(&bu, &v), dot(&u, &fv));
-    }
-
     #[test]
     fn warm_state_rebuilds_and_detects_infeasible_hints() {
         use crate::{lower, Cmp, Problem, Sense};
@@ -1143,10 +956,14 @@ mod tests {
             .solve(&sf, &SimplexOptions::default())
             .unwrap();
         let ws = WarmStart::from_output(&sf, &out);
-        // The optimal basis snapshot refactorizes feasibly, no repair.
-        let (st, repaired) = SparseState::from_warm(&sf, &ws).unwrap();
-        assert!(!repaired);
-        assert!(st.is_feasible());
+        let pol = RefactorPolicy::default();
+        // The optimal basis snapshot refactorizes feasibly, no repair —
+        // under either factorization backend.
+        for kind in [Factor::EtaFile, Factor::SparseLu] {
+            let (st, repaired) = SparseState::from_warm(&sf, &ws, kind, &pol).unwrap();
+            assert!(!repaired);
+            assert!(st.is_feasible());
+        }
         // A hint resting both columns at their upper bounds (x = y = 3)
         // overshoots the cap row: the slack basic goes negative — primal
         // infeasible, composite repair territory.
@@ -1157,7 +974,7 @@ mod tests {
             sf.basis0.clone(),
             vec![true, true, false],
         );
-        let (st, _) = SparseState::from_warm(&sf, &bad).unwrap();
+        let (st, _) = SparseState::from_warm(&sf, &bad, Factor::SparseLu, &pol).unwrap();
         assert!(!st.is_feasible());
         // End to end, the repair pass restores feasibility and the solve
         // still lands on the true optimum (x + y = 4).

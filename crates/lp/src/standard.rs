@@ -151,6 +151,11 @@ pub struct KernelOutput<S> {
     /// Pricing work done: columns priced, wall-clock spent selecting
     /// entering columns, dual full-sweep fallbacks.
     pub pricing: PricingStats,
+    /// Basis-factorization work done: backend, wall-clock split between
+    /// refactorization / Forrest–Tomlin updates / FTRAN+BTRAN solves, and
+    /// factor fill (see [`FactorStats`](crate::FactorStats)). Zeroed by the
+    /// dense tableau, which keeps no factorization.
+    pub factor: crate::factor::FactorStats,
     /// Final basic columns (a set; may be shorter than `m` when the kernel
     /// dropped redundant rows). Feeds
     /// [`WarmStart::from_output`](crate::WarmStart::from_output).
@@ -369,6 +374,7 @@ pub fn assemble<S: Scalar>(
         out.pivot_rule,
         kernel,
         out.pricing,
+        out.factor,
         row_duals,
         bound_duals,
     )

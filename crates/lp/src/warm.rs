@@ -204,6 +204,13 @@ impl<S: Scalar> WarmRun<S> {
     pub fn kernel(&self) -> Kernel {
         self.solution.kernel()
     }
+
+    /// Basis-factorization work the solve reported (see
+    /// [`FactorStats`](crate::FactorStats)): backend, wall-clock split
+    /// between refactorize/update/FTRAN+BTRAN, and factor fill.
+    pub fn factor(&self) -> &crate::factor::FactorStats {
+        self.solution.factor()
+    }
 }
 
 #[cfg(test)]
