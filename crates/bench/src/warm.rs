@@ -945,24 +945,28 @@ pub fn bench_check() {
         "fresh warm-scale pivots and warm/cold wall-clock ratio within 2x of the committed \
          record at every p."
     );
+
+    // The service slice of the gate: batched-over-unbatched throughput
+    // and all-warm restarts vs the committed BENCH_service.json.
+    crate::service::service_check();
 }
 
 /// Look up `key` in a JSON object `Value`.
-fn json_field<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+pub(crate) fn json_field<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
     match v {
         serde_json::Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
         _ => None,
     }
 }
 
-fn json_array(v: &serde_json::Value) -> Option<&[serde_json::Value]> {
+pub(crate) fn json_array(v: &serde_json::Value) -> Option<&[serde_json::Value]> {
     match v {
         serde_json::Value::Array(items) => Some(items),
         _ => None,
     }
 }
 
-fn json_f64(v: &serde_json::Value) -> Option<f64> {
+pub(crate) fn json_f64(v: &serde_json::Value) -> Option<f64> {
     match v {
         serde_json::Value::Int(i) => Some(*i as f64),
         serde_json::Value::UInt(u) => Some(*u as f64),

@@ -22,7 +22,7 @@
 
 use crate::engine::{activities_from, Activities, Formulation};
 use crate::error::CoreError;
-use ss_lp::{KernelChoice, Scalar, SimplexOptions, WarmOutcome, WarmStart};
+use ss_lp::{KernelChoice, Scalar, SimplexOptions, StandardForm, WarmOutcome, WarmStart};
 use ss_num::Ratio;
 use ss_platform::Platform;
 use std::marker::PhantomData;
@@ -60,6 +60,16 @@ pub struct SolveTelemetry {
     /// bookkeeping, so folding it into the solve time would overstate
     /// warm cost.
     pub snapshot_ms: f64,
+    /// Wall-clock spent lowering the built problem into kernel standard
+    /// form, in milliseconds. On every re-solve after the first the
+    /// session *refreshes* the cached CSC form numerically in place
+    /// instead of re-lowering symbolically (see `ss_lp::refresh`), so this
+    /// is the amortized cost batched re-plan serving banks on.
+    pub lower_ms: f64,
+    /// `true` when this solve reused the session's cached symbolic
+    /// lowering (numeric refresh only); `false` on the first solve and
+    /// after any shape change.
+    pub lowering_reused: bool,
     /// Columns priced across the solve: entering-rule scans in the primal
     /// kernels plus candidate scans in the dual repair (see
     /// `ss_lp::PricingStats`).
@@ -102,12 +112,18 @@ pub struct SessionStats {
     pub iterations: usize,
     /// Exact re-certifications performed ([`SolveSession::certify`]).
     pub certifications: usize,
+    /// Re-solves that reused the cached symbolic lowering (numeric
+    /// refresh instead of a full CSC rebuild).
+    pub lowering_reuses: usize,
 }
 
 impl SessionStats {
     fn record(&mut self, t: &SolveTelemetry) {
         self.solves += 1;
         self.iterations += t.iterations;
+        if t.lowering_reused {
+            self.lowering_reuses += 1;
+        }
         match t.outcome {
             WarmOutcome::Cold => self.cold += 1,
             WarmOutcome::Warm => self.warm += 1,
@@ -147,6 +163,8 @@ pub struct SolveSession<S: Scalar, F: Formulation> {
     formulation: F,
     kernel: KernelChoice,
     warm: Option<WarmStart>,
+    lowered: Option<StandardForm<S>>,
+    reuse_lowering: bool,
     stats: SessionStats,
     _scalar: PhantomData<S>,
 }
@@ -166,6 +184,8 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
             formulation,
             kernel,
             warm: None,
+            lowered: None,
+            reuse_lowering: true,
             stats: SessionStats::default(),
             _scalar: PhantomData,
         }
@@ -189,6 +209,27 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
     /// Drop the warm state: the next re-solve starts cold.
     pub fn reset(&mut self) {
         self.warm = None;
+        self.lowered = None;
+    }
+
+    /// Seed the session's warm state from an externally persisted
+    /// snapshot (see `ss_lp::WarmStart`'s serde support): the next
+    /// [`SolveSession::resolve`] warm-starts from it exactly as if this
+    /// session had produced it — the restore path that lets a restarted
+    /// service worker resume warm instead of cold.
+    pub fn seed_warm(&mut self, warm: WarmStart) {
+        self.warm = Some(warm);
+    }
+
+    /// Enable or disable symbolic-lowering reuse (on by default). With
+    /// reuse off every re-solve re-lowers from scratch — the honest
+    /// "unbatched" baseline the `service-scale` benchmark compares
+    /// against.
+    pub fn set_lowering_reuse(&mut self, on: bool) {
+        self.reuse_lowering = on;
+        if !on {
+            self.lowered = None;
+        }
     }
 
     /// Re-solve against `g`'s current parameters, warm-starting from the
@@ -197,9 +238,22 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
         let tb = Instant::now();
         let (p, vars) = self.formulation.build(g)?;
         let build_ms = tb.elapsed().as_secs_f64() * 1e3;
-        let t0 = Instant::now();
         let opts = SimplexOptions::with_kernel(self.kernel);
-        let run = p.solve_warm_with::<S>(&opts, self.warm.as_ref())?;
+        // Lower into the cached form when the symbolic pattern still
+        // matches (numeric refresh, allocation-free); fall back to a full
+        // symbolic lowering on the first solve or after a shape change.
+        let tl = Instant::now();
+        let reused = match (self.reuse_lowering, self.lowered.as_mut()) {
+            (true, Some(sf)) => ss_lp::refresh(&p, sf),
+            _ => false,
+        };
+        if !reused {
+            self.lowered = Some(ss_lp::lower_with::<S>(&p, opts.bound_mode));
+        }
+        let lower_ms = tl.elapsed().as_secs_f64() * 1e3;
+        let sf = self.lowered.as_ref().expect("lowered form just installed");
+        let t0 = Instant::now();
+        let run = ss_lp::solve_warm_on::<S>(&p, sf, &opts, self.warm.as_ref())?;
         let telemetry = SolveTelemetry {
             outcome: run.outcome,
             iterations: run.solution.iterations(),
@@ -207,6 +261,8 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
             solve_ms: t0.elapsed().as_secs_f64() * 1e3 - run.snapshot_ms,
             build_ms,
             snapshot_ms: run.snapshot_ms,
+            lower_ms,
+            lowering_reused: reused,
             priced_columns: run.solution.priced_columns(),
             pricing_ms: run.solution.pricing_ms(),
             factor_ms: run.solution.factor_ms(),
@@ -320,6 +376,48 @@ mod tests {
         let warm = sess.resolve(&g2).unwrap();
         assert!(warm.telemetry.outcome.used_warm_basis());
         assert_eq!(sess.stats().cold_fallback, 1);
+    }
+
+    #[test]
+    fn resolves_reuse_the_cached_lowering_across_drifts() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5150);
+        let (g, m) = topo::random_connected(&mut rng, 8, 0.3, &topo::ParamRange::default());
+        let mut sess: SolveSession<f64, _> = SolveSession::new(MasterSlave::new(m));
+        let first = sess.resolve(&g).unwrap();
+        assert!(!first.telemetry.lowering_reused);
+        let second = sess.resolve(&g).unwrap();
+        assert!(second.telemetry.lowering_reused);
+        assert_eq!(sess.stats().lowering_reuses, 1);
+        // The refreshed-form solve agrees with a from-scratch session.
+        let mut fresh: SolveSession<f64, _> = SolveSession::new(MasterSlave::new(m));
+        fresh.set_lowering_reuse(false);
+        fresh.resolve(&g).unwrap();
+        let uncached = fresh.resolve(&g).unwrap();
+        assert!(!uncached.telemetry.lowering_reused);
+        assert!(
+            (second.activities.objective_f64() - uncached.activities.objective_f64()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn seeded_warm_snapshot_revives_a_fresh_session_warm() {
+        let (g, m) = paper::fig1();
+        let mut sess: SolveSession<f64, _> = SolveSession::new(MasterSlave::new(m));
+        sess.resolve(&g).unwrap();
+        let snap = sess.warm_state().cloned().expect("snapshot after solve");
+        // A brand-new session (as after a service restart) seeded with the
+        // persisted snapshot re-plans warm, not cold.
+        let mut revived: SolveSession<f64, _> = SolveSession::new(MasterSlave::new(m));
+        revived.seed_warm(snap);
+        let s = revived.resolve(&g).unwrap();
+        assert!(
+            s.telemetry.outcome.used_warm_basis(),
+            "{:?}",
+            s.telemetry.outcome
+        );
+        assert_eq!(revived.stats().cold, 0);
     }
 
     #[test]

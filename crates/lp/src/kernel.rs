@@ -177,6 +177,38 @@ pub fn solve_warm_with_kernel<S: Scalar>(
     })
 }
 
+/// Warm-capable solve over a **pre-lowered** form: the batched-service
+/// fast path. `sf` must be a lowering of `problem` under `opts.bound_mode`
+/// (either fresh from [`crate::lower_with`] or numerically refreshed in
+/// place by [`crate::refresh`]); the solve itself, snapshot capture and
+/// solution assembly are identical to [`solve_warm_with_kernel`], minus
+/// the symbolic lowering this entry point exists to amortize.
+pub fn solve_warm_on<S: Scalar>(
+    problem: &Problem,
+    sf: &StandardForm<S>,
+    opts: &SimplexOptions,
+    warm: Option<&WarmStart>,
+) -> Result<WarmRun<S>, SolveError> {
+    debug_assert_eq!(
+        sf.bound_mode, opts.bound_mode,
+        "form/options bound-mode mismatch"
+    );
+    let kernel: &dyn LpKernel<S> = match opts.kernel.resolve::<S>() {
+        Kernel::Dense => &DenseTableau,
+        Kernel::SparseRevised => &crate::sparse::SparseRevised,
+    };
+    let ws = kernel.solve_warm(sf, opts, warm)?;
+    let t0 = std::time::Instant::now();
+    let next = WarmStart::from_output(sf, &ws.output);
+    let snapshot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Ok(WarmRun {
+        solution: crate::standard::assemble(problem, sf, ws.output, kernel.tag()),
+        outcome: ws.outcome,
+        warm: next,
+        snapshot_ms,
+    })
+}
+
 /// Dispatch a solve according to `opts.kernel`.
 pub(crate) fn solve<S: Scalar>(
     problem: &Problem,

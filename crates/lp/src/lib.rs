@@ -69,8 +69,8 @@ pub use factor::{
     FactorStats, RefactorMode, RefactorPolicy, Refactorized, SparseLu,
 };
 pub use kernel::{
-    default_kernel, set_default_kernel, solve_warm_with_kernel, solve_with_kernel, DenseTableau,
-    Kernel, KernelChoice, LpKernel,
+    default_kernel, set_default_kernel, solve_warm_on, solve_warm_with_kernel, solve_with_kernel,
+    DenseTableau, Kernel, KernelChoice, LpKernel,
 };
 pub use pricing::{default_pricing, set_default_pricing, Pricing, PricingStats};
 pub use problem::{Cmp, LinExpr, Problem, Sense, Var};
@@ -78,5 +78,5 @@ pub use scalar::Scalar;
 pub use simplex::SimplexOptions;
 pub use solution::{PivotRule, Solution, SolveError, Status};
 pub use sparse::{SparseRevised, SparseState};
-pub use standard::{lower, lower_with, BoundMode, KernelOutput, StandardForm};
+pub use standard::{lower, lower_with, refresh, BoundMode, KernelOutput, StandardForm};
 pub use warm::{WarmKernelSolve, WarmOutcome, WarmRun, WarmStart};

@@ -324,6 +324,139 @@ pub fn lower_with<S: Scalar>(problem: &Problem, bound_mode: BoundMode) -> Standa
     }
 }
 
+/// Numerically re-lower `problem` **into** an existing same-pattern `sf`,
+/// skipping the symbolic work (column layout, CSC pattern, basis/witness
+/// assignment) that [`lower_with`] repeats from scratch on every solve.
+///
+/// This is the amortization lever behind batched re-plan serving: a
+/// re-solve session keeps the lowered form of its first solve and every
+/// subsequent drift re-plan only rewrites the numeric arrays (`vals`,
+/// `rhs`, `cost2`, `upper`, `flipped`) in place — no intermediate
+/// per-column `Vec` building, no CSC reassembly, no allocation at all.
+///
+/// Returns `true` when the refresh succeeded. Returns `false` when the
+/// problem no longer matches the form's symbolic pattern — different
+/// row/column counts, a drifted right-hand side changing sign (which
+/// re-types the row's slack/artificial layout), a bound appearing or
+/// disappearing, or a changed sense. **On `false` the form's numeric
+/// contents are unspecified**: the caller must discard it and re-lower
+/// with [`lower_with`].
+///
+/// Only [`BoundMode::Native`] forms are refreshable (the lowered-rows
+/// oracle re-lowers fully, keeping the agreement path simple).
+pub fn refresh<S: Scalar>(problem: &Problem, sf: &mut StandardForm<S>) -> bool {
+    if sf.bound_mode != BoundMode::Native
+        || problem.num_vars() != sf.nstruct
+        || problem.rows.len() != sf.m
+        || sf.num_explicit != sf.m
+        || matches!(problem.sense(), Sense::Minimize) != sf.negate
+    {
+        return false;
+    }
+    // Per-column write cursors: entries of a column were pushed in
+    // ascending row order by `lower_with`, and we scan rows in the same
+    // order, so each nonzero's flat position is the next unwritten slot of
+    // its column.
+    let mut cursor: Vec<usize> = sf.col_ptr[..sf.ncols].to_vec();
+    let mut next_slack = sf.nstruct;
+    let mut next_art = sf.art_start;
+    for (i, row) in problem.rows.iter().enumerate() {
+        let mut rhs = S::from_ratio(&row.rhs);
+        let flip = rhs.is_negative();
+        if flip {
+            rhs = rhs.neg();
+        }
+        let cmp = if flip {
+            match row.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            }
+        } else {
+            row.cmp
+        };
+        for (v, c) in row.expr.terms() {
+            let j = v.index();
+            let k = cursor[j];
+            if k >= sf.col_ptr[j + 1] || sf.row_idx[k] != i {
+                return false;
+            }
+            let val = S::from_ratio(c);
+            sf.vals[k] = if flip { val.neg() } else { val };
+            cursor[j] = k + 1;
+        }
+        sf.rhs[i] = rhs;
+        sf.flipped[i] = flip;
+        // Re-type the row's slack/artificial columns, checking the
+        // assignment matches the recorded pattern exactly.
+        let mut place = |col: usize, val: S, cursor: &mut [usize]| -> bool {
+            let k = cursor[col];
+            if k >= sf.col_ptr[col + 1] || sf.row_idx[k] != i {
+                return false;
+            }
+            sf.vals[k] = val;
+            cursor[col] = k + 1;
+            true
+        };
+        match cmp {
+            Cmp::Le => {
+                if sf.basis0[i] != next_slack
+                    || sf.witness[i] != next_slack
+                    || !place(next_slack, S::one(), &mut cursor)
+                {
+                    return false;
+                }
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                if sf.basis0[i] != next_art
+                    || sf.witness[i] != next_art
+                    || !place(next_slack, S::one().neg(), &mut cursor)
+                {
+                    return false;
+                }
+                next_slack += 1;
+                if !place(next_art, S::one(), &mut cursor) {
+                    return false;
+                }
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                if sf.basis0[i] != next_art
+                    || sf.witness[i] != next_art
+                    || !place(next_art, S::one(), &mut cursor)
+                {
+                    return false;
+                }
+                next_art += 1;
+            }
+        }
+    }
+    if next_slack != sf.art_start || next_art != sf.ncols {
+        return false;
+    }
+    // Every stored nonzero must have been rewritten — a leftover slot
+    // means the problem lost a coefficient the pattern still carries.
+    if (0..sf.ncols).any(|j| cursor[j] != sf.col_ptr[j + 1]) {
+        return false;
+    }
+    for c in sf.cost2.iter_mut() {
+        *c = S::zero();
+    }
+    for (j, c) in problem.objective_terms() {
+        let c = S::from_ratio(c);
+        sf.cost2[j] = if sf.negate { c.neg() } else { c };
+    }
+    for (j, ub) in problem.upper_bounds().iter().enumerate() {
+        match (ub, sf.upper[j].is_some()) {
+            (Some(u), true) => sf.upper[j] = Some(S::from_ratio(u)),
+            (None, false) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
 /// Package a kernel's output into the public [`Solution`]: recompute the
 /// objective from the point (exact, sign-safe), and undo the rhs flips and
 /// the minimize negation on the duals and bound multipliers.
@@ -416,6 +549,80 @@ mod tests {
         assert!(sf.upper[sf.nstruct..].iter().all(Option::is_none));
         assert!(sf.negate);
         assert!(!sf.flipped[0] && sf.flipped[1]);
+    }
+
+    #[test]
+    fn refresh_matches_full_relower_under_drift() {
+        use crate::problem::Sense;
+        let build = |a: i64, rhs_ge: i64, ub: i64| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var_bounded("x", Ratio::from_int(ub));
+            let y = p.add_var("y");
+            p.set_objective_coeff(x, Ratio::from_int(a));
+            p.add_constraint(
+                "ge",
+                [(x, Ratio::from_int(a)), (y, Ratio::one())],
+                Cmp::Ge,
+                Ratio::from_int(rhs_ge),
+            );
+            p.add_constraint("eq", [(y, Ratio::one())], Cmp::Eq, Ratio::from_int(-1));
+            p
+        };
+        let mut sf = lower::<Ratio>(&build(1, 2, 5));
+        // Drift every numeric surface: matrix, rhs, objective, bound.
+        let drifted = build(3, 7, 9);
+        assert!(refresh(&drifted, &mut sf));
+        let fresh = lower::<Ratio>(&drifted);
+        assert_eq!(sf.vals, fresh.vals);
+        assert_eq!(sf.rhs, fresh.rhs);
+        assert_eq!(sf.cost2, fresh.cost2);
+        assert_eq!(sf.upper, fresh.upper);
+        assert_eq!(sf.flipped, fresh.flipped);
+        assert_eq!(sf.col_ptr, fresh.col_ptr);
+        assert_eq!(sf.row_idx, fresh.row_idx);
+        assert_eq!(sf.basis0, fresh.basis0);
+    }
+
+    #[test]
+    fn refresh_rejects_pattern_changes() {
+        use crate::problem::Sense;
+        let p = two_row_bounded_problem();
+        let mut sf = lower::<Ratio>(&p);
+        // A flipped rhs sign re-types the Eq row's normalization: the
+        // symbolic pattern survives but an extra structural check must
+        // catch genuinely different shapes.
+        let mut bigger = Problem::new(Sense::Minimize);
+        let x = bigger.add_var_bounded("x", Ratio::from_int(5));
+        let y = bigger.add_var("y");
+        let z = bigger.add_var("z");
+        bigger.set_objective_coeff(x, Ratio::one());
+        bigger.add_constraint(
+            "ge",
+            [(x, Ratio::one()), (y, Ratio::one()), (z, Ratio::one())],
+            Cmp::Ge,
+            Ratio::from_int(2),
+        );
+        bigger.add_constraint("eq", [(y, Ratio::one())], Cmp::Eq, Ratio::from_int(-1));
+        assert!(!refresh(&bigger, &mut sf));
+
+        // A rhs sign flip that re-types a row (Ge becomes Le, losing its
+        // artificial) changes the slack/artificial layout: rejected,
+        // caller re-lowers. An Eq-row flip only negates values and stays
+        // refreshable.
+        let mut p2 = two_row_bounded_problem();
+        let mut sf2 = lower::<Ratio>(&p2);
+        p2.rows[0].rhs = Ratio::from_int(-2);
+        assert!(!refresh(&p2, &mut sf2));
+        let mut p3 = two_row_bounded_problem();
+        let mut sf3 = lower::<Ratio>(&p3);
+        p3.rows[1].rhs = Ratio::one();
+        assert!(refresh(&p3, &mut sf3));
+        assert_eq!(sf3.vals, lower::<Ratio>(&p3).vals);
+        assert_eq!(sf3.flipped, lower::<Ratio>(&p3).flipped);
+
+        // LoweredRows forms never refresh.
+        let mut sf4 = lower_with::<Ratio>(&p, BoundMode::LoweredRows);
+        assert!(!refresh(&p, &mut sf4));
     }
 
     #[test]

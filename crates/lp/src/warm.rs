@@ -168,6 +168,55 @@ impl WarmStart {
     pub fn num_rows(&self) -> usize {
         self.m
     }
+
+    /// Total columns of the form this snapshot was taken from.
+    pub fn num_cols(&self) -> usize {
+        self.ncols
+    }
+
+    /// First artificial column index of the source form.
+    pub fn artificial_start(&self) -> usize {
+        self.art_start
+    }
+}
+
+// A snapshot is a few `usize`s per column, which makes it the natural unit
+// of *warm persistence*: `ss-service` serializes every tenant's snapshot
+// to disk so a restarted worker re-plans warm instead of cold. The
+// `at_upper` bitmap rides as a compact 0/1 integer vector.
+impl serde::Serialize for WarmStart {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("WarmStart", 5)?;
+        st.serialize_field("m", &self.m)?;
+        st.serialize_field("ncols", &self.ncols)?;
+        st.serialize_field("art_start", &self.art_start)?;
+        st.serialize_field("basis", &self.basis)?;
+        let bits: Vec<u8> = self.at_upper.iter().map(|&b| b as u8).collect();
+        st.serialize_field("at_upper", &bits)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for WarmStart {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<WarmStart, D::Error> {
+        use serde::de::Error as _;
+        let m = usize::deserialize(deserializer.clone().take_field("m")?)?;
+        let ncols = usize::deserialize(deserializer.clone().take_field("ncols")?)?;
+        let art_start = usize::deserialize(deserializer.clone().take_field("art_start")?)?;
+        let basis = Vec::<usize>::deserialize(deserializer.clone().take_field("basis")?)?;
+        let bits = Vec::<u8>::deserialize(deserializer.take_field("at_upper")?)?;
+        if basis.len() > ncols || basis.iter().any(|&j| j >= ncols) || bits.len() != ncols {
+            return Err(D::Error::custom("inconsistent WarmStart snapshot"));
+        }
+        Ok(WarmStart {
+            m,
+            ncols,
+            art_start,
+            basis,
+            at_upper: bits.into_iter().map(|b| b != 0).collect(),
+        })
+    }
 }
 
 /// What [`LpKernel::solve_warm`](crate::LpKernel::solve_warm) hands back:

@@ -3,48 +3,77 @@
 //! The serving layer the §5.5 adaptive story scales up to: many
 //! independent applications ("tenants"), each with its own platform and
 //! master, all keeping a **hot warm-started re-solve session**
-//! ([`SolveSession`]) alive between requests. A tenant's steady-state
-//! plan is recomputed only when its observed parameters drift — and the
-//! re-solve reuses the previous optimal basis, so a re-plan costs a
-//! handful of simplex pivots instead of a full two-phase solve.
+//! ([`SolveSession`](ss_core::session::SolveSession)) alive between
+//! requests. A tenant's steady-state plan is recomputed only when its
+//! observed parameters drift — and the re-solve reuses the previous
+//! optimal basis *and* the previous symbolic CSC lowering, so a re-plan
+//! costs a handful of simplex pivots plus a numeric refresh instead of a
+//! full two-phase solve.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!  ServiceClient ──┬── mpsc ──▶ worker 0 ── {tenant a, tenant d, ...}
-//!   (cloneable)    ├── mpsc ──▶ worker 1 ── {tenant b, ...}
-//!                  └── mpsc ──▶ worker k ── {tenant c, ...}
+//!             ┌────────────────┐ frames  ┌─────────┐
+//!  TCP client │ poll-loop      │────────▶│ shard   │──▶ worker 0 {a, d, …}
+//!  ──────────▶│ reactor        │         │ queues  │──▶ worker 1 {b, …}
+//!             │ (nonblocking)  │◀────────│ (batch  │──▶ worker k {c, …}
+//!             └────────────────┘ compl.  │  drain) │
+//!  ServiceClient (in-process) ──────────▶└─────────┘
 //! ```
 //!
-//! * One OS thread per worker (`std::thread` + `std::sync::mpsc`, the
-//!   same no-dependency style as `ss_bench::parallel::par_map`); tenants
-//!   are sharded across workers by a stable hash of their id, so all
-//!   requests of one tenant serialize on one thread and its session needs
-//!   no locking.
-//! * Requests carry their own reply channel; clients block only on their
-//!   own request.
-//! * Re-plans run on the fast `f64` backend; [`ServiceClient::certify`]
-//!   re-solves a tenant **exactly** (warm-started from the same
-//!   scalar-free snapshot) and verifies the LP-duality certificate — the
-//!   on-demand checkpoint of the session layer.
+//! * **Sharding** — tenants are routed to workers by a stable FNV-1a hash
+//!   of their id ([`shard_of`]), so all requests of one tenant serialize
+//!   on one thread and its session needs no locking.
+//! * **Shard queues** ([`worker`]) — each worker drains its queue in
+//!   batches (`ServiceConfig::batch`) instead of parking on a blocking
+//!   `recv` per request. Queued parameter updates for the *same tenant*
+//!   are **coalesced** at enqueue time (latest drift wins, all callers
+//!   share one re-plan) — sound because a [`ParamScale`] is absolute
+//!   relative to the registered base platform.
+//! * **Deadlines** — with `ServiceConfig::deadline_ms` set, a tenant
+//!   whose recent solves (EWMA) exceed the deadline is served its **last
+//!   good plan immediately** (`Replan::stale == true`) and the re-solve
+//!   completes right after, off the caller's critical path.
+//! * **LRU eviction** — with `ServiceConfig::max_resident` set, idle
+//!   tenants are parked: their session is dropped but the scalar-free
+//!   [`WarmStart`](ss_lp::WarmStart) snapshot is kept, so the next
+//!   request revives them warm, not cold.
+//! * **Snapshot persistence** ([`persist`]) — with
+//!   `ServiceConfig::persist_dir` set, every tenant's platform, drift,
+//!   counters and warm snapshot are journaled to disk; a restarted
+//!   service reloads them and the first re-plan after restart
+//!   warm-starts (zero cold solves).
+//! * **Socket protocol** ([`protocol`], [`reactor`]) — a length-prefixed
+//!   binary frame protocol over TCP, served by a hand-rolled nonblocking
+//!   poll-loop reactor (no external event library); [`SocketClient`] is
+//!   the matching blocking client.
 //!
-//! Parameter drift is expressed as a [`ParamScale`] relative to the
-//! tenant's registered nominal platform, matching the §5.5 simulator.
+//! Re-plans run on the fast `f64` backend; [`ServiceClient::certify`]
+//! re-solves a tenant **exactly** (warm-started from the same
+//! scalar-free snapshot) and verifies the LP-duality certificate — the
+//! on-demand checkpoint of the session layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ss_core::master_slave::MasterSlave;
-use ss_core::session::SolveSession;
+pub mod client;
+pub mod persist;
+pub mod protocol;
+pub mod reactor;
+pub mod worker;
+
+pub use client::{PendingReplan, ServiceClient, SocketClient, SocketError};
+pub use persist::TenantRecord;
+pub use reactor::ServerHandle;
+
 use ss_core::WarmOutcome;
 use ss_lp::KernelChoice;
 use ss_num::Ratio;
-use ss_platform::{NodeId, Platform};
-use ss_sim::dynamic::ParamScale;
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use worker::ShardQueue;
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -54,6 +83,28 @@ pub struct ServiceConfig {
     /// LP kernel every tenant session runs on (`Auto` = the warm-capable
     /// sparse revised simplex).
     pub kernel: KernelChoice,
+    /// Requests a worker drains from its shard queue per wakeup (≥ 1).
+    pub batch: usize,
+    /// Coalesce queued parameter updates per tenant (latest drift wins,
+    /// all coalesced callers share one re-plan). On by default; the
+    /// `service-scale` benchmark's unbatched baseline turns it off.
+    pub coalesce: bool,
+    /// Let each tenant session reuse its cached symbolic CSC lowering
+    /// across re-plans (numeric refresh only). On by default.
+    pub reuse_lowering: bool,
+    /// Per-tenant solve deadline: when the tenant's recent solve time
+    /// (EWMA) exceeds this, an update is answered with the last good
+    /// plan immediately (`Replan::stale`) and the solve completes after
+    /// the reply. `None` disables stale serving.
+    pub deadline_ms: Option<f64>,
+    /// Maximum resident (session-holding) tenants per worker; least
+    /// recently used tenants beyond it are parked with their warm
+    /// snapshot. `0` = unlimited.
+    pub max_resident: usize,
+    /// Directory for warm snapshot persistence. When set, tenants are
+    /// journaled after every re-plan and reloaded on the next
+    /// [`Service::spawn`] pointing at the same directory.
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +112,12 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: 2,
             kernel: KernelChoice::Auto,
+            batch: 16,
+            coalesce: true,
+            reuse_lowering: true,
+            deadline_ms: None,
+            max_resident: 0,
+            persist_dir: None,
         }
     }
 }
@@ -97,19 +154,32 @@ impl std::error::Error for ServiceError {}
 pub struct Replan {
     /// Tenant id.
     pub tenant: String,
-    /// Steady-state throughput of the new plan (tasks per time unit).
+    /// Steady-state throughput of the plan (tasks per time unit). For a
+    /// stale reply this is the **last good** plan's rate.
     pub throughput: f64,
     /// Which warm/cold path the re-solve took.
     pub outcome: WarmOutcome,
-    /// Simplex pivots spent (repair included).
+    /// Simplex pivots spent (repair included); 0 on a stale reply.
     pub iterations: usize,
-    /// Wall-clock of the re-plan in milliseconds.
+    /// Wall-clock of the re-plan in milliseconds; 0 on a stale reply.
     pub solve_ms: f64,
     /// Columns priced by the entering rule across the re-plan (primal
     /// scans plus dual-repair candidate scans).
     pub priced_columns: usize,
     /// Wall-clock spent inside pricing, in milliseconds.
     pub pricing_ms: f64,
+    /// Wall-clock spent in full basis (re)factorizations, in
+    /// milliseconds (see `ss_lp::FactorStats`).
+    pub factor_ms: f64,
+    /// Stored nonzeros of the solve's most recent full factorization.
+    pub factor_nnz: usize,
+    /// Peak factor-nnz over basis-nnz fill ratio observed by the solve.
+    pub fill_ratio: f64,
+    /// `true` when the deadline was blown and this reply carries the
+    /// previous plan; the fresh re-solve completed right after it.
+    pub stale: bool,
+    /// Update requests this re-plan answered (1 = no coalescing).
+    pub coalesced: usize,
 }
 
 /// A cheap rate query: the tenant's current plan, no solve performed.
@@ -119,14 +189,31 @@ pub struct RateReport {
     pub tenant: String,
     /// Steady-state throughput of the current plan.
     pub throughput: f64,
-    /// Re-plans served so far (including registration).
+    /// Re-plan requests answered so far (registration included; stale
+    /// and coalesced replies count — each caller got an answer).
     pub solves: usize,
-    /// Fraction of re-plans that reused a warm basis (pure warm,
+    /// LP solves actually performed (coalescing and stale serving make
+    /// this ≤ [`RateReport::solves`]).
+    pub lp_solves: usize,
+    /// Fraction of LP solves that reused a warm basis (pure warm,
     /// dual-repaired, or primal-repaired).
     pub warm_fraction: f64,
-    /// Re-plans whose warm basis the bounded dual simplex restored — the
-    /// cheap drift path; see [`WarmOutcome::DualRepaired`].
+    /// LP solves whose warm basis the bounded dual simplex restored —
+    /// the cheap drift path; see [`WarmOutcome::DualRepaired`].
     pub dual_repaired: usize,
+    /// Update requests answered with the last good plan under a blown
+    /// deadline.
+    pub stale_served: usize,
+    /// Update requests absorbed into another request's re-plan by
+    /// enqueue-time coalescing.
+    pub coalesced: usize,
+    /// `true` while the tenant holds a live session; `false` when parked
+    /// by LRU eviction (its warm snapshot is retained).
+    pub resident: bool,
+    /// Fill ratio of the most recent LP solve's factorization.
+    pub last_fill_ratio: f64,
+    /// Factor nonzeros of the most recent LP solve.
+    pub last_factor_nnz: usize,
 }
 
 /// The result of an exact re-certification checkpoint.
@@ -140,40 +227,17 @@ pub struct CertifiedRate {
     pub f64_gap: f64,
 }
 
-enum Request {
-    Register {
-        tenant: String,
-        platform: Platform,
-        master: NodeId,
-        reply: Sender<Result<Replan, ServiceError>>,
-    },
-    Update {
-        tenant: String,
-        scale: ParamScale,
-        reply: Sender<Result<Replan, ServiceError>>,
-    },
-    Rate {
-        tenant: String,
-        reply: Sender<Result<RateReport, ServiceError>>,
-    },
-    Certify {
-        tenant: String,
-        reply: Sender<Result<CertifiedRate, ServiceError>>,
-    },
-    Shutdown,
+/// The result of an explicit snapshot request: how many tenants were
+/// journaled to the persistence directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// Tenant records written.
+    pub persisted: usize,
 }
 
-struct Tenant {
-    /// The registered nominal platform ([`ParamScale`]s are relative to it).
-    base: Platform,
-    /// The platform under the most recent drift.
-    current: Platform,
-    session: SolveSession<f64, MasterSlave>,
-    throughput: f64,
-}
-
-/// FNV-1a over the tenant id — the stable shard router.
-fn shard_of(tenant: &str, workers: usize) -> usize {
+/// FNV-1a over the tenant id — the stable shard router. Exposed so
+/// external tooling can predict which worker owns a tenant.
+pub fn shard_of(tenant: &str, workers: usize) -> usize {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in tenant.bytes() {
         h ^= b as u64;
@@ -182,219 +246,76 @@ fn shard_of(tenant: &str, workers: usize) -> usize {
     (h % workers as u64) as usize
 }
 
-fn worker_loop(rx: Receiver<Request>, kernel: KernelChoice) {
-    let mut tenants: HashMap<String, Tenant> = HashMap::new();
-    while let Ok(req) = rx.recv() {
-        match req {
-            Request::Register {
-                tenant,
-                platform,
-                master,
-                reply,
-            } => {
-                let out = match tenants.entry(tenant.clone()) {
-                    std::collections::hash_map::Entry::Occupied(_) => {
-                        Err(ServiceError::DuplicateTenant(tenant))
-                    }
-                    std::collections::hash_map::Entry::Vacant(slot) => {
-                        let mut t = Tenant {
-                            base: platform.clone(),
-                            current: platform,
-                            session: SolveSession::with_kernel(MasterSlave::new(master), kernel),
-                            throughput: 0.0,
-                        };
-                        let r = replan(&tenant, &mut t);
-                        if r.is_ok() {
-                            slot.insert(t);
-                        }
-                        r
-                    }
-                };
-                let _ = reply.send(out);
-            }
-            Request::Update {
-                tenant,
-                scale,
-                reply,
-            } => {
-                let out = match tenants.get_mut(&tenant) {
-                    None => Err(ServiceError::UnknownTenant(tenant)),
-                    Some(t) => {
-                        t.current = scale.apply(&t.base);
-                        replan(&tenant, t)
-                    }
-                };
-                let _ = reply.send(out);
-            }
-            Request::Rate { tenant, reply } => {
-                let out = match tenants.get(&tenant) {
-                    None => Err(ServiceError::UnknownTenant(tenant)),
-                    Some(t) => Ok(RateReport {
-                        tenant,
-                        throughput: t.throughput,
-                        solves: t.session.stats().solves,
-                        warm_fraction: t.session.stats().warm_fraction(),
-                        dual_repaired: t.session.stats().dual_repaired,
-                    }),
-                };
-                let _ = reply.send(out);
-            }
-            Request::Certify { tenant, reply } => {
-                let out = match tenants.get_mut(&tenant) {
-                    None => Err(ServiceError::UnknownTenant(tenant)),
-                    Some(t) => match t.session.certify(&t.current) {
-                        Err(e) => Err(ServiceError::Solve(e.to_string())),
-                        Ok(exact) => Ok(CertifiedRate {
-                            f64_gap: (exact.objective_f64() - t.throughput).abs(),
-                            exact: exact.objective().clone(),
-                            tenant,
-                        }),
-                    },
-                };
-                let _ = reply.send(out);
-            }
-            Request::Shutdown => break,
-        }
-    }
-}
-
-// A free function rather than a `Tenant` method because `Request::Update`
-// needs it while holding the map entry mutably *and* the tenant id.
-fn replan(tenant: &str, t: &mut Tenant) -> Result<Replan, ServiceError> {
-    match t.session.resolve(&t.current) {
-        Err(e) => Err(ServiceError::Solve(e.to_string())),
-        Ok(s) => {
-            t.throughput = s.activities.objective_f64();
-            Ok(Replan {
-                tenant: tenant.to_string(),
-                throughput: t.throughput,
-                outcome: s.telemetry.outcome,
-                iterations: s.telemetry.iterations,
-                solve_ms: s.telemetry.solve_ms,
-                priced_columns: s.telemetry.priced_columns,
-                pricing_ms: s.telemetry.pricing_ms,
-            })
-        }
-    }
-}
-
-/// Cloneable handle for talking to a running [`Service`]. Every method
-/// blocks on its own reply channel only; clones can issue requests from
-/// many threads concurrently.
-#[derive(Clone)]
-pub struct ServiceClient {
-    txs: Vec<Sender<Request>>,
-}
-
-impl ServiceClient {
-    fn send<R>(
-        &self,
-        tenant: &str,
-        make: impl FnOnce(Sender<Result<R, ServiceError>>) -> Request,
-    ) -> Result<R, ServiceError> {
-        let (tx, rx) = channel();
-        self.txs[shard_of(tenant, self.txs.len())]
-            .send(make(tx))
-            .map_err(|_| ServiceError::Disconnected)?;
-        rx.recv().map_err(|_| ServiceError::Disconnected)?
-    }
-
-    /// Register a tenant (platform + master) and compute its initial
-    /// plan. Fails on duplicate ids.
-    pub fn register(
-        &self,
-        tenant: impl Into<String>,
-        platform: Platform,
-        master: NodeId,
-    ) -> Result<Replan, ServiceError> {
-        let tenant = tenant.into();
-        self.send(&tenant.clone(), |reply| Request::Register {
-            tenant,
-            platform,
-            master,
-            reply,
-        })
-    }
-
-    /// Report drifted parameters (relative to the registered platform)
-    /// and re-plan — warm-started from the tenant's previous basis.
-    pub fn update(
-        &self,
-        tenant: impl Into<String>,
-        scale: ParamScale,
-    ) -> Result<Replan, ServiceError> {
-        let tenant = tenant.into();
-        self.send(&tenant.clone(), |reply| Request::Update {
-            tenant,
-            scale,
-            reply,
-        })
-    }
-
-    /// The tenant's current steady-state rate (no solve).
-    pub fn rate(&self, tenant: impl Into<String>) -> Result<RateReport, ServiceError> {
-        let tenant = tenant.into();
-        self.send(&tenant.clone(), |reply| Request::Rate { tenant, reply })
-    }
-
-    /// Exact re-certification checkpoint: re-solve the tenant's current
-    /// platform with the exact backend (warm-started from the same
-    /// snapshot) and verify the LP-duality certificate.
-    pub fn certify(&self, tenant: impl Into<String>) -> Result<CertifiedRate, ServiceError> {
-        let tenant = tenant.into();
-        self.send(&tenant.clone(), |reply| Request::Certify { tenant, reply })
-    }
-}
-
 /// A running scheduling service: worker threads owning sharded tenants.
 ///
 /// Dropping the service shuts the workers down and joins them; use
-/// [`Service::client`] to get (cloneable) request handles first.
+/// [`Service::client`] to get (cloneable) in-process request handles and
+/// [`Service::listen`] to serve the socket protocol.
 pub struct Service {
-    txs: Vec<Sender<Request>>,
+    pub(crate) queues: Vec<Arc<ShardQueue>>,
+    pub(crate) coalesce: bool,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl Service {
-    /// Spawn the worker threads.
+    /// Spawn the worker threads. With `persist_dir` set, previously
+    /// journaled tenants are reloaded (parked, warm snapshot in hand) and
+    /// re-sharded across the new worker count.
     pub fn spawn(config: ServiceConfig) -> Service {
         let workers = config.workers.max(1);
-        let mut txs = Vec::with_capacity(workers);
+        let mut preloaded: Vec<Vec<persist::TenantRecord>> = (0..workers).map(|_| vec![]).collect();
+        if let Some(dir) = &config.persist_dir {
+            for rec in persist::load_all(dir) {
+                preloaded[shard_of(&rec.tenant, workers)].push(rec);
+            }
+        }
+        let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for i in 0..workers {
-            let (tx, rx) = channel();
-            let kernel = config.kernel;
+        for (i, records) in preloaded.into_iter().enumerate() {
+            let q = ShardQueue::new();
+            let wq = Arc::clone(&q);
+            let cfg = worker::WorkerConfig {
+                kernel: config.kernel,
+                batch: config.batch.max(1),
+                reuse_lowering: config.reuse_lowering,
+                deadline_ms: config.deadline_ms,
+                max_resident: config.max_resident,
+                persist_dir: config.persist_dir.clone(),
+            };
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ss-service-{i}"))
-                    .spawn(move || worker_loop(rx, kernel))
+                    .spawn(move || worker::worker_loop(wq, cfg, records))
                     .expect("spawn service worker"),
             );
-            txs.push(tx);
+            queues.push(q);
         }
-        Service { txs, handles }
+        Service {
+            queues,
+            coalesce: config.coalesce,
+            handles,
+        }
     }
 
     /// A new client handle (cheap to clone, safe to hand to other threads).
     pub fn client(&self) -> ServiceClient {
-        ServiceClient {
-            txs: self.txs.clone(),
-        }
+        ServiceClient::new(self.queues.clone(), self.coalesce)
     }
 
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
-        self.txs.len()
+        self.queues.len()
     }
 
-    /// Graceful shutdown: stop all workers and join them.
+    /// Graceful shutdown: stop all workers and join them. Resident
+    /// tenants are journaled first when persistence is configured.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        for tx in &self.txs {
-            let _ = tx.send(Request::Shutdown);
+        for q in &self.queues {
+            q.close();
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -409,109 +330,4 @@ impl Drop for Service {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use ss_platform::topo;
-
-    fn tenant_platform(seed: u64, p: usize) -> (Platform, NodeId) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        topo::random_connected(&mut rng, p, 0.3, &topo::ParamRange::default())
-    }
-
-    fn mild_drift(g: &Platform, node: usize, num: i64, den: i64) -> ParamScale {
-        ParamScale::nominal(g).with_node(NodeId(node % g.num_nodes()), Ratio::new(num, den))
-    }
-
-    #[test]
-    fn register_update_rate_certify_roundtrip() {
-        let service = Service::spawn(ServiceConfig::default());
-        let client = service.client();
-        let (g, m) = tenant_platform(1, 8);
-
-        let plan = client.register("acme", g.clone(), m).unwrap();
-        assert!(plan.throughput > 0.0);
-        assert_eq!(plan.outcome, WarmOutcome::Cold);
-
-        // A drift re-plan goes through the warm machinery, never a
-        // hint-less cold solve.
-        let re = client.update("acme", mild_drift(&g, 1, 3, 2)).unwrap();
-        assert!(re.throughput > 0.0);
-        assert_ne!(re.outcome, WarmOutcome::Cold);
-
-        let rate = client.rate("acme").unwrap();
-        assert_eq!(rate.solves, 2);
-        assert!((rate.throughput - re.throughput).abs() < 1e-12);
-
-        // Exact checkpoint agrees with the fast plan.
-        let cert = client.certify("acme").unwrap();
-        assert!(cert.f64_gap < 1e-6, "gap {}", cert.f64_gap);
-        assert!(cert.exact.is_positive());
-
-        service.shutdown();
-    }
-
-    #[test]
-    fn unknown_and_duplicate_tenants_error() {
-        let service = Service::spawn(ServiceConfig {
-            workers: 1,
-            ..ServiceConfig::default()
-        });
-        let client = service.client();
-        assert_eq!(
-            client.rate("ghost").unwrap_err(),
-            ServiceError::UnknownTenant("ghost".into())
-        );
-        let (g, m) = tenant_platform(2, 6);
-        client.register("dup", g.clone(), m).unwrap();
-        assert_eq!(
-            client.register("dup", g, m).unwrap_err(),
-            ServiceError::DuplicateTenant("dup".into())
-        );
-    }
-
-    #[test]
-    fn many_tenants_replan_concurrently_and_stay_warm() {
-        let service = Service::spawn(ServiceConfig {
-            workers: 4,
-            ..ServiceConfig::default()
-        });
-        let client = service.client();
-        let tenants: Vec<(String, Platform, NodeId)> = (0..8)
-            .map(|i| {
-                let (g, m) = tenant_platform(100 + i, 6 + (i as usize % 3) * 2);
-                (format!("tenant-{i}"), g, m)
-            })
-            .collect();
-        for (id, g, m) in &tenants {
-            client.register(id.clone(), g.clone(), *m).unwrap();
-        }
-        // Concurrent drift updates from one client clone per tenant.
-        std::thread::scope(|s| {
-            for (id, g, _) in &tenants {
-                let c = client.clone();
-                s.spawn(move || {
-                    for round in 0..3i64 {
-                        let drift = mild_drift(g, round as usize + 1, 2 + round, 2);
-                        let re = c.update(id.clone(), drift).unwrap();
-                        assert!(re.throughput > 0.0, "{id} round {round}");
-                        assert_ne!(re.outcome, WarmOutcome::Cold, "{id} round {round}");
-                    }
-                });
-            }
-        });
-        // Every tenant served 1 registration + 3 updates, mostly warm.
-        let mut warm_total = 0.0;
-        for (id, _, _) in &tenants {
-            let rate = client.rate(id.clone()).unwrap();
-            assert_eq!(rate.solves, 4, "{id}");
-            warm_total += rate.warm_fraction;
-        }
-        assert!(
-            warm_total / tenants.len() as f64 > 0.25,
-            "warm fraction collapsed: {warm_total}"
-        );
-        service.shutdown();
-    }
-}
+mod tests;

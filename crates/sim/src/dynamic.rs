@@ -36,6 +36,8 @@
 //! communication span and the compute spans, and the plan still completes
 //! its fixed task count per period.
 
+use serde::ser::SerializeStruct as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use ss_core::master_slave::{self, MasterSlave};
 use ss_core::session::{SolveSession, SolveTelemetry};
 use ss_num::Ratio;
@@ -51,6 +53,33 @@ pub struct ParamScale {
     pub w_mult: Vec<Ratio>,
     /// Factor on each edge's `c_ij`.
     pub c_mult: Vec<Ratio>,
+}
+
+impl Serialize for ParamScale {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("ParamScale", 2)?;
+        st.serialize_field("w_mult", &self.w_mult)?;
+        st.serialize_field("c_mult", &self.c_mult)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ParamScale {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<ParamScale, D::Error> {
+        let scale = ParamScale {
+            w_mult: Vec::deserialize(deserializer.clone().take_field("w_mult")?)?,
+            c_mult: Vec::deserialize(deserializer.take_field("c_mult")?)?,
+        };
+        if scale
+            .w_mult
+            .iter()
+            .chain(&scale.c_mult)
+            .any(|f| !f.is_positive())
+        {
+            return Err(serde::de::Error::custom("non-positive drift factor"));
+        }
+        Ok(scale)
+    }
 }
 
 impl ParamScale {
@@ -237,6 +266,22 @@ mod tests {
         let sched = reconstruct_master_slave(&g, &sol);
         let thr = realized_throughput(&g, &sched, &nominal, &nominal);
         assert_eq!(thr, sol.ntask);
+    }
+
+    /// ParamScale survives a serde round trip exactly and rejects
+    /// non-positive factors on load.
+    #[test]
+    fn param_scale_serde_round_trip() {
+        let (g, _) = paper::fig1();
+        let used = g.edge_ids().next().expect("fig1 has edges");
+        let scale = ParamScale::nominal(&g)
+            .with_node(g.node_ids().nth(1).unwrap(), Ratio::new(7, 3))
+            .with_edge(used, Ratio::new(1, 4));
+        let wire = serde_json::to_string(&scale).unwrap();
+        let back: ParamScale = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, scale);
+        let bad = wire.replace("7/3", "0/1");
+        assert!(serde_json::from_str::<ParamScale>(&bad).is_err());
     }
 
     /// Slowing a used edge reduces realized throughput; speeding it up
