@@ -21,13 +21,18 @@
 //! * [`collectives`] — fixed-tree scatter/broadcast rates (flat trees,
 //!   BFS trees): the classical MPI-style implementations whose pipelined
 //!   throughput the steady-state LP dominates.
+//! * [`batch`] — rigid batch queues for the online workload: FCFS and
+//!   EASY backfilling, the policies real clusters run where the
+//!   steady-state approach re-plans a fluid LP share instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod collectives;
 pub mod greedy;
 pub mod heft;
 
+pub use batch::{backfill_batch, fcfs_batch, BatchJob, BatchOutcome, BatchRecord};
 pub use greedy::{simulate_tree_greedy, GreedyOutcome, ServiceOrder};
 pub use heft::{heft_batch, HeftOutcome};

@@ -68,26 +68,26 @@ fn tenant_fleet(n: usize) -> Vec<(String, Platform, NodeId)> {
 /// The batched configuration under test: coalescing, batch draining and
 /// cached-lowering reuse all on.
 fn batched_config(workers: usize) -> ServiceConfig {
-    ServiceConfig {
-        workers,
-        batch: 64,
-        coalesce: true,
-        reuse_lowering: true,
-        ..ServiceConfig::default()
-    }
+    ServiceConfig::builder()
+        .workers(workers)
+        .batch(64)
+        .coalesce(true)
+        .reuse_lowering(true)
+        .build()
+        .expect("static config is valid")
 }
 
 /// The baseline the tentpole is measured against: one request per queue
 /// wakeup, no coalescing, fresh CSC lowering every solve — the shape of
 /// the old blocking-`recv` service loop.
 fn unbatched_config(workers: usize) -> ServiceConfig {
-    ServiceConfig {
-        workers,
-        batch: 1,
-        coalesce: false,
-        reuse_lowering: false,
-        ..ServiceConfig::default()
-    }
+    ServiceConfig::builder()
+        .workers(workers)
+        .batch(1)
+        .coalesce(false)
+        .reuse_lowering(false)
+        .build()
+        .expect("static config is valid")
 }
 
 struct LoadStats {
@@ -423,10 +423,7 @@ pub fn service_smoke() {
         "service-smoke",
         "socket-protocol guard — TCP clients vs reference sessions, certificates verified",
     );
-    let service = Service::spawn(ServiceConfig {
-        workers: 2,
-        ..ServiceConfig::default()
-    });
+    let service = Service::spawn(ServiceConfig::builder().workers(2).build().unwrap());
     let handle = service.listen("127.0.0.1:0").expect("bind reactor");
     let addr = handle.addr();
 

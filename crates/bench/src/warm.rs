@@ -355,7 +355,8 @@ fn write_warm_json(sweeps: &[WarmSweep]) -> std::io::Result<String> {
 /// per-phase cold solves (exactly for `Ratio`, within tolerance for
 /// `f64`), verify duality certificates at checkpoints, go through the
 /// warm machinery from phase 2 on, pivot less in total — and a
-/// shape-changing drift must trigger the cold fallback, not an error.
+/// shape-changing drift must migrate the live basis onto the new form
+/// (the session-edit path) and still agree with a cold solve.
 pub fn warm_smoke() {
     banner(
         "warm-smoke",
@@ -416,12 +417,27 @@ pub fn warm_smoke() {
         );
         assert!(warm_used > 0, "p={p}: no re-solve reused the warm basis");
 
-        // A platform of a different shape must fall back cold — and the
-        // session must re-warm on the new shape afterwards.
+        // A platform of a different shape no longer gives the basis up:
+        // the session diffs the old and new form layouts, migrates the
+        // live basis onto the grown LP, and must agree with a cold solve.
         let mut rng2 = StdRng::seed_from_u64(33_000 + p as u64);
         let (g2, _) = topo::random_connected(&mut rng2, p + 3, 0.3, &topo::ParamRange::default());
-        let fb = exact_sess.resolve(&g2).expect("shape-change re-solve");
-        assert_eq!(fb.telemetry.outcome, WarmOutcome::ColdFallback, "p={p}");
+        let edited = exact_sess.resolve(&g2).expect("shape-change re-solve");
+        assert_ne!(edited.telemetry.outcome, WarmOutcome::Cold, "p={p}");
+        if edited.telemetry.outcome.used_warm_basis() {
+            let edit = edited
+                .telemetry
+                .edit
+                .unwrap_or_else(|| panic!("p={p}: warm shape change recorded no edit summary"));
+            assert!(edit.added_cols > 0, "p={p}: grown LP added no columns");
+        }
+        let cold2 = engine::solve_backend::<Ratio, _>(&MasterSlave::new(m), &g2)
+            .expect("exact cold solve on the grown shape");
+        assert_eq!(
+            edited.activities.objective(),
+            cold2.objective(),
+            "p={p}: migrated optimum drifted off the cold solve"
+        );
         let rewarmed = exact_sess.resolve(&g2).expect("re-warm on new shape");
         assert!(rewarmed.telemetry.outcome.used_warm_basis(), "p={p}");
 
@@ -949,6 +965,10 @@ pub fn bench_check() {
     // The service slice of the gate: batched-over-unbatched throughput
     // and all-warm restarts vs the committed BENCH_service.json.
     crate::service::service_check();
+
+    // The online-churn slice: warm/cold re-plan wall-clock ratio and
+    // zero cold fallbacks vs the committed BENCH_lp_online.json.
+    crate::online::online_check();
 }
 
 /// Look up `key` in a JSON object `Value`.

@@ -69,6 +69,7 @@ pub mod all_to_all;
 pub mod broadcast;
 pub mod dag;
 pub mod divisible;
+pub mod drift;
 pub mod engine;
 pub mod master_slave;
 pub mod model_variants;
@@ -81,10 +82,11 @@ pub mod session;
 mod collective;
 mod error;
 
+pub use drift::ParamScale;
 pub use engine::{Activities, Formulation};
 pub use error::CoreError;
 pub use master_slave::{MasterSlave, MasterSlaveSolution, PortModel};
 pub use multicast::EdgeCoupling;
 pub use scatter::CollectiveSolution;
-pub use session::{SessionSolve, SessionStats, SolveSession, SolveTelemetry};
-pub use ss_lp::{WarmOutcome, WarmStart};
+pub use session::{SessionEvent, SessionSolve, SessionStats, SolveSession, SolveTelemetry};
+pub use ss_lp::{EditSummary, ShapeMismatch, WarmOutcome, WarmStart};

@@ -10,9 +10,23 @@
 //! per-phase re-solve reuses the previous basis and bound statuses —
 //! skipping the phase-1 pivots that dominate a cold solve of the
 //! equality-heavy steady-state LPs. When the platform's *shape* changes
-//! (nodes or links appear or disappear), the snapshot no longer matches
-//! and the kernel transparently falls back to a cold solve; the
-//! [`SolveTelemetry`] on every result records which path ran.
+//! (nodes or links appear or disappear), the session diffs the old and new
+//! lowerings by variable/row **name** ([`ss_lp::FormLayout`]), migrates
+//! the basis through the resulting [`ss_lp::EditPlan`], and warm-starts on
+//! the edited shape — departed-while-basic columns are absorbed by the
+//! kernel's bounded repair ladder instead of a refactorizing cold solve.
+//! Only an unmatchable shape (or a disabled layout capture) falls back
+//! cold; the [`SolveTelemetry`] on every result records which path ran,
+//! any [`ShapeMismatch`](ss_lp::ShapeMismatch) diagnosed, and the
+//! [`EditSummary`](ss_lp::EditSummary) of any migration performed.
+//!
+//! The **event API** ([`SolveSession::apply`]) is the online entry point:
+//! a [`SessionEvent`] is either parameter [`Drift`](SessionEvent::Drift)
+//! (a [`ParamScale`] on the registered base platform) or a shape change
+//! ([`Arrive`](SessionEvent::Arrive) / [`Depart`](SessionEvent::Depart)
+//! carrying the post-event platform). All three re-plan through the same
+//! warm pipeline; `Arrive`/`Depart` re-register the base that subsequent
+//! drifts scale.
 //!
 //! Because the snapshot carries only column indices and bound sides — no
 //! scalar values — one session can serve fast `f64` re-solves *and* hand
@@ -20,9 +34,13 @@
 //! ([`SolveSession::certify`]), which verifies the full LP-duality
 //! certificate on the exact optimum.
 
+use crate::drift::ParamScale;
 use crate::engine::{activities_from, Activities, Formulation};
 use crate::error::CoreError;
-use ss_lp::{KernelChoice, Scalar, SimplexOptions, StandardForm, WarmOutcome, WarmStart};
+use ss_lp::{
+    EditSummary, FormLayout, KernelChoice, Scalar, ShapeMismatch, SimplexOptions, StandardForm,
+    WarmOutcome, WarmStart,
+};
 use ss_num::Ratio;
 use ss_platform::Platform;
 use std::marker::PhantomData;
@@ -90,6 +108,14 @@ pub struct SolveTelemetry {
     pub factor_nnz: usize,
     /// Peak factor-nnz over basis-nnz fill ratio observed by the solve.
     pub fill_ratio: f64,
+    /// The shape mismatch the kernel diagnosed when this solve fell back
+    /// cold because the warm snapshot could not seed the lowered form
+    /// (`None` on every warm or hint-less solve).
+    pub shape_mismatch: Option<ShapeMismatch>,
+    /// Summary of the basis migration performed before this solve when the
+    /// platform shape changed and the session diffed the old and new
+    /// lowerings by name (`None` when the shape was unchanged).
+    pub edit: Option<EditSummary>,
 }
 
 /// Cumulative counters of a session's lifetime.
@@ -115,6 +141,9 @@ pub struct SessionStats {
     /// Re-solves that reused the cached symbolic lowering (numeric
     /// refresh instead of a full CSC rebuild).
     pub lowering_reuses: usize,
+    /// Shape changes absorbed by name-keyed basis migration (an
+    /// [`EditSummary`] was produced) instead of a cold fallback.
+    pub migrations: usize,
 }
 
 impl SessionStats {
@@ -123,6 +152,9 @@ impl SessionStats {
         self.iterations += t.iterations;
         if t.lowering_reused {
             self.lowering_reuses += 1;
+        }
+        if t.edit.is_some() {
+            self.migrations += 1;
         }
         match t.outcome {
             WarmOutcome::Cold => self.cold += 1,
@@ -153,6 +185,27 @@ pub struct SessionSolve<S: Scalar, F: Formulation> {
     pub telemetry: SolveTelemetry,
 }
 
+/// One step of an online workload, consumed by [`SolveSession::apply`].
+///
+/// `Arrive` and `Depart` both carry the **post-event** platform — the
+/// graph after the node(s)/link(s) joined or left. They are distinct
+/// variants because the operational intent differs (an arrival grows the
+/// LP, a departure may drop basic columns into the repair ladder), and so
+/// callers' logs read honestly; the session handles both through the same
+/// name-keyed basis migration.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// Parameter drift on the registered base platform: re-plan on
+    /// `scale.apply(base)` without changing the LP shape.
+    Drift(ParamScale),
+    /// Resources joined; the platform is the post-arrival graph. Becomes
+    /// the new drift base.
+    Arrive(Platform),
+    /// Resources left; the platform is the post-departure graph. Becomes
+    /// the new drift base.
+    Depart(Platform),
+}
+
 /// A stateful re-solve session: one formulation, many platforms.
 ///
 /// See the [module docs](self) for the warm-start life cycle. The scalar
@@ -164,6 +217,8 @@ pub struct SolveSession<S: Scalar, F: Formulation> {
     kernel: KernelChoice,
     warm: Option<WarmStart>,
     lowered: Option<StandardForm<S>>,
+    layout: Option<FormLayout>,
+    base: Option<Platform>,
     reuse_lowering: bool,
     stats: SessionStats,
     _scalar: PhantomData<S>,
@@ -185,6 +240,8 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
             kernel,
             warm: None,
             lowered: None,
+            layout: None,
+            base: None,
             reuse_lowering: true,
             stats: SessionStats::default(),
             _scalar: PhantomData,
@@ -206,10 +263,24 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
         self.warm.as_ref()
     }
 
-    /// Drop the warm state: the next re-solve starts cold.
+    /// Drop the warm state: the next re-solve starts cold. The registered
+    /// drift base (see [`SolveSession::set_base`]) survives a reset.
     pub fn reset(&mut self) {
         self.warm = None;
         self.lowered = None;
+        self.layout = None;
+    }
+
+    /// Register the platform subsequent [`SessionEvent::Drift`] events
+    /// scale, without solving. [`SessionEvent::Arrive`] and
+    /// [`SessionEvent::Depart`] re-register it implicitly.
+    pub fn set_base(&mut self, g: Platform) {
+        self.base = Some(g);
+    }
+
+    /// The platform drift events currently scale, if one is registered.
+    pub fn base(&self) -> Option<&Platform> {
+        self.base.as_ref()
     }
 
     /// Seed the session's warm state from an externally persisted
@@ -247,8 +318,31 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
             (true, Some(sf)) => ss_lp::refresh(&p, sf),
             _ => false,
         };
+        let mut edit: Option<EditSummary> = None;
         if !reused {
-            self.lowered = Some(ss_lp::lower_with::<S>(&p, opts.bound_mode));
+            let new_sf = ss_lp::lower_with::<S>(&p, opts.bound_mode);
+            let new_layout = FormLayout::capture(&p, &new_sf);
+            // Shape changed under a live basis: diff the old and new
+            // lowerings by name and migrate the snapshot onto the new
+            // shape, so arrivals/departures warm-start (dropped basic
+            // columns land in the kernel's repair ladder) instead of
+            // refactorizing cold.
+            if let (Some(w), Some(old), Some(new)) = (
+                self.warm.as_ref(),
+                self.layout.as_ref(),
+                new_layout.as_ref(),
+            ) {
+                if w.shape_mismatch(&new_sf).is_some() {
+                    let plan = old.plan_to(new);
+                    let (migrated, summary) = plan.migrate(w);
+                    if migrated.shape_mismatch(&new_sf).is_none() {
+                        self.warm = Some(migrated);
+                        edit = Some(summary);
+                    }
+                }
+            }
+            self.layout = new_layout;
+            self.lowered = Some(new_sf);
         }
         let lower_ms = tl.elapsed().as_secs_f64() * 1e3;
         let sf = self.lowered.as_ref().expect("lowered form just installed");
@@ -270,6 +364,8 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
             ftran_btran_ms: run.solution.ftran_btran_ms(),
             factor_nnz: run.solution.factor_nnz(),
             fill_ratio: run.solution.fill_ratio(),
+            shape_mismatch: run.mismatch,
+            edit,
         };
         self.warm = Some(run.warm);
         self.stats.record(&telemetry);
@@ -278,6 +374,48 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
             activities: activities_from(run.solution, &p),
             telemetry,
         })
+    }
+
+    /// Apply one online event and re-plan, warm-starting from the live
+    /// basis. This is the session's online entry point:
+    ///
+    /// * [`SessionEvent::Drift`] re-solves on `scale.apply(base)` — the
+    ///   shape is unchanged, so the cached lowering refreshes in place and
+    ///   the basis carries over directly. Errors if no base platform is
+    ///   registered or the scale's dimensions don't match it.
+    /// * [`SessionEvent::Arrive`] / [`SessionEvent::Depart`] re-solve on
+    ///   the carried post-event platform and re-register it as the drift
+    ///   base. The live basis is migrated onto the new LP shape by
+    ///   name-keyed layout diffing (see the [module docs](self)).
+    pub fn apply(&mut self, event: SessionEvent) -> Result<SessionSolve<S, F>, CoreError> {
+        match event {
+            SessionEvent::Drift(scale) => {
+                let base = self.base.as_ref().ok_or_else(|| {
+                    CoreError::Invalid(
+                        "drift event with no base platform: apply an Arrive event or call \
+                         set_base first"
+                            .into(),
+                    )
+                })?;
+                if !scale.fits(base) {
+                    return Err(CoreError::Invalid(format!(
+                        "drift scale sized {}x{} does not fit a base platform with {} nodes \
+                         and {} edges",
+                        scale.w_mult.len(),
+                        scale.c_mult.len(),
+                        base.num_nodes(),
+                        base.num_edges()
+                    )));
+                }
+                let g = scale.apply(base);
+                self.resolve(&g)
+            }
+            SessionEvent::Arrive(g) | SessionEvent::Depart(g) => {
+                let s = self.resolve(&g)?;
+                self.base = Some(g);
+                Ok(s)
+            }
+        }
     }
 
     /// Exact re-certification checkpoint: re-solve `g` with the **exact
@@ -305,15 +443,31 @@ impl<S: Scalar, F: Formulation> SolveSession<S, F> {
 }
 
 impl<F: Formulation> SolveSession<Ratio, F> {
-    /// [`SolveSession::resolve`], then extract the formulation's typed
-    /// exact solution (the reconstruction-grade shape the schedule layer
-    /// consumes).
+    /// Extract the formulation's typed exact solution (the
+    /// reconstruction-grade shape the schedule layer consumes) from a
+    /// [`SolveSession::resolve`] / [`SolveSession::apply`] result solved
+    /// on `g`.
+    pub fn extract(
+        &self,
+        g: &Platform,
+        s: &SessionSolve<Ratio, F>,
+    ) -> Result<F::Solution, CoreError> {
+        self.formulation.extract(g, &s.vars, &s.activities)
+    }
+
+    /// [`SolveSession::resolve`], then [`SolveSession::extract`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `apply(SessionEvent::…)` or `resolve` and then `extract` — the pair \
+                exposes the full SessionSolve (activities and telemetry) instead of \
+                discarding the activities"
+    )]
     pub fn resolve_typed(
         &mut self,
         g: &Platform,
     ) -> Result<(F::Solution, SolveTelemetry), CoreError> {
         let s = self.resolve(g)?;
-        let typed = self.formulation.extract(g, &s.vars, &s.activities)?;
+        let typed = self.extract(g, &s)?;
         Ok((typed, s.telemetry))
     }
 }
@@ -361,21 +515,96 @@ mod tests {
     }
 
     #[test]
-    fn shape_change_is_a_cold_fallback_then_warm_again() {
+    fn arrivals_and_departures_migrate_the_live_basis() {
         let (g1, m) = paper::fig1();
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(77);
-        let (g2, _) = topo::random_connected(&mut rng, 9, 0.4, &topo::ParamRange::default());
         let mut sess: SolveSession<Ratio, _> = SolveSession::new(MasterSlave::new(m));
-        sess.resolve(&g1).unwrap();
-        // Different platform, different LP shape: fallback, not an error.
+        let first = sess.apply(SessionEvent::Arrive(g1.clone())).unwrap();
+        assert_eq!(first.telemetry.outcome, WarmOutcome::Cold);
+
+        // A new worker joins, fed from the master: the LP grows, and the
+        // live basis migrates onto the grown shape instead of resolving
+        // cold.
+        let mut g2 = g1.clone();
+        let extra = g2.add_node("Pnew", ss_platform::Weight::finite(Ratio::from_int(2)));
+        g2.add_edge(m, extra, Ratio::from_int(1)).unwrap();
+        let grown = sess.apply(SessionEvent::Arrive(g2.clone())).unwrap();
+        assert!(
+            grown.telemetry.outcome.used_warm_basis(),
+            "arrival fell back cold: {:?} ({:?})",
+            grown.telemetry.outcome,
+            grown.telemetry.shape_mismatch
+        );
+        let edit = grown.telemetry.edit.expect("arrival should migrate");
+        assert!(edit.added_cols > 0);
+        assert_eq!(edit.removed_cols, 0);
+        let reference = crate::engine::solve(&MasterSlave::new(m), &g2).unwrap();
+        assert_eq!(grown.activities.objective(), &reference.ntask);
+
+        // The worker departs again (its activity was basic: it computed),
+        // so the migration drops basic columns into the repair ladder.
+        let shrunk = sess.apply(SessionEvent::Depart(g1.clone())).unwrap();
+        assert!(
+            shrunk.telemetry.outcome.used_warm_basis(),
+            "departure fell back cold: {:?}",
+            shrunk.telemetry.outcome
+        );
+        let edit = shrunk.telemetry.edit.expect("departure should migrate");
+        assert!(edit.removed_cols > 0);
+        assert_eq!(shrunk.activities.objective(), first.activities.objective());
+        assert_eq!(sess.stats().migrations, 2);
+        assert_eq!(sess.stats().cold_fallback, 0);
+        // Arrive/Depart re-registered the drift base each time.
+        assert_eq!(sess.base().unwrap().num_nodes(), g1.num_nodes());
+    }
+
+    #[test]
+    fn unseeded_shape_mismatch_is_a_diagnosed_cold_fallback() {
+        let (g1, m) = paper::fig1();
+        let mut donor: SolveSession<Ratio, _> = SolveSession::new(MasterSlave::new(m));
+        donor.resolve(&g1).unwrap();
+        let snap = donor.warm_state().cloned().unwrap();
+
+        let mut g2 = g1.clone();
+        let extra = g2.add_node("Pnew", ss_platform::Weight::finite(Ratio::from_int(2)));
+        g2.add_edge(m, extra, Ratio::from_int(1)).unwrap();
+
+        // A session revived from a persisted snapshot has no layout to
+        // diff against: the mismatch is diagnosed, not silently absorbed.
+        let mut sess: SolveSession<Ratio, _> = SolveSession::new(MasterSlave::new(m));
+        sess.seed_warm(snap);
         let fb = sess.resolve(&g2).unwrap();
         assert_eq!(fb.telemetry.outcome, WarmOutcome::ColdFallback);
+        let mm = fb.telemetry.shape_mismatch.expect("mismatch diagnosed");
+        assert!(mm.cols < mm.expected.1);
+        assert!(fb.telemetry.edit.is_none());
         // And the session re-warms on the new shape.
         let warm = sess.resolve(&g2).unwrap();
         assert!(warm.telemetry.outcome.used_warm_basis());
         assert_eq!(sess.stats().cold_fallback, 1);
+    }
+
+    #[test]
+    fn drift_events_require_a_fitting_base() {
+        let (g, m) = paper::fig1();
+        let mut sess: SolveSession<f64, _> = SolveSession::new(MasterSlave::new(m));
+        let nominal = crate::drift::ParamScale::nominal(&g);
+        assert!(sess.apply(SessionEvent::Drift(nominal.clone())).is_err());
+        sess.set_base(g.clone());
+        let s = sess.apply(SessionEvent::Drift(nominal.clone())).unwrap();
+        assert_eq!(s.telemetry.outcome, WarmOutcome::Cold);
+        // Pure drift keeps the shape: the lowering refreshes in place and
+        // the re-plan warm-starts without any migration.
+        let slow = nominal.with_node(ss_platform::NodeId(1), Ratio::from_int(2));
+        let s2 = sess.apply(SessionEvent::Drift(slow)).unwrap();
+        assert!(s2.telemetry.outcome.used_warm_basis());
+        assert!(s2.telemetry.lowering_reused);
+        assert!(s2.telemetry.edit.is_none());
+        // A scale sized for a different platform is rejected up front.
+        let bad = crate::drift::ParamScale {
+            w_mult: vec![Ratio::one()],
+            c_mult: vec![Ratio::one()],
+        };
+        assert!(sess.apply(SessionEvent::Drift(bad)).is_err());
     }
 
     #[test]
@@ -426,9 +655,15 @@ mod tests {
         let f = MasterSlave::new(m);
         let reference = crate::engine::solve(&f, &g).unwrap();
         let mut sess: SolveSession<Ratio, _> = SolveSession::new(f);
-        let (typed, tel) = sess.resolve_typed(&g).unwrap();
+        let s = sess.apply(SessionEvent::Arrive(g.clone())).unwrap();
+        let typed = sess.extract(&g, &s).unwrap();
         assert_eq!(typed.ntask, reference.ntask);
-        assert_eq!(tel.outcome, WarmOutcome::Cold);
+        assert_eq!(s.telemetry.outcome, WarmOutcome::Cold);
         typed.check(&g, &sess.formulation().model).unwrap();
+        // The deprecated shim still routes through the same pipeline.
+        #[allow(deprecated)]
+        let (typed2, tel) = sess.resolve_typed(&g).unwrap();
+        assert_eq!(typed2.ntask, reference.ntask);
+        assert!(tel.outcome.used_warm_basis());
     }
 }

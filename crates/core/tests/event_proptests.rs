@@ -1,0 +1,176 @@
+//! Property-based tests for the session-edit API: random chains of
+//! arrivals, departures and drifts through [`SolveSession::apply`] must
+//! agree with a cold solve of the post-event platform after **every**
+//! event — on both scalar backends. Departures routinely remove workers
+//! whose activity columns are basic (at a master-slave optimum every
+//! present worker computes), so the chains exercise the
+//! remove-a-basic-column repair path, not just benign growth. The
+//! property is *agreement*, not warmness: a fallback to a cold solve is
+//! allowed, a wrong optimum is not.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ss_core::master_slave::{self, MasterSlave};
+use ss_core::session::{SessionEvent, SolveSession};
+use ss_core::ParamScale;
+use ss_num::Ratio;
+use ss_platform::{NodeId, Platform, Weight};
+
+/// The fixed universe of workers that may be present at any instant.
+struct Universe {
+    w: Vec<Ratio>,
+    c: Vec<Ratio>,
+}
+
+fn universe(rng: &mut StdRng, size: usize) -> Universe {
+    Universe {
+        w: (0..size)
+            .map(|_| Ratio::new(rng.gen_range(2..=10), 2))
+            .collect(),
+        c: (0..size)
+            .map(|_| Ratio::new(rng.gen_range(1..=6), 2))
+            .collect(),
+    }
+}
+
+/// The star over the present workers; the master is always node 0 and
+/// names are stable, so the session's name-keyed migration can recognize
+/// a returning worker.
+fn star(u: &Universe, present: &[usize]) -> Platform {
+    let mut g = Platform::new();
+    let m = g.add_node("M", Weight::finite(Ratio::from_int(2)));
+    for &k in present {
+        let n = g.add_node(format!("W{k}"), Weight::finite(u.w[k].clone()));
+        g.add_duplex_edge(m, n, u.c[k].clone()).expect("distinct");
+    }
+    g
+}
+
+fn random_scale(rng: &mut StdRng, g: &Platform) -> ParamScale {
+    let mut s = ParamScale::nominal(g);
+    for w in s.w_mult.iter_mut() {
+        if rng.gen_bool(0.4) {
+            *w = Ratio::new(rng.gen_range(6..=20), 12);
+        }
+    }
+    for c in s.c_mult.iter_mut() {
+        if rng.gen_bool(0.4) {
+            *c = Ratio::new(rng.gen_range(6..=20), 12);
+        }
+    }
+    s
+}
+
+/// One random step of the chain: the next event plus the platform a cold
+/// solve of which must agree with the session's answer.
+fn next_event(
+    rng: &mut StdRng,
+    u: &Universe,
+    present: &mut Vec<usize>,
+    base: &Platform,
+) -> (SessionEvent, Platform) {
+    let size = u.w.len();
+    loop {
+        match rng.gen_range(0..3) {
+            0 => {
+                let scale = random_scale(rng, base);
+                let g = scale.apply(base);
+                return (SessionEvent::Drift(scale), g);
+            }
+            1 => {
+                let absent: Vec<usize> = (0..size).filter(|k| !present.contains(k)).collect();
+                if absent.is_empty() {
+                    continue;
+                }
+                present.push(absent[rng.gen_range(0..absent.len())]);
+                let g = star(u, present);
+                return (SessionEvent::Arrive(g.clone()), g);
+            }
+            _ => {
+                if present.len() <= 1 {
+                    continue;
+                }
+                present.remove(rng.gen_range(0..present.len()));
+                let g = star(u, present);
+                return (SessionEvent::Depart(g.clone()), g);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exact backend: every event's answer equals a cold exact solve of
+    /// the post-event platform, bit for bit.
+    #[test]
+    fn event_chains_agree_with_cold_solves_exact(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = universe(&mut rng, 6);
+        let mut present: Vec<usize> = vec![0, 1, 2];
+        let mut base = star(&u, &present);
+
+        let mut sess: SolveSession<Ratio, MasterSlave> =
+            SolveSession::new(MasterSlave::new(NodeId(0)));
+        let first = sess.apply(SessionEvent::Arrive(base.clone())).unwrap();
+        let want = master_slave::solve(&base, NodeId(0)).unwrap().ntask;
+        prop_assert_eq!(first.activities.objective(), &want);
+
+        let mut departed_basic = false;
+        for _ in 0..6 {
+            let (ev, g) = next_event(&mut rng, &u, &mut present, &base);
+            let is_shape = !matches!(ev, SessionEvent::Drift(_));
+            let run = sess.apply(ev).unwrap();
+            let want = master_slave::solve(&g, NodeId(0)).unwrap().ntask;
+            prop_assert_eq!(
+                run.activities.objective(), &want,
+                "event answer diverges from the cold solve"
+            );
+            if is_shape {
+                base = g;
+                // Arrive/Depart re-register the drift base.
+                prop_assert_eq!(sess.base().unwrap().num_nodes(), base.num_nodes());
+                if let Some(edit) = run.telemetry.edit {
+                    departed_basic |=
+                        edit.removed_cols > 0 && run.telemetry.outcome.used_warm_basis();
+                }
+            }
+        }
+        // Not asserted per-case (a chain may be all-arrivals), but track
+        // it so a seed that shrinks away every departure still types.
+        let _ = departed_basic;
+        prop_assert_eq!(sess.stats().solves, 7);
+    }
+
+    /// Float backend: same chains, agreement up to solver tolerance
+    /// against the exact optimum.
+    #[test]
+    fn event_chains_agree_with_cold_solves_f64(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf64);
+        let u = universe(&mut rng, 6);
+        let mut present: Vec<usize> = vec![0, 1, 2];
+        let mut base = star(&u, &present);
+
+        let mut sess: SolveSession<f64, MasterSlave> =
+            SolveSession::new(MasterSlave::new(NodeId(0)));
+        sess.apply(SessionEvent::Arrive(base.clone())).unwrap();
+
+        for _ in 0..6 {
+            let (ev, g) = next_event(&mut rng, &u, &mut present, &base);
+            let is_shape = !matches!(ev, SessionEvent::Drift(_));
+            let run = sess.apply(ev).unwrap();
+            let want = master_slave::solve(&g, NodeId(0)).unwrap().ntask.to_f64();
+            let got = run.activities.objective_f64();
+            prop_assert!(
+                (got - want).abs() <= 1e-7 * (1.0 + want.abs()),
+                "event answer {} diverges from the cold optimum {}",
+                got,
+                want
+            );
+            if is_shape {
+                base = g;
+            }
+        }
+    }
+}

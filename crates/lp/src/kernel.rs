@@ -129,7 +129,11 @@ pub trait LpKernel<S: Scalar> {
         } else {
             WarmOutcome::Cold
         };
-        Ok(WarmKernelSolve { output, outcome })
+        Ok(WarmKernelSolve {
+            output,
+            outcome,
+            mismatch: None,
+        })
     }
 }
 
@@ -174,6 +178,7 @@ pub fn solve_warm_with_kernel<S: Scalar>(
         outcome: ws.outcome,
         warm: next,
         snapshot_ms,
+        mismatch: ws.mismatch,
     })
 }
 
@@ -206,6 +211,7 @@ pub fn solve_warm_on<S: Scalar>(
         outcome: ws.outcome,
         warm: next,
         snapshot_ms,
+        mismatch: ws.mismatch,
     })
 }
 

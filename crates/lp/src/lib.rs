@@ -53,6 +53,7 @@
 
 mod bounded;
 mod dual;
+pub mod edit;
 pub mod factor;
 mod kernel;
 pub mod pricing;
@@ -64,6 +65,7 @@ mod sparse;
 mod standard;
 pub mod warm;
 
+pub use edit::{EditPlan, EditSummary, FormLayout, NewColumn, NewRow};
 pub use factor::{
     default_factor, set_default_factor, BasisFactorization, EtaFile, Factor, FactorChoice,
     FactorStats, RefactorMode, RefactorPolicy, Refactorized, SparseLu,
@@ -75,8 +77,8 @@ pub use kernel::{
 pub use pricing::{default_pricing, set_default_pricing, Pricing, PricingStats};
 pub use problem::{Cmp, LinExpr, Problem, Sense, Var};
 pub use scalar::Scalar;
-pub use simplex::SimplexOptions;
+pub use simplex::{OptionsError, SimplexOptions, SimplexOptionsBuilder};
 pub use solution::{PivotRule, Solution, SolveError, Status};
 pub use sparse::{SparseRevised, SparseState};
 pub use standard::{lower, lower_with, refresh, BoundMode, KernelOutput, StandardForm};
-pub use warm::{WarmKernelSolve, WarmOutcome, WarmRun, WarmStart};
+pub use warm::{ShapeMismatch, WarmKernelSolve, WarmOutcome, WarmRun, WarmStart};

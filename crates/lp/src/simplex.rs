@@ -108,6 +108,112 @@ impl SimplexOptions {
             self.max_iterations
         }
     }
+
+    /// Start a validating [`SimplexOptionsBuilder`] from the defaults.
+    /// Prefer this over struct-literal construction: the builder rejects
+    /// out-of-range numeric knobs at build time instead of letting them
+    /// surface as mysterious solve behaviour.
+    pub fn builder() -> SimplexOptionsBuilder {
+        SimplexOptionsBuilder {
+            opts: SimplexOptions::default(),
+        }
+    }
+}
+
+/// A rejected option value, with the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptionsError(pub String);
+
+impl std::fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid options: {}", self.0)
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// Validating builder for [`SimplexOptions`] — see
+/// [`SimplexOptions::builder`].
+#[derive(Clone, Debug)]
+pub struct SimplexOptionsBuilder {
+    opts: SimplexOptions,
+}
+
+impl SimplexOptionsBuilder {
+    /// Hard pivot cap (0 = automatic budget).
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.opts.max_iterations = n;
+        self
+    }
+
+    /// Force Bland's rule even for inexact scalars.
+    pub fn force_bland(mut self, b: bool) -> Self {
+        self.opts.force_bland = b;
+        self
+    }
+
+    /// Entering-variable pricing strategy.
+    pub fn pricing(mut self, pricing: Pricing) -> Self {
+        self.opts.pricing = pricing;
+        self
+    }
+
+    /// Which pivoting engine runs the solve.
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.opts.kernel = kernel;
+        self
+    }
+
+    /// How variable upper bounds reach the kernel.
+    pub fn bound_mode(mut self, bound_mode: BoundMode) -> Self {
+        self.opts.bound_mode = bound_mode;
+        self
+    }
+
+    /// Basis-factorization backend for the sparse kernel.
+    pub fn factor(mut self, factor: FactorChoice) -> Self {
+        self.opts.factor = factor;
+        self
+    }
+
+    /// Full refactorization policy (validated at [`build`](Self::build)).
+    pub fn refactor(mut self, refactor: RefactorPolicy) -> Self {
+        self.opts.refactor = refactor;
+        self
+    }
+
+    /// Threshold-pivoting tolerance of the factorization
+    /// ([`RefactorPolicy::pivot_tol`]); must lie strictly inside `(0, 1)`.
+    pub fn pivot_tol(mut self, tol: f64) -> Self {
+        self.opts.refactor.pivot_tol = tol;
+        self
+    }
+
+    /// Forrest–Tomlin update cap before refactorizing; must be ≥ 1.
+    pub fn max_updates(mut self, n: usize) -> Self {
+        self.opts.refactor.max_updates = n;
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> Result<SimplexOptions, OptionsError> {
+        let tol = self.opts.refactor.pivot_tol;
+        if !(tol > 0.0 && tol < 1.0) {
+            return Err(OptionsError(format!(
+                "pivot_tol must lie in (0, 1), got {tol}"
+            )));
+        }
+        if self.opts.refactor.max_updates == 0 {
+            return Err(OptionsError("max_updates must be >= 1".into()));
+        }
+        if self.opts.refactor.max_fill_growth <= 1.0 {
+            return Err(OptionsError(format!(
+                "max_fill_growth must exceed 1, got {}",
+                self.opts.refactor.max_fill_growth
+            )));
+        }
+        Ok(self.opts)
+    }
 }
 
 struct Tableau<S> {

@@ -252,6 +252,77 @@ impl<S: Scalar> SparseState<S> {
             }
         }
     }
+
+    /// Carry this live state across a shape edit of its form. `sf` is the
+    /// form **after** the edit, `plan` the [`EditPlan`] the edit returned.
+    ///
+    /// Fast path — the edit kept every row and every basic column (e.g. a
+    /// pure column append, or removals that only hit nonbasic columns):
+    /// the basis matrix is numerically untouched, so the existing
+    /// factorization is kept verbatim and only the index maps and basic
+    /// values are rewritten — **zero refactorization work**. Otherwise
+    /// the surviving columns refactorize once, with unclaimed rows
+    /// completed from `basis0` (the removed-basic-column repair entry).
+    ///
+    /// Returns `false` when the refactorization is numerically singular —
+    /// the caller falls back to a cold solve, exactly like a failed
+    /// [`SparseState::from_warm`].
+    pub fn apply_edit(
+        &mut self,
+        sf: &StandardForm<S>,
+        plan: &crate::edit::EditPlan,
+        policy: &RefactorPolicy,
+    ) -> bool {
+        debug_assert_eq!(plan.new_m(), sf.m);
+        debug_assert_eq!(plan.new_ncols(), sf.ncols);
+        let old_m = self.x.len();
+        let mut basis = Vec::with_capacity(self.basis.len());
+        let mut all_basics_survive = true;
+        for &b in &self.basis {
+            match plan.col_map().get(b).copied().flatten() {
+                Some(nb) => basis.push(nb),
+                None => all_basics_survive = false,
+            }
+        }
+        let mut at_upper = vec![false; sf.ncols];
+        for (j, up) in self.at_upper.iter().enumerate() {
+            if *up {
+                if let Some(Some(nj)) = plan.col_map().get(j) {
+                    at_upper[*nj] = true;
+                }
+            }
+        }
+        // Working bounds: the edited form's, artificials pinned to 0 (an
+        // edited state never re-runs phase 1).
+        let mut upper = sf.upper.clone();
+        for u in upper.iter_mut().skip(sf.art_start) {
+            *u = Some(S::zero());
+        }
+        if all_basics_survive && sf.m == old_m && basis.len() == old_m {
+            // Same rows, same basis columns (relabeled): the factorization
+            // still factorizes exactly this basis matrix.
+            self.basis = basis;
+            self.in_basis = vec![false; sf.ncols];
+            for &b in &self.basis {
+                self.in_basis[b] = true;
+            }
+            for (j, up) in at_upper.iter_mut().enumerate() {
+                *up = *up && !self.in_basis[j];
+            }
+            self.at_upper = at_upper;
+            self.upper = upper;
+            self.x = self.adjusted_rhs(sf);
+            true
+        } else {
+            match Self::factorize(sf, &basis, &at_upper, &upper, self.factors.tag(), policy) {
+                Some((st, _)) => {
+                    *self = st;
+                    true
+                }
+                None => false,
+            }
+        }
+    }
 }
 
 pub(crate) struct Engine<'a, S> {
@@ -849,22 +920,25 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
         opts: &SimplexOptions,
         warm: Option<&WarmStart>,
     ) -> Result<WarmKernelSolve<S>, SolveError> {
-        let cold = |outcome: WarmOutcome| -> Result<WarmKernelSolve<S>, SolveError> {
+        let cold = |outcome: WarmOutcome,
+                    mismatch: Option<crate::warm::ShapeMismatch>|
+         -> Result<WarmKernelSolve<S>, SolveError> {
             Ok(WarmKernelSolve {
                 output: self.solve_cold(sf, opts)?,
                 outcome,
+                mismatch,
             })
         };
         let Some(w) = warm else {
-            return cold(WarmOutcome::Cold);
+            return cold(WarmOutcome::Cold, None);
         };
-        if !w.shape_matches(sf) {
-            return cold(WarmOutcome::ColdFallback);
+        if let Some(mm) = w.shape_mismatch(sf) {
+            return cold(WarmOutcome::ColdFallback, Some(mm));
         }
         let Some((st, patched)) =
             SparseState::from_warm(sf, w, opts.factor.resolve::<S>(), &opts.refactor)
         else {
-            return cold(WarmOutcome::ColdFallback);
+            return cold(WarmOutcome::ColdFallback, None);
         };
         let mut eng = Engine {
             sf,
@@ -913,7 +987,7 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
                             repair_iters = it;
                             outcome = WarmOutcome::Repaired;
                         }
-                        None => return cold(WarmOutcome::ColdFallback),
+                        None => return cold(WarmOutcome::ColdFallback, None),
                     }
                 }
             }
@@ -922,10 +996,14 @@ impl<S: Scalar> LpKernel<S> for SparseRevised {
         }
         let mut budget = opts.budget(sf.m, sf.ncols).saturating_sub(repair_iters);
         match eng.phase2_and_extract(opts, &mut budget, repair_iters) {
-            Ok(output) => Ok(WarmKernelSolve { output, outcome }),
+            Ok(output) => Ok(WarmKernelSolve {
+                output,
+                outcome,
+                mismatch: None,
+            }),
             // A warm basis that stalls the pivot budget (f64 cycling from
             // an unusual start) is abandoned, not fatal.
-            Err(SolveError::IterationLimit) => cold(WarmOutcome::ColdFallback),
+            Err(SolveError::IterationLimit) => cold(WarmOutcome::ColdFallback, None),
             Err(e) => Err(e),
         }
     }
@@ -989,5 +1067,56 @@ mod tests {
             .map(|(c, v)| c * v)
             .sum();
         assert_eq!(obj, Ratio::from_int(4));
+    }
+
+    #[test]
+    fn apply_edit_keeps_factorization_on_pure_column_append() {
+        use crate::edit::NewColumn;
+        use crate::{lower, Cmp, Problem, Sense};
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var_bounded("x", Ratio::from_int(3));
+        let y = p.add_var_bounded("y", Ratio::from_int(3));
+        p.set_objective_coeff(x, Ratio::one());
+        p.set_objective_coeff(y, Ratio::one());
+        p.add_constraint(
+            "cap",
+            [(x, Ratio::one()), (y, Ratio::one())],
+            Cmp::Le,
+            Ratio::from_int(4),
+        );
+        let mut sf = lower::<Ratio>(&p);
+        let out = SparseRevised
+            .solve(&sf, &SimplexOptions::default())
+            .unwrap();
+        let ws = WarmStart::from_output(&sf, &out);
+        let pol = RefactorPolicy::default();
+        let (mut st, _) = SparseState::from_warm(&sf, &ws, Factor::SparseLu, &pol).unwrap();
+        let refacs_before = st.factors.stats().refactorizations;
+
+        // Pure column append: every row and basic column survives — the
+        // live factorization must be kept verbatim.
+        let plan = sf.add_columns(&[NewColumn {
+            entries: vec![(0, Ratio::from_int(2))],
+            cost: Ratio::one(),
+            upper: None,
+        }]);
+        assert!(st.apply_edit(&sf, &plan, &pol));
+        assert!(st.is_feasible());
+        assert_eq!(st.in_basis.len(), sf.ncols);
+        assert_eq!(
+            st.factors.stats().refactorizations,
+            refacs_before,
+            "column append must not refactorize"
+        );
+
+        // Removing a basic column forces the slow path: one
+        // refactorization, unclaimed row completed from basis0.
+        let basic_struct = st.basis.iter().copied().find(|&j| j < sf.nstruct).unwrap();
+        let plan = sf.remove_columns(&[basic_struct]);
+        assert!(plan.col_map()[basic_struct].is_none());
+        assert!(st.apply_edit(&sf, &plan, &pol));
+        // The completed basis claims every row again with valid columns.
+        assert_eq!(st.basis.len(), sf.m);
+        assert!(st.basis.iter().all(|&b| b < sf.ncols));
     }
 }

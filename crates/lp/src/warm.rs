@@ -96,6 +96,36 @@ impl std::fmt::Display for WarmOutcome {
     }
 }
 
+/// Why a [`WarmStart`] cannot seed a given [`StandardForm`]: the snapshot
+/// was captured from a form of a different shape.
+///
+/// Carried on [`WarmKernelSolve`]/[`WarmRun`] (and from there into the
+/// session telemetry) so an online fallback is *explainable* — "the
+/// snapshot is 12×40 but the form is 13×43" — instead of a bare
+/// [`WarmOutcome::ColdFallback`]. Shape changes that preserve the row and
+/// column counts but move the artificial block, or a snapshot whose basis
+/// indexes out of range, report the same (possibly equal) dimensions; the
+/// snapshot is unusable either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Rows of the form the snapshot was captured from.
+    pub rows: usize,
+    /// Total columns of the form the snapshot was captured from.
+    pub cols: usize,
+    /// `(rows, cols)` of the form the snapshot was asked to seed.
+    pub expected: (usize, usize),
+}
+
+impl std::fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "warm snapshot shaped {}x{} cannot seed a {}x{} form",
+            self.rows, self.cols, self.expected.0, self.expected.1
+        )
+    }
+}
+
 /// A scalar-free snapshot of a solved basis, reusable as the starting
 /// point of the next solve on a same-shaped [`StandardForm`].
 ///
@@ -147,11 +177,26 @@ impl WarmStart {
     /// column and artificial layout (coefficients are free to differ —
     /// that is the point).
     pub fn shape_matches<S>(&self, sf: &StandardForm<S>) -> bool {
-        self.m == sf.m
+        self.shape_mismatch(sf).is_none()
+    }
+
+    /// The typed reason this snapshot cannot seed `sf`, or `None` when the
+    /// shapes agree. The diagnosing counterpart of
+    /// [`WarmStart::shape_matches`] — see [`ShapeMismatch`]. A mismatched
+    /// snapshot is not necessarily lost: when the caller knows *how* the
+    /// form changed, [`EditPlan::migrate`](crate::EditPlan::migrate)
+    /// carries it across the shape edit instead of falling back cold.
+    pub fn shape_mismatch<S>(&self, sf: &StandardForm<S>) -> Option<ShapeMismatch> {
+        let ok = self.m == sf.m
             && self.ncols == sf.ncols
             && self.art_start == sf.art_start
             && self.at_upper.len() == sf.ncols
-            && self.basis.iter().all(|&j| j < sf.ncols)
+            && self.basis.iter().all(|&j| j < sf.ncols);
+        (!ok).then_some(ShapeMismatch {
+            rows: self.m,
+            cols: self.ncols,
+            expected: (sf.m, sf.ncols),
+        })
     }
 
     /// The snapshot's basic columns (a set; row order not meaningful).
@@ -228,6 +273,11 @@ pub struct WarmKernelSolve<S> {
     pub output: KernelOutput<S>,
     /// How the solve started (see [`WarmOutcome`]).
     pub outcome: WarmOutcome,
+    /// When the outcome is [`WarmOutcome::ColdFallback`] because the hint
+    /// was captured from a differently shaped form: the typed diagnosis.
+    /// `None` on every other path (including fallbacks for singular or
+    /// budget-stalled hints, which are numeric, not shape, failures).
+    pub mismatch: Option<ShapeMismatch>,
 }
 
 /// A completed warm-capable solve at the [`Problem`](crate::Problem)
@@ -241,6 +291,9 @@ pub struct WarmRun<S> {
     pub outcome: WarmOutcome,
     /// Snapshot of the final basis, ready to seed the next re-solve.
     pub warm: WarmStart,
+    /// Shape diagnosis when a supplied hint was rejected for its shape
+    /// (see [`WarmKernelSolve::mismatch`]).
+    pub mismatch: Option<ShapeMismatch>,
     /// Wall-clock spent *capturing* [`WarmRun::warm`] (basis + status
     /// copy), in milliseconds. Reported separately so warm-vs-cold time
     /// comparisons don't bill the next solve's seed to this one — a cold

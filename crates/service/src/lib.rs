@@ -122,6 +122,104 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            cfg: ServiceConfig::default(),
+        }
+    }
+}
+
+/// An invalid [`ServiceConfig`] field, rejected by
+/// [`ServiceConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid service config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`ServiceConfig`] that validates on
+/// [`build`](ServiceConfigBuilder::build): `workers ≥ 1`, `batch ≥ 1`,
+/// and `deadline_ms` strictly positive and finite.
+#[derive(Clone, Debug)]
+pub struct ServiceConfigBuilder {
+    cfg: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Worker threads (validated ≥ 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// LP kernel for every tenant session.
+    pub fn kernel(mut self, k: KernelChoice) -> Self {
+        self.cfg.kernel = k;
+        self
+    }
+
+    /// Requests drained per worker wakeup (validated ≥ 1).
+    pub fn batch(mut self, n: usize) -> Self {
+        self.cfg.batch = n;
+        self
+    }
+
+    /// Coalesce queued updates per tenant.
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.cfg.coalesce = on;
+        self
+    }
+
+    /// Reuse each session's cached symbolic lowering.
+    pub fn reuse_lowering(mut self, on: bool) -> Self {
+        self.cfg.reuse_lowering = on;
+        self
+    }
+
+    /// Per-tenant solve deadline in milliseconds (validated > 0, finite).
+    pub fn deadline_ms(mut self, ms: f64) -> Self {
+        self.cfg.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Maximum resident tenants per worker (`0` = unlimited).
+    pub fn max_resident(mut self, n: usize) -> Self {
+        self.cfg.max_resident = n;
+        self
+    }
+
+    /// Warm-snapshot persistence directory.
+    pub fn persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ServiceConfig, ConfigError> {
+        if self.cfg.workers == 0 {
+            return Err(ConfigError("workers must be >= 1".into()));
+        }
+        if self.cfg.batch == 0 {
+            return Err(ConfigError("batch must be >= 1".into()));
+        }
+        if let Some(ms) = self.cfg.deadline_ms {
+            if ms <= 0.0 || !ms.is_finite() {
+                return Err(ConfigError(format!(
+                    "deadline_ms must be a positive finite number, got {ms}"
+                )));
+            }
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// Why a request failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {

@@ -60,10 +60,7 @@ fn register_update_rate_certify_roundtrip() {
 
 #[test]
 fn unknown_and_duplicate_tenants_error() {
-    let service = Service::spawn(ServiceConfig {
-        workers: 1,
-        ..ServiceConfig::default()
-    });
+    let service = Service::spawn(ServiceConfig::builder().workers(1).build().unwrap());
     let client = service.client();
     assert_eq!(
         client.rate("ghost").unwrap_err(),
@@ -79,10 +76,7 @@ fn unknown_and_duplicate_tenants_error() {
 
 #[test]
 fn many_tenants_replan_concurrently_and_stay_warm() {
-    let service = Service::spawn(ServiceConfig {
-        workers: 4,
-        ..ServiceConfig::default()
-    });
+    let service = Service::spawn(ServiceConfig::builder().workers(4).build().unwrap());
     let client = service.client();
     let tenants: Vec<(String, Platform, NodeId)> = (0..8)
         .map(|i| {
@@ -192,11 +186,11 @@ fn queued_updates_coalesce_latest_drift_wins() {
 fn restarted_service_resumes_warm_from_snapshots() {
     let dir = scratch_dir("restart");
     let (g, m) = tenant_platform(7, 10);
-    let cfg = ServiceConfig {
-        workers: 2,
-        persist_dir: Some(dir.clone()),
-        ..ServiceConfig::default()
-    };
+    let cfg = ServiceConfig::builder()
+        .workers(2)
+        .persist_dir(dir.clone())
+        .build()
+        .unwrap();
 
     // First life: register, drift once, die (graceful shutdown journals).
     let before = {
@@ -240,11 +234,13 @@ fn restarted_service_resumes_warm_from_snapshots() {
 
 #[test]
 fn lru_eviction_parks_idle_tenants_and_revives_them_warm() {
-    let service = Service::spawn(ServiceConfig {
-        workers: 1,
-        max_resident: 1,
-        ..ServiceConfig::default()
-    });
+    let service = Service::spawn(
+        ServiceConfig::builder()
+            .workers(1)
+            .max_resident(1)
+            .build()
+            .unwrap(),
+    );
     let client = service.client();
     let (g1, m1) = tenant_platform(11, 8);
     let (g2, m2) = tenant_platform(12, 8);
@@ -269,12 +265,15 @@ fn lru_eviction_parks_idle_tenants_and_revives_them_warm() {
 
 #[test]
 fn blown_deadline_serves_stale_plan_then_solves() {
-    // deadline 0 ms: every post-registration update blows it.
-    let service = Service::spawn(ServiceConfig {
-        workers: 1,
-        deadline_ms: Some(0.0),
-        ..ServiceConfig::default()
-    });
+    // A 1 microsecond deadline: every post-registration update blows it
+    // (the builder rejects a deadline of exactly zero).
+    let service = Service::spawn(
+        ServiceConfig::builder()
+            .workers(1)
+            .deadline_ms(0.001)
+            .build()
+            .unwrap(),
+    );
     let client = service.client();
     let (g, m) = tenant_platform(21, 8);
     let plan = client.register("slow", g.clone(), m).unwrap();
@@ -299,10 +298,7 @@ fn blown_deadline_serves_stale_plan_then_solves() {
 
 #[test]
 fn socket_clients_speak_the_frame_protocol() {
-    let service = Service::spawn(ServiceConfig {
-        workers: 2,
-        ..ServiceConfig::default()
-    });
+    let service = Service::spawn(ServiceConfig::builder().workers(2).build().unwrap());
     let handle = service.listen("127.0.0.1:0").unwrap();
     let mut sock = SocketClient::connect(handle.addr()).unwrap();
 

@@ -12,12 +12,12 @@
 
 use crate::protocol::ResponseBody;
 use crate::{persist, CertifiedRate, RateReport, Replan, ServiceError, SnapshotReport};
+use ss_core::drift::ParamScale;
 use ss_core::master_slave::MasterSlave;
-use ss_core::session::SolveSession;
+use ss_core::session::{SessionEvent, SolveSession};
 use ss_core::WarmOutcome;
 use ss_lp::{KernelChoice, WarmStart};
 use ss_platform::{NodeId, Platform, PlatformSpec};
-use ss_sim::dynamic::ParamScale;
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::mpsc::Sender;
@@ -646,7 +646,7 @@ fn solve_slot(
     let TenantState::Resident(sess) = &mut slot.state else {
         unreachable!("revive makes the slot resident")
     };
-    match sess.resolve(&slot.current) {
+    match sess.apply(SessionEvent::Drift(slot.scale.clone())) {
         Err(e) => Err(ServiceError::Solve(e.to_string())),
         Ok(s) => {
             let t = &s.telemetry;
@@ -730,6 +730,7 @@ fn revive(slot: &mut TenantSlot, kernel: KernelChoice, reuse_lowering: bool) {
     };
     let mut sess = SolveSession::with_kernel(MasterSlave::new(slot.master), kernel);
     sess.set_lowering_reuse(reuse_lowering);
+    sess.set_base(slot.base.clone());
     if let Some(w) = warm.take() {
         sess.seed_warm(w);
     }

@@ -36,92 +36,15 @@
 //! communication span and the compute spans, and the plan still completes
 //! its fixed task count per period.
 
-use serde::ser::SerializeStruct as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use ss_core::master_slave::{self, MasterSlave};
-use ss_core::session::{SolveSession, SolveTelemetry};
+use ss_core::session::{SessionEvent, SolveSession, SolveTelemetry};
 use ss_num::Ratio;
-use ss_platform::{NodeId, Platform, Weight};
+use ss_platform::{NodeId, Platform};
 use ss_schedule::{reconstruct_master_slave, PeriodicSchedule};
 
-/// Multiplicative drift applied to a platform: per-node compute slowdown
-/// and per-edge cost slowdown (1 = nominal, 2 = twice as slow, 1/2 = twice
-/// as fast).
-#[derive(Clone, Debug, PartialEq)]
-pub struct ParamScale {
-    /// Factor on each node's `w_i`.
-    pub w_mult: Vec<Ratio>,
-    /// Factor on each edge's `c_ij`.
-    pub c_mult: Vec<Ratio>,
-}
-
-impl Serialize for ParamScale {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("ParamScale", 2)?;
-        st.serialize_field("w_mult", &self.w_mult)?;
-        st.serialize_field("c_mult", &self.c_mult)?;
-        st.end()
-    }
-}
-
-impl<'de> Deserialize<'de> for ParamScale {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<ParamScale, D::Error> {
-        let scale = ParamScale {
-            w_mult: Vec::deserialize(deserializer.clone().take_field("w_mult")?)?,
-            c_mult: Vec::deserialize(deserializer.take_field("c_mult")?)?,
-        };
-        if scale
-            .w_mult
-            .iter()
-            .chain(&scale.c_mult)
-            .any(|f| !f.is_positive())
-        {
-            return Err(serde::de::Error::custom("non-positive drift factor"));
-        }
-        Ok(scale)
-    }
-}
-
-impl ParamScale {
-    /// The identity drift (all ones).
-    pub fn nominal(g: &Platform) -> ParamScale {
-        ParamScale {
-            w_mult: vec![Ratio::one(); g.num_nodes()],
-            c_mult: vec![Ratio::one(); g.num_edges()],
-        }
-    }
-
-    /// Scale a single node's compute weight.
-    pub fn with_node(mut self, i: NodeId, factor: Ratio) -> ParamScale {
-        assert!(factor.is_positive());
-        self.w_mult[i.index()] = factor;
-        self
-    }
-
-    /// Scale a single edge's cost.
-    pub fn with_edge(mut self, e: ss_platform::EdgeId, factor: Ratio) -> ParamScale {
-        assert!(factor.is_positive());
-        self.c_mult[e.index()] = factor;
-        self
-    }
-
-    /// The platform with this drift applied.
-    pub fn apply(&self, g: &Platform) -> Platform {
-        let mut out = Platform::new();
-        for n in g.nodes() {
-            let w = match n.w.as_ratio() {
-                Some(w) => Weight::finite(w * &self.w_mult[n.id.index()]),
-                None => Weight::Infinite,
-            };
-            out.add_node(n.name.to_string(), w);
-        }
-        for e in g.edges() {
-            out.add_edge(e.src, e.dst, e.c * &self.c_mult[e.id.index()])
-                .expect("scaling preserves validity");
-        }
-        out
-    }
-}
+// ParamScale moved next to the session-event API it feeds; the re-export
+// keeps `ss_sim::dynamic::ParamScale` paths working.
+pub use ss_core::drift::ParamScale;
 
 /// Exact throughput of a fixed plan (solved on `planned` parameters)
 /// executed while the platform actually runs at `actual` parameters.
@@ -207,6 +130,8 @@ pub fn simulate_policies(
         SolveSession::new(MasterSlave::new(master));
     let mut omni_sess: SolveSession<Ratio, MasterSlave> =
         SolveSession::new(MasterSlave::new(master));
+    adaptive_sess.set_base(g.clone());
+    omni_sess.set_base(g.clone());
 
     let mut reports = Vec::with_capacity(phases.len());
     let mut prev_scale = nominal.clone();
@@ -215,24 +140,27 @@ pub fn simulate_policies(
         // Static: nominal plan under actual parameters.
         let static_thr = realized_throughput(g, &static_sched, &nominal, actual);
 
-        // Adaptive: plan on the previous phase's parameters.
+        // Adaptive: plan on the previous phase's parameters, fed to the
+        // session as a drift event on the registered nominal base.
         let adaptive_platform = prev_scale.apply(g);
-        let (adaptive_sol, adaptive_tel) = adaptive_sess.resolve_typed(&adaptive_platform)?;
+        let adaptive_run = adaptive_sess.apply(SessionEvent::Drift(prev_scale.clone()))?;
+        let adaptive_sol = adaptive_sess.extract(&adaptive_platform, &adaptive_run)?;
         let adaptive_sched = reconstruct_master_slave(&adaptive_platform, &adaptive_sol);
         // Its plan was built against prev_scale; it executes under actual.
         let adaptive_thr = realized_throughput(g, &adaptive_sched, &prev_scale, actual);
 
         // Omniscient: plan on the true parameters.
         let omni_platform = actual.apply(g);
-        let (omni_sol, omni_tel) = omni_sess.resolve_typed(&omni_platform)?;
+        let omni_run = omni_sess.apply(SessionEvent::Drift(actual.clone()))?;
+        let omni_sol = omni_sess.extract(&omni_platform, &omni_run)?;
         let omniscient_thr = omni_sol.ntask;
 
         reports.push(PhaseReport {
             static_thr,
             adaptive_thr,
             omniscient_thr,
-            adaptive: adaptive_tel,
-            omniscient: omni_tel,
+            adaptive: adaptive_run.telemetry,
+            omniscient: omni_run.telemetry,
         });
         prev_scale = actual.clone();
         last_adaptive_platform = Some(adaptive_platform);

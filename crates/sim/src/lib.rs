@@ -19,6 +19,9 @@
 //! * [`dynamic`] — the §5.5 experiments: piecewise-constant parameter
 //!   drift, a static schedule vs a "use the past to predict the future"
 //!   adaptive re-solver vs an omniscient re-solver.
+//! * [`online`] — node churn under a Poisson/Pareto job stream: workers
+//!   arrive and depart while a live session re-plans through incremental
+//!   LP shape edits, and per-job stretch feels the re-plan cost.
 //!
 //! [`PeriodicSchedule`]: ss_schedule::PeriodicSchedule
 
@@ -27,10 +30,12 @@
 
 pub mod dynamic;
 pub mod events;
+pub mod online;
 pub mod periodic;
 pub mod rounds;
 
 pub use events::{EventQueue, Port};
+pub use online::{simulate_online, OnlineConfig, OnlineRun, OnlineTrace, ReplanMode, WorkerPool};
 pub use periodic::{
     simulate_collective, simulate_master_slave, simulate_tree_packing, PeriodicRun,
 };

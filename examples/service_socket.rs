@@ -20,10 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let service = Service::spawn(ServiceConfig {
-        workers: 2,
-        ..ServiceConfig::default()
-    });
+    let service = Service::spawn(ServiceConfig::builder().workers(2).build().unwrap());
     let server = service.listen("127.0.0.1:0").expect("bind reactor");
     println!("serving the frame protocol on {}\n", server.addr());
 

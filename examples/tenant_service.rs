@@ -28,12 +28,12 @@ fn main() {
     let persist_dir =
         std::env::temp_dir().join(format!("ss-tenant-service-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&persist_dir);
-    let config = ServiceConfig {
-        workers: 3,
-        deadline_ms: Some(50.0),
-        persist_dir: Some(persist_dir.clone()),
-        ..ServiceConfig::default()
-    };
+    let config = ServiceConfig::builder()
+        .workers(3)
+        .deadline_ms(50.0)
+        .persist_dir(persist_dir.clone())
+        .build()
+        .expect("valid service config");
     let service = Service::spawn(config.clone());
     let client = service.client();
     println!(
